@@ -1,0 +1,428 @@
+(* Benchmark harness — one section per experiment of DESIGN.md §6.
+
+   The paper has no quantitative tables; each experiment measures one
+   of its comparative claims against the sequential-rounds baseline (or
+   the transfer-blind ablation), on the simulated substrate. Absolute
+   numbers are substrate-dependent; the SHAPES — who wins, by what
+   factor, where the gap opens — are what EXPERIMENTS.md records.
+
+   Run with: dune exec bench/main.exe            (all experiments)
+             dune exec bench/main.exe -- E1 E4   (a subset) *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module SS = Vsgc_harness.Server_system
+module Executor = Vsgc_ioa.Executor
+module Sync_runner = Vsgc_ioa.Sync_runner
+module Metrics = Vsgc_ioa.Metrics
+module Client = Vsgc_core.Client
+
+let section id title = Fmt.pr "@.== %s: %s ==@." id title
+let rowf fmt = Fmt.pr fmt
+
+(* -- Round-measurement helpers ------------------------------------------- *)
+
+(* Run synchronous rounds until [pred] holds (checked after each
+   round's local phase); returns the number of rounds consumed. *)
+let rounds_until ?(max_rounds = 60) sys pred =
+  let exec = System.exec sys in
+  ignore (Sync_runner.local_quiesce exec);
+  let rec go r =
+    if pred () || r >= max_rounds then r
+    else begin
+      ignore (Sync_runner.round exec ~make_budget:(System.round_budget sys));
+      go (r + 1)
+    end
+  in
+  go 0
+
+let gcs_system ~seed ~n = System.create ~seed ~n ()
+
+let baseline_system ~seed ~n =
+  System.create ~seed ~n ~endpoint_builder:(fun p -> fst (Vsgc_baseline.component p)) ()
+
+(* Establish a stable n-member view (round-synchronously, so that the
+   metrics up to the measurement window are comparable across systems). *)
+let establish sys ~n =
+  let all = Proc.Set.of_range 0 (n - 1) in
+  let v = System.reconfigure sys ~set:all in
+  let r = rounds_until sys (fun () -> System.all_in_view sys v) in
+  if r >= 60 then failwith "bench: initial view did not form";
+  v
+
+(* One reconfiguration, measured in communication rounds. The
+   membership round costs one round; the paper's algorithm overlaps the
+   synchronization round with it, the baseline runs it afterwards. *)
+let measure_view_change sys ~target_set =
+  let exec = System.exec sys in
+  ignore (System.start_change sys ~set:target_set);
+  ignore (Sync_runner.local_quiesce exec);
+  (* the membership algorithm's message round; GCS synchronization
+     messages travel in parallel with it *)
+  ignore (Sync_runner.round exec ~make_budget:(System.round_budget sys));
+  let v = System.deliver_view sys ~set:target_set in
+  let extra = rounds_until sys (fun () -> System.all_in_view sys v) in
+  (1 + extra, v)
+
+(* -- E1: view-change latency in rounds ------------------------------------ *)
+
+let e1 () =
+  section "E1" "view-change latency (communication rounds)";
+  rowf "%6s  %12s  %12s@." "n" "gcs" "baseline";
+  List.iter
+    (fun n ->
+      let target = Proc.Set.of_range 0 (n - 2) in
+      let gcs =
+        let sys = gcs_system ~seed:11 ~n in
+        ignore (establish sys ~n);
+        fst (measure_view_change sys ~target_set:target)
+      in
+      let base =
+        let sys = baseline_system ~seed:11 ~n in
+        ignore (establish sys ~n);
+        fst (measure_view_change sys ~target_set:target)
+      in
+      rowf "%6d  %12d  %12d@." n gcs base)
+    [ 2; 4; 8; 16; 32 ]
+
+(* -- E2: synchronization traffic during a view change --------------------- *)
+
+let e2 () =
+  section "E2" "traffic during one view change (copies and bytes)";
+  rowf "%6s  %10s  %10s  %12s  %14s  %14s@." "n" "gcs:sync" "base:bsync" "gcs:bytes"
+    "mergesync:fB" "mergesync:cB";
+  let count sys k = Metrics.sent_count (Executor.metrics (System.exec sys)) k in
+  let bytes sys =
+    List.fold_left
+      (fun acc k -> acc + Metrics.sent_bytes (Executor.metrics (System.exec sys)) k)
+      0
+      Msg.Wire.[ K_view_msg; K_app; K_fwd; K_sync; K_bsync ]
+  in
+  List.iter
+    (fun n ->
+      let target = Proc.Set.of_range 0 (n - 2) in
+      let run build =
+        let sys = build ~seed:12 ~n in
+        ignore (establish sys ~n);
+        let before_sync = count sys Msg.Wire.K_sync in
+        let before_bsync = count sys Msg.Wire.K_bsync in
+        let before_bytes = bytes sys in
+        ignore (measure_view_change sys ~target_set:target);
+        ( count sys Msg.Wire.K_sync - before_sync,
+          count sys Msg.Wire.K_bsync - before_bsync,
+          bytes sys - before_bytes )
+      in
+      let gs, _, gb = run gcs_system in
+      let _, bb, _ = run baseline_system in
+      (* the §5.2.4 compact markers pay off when the start_change set
+         extends beyond the current view — measure them on a merge of
+         an (n-1)-group with a singleton *)
+      let merge_bytes build =
+        let sys = build () in
+        let grp = Proc.Set.of_range 0 (n - 2) in
+        let v0 = System.reconfigure sys ~origin:0 ~set:grp in
+        ignore (rounds_until sys (fun () -> System.all_in_view sys v0));
+        let sync_bytes () =
+          Metrics.sent_bytes (Executor.metrics (System.exec sys)) Msg.Wire.K_sync
+        in
+        let before = sync_bytes () in
+        let v = System.reconfigure sys ~origin:1 ~set:(Proc.Set.of_range 0 (n - 1)) in
+        ignore (rounds_until sys (fun () -> System.all_in_view sys v));
+        sync_bytes () - before
+      in
+      let mb_full = merge_bytes (fun () -> System.create ~seed:12 ~n ()) in
+      let mb_compact =
+        merge_bytes (fun () -> System.create ~seed:12 ~compact_sync:true ~n ())
+      in
+      rowf "%6d  %10d  %10d  %12d  %14d  %14d@." n gs bb gb mb_full mb_compact)
+    [ 2; 4; 8; 16; 32 ]
+
+(* -- E3: forwarding strategies --------------------------------------------- *)
+
+type e3_phase = Frozen | Lossy | Open_
+
+let e3_run ~strategy ~m =
+  let phase = ref Open_ in
+  let weights (a : Action.t) =
+    match a with
+    | Action.Rf_deliver (2, 1, _) when !phase = Frozen -> 0.0
+    | Action.Rf_lose (2, 1) when !phase = Lossy -> 1.0
+    | Action.Rf_lose _ -> 0.0
+    | _ -> 1.0
+  in
+  let sys = System.create ~seed:13 ~weights ~strategy ~n:4 () in
+  let all = Proc.Set.of_range 0 3 in
+  ignore (System.reconfigure sys ~set:all);
+  System.settle sys;
+  phase := Frozen;
+  for i = 1 to m do
+    System.send sys 2 (Fmt.str "lost-%d" i)
+  done;
+  let have p = List.length (Client.delivered_from !(System.client sys p) 2) = m in
+  ignore (System.run sys ~max_steps:2_000_000 ~stop:(fun () -> have 0 && have 3));
+  System.crash sys 2;
+  phase := Lossy;
+  ignore
+    (System.run sys ~max_steps:2_000_000 ~stop:(fun () ->
+         Vsgc_corfifo.channel_length !(System.corfifo sys) 2 1 = 0));
+  phase := Open_;
+  let before = Metrics.sent_count (Executor.metrics (System.exec sys)) Msg.Wire.K_fwd in
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_list [ 0; 1; 3 ]));
+  System.settle ~max_steps:5_000_000 sys;
+  let copies =
+    Metrics.sent_count (Executor.metrics (System.exec sys)) Msg.Wire.K_fwd - before
+  in
+  let recovered = List.length (Client.delivered_from !(System.client sys 1) 2) in
+  (copies, recovered)
+
+let e3 () =
+  section "E3" "forwarding strategies: copies forwarded to recover m messages";
+  rowf "%6s  %10s  %12s  %10s@." "m" "simple" "min-copies" "recovered";
+  List.iter
+    (fun m ->
+      let simple, r1 = e3_run ~strategy:Vsgc_core.Forwarding.Simple ~m in
+      let minc, r2 = e3_run ~strategy:Vsgc_core.Forwarding.Min_copies ~m in
+      assert (r1 = m && r2 = m);
+      rowf "%6d  %10d  %12d  %10d@." m simple minc m)
+    [ 10; 50; 100 ]
+
+(* -- E4: stable-view throughput (bechamel) --------------------------------- *)
+
+let e4_run ~n ~msgs () =
+  let sys = System.create ~seed:14 ~monitors:`None ~n () in
+  let all = Proc.Set.of_range 0 (n - 1) in
+  ignore (System.reconfigure sys ~set:all);
+  System.settle sys;
+  System.broadcast sys ~senders:all ~per_sender:msgs;
+  System.settle ~max_steps:5_000_000 sys
+
+let e4 () =
+  section "E4" "stable-view multicast cost (bechamel, whole run per config)";
+  let open Bechamel in
+  let test =
+    Test.make_grouped ~name:"throughput"
+      [
+        Test.make ~name:"n=4,msgs=20" (Staged.stage (e4_run ~n:4 ~msgs:20));
+        Test.make ~name:"n=8,msgs=20" (Staged.stage (e4_run ~n:8 ~msgs:20));
+        Test.make ~name:"n=16,msgs=10" (Staged.stage (e4_run ~n:16 ~msgs:10));
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  rowf "%-28s  %16s@." "config" "ns/run";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rowf "%-28s  %16.0f@." name est
+      | _ -> rowf "%-28s  %16s@." name "n/a")
+    results
+
+(* -- E5: obsolete views under joins mid-change ------------------------------ *)
+
+let e5_run build ~joins =
+  let n = 4 + joins in
+  let sys = build ~seed:15 ~n in
+  let core = Proc.Set.of_range 0 3 in
+  let v0 = System.reconfigure sys ~set:core in
+  ignore (rounds_until sys (fun () -> System.all_in_view sys v0));
+  (* the membership changes its mind [joins] times before settling:
+     every change of mind yields a start_change and a view, queued
+     back-to-back — the paper's "views already known to be out of date" *)
+  let before = List.length (System.views_of sys 0) in
+  let set = ref core in
+  for j = 1 to joins do
+    set := Proc.Set.add (3 + j) !set;
+    ignore (System.reconfigure sys ~origin:j ~set:!set)
+  done;
+  ignore (rounds_until ~max_rounds:100 sys (fun () -> false));
+  System.settle sys;
+  List.length (System.views_of sys 0) - before
+
+let e5 () =
+  section "E5" "views delivered per endpoint when membership changes its mind";
+  rowf "%6s  %12s  %12s@." "joins" "gcs" "baseline";
+  List.iter
+    (fun joins ->
+      let g = e5_run (fun ~seed ~n -> gcs_system ~seed ~n) ~joins in
+      let b = e5_run (fun ~seed ~n -> baseline_system ~seed ~n) ~joins in
+      rowf "%6d  %12d  %12d@." joins g b)
+    [ 1; 2; 4 ]
+
+(* -- E6: delivery during reconfiguration ------------------------------------ *)
+
+let e6_run build ~inflight =
+  let n = 4 in
+  let sys = build ~seed:16 ~n in
+  let all = Proc.Set.of_range 0 (n - 1) in
+  let v0 = System.reconfigure sys ~set:all in
+  ignore (rounds_until sys (fun () -> System.all_in_view sys v0));
+  System.broadcast sys ~senders:all ~per_sender:inflight;
+  (* let some of the traffic drain, then reconfigure *)
+  ignore (System.run sys ~max_steps:(inflight * 20));
+  let mark = Executor.trace_length (System.exec sys) in
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 (n - 2)));
+  System.settle ~max_steps:5_000_000 sys;
+  let tail = List.filteri (fun i _ -> i >= mark) (Executor.trace (System.exec sys)) in
+  let during = Vsgc_ioa.Trace_stats.deliveries_during_reconfiguration ~at:0 tail in
+  let window =
+    match Vsgc_ioa.Trace_stats.blocked_windows ~at:0 tail with w :: _ -> w | [] -> 0
+  in
+  (during, window)
+
+let e6 () =
+  section "E6"
+    "messages delivered during reconfiguration / send-blocked window (at p0)";
+  rowf "%10s  %12s  %12s  %14s  %14s@." "in-flight" "gcs" "baseline" "gcs:window"
+    "base:window";
+  List.iter
+    (fun inflight ->
+      let g, gw = e6_run (fun ~seed ~n -> gcs_system ~seed ~n) ~inflight in
+      let b, bw = e6_run (fun ~seed ~n -> baseline_system ~seed ~n) ~inflight in
+      rowf "%10d  %12d  %12d  %14d  %14d@." inflight g b gw bw)
+    [ 10; 30 ]
+
+(* -- E7: end-to-end with membership servers --------------------------------- *)
+
+let e7_run ~endpoint ~n_clients ~n_servers =
+  let ss =
+    match endpoint with
+    | `Gcs -> SS.create ~seed:17 ~n_clients ~n_servers ()
+    | `Baseline ->
+        SS.create ~seed:17
+          ~endpoint_builder:(fun p -> fst (Vsgc_baseline.component p))
+          ~n_clients ~n_servers ()
+  in
+  let sys = SS.sys ss in
+  SS.bootstrap ss;
+  let formed () =
+    match System.last_view_of sys 0 with
+    | Some (v, _) -> Proc.Set.cardinal (View.set v) = n_clients && System.all_in_view sys v
+    | None -> false
+  in
+  ignore (rounds_until ~max_rounds:100 sys formed);
+  (* the measured reconfiguration: the last client leaves *)
+  SS.leave ss (n_clients - 1);
+  let survivors_in_view () =
+    match System.last_view_of sys 0 with
+    | Some (v, _) ->
+        Proc.Set.cardinal (View.set v) = n_clients - 1
+        && Proc.Set.for_all
+             (fun p ->
+               match System.last_view_of sys p with
+               | Some (v', _) -> View.equal v v'
+               | None -> false)
+             (View.set v)
+    | None -> false
+  in
+  rounds_until ~max_rounds:100 sys survivors_in_view
+
+let e7 () =
+  section "E7" "end-to-end reconfiguration rounds through membership servers";
+  rowf "%6s  %8s  %12s  %12s@." "n" "servers" "gcs" "baseline";
+  List.iter
+    (fun (n_clients, n_servers) ->
+      let g = e7_run ~endpoint:`Gcs ~n_clients ~n_servers in
+      let b = e7_run ~endpoint:`Baseline ~n_clients ~n_servers in
+      rowf "%6d  %8d  %12d  %12d@." n_clients n_servers g b)
+    [ (4, 1); (8, 2); (16, 3) ]
+
+(* -- E8: transitional-set-aware state transfer ------------------------------- *)
+
+let e8_run ~transfer_blind ~g =
+  let n = 2 * g in
+  let refs = Hashtbl.create 16 in
+  let sys =
+    System.create ~seed:18 ~n
+      ~client_builder:(fun p ->
+        let c, r = Vsgc_replication.Replica.component ~transfer_blind p in
+        Hashtbl.replace refs p r;
+        c)
+      ()
+  in
+  let left = Proc.Set.of_range 0 (g - 1) in
+  let right = Proc.Set.of_range g (n - 1) in
+  ignore (System.reconfigure sys ~origin:0 ~set:left);
+  ignore (System.reconfigure sys ~origin:1 ~set:right);
+  System.settle sys;
+  for i = 1 to 8 do
+    Vsgc_replication.Replica.set (Hashtbl.find refs 0) ~key:(Fmt.str "l%d" i) ~value:"v";
+    Vsgc_replication.Replica.set (Hashtbl.find refs g) ~key:(Fmt.str "r%d" i) ~value:"v"
+  done;
+  System.settle sys;
+  ignore (System.reconfigure sys ~origin:0 ~set:(Proc.Set.of_range 0 (n - 1)));
+  System.settle sys;
+  (* one further stable change: with T, free; blind, full re-transfer *)
+  ignore (System.reconfigure sys ~origin:0 ~set:(Proc.Set.of_range 0 (n - 1)));
+  System.settle sys;
+  Hashtbl.fold
+    (fun _ r (cnt, bytes) ->
+      ( cnt + !r.Vsgc_replication.Replica.snapshots_sent,
+        bytes + !r.Vsgc_replication.Replica.snapshot_bytes ))
+    refs (0, 0)
+
+let e8 () =
+  section "E8" "state-transfer cost: snapshots multicast (count/bytes)";
+  rowf "%12s  %16s  %16s@." "group size" "with T" "blind";
+  List.iter
+    (fun g ->
+      let tc, tb = e8_run ~transfer_blind:false ~g in
+      let bc, bb = e8_run ~transfer_blind:true ~g in
+      rowf "%12d  %9d/%-6d  %9d/%-6d@." g tc tb bc bb)
+    [ 2; 4; 8 ]
+
+(* -- E9: the §9 two-tier hierarchy ablation ----------------------------------- *)
+
+let e9 () =
+  section "E9" "two-tier hierarchy: sync copies vs rounds for one view change";
+  rowf "%6s  %6s  %14s  %14s  %10s  %10s@." "n" "g" "direct:copies" "hier:copies"
+    "direct:r" "hier:r";
+  let copies sys =
+    let m = Executor.metrics (System.exec sys) in
+    Metrics.sent_count m Msg.Wire.K_sync + Metrics.sent_count m Msg.Wire.K_sync_batch
+  in
+  List.iter
+    (fun (n, g) ->
+      let run ?hierarchy () =
+        let sys = System.create ~seed:19 ?hierarchy ~n () in
+        ignore (establish sys ~n);
+        let before = copies sys in
+        let rounds, _ = measure_view_change sys ~target_set:(Proc.Set.of_range 0 (n - 2)) in
+        (copies sys - before, rounds)
+      in
+      let dc, dr = run () in
+      let hc, hr = run ~hierarchy:g () in
+      rowf "%6d  %6d  %14d  %14d  %10d  %10d@." n g dc hc dr hr)
+    [ (8, 2); (16, 4); (32, 4); (32, 6) ]
+
+(* -- Driver ------------------------------------------------------------------ *)
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("E1", "view-change rounds", e1);
+    ("E2", "sync-message overhead", e2);
+    ("E3", "forwarding strategies", e3);
+    ("E4", "throughput", e4);
+    ("E5", "obsolete views", e5);
+    ("E6", "delivery during reconfiguration", e6);
+    ("E7", "client-server end-to-end", e7);
+    ("E8", "state transfer", e8);
+    ("E9", "two-tier hierarchy ablation", e9);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    if requested = [] then all
+    else List.filter (fun (id, _, _) -> List.mem id requested) all
+  in
+  Fmt.pr "vsgc benchmark harness — experiments %a@."
+    Fmt.(list ~sep:(any ",") string)
+    (List.map (fun (id, _, _) -> id) selected);
+  List.iter (fun (_, _, f) -> f ()) selected;
+  Fmt.pr "@.done.@."

@@ -1,0 +1,174 @@
+(* vsgc_demo — command-line driver for monitored scenario runs.
+
+     dune exec bin/vsgc_demo.exe -- run --scenario partition --trace
+     dune exec bin/vsgc_demo.exe -- rounds --n 8 --algo baseline
+     dune exec bin/vsgc_demo.exe -- servers --clients 6 --servers 2
+
+   Every run executes under all the safety monitors of §4 (and, with
+   --invariants, the §6/§7 invariant checkers), so the CLI doubles as a
+   quick conformance harness for the algorithms. *)
+
+open Vsgc_types
+open Cmdliner
+module System = Vsgc_harness.System
+module SS = Vsgc_harness.Server_system
+module Sync_runner = Vsgc_ioa.Sync_runner
+
+(* -- shared arguments ----------------------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full action trace.")
+
+let invariants_arg =
+  Arg.(value & flag & info [ "invariants" ] ~doc:"Check the §6/§7 invariants after every step.")
+
+let hierarchy_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hierarchy" ] ~docv:"G"
+        ~doc:"Route synchronization through G leader groups (§9 two-tier mode).")
+
+let compact_arg =
+  Arg.(value & flag & info [ "compact" ] ~doc:"Use the §5.2.4 compact sync markers.")
+
+let gc_arg =
+  Arg.(value & flag & info [ "gc" ] ~doc:"Enable §5.1 buffer garbage collection.")
+
+let print_trace sys =
+  List.iteri (fun i a -> Fmt.pr "%5d  %a@." i Action.pp a)
+    (Vsgc_ioa.Executor.trace (System.exec sys))
+
+let summary sys procs =
+  Proc.Set.iter
+    (fun p ->
+      let c = !(System.client sys p) in
+      let last =
+        match Vsgc_core.Client.last_view c with
+        | Some (v, tset) -> Fmt.str "%a T=%a" View.Id.pp (View.id v) Proc.Set.pp tset
+        | None -> "(none)"
+      in
+      Fmt.pr "%a: views=%d delivered=%d sent=%d last=%s@." Proc.pp p
+        (List.length (Vsgc_core.Client.views c))
+        (List.length (Vsgc_core.Client.delivered c))
+        (List.length (Vsgc_core.Client.sent c))
+        last)
+    procs;
+  Fmt.pr "metrics: %a@." Vsgc_ioa.Metrics.pp
+    (Vsgc_ioa.Executor.metrics (System.exec sys))
+
+(* -- run: named scenarios (the harness's declarative catalog) -------------- *)
+
+let scenario_names = List.map fst (Vsgc_harness.Scenario.catalog ~n:4)
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun s -> (s, s)) scenario_names)) "stable"
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:(Fmt.str "One of: %s." (String.concat ", " scenario_names)))
+
+let run_cmd =
+  let go seed n name trace invariants hierarchy compact gc =
+    let sys = System.create ~seed ?hierarchy ~compact_sync:compact ~gc ~n () in
+    if invariants then System.attach_invariants sys;
+    let scenario = List.assoc name (Vsgc_harness.Scenario.catalog ~n) in
+    Fmt.pr "running scenario %S with n=%d seed=%d (monitored)@.  steps: %a@." name n
+      seed Vsgc_harness.Scenario.pp scenario;
+    Vsgc_harness.Scenario.run sys scenario;
+    System.settle sys;
+    if trace then print_trace sys;
+    summary sys (Proc.Set.of_range 0 (n - 1));
+    Fmt.pr "all safety specifications and scenario checks satisfied.@."
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a named monitored scenario.")
+    Term.(
+      const go $ seed_arg $ n_arg $ scenario_arg $ trace_arg $ invariants_arg
+      $ hierarchy_arg $ compact_arg $ gc_arg)
+
+(* -- rounds: view-change latency ------------------------------------------- *)
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (enum [ ("gcs", `Gcs); ("baseline", `Baseline) ]) `Gcs
+    & info [ "algo" ] ~docv:"ALGO" ~doc:"gcs (the paper's algorithm) or baseline.")
+
+let rounds_cmd =
+  let go seed n algo =
+    let sys =
+      match algo with
+      | `Gcs -> System.create ~seed ~n ()
+      | `Baseline ->
+          System.create ~seed ~n
+            ~endpoint_builder:(fun p -> fst (Vsgc_baseline.component p))
+            ()
+    in
+    let all = Proc.Set.of_range 0 (n - 1) in
+    let v0 = System.reconfigure sys ~set:all in
+    let exec = System.exec sys in
+    let wait pred =
+      ignore (Sync_runner.local_quiesce exec);
+      let rec go r =
+        if pred () || r > 50 then r
+        else begin
+          ignore (Sync_runner.round exec ~make_budget:(System.round_budget sys));
+          go (r + 1)
+        end
+      in
+      go 0
+    in
+    ignore (wait (fun () -> System.all_in_view sys v0));
+    let target = Proc.Set.of_range 0 (n - 2) in
+    ignore (System.start_change sys ~set:target);
+    ignore (Sync_runner.local_quiesce exec);
+    ignore (Sync_runner.round exec ~make_budget:(System.round_budget sys));
+    let v = System.deliver_view sys ~set:target in
+    let extra = wait (fun () -> System.all_in_view sys v) in
+    Fmt.pr "%s, n=%d: view change completed in %d communication round(s)@."
+      (match algo with `Gcs -> "gcs" | `Baseline -> "baseline")
+      n (1 + extra)
+  in
+  Cmd.v
+    (Cmd.info "rounds" ~doc:"Measure view-change latency in communication rounds.")
+    Term.(const go $ seed_arg $ n_arg $ algo_arg)
+
+(* -- servers: the client-server stack ---------------------------------------- *)
+
+let servers_cmd =
+  let clients_arg =
+    Arg.(value & opt int 6 & info [ "clients" ] ~docv:"N" ~doc:"Number of clients.")
+  in
+  let nsrv_arg =
+    Arg.(value & opt int 2 & info [ "servers" ] ~docv:"S" ~doc:"Number of membership servers.")
+  in
+  let go seed n_clients n_servers trace =
+    let ss = SS.create ~seed ~n_clients ~n_servers () in
+    let sys = SS.sys ss in
+    Fmt.pr "bootstrapping %d clients over %d membership server(s)...@." n_clients
+      n_servers;
+    SS.bootstrap ss;
+    System.settle sys;
+    let all = Proc.Set.of_range 0 (n_clients - 1) in
+    System.broadcast sys ~senders:all ~per_sender:2;
+    System.settle sys;
+    Fmt.pr "client %a leaves...@." Proc.pp (n_clients - 1);
+    SS.leave ss (n_clients - 1);
+    System.settle sys;
+    if trace then print_trace sys;
+    summary sys all;
+    Fmt.pr "all safety specifications satisfied.@."
+  in
+  Cmd.v
+    (Cmd.info "servers" ~doc:"Exercise the full client-server membership stack.")
+    Term.(const go $ seed_arg $ clients_arg $ nsrv_arg $ trace_arg)
+
+let () =
+  let doc = "virtually synchronous group multicast — scenario driver" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "vsgc_demo" ~doc) [ run_cmd; rounds_cmd; servers_cmd ]))

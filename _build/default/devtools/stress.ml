@@ -1,0 +1,91 @@
+open Vsgc_types
+module System = Vsgc_harness.System
+
+(* replicate test_props generator + execute inline *)
+type op =
+  | Reconfigure of Proc.Set.t
+  | Send of Proc.t * int
+  | Crash of Proc.t
+  | Recover of Proc.t
+  | Run of int
+
+let n = 4
+let all = Proc.Set.of_range 0 (n - 1)
+
+let pp_op = function
+  | Reconfigure s -> Fmt.str "reconf%a" Proc.Set.pp s
+  | Send (p, k) -> Fmt.str "send(%a,%d)" Proc.pp p k
+  | Crash p -> Fmt.str "crash(%a)" Proc.pp p
+  | Recover p -> Fmt.str "recover(%a)" Proc.pp p
+  | Run k -> Fmt.str "run(%d)" k
+
+let gen_op rng =
+  match Vsgc_ioa.Rng.int rng 12 with
+  | 0 | 1 | 2 ->
+      let bits = 1 + Vsgc_ioa.Rng.int rng ((1 lsl n) - 1) in
+      let s = List.fold_left (fun acc i -> if bits land (1 lsl i) <> 0 then Proc.Set.add i acc else acc) Proc.Set.empty (List.init n Fun.id) in
+      Reconfigure (if Proc.Set.is_empty s then Proc.Set.singleton 0 else s)
+  | 3 | 4 | 5 | 6 -> Send (Vsgc_ioa.Rng.int rng n, 1 + Vsgc_ioa.Rng.int rng 4)
+  | 7 -> Crash (Vsgc_ioa.Rng.int rng n)
+  | 8 -> Recover (Vsgc_ioa.Rng.int rng n)
+  | _ -> Run (10 + Vsgc_ioa.Rng.int rng 190)
+
+let execute ~seed ops =
+  let sys = System.create ~seed ~n () in
+  System.attach_invariants ~every:3 sys;
+  let counter = ref 0 in
+  let crashed = ref Proc.Set.empty in
+  let origin = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Reconfigure set ->
+          let set = Proc.Set.diff set !crashed in
+          if not (Proc.Set.is_empty set) then begin
+            incr origin;
+            ignore (System.reconfigure sys ~origin:!origin ~set)
+          end
+      | Send (p, k) ->
+          if not (Proc.Set.mem p !crashed) then
+            for _ = 1 to k do incr counter; System.send sys p (Fmt.str "x%d" !counter) done
+      | Crash p ->
+          if not (Proc.Set.mem p !crashed) then begin
+            System.crash sys p; crashed := Proc.Set.add p !crashed end
+      | Recover p ->
+          if Proc.Set.mem p !crashed then begin
+            System.recover sys p; crashed := Proc.Set.remove p !crashed end
+      | Run k -> ignore (System.run sys ~max_steps:k))
+    ops;
+  let live = Proc.Set.diff all !crashed in
+  if not (Proc.Set.is_empty live) then begin
+    incr origin; ignore (System.reconfigure sys ~origin:!origin ~set:live)
+  end;
+  System.settle sys;
+  (sys, live)
+
+let () =
+  let iters = try int_of_string Sys.argv.(1) with _ -> 2000 in
+  let bad = ref 0 in
+  for i = 1 to iters do
+    let rng = Vsgc_ioa.Rng.make (i * 7919) in
+    let len = 1 + Vsgc_ioa.Rng.int rng 10 in
+    let ops = List.init len (fun _ -> gen_op rng) in
+    (try
+       let sys, live = execute ~seed:(i * 31) ops in
+       (* stable view agreement *)
+       if not (Proc.Set.is_empty live) then begin
+         match System.last_view_of sys (Proc.Set.min_elt live) with
+         | Some (v, _) when Proc.Set.equal (View.set v) live && System.all_in_view sys v -> ()
+         | _ when Proc.Set.cardinal live <= 1 -> ()
+         | _ ->
+             incr bad;
+             Fmt.pr "AGREEMENT FAIL iter=%d ops=[%s]@." i
+               (String.concat "; " (List.map pp_op ops))
+       end
+     with e ->
+       incr bad;
+       Fmt.pr "EXN iter=%d: %s@.  ops=[%s]@." i (Printexc.to_string e)
+         (String.concat "; " (List.map pp_op ops)));
+    if !bad > 4 then exit 1
+  done;
+  Fmt.pr "done: %d iters, %d bad@." iters !bad

@@ -1,0 +1,1 @@
+examples/chat_partition.ml: Fmt List Msg Proc Server View Vsgc_core Vsgc_harness Vsgc_types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Msg Proc View Vsgc_core Vsgc_harness Vsgc_types

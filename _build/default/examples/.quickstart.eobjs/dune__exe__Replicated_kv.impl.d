@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Fmt Hashtbl List Proc String Vsgc_harness Vsgc_replication Vsgc_types

@@ -1,0 +1,1 @@
+examples/total_order_bank.ml: Fmt Hashtbl List Proc String Vsgc_harness Vsgc_totalorder Vsgc_types

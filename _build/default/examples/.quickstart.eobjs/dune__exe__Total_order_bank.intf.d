@@ -1,0 +1,1 @@
+examples/total_order_bank.mli:

@@ -1,0 +1,64 @@
+(* A replicated key-value store over the virtually synchronous service
+   — the state-machine-replication motif of paper §4.1.2.
+
+       dune exec examples/replicated_kv.exe
+
+   Replicas that move together from view to view stay consistent with
+   NO synchronization exchange (that is what Virtual Synchrony buys);
+   state transfer happens only when groups merge, and the transitional
+   set tells each group exactly one member to ship its snapshot. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Replica = Vsgc_replication.Replica
+
+let () =
+  let refs = Hashtbl.create 8 in
+  let sys =
+    System.create ~seed:1234 ~n:4
+      ~client_builder:(fun p ->
+        let c, r = Replica.component p in
+        Hashtbl.replace refs p r;
+        c)
+      ()
+  in
+  let rep p : Replica.t ref = Hashtbl.find refs p in
+  let show p =
+    let kv = Replica.state !(rep p) in
+    Fmt.pr "  replica %a: {%s}@." Proc.pp p
+      (String.concat ", "
+         (List.map (fun (k, v) -> k ^ "=" ^ v) (Replica.Smap.bindings kv)))
+  in
+
+  (* two disjoint partitions evolve independently *)
+  let left = Proc.Set.of_range 0 1 and right = Proc.Set.of_range 2 3 in
+  ignore (System.reconfigure sys ~origin:0 ~set:left);
+  ignore (System.reconfigure sys ~origin:1 ~set:right);
+  System.settle sys;
+
+  Fmt.pr "writes on both sides of the partition:@.";
+  Replica.set (rep 0) ~key:"city" ~value:"boston";
+  Replica.set (rep 1) ~key:"lab" ~value:"lcs";
+  Replica.set (rep 2) ~key:"year" ~value:"2000";
+  System.settle sys;
+  List.iter show [ 0; 1; 2; 3 ];
+
+  (* merge: one snapshot per merging group, routed through the same
+     totally ordered stream as the commands *)
+  Fmt.pr "@.merging the partitions...@.";
+  let snapshots () =
+    List.fold_left (fun acc p -> acc + !(rep p).Replica.snapshots_sent) 0 [ 0; 1; 2; 3 ]
+  in
+  let before = snapshots () in
+  ignore (System.reconfigure sys ~origin:0 ~set:(Proc.Set.of_range 0 3));
+  System.settle sys;
+  List.iter show [ 0; 1; 2; 3 ];
+  Fmt.pr "snapshots shipped for the merge: %d (one per merging group)@."
+    (snapshots () - before);
+
+  (* post-merge writes replicate everywhere with no extra machinery *)
+  Fmt.pr "@.a write after the merge:@.";
+  Replica.set (rep 3) ~key:"status" ~value:"merged";
+  System.settle sys;
+  List.iter show [ 0; 1; 2; 3 ];
+  Fmt.pr "replicated-kv demo done.@."

@@ -1,0 +1,1 @@
+lib/checker/invariants.ml: Fmt List Msg Proc View Vsgc_core Vsgc_corfifo Vsgc_mbrshp Vsgc_types

@@ -1,0 +1,1 @@
+lib/checker/invariants.mli: Proc Vsgc_core Vsgc_corfifo Vsgc_mbrshp Vsgc_types

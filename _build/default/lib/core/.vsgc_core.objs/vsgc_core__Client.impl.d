@@ -1,0 +1,1 @@
+lib/core/client.ml: Action Fmt List Msg Proc View Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+lib/core/client.mli: Action Msg Proc View Vsgc_ioa Vsgc_types

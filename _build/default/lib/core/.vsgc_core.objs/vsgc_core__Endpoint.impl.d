@@ -1,0 +1,1 @@
+lib/core/endpoint.ml: Action Fmt Gcs List Msg Proc Vs_rfifo_ts Vsgc_ioa Vsgc_types Wv_rfifo

@@ -1,0 +1,1 @@
+lib/core/endpoint.mli: Action Forwarding Gcs Proc View Vs_rfifo_ts Vsgc_ioa Vsgc_types Wv_rfifo

@@ -1,0 +1,1 @@
+lib/core/gcs.ml: Vs_rfifo_ts

@@ -1,0 +1,1 @@
+lib/core/gcs.mli: Forwarding Vs_rfifo_ts Vsgc_types

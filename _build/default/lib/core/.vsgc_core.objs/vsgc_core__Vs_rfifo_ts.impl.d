@@ -1,0 +1,1 @@
+lib/core/vs_rfifo_ts.ml: Action Forwarding Fun Int List Map Msg Proc Set View Vsgc_types Wv_rfifo

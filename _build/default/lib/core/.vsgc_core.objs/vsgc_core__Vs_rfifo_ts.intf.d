@@ -1,0 +1,1 @@
+lib/core/vs_rfifo_ts.mli: Action Forwarding Map Msg Proc Set View Vsgc_types Wv_rfifo

@@ -1,0 +1,1 @@
+lib/core/wv_rfifo.ml: Action Int Map Msg Proc View Vsgc_types

@@ -1,0 +1,1 @@
+lib/core/wv_rfifo.mli: Action Map Msg Proc View Vsgc_types

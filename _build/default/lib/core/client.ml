@@ -1,0 +1,101 @@
+(* The blocking application client (paper Figure 12, CLIENT_p : SPEC),
+   made executable and scriptable.
+
+   The client sends the messages queued by the harness whenever it is
+   not blocked, answers every block() with block_ok(), and then
+   refrains from sending until a view is delivered. It logs everything
+   it observes, which is what the integration tests and the liveness
+   checks assert over. *)
+
+open Vsgc_types
+
+type block_status = Unblocked | Requested | Blocked
+
+type t = {
+  me : Proc.t;
+  block_status : block_status;
+  to_send : Msg.App_msg.t list;  (* oldest first *)
+  send_while_requested : bool;
+      (* the spec allows sending until blocked; scenarios may disable it *)
+  sent : Msg.App_msg.t list;  (* newest first *)
+  delivered : (Proc.t * Msg.App_msg.t) list;  (* newest first *)
+  views : (View.t * Proc.Set.t) list;  (* newest first *)
+  blocks_seen : int;
+  crashed : bool;
+}
+
+let initial ?(send_while_requested = true) me =
+  {
+    me;
+    block_status = Unblocked;
+    to_send = [];
+    send_while_requested;
+    sent = [];
+    delivered = [];
+    views = [];
+    blocks_seen = 0;
+    crashed = false;
+  }
+
+(* -- Scripting API ------------------------------------------------------ *)
+
+let push (r : t ref) payload =
+  r := { !r with to_send = !r.to_send @ [ Msg.App_msg.make payload ] }
+
+let push_many r payloads = List.iter (push r) payloads
+
+let sent t = List.rev t.sent
+let delivered t = List.rev t.delivered
+let views t = List.rev t.views
+let delivered_from t q = List.filter_map (fun (s, m) -> if Proc.equal s q then Some m else None) (delivered t)
+let last_view t = match t.views with [] -> None | (v, tset) :: _ -> Some (v, tset)
+
+(* -- Component ----------------------------------------------------------- *)
+
+let outputs t =
+  if t.crashed then []
+  else
+    let acc = if t.block_status = Requested then [ Action.Block_ok t.me ] else [] in
+    match t.to_send with
+    | m :: _
+      when t.block_status = Unblocked
+           || (t.block_status = Requested && t.send_while_requested) ->
+        Action.App_send (t.me, m) :: acc
+    | _ -> acc
+
+let accepts me (a : Action.t) =
+  match a with
+  | Action.App_deliver (p, _, _) | Action.App_view (p, _, _) | Action.Block p
+  | Action.Crash p | Action.Recover p -> Proc.equal p me
+  | _ -> false
+
+let apply t (a : Action.t) =
+  if t.crashed then
+    match a with Action.Recover p when Proc.equal p t.me -> initial ~send_while_requested:t.send_while_requested t.me | _ -> t
+  else
+    match a with
+    | Action.App_send (_, m) -> (
+        match t.to_send with
+        | m' :: rest when Msg.App_msg.equal m m' ->
+            { t with to_send = rest; sent = m :: t.sent }
+        | _ -> t)
+    | Action.Block_ok _ -> { t with block_status = Blocked }
+    | Action.Block _ -> { t with block_status = Requested; blocks_seen = t.blocks_seen + 1 }
+    | Action.App_deliver (_, q, m) -> { t with delivered = (q, m) :: t.delivered }
+    | Action.App_view (_, v, tset) ->
+        { t with views = (v, tset) :: t.views; block_status = Unblocked }
+    | Action.Crash _ -> { t with crashed = true }
+    | _ -> t
+
+let def me : t Vsgc_ioa.Component.def =
+  {
+    name = Fmt.str "client_%a" Proc.pp me;
+    init = initial me;
+    accepts = accepts me;
+    outputs;
+    apply;
+  }
+
+let component ?send_while_requested me =
+  let r = ref (initial ?send_while_requested me) in
+  (Vsgc_ioa.Component.pack_with_ref (def me) r, r)

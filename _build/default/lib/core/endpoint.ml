@@ -1,0 +1,162 @@
+(* Component packaging of the end-point automata, at each inheritance
+   layer, plus the crash/recovery layer of paper §8.
+
+   [`Wv]   packages WV_RFIFO_p alone (Figure 9);
+   [`Vs]   packages VS_RFIFO+TS_p (Figure 10) — no application blocking;
+   [`Full] packages GCS_p = VS_RFIFO+TS+SD_p (Figure 11).
+
+   A crashed end-point produces no outputs and ignores every input
+   except recover, which restarts the automaton from its initial state
+   (no stable storage, as in §8). *)
+
+open Vsgc_types
+
+type layer = [ `Wv | `Vs | `Full ]
+
+type t = { g : Gcs.t; layer : layer; crashed : bool }
+
+let initial ?strategy ?gc ?compact_sync ?hierarchy ~layer me =
+  { g = Gcs.initial ?strategy ?gc ?compact_sync ?hierarchy me; layer; crashed = false }
+
+let me st = Gcs.me st.g
+let gcs st = st.g
+let vs st = st.g.Gcs.vs
+let wv st = (vs st).Vs_rfifo_ts.wv
+let crashed st = st.crashed
+let current_view st = (wv st).Wv_rfifo.current_view
+
+let outputs st =
+  if st.crashed then []
+  else
+    let g = st.g in
+    let v = g.Gcs.vs in
+    let w = v.Vs_rfifo_ts.wv in
+    let p = w.Wv_rfifo.me in
+    let acc = ref [] in
+    let add a = acc := a :: !acc in
+    let target =
+      match st.layer with
+      | `Wv -> Wv_rfifo.reliable_target w
+      | `Vs | `Full -> Vs_rfifo_ts.reliable_target v
+    in
+    if Wv_rfifo.reliable_enabled w ~target then add (Action.Rf_reliable (p, target));
+    if Wv_rfifo.view_msg_send_enabled w then add (Wv_rfifo.view_msg_send_action w);
+    if Wv_rfifo.app_msg_send_enabled w then add (Wv_rfifo.app_msg_send_action w);
+    (match st.layer with
+    | `Wv -> ()
+    | `Vs ->
+        if Vs_rfifo_ts.sync_send_enabled v then add (Vs_rfifo_ts.sync_send_action v);
+        if Vs_rfifo_ts.marker_send_enabled v then add (Vs_rfifo_ts.marker_send_action v);
+        List.iter add (Vs_rfifo_ts.batch_sends v);
+        List.iter (fun c -> add (Vs_rfifo_ts.fwd_action v c)) (Vs_rfifo_ts.fwd_candidates v)
+    | `Full ->
+        if Gcs.block_enabled g then add (Action.Block p);
+        if Gcs.sync_send_enabled g then add (Vs_rfifo_ts.sync_send_action v);
+        if Gcs.marker_send_enabled g then add (Vs_rfifo_ts.marker_send_action v);
+        List.iter add (Vs_rfifo_ts.batch_sends v);
+        List.iter (fun c -> add (Vs_rfifo_ts.fwd_action v c)) (Vs_rfifo_ts.fwd_candidates v));
+    Proc.Set.iter
+      (fun q ->
+        let restricted =
+          match st.layer with `Wv -> true | `Vs | `Full -> Vs_rfifo_ts.deliver_restriction v q
+        in
+        if restricted && Wv_rfifo.deliver_enabled w q then
+          match Wv_rfifo.deliver_next w q with
+          | Some m -> add (Action.App_deliver (p, q, m))
+          | None -> ())
+      (Wv_rfifo.known_senders w);
+    let v' = w.Wv_rfifo.mbrshp_view in
+    if Wv_rfifo.view_enabled w v' then begin
+      match st.layer with
+      | `Wv -> add (Action.App_view (p, v', Proc.Set.empty))
+      | `Vs | `Full -> (
+          match Vs_rfifo_ts.view_ready v v' with
+          | Some tset -> add (Action.App_view (p, v', tset))
+          | None -> ())
+    end;
+    !acc
+
+let accepts p (a : Action.t) =
+  match a with
+  | Action.App_send (q, _)
+  | Action.Block_ok q
+  | Action.Mb_start_change (q, _, _)
+  | Action.Mb_view (q, _)
+  | Action.Crash q
+  | Action.Recover q -> Proc.equal p q
+  | Action.Rf_deliver (_, q, _) -> Proc.equal p q
+  | _ -> false
+
+let lift_wv st f = { st with g = Gcs.lift st.g (fun v -> Vs_rfifo_ts.lift v f) }
+let lift_vs st f = { st with g = Gcs.lift st.g f }
+
+let apply st (a : Action.t) =
+  let p = me st in
+  if st.crashed then
+    match a with
+    | Action.Recover q when Proc.equal p q ->
+        initial ~strategy:(vs st).Vs_rfifo_ts.strategy ~gc:(wv st).Wv_rfifo.gc
+          ~compact_sync:(vs st).Vs_rfifo_ts.compact_sync
+          ?hierarchy:(vs st).Vs_rfifo_ts.hierarchy ~layer:st.layer p
+    | _ -> st
+  else
+    match a with
+    (* inputs *)
+    | Action.App_send (_, m) -> lift_wv st (fun w -> Wv_rfifo.send_effect w m)
+    | Action.Mb_view (_, v) -> lift_wv st (fun w -> Wv_rfifo.mbrshp_view_effect w v)
+    | Action.Mb_start_change (_, cid, set) -> (
+        match st.layer with
+        | `Wv -> st
+        | `Vs | `Full -> lift_vs st (fun v -> Vs_rfifo_ts.start_change_effect v ~cid ~set))
+    | Action.Block_ok _ ->
+        if st.layer = `Full then { st with g = Gcs.block_ok_effect st.g } else st
+    | Action.Rf_deliver (q, _, w) -> (
+        match (w, st.layer) with
+        | Msg.Wire.Sync { cid; view; cut }, (`Vs | `Full) ->
+            lift_vs st (fun v -> Vs_rfifo_ts.recv_sync v q ~cid ~view ~cut)
+        | Msg.Wire.Sync_batch entries, (`Vs | `Full) ->
+            lift_vs st (fun v -> Vs_rfifo_ts.recv_batch v q entries)
+        | (Msg.Wire.Sync _ | Msg.Wire.Sync_batch _), `Wv -> st
+        | _ -> lift_wv st (fun wst -> Wv_rfifo.recv wst q w))
+    | Action.Crash _ -> { st with crashed = true }
+    | Action.Recover _ -> st
+    (* own outputs *)
+    | Action.Block _ -> { st with g = Gcs.block_effect st.g }
+    | Action.Rf_reliable (_, set) -> lift_wv st (fun w -> Wv_rfifo.reliable_effect w set)
+    | Action.Rf_send (_, _, Msg.Wire.View_msg _) -> lift_wv st Wv_rfifo.view_msg_send_effect
+    | Action.Rf_send (_, _, Msg.Wire.App _) -> lift_wv st Wv_rfifo.app_msg_send_effect
+    | Action.Rf_send (_, dests, Msg.Wire.Sync _) ->
+        lift_vs st (fun v -> Vs_rfifo_ts.sync_send_effect_for v ~dests)
+    | Action.Rf_send (_, dests, Msg.Wire.Sync_batch entries) ->
+        lift_vs st (fun v -> Vs_rfifo_ts.batch_send_effect v ~dests ~entries)
+    | Action.Rf_send (_, dests, Msg.Wire.Fwd f) ->
+        lift_vs st (fun v ->
+            Vs_rfifo_ts.fwd_effect v
+              { Vs_rfifo_ts.dests; origin = f.origin; fwd_view = f.view;
+                index = f.index; payload = f.msg })
+    | Action.App_deliver (_, q, _) -> lift_wv st (fun w -> Wv_rfifo.deliver_effect w q)
+    | Action.App_view (_, v, _) ->
+        (* child effects first, parent's last, in one atomic step *)
+        let st = if st.layer = `Full then { st with g = Gcs.view_effect st.g } else st in
+        let st =
+          match st.layer with
+          | `Wv -> st
+          | `Vs | `Full -> lift_vs st (fun vs -> Vs_rfifo_ts.view_effect vs v)
+        in
+        lift_wv st (fun w -> Wv_rfifo.view_effect w v)
+    | _ -> st
+
+let def ?strategy ?gc ?compact_sync ?hierarchy ?(layer = `Full) p :
+    t Vsgc_ioa.Component.def =
+  {
+    name = Fmt.str "gcs_%a" Proc.pp p;
+    init = initial ?strategy ?gc ?compact_sync ?hierarchy ~layer p;
+    accepts = accepts p;
+    outputs;
+    apply;
+  }
+
+let component ?strategy ?gc ?compact_sync ?hierarchy ?layer p =
+  let d = def ?strategy ?gc ?compact_sync ?hierarchy ?layer p in
+  let r = ref d.Vsgc_ioa.Component.init in
+  (Vsgc_ioa.Component.pack_with_ref d r, r)

@@ -1,0 +1,39 @@
+(** Component packaging of the end-point automata, at each inheritance
+    layer, plus the crash/recovery layer of paper §8.
+
+    A crashed end-point produces no outputs and ignores every input
+    except recover, which restarts the automaton from its initial state
+    under its original identity (no stable storage). *)
+
+open Vsgc_types
+
+type layer =
+  [ `Wv  (** WV_RFIFO_p alone (Figure 9) *)
+  | `Vs  (** VS_RFIFO+TS_p (Figure 10) — no application blocking *)
+  | `Full  (** GCS_p = VS_RFIFO+TS+SD_p (Figure 11) *) ]
+
+type t = { g : Gcs.t; layer : layer; crashed : bool }
+
+val initial :
+  ?strategy:Forwarding.kind -> ?gc:bool -> ?compact_sync:bool -> ?hierarchy:int ->
+  layer:layer -> Proc.t -> t
+val me : t -> Proc.t
+val gcs : t -> Gcs.t
+val vs : t -> Vs_rfifo_ts.t
+val wv : t -> Wv_rfifo.t
+val crashed : t -> bool
+val current_view : t -> View.t
+
+val outputs : t -> Action.t list
+val accepts : Proc.t -> Action.t -> bool
+val apply : t -> Action.t -> t
+
+val def :
+  ?strategy:Forwarding.kind -> ?gc:bool -> ?compact_sync:bool -> ?hierarchy:int ->
+  ?layer:layer -> Proc.t -> t Vsgc_ioa.Component.def
+
+val component :
+  ?strategy:Forwarding.kind -> ?gc:bool -> ?compact_sync:bool -> ?hierarchy:int ->
+  ?layer:layer -> Proc.t -> Vsgc_ioa.Component.packed * t ref
+(** Build the component with a typed state handle (used by the §6/§7
+    invariant checkers and the harness observations). *)

@@ -1,0 +1,23 @@
+(* Forwarding strategies for messages from disconnected end-points
+   (paper §5.2.2).
+
+   [Simple]: any end-point that has committed to deliver a message and
+   learns from a peer's synchronization message that the peer misses it
+   forwards the message — multiple copies of the same message may be
+   forwarded by different end-points.
+
+   [Min_copies]: once the membership view and all relevant
+   synchronization messages are known, the members of the transitional
+   set deterministically elect (by minimum identifier) a single member
+   to forward each missing message, so usually exactly one copy of each
+   message is sent.
+
+   [Off] disables forwarding; the pure within-view layer (Figure 9)
+   leaves the strategy open. *)
+
+type kind = Off | Simple | Min_copies
+
+let to_string = function
+  | Off -> "off"
+  | Simple -> "simple"
+  | Min_copies -> "min-copies"

@@ -1,0 +1,14 @@
+(** Forwarding strategies for messages from disconnected end-points
+    (paper §5.2.2).
+
+    [Simple]: any end-point that committed to deliver a message and
+    learns from a peer's synchronization message that the peer misses
+    it forwards the message — several holders may forward the same
+    copy. [Min_copies]: the minimum-id committed holder within the
+    transitional set forwards each missing message, so usually exactly
+    one copy travels. [Off] disables forwarding (the pure within-view
+    layer leaves the strategy open). *)
+
+type kind = Off | Simple | Min_copies
+
+val to_string : kind -> string

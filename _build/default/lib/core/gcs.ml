@@ -1,0 +1,43 @@
+(* The complete group-communication end-point automaton
+   GCS_p = VS_RFIFO+TS+SD_p (paper §5.3, Figure 11), a child of
+   VS_RFIFO+TS_p adding Self Delivery.
+
+   On the first start_change in a view the end-point issues block() to
+   its application and waits for block_ok() before sending its
+   synchronization message; the cut it then commits to covers every
+   message the (now silent) application sent in the current view, so
+   all of them are delivered before the next view. *)
+
+(* no module-level opens needed *)
+
+type block_status = Unblocked | Requested | Blocked
+
+type t = { vs : Vs_rfifo_ts.t; block_status : block_status }
+
+let initial ?strategy ?gc ?compact_sync ?hierarchy me =
+  { vs = Vs_rfifo_ts.initial ?strategy ?gc ?compact_sync ?hierarchy me;
+    block_status = Unblocked }
+
+let me t = Vs_rfifo_ts.me t.vs
+
+(* -- OUTPUT block_p() --------------------------------------------------- *)
+
+let block_enabled t = t.vs.Vs_rfifo_ts.start_change <> None && t.block_status = Unblocked
+let block_effect t = { t with block_status = Requested }
+
+(* -- INPUT block_ok_p() ------------------------------------------------- *)
+
+let block_ok_effect t = { t with block_status = Blocked }
+
+(* -- OUTPUT co_rfifo.send_p(sync_msg): child precondition ---------------- *)
+
+let sync_send_enabled t = t.block_status = Blocked && Vs_rfifo_ts.sync_send_enabled t.vs
+
+let marker_send_enabled t =
+  t.block_status = Blocked && Vs_rfifo_ts.marker_send_enabled t.vs
+
+(* -- OUTPUT view_p(v, T): child effect ----------------------------------- *)
+
+let view_effect t = { t with block_status = Unblocked }
+
+let lift t f = { t with vs = f t.vs }

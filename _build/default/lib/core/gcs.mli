@@ -1,0 +1,31 @@
+(** The complete group-communication end-point automaton
+    GCS_p = VS_RFIFO+TS+SD_p (paper §5.3, Figure 11), a child of
+    {!Vs_rfifo_ts} adding Self Delivery via client blocking. *)
+
+type block_status = Unblocked | Requested | Blocked
+
+type t = { vs : Vs_rfifo_ts.t; block_status : block_status }
+
+val initial :
+  ?strategy:Forwarding.kind -> ?gc:bool -> ?compact_sync:bool -> ?hierarchy:int ->
+  Vsgc_types.Proc.t -> t
+val me : t -> Vsgc_types.Proc.t
+
+val block_enabled : t -> bool
+(** OUTPUT block_p(): a change is pending and the client is unblocked. *)
+
+val block_effect : t -> t
+val block_ok_effect : t -> t
+
+val sync_send_enabled : t -> bool
+(** The child's extra precondition: the client must be blocked before
+    the cut is published, so the cut covers every client message of the
+    current view — the key to Self Delivery (Invariant 6.13). *)
+
+val marker_send_enabled : t -> bool
+(** The §5.2.4 marker, gated by blocking like the full sync message. *)
+
+val view_effect : t -> t
+(** Child effect of view_p: unblock the client. *)
+
+val lift : t -> (Vs_rfifo_ts.t -> Vs_rfifo_ts.t) -> t

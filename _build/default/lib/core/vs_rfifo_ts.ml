@@ -1,0 +1,560 @@
+(* The virtually synchronous reliable FIFO multicast and transitional
+   set end-point automaton VS_RFIFO+TS_p (paper §5.2, Figure 10), a
+   child of WV_RFIFO_p.
+
+   On a start_change notification the end-point reliably sends its
+   peers a synchronization message tagged with the (locally unique)
+   start_change identifier, carrying its current view and a cut: for
+   each sender, the index of the last message it commits to deliver
+   before installing any view whose startId maps this end-point to that
+   identifier. Because the membership view itself carries the startId
+   map, all end-points moving from view v to view v' select the same
+   set of synchronization messages — no pre-agreed global tag is needed,
+   which is what lets the virtual-synchrony round run in parallel with
+   the membership round. *)
+
+open Vsgc_types
+module Sc_map = Map.Make (Int)
+module Sc_set = Set.Make (Int)
+
+module Fwd_key = struct
+  (* (destination, origin, view, index) — the paper's forwarded_set *)
+  type t = Proc.t * Proc.t * View.t * int
+
+  let compare (a, b, v, i) (a', b', v', i') =
+    match Proc.compare a a' with
+    | 0 -> (
+        match Proc.compare b b' with
+        | 0 -> ( match View.compare v v' with 0 -> Int.compare i i' | r -> r)
+        | r -> r)
+    | r -> r
+end
+
+module Fwd_set = Set.Make (Fwd_key)
+
+type sync = { view : View.t; cut : Msg.Cut.t }
+
+type t = {
+  wv : Wv_rfifo.t;  (* parent state; only parent effects modify it *)
+  start_change : (View.Sc_id.t * Proc.Set.t) option;
+  sync_msgs : sync Sc_map.t Proc.Map.t;  (* sync_msg[q][cid] *)
+  forwarded : Fwd_set.t;
+  strategy : Forwarding.kind;
+  compact_sync : bool;
+      (* §5.2.4 optimization: processes outside the current view cannot
+         be in each other's transitional sets, so they only need a
+         small marker ("I am not in your transitional set") instead of
+         the full view and cut *)
+  marker_sent : Sc_set.t;  (* start_change ids whose marker went out *)
+  (* §9 two-tier hierarchy: with [hierarchy = Some g], the start_change
+     set is partitioned into g groups (by id modulo g); members send
+     their synchronization messages only to their group leader (the
+     minimum member), and leaders aggregate them into batches exchanged
+     leader-to-leader and disseminated within each group — trading one
+     round of latency per tier for O(n + g²) messages instead of O(n²). *)
+  hierarchy : int option;
+  am_leader : bool;  (* per the last change; persists so relays keep
+                        flowing to laggards after this leader installs *)
+  leader_dests : Proc.Set.t;  (* the other groups' leaders, per the last change *)
+  group_dests : Proc.Set.t;  (* this process's group peers, per the last change *)
+  change_set : Proc.Set.t;  (* the start_change set of the last change *)
+  prior_cids : View.Sc_id.t Proc.Map.t;
+      (* the startId map of the last installed view (accumulated): a
+         sync is FRESH (relevant to a pending change) iff its identifier
+         is strictly newer than the one consumed by the current view —
+         the hierarchical analogue of the paper's "which synchronization
+         messages to consider" problem, answerable without agreement
+         because installed views carry their startId maps *)
+  shipped_l : Msg.Wire.sync_entry list;  (* last leader-ward batch shipped *)
+  shipped_g : Msg.Wire.sync_entry list;  (* last group-ward batch shipped *)
+}
+
+let initial ?(strategy = Forwarding.Simple) ?gc ?(compact_sync = false) ?hierarchy me =
+  {
+    wv = Wv_rfifo.initial ?gc me;
+    start_change = None;
+    sync_msgs = Proc.Map.empty;
+    forwarded = Fwd_set.empty;
+    strategy;
+    compact_sync;
+    marker_sent = Sc_set.empty;
+    hierarchy;
+    am_leader = false;
+    leader_dests = Proc.Set.empty;
+    group_dests = Proc.Set.empty;
+    change_set = Proc.Set.empty;
+    prior_cids = Proc.Map.empty;
+    shipped_l = [];
+    shipped_g = [];
+  }
+
+let me t = t.wv.Wv_rfifo.me
+let current_view t = t.wv.Wv_rfifo.current_view
+let mbrshp_view t = t.wv.Wv_rfifo.mbrshp_view
+
+let sync_msg t q cid =
+  match Proc.Map.find_opt q t.sync_msgs with
+  | None -> None
+  | Some per_cid -> Sc_map.find_opt cid per_cid
+
+let set_sync_msg t q cid s =
+  let per_cid =
+    match Proc.Map.find_opt q t.sync_msgs with None -> Sc_map.empty | Some x -> x
+  in
+  { t with sync_msgs = Proc.Map.add q (Sc_map.add cid s per_cid) t.sync_msgs }
+
+(* The latest (largest-cid) synchronization message received from q. *)
+let latest_sync t q =
+  match Proc.Map.find_opt q t.sync_msgs with
+  | None -> None
+  | Some per_cid -> (
+      match Sc_map.max_binding_opt per_cid with
+      | None -> None
+      | Some (cid, s) -> Some (cid, s))
+
+let own_sync t =
+  match t.start_change with
+  | None -> None
+  | Some (cid, _) -> sync_msg t (me t) cid
+
+(* -- Two-tier hierarchy helpers (§9) ------------------------------------- *)
+
+(* Partition [set] into g groups by identifier modulo g; each group's
+   leader is its minimum member. *)
+let group_members ~g set p =
+  Proc.Set.filter (fun q -> Proc.to_int q mod g = Proc.to_int p mod g) set
+
+let leader_of ~g set p =
+  match Proc.Set.min_elt_opt (group_members ~g set p) with
+  | Some l -> l
+  | None -> p
+
+let all_leaders ~g set =
+  Proc.Set.fold (fun q acc -> Proc.Set.add (leader_of ~g set q) acc) set Proc.Set.empty
+
+let is_leader t = t.hierarchy <> None && t.am_leader
+
+(* -- INPUT mbrshp.start_change_p(id, set) ------------------------------- *)
+
+let start_change_effect t ~cid ~set =
+  let t = { t with start_change = Some (cid, set) } in
+  match t.hierarchy with
+  | Some g when Proc.Set.mem (me t) set ->
+      { t with
+        am_leader = Proc.equal (leader_of ~g set (me t)) (me t);
+        leader_dests = Proc.Set.remove (leader_of ~g set (me t)) (all_leaders ~g set);
+        group_dests = Proc.Set.remove (me t) (group_members ~g set (me t));
+        change_set = set;
+        (* freshness baseline: the syncs consumed by the view we hold
+           NOW. It must not advance before the next change — relays for
+           this change keep serving laggards after we install. *)
+        prior_cids =
+          Proc.Set.fold
+            (fun q acc -> Proc.Map.add q (View.start_id (current_view t) q) acc)
+            (View.set (current_view t))
+            t.prior_cids;
+        shipped_l = [];
+        shipped_g = [] }
+  | _ -> t
+
+(* -- OUTPUT co_rfifo.reliable_p(set): the child pins the parameter ------ *)
+
+let reliable_target t =
+  match t.start_change with
+  | None -> View.set (current_view t)
+  | Some (_, set) -> Proc.Set.union (View.set (current_view t)) set
+
+(* -- OUTPUT co_rfifo.send_p(set, sync_msg) ------------------------------ *)
+
+let sync_send_enabled t =
+  match t.start_change with
+  | None -> false
+  | Some (cid, set) ->
+      Proc.Set.subset set t.wv.Wv_rfifo.reliable_set
+      && sync_msg t (me t) cid = None
+
+let sync_cut t =
+  (* cut(q) = LongestPrefixOf(msgs[q][current_view]) for view members:
+     commit only to messages already buffered (liveness, §5.2.1). *)
+  let v = current_view t in
+  Proc.Set.fold
+    (fun q acc -> Msg.Cut.set acc q (Wv_rfifo.longest_prefix t.wv q v))
+    (View.set v) Msg.Cut.empty
+
+(* The full synchronization message goes to the start_change set; with
+   compact_sync, only to the peers sharing the current view; with the
+   hierarchy, only to the group leader (who relays). *)
+let full_sync_dests t =
+  match t.start_change with
+  | Some (_, set) -> (
+      match t.hierarchy with
+      | Some g -> Proc.Set.remove (me t) (Proc.Set.singleton (leader_of ~g set (me t)))
+      | None ->
+          let all = Proc.Set.remove (me t) set in
+          if t.compact_sync then Proc.Set.inter all (View.set (current_view t)) else all)
+  | None -> Proc.Set.empty
+
+(* §5.2.4: the marker for peers outside the current view — a sync
+   tagged with the start_change id whose view is the sender's initial
+   singleton (which no receiver can ever have as its current view, so
+   the sender is never placed in their transitional sets) and an empty
+   cut. Semantically "I am not in your transitional set", and small. *)
+let marker_dests t =
+  match t.start_change with
+  | Some (_, set) ->
+      Proc.Set.diff (Proc.Set.remove (me t) set) (View.set (current_view t))
+  | None -> Proc.Set.empty
+
+let marker_send_enabled t =
+  t.compact_sync && t.hierarchy = None
+  && (match t.start_change with
+     | Some (cid, set) ->
+         Proc.Set.subset set t.wv.Wv_rfifo.reliable_set
+         && (not (Sc_set.mem cid t.marker_sent))
+         && not (Proc.Set.is_empty (marker_dests t))
+     | None -> false)
+
+let marker_send_action t =
+  match t.start_change with
+  | Some (cid, _) ->
+      Action.Rf_send
+        ( me t,
+          marker_dests t,
+          Msg.Wire.Sync { cid; view = View.initial (me t); cut = Msg.Cut.empty } )
+  | None -> invalid_arg "Vs_rfifo_ts.marker_send_action: no start_change"
+
+let marker_send_effect t =
+  match t.start_change with
+  | Some (cid, _) -> { t with marker_sent = Sc_set.add cid t.marker_sent }
+  | None -> t
+
+let sync_send_action t =
+  match t.start_change with
+  | Some (cid, _) ->
+      Action.Rf_send
+        ( me t,
+          full_sync_dests t,
+          Msg.Wire.Sync { cid; view = current_view t; cut = sync_cut t } )
+  | None -> invalid_arg "Vs_rfifo_ts.sync_send_action: no start_change"
+
+let sync_send_effect t =
+  match t.start_change with
+  | Some (cid, _) ->
+      set_sync_msg t (me t) cid { view = current_view t; cut = sync_cut t }
+  | None -> t
+
+(* Dispatch an own Sync-send effect. Marker sends exist only in
+   compact mode without the hierarchy, and always target exactly the
+   peers outside the current view; everything else is the full sync.
+   (Under the hierarchy the full sync goes to the group leader, which
+   may itself lie outside the current view — hence the exact-set match,
+   not a subset test.) *)
+let sync_send_effect_for t ~dests =
+  if
+    t.compact_sync && t.hierarchy = None
+    && (not (Proc.Set.is_empty dests))
+    && Proc.Set.equal dests (marker_dests t)
+  then marker_send_effect t
+  else sync_send_effect t
+
+(* -- INPUT co_rfifo.deliver_{q,p}(sync_msg) ----------------------------- *)
+
+let recv_sync t q ~cid ~view ~cut = set_sync_msg t q cid { view; cut }
+
+(* A batch from a leader: record every entry. *)
+let recv_batch t _q entries =
+  List.fold_left
+    (fun t (e : Msg.Wire.sync_entry) ->
+      set_sync_msg t e.Msg.Wire.origin e.Msg.Wire.cid
+        { view = e.Msg.Wire.sview; cut = e.Msg.Wire.cut })
+    t entries
+
+(* -- OUTPUT co_rfifo.send_p(set, sync_batch): leader relaying (§9) ------- *)
+
+(* The latest sync of q, provided it is FRESH — strictly newer than the
+   snapshot taken when the current change began. *)
+let fresh_entry t q =
+  match latest_sync t q with
+  | Some (cid, sm)
+    when View.Sc_id.compare cid
+           (Proc.Map.find_default ~default:View.Sc_id.zero q t.prior_cids)
+         > 0 ->
+      Some { Msg.Wire.origin = q; cid; sview = sm.view; cut = sm.cut }
+  | _ -> None
+
+(* A leader's batches are derived declaratively from its recorded
+   synchronization messages: the leader-ward batch carries its own
+   group's fresh syncs (shipped to the other leaders once the group is
+   covered), the group-ward batch carries everyone's fresh syncs
+   (shipped to its members once the whole change set is covered). A
+   batch re-ships whenever its content changes — e.g. when a member
+   replaces its sync because the membership changed its mind — so
+   laggards are never stranded, at worst one extra batch per change. *)
+let derive_batch t need =
+  let entries = List.filter_map (fresh_entry t) (Proc.Set.elements need) in
+  if List.length entries = Proc.Set.cardinal need then Some entries else None
+
+let batch_sends t =
+  if t.hierarchy = None || not t.am_leader then []
+  else
+    let own_group = Proc.Set.add (me t) t.group_dests in
+    let mk dests need shipped =
+      if Proc.Set.is_empty dests then None
+      else
+        match derive_batch t need with
+        | Some entries when entries <> shipped ->
+            Some (Action.Rf_send (me t, dests, Msg.Wire.Sync_batch entries))
+        | _ -> None
+    in
+    List.filter_map Fun.id
+      [
+        mk t.leader_dests own_group t.shipped_l;
+        mk t.group_dests t.change_set t.shipped_g;
+      ]
+
+(* Effect of an own batch send: record what was shipped on the matching
+   direction (destination sets are disjoint, content may coincide). *)
+let batch_send_effect t ~dests ~entries =
+  if Proc.Set.equal dests t.leader_dests then { t with shipped_l = entries }
+  else if Proc.Set.equal dests t.group_dests then { t with shipped_g = entries }
+  else t
+
+(* -- The transitional set for a prospective view v' --------------------- *)
+
+(* Members of v'.set ∩ current_view.set whose synchronization message
+   (tagged with v'.startId(q)) says they move to v' from this same
+   current view. *)
+let transitional_set t v' =
+  let v = current_view t in
+  Proc.Set.filter
+    (fun q ->
+      match sync_msg t q (View.start_id v' q) with
+      | Some s -> View.equal s.view v
+      | None -> false)
+    (Proc.Set.inter (View.set v') (View.set v))
+
+(* -- OUTPUT deliver_p(q, m): the child's restriction -------------------- *)
+
+(* Figure 10: once the end-point has sent its own synchronization
+   message, it may deliver messages only up to the committed cuts —
+   its own before the membership view is known, the transitional-set
+   members' maximum afterwards. *)
+let deliver_restriction t q =
+  match t.start_change with
+  | None -> true
+  | Some (cid, _) -> (
+      match sync_msg t (me t) cid with
+      | None -> true
+      | Some own ->
+          let next = Wv_rfifo.last_dlvrd t.wv q + 1 in
+          let mb = mbrshp_view t in
+          let mb_cid =
+            if View.mem (me t) mb then Some (View.start_id mb (me t)) else None
+          in
+          if mb_cid <> Some cid then next <= Msg.Cut.get own.cut q
+          else
+            let s =
+              Proc.Set.filter
+                (fun r ->
+                  match sync_msg t r (View.start_id mb r) with
+                  | Some sm -> View.equal sm.view (current_view t)
+                  | None -> false)
+                (Proc.Set.inter (View.set mb) (View.set (current_view t)))
+            in
+            let cuts =
+              Proc.Set.fold
+                (fun r acc ->
+                  match sync_msg t r (View.start_id mb r) with
+                  | Some sm -> sm.cut :: acc
+                  | None -> acc)
+                s []
+            in
+            next <= Msg.Cut.max_over cuts q)
+
+(* -- OUTPUT view_p(v, T): the child's restriction ----------------------- *)
+
+let view_ready t v' =
+  match t.start_change with
+  | None -> None
+  | Some (cid, _) ->
+      if not (View.mem (me t) v') then None
+      else if not (View.Sc_id.equal (View.start_id v' (me t)) cid) then
+        (* prevents delivery of views already known to be obsolete *)
+        None
+      else
+        let inter = Proc.Set.inter (View.set v') (View.set (current_view t)) in
+        let all_syncs =
+          Proc.Set.for_all (fun q -> sync_msg t q (View.start_id v' q) <> None) inter
+        in
+        if not all_syncs then None
+        else
+          let tset = transitional_set t v' in
+          let cuts =
+            Proc.Set.fold
+              (fun r acc ->
+                match sync_msg t r (View.start_id v' r) with
+                | Some sm -> sm.cut :: acc
+                | None -> acc)
+              tset []
+          in
+          let delivered_all =
+            Proc.Set.for_all
+              (fun q -> Wv_rfifo.last_dlvrd t.wv q = Msg.Cut.max_over cuts q)
+              (View.set (current_view t))
+          in
+          if delivered_all then Some tset else None
+
+let view_effect t _v = { t with start_change = None }
+
+(* -- OUTPUT co_rfifo.send_p(set, fwd_msg): strategies (§5.2.2) ---------- *)
+
+type fwd_candidate = {
+  dests : Proc.Set.t;
+  origin : Proc.t;
+  fwd_view : View.t;
+  index : int;
+  payload : Msg.App_msg.t;
+}
+
+(* Remove destinations already served; drop empty candidates. *)
+let prune_forwarded t (c : fwd_candidate) =
+  let dests =
+    Proc.Set.filter
+      (fun q -> not (Fwd_set.mem (q, c.origin, c.fwd_view, c.index) t.forwarded))
+      c.dests
+  in
+  if Proc.Set.is_empty dests then None else Some { c with dests }
+
+(* Simple strategy: forward to any peer whose latest synchronization
+   message was sent in the same view as our own latest commitment and
+   admits a gap below it, unless we know the peer has moved to a later
+   view. Forwarding keeps going after we install the next view — peers
+   still stuck behind the cut depend on it. *)
+let simple_candidates t =
+  match latest_sync t (me t) with
+  | None -> []
+  | Some (_, own) ->
+      let v0 = own.view in
+        Proc.Map.fold
+          (fun q _ acc ->
+            if Proc.equal q (me t) then acc
+            else
+              match latest_sync t q with
+              | Some (_, sq) when View.equal sq.view v0 ->
+                  let moved_on =
+                    View.Id.lt (View.id v0) (View.id (Wv_rfifo.view_msg_of t.wv q))
+                  in
+                  if moved_on then acc
+                  else
+                    Proc.Set.fold
+                      (fun r acc ->
+                        if Proc.equal r q then acc
+                        else
+                          let lo = Msg.Cut.get sq.cut r and hi = Msg.Cut.get own.cut r in
+                          let rec collect i acc =
+                            if i > hi then acc
+                            else
+                              match Wv_rfifo.msgs_get t.wv r v0 i with
+                              | Some m ->
+                                  collect (i + 1)
+                                    ({ dests = Proc.Set.singleton q; origin = r;
+                                       fwd_view = v0; index = i; payload = m }
+                                     :: acc)
+                              | None -> collect (i + 1) acc
+                          in
+                          collect (lo + 1) acc)
+                      (View.set v0) acc
+              | _ -> acc)
+          t.sync_msgs []
+
+(* Min-copies strategy: with the membership view and all relevant
+   synchronization messages in hand, the minimum-id member of the
+   transitional set that holds a missing message forwards it to exactly
+   the members that miss it. Only messages from non-members of T are
+   forwarded (members of T deliver their own messages directly). *)
+let min_copies_candidates t =
+  let mb = mbrshp_view t in
+  if not (View.mem (me t) mb) then []
+  else
+    match sync_msg t (me t) (View.start_id mb (me t)) with
+    | Some own ->
+        let v0 = own.view in
+        let inter = Proc.Set.inter (View.set mb) (View.set v0) in
+        let all_syncs =
+          Proc.Set.for_all (fun q -> sync_msg t q (View.start_id mb q) <> None) inter
+        in
+        if not all_syncs then []
+        else
+          let tset =
+            Proc.Set.filter
+              (fun q ->
+                match sync_msg t q (View.start_id mb q) with
+                | Some s -> View.equal s.view v0
+                | None -> false)
+              inter
+          in
+          let cut_of u =
+            match sync_msg t u (View.start_id mb u) with
+            | Some s -> s.cut
+            | None -> Msg.Cut.empty
+          in
+          Proc.Set.fold
+            (fun r acc ->
+              if Proc.Set.mem r tset then acc
+              else
+                let hi =
+                  Proc.Set.fold (fun u m -> max m (Msg.Cut.get (cut_of u) r)) tset 0
+                in
+                let rec per_index i acc =
+                  if i > hi then acc
+                  else
+                    let haves =
+                      Proc.Set.filter (fun u -> Msg.Cut.get (cut_of u) r >= i) tset
+                    in
+                    let missing =
+                      Proc.Set.filter (fun u -> Msg.Cut.get (cut_of u) r < i) tset
+                    in
+                    let acc =
+                      match Proc.Set.min_elt_opt haves with
+                      | Some u
+                        when Proc.equal u (me t) && not (Proc.Set.is_empty missing) -> (
+                          match Wv_rfifo.msgs_get t.wv r v0 i with
+                          | Some m ->
+                              { dests = missing; origin = r; fwd_view = v0;
+                                index = i; payload = m }
+                              :: acc
+                          | None -> acc)
+                      | _ -> acc
+                    in
+                    per_index (i + 1) acc
+                in
+                per_index 1 acc)
+            (View.set v0) []
+    | None -> []
+
+let fwd_candidates t =
+  let raw =
+    match t.strategy with
+    | Forwarding.Off -> []
+    | Forwarding.Simple -> simple_candidates t
+    | Forwarding.Min_copies -> min_copies_candidates t
+  in
+  List.filter_map (prune_forwarded t) raw
+
+let fwd_action t (c : fwd_candidate) =
+  Action.Rf_send
+    ( me t,
+      c.dests,
+      Msg.Wire.Fwd { origin = c.origin; view = c.fwd_view; index = c.index; msg = c.payload } )
+
+let fwd_effect t (c : fwd_candidate) =
+  let forwarded =
+    Proc.Set.fold
+      (fun q acc -> Fwd_set.add (q, c.origin, c.fwd_view, c.index) acc)
+      c.dests t.forwarded
+  in
+  { t with forwarded }
+
+(* -- Lifting parent transitions ----------------------------------------- *)
+
+let lift t f = { t with wv = f t.wv }

@@ -1,0 +1,156 @@
+(** The virtually synchronous reliable FIFO multicast and transitional
+    set end-point automaton VS_RFIFO+TS_p (paper §5.2, Figure 10), a
+    child of {!Wv_rfifo}.
+
+    On a start_change the end-point reliably multicasts a
+    synchronization message tagged with the locally unique start_change
+    identifier, carrying its current view and its cut. Because the
+    membership view itself carries the [startId] map, all end-points
+    moving from view v to v' select the same synchronization messages —
+    no pre-agreed global tag, so this round runs in parallel with the
+    membership's. *)
+
+open Vsgc_types
+module Sc_map : Map.S with type key = int
+module Sc_set : Set.S with type elt = int
+
+module Fwd_set : Set.S with type elt = Proc.t * Proc.t * View.t * int
+(** The paper's forwarded_set: (destination, origin, view, index). *)
+
+type sync = { view : View.t; cut : Msg.Cut.t }
+(** The content of a synchronization message. *)
+
+type t = {
+  wv : Wv_rfifo.t;  (** parent state; only parent effects modify it *)
+  start_change : (View.Sc_id.t * Proc.Set.t) option;
+  sync_msgs : sync Sc_map.t Proc.Map.t;  (** sync_msg[q][cid] *)
+  forwarded : Fwd_set.t;
+  strategy : Forwarding.kind;
+  compact_sync : bool;
+      (** §5.2.4 optimization: peers outside the current view receive a
+          small marker instead of the full view and cut *)
+  marker_sent : Sc_set.t;
+  hierarchy : int option;
+      (** §9 two-tier hierarchy: with [Some g], members send their
+          synchronization messages only to their group leader (by id
+          modulo g), and leaders exchange and disseminate aggregated
+          batches — O(n + g²) messages instead of O(n²), for extra
+          latency *)
+  am_leader : bool;
+  leader_dests : Proc.Set.t;
+  group_dests : Proc.Set.t;
+  change_set : Proc.Set.t;
+  prior_cids : View.Sc_id.t Proc.Map.t;
+      (** the last installed view's startId map (accumulated): a sync is
+          fresh (relevant to a pending change) iff strictly newer *)
+  shipped_l : Msg.Wire.sync_entry list;
+  shipped_g : Msg.Wire.sync_entry list;
+}
+
+val initial :
+  ?strategy:Forwarding.kind -> ?gc:bool -> ?compact_sync:bool -> ?hierarchy:int ->
+  Proc.t -> t
+(** [strategy] defaults to {!Forwarding.Simple}; [compact_sync] to
+    [false] (the unoptimized Figure 10 automaton); [hierarchy] to
+    direct all-to-all synchronization. *)
+
+val leader_of : g:int -> Proc.Set.t -> Proc.t -> Proc.t
+val all_leaders : g:int -> Proc.Set.t -> Proc.Set.t
+val is_leader : t -> bool
+
+val me : t -> Proc.t
+val current_view : t -> View.t
+val mbrshp_view : t -> View.t
+val sync_msg : t -> Proc.t -> View.Sc_id.t -> sync option
+val latest_sync : t -> Proc.t -> (View.Sc_id.t * sync) option
+val own_sync : t -> sync option
+(** This end-point's synchronization message for the pending
+    start_change, if already sent. *)
+
+(** {1 Transitions (Figure 10)} *)
+
+val start_change_effect : t -> cid:View.Sc_id.t -> set:Proc.Set.t -> t
+
+val reliable_target : t -> Proc.Set.t
+(** The child pins co_rfifo.reliable's parameter: current members
+    united with the start_change set. *)
+
+val sync_send_enabled : t -> bool
+val sync_cut : t -> Msg.Cut.t
+(** cut(q) = LongestPrefixOf(msgs[q][current_view]): commit only to
+    buffered messages (the liveness argument of §5.2.1). *)
+
+val sync_send_action : t -> Action.t
+val sync_send_effect : t -> t
+
+val full_sync_dests : t -> Proc.Set.t
+val marker_dests : t -> Proc.Set.t
+val marker_send_enabled : t -> bool
+val marker_send_action : t -> Action.t
+(** §5.2.4: the "I am not in your transitional set" marker — a sync
+    whose view is the sender's initial singleton (never any receiver's
+    current view) with an empty cut. *)
+
+val marker_send_effect : t -> t
+
+val sync_send_effect_for : t -> dests:Proc.Set.t -> t
+(** Dispatch an own Sync-send effect by destination set: markers go
+    wholly outside the current view, full syncs do not. *)
+
+val recv_sync : t -> Proc.t -> cid:View.Sc_id.t -> view:View.t -> cut:Msg.Cut.t -> t
+
+val recv_batch : t -> Proc.t -> Msg.Wire.sync_entry list -> t
+(** A leader's aggregated batch: record every entry. *)
+
+val fresh_entry : t -> Proc.t -> Msg.Wire.sync_entry option
+(** The latest sync of q, when strictly newer than the change-start
+    snapshot. *)
+
+val batch_sends : t -> Action.t list
+(** The leader's due batches (§9): leader-ward once its own group is
+    covered by fresh syncs, group-ward once the whole change set is;
+    re-shipped whenever the derived content changes. *)
+
+val batch_send_effect : t -> dests:Proc.Set.t -> entries:Msg.Wire.sync_entry list -> t
+
+val transitional_set : t -> View.t -> Proc.Set.t
+(** Members of v'.set ∩ current_view.set whose synchronization message
+    tagged v'.startId(q) names this same current view (Property 4.1). *)
+
+val deliver_restriction : t -> Proc.t -> bool
+(** The child's precondition on deliver_p(q, m): once the own cut is
+    out, never deliver beyond it (before the membership view is known)
+    or beyond the transitional members' maximum (after). *)
+
+val view_ready : t -> View.t -> Proc.Set.t option
+(** The child's precondition on view_p(v', T): [Some T] when v' names
+    this end-point's pending start_change id (obsolete views are
+    skipped), all relevant synchronization messages are in, and the
+    delivered counts equal the agreed cuts. *)
+
+val view_effect : t -> View.t -> t
+(** Child effect of view_p: clear the pending start_change. (The §9
+    freshness baseline advances only at the NEXT start_change, so that
+    a leader keeps relaying this change's syncs to laggards after it
+    has itself installed the view.) *)
+
+(** {1 Forwarding (§5.2.2)} *)
+
+type fwd_candidate = {
+  dests : Proc.Set.t;
+  origin : Proc.t;
+  fwd_view : View.t;
+  index : int;
+  payload : Msg.App_msg.t;
+}
+
+val fwd_candidates : t -> fwd_candidate list
+(** Enabled forwards under the configured strategy, minus the
+    already-forwarded set. *)
+
+val fwd_action : t -> fwd_candidate -> Action.t
+val fwd_effect : t -> fwd_candidate -> t
+
+val lift : t -> (Wv_rfifo.t -> Wv_rfifo.t) -> t
+(** Apply a parent transition (the child never writes parent state
+    directly — the inheritance discipline of §2). *)

@@ -1,0 +1,196 @@
+(* The within-view reliable FIFO multicast end-point automaton
+   WV_RFIFO_p (paper §5.1, Figure 9).
+
+   This is the base layer of the inheritance tower. It forwards
+   membership views to the application unchanged (preserving Local
+   Monotonicity and Self Inclusion), and synchronizes message delivery
+   with views so that every message is delivered in the view in which
+   it was sent: a view_msg marker is sent down each CO_RFIFO stream
+   before any application message of a new view, and received messages
+   are filed under the view conveyed by the sender's latest marker.
+
+   Every guard ([*_enabled]) and effect ([*_effect]) below corresponds
+   to a pre:/eff: block of Figure 9; the child layers conjoin their own
+   preconditions and prepend their own effects (paper §2, inheritance). *)
+
+open Vsgc_types
+module Int_map = Map.Make (Int)
+
+type t = {
+  me : Proc.t;
+  (* msgs[q][v][i] — 1-based sparse sequences per sender per view *)
+  msgs : Msg.App_msg.t Int_map.t View.Map.t Proc.Map.t;
+  last_sent : int;
+  last_rcvd : int Proc.Map.t;  (* default 0 *)
+  last_dlvrd : int Proc.Map.t;  (* default 0 *)
+  current_view : View.t;
+  mbrshp_view : View.t;
+  view_msg : View.t Proc.Map.t;  (* default: q's initial view *)
+  reliable_set : Proc.Set.t;
+  gc : bool;
+      (* §5.1 note: a real implementation discards buffers of old
+         views. With [gc] set, installing a view drops every buffer
+         whose view identifier is below the PREVIOUS current view's —
+         those can never again be delivered (identifiers only grow)
+         nor forwarded (forwarding serves the latest cut's view).
+         Off by default: the proof-faithful automaton never discards,
+         and the §6 invariants quantify over the full buffers. *)
+}
+
+let initial ?(gc = false) me =
+  {
+    me;
+    msgs = Proc.Map.empty;
+    last_sent = 0;
+    last_rcvd = Proc.Map.empty;
+    last_dlvrd = Proc.Map.empty;
+    current_view = View.initial me;
+    mbrshp_view = View.initial me;
+    view_msg = Proc.Map.empty;
+    reliable_set = Proc.Set.singleton me;
+    gc;
+  }
+
+(* -- Message-queue helpers -------------------------------------------- *)
+
+let queue_of t q v =
+  match Proc.Map.find_opt q t.msgs with
+  | None -> Int_map.empty
+  | Some per_view -> (
+      match View.Map.find_opt v per_view with
+      | None -> Int_map.empty
+      | Some m -> m)
+
+let msgs_get t q v i = Int_map.find_opt i (queue_of t q v)
+
+let msgs_set t q v i m =
+  let per_view =
+    match Proc.Map.find_opt q t.msgs with None -> View.Map.empty | Some x -> x
+  in
+  let qmap = match View.Map.find_opt v per_view with None -> Int_map.empty | Some x -> x in
+  { t with
+    msgs = Proc.Map.add q (View.Map.add v (Int_map.add i m qmap) per_view) t.msgs }
+
+(* Largest k such that indices 1..k are all present — the paper's
+   LongestPrefixOf(msgs[q][v]). *)
+let longest_prefix t q v =
+  let qmap = queue_of t q v in
+  let rec go k = if Int_map.mem (k + 1) qmap then go (k + 1) else k in
+  go 0
+
+(* Index of the last element — LastIndexOf(msgs[q][v]). Own queues are
+   contiguous, so for them this equals the longest prefix. *)
+let last_index t q v =
+  match Int_map.max_binding_opt (queue_of t q v) with
+  | None -> 0
+  | Some (i, _) -> i
+
+let last_rcvd t q = Proc.Map.find_default ~default:0 q t.last_rcvd
+let last_dlvrd t q = Proc.Map.find_default ~default:0 q t.last_dlvrd
+let view_msg_of t q = Proc.Map.find_default ~default:(View.initial q) q t.view_msg
+
+(* Senders that may have deliverable messages in the current view. *)
+let known_senders t =
+  Proc.Set.union (View.set t.current_view) (Proc.Map.key_set t.msgs)
+
+(* -- INPUT mbrshp.view_p(v) ------------------------------------------- *)
+
+let mbrshp_view_effect t v = { t with mbrshp_view = v }
+
+(* -- OUTPUT view_p(v) -------------------------------------------------- *)
+
+let view_enabled t v =
+  View.equal v t.mbrshp_view && View.Id.lt (View.id t.current_view) (View.id v)
+
+let view_effect t v =
+  let msgs =
+    if not t.gc then t.msgs
+    else
+      Proc.Map.filter_map
+        (fun _q per_view ->
+          let kept =
+            View.Map.filter
+              (fun w _ -> not (View.Id.lt (View.id w) (View.id t.current_view)))
+              per_view
+          in
+          if View.Map.is_empty kept then None else Some kept)
+        t.msgs
+  in
+  { t with msgs; current_view = v; last_sent = 0; last_dlvrd = Proc.Map.empty }
+
+(* Number of buffered (sender, view) queues — observability for the
+   garbage-collection tests. *)
+let buffered_queues t =
+  Proc.Map.fold (fun _ per_view acc -> acc + View.Map.cardinal per_view) t.msgs 0
+
+(* -- INPUT send_p(m) ---------------------------------------------------- *)
+
+let send_effect t m =
+  let i = last_index t t.me t.current_view + 1 in
+  msgs_set t t.me t.current_view i m
+
+(* -- OUTPUT deliver_p(q, m) --------------------------------------------- *)
+
+let deliver_next t q = msgs_get t q t.current_view (last_dlvrd t q + 1)
+
+let deliver_enabled t q =
+  match deliver_next t q with
+  | None -> false
+  | Some _ ->
+      (* An end-point self-delivers a message only after sending it to
+         the other view members via CO_RFIFO. *)
+      (not (Proc.equal q t.me)) || last_dlvrd t q < t.last_sent
+
+let deliver_effect t q =
+  { t with last_dlvrd = Proc.Map.add q (last_dlvrd t q + 1) t.last_dlvrd }
+
+(* -- OUTPUT co_rfifo.reliable_p(set) ------------------------------------ *)
+
+(* The paper enables reliable_p for any superset of the current view's
+   member set; the child layer pins the exact set. The executable base
+   layer emits the canonical choice: the current member set itself. *)
+let reliable_target t = View.set t.current_view
+
+let reliable_enabled t ~target = not (Proc.Set.equal t.reliable_set target)
+let reliable_effect t set = { t with reliable_set = set }
+
+(* -- OUTPUT co_rfifo.send_p(set, view_msg) ------------------------------ *)
+
+let view_msg_send_enabled t =
+  (not (View.equal (view_msg_of t t.me) t.current_view))
+  && Proc.Set.subset (View.set t.current_view) t.reliable_set
+
+let view_msg_send_action t =
+  Action.Rf_send
+    (t.me, Proc.Set.remove t.me (View.set t.current_view), Msg.Wire.View_msg t.current_view)
+
+let view_msg_send_effect t =
+  { t with view_msg = Proc.Map.add t.me t.current_view t.view_msg }
+
+(* -- OUTPUT co_rfifo.send_p(set, app_msg) ------------------------------- *)
+
+let app_msg_send_enabled t =
+  View.equal (view_msg_of t t.me) t.current_view
+  && msgs_get t t.me t.current_view (t.last_sent + 1) <> None
+
+let app_msg_send_action t =
+  match msgs_get t t.me t.current_view (t.last_sent + 1) with
+  | Some m ->
+      Action.Rf_send (t.me, Proc.Set.remove t.me (View.set t.current_view), Msg.Wire.App m)
+  | None -> invalid_arg "Wv_rfifo.app_msg_send_action: not enabled"
+
+let app_msg_send_effect t = { t with last_sent = t.last_sent + 1 }
+
+(* -- INPUT co_rfifo.deliver_{q,p}(m) ------------------------------------ *)
+
+let recv t q (w : Msg.Wire.t) =
+  match w with
+  | Msg.Wire.View_msg v ->
+      { t with view_msg = Proc.Map.add q v t.view_msg;
+               last_rcvd = Proc.Map.add q 0 t.last_rcvd }
+  | Msg.Wire.App m ->
+      let i = last_rcvd t q + 1 in
+      let t = msgs_set t q (view_msg_of t q) i m in
+      { t with last_rcvd = Proc.Map.add q i t.last_rcvd }
+  | Msg.Wire.Fwd { origin; view; index; msg } -> msgs_set t origin view index msg
+  | Msg.Wire.Sync _ | Msg.Wire.Sync_batch _ | Msg.Wire.Bsync _ -> t

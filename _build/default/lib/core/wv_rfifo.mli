@@ -1,0 +1,105 @@
+(** The within-view reliable FIFO multicast end-point automaton
+    WV_RFIFO_p (paper §5.1, Figure 9) — the base layer of the
+    inheritance tower.
+
+    It forwards membership views to the application unchanged
+    (preserving Local Monotonicity and Self Inclusion) and synchronizes
+    message delivery with views so that every message is delivered in
+    the view in which it was sent: a [View_msg] marker travels down
+    each CO_RFIFO stream before any application message of a new view,
+    and received messages are filed under the sender's latest marker.
+
+    Each [*_enabled]/[*_action]/[*_effect] triple below renders one
+    pre:/eff: block of Figure 9; child layers conjoin their own
+    preconditions and prepend their own effects (paper §2). The state
+    is exposed transparently — the child layers and the §6 invariant
+    checkers read it, but only this module's effects write it (the
+    inheritance discipline). *)
+
+open Vsgc_types
+module Int_map : Map.S with type key = int
+
+type t = {
+  me : Proc.t;
+  msgs : Msg.App_msg.t Int_map.t View.Map.t Proc.Map.t;
+      (** msgs[q][v][i] — 1-based, sparse (forwarded copies may land
+          ahead of the FIFO prefix) *)
+  last_sent : int;
+  last_rcvd : int Proc.Map.t;  (** per sender, this view; default 0 *)
+  last_dlvrd : int Proc.Map.t;  (** per sender, this view; default 0 *)
+  current_view : View.t;
+  mbrshp_view : View.t;
+  view_msg : View.t Proc.Map.t;
+      (** latest view marker per sender; default: q's initial view *)
+  reliable_set : Proc.Set.t;
+  gc : bool;
+      (** §5.1 note, opt-in: installing a view drops buffers of views
+          older than the previous one (see {!view_effect}) *)
+}
+
+val initial : ?gc:bool -> Proc.t -> t
+(** Initial state: current and membership views are the process's
+    default initial view; [gc] defaults to [false] (proof-faithful). *)
+
+(** {1 Message-queue helpers} *)
+
+val msgs_get : t -> Proc.t -> View.t -> int -> Msg.App_msg.t option
+val msgs_set : t -> Proc.t -> View.t -> int -> Msg.App_msg.t -> t
+
+val longest_prefix : t -> Proc.t -> View.t -> int
+(** The paper's LongestPrefixOf: largest k with 1..k all present. *)
+
+val last_index : t -> Proc.t -> View.t -> int
+(** The paper's LastIndexOf (max key; equals the prefix on own queues). *)
+
+val last_rcvd : t -> Proc.t -> int
+val last_dlvrd : t -> Proc.t -> int
+val view_msg_of : t -> Proc.t -> View.t
+val known_senders : t -> Proc.Set.t
+val buffered_queues : t -> int
+(** Number of buffered (sender, view) queues — GC observability. *)
+
+(** {1 Transitions (Figure 9)} *)
+
+val mbrshp_view_effect : t -> View.t -> t
+(** INPUT mbrshp.view_p(v). *)
+
+val view_enabled : t -> View.t -> bool
+(** OUTPUT view_p(v) precondition: [v] is the membership view and its
+    identifier exceeds the current one. *)
+
+val view_effect : t -> View.t -> t
+(** OUTPUT view_p(v) effect: install, reset the per-view indices; with
+    [gc], also drop buffers older than the previous view. *)
+
+val send_effect : t -> Msg.App_msg.t -> t
+(** INPUT send_p(m): append to the own queue of the current view. *)
+
+val deliver_next : t -> Proc.t -> Msg.App_msg.t option
+val deliver_enabled : t -> Proc.t -> bool
+(** OUTPUT deliver_p(q, m): next FIFO message present; self-delivery
+    only after the message was sent via CO_RFIFO. *)
+
+val deliver_effect : t -> Proc.t -> t
+
+val reliable_target : t -> Proc.Set.t
+(** The canonical parameter for co_rfifo.reliable_p at this layer (the
+    current member set); the child layer overrides it. *)
+
+val reliable_enabled : t -> target:Proc.Set.t -> bool
+val reliable_effect : t -> Proc.Set.t -> t
+
+val view_msg_send_enabled : t -> bool
+val view_msg_send_action : t -> Action.t
+val view_msg_send_effect : t -> t
+
+val app_msg_send_enabled : t -> bool
+val app_msg_send_action : t -> Action.t
+(** @raise Invalid_argument when not enabled. *)
+
+val app_msg_send_effect : t -> t
+
+val recv : t -> Proc.t -> Msg.Wire.t -> t
+(** INPUT co_rfifo.deliver_{q,p}: view markers reset the stream index;
+    application messages are filed under the sender's announced view;
+    forwarded messages land at their tagged (view, index). *)

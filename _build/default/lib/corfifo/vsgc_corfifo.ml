@@ -1,0 +1,130 @@
+(* CO_RFIFO: the connection-oriented reliable FIFO multicast service
+   (paper §3.2, Figure 3), made executable.
+
+   The automaton keeps a FIFO channel per ordered pair of end-points.
+   [reliable_set] is client-controlled (via co_rfifo.reliable); for a
+   target outside the sender's reliable set an arbitrary suffix of the
+   channel may be lost (the lose action, an adversary move the scheduler
+   only takes when a scenario gives it weight). [live_set] reflects the
+   real network: deliveries happen only toward live targets, which is
+   how partitions are modelled. Following Figure 8, the membership
+   actions start_change_p and view_p are linked with live_p, so this
+   component also accepts Mb_* actions and updates live_set from them.
+
+   Crash handling (§8): crash_p empties reliable_set[p] and live_set[p],
+   allowing in-transit messages from p to be dropped. *)
+
+open Vsgc_types
+
+module Pair_map = Map.Make (struct
+  type t = Proc.t * Proc.t
+
+  let compare (a, b) (c, d) =
+    match Proc.compare a c with 0 -> Proc.compare b d | r -> r
+end)
+
+type state = {
+  channels : Msg.Wire.t Fqueue.t Pair_map.t;
+  reliable : Proc.Set.t Proc.Map.t;  (* default {p} *)
+  live : Proc.Set.t Proc.Map.t;  (* default {p} *)
+}
+
+let initial = { channels = Pair_map.empty; reliable = Proc.Map.empty; live = Proc.Map.empty }
+
+let channel st p q =
+  match Pair_map.find_opt (p, q) st.channels with
+  | Some c -> c
+  | None -> Fqueue.empty
+
+let set_channel st p q c =
+  { st with
+    channels =
+      (if Fqueue.is_empty c then Pair_map.remove (p, q) st.channels
+       else Pair_map.add (p, q) c st.channels) }
+
+let reliable_set st p = Proc.Map.find_default ~default:(Proc.Set.singleton p) p st.reliable
+let live_set st p = Proc.Map.find_default ~default:(Proc.Set.singleton p) p st.live
+
+let channel_length st p q = Fqueue.length (channel st p q)
+
+let channel_contents st p q = Fqueue.to_list (channel st p q)
+
+(* All non-empty channels, with their occupancy — used by Sync_runner
+   budgets and by tests. *)
+let occupancy st =
+  Pair_map.fold (fun (p, q) c acc -> ((p, q), Fqueue.length c) :: acc) st.channels []
+
+let accepts (a : Action.t) =
+  match a with
+  | Action.Rf_send _ | Action.Rf_reliable _ | Action.Rf_live _ | Action.Crash _
+  | Action.Mb_start_change _ | Action.Mb_view _ -> true
+  | _ -> false
+
+let outputs st =
+  Pair_map.fold
+    (fun (p, q) c acc ->
+      match Fqueue.peek c with
+      | None -> acc
+      | Some m ->
+          let acc =
+            (* deliver_{p,q} fires only toward live targets: live_set
+               reflects the real network (paper §3.2). *)
+            if Proc.Set.mem q (live_set st p) then
+              Action.Rf_deliver (p, q, m) :: acc
+            else acc
+          in
+          (* lose(p,q) is enabled when q is outside p's reliable set;
+             scenarios give it weight to exercise lossy behaviour. *)
+          if not (Proc.Set.mem q (reliable_set st p)) then
+            Action.Rf_lose (p, q) :: acc
+          else acc)
+    st.channels []
+
+let apply st (a : Action.t) =
+  match a with
+  | Action.Rf_send (p, set, m) ->
+      Proc.Set.fold (fun q st -> set_channel st p q (Fqueue.push (channel st p q) m)) set st
+  | Action.Rf_deliver (p, q, m) -> (
+      match Fqueue.pop (channel st p q) with
+      | Some (m', rest) when Msg.Wire.equal m m' -> set_channel st p q rest
+      | _ -> invalid_arg "Co_rfifo: deliver of a message that is not the channel head")
+  | Action.Rf_lose (p, q) -> (
+      match Fqueue.drop_last (channel st p q) with
+      | Some rest -> set_channel st p q rest
+      | None -> invalid_arg "Co_rfifo: lose on empty channel")
+  | Action.Rf_reliable (p, set) -> { st with reliable = Proc.Map.add p set st.reliable }
+  | Action.Rf_live (p, set) -> { st with live = Proc.Map.add p set st.live }
+  | Action.Mb_start_change (p, _, set) -> { st with live = Proc.Map.add p set st.live }
+  | Action.Mb_view (p, v) -> { st with live = Proc.Map.add p (View.set v) st.live }
+  | Action.Crash p ->
+      (* connection-oriented: the crashed process's incoming queues die
+         with it; its outgoing queues become losable (empty reliable
+         set) as in §8 *)
+      { channels = Pair_map.filter (fun (_, q) _ -> not (Proc.equal q p)) st.channels;
+        reliable = Proc.Map.add p Proc.Set.empty st.reliable;
+        live = Proc.Map.add p Proc.Set.empty st.live }
+  | _ -> st
+
+let def : state Vsgc_ioa.Component.def =
+  { name = "co_rfifo"; init = initial; accepts; outputs; apply }
+
+(* Build the component together with a typed handle on its state, for
+   invariant checkers and Sync_runner budgets. *)
+let component () =
+  let r = ref initial in
+  (Vsgc_ioa.Component.pack_with_ref def r, r)
+
+(* A Sync_runner budget that allows exactly the messages currently in
+   transit (one round's worth of deliveries). *)
+let round_budget (r : state ref) () : Vsgc_ioa.Sync_runner.budget =
+  let remaining = Hashtbl.create 16 in
+  Pair_map.iter (fun pq c -> Hashtbl.replace remaining pq (Fqueue.length c)) !r.channels;
+  let get pq = match Hashtbl.find_opt remaining pq with Some n -> n | None -> 0 in
+  {
+    allow = (fun a ->
+      match a with Action.Rf_deliver (p, q, _) -> get (p, q) > 0 | _ -> false);
+    consume = (fun a ->
+      match a with
+      | Action.Rf_deliver (p, q, _) -> Hashtbl.replace remaining (p, q) (get (p, q) - 1)
+      | _ -> ());
+  }

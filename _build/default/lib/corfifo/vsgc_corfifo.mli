@@ -1,0 +1,46 @@
+(** CO_RFIFO: the connection-oriented reliable FIFO multicast service
+    (paper §3.2, Figure 3), executable.
+
+    One FIFO channel per ordered pair of end-points. [reliable_set] is
+    client-controlled; toward targets outside it, an arbitrary suffix of
+    the channel may be lost (the lose action — an adversary move the
+    scheduler takes only when a scenario weights it). [live_set]
+    reflects the real network: deliveries fire only toward live targets,
+    which is how partitions are modelled. Following Figure 8, the
+    membership actions start_change_p/view_p are linked with live_p, so
+    this component also accepts Mb_* actions. Crash (§8) empties the
+    crashed process's reliable and live sets and, connection-oriented,
+    drops its incoming queues. *)
+
+open Vsgc_types
+
+module Pair_map : Map.S with type key = Proc.t * Proc.t
+
+type state = {
+  channels : Msg.Wire.t Fqueue.t Pair_map.t;
+  reliable : Proc.Set.t Proc.Map.t;  (** default \{p\} *)
+  live : Proc.Set.t Proc.Map.t;  (** default \{p\} *)
+}
+
+val initial : state
+val channel : state -> Proc.t -> Proc.t -> Msg.Wire.t Fqueue.t
+val reliable_set : state -> Proc.t -> Proc.Set.t
+val live_set : state -> Proc.t -> Proc.Set.t
+val channel_length : state -> Proc.t -> Proc.t -> int
+val channel_contents : state -> Proc.t -> Proc.t -> Msg.Wire.t list
+
+val occupancy : state -> ((Proc.t * Proc.t) * int) list
+(** All non-empty channels with their occupancy. *)
+
+val accepts : Action.t -> bool
+val outputs : state -> Action.t list
+val apply : state -> Action.t -> state
+(** @raise Invalid_argument on a delivery that is not the channel head
+    or a lose on an empty channel (executor discipline violations). *)
+
+val def : state Vsgc_ioa.Component.def
+val component : unit -> Vsgc_ioa.Component.packed * state ref
+
+val round_budget : state ref -> unit -> Vsgc_ioa.Sync_runner.budget
+(** A budget allowing exactly the messages currently in transit — one
+    round's worth of deliveries. *)

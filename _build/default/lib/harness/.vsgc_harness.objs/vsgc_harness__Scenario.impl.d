@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Fmt List Proc System View Vsgc_core Vsgc_types

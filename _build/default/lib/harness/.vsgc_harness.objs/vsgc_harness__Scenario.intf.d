@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Format Proc System Vsgc_types

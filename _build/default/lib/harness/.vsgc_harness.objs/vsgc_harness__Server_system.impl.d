@@ -1,0 +1,1 @@
+lib/harness/server_system.ml: Action Proc Server System Vsgc_ioa Vsgc_mbrshp Vsgc_types

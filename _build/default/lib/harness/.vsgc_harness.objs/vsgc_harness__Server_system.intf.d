@@ -1,0 +1,1 @@
+lib/harness/server_system.mli: Action Proc Server System Vsgc_core Vsgc_ioa Vsgc_mbrshp Vsgc_types

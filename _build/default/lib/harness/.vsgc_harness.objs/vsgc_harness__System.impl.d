@@ -1,0 +1,1 @@
+lib/harness/system.ml: Action Fmt List Option Proc View Vsgc_checker Vsgc_core Vsgc_corfifo Vsgc_ioa Vsgc_mbrshp Vsgc_spec Vsgc_types

@@ -1,0 +1,1 @@
+lib/harness/system.mli: Action Msg Proc View Vsgc_checker Vsgc_core Vsgc_corfifo Vsgc_ioa Vsgc_mbrshp Vsgc_types

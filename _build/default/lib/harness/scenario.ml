@@ -1,0 +1,145 @@
+(* A declarative scenario language over monitored systems.
+
+   Tests, the property generators, and the CLI all drive systems
+   through the same small vocabulary of steps: membership changes
+   (through the oracle), traffic, partial runs, crashes/recoveries,
+   and checkpoints with named assertions. A scenario is data — it can
+   be printed, shrunk by qcheck, and replayed deterministically. *)
+
+open Vsgc_types
+
+type step =
+  | Reconfigure of { origin : int; set : Proc.Set.t }
+      (** start_change to all of [set], then the agreed view *)
+  | Start_change of Proc.Set.t
+      (** a change announcement without (yet) a view — the membership
+          "changing its mind" ingredient *)
+  | Deliver_view of { origin : int; set : Proc.Set.t }
+  | Send of { from : Proc.t; payloads : string list }
+  | Broadcast of { senders : Proc.Set.t; per_sender : int }
+  | Crash of Proc.t
+  | Recover of Proc.t
+  | Run of int  (** let the scheduler take up to this many steps *)
+  | Settle  (** run to quiescence; monitors discharge *)
+  | Check of string * (System.t -> bool)
+      (** named assertion over the system state *)
+
+let pp_step ppf = function
+  | Reconfigure { origin; set } ->
+      Fmt.pf ppf "reconfigure~%d%a" origin Proc.Set.pp set
+  | Start_change set -> Fmt.pf ppf "start_change%a" Proc.Set.pp set
+  | Deliver_view { origin; set } -> Fmt.pf ppf "deliver_view~%d%a" origin Proc.Set.pp set
+  | Send { from; payloads } -> Fmt.pf ppf "send(%a,%d)" Proc.pp from (List.length payloads)
+  | Broadcast { senders; per_sender } ->
+      Fmt.pf ppf "broadcast(%a,%d)" Proc.Set.pp senders per_sender
+  | Crash p -> Fmt.pf ppf "crash(%a)" Proc.pp p
+  | Recover p -> Fmt.pf ppf "recover(%a)" Proc.pp p
+  | Run k -> Fmt.pf ppf "run(%d)" k
+  | Settle -> Fmt.pf ppf "settle"
+  | Check (name, _) -> Fmt.pf ppf "check(%s)" name
+
+type t = step list
+
+let pp = Fmt.list ~sep:(Fmt.any "; ") pp_step
+
+exception Check_failed of string
+
+(* Execute a scenario against a system. Raises [Check_failed],
+   [Vsgc_ioa.Monitor.Violation], or [Failure] (no quiescence) — a
+   normal return means every step succeeded. *)
+let run (sys : System.t) (scenario : t) =
+  List.iter
+    (fun step ->
+      match step with
+      | Reconfigure { origin; set } -> ignore (System.reconfigure sys ~origin ~set)
+      | Start_change set -> ignore (System.start_change sys ~set)
+      | Deliver_view { origin; set } -> ignore (System.deliver_view sys ~origin ~set)
+      | Send { from; payloads } -> List.iter (System.send sys from) payloads
+      | Broadcast { senders; per_sender } -> System.broadcast sys ~senders ~per_sender
+      | Crash p -> System.crash sys p
+      | Recover p -> System.recover sys p
+      | Run k -> ignore (System.run sys ~max_steps:k)
+      | Settle -> System.settle sys
+      | Check (name, pred) -> if not (pred sys) then raise (Check_failed name))
+    scenario
+
+(* -- Common assertions ---------------------------------------------------- *)
+
+let all_in_last_view set sys =
+  match System.last_view_of sys (Proc.Set.min_elt set) with
+  | Some (v, _) ->
+      Proc.Set.equal (View.set v) set
+      && Proc.Set.for_all
+           (fun p ->
+             match System.last_view_of sys p with
+             | Some (v', _) -> View.equal v v'
+             | None -> false)
+           set
+  | None -> false
+
+let delivered_at_least ~at ~from ~count sys =
+  List.length (Vsgc_core.Client.delivered_from !(System.client sys at) from) >= count
+
+(* -- A library of named scenarios (shared with the CLI) -------------------- *)
+
+let stable ~n : t =
+  let all = Proc.Set.of_range 0 (n - 1) in
+  [
+    Reconfigure { origin = 0; set = all };
+    Broadcast { senders = all; per_sender = 3 };
+    Settle;
+    Check ("all in view", all_in_last_view all);
+  ]
+
+let partition_heal ~n : t =
+  let all = Proc.Set.of_range 0 (n - 1) in
+  let half = n / 2 in
+  [
+    Reconfigure { origin = 0; set = all };
+    Broadcast { senders = all; per_sender = 2 };
+    Reconfigure { origin = 1; set = Proc.Set.of_range 0 (half - 1) };
+    Reconfigure { origin = 2; set = Proc.Set.of_range half (n - 1) };
+    Settle;
+    Reconfigure { origin = 3; set = all };
+    Settle;
+    Check ("healed", all_in_last_view all);
+  ]
+
+let crash_recover ~n : t =
+  let all = Proc.Set.of_range 0 (n - 1) in
+  let survivors = Proc.Set.of_range 0 (n - 2) in
+  [
+    Reconfigure { origin = 0; set = all };
+    Broadcast { senders = all; per_sender = 2 };
+    Run 150;
+    Crash (n - 1);
+    Reconfigure { origin = 1; set = survivors };
+    Settle;
+    Check ("survivors regrouped", all_in_last_view survivors);
+    Recover (n - 1);
+    Reconfigure { origin = 2; set = all };
+    Settle;
+    Check ("rejoined", all_in_last_view all);
+  ]
+
+let churn_with_mind_changes ~n : t =
+  let core = Proc.Set.of_range 0 (n - 2) in
+  let all = Proc.Set.of_range 0 (n - 1) in
+  [
+    Reconfigure { origin = 0; set = core };
+    Broadcast { senders = core; per_sender = 2 };
+    (* the membership changes its mind before the view completes *)
+    Start_change core;
+    Start_change all;
+    Deliver_view { origin = 1; set = all };
+    Settle;
+    Check ("final view includes the joiner", all_in_last_view all);
+  ]
+
+let catalog ~n =
+  [
+    ("stable", stable ~n);
+    ("partition-heal", partition_heal ~n);
+    ("crash-recover", crash_recover ~n);
+    ("churn", churn_with_mind_changes ~n);
+  ]

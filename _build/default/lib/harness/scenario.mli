@@ -1,0 +1,46 @@
+(** A declarative scenario language over monitored systems.
+
+    Tests, property generators, and the CLI share one vocabulary of
+    steps; a scenario is data — printable, shrinkable, deterministic
+    to replay. *)
+
+open Vsgc_types
+
+type step =
+  | Reconfigure of { origin : int; set : Proc.Set.t }
+  | Start_change of Proc.Set.t
+  | Deliver_view of { origin : int; set : Proc.Set.t }
+  | Send of { from : Proc.t; payloads : string list }
+  | Broadcast of { senders : Proc.Set.t; per_sender : int }
+  | Crash of Proc.t
+  | Recover of Proc.t
+  | Run of int
+  | Settle
+  | Check of string * (System.t -> bool)
+
+val pp_step : Format.formatter -> step -> unit
+
+type t = step list
+
+val pp : Format.formatter -> t -> unit
+
+exception Check_failed of string
+
+val run : System.t -> t -> unit
+(** Execute every step. Normal return means all assertions held and
+    every [Settle] discharged the monitors.
+    @raise Check_failed on a failed assertion.
+    @raise Vsgc_ioa.Monitor.Violation on a specification violation. *)
+
+(** {1 Common assertions} *)
+
+val all_in_last_view : Proc.Set.t -> System.t -> bool
+val delivered_at_least : at:Proc.t -> from:Proc.t -> count:int -> System.t -> bool
+
+(** {1 Named scenarios (shared with the CLI)} *)
+
+val stable : n:int -> t
+val partition_heal : n:int -> t
+val crash_recover : n:int -> t
+val churn_with_mind_changes : n:int -> t
+val catalog : n:int -> (string * t) list

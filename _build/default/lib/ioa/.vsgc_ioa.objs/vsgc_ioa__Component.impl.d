@@ -1,0 +1,1 @@
+lib/ioa/component.ml: Action Vsgc_types

@@ -1,0 +1,1 @@
+lib/ioa/component.mli: Action Vsgc_types

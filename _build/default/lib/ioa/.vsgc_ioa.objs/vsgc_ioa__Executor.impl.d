@@ -1,0 +1,1 @@
+lib/ioa/executor.ml: Action Array Component List Metrics Monitor Rng Vsgc_types

@@ -1,0 +1,1 @@
+lib/ioa/executor.mli: Action Component Metrics Monitor Rng Vsgc_types

@@ -1,0 +1,1 @@
+lib/ioa/metrics.ml: Action Fmt Hashtbl Msg Proc Vsgc_types

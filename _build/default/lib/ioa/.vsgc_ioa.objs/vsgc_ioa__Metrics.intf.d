@@ -1,0 +1,1 @@
+lib/ioa/metrics.mli: Action Format Msg Vsgc_types

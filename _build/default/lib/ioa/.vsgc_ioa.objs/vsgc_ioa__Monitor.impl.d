@@ -1,0 +1,1 @@
+lib/ioa/monitor.ml: Fmt Vsgc_types

@@ -1,0 +1,1 @@
+lib/ioa/monitor.mli: Format Vsgc_types

@@ -1,0 +1,1 @@
+lib/ioa/rng.ml: Array Int64 List

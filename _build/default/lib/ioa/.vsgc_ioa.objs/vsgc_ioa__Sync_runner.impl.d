@@ -1,0 +1,1 @@
+lib/ioa/sync_runner.ml: Action Executor List Metrics Vsgc_types

@@ -1,0 +1,1 @@
+lib/ioa/sync_runner.mli: Action Executor Vsgc_types

@@ -1,0 +1,1 @@
+lib/ioa/trace_stats.ml: Action Hashtbl List Msg Option Proc Vsgc_types

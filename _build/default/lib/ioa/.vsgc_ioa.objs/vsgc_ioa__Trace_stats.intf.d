@@ -1,0 +1,1 @@
+lib/ioa/trace_stats.mli: Action Hashtbl Proc View Vsgc_types

@@ -1,0 +1,41 @@
+(* Executable I/O-automaton components.
+
+   A component is a state machine over the composed system's shared
+   action vocabulary (Vsgc_types.Action). Its [outputs] function lists
+   the locally-controlled actions enabled in the current state (each is
+   its own task, matching the paper's fairness partition); [accepts]
+   describes its input signature; [apply] performs the transition
+   effect, for inputs and for the component's own outputs alike. *)
+
+open Vsgc_types
+
+type 's def = {
+  name : string;
+  init : 's;
+  accepts : Action.t -> bool;
+  outputs : 's -> Action.t list;
+  apply : 's -> Action.t -> 's;
+}
+
+(* A component packed with its mutable current state, so that
+   heterogeneous components compose into one system. The [state] ref is
+   shared with whoever built the component (the harness keeps typed
+   handles for invariant checking and introspection). *)
+type packed = Packed : 's def * 's ref -> packed
+
+let pack def = Packed (def, ref def.init)
+
+let pack_with_ref def r = Packed (def, r)
+
+let name (Packed (d, _)) = d.name
+
+let outputs (Packed (d, s)) = d.outputs !s
+
+let accepts (Packed (d, _)) a = d.accepts a
+
+let apply (Packed (d, s)) a = s := d.apply !s a
+
+(* A purely reactive observer: accepts everything, outputs nothing.
+   Used to turn trace monitors into components when convenient. *)
+let observer ~name ~init ~apply =
+  { name; init; accepts = (fun _ -> true); outputs = (fun _ -> []); apply }

@@ -1,0 +1,46 @@
+(** Executable I/O-automaton components.
+
+    A component is a state machine over the composed system's shared
+    action vocabulary ({!Vsgc_types.Action}). Composition follows the
+    paper's §2: when an output action fires, every component that
+    accepts it takes the same step atomically. *)
+
+open Vsgc_types
+
+type 's def = {
+  name : string;
+  init : 's;
+  accepts : Action.t -> bool;  (** the input signature *)
+  outputs : 's -> Action.t list;
+      (** the locally-controlled actions enabled in a state; each is
+          its own fairness task, as in the paper's end-point automata *)
+  apply : 's -> Action.t -> 's;
+      (** the transition effect — for accepted inputs and for the
+          component's own outputs alike *)
+}
+
+type packed = Packed : 's def * 's ref -> packed
+(** A component with its mutable current state, packed so that
+    heterogeneous components compose into one system. *)
+
+val pack : 's def -> packed
+(** Pack with a fresh state cell initialized to [def.init]. *)
+
+val pack_with_ref : 's def -> 's ref -> packed
+(** Pack sharing [ref] with the caller — the harness keeps these typed
+    handles for invariant checking and observation. *)
+
+val name : packed -> string
+
+val outputs : packed -> Action.t list
+(** Enabled locally-controlled actions in the current state. *)
+
+val accepts : packed -> Action.t -> bool
+val apply : packed -> Action.t -> unit
+
+val observer :
+  name:string ->
+  init:'s ->
+  apply:('s -> Action.t -> 's) ->
+  's def
+(** A purely reactive component: accepts everything, outputs nothing. *)

@@ -1,0 +1,150 @@
+(* The composed-system executor.
+
+   Implements the I/O-automaton composition and fairness model of the
+   paper (§2): components share the action vocabulary; when an output
+   action fires, every component that accepts it takes the same step
+   atomically. Each locally-controlled action is its own task; the
+   seeded random scheduler chooses uniformly (optionally weighted) among
+   all enabled actions, which makes long executions fair with
+   probability 1 — the setting in which the liveness arguments of §7
+   apply. *)
+
+open Vsgc_types
+
+type t = {
+  components : Component.packed array;
+  rng : Rng.t;
+  weights : Action.t -> float;
+  metrics : Metrics.t;
+  mutable monitors : Monitor.t list;
+  mutable trace : Action.t list;  (* reversed *)
+  mutable trace_len : int;
+  keep_trace : bool;
+  mutable step_hooks : (Action.t -> unit) list;
+}
+
+let default_weights (a : Action.t) =
+  (* Message loss is an adversary move: scenarios opt into it. *)
+  match a with Action.Rf_lose _ -> 0.0 | _ -> 1.0
+
+let create ?(seed = 0xC0FFEE) ?(weights = default_weights) ?(keep_trace = true)
+    components =
+  {
+    components = Array.of_list components;
+    rng = Rng.make seed;
+    weights;
+    metrics = Metrics.create ();
+    monitors = [];
+    trace = [];
+    trace_len = 0;
+    keep_trace;
+    step_hooks = [];
+  }
+
+let metrics t = t.metrics
+let rng t = t.rng
+let add_monitor t m = t.monitors <- m :: t.monitors
+let add_step_hook t f = t.step_hooks <- f :: t.step_hooks
+
+let trace t = List.rev t.trace
+let trace_length t = t.trace_len
+
+(* All enabled locally-controlled actions, tagged with owner index. *)
+let candidates t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i c ->
+      List.iter (fun a -> acc := (i, a) :: !acc) (Component.outputs c))
+    t.components;
+  !acc
+
+(* Perform [a] as a step of the whole composition: the owner (if any)
+   and every accepting component move together; monitors observe. *)
+let perform t ?owner a =
+  Array.iteri
+    (fun i c ->
+      let is_owner = match owner with Some o -> i = o | None -> false in
+      if is_owner || Component.accepts c a then Component.apply c a)
+    t.components;
+  Metrics.record t.metrics a;
+  if t.keep_trace then begin
+    t.trace <- a :: t.trace;
+    t.trace_len <- t.trace_len + 1
+  end;
+  List.iter (fun m -> m.Monitor.on_action a) t.monitors;
+  List.iter (fun f -> f a) t.step_hooks
+
+(* Inject an environment input (failure-detector event, crash, join...):
+   a step of the composition in which the environment is the owner. *)
+let inject t a = perform t a
+
+let weighted_pick t cands =
+  let weighted =
+    List.filter_map
+      (fun (i, a) ->
+        let w = t.weights a in
+        if w > 0.0 then Some (i, a, w) else None)
+      cands
+  in
+  match weighted with
+  | [] -> None
+  | _ ->
+      let total = List.fold_left (fun s (_, _, w) -> s +. w) 0.0 weighted in
+      let x = Rng.float t.rng *. total in
+      let rec go acc = function
+        | [] -> assert false
+        | [ (i, a, _) ] -> (i, a)
+        | (i, a, w) :: rest ->
+            if x < acc +. w then (i, a) else go (acc +. w) rest
+      in
+      Some (go 0.0 weighted)
+
+(* One scheduler step. Returns false when the system is quiescent (no
+   enabled action has positive weight). *)
+let step t =
+  match weighted_pick t (candidates t) with
+  | None -> false
+  | Some (i, a) ->
+      perform t ~owner:i a;
+      true
+
+type outcome = Quiescent of int | Step_limit
+
+(* Run until quiescence or until [stop] holds (checked between steps). *)
+let run ?(max_steps = 200_000) ?(stop = fun () -> false) t =
+  let rec go n =
+    if n >= max_steps then Step_limit
+    else if stop () then Quiescent n
+    else if step t then go (n + 1)
+    else Quiescent n
+  in
+  go 0
+
+let is_quiescent t =
+  List.for_all (fun (_, a) -> t.weights a <= 0.0) (candidates t)
+
+(* Run restricted to actions satisfying [allow] (used by Sync_runner).
+   Returns the number of steps taken before no allowed action remains. *)
+let run_filtered ?(max_steps = 200_000) t ~allow =
+  let rec go n =
+    if n >= max_steps then n
+    else
+      let cands =
+        List.filter (fun (_, a) -> allow a) (candidates t)
+      in
+      match weighted_pick t cands with
+      | None -> n
+      | Some (i, a) ->
+          perform t ~owner:i a;
+          go (n + 1)
+  in
+  go 0
+
+let finish t =
+  (* Collect residual monitor obligations; raise on the first failure. *)
+  List.iter
+    (fun (m : Monitor.t) ->
+      match m.at_end () with
+      | [] -> ()
+      | msg :: _ -> raise (Monitor.Violation { monitor = m.name; message = msg }))
+    t.monitors

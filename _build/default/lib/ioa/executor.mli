@@ -1,0 +1,67 @@
+(** The composed-system executor.
+
+    Implements I/O-automaton composition and the fairness model of the
+    paper's §2: components share the action vocabulary; when an output
+    fires, every accepting component takes the same step atomically.
+    Each locally-controlled action is its own task; the seeded random
+    scheduler picks (optionally weighted) among all enabled actions,
+    which makes long executions fair with probability 1 — the setting
+    of the §7 liveness arguments. *)
+
+open Vsgc_types
+
+type t
+
+val default_weights : Action.t -> float
+(** Weight 1.0 for everything except the adversary move [Rf_lose]
+    (weight 0: scenarios opt into message loss). *)
+
+val create :
+  ?seed:int ->
+  ?weights:(Action.t -> float) ->
+  ?keep_trace:bool ->
+  Component.packed list ->
+  t
+
+val metrics : t -> Metrics.t
+val rng : t -> Rng.t
+
+val add_monitor : t -> Monitor.t -> unit
+(** Attach a specification monitor; it observes every subsequent step
+    and raises {!Monitor.Violation} on non-conformance. *)
+
+val add_step_hook : t -> (Action.t -> unit) -> unit
+(** Attach an arbitrary per-step observer (e.g. invariant checking). *)
+
+val trace : t -> Action.t list
+(** The trace so far, oldest first (empty if [keep_trace:false]). *)
+
+val trace_length : t -> int
+
+val candidates : t -> (int * Action.t) list
+(** All enabled locally-controlled actions, tagged with owner index. *)
+
+val perform : t -> ?owner:int -> Action.t -> unit
+(** Execute one step of the composition: the owner (if any) and every
+    accepting component move together; monitors and hooks observe. *)
+
+val inject : t -> Action.t -> unit
+(** Perform an environment input (failure-detector event, crash, ...). *)
+
+val step : t -> bool
+(** One scheduler step; [false] when quiescent (no enabled action has
+    positive weight). *)
+
+type outcome = Quiescent of int | Step_limit
+
+val run : ?max_steps:int -> ?stop:(unit -> bool) -> t -> outcome
+(** Run until quiescence, [stop], or the step budget. *)
+
+val is_quiescent : t -> bool
+
+val run_filtered : ?max_steps:int -> t -> allow:(Action.t -> bool) -> int
+(** Run restricted to actions satisfying [allow]; returns steps taken. *)
+
+val finish : t -> unit
+(** Discharge residual monitor obligations ([at_end]); raises
+    {!Monitor.Violation} on the first failure. *)

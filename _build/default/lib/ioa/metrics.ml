@@ -1,0 +1,64 @@
+(* Execution metrics: action counts by category, wire-message counts by
+   kind, and communication rounds (filled in by Sync_runner).
+
+   These counters back the benchmark tables (DESIGN.md §6): sync-message
+   overhead, forwarded copies, rounds-to-view. *)
+
+open Vsgc_types
+
+type t = {
+  mutable steps : int;
+  mutable rounds : int;
+  by_category : (Action.category, int) Hashtbl.t;
+  sent_by_kind : (Msg.Wire.kind, int) Hashtbl.t;
+      (* point-to-point copies: an Rf_send to k destinations counts k *)
+  sent_bytes_by_kind : (Msg.Wire.kind, int) Hashtbl.t;
+  delivered_by_kind : (Msg.Wire.kind, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    steps = 0;
+    rounds = 0;
+    by_category = Hashtbl.create 32;
+    sent_by_kind = Hashtbl.create 8;
+    sent_bytes_by_kind = Hashtbl.create 8;
+    delivered_by_kind = Hashtbl.create 8;
+  }
+
+let bump tbl k n =
+  let cur = match Hashtbl.find_opt tbl k with Some c -> c | None -> 0 in
+  Hashtbl.replace tbl k (cur + n)
+
+let record t (a : Action.t) =
+  t.steps <- t.steps + 1;
+  bump t.by_category (Action.category a) 1;
+  match a with
+  | Action.Rf_send (_, set, m) ->
+      let copies = Proc.Set.cardinal set in
+      bump t.sent_by_kind (Msg.Wire.kind m) copies;
+      bump t.sent_bytes_by_kind (Msg.Wire.kind m) (copies * Msg.Wire.size_bytes m)
+  | Action.Rf_deliver (_, _, m) -> bump t.delivered_by_kind (Msg.Wire.kind m) 1
+  | _ -> ()
+
+let steps t = t.steps
+let rounds t = t.rounds
+let add_round t = t.rounds <- t.rounds + 1
+
+let category_count t c =
+  match Hashtbl.find_opt t.by_category c with Some n -> n | None -> 0
+
+let sent_count t k =
+  match Hashtbl.find_opt t.sent_by_kind k with Some n -> n | None -> 0
+
+let sent_bytes t k =
+  match Hashtbl.find_opt t.sent_bytes_by_kind k with Some n -> n | None -> 0
+
+let delivered_count t k =
+  match Hashtbl.find_opt t.delivered_by_kind k with Some n -> n | None -> 0
+
+let pp ppf t =
+  Fmt.pf ppf "steps=%d rounds=%d" t.steps t.rounds;
+  Hashtbl.iter
+    (fun k n -> Fmt.pf ppf " sent[%s]=%d" (Msg.Wire.kind_to_string k) n)
+    t.sent_by_kind

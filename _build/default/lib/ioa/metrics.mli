@@ -1,0 +1,27 @@
+(** Execution metrics backing the benchmark tables: action counts by
+    category, wire-message copies by kind (an [Rf_send] to k targets
+    counts k), and communication rounds (incremented by the
+    round-synchronous runner). *)
+
+open Vsgc_types
+
+type t
+
+val create : unit -> t
+
+val record : t -> Action.t -> unit
+(** Called by the executor on every performed action. *)
+
+val steps : t -> int
+val rounds : t -> int
+val add_round : t -> unit
+val category_count : t -> Action.category -> int
+
+val sent_count : t -> Msg.Wire.kind -> int
+(** Point-to-point copies sent, by wire-message kind. *)
+
+val sent_bytes : t -> Msg.Wire.kind -> int
+(** Approximate bytes sent ({!Vsgc_types.Msg.Wire.size_bytes} × copies). *)
+
+val delivered_count : t -> Msg.Wire.kind -> int
+val pp : Format.formatter -> t -> unit

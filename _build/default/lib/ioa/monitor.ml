@@ -1,0 +1,23 @@
+(* Online trace monitors.
+
+   A monitor observes the composed system's trace action-by-action and
+   raises [Violation] as soon as the trace leaves the set of traces of
+   the specification automaton it renders. [at_end] reports residual
+   obligations that can only be judged on the whole trace (e.g. the
+   pairwise transitional-set consistency of Property 4.1). *)
+
+exception Violation of { monitor : string; message : string }
+
+type t = {
+  name : string;
+  on_action : Vsgc_types.Action.t -> unit;
+  at_end : unit -> string list;
+}
+
+let violate ~monitor fmt =
+  Fmt.kstr (fun message -> raise (Violation { monitor; message })) fmt
+
+let check ~monitor cond fmt =
+  if cond then Fmt.kstr ignore fmt else violate ~monitor fmt
+
+let make ?(at_end = fun () -> []) name on_action = { name; on_action; at_end }

@@ -1,0 +1,25 @@
+(** Online trace monitors — executable specification automata.
+
+    A monitor observes the composed system's trace action-by-action and
+    raises {!Violation} the moment the trace leaves the specification's
+    trace set (trace-inclusion checking, the dynamic counterpart of the
+    paper's refinement proofs). *)
+
+exception Violation of { monitor : string; message : string }
+
+type t = {
+  name : string;
+  on_action : Vsgc_types.Action.t -> unit;
+      (** called on every step; raises {!Violation} on non-conformance *)
+  at_end : unit -> string list;
+      (** residual obligations judged on the whole trace; non-empty
+          means violated *)
+}
+
+val violate : monitor:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise a {!Violation} with a formatted message. *)
+
+val check : monitor:string -> bool -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [check ~monitor cond fmt ...] raises unless [cond] holds. *)
+
+val make : ?at_end:(unit -> string list) -> string -> (Vsgc_types.Action.t -> unit) -> t

@@ -1,0 +1,69 @@
+(* Round-synchronous execution mode.
+
+   Measures latency in communication rounds, the unit the paper uses
+   ("a single message exchange round", §1, §5). A round is: run all
+   enabled local (non-delivery) actions to quiescence, then deliver
+   exactly the messages that were in transit at the start of the round.
+   Messages sent during a round are delivered in the next one — the
+   classic synchronous-round abstraction over an asynchronous system.
+
+   The executor cannot see channel occupancy, so the caller supplies a
+   [budget] built from the harness's typed view of the channel states:
+   [budget ()] returns a stateful allowance consulted once per attempted
+   delivery this round. *)
+
+open Vsgc_types
+
+type budget = { allow : Action.t -> bool; consume : Action.t -> unit }
+
+let is_delivery (a : Action.t) =
+  match Action.category a with
+  | Action.C_rf_deliver | Action.C_srv_deliver -> true
+  | _ -> false
+
+let local_quiesce ?(max_steps = 100_000) exec =
+  Executor.run_filtered exec ~max_steps ~allow:(fun a -> not (is_delivery a))
+
+(* Execute one round: run local actions to quiescence, snapshot the
+   in-transit messages (the budget), then deliver exactly those —
+   interleaving any local reactions, whose own sends will only travel
+   in the NEXT round. Returns the number of deliveries performed. *)
+let round ?(max_steps = 100_000) exec ~make_budget =
+  let deliveries = ref 0 in
+  let steps = ref 0 in
+  steps := local_quiesce ~max_steps exec;
+  let budget : budget = make_budget () in
+  let rec go () =
+    if !steps >= max_steps then ()
+    else
+      let cands =
+        Executor.candidates exec
+        |> List.filter (fun (_, a) -> is_delivery a && budget.allow a)
+      in
+      match cands with
+      | [] -> ()
+      | (i, a) :: _ ->
+          Executor.perform exec ~owner:i a;
+          budget.consume a;
+          incr deliveries;
+          incr steps;
+          steps := !steps + local_quiesce ~max_steps:(max_steps - !steps) exec;
+          go ()
+  in
+  go ();
+  !deliveries
+
+(* Run rounds until [stop] holds or nothing is in transit. Returns the
+   number of rounds that actually delivered messages. *)
+let run_rounds ?(max_rounds = 1_000) exec ~make_budget ~stop =
+  let rec go r =
+    if stop () || r >= max_rounds then r
+    else
+      let delivered = round exec ~make_budget in
+      if delivered = 0 then r
+      else begin
+        Metrics.add_round (Executor.metrics exec);
+        go (r + 1)
+      end
+  in
+  go 0

@@ -1,0 +1,37 @@
+(** Round-synchronous execution.
+
+    Measures latency in communication rounds — the unit the paper
+    argues in ("a single message exchange round", §1, §5). A round runs
+    all enabled local (non-delivery) actions to quiescence, then
+    delivers exactly the messages that were in transit at the round
+    boundary; messages sent during a round arrive in the next one. *)
+
+open Vsgc_types
+
+type budget = {
+  allow : Action.t -> bool;  (** may this delivery happen this round? *)
+  consume : Action.t -> unit;  (** account a performed delivery *)
+}
+(** One round's delivery allowance, built by the harness from its typed
+    view of the channel states (the executor cannot see occupancy). *)
+
+val is_delivery : Action.t -> bool
+(** [Rf_deliver] and [Srv_deliver] — everything else is local. *)
+
+val local_quiesce : ?max_steps:int -> Executor.t -> int
+(** Run non-delivery actions to quiescence; returns steps taken. *)
+
+val round : ?max_steps:int -> Executor.t -> make_budget:(unit -> budget) -> int
+(** Execute one round: local quiescence first, then the budget snapshot,
+    then deliveries (with local reactions interleaved — their sends wait
+    for the next round). Returns the number of deliveries performed. *)
+
+val run_rounds :
+  ?max_rounds:int ->
+  Executor.t ->
+  make_budget:(unit -> budget) ->
+  stop:(unit -> bool) ->
+  int
+(** Run rounds until [stop] (checked at round boundaries) or until a
+    round delivers nothing; returns the number of delivering rounds
+    (also accumulated into the executor's metrics). *)

@@ -1,0 +1,77 @@
+(* Queries over recorded traces.
+
+   The executor's trace is the externally observable behaviour of the
+   composed system; these helpers answer the questions the experiments
+   and tests ask of it (deliveries during reconfiguration, blocking
+   windows, per-process view sequences) without each caller hand-rolling
+   a scan. *)
+
+open Vsgc_types
+
+let count pred trace = List.length (List.filter pred trace)
+
+(* The views delivered to the application at [p], in order. *)
+let views_at ~at trace =
+  List.filter_map
+    (function Action.App_view (p, v, tset) when Proc.equal p at -> Some (v, tset) | _ -> None)
+    trace
+
+(* The payloads delivered to [at] from [sender], in order. *)
+let delivered_payloads ~at ~sender trace =
+  List.filter_map
+    (function
+      | Action.App_deliver (p, q, m) when Proc.equal p at && Proc.equal q sender ->
+          Some (Msg.App_msg.payload m)
+      | _ -> None)
+    trace
+
+(* Application deliveries at [at] that occur strictly between its
+   [k]'th start_change notification (1-based) and its next view — the
+   paper's "messages delivered while reconfiguring" (§1, bench E6). *)
+let deliveries_during_reconfiguration ?(nth_change = 1) ~at trace =
+  let rec scan sc_seen counting count = function
+    | [] -> count
+    | Action.Mb_start_change (p, _, _) :: rest when Proc.equal p at ->
+        let sc_seen = sc_seen + 1 in
+        scan sc_seen (counting || sc_seen = nth_change) count rest
+    | Action.App_view (p, _, _) :: rest when Proc.equal p at ->
+        if counting then count else scan sc_seen counting count rest
+    | Action.App_deliver (p, _, _) :: rest when Proc.equal p at && counting ->
+        scan sc_seen counting (count + 1) rest
+    | _ :: rest -> scan sc_seen counting count rest
+  in
+  scan 0 (nth_change = 0) 0 trace
+
+(* The length (in trace steps) of [at]'s blocked window: from its
+   block_ok acknowledgment to its next view. Returns the windows for
+   every reconfiguration observed. *)
+let blocked_windows ~at trace =
+  let rec scan opened idx acc = function
+    | [] -> List.rev acc
+    | Action.Block_ok p :: rest when Proc.equal p at -> scan (Some idx) (idx + 1) acc rest
+    | Action.App_view (p, _, _) :: rest when Proc.equal p at -> (
+        match opened with
+        | Some start -> scan None (idx + 1) ((idx - start) :: acc) rest
+        | None -> scan None (idx + 1) acc rest)
+    | _ :: rest -> scan opened (idx + 1) acc rest
+  in
+  scan None 0 [] trace
+
+(* Did [a] occur before [b] (first occurrences)? *)
+let happens_before pred_a pred_b trace =
+  let rec go seen_a = function
+    | [] -> false
+    | x :: _ when pred_b x -> seen_a
+    | x :: rest -> go (seen_a || pred_a x) rest
+  in
+  go false trace
+
+(* Per-category totals — a cheap sanity check against Metrics. *)
+let category_counts trace =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let c = Action.category a in
+      Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    trace;
+  tbl

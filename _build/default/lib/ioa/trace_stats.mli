@@ -1,0 +1,28 @@
+(** Queries over recorded traces — shared by the experiments and tests
+    (deliveries during reconfiguration, blocking windows, per-process
+    view sequences). *)
+
+open Vsgc_types
+
+val count : (Action.t -> bool) -> Action.t list -> int
+
+val views_at : at:Proc.t -> Action.t list -> (View.t * Proc.Set.t) list
+(** The views delivered to the application at [at], in order. *)
+
+val delivered_payloads : at:Proc.t -> sender:Proc.t -> Action.t list -> string list
+
+val deliveries_during_reconfiguration :
+  ?nth_change:int -> at:Proc.t -> Action.t list -> int
+(** Application deliveries at [at] strictly between its [nth_change]'th
+    start_change (1-based, default 1) and its next view — the paper's
+    "messages delivered while reconfiguring" (§1). *)
+
+val blocked_windows : at:Proc.t -> Action.t list -> int list
+(** Trace-step lengths of [at]'s blocked windows (block_ok → view). *)
+
+val happens_before :
+  (Action.t -> bool) -> (Action.t -> bool) -> Action.t list -> bool
+(** Did the first match of the first predicate precede the first match
+    of the second? *)
+
+val category_counts : Action.t list -> (Action.category, int) Hashtbl.t

@@ -1,0 +1,1 @@
+lib/mbrshp/oracle.ml: Action Fmt List Proc View Vsgc_ioa Vsgc_types

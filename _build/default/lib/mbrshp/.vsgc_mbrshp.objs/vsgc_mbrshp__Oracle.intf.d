@@ -1,0 +1,1 @@
+lib/mbrshp/oracle.mli: Action Proc View Vsgc_ioa Vsgc_types

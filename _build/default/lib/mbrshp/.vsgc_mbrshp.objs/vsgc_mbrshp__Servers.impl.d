@@ -1,0 +1,1 @@
+lib/mbrshp/servers.ml: Action Fmt List Proc Server Srv_msg View Vsgc_ioa Vsgc_types

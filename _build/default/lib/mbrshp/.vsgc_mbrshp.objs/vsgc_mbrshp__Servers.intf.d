@@ -1,0 +1,1 @@
+lib/mbrshp/servers.mli: Action Proc Server Srv_msg View Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+lib/mbrshp/srv_net.ml: Action Fqueue Hashtbl Map Server Srv_msg Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+lib/mbrshp/srv_net.mli: Action Fqueue Map Server Srv_msg Vsgc_ioa Vsgc_types

@@ -1,0 +1,148 @@
+(* A scriptable membership service satisfying the MBRSHP specification
+   (paper §3.1, Figure 2) by construction.
+
+   Test harnesses drive reconfigurations through the queueing API; the
+   component then emits the queued start_change and view events to each
+   client in FIFO order, interleaved freely with the rest of the system
+   by the scheduler. All spec obligations (local monotonicity, self
+   inclusion, startId bookkeeping, mode alternation) are enforced at
+   queueing time, so a script bug fails fast with Invalid_argument. *)
+
+open Vsgc_types
+
+type mode = Normal | Change_started
+
+type pst = {
+  last_cid : View.Sc_id.t;  (* id of the last start_change queued for p *)
+  last_sc_set : Proc.Set.t;  (* member set in that start_change *)
+  last_vid : View.Id.t;  (* id of the last view queued for p *)
+  mode : mode;
+  pending : Action.t list;  (* events queued, newest first *)
+}
+
+let initial_pst p =
+  {
+    last_cid = View.Sc_id.zero;
+    last_sc_set = Proc.Set.singleton p;
+    last_vid = View.Id.zero;
+    mode = Normal;
+    pending = [];
+  }
+
+type state = pst Proc.Map.t
+
+let initial : state = Proc.Map.empty
+
+let pst st p = Proc.Map.find_default ~default:(initial_pst p) p st
+
+(* -- Scripting API (operates on the shared state ref) ----------------- *)
+
+(* Queue a start_change to every member of [set], each with a fresh
+   locally-unique identifier. Returns the per-process identifiers. *)
+let queue_start_change (r : state ref) ~(set : Proc.Set.t) :
+    View.Sc_id.t Proc.Map.t =
+  let cids =
+    Proc.Set.fold
+      (fun p acc ->
+        let ps = pst !r p in
+        let cid = View.Sc_id.succ ps.last_cid in
+        let ps' =
+          {
+            ps with
+            last_cid = cid;
+            last_sc_set = set;
+            mode = Change_started;
+            pending = Action.Mb_start_change (p, cid, set) :: ps.pending;
+          }
+        in
+        r := Proc.Map.add p ps' !r;
+        Proc.Map.add p cid acc)
+      set Proc.Map.empty
+  in
+  cids
+
+(* Queue delivery of [view] to every member, validating the MBRSHP spec
+   preconditions against the queue-projected state. *)
+let queue_view (r : state ref) (view : View.t) : unit =
+  Proc.Set.iter
+    (fun p ->
+      let ps = pst !r p in
+      if not (View.Id.lt ps.last_vid (View.id view)) then
+        invalid_arg
+          (Fmt.str "Oracle.queue_view: %a not > %a for %a" View.Id.pp
+             (View.id view) View.Id.pp ps.last_vid Proc.pp p);
+      if not (Proc.Set.subset (View.set view) ps.last_sc_set) then
+        invalid_arg
+          (Fmt.str "Oracle.queue_view: view set %a not within start_change set %a"
+             Proc.Set.pp (View.set view) Proc.Set.pp ps.last_sc_set);
+      if ps.mode <> Change_started then
+        invalid_arg "Oracle.queue_view: no start_change precedes this view";
+      if not (View.Sc_id.equal (View.start_id view p) ps.last_cid) then
+        invalid_arg
+          (Fmt.str "Oracle.queue_view: startId(%a)=%a but last cid is %a" Proc.pp
+             p View.Sc_id.pp (View.start_id view p) View.Sc_id.pp ps.last_cid);
+      let ps' =
+        {
+          ps with
+          last_vid = View.id view;
+          mode = Normal;
+          pending = Action.Mb_view (p, view) :: ps.pending;
+        }
+      in
+      r := Proc.Map.add p ps' !r)
+    (View.set view)
+
+(* Build the view that follows the queued start_changes: identifier
+   strictly above every member's last view id, startId map taken from
+   the members' pending start_change identifiers. *)
+let form_view (r : state ref) ~(origin : int) ~(set : Proc.Set.t) : View.t =
+  let max_vid =
+    Proc.Set.fold
+      (fun p acc ->
+        let ps = pst !r p in
+        if View.Id.lt acc ps.last_vid then ps.last_vid else acc)
+      set View.Id.zero
+  in
+  let start_ids =
+    Proc.Set.fold (fun p acc -> Proc.Map.add p (pst !r p).last_cid acc) set
+      Proc.Map.empty
+  in
+  let view =
+    View.make ~id:(View.Id.succ_from ~origin max_vid) ~set ~start_ids
+  in
+  queue_view r view;
+  view
+
+(* A full reconfiguration: start_change to all of [set], then the view. *)
+let change (r : state ref) ?(origin = 0) ~(set : Proc.Set.t) () : View.t =
+  ignore (queue_start_change r ~set);
+  form_view r ~origin ~set
+
+(* -- Component --------------------------------------------------------- *)
+
+let outputs (st : state) =
+  Proc.Map.fold
+    (fun _p ps acc ->
+      match List.rev ps.pending with [] -> acc | a :: _ -> a :: acc)
+    st []
+
+let apply (st : state) (a : Action.t) =
+  match a with
+  | Action.Mb_start_change (p, _, _) | Action.Mb_view (p, _) -> (
+      let ps = pst st p in
+      match List.rev ps.pending with
+      | head :: rest when Action.equal head a ->
+          Proc.Map.add p { ps with pending = List.rev rest } st
+      | _ -> st)
+  | _ -> st
+
+let def : state Vsgc_ioa.Component.def =
+  { name = "mbrshp_oracle"; init = initial; accepts = (fun _ -> false); outputs; apply }
+
+let component () =
+  let r = ref initial in
+  (Vsgc_ioa.Component.pack_with_ref def r, r)
+
+(* True when every queued event has been emitted. *)
+let drained (r : state ref) =
+  Proc.Map.for_all (fun _ ps -> ps.pending = []) !r

@@ -1,0 +1,54 @@
+(** A scriptable membership service satisfying the MBRSHP specification
+    (paper §3.1, Figure 2) by construction.
+
+    Harnesses drive reconfigurations through the queueing API; the
+    component emits the queued start_change and view events to each
+    client in FIFO order, interleaved freely by the scheduler. Spec
+    obligations (local monotonicity, self inclusion, startId
+    bookkeeping, mode alternation) are validated at queueing time, so a
+    script bug fails fast with [Invalid_argument]. *)
+
+open Vsgc_types
+
+type mode = Normal | Change_started
+
+type pst = {
+  last_cid : View.Sc_id.t;  (** last start_change id queued for p *)
+  last_sc_set : Proc.Set.t;  (** member set in that start_change *)
+  last_vid : View.Id.t;  (** id of the last view queued for p *)
+  mode : mode;
+  pending : Action.t list;  (** events queued, newest first *)
+}
+
+type state = pst Proc.Map.t
+
+val initial : state
+val pst : state -> Proc.t -> pst
+
+(** {1 Scripting API (operates on the shared state ref)} *)
+
+val queue_start_change : state ref -> set:Proc.Set.t -> View.Sc_id.t Proc.Map.t
+(** Queue a start_change to every member of [set], each with a fresh
+    locally-unique identifier; returns the identifiers. *)
+
+val queue_view : state ref -> View.t -> unit
+(** Queue delivery of a hand-built view to its members.
+    @raise Invalid_argument if it violates the MBRSHP spec. *)
+
+val form_view : state ref -> origin:int -> set:Proc.Set.t -> View.t
+(** Build and queue the view following the queued start_changes:
+    identifier above every member's last, startId map from the pending
+    identifiers. *)
+
+val change : state ref -> ?origin:int -> set:Proc.Set.t -> unit -> View.t
+(** A full reconfiguration: start_change to all of [set], then the view. *)
+
+(** {1 Component} *)
+
+val outputs : state -> Action.t list
+val apply : state -> Action.t -> state
+val def : state Vsgc_ioa.Component.def
+val component : unit -> Vsgc_ioa.Component.packed * state ref
+
+val drained : state ref -> bool
+(** True when every queued event has been emitted. *)

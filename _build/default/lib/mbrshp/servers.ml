@@ -1,0 +1,304 @@
+(* A client-server membership algorithm in the style of
+   Keidar-Sussman-Marzullo-Dolev [27] (Moshe) — the external membership
+   service the paper's GCS was implemented against (see DESIGN.md §2).
+
+   Dedicated servers maintain the client membership; each client is
+   attached to exactly one server. A failure-detector event, join or
+   leave starts a change: the server sends each attached client a
+   start_change with a fresh locally-unique identifier and the
+   estimated member set, and sends every live peer a proposal (its
+   clients and their identifiers, its server-set estimate, its client-
+   union estimate, the largest view identifier it has seen). A server
+   refreshes — new identifiers, new proposal — whenever its estimated
+   union drifts from what it last announced, or when it learns a peer
+   proposal newer than the one used for its last delivered view.
+
+   Once the minimum live server holds proposals from all live servers
+   that agree on the server set and the client union, it synthesizes
+   the view (successor of the maximum view identifier, the union as the
+   member set, the startId map merged from the proposals), delivers it
+   to its own clients, and commits it to its peers; a peer delivers a
+   commit after validating it against its own bookkeeping (it is mid-
+   change, the view is fresh, the member set is covered by what it
+   announced, and the identifiers of its own clients match what it last
+   sent). Stale commits are discarded; the refresh rules guarantee a
+   fresh one follows.
+
+   In the failure-free fast path this costs one proposal wave (run
+   concurrently with the GCS end-points' single synchronization round)
+   plus the commit hop. Moshe's symmetric fast path saves that hop;
+   our commit step trades it for a much simpler consistency argument —
+   a substitution recorded in DESIGN.md §2. *)
+
+open Vsgc_types
+
+type t = {
+  me : Server.t;
+  alive : Server.Set.t;  (* failure-detector estimate, includes me *)
+  clients : Proc.Set.t;  (* clients attached to this server *)
+  round : int;
+  sent_cid : View.Sc_id.t Proc.Map.t;  (* last start_change id per client, ever *)
+  announced : Proc.Set.t option;  (* member set of the last start_change batch *)
+  proposals : Srv_msg.proposal Server.Map.t;  (* latest per live server, incl. self *)
+  concluded_rounds : int Server.Map.t;  (* proposal rounds behind the last delivered view *)
+  max_vid : View.Id.t;
+  in_change : bool;
+  last_view_set : Proc.Set.t;
+  pending : Action.t list Proc.Map.t;  (* per-client event queue, oldest first *)
+  outbox : (Server.t * Srv_msg.t) list;  (* oldest first *)
+}
+
+let initial ?(clients = Proc.Set.empty) ~servers me =
+  {
+    me;
+    alive = servers;
+    clients;
+    round = 0;
+    sent_cid = Proc.Map.empty;
+    announced = None;
+    proposals = Server.Map.empty;
+    concluded_rounds = Server.Map.empty;
+    max_vid = View.Id.zero;
+    in_change = false;
+    last_view_set = Proc.Set.empty;
+    pending = Proc.Map.empty;
+    outbox = [];
+  }
+
+(* The estimated client union: this server's clients plus the clients
+   reported by the latest proposal of every other live server. *)
+let estimate st =
+  Server.Set.fold
+    (fun s acc ->
+      if Server.equal s st.me then acc
+      else
+        match Server.Map.find_opt s st.proposals with
+        | Some (p : Srv_msg.proposal) ->
+            Proc.Set.union acc (Proc.Map.key_set p.Srv_msg.clients)
+        | None -> acc)
+    st.alive st.clients
+
+let queue_for st c a =
+  let q = Proc.Map.find_default ~default:[] c st.pending in
+  { st with pending = Proc.Map.add c (q @ [ a ]) st.pending }
+
+(* Start (or restart) a change: fresh start_change identifiers for the
+   attached clients, and a fresh proposal to the live peers. *)
+let refresh st =
+  let target = estimate st in
+  let round = st.round + 1 in
+  let st, cids =
+    Proc.Set.fold
+      (fun c (st, cids) ->
+        let cid =
+          View.Sc_id.succ (Proc.Map.find_default ~default:View.Sc_id.zero c st.sent_cid)
+        in
+        let st = { st with sent_cid = Proc.Map.add c cid st.sent_cid } in
+        (queue_for st c (Action.Mb_start_change (c, cid, target)), Proc.Map.add c cid cids))
+      st.clients (st, Proc.Map.empty)
+  in
+  let proposal =
+    { Srv_msg.round; from = st.me; servers = st.alive; clients = cids;
+      members = target; max_vid = st.max_vid }
+  in
+  let peers = Server.Set.remove st.me st.alive in
+  {
+    st with
+    round;
+    announced = Some target;
+    in_change = true;
+    proposals = Server.Map.add st.me proposal st.proposals;
+    outbox =
+      st.outbox @ List.map (fun s -> (s, Srv_msg.Proposal proposal)) (Server.Set.elements peers);
+  }
+
+let is_min st = Server.Set.min_elt_opt st.alive = Some st.me
+
+(* The minimum live server may conclude when every live server's latest
+   proposal agrees on the server set and on the client union it itself
+   announced to its clients. *)
+let ready st =
+  st.in_change && is_min st
+  && (match st.announced with
+     | Some s -> Proc.Set.equal s (estimate st)
+     | None -> false)
+  && Server.Set.for_all
+       (fun s ->
+         match Server.Map.find_opt s st.proposals with
+         | Some (p : Srv_msg.proposal) ->
+             Server.Set.equal p.Srv_msg.servers st.alive
+             && (match st.announced with
+                | Some u -> Proc.Set.equal p.Srv_msg.members u
+                | None -> false)
+         | None -> false)
+       st.alive
+
+(* Deterministic view synthesis from the proposal table. *)
+let synthesize st =
+  let props =
+    Server.Set.fold
+      (fun s acc ->
+        match Server.Map.find_opt s st.proposals with Some p -> p :: acc | None -> acc)
+      st.alive []
+  in
+  let max_vid =
+    List.fold_left
+      (fun acc (p : Srv_msg.proposal) ->
+        if View.Id.lt acc p.Srv_msg.max_vid then p.Srv_msg.max_vid else acc)
+      st.max_vid props
+  in
+  let start_ids =
+    List.fold_left
+      (fun acc (p : Srv_msg.proposal) -> Proc.Map.union (fun _ a _ -> Some a) acc p.Srv_msg.clients)
+      Proc.Map.empty props
+  in
+  View.make
+    ~id:(View.Id.succ_from ~origin:(Server.to_int st.me) max_vid)
+    ~set:(Proc.Map.key_set start_ids) ~start_ids
+
+let table_rounds st =
+  Server.Set.fold
+    (fun s acc ->
+      match Server.Map.find_opt s st.proposals with
+      | Some (p : Srv_msg.proposal) -> Server.Map.add s p.Srv_msg.round acc
+      | None -> acc)
+    st.alive Server.Map.empty
+
+(* Deliver [view] to this server's attached clients (those that are
+   members) and leave the change. *)
+let install st view =
+  let st =
+    Proc.Set.fold
+      (fun c st ->
+        if View.mem c view then queue_for st c (Action.Mb_view (c, view)) else st)
+      st.clients st
+  in
+  {
+    st with
+    in_change = false;
+    announced = None;
+    max_vid = View.id view;
+    last_view_set = View.set view;
+    concluded_rounds = table_rounds st;
+  }
+
+let conclude st =
+  if not (ready st) then st
+  else
+    let view = synthesize st in
+    let st = install st view in
+    let peers = Server.Set.remove st.me st.alive in
+    { st with
+      outbox =
+        st.outbox @ List.map (fun s -> (s, Srv_msg.Commit view)) (Server.Set.elements peers) }
+
+(* A peer validates a committed view before delivering it: it must be
+   mid-change, the view fresh, its member set covered by the announced
+   set (the MBRSHP spec's subset obligation), and the identifiers of
+   this server's own clients must match what it last sent them. *)
+let commit_valid st view =
+  st.in_change
+  && View.Id.lt st.max_vid (View.id view)
+  && (match st.announced with
+     | Some u -> Proc.Set.subset (View.set view) u
+     | None -> false)
+  && Proc.Set.for_all
+       (fun c ->
+         (not (View.mem c view))
+         || View.Sc_id.equal (View.start_id view c)
+              (Proc.Map.find_default ~default:View.Sc_id.zero c st.sent_cid))
+       st.clients
+
+(* A change is needed when the estimated union drifted from what this
+   server last announced, or — after a view — when a peer proposal
+   newer than the one behind that view arrives (somebody is
+   reconfiguring; we must join in so the committer can use fresh
+   identifiers for our clients too). *)
+let reconcile st =
+  let u = estimate st in
+  let drifted =
+    if st.in_change then
+      match st.announced with Some s -> not (Proc.Set.equal s u) | None -> true
+    else
+      (not (Proc.Set.equal u st.last_view_set))
+      || Server.Set.exists
+           (fun s ->
+             match Server.Map.find_opt s st.proposals with
+             | Some (p : Srv_msg.proposal) ->
+                 p.Srv_msg.round > Server.Map.find_default ~default:0 s st.concluded_rounds
+             | None -> false)
+           st.alive
+  in
+  let st = if drifted then refresh st else st in
+  conclude st
+
+let accepts me (a : Action.t) =
+  match a with
+  | Action.Fd_change (s, _) -> Server.equal s me
+  | Action.Client_join (_, s) | Action.Client_leave (_, s) -> Server.equal s me
+  | Action.Srv_deliver (_, s, _) -> Server.equal s me
+  | _ -> false
+
+let outputs st =
+  let acc =
+    match st.outbox with
+    | (dest, m) :: _ -> [ Action.Srv_send (st.me, dest, m) ]
+    | [] -> []
+  in
+  Proc.Map.fold
+    (fun _c q acc -> match q with a :: _ -> a :: acc | [] -> acc)
+    st.pending acc
+
+let apply st (a : Action.t) =
+  match a with
+  | Action.Fd_change (_, servers) ->
+      let st = { st with alive = Server.Set.add st.me servers } in
+      conclude (refresh st)
+  | Action.Client_join (p, _) ->
+      let st = { st with clients = Proc.Set.add p st.clients } in
+      conclude (refresh st)
+  | Action.Client_leave (p, _) ->
+      let st =
+        { st with clients = Proc.Set.remove p st.clients;
+          pending = Proc.Map.remove p st.pending }
+      in
+      conclude (refresh st)
+  | Action.Srv_deliver (s, _, Srv_msg.Proposal m) ->
+      let newer =
+        match Server.Map.find_opt s st.proposals with
+        | Some (old : Srv_msg.proposal) -> old.Srv_msg.round < m.Srv_msg.round
+        | None -> true
+      in
+      if not newer then st
+      else
+        let st =
+          { st with
+            proposals = Server.Map.add s m st.proposals;
+            max_vid =
+              (if View.Id.lt st.max_vid m.Srv_msg.max_vid then m.Srv_msg.max_vid
+               else st.max_vid) }
+        in
+        reconcile st
+  | Action.Srv_deliver (_, _, Srv_msg.Commit view) ->
+      if commit_valid st view then install st view else st
+  | Action.Srv_send (_, _, _) -> (
+      match st.outbox with _ :: rest -> { st with outbox = rest } | [] -> st)
+  | Action.Mb_start_change (c, _, _) | Action.Mb_view (c, _) -> (
+      match Proc.Map.find_opt c st.pending with
+      | Some (_ :: rest) -> { st with pending = Proc.Map.add c rest st.pending }
+      | _ -> st)
+  | _ -> st
+
+let def ?clients ~servers me : t Vsgc_ioa.Component.def =
+  {
+    name = Fmt.str "mbrshp_server_%a" Server.pp me;
+    init = initial ?clients ~servers me;
+    accepts = accepts me;
+    outputs;
+    apply;
+  }
+
+let component ?clients ~servers me =
+  let d = def ?clients ~servers me in
+  let r = ref d.Vsgc_ioa.Component.init in
+  (Vsgc_ioa.Component.pack_with_ref d r, r)

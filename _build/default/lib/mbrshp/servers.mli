@@ -1,0 +1,56 @@
+(** A client-server membership algorithm in the style of
+    Keidar-Sussman-Marzullo-Dolev [27] (Moshe) — the external
+    membership service the paper's GCS was implemented against.
+
+    Dedicated servers maintain the client membership; each client is
+    attached to exactly one server. A failure-detector event, join or
+    leave starts a change: fresh locally-unique start_change
+    identifiers to the attached clients, and a proposal to the live
+    peers. The minimum live server synthesizes the view once all live
+    proposals agree on the server set and client union, delivers it to
+    its clients, and commits it to its peers, which validate before
+    delivering. Fast path: one proposal wave (concurrent with the GCS
+    end-points' synchronization round) plus the commit hop — see
+    DESIGN.md §2 for the recorded simplification vs Moshe's symmetric
+    fast path. *)
+
+open Vsgc_types
+
+type t = {
+  me : Server.t;
+  alive : Server.Set.t;  (** failure-detector estimate, includes me *)
+  clients : Proc.Set.t;  (** clients attached to this server *)
+  round : int;
+  sent_cid : View.Sc_id.t Proc.Map.t;  (** last start_change id per client *)
+  announced : Proc.Set.t option;  (** member set of the last start_change batch *)
+  proposals : Srv_msg.proposal Server.Map.t;  (** latest per live server *)
+  concluded_rounds : int Server.Map.t;
+      (** proposal rounds behind the last delivered view *)
+  max_vid : View.Id.t;
+  in_change : bool;
+  last_view_set : Proc.Set.t;
+  pending : Action.t list Proc.Map.t;  (** per-client event queue *)
+  outbox : (Server.t * Srv_msg.t) list;
+}
+
+val initial : ?clients:Proc.Set.t -> servers:Server.Set.t -> Server.t -> t
+
+val estimate : t -> Proc.Set.t
+(** The estimated client union over the live servers' latest proposals. *)
+
+val refresh : t -> t
+(** Start (or restart) a change: fresh identifiers and a new proposal. *)
+
+val ready : t -> bool
+(** May this server (the minimum live one) conclude the view? *)
+
+val synthesize : t -> View.t
+(** Deterministic view synthesis from the proposal table. *)
+
+val accepts : Server.t -> Action.t -> bool
+val outputs : t -> Action.t list
+val apply : t -> Action.t -> t
+val def : ?clients:Proc.Set.t -> servers:Server.Set.t -> Server.t -> t Vsgc_ioa.Component.def
+val component :
+  ?clients:Proc.Set.t -> servers:Server.Set.t -> Server.t ->
+  Vsgc_ioa.Component.packed * t ref

@@ -1,0 +1,65 @@
+(* Reliable FIFO transport between membership servers.
+
+   The membership service of [27] assumes reliable server-to-server
+   communication; this component provides it (no loss, per-pair FIFO).
+   Deliveries are ordinary scheduler tasks, so server rounds interleave
+   freely with client traffic — which is exactly what the parallel-
+   rounds experiments measure. *)
+
+open Vsgc_types
+
+module Pair_map = Map.Make (struct
+  type t = Server.t * Server.t
+
+  let compare (a, b) (c, d) =
+    match Server.compare a c with 0 -> Server.compare b d | r -> r
+end)
+
+type state = Srv_msg.t Fqueue.t Pair_map.t
+
+let initial : state = Pair_map.empty
+
+let channel st s s' =
+  match Pair_map.find_opt (s, s') st with Some c -> c | None -> Fqueue.empty
+
+let accepts (a : Action.t) = match a with Action.Srv_send _ -> true | _ -> false
+
+let outputs st =
+  Pair_map.fold
+    (fun (s, s') c acc ->
+      match Fqueue.peek c with
+      | Some m -> Action.Srv_deliver (s, s', m) :: acc
+      | None -> acc)
+    st []
+
+let apply st (a : Action.t) =
+  match a with
+  | Action.Srv_send (s, s', m) -> Pair_map.add (s, s') (Fqueue.push (channel st s s') m) st
+  | Action.Srv_deliver (s, s', _) -> (
+      match Fqueue.pop (channel st s s') with
+      | Some (_, rest) ->
+          if Fqueue.is_empty rest then Pair_map.remove (s, s') st
+          else Pair_map.add (s, s') rest st
+      | None -> st)
+  | _ -> st
+
+let def : state Vsgc_ioa.Component.def =
+  { name = "srv_net"; init = initial; accepts; outputs; apply }
+
+let component () =
+  let r = ref initial in
+  (Vsgc_ioa.Component.pack_with_ref def r, r)
+
+let round_budget (r : state ref) () : Vsgc_ioa.Sync_runner.budget =
+  let remaining = Hashtbl.create 8 in
+  Pair_map.iter (fun k c -> Hashtbl.replace remaining k (Fqueue.length c)) !r;
+  let get k = match Hashtbl.find_opt remaining k with Some n -> n | None -> 0 in
+  {
+    allow =
+      (fun a -> match a with Action.Srv_deliver (s, s', _) -> get (s, s') > 0 | _ -> false);
+    consume =
+      (fun a ->
+        match a with
+        | Action.Srv_deliver (s, s', _) -> Hashtbl.replace remaining (s, s') (get (s, s') - 1)
+        | _ -> ());
+  }

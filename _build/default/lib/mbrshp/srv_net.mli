@@ -1,0 +1,22 @@
+(** Reliable FIFO transport between membership servers.
+
+    The service of [27] assumes reliable server-to-server links; this
+    component provides them (no loss, per-pair FIFO). Deliveries are
+    ordinary scheduler tasks, so server rounds interleave freely with
+    client traffic — which is what the parallel-rounds experiments
+    measure. *)
+
+open Vsgc_types
+
+module Pair_map : Map.S with type key = Server.t * Server.t
+
+type state = Srv_msg.t Fqueue.t Pair_map.t
+
+val initial : state
+val channel : state -> Server.t -> Server.t -> Srv_msg.t Fqueue.t
+val accepts : Action.t -> bool
+val outputs : state -> Action.t list
+val apply : state -> Action.t -> state
+val def : state Vsgc_ioa.Component.def
+val component : unit -> Vsgc_ioa.Component.packed * state ref
+val round_budget : state ref -> unit -> Vsgc_ioa.Sync_runner.budget

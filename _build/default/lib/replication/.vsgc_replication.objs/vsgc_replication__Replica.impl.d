@@ -1,0 +1,1 @@
+lib/replication/replica.ml: Action Fmt List Map Proc String View Vsgc_ioa Vsgc_totalorder Vsgc_types

@@ -1,0 +1,1 @@
+lib/replication/replica.mli: Action Map Proc Vsgc_ioa Vsgc_totalorder Vsgc_types

@@ -1,0 +1,151 @@
+(* A replicated key-value state machine over the totally ordered
+   multicast layer — the application motif the paper gives for Virtual
+   Synchrony (§4.1.2): "a group communication system that supports
+   Virtual Synchrony allows processes to avoid such costly exchange
+   among processes that continue together from one view to the next."
+
+   Commands ("set key value") are multicast through the total order, so
+   replicas that stay together remain byte-identical with no extra
+   synchronization. When groups merge, state transfer is needed only
+   ACROSS groups: the minimum member of each transitional set multicasts
+   one snapshot, and replicas adopt the highest-versioned snapshot they
+   deliver (all through the same total order, so deterministically).
+   The [transfer_blind] ablation models a system without transitional
+   sets, in which every member must ship its snapshot at every view
+   change — the cost difference is measured by bench E8. *)
+
+open Vsgc_types
+module Smap = Map.Make (String)
+module Tord_client = Vsgc_totalorder.Tord_client
+module Tord_core = Vsgc_totalorder.Tord_core
+
+type t = {
+  tc : Tord_client.t;
+  me : Proc.t;
+  transfer_blind : bool;  (* ablation: no transitional-set knowledge *)
+  snapshot_bytes : int;  (* total snapshot payload bytes multicast *)
+  snapshots_sent : int;
+}
+
+let initial ?(transfer_blind = false) me =
+  { tc = Tord_client.initial me; me; transfer_blind; snapshot_bytes = 0; snapshots_sent = 0 }
+
+(* -- Command and snapshot encoding (inside total-order payloads) --------- *)
+
+let encode_set ~key ~value = Fmt.str "S%s=%s" key value
+
+let encode_snapshot ~version kv =
+  let body =
+    Smap.bindings kv |> List.map (fun (k, v) -> k ^ "=" ^ v) |> String.concat ";"
+  in
+  Fmt.str "X%d:%s" version body
+
+type cmd = Set of string * string | Snapshot of int * string Smap.t | Unknown
+
+let decode s =
+  if String.length s = 0 then Unknown
+  else
+    match s.[0] with
+    | 'S' -> (
+        match String.index_opt s '=' with
+        | Some i ->
+            Set (String.sub s 1 (i - 1), String.sub s (i + 1) (String.length s - i - 1))
+        | None -> Unknown)
+    | 'X' -> (
+        match String.index_opt s ':' with
+        | Some i -> (
+            match int_of_string_opt (String.sub s 1 (i - 1)) with
+            | Some version ->
+                let body = String.sub s (i + 1) (String.length s - i - 1) in
+                let kv =
+                  List.fold_left
+                    (fun acc pair ->
+                      match String.index_opt pair '=' with
+                      | Some j ->
+                          Smap.add (String.sub pair 0 j)
+                            (String.sub pair (j + 1) (String.length pair - j - 1))
+                            acc
+                      | None -> acc)
+                    Smap.empty
+                    (if body = "" then [] else String.split_on_char ';' body)
+                in
+                Snapshot (version, kv)
+            | None -> Unknown)
+        | None -> Unknown)
+    | _ -> Unknown
+
+(* -- Deterministic state: fold the total order ---------------------------- *)
+
+(* Replaying the totally ordered log is what makes every replica's
+   state a pure function of the (agreed) log: commands bump the
+   version; a snapshot merges key-wise with the snapshot's values
+   winning. Because snapshots occupy the same totally ordered log,
+   replicas coming from different partitions fold different prefixes
+   but identical merge suffixes, and every key present in any snapshot
+   converges — the snapshots carry each group's complete state, so
+   nothing else survives a merge unmerged. *)
+let fold_state entries =
+  List.fold_left
+    (fun (version, kv) (_, payload) ->
+      match decode payload with
+      | Set (k, v) -> (version + 1, Smap.add k v kv)
+      | Snapshot (ver, snap_kv) ->
+          (max version ver, Smap.union (fun _ _mine theirs -> Some theirs) kv snap_kv)
+      | Unknown -> (version, kv))
+    (0, Smap.empty) entries
+
+let state t = snd (fold_state (Tord_client.total_order t.tc))
+let version t = fst (fold_state (Tord_client.total_order t.tc))
+let get t key = Smap.find_opt key (state t)
+
+(* -- Scripting API --------------------------------------------------------- *)
+
+let set (r : t ref) ~key ~value =
+  let tc = ref !r.tc in
+  Tord_client.push tc (encode_set ~key ~value);
+  r := { !r with tc = !tc }
+
+(* -- Component -------------------------------------------------------------- *)
+
+let outputs t = Tord_client.outputs t.tc
+
+let accepts me = Tord_client.accepts me
+
+(* Ship a snapshot when new members join this replica's group: with
+   transitional sets, only the group minimum sends; blind, everybody
+   does at every change. *)
+let should_send_snapshot t view tset =
+  let joined = not (Proc.Set.equal (View.set view) tset) in
+  if t.transfer_blind then View.mem t.me view
+  else joined && Proc.Set.min_elt_opt tset = Some t.me
+
+let apply t (a : Action.t) =
+  let tc = Tord_client.apply t.tc a in
+  let t = { t with tc } in
+  match a with
+  | Action.App_view (_, view, tset) when not tc.Tord_client.crashed ->
+      if should_send_snapshot t view tset then begin
+        let snap = encode_snapshot ~version:(version t) (state t) in
+        let tcr = ref t.tc in
+        Tord_client.push tcr snap;
+        { t with
+          tc = !tcr;
+          snapshot_bytes = t.snapshot_bytes + String.length snap;
+          snapshots_sent = t.snapshots_sent + 1 }
+      end
+      else t
+  | _ -> t
+
+let def ?transfer_blind me : t Vsgc_ioa.Component.def =
+  {
+    name = Fmt.str "replica_%a" Proc.pp me;
+    init = initial ?transfer_blind me;
+    accepts = accepts me;
+    outputs;
+    apply;
+  }
+
+let component ?transfer_blind me =
+  let d = def ?transfer_blind me in
+  let r = ref d.Vsgc_ioa.Component.init in
+  (Vsgc_ioa.Component.pack_with_ref d r, r)

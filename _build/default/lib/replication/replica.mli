@@ -1,0 +1,50 @@
+(** A replicated key-value state machine over totally ordered multicast
+    — the application motif the paper gives for Virtual Synchrony
+    (§4.1.2). Replicas that travel together stay byte-identical with no
+    synchronization exchange; on merges, the minimum member of each
+    transitional set multicasts one snapshot, folded into the same
+    totally ordered log as the commands (so adoption is deterministic
+    everywhere). The [transfer_blind] ablation models a system without
+    transitional sets: every member ships its snapshot at every view
+    change (bench E8). *)
+
+open Vsgc_types
+module Smap : Map.S with type key = string
+module Tord_client = Vsgc_totalorder.Tord_client
+
+type t = {
+  tc : Tord_client.t;
+  me : Proc.t;
+  transfer_blind : bool;
+  snapshot_bytes : int;  (** total snapshot payload bytes multicast *)
+  snapshots_sent : int;
+}
+
+val initial : ?transfer_blind:bool -> Proc.t -> t
+
+(** {1 Commands and snapshots} *)
+
+val encode_set : key:string -> value:string -> string
+val encode_snapshot : version:int -> string Smap.t -> string
+
+type cmd = Set of string * string | Snapshot of int * string Smap.t | Unknown
+
+val decode : string -> cmd
+
+(** {1 State (a pure fold of the totally ordered log)} *)
+
+val state : t -> string Smap.t
+val version : t -> int
+val get : t -> string -> string option
+
+(** {1 Scripting} *)
+
+val set : t ref -> key:string -> value:string -> unit
+
+(** {1 Component} *)
+
+val outputs : t -> Action.t list
+val accepts : Proc.t -> Action.t -> bool
+val apply : t -> Action.t -> t
+val def : ?transfer_blind:bool -> Proc.t -> t Vsgc_ioa.Component.def
+val component : ?transfer_blind:bool -> Proc.t -> Vsgc_ioa.Component.packed * t ref

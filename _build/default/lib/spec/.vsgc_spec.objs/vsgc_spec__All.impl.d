@@ -1,0 +1,1 @@
+lib/spec/all.ml: Client_spec Co_rfifo_spec Mbrshp_spec Self_spec Trans_set_spec Vs_rfifo_spec Wv_rfifo_spec

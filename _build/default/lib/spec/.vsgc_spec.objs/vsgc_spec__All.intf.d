@@ -1,0 +1,1 @@
+lib/spec/all.mli: Vsgc_ioa

@@ -1,0 +1,1 @@
+lib/spec/client_spec.ml: Action Hashtbl Msg Proc Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+lib/spec/client_spec.mli: Vsgc_ioa

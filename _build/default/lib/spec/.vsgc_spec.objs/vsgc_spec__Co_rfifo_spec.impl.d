@@ -1,0 +1,1 @@
+lib/spec/co_rfifo_spec.ml: Action Fqueue Hashtbl Msg Proc Vsgc_ioa Vsgc_types

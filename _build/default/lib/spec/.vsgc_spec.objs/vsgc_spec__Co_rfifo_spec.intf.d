@@ -1,0 +1,1 @@
+lib/spec/co_rfifo_spec.mli: Vsgc_ioa

@@ -1,0 +1,1 @@
+lib/spec/mbrshp_spec.ml: Action Hashtbl Proc View Vsgc_ioa Vsgc_types

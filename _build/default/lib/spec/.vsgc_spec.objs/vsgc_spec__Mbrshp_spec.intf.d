@@ -1,0 +1,1 @@
+lib/spec/mbrshp_spec.mli: Vsgc_ioa

@@ -1,0 +1,1 @@
+lib/spec/self_spec.ml: Action Proc Tracker View Vsgc_ioa Vsgc_types

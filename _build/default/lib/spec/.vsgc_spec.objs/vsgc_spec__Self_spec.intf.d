@@ -1,0 +1,1 @@
+lib/spec/self_spec.mli: Vsgc_ioa

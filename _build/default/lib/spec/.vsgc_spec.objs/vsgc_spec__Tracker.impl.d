@@ -1,0 +1,1 @@
+lib/spec/tracker.ml: Action Int Map Msg Proc View Vsgc_types

@@ -1,0 +1,1 @@
+lib/spec/tracker.mli: Action Msg Proc View Vsgc_types

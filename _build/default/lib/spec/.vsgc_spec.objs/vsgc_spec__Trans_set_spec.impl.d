@@ -1,0 +1,1 @@
+lib/spec/trans_set_spec.ml: Action List Proc Tracker View Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+lib/spec/trans_set_spec.mli: Vsgc_ioa

@@ -1,0 +1,1 @@
+lib/spec/vs_rfifo_spec.ml: Action Map Msg Proc Tracker View Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+lib/spec/vs_rfifo_spec.mli: Vsgc_ioa

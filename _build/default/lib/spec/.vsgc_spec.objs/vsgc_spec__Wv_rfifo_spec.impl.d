@@ -1,0 +1,1 @@
+lib/spec/wv_rfifo_spec.ml: Action Msg Proc Tracker View Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+lib/spec/wv_rfifo_spec.mli: Vsgc_ioa

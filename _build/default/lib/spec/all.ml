@@ -1,0 +1,18 @@
+(* Convenience: every safety monitor at once — what the integration and
+   property-based tests attach to monitored runs. *)
+
+let safety () =
+  [
+    Mbrshp_spec.monitor ();
+    Co_rfifo_spec.monitor ();
+    Wv_rfifo_spec.monitor ();
+    Vs_rfifo_spec.monitor ();
+    Trans_set_spec.monitor ();
+    Self_spec.monitor ();
+    Client_spec.monitor ();
+  ]
+
+(* Monitors meaningful for the pure within-view layer (`Wv endpoints):
+   no virtual synchrony, transitional sets, or self-delivery claims. *)
+let wv_only () =
+  [ Mbrshp_spec.monitor (); Co_rfifo_spec.monitor (); Wv_rfifo_spec.monitor () ]

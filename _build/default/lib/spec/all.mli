@@ -1,0 +1,8 @@
+(** Monitor bundles. *)
+
+val safety : unit -> Vsgc_ioa.Monitor.t list
+(** Every safety monitor of §4 plus the environment specs — what
+    monitored integration runs attach. *)
+
+val wv_only : unit -> Vsgc_ioa.Monitor.t list
+(** The monitors meaningful for the pure within-view layer. *)

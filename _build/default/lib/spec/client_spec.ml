@@ -1,0 +1,35 @@
+(* Monitor for the blocking-client contract
+   (paper §6.4, Figure 12, automaton CLIENT : SPEC).
+
+   A client answers block() with block_ok() and then refrains from
+   sending until a view is delivered; it never sends while blocked and
+   never acknowledges a block it was not asked for. The GCS side is
+   also checked: block() is only issued once per reconfiguration. *)
+
+open Vsgc_types
+module M = Vsgc_ioa.Monitor
+
+type status = Unblocked | Requested | Blocked
+
+let monitor ?(name = "client_spec") () =
+  let st : (Proc.t, status) Hashtbl.t = Hashtbl.create 16 in
+  let get p = match Hashtbl.find_opt st p with Some s -> s | None -> Unblocked in
+  let on_action (a : Action.t) =
+    match a with
+    | Action.Block p ->
+        M.check ~monitor:name (get p = Unblocked)
+          "block_%a() issued while already %s" Proc.pp p
+          (match get p with Requested -> "requested" | Blocked -> "blocked" | Unblocked -> "?");
+        Hashtbl.replace st p Requested
+    | Action.Block_ok p ->
+        M.check ~monitor:name (get p = Requested)
+          "block_ok_%a() without a pending block request" Proc.pp p;
+        Hashtbl.replace st p Blocked
+    | Action.App_send (p, m) ->
+        M.check ~monitor:name (get p <> Blocked)
+          "client %a sent %a while blocked" Proc.pp p Msg.App_msg.pp m
+    | Action.App_view (p, _, _) -> Hashtbl.replace st p Unblocked
+    | Action.Crash p | Action.Recover p -> Hashtbl.replace st p Unblocked
+    | _ -> ()
+  in
+  M.make name on_action

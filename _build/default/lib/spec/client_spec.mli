@@ -1,0 +1,5 @@
+(** Monitor for the blocking-client contract (paper §6.4, Figure 12):
+    block_ok only answers a pending block, no sends while blocked,
+    blocks are not reissued before the view. *)
+
+val monitor : ?name:string -> unit -> Vsgc_ioa.Monitor.t

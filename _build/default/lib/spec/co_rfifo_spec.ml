@@ -1,0 +1,50 @@
+(* Monitor for the connection-oriented reliable FIFO multicast service
+   specification (paper §3.2, Figure 3, automaton CO_RFIFO).
+
+   Reconstructs the per-pair channels from send events and checks that
+   every delivery pops the channel head (gap-free FIFO), and that loss
+   happens only toward targets outside the sender's reliable set and
+   only from the channel tail. *)
+
+open Vsgc_types
+module M = Vsgc_ioa.Monitor
+
+let monitor ?(name = "co_rfifo_spec") () =
+  let channels : (Proc.t * Proc.t, Msg.Wire.t Fqueue.t) Hashtbl.t = Hashtbl.create 64 in
+  let reliable : (Proc.t, Proc.Set.t) Hashtbl.t = Hashtbl.create 16 in
+  let chan pq = match Hashtbl.find_opt channels pq with Some c -> c | None -> Fqueue.empty in
+  let reliable_set p =
+    match Hashtbl.find_opt reliable p with Some s -> s | None -> Proc.Set.singleton p
+  in
+  let on_action (a : Action.t) =
+    match a with
+    | Action.Rf_send (p, set, m) ->
+        Proc.Set.iter (fun q -> Hashtbl.replace channels (p, q) (Fqueue.push (chan (p, q)) m)) set
+    | Action.Rf_deliver (p, q, m) -> (
+        match Fqueue.pop (chan (p, q)) with
+        | Some (m', rest) when Msg.Wire.equal m m' -> Hashtbl.replace channels (p, q) rest
+        | Some (m', _) ->
+            M.violate ~monitor:name
+              "deliver_{%a,%a}(%a) is not the channel head (%a expected): FIFO violated"
+              Proc.pp p Proc.pp q Msg.Wire.pp m Msg.Wire.pp m'
+        | None ->
+            M.violate ~monitor:name "deliver_{%a,%a}(%a) from an empty channel"
+              Proc.pp p Proc.pp q Msg.Wire.pp m)
+    | Action.Rf_lose (p, q) -> (
+        M.check ~monitor:name
+          (not (Proc.Set.mem q (reliable_set p)))
+          "lose(%a,%a) while %a is in %a's reliable set" Proc.pp p Proc.pp q
+          Proc.pp q Proc.pp p;
+        match Fqueue.drop_last (chan (p, q)) with
+        | Some rest -> Hashtbl.replace channels (p, q) rest
+        | None -> M.violate ~monitor:name "lose(%a,%a) on empty channel" Proc.pp p Proc.pp q)
+    | Action.Rf_reliable (p, set) -> Hashtbl.replace reliable p set
+    | Action.Crash p ->
+        Hashtbl.replace reliable p Proc.Set.empty;
+        (* incoming connections die with the process *)
+        Hashtbl.iter
+          (fun (a, b) _ -> if Proc.equal b p then Hashtbl.replace channels (a, b) Fqueue.empty)
+          (Hashtbl.copy channels)
+    | _ -> ()
+  in
+  M.make name on_action

@@ -1,0 +1,6 @@
+(** Monitor for the CO_RFIFO specification (paper §3.2, Figure 3):
+    reconstructs the per-pair channels from send events and checks
+    gap-free FIFO delivery, and that loss happens only toward targets
+    outside the sender's reliable set and only from the channel tail. *)
+
+val monitor : ?name:string -> unit -> Vsgc_ioa.Monitor.t

@@ -1,0 +1,73 @@
+(* Monitor for the membership service safety specification
+   (paper §3.1, Figure 2, automaton MBRSHP).
+
+   Checks, per process p:
+   - start_change identifiers are locally unique and increasing, and
+     every start_change includes p (Self Inclusion on proposals);
+   - view identifiers are strictly increasing (Local Monotonicity);
+   - every view includes p (Self Inclusion), its member set is a subset
+     of the set in the latest preceding start_change, its startId for p
+     equals the cid of that start_change, and at least one start_change
+     separates consecutive views (the mode discipline). *)
+
+open Vsgc_types
+module M = Vsgc_ioa.Monitor
+
+type mode = Normal | Change_started
+
+type pst = {
+  last_cid : View.Sc_id.t;
+  last_sc_set : Proc.Set.t;
+  last_vid : View.Id.t;
+  mode : mode;
+}
+
+let monitor ?(name = "mbrshp_spec") () =
+  let st : (Proc.t, pst) Hashtbl.t = Hashtbl.create 16 in
+  let get p =
+    match Hashtbl.find_opt st p with
+    | Some x -> x
+    | None ->
+        {
+          last_cid = View.Sc_id.zero;
+          last_sc_set = Proc.Set.empty;
+          last_vid = View.Id.zero;
+          mode = Normal;
+        }
+  in
+  let on_action (a : Action.t) =
+    match a with
+    | Action.Mb_start_change (p, cid, set) ->
+        let s = get p in
+        M.check ~monitor:name
+          (View.Sc_id.compare cid s.last_cid > 0)
+          "start_change id %a for %a not above %a" View.Sc_id.pp cid Proc.pp p
+          View.Sc_id.pp s.last_cid;
+        M.check ~monitor:name (Proc.Set.mem p set)
+          "start_change to %a omits it from the proposed set %a" Proc.pp p
+          Proc.Set.pp set;
+        Hashtbl.replace st p
+          { s with last_cid = cid; last_sc_set = set; mode = Change_started }
+    | Action.Mb_view (p, v) ->
+        let s = get p in
+        M.check ~monitor:name
+          (View.Id.lt s.last_vid (View.id v))
+          "view %a for %a violates Local Monotonicity (last %a)" View.Id.pp
+          (View.id v) Proc.pp p View.Id.pp s.last_vid;
+        M.check ~monitor:name (View.mem p v)
+          "view %a delivered to non-member %a (Self Inclusion)" View.pp v Proc.pp p;
+        M.check ~monitor:name
+          (Proc.Set.subset (View.set v) s.last_sc_set)
+          "view set %a not within preceding start_change set %a" Proc.Set.pp
+          (View.set v) Proc.Set.pp s.last_sc_set;
+        M.check ~monitor:name
+          (View.Sc_id.equal (View.start_id v p) s.last_cid)
+          "view startId(%a)=%a differs from last start_change id %a" Proc.pp p
+          View.Sc_id.pp (View.start_id v p) View.Sc_id.pp s.last_cid;
+        M.check ~monitor:name (s.mode = Change_started)
+          "view %a delivered to %a without a preceding start_change" View.pp v
+          Proc.pp p;
+        Hashtbl.replace st p { s with last_vid = View.id v; mode = Normal }
+    | _ -> ()
+  in
+  M.make name on_action

@@ -1,0 +1,6 @@
+(** Monitor for the membership service safety specification
+    (paper §3.1, Figure 2): locally unique increasing start_change
+    identifiers, Self Inclusion, Local Monotonicity, view sets within
+    the preceding proposal, startId bookkeeping, mode discipline. *)
+
+val monitor : ?name:string -> unit -> Vsgc_ioa.Monitor.t

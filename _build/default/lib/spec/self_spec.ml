@@ -1,0 +1,27 @@
+(* Monitor for the Self Delivery property
+   (paper §4.1.4, Figure 7, automaton SELF : SPEC).
+
+   An end-point may not deliver a new view without having delivered to
+   its own application every message that application sent in the
+   current view: at every view_p event,
+   last_dlvrd[p][p] = LastIndexOf(msgs[p][current_view[p]]). *)
+
+open Vsgc_types
+module M = Vsgc_ioa.Monitor
+
+let monitor ?(name = "self_spec") () =
+  let t = Tracker.create () in
+  let on_action (a : Action.t) =
+    (match a with
+    | Action.App_view (p, _, _) ->
+        let v = Tracker.current_view t p in
+        let sent = Tracker.sent_in_view t p v in
+        let delivered = Tracker.last_dlvrd t ~from:p ~at:p in
+        M.check ~monitor:name (delivered = sent)
+          "Self Delivery violated: %a delivered %d of its own %d messages \
+           before leaving view %a"
+          Proc.pp p delivered sent View.Id.pp (View.id v)
+    | _ -> ());
+    Tracker.update t a
+  in
+  M.make name on_action

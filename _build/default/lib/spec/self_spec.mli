@@ -1,0 +1,6 @@
+(** Monitor for the Self Delivery property (paper §4.1.4, Figure 7):
+    at every view event, the process has delivered to its own
+    application every message that application sent in the current
+    view. *)
+
+val monitor : ?name:string -> unit -> Vsgc_ioa.Monitor.t

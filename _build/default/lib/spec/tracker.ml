@@ -1,0 +1,89 @@
+(* Shared trace bookkeeping for the specification monitors.
+
+   Reconstructs, from the externally observable trace alone, the state
+   of the centralized specification automata of paper §4: per-process
+   current views, the per-sender per-view message sequences (msgs[p][v])
+   as defined by send events, and the delivery indices
+   (last_dlvrd[q][p]). Each monitor owns its own tracker so monitors
+   stay independent. *)
+
+open Vsgc_types
+module Int_map = Map.Make (Int)
+
+type t = {
+  mutable current_view : View.t Proc.Map.t;  (* default View.initial p *)
+  mutable msgs : Msg.App_msg.t Int_map.t View.Map.t Proc.Map.t;
+      (* msgs[sender][view][i], 1-based, always contiguous *)
+  mutable sent_count : int View.Map.t Proc.Map.t;
+  mutable last_dlvrd : int Proc.Map.t Proc.Map.t;  (* last_dlvrd[q][p]: q's msgs delivered to p *)
+}
+
+let create () =
+  {
+    current_view = Proc.Map.empty;
+    msgs = Proc.Map.empty;
+    sent_count = Proc.Map.empty;
+    last_dlvrd = Proc.Map.empty;
+  }
+
+let current_view t p = Proc.Map.find_default ~default:(View.initial p) p t.current_view
+
+let sent_in_view t p v =
+  match Proc.Map.find_opt p t.sent_count with
+  | None -> 0
+  | Some m -> ( match View.Map.find_opt v m with None -> 0 | Some n -> n)
+
+let msg_at t p v i =
+  match Proc.Map.find_opt p t.msgs with
+  | None -> None
+  | Some per_view -> (
+      match View.Map.find_opt v per_view with
+      | None -> None
+      | Some q -> Int_map.find_opt i q)
+
+let last_dlvrd t ~from:q ~at:p =
+  match Proc.Map.find_opt q t.last_dlvrd with
+  | None -> 0
+  | Some m -> Proc.Map.find_default ~default:0 p m
+
+(* Bookkeeping update; call AFTER a monitor's checks for the action. *)
+let update t (a : Action.t) =
+  match a with
+  | Action.App_send (p, m) ->
+      let v = current_view t p in
+      let n = sent_in_view t p v + 1 in
+      let per_view =
+        match Proc.Map.find_opt p t.msgs with None -> View.Map.empty | Some x -> x
+      in
+      let q = match View.Map.find_opt v per_view with None -> Int_map.empty | Some x -> x in
+      t.msgs <- Proc.Map.add p (View.Map.add v (Int_map.add n m q) per_view) t.msgs;
+      let counts =
+        match Proc.Map.find_opt p t.sent_count with None -> View.Map.empty | Some x -> x
+      in
+      t.sent_count <- Proc.Map.add p (View.Map.add v n counts) t.sent_count
+  | Action.App_deliver (p, q, _) ->
+      let m =
+        match Proc.Map.find_opt q t.last_dlvrd with None -> Proc.Map.empty | Some x -> x
+      in
+      let n = Proc.Map.find_default ~default:0 p m + 1 in
+      t.last_dlvrd <- Proc.Map.add q (Proc.Map.add p n m) t.last_dlvrd
+  | Action.App_view (p, v, _) ->
+      t.current_view <- Proc.Map.add p v t.current_view;
+      (* (forall q) last_dlvrd[q][p] <- 0 *)
+      t.last_dlvrd <-
+        Proc.Map.map (fun m -> Proc.Map.remove p m) t.last_dlvrd
+  | Action.Crash p ->
+      (* §8: the end-point restarts from its initial state (no stable
+         storage); messages it sent earlier stay visible to others —
+         except those of its private initial singleton view, which only
+         it could ever deliver and which a restart wipes. *)
+      t.current_view <- Proc.Map.remove p t.current_view;
+      t.last_dlvrd <- Proc.Map.map (fun m -> Proc.Map.remove p m) t.last_dlvrd;
+      let wipe_initial m =
+        match Proc.Map.find_opt p m with
+        | Some per_view -> Proc.Map.add p (View.Map.remove (View.initial p) per_view) m
+        | None -> m
+      in
+      t.msgs <- wipe_initial t.msgs;
+      t.sent_count <- wipe_initial t.sent_count
+  | _ -> ()

@@ -1,0 +1,19 @@
+(** Shared trace bookkeeping for the specification monitors:
+    reconstructs, from the externally observable trace alone, the state
+    of the centralized specification automata of paper §4 — per-process
+    current views, the per-sender per-view message sequences, and the
+    delivery indices. Crash events reset the crashed process's receiver
+    state (§8). *)
+
+open Vsgc_types
+
+type t
+
+val create : unit -> t
+val current_view : t -> Proc.t -> View.t
+val sent_in_view : t -> Proc.t -> View.t -> int
+val msg_at : t -> Proc.t -> View.t -> int -> Msg.App_msg.t option
+val last_dlvrd : t -> from:Proc.t -> at:Proc.t -> int
+
+val update : t -> Action.t -> unit
+(** Bookkeeping update; monitors call it AFTER their checks. *)

@@ -1,0 +1,65 @@
+(* Monitor for the Transitional Set property
+   (paper §4.1.3, Figure 6, automaton TRANS_SET : SPEC; Property 4.1).
+
+   When p moves from v to v' delivering transitional set T:
+   - T is a subset of v.set ∩ v'.set and contains p;
+   - every process q of v.set ∩ v'.set that (ever) delivers v' is in T
+     iff q moved to v' directly from v;
+   - two processes moving v -> v' deliver the same T.
+
+   The second clause can only be judged once q's own transition is
+   observed, so it is checked both online (against already-recorded
+   transitions) and at the end of the trace. *)
+
+open Vsgc_types
+module M = Vsgc_ioa.Monitor
+
+type transition = { who : Proc.t; prev : View.t; next : View.t; tset : Proc.Set.t }
+
+let monitor ?(name = "trans_set_spec") () =
+  let t = Tracker.create () in
+  let transitions : transition list ref = ref [] in
+  let cross_check (a : transition) (b : transition) =
+    (* b is q's transition into the view a moved into *)
+    if View.equal a.next b.next && Proc.Set.mem b.who (Proc.Set.inter (View.set a.prev) (View.set a.next))
+    then begin
+      let together = View.equal b.prev a.prev in
+      M.check ~monitor:name
+        (Proc.Set.mem b.who a.tset = together)
+        "Transitional Set violated: %a's T for %a->%a %s %a, which moved from %a"
+        Proc.pp a.who View.Id.pp (View.id a.prev) View.Id.pp (View.id a.next)
+        (if Proc.Set.mem b.who a.tset then "contains" else "omits")
+        Proc.pp b.who View.Id.pp (View.id b.prev);
+      if together then
+        M.check ~monitor:name
+          (Proc.Set.equal a.tset b.tset)
+          "processes %a and %a move %a->%a with different transitional sets %a vs %a"
+          Proc.pp a.who Proc.pp b.who View.Id.pp (View.id a.prev) View.Id.pp
+          (View.id a.next) Proc.Set.pp a.tset Proc.Set.pp b.tset
+    end
+  in
+  let on_action (a : Action.t) =
+    (match a with
+    | Action.App_view (p, v', tset) ->
+        let v = Tracker.current_view t p in
+        M.check ~monitor:name
+          (Proc.Set.subset tset (Proc.Set.inter (View.set v) (View.set v')))
+          "T=%a not within %a ∩ %a" Proc.Set.pp tset Proc.Set.pp (View.set v)
+          Proc.Set.pp (View.set v');
+        M.check ~monitor:name (Proc.Set.mem p tset)
+          "process %a missing from its own transitional set %a" Proc.pp p
+          Proc.Set.pp tset;
+        let tr = { who = p; prev = v; next = v'; tset } in
+        List.iter
+          (fun old ->
+            cross_check tr old;
+            cross_check old tr)
+          !transitions;
+        transitions := tr :: !transitions
+    | _ -> ());
+    Tracker.update t a
+  in
+  (* The online pass already cross-checks every pair (each new
+     transition is checked against all recorded ones, in both
+     directions), so at_end has nothing left to verify. *)
+  M.make name on_action

@@ -1,0 +1,7 @@
+(** Monitor for the Transitional Set property (paper §4.1.3, Figure 6;
+    Property 4.1): T within the view intersection and containing the
+    mover; membership in T iff the peer moved from the same previous
+    view (cross-checked pairwise over all observed transitions); equal
+    T for processes moving together. *)
+
+val monitor : ?name:string -> unit -> Vsgc_ioa.Monitor.t

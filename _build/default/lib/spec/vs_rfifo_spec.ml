@@ -1,0 +1,49 @@
+(* Monitor for the virtually synchronous reliable FIFO multicast
+   service specification (paper §4.1.2, Figure 5, automaton
+   VS_RFIFO : SPEC, a child of WV_RFIFO : SPEC).
+
+   The abstract set_cut action is internal, so the monitor resolves the
+   nondeterminism exactly as the refinement proof does with the H_cut
+   history variable (paper §6.2.2): the first process observed to move
+   from view v to view v' defines cut[v][v'] as its delivered-message
+   vector; every later process moving v -> v' must match it exactly. *)
+
+open Vsgc_types
+module M = Vsgc_ioa.Monitor
+
+module Vpair = Map.Make (struct
+  type t = View.t * View.t
+
+  let compare (a, b) (c, d) =
+    match View.compare a c with 0 -> View.compare b d | r -> r
+end)
+
+let monitor ?(name = "vs_rfifo_spec") () =
+  let t = Tracker.create () in
+  let cuts : Msg.Cut.t Vpair.t ref = ref Vpair.empty in
+  let on_action (a : Action.t) =
+    (match a with
+    | Action.App_view (p, v', _) -> (
+        let v = Tracker.current_view t p in
+        (* p's delivered-message vector in v, restricted to v's members *)
+        let delivered =
+          Proc.Set.fold
+            (fun q acc -> Msg.Cut.set acc q (Tracker.last_dlvrd t ~from:q ~at:p))
+            (View.set v) Msg.Cut.empty
+        in
+        match Vpair.find_opt (v, v') !cuts with
+        | None -> cuts := Vpair.add (v, v') delivered !cuts
+        | Some cut ->
+            Proc.Set.iter
+              (fun q ->
+                M.check ~monitor:name
+                  (Msg.Cut.get cut q = Msg.Cut.get delivered q)
+                  "Virtual Synchrony violated: %a moves %a->%a having delivered \
+                   %d messages from %a, but the established cut says %d"
+                  Proc.pp p View.Id.pp (View.id v) View.Id.pp (View.id v')
+                  (Msg.Cut.get delivered q) Proc.pp q (Msg.Cut.get cut q))
+              (View.set v))
+    | _ -> ());
+    Tracker.update t a
+  in
+  M.make name on_action

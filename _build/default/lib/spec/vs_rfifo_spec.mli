@@ -1,0 +1,7 @@
+(** Monitor for VS_RFIFO : SPEC (paper §4.1.2, Figure 5). The abstract
+    set_cut nondeterminism is resolved exactly as the refinement proof
+    resolves it with the H_cut history variable (§6.2.2): the first
+    process observed to move from v to v' defines cut[v][v']; every
+    later v->v' mover must have delivered exactly that vector. *)
+
+val monitor : ?name:string -> unit -> Vsgc_ioa.Monitor.t

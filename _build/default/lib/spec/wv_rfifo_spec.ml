@@ -1,0 +1,40 @@
+(* Monitor for the within-view reliable FIFO multicast service
+   specification (paper §4.1.1, Figure 4, automaton WV_RFIFO : SPEC).
+
+   - views delivered to the application satisfy Self Inclusion and
+     Local Monotonicity;
+   - the i'th message delivered to p from q in p's current view is the
+     i'th message q's application sent in that view (within-view,
+     gap-free FIFO delivery). *)
+
+open Vsgc_types
+module M = Vsgc_ioa.Monitor
+
+let monitor ?(name = "wv_rfifo_spec") () =
+  let t = Tracker.create () in
+  let on_action (a : Action.t) =
+    (match a with
+    | Action.App_deliver (p, q, m) -> (
+        let v = Tracker.current_view t p in
+        let i = Tracker.last_dlvrd t ~from:q ~at:p + 1 in
+        match Tracker.msg_at t q v i with
+        | Some m' when Msg.App_msg.equal m m' -> ()
+        | Some m' ->
+            M.violate ~monitor:name
+              "deliver_%a(%a,%a): index %d in view %a holds %a" Proc.pp p Proc.pp
+              q Msg.App_msg.pp m i View.Id.pp (View.id v) Msg.App_msg.pp m'
+        | None ->
+            M.violate ~monitor:name
+              "deliver_%a(%a,%a): no message at index %d of msgs[%a][%a]" Proc.pp
+              p Proc.pp q Msg.App_msg.pp m i Proc.pp q View.Id.pp (View.id v))
+    | Action.App_view (p, v, _) ->
+        M.check ~monitor:name (View.mem p v) "view_%a(%a): Self Inclusion violated"
+          Proc.pp p View.pp v;
+        M.check ~monitor:name
+          (View.Id.lt (View.id (Tracker.current_view t p)) (View.id v))
+          "view_%a(%a): Local Monotonicity violated (current %a)" Proc.pp p
+          View.pp v View.Id.pp (View.id (Tracker.current_view t p))
+    | _ -> ());
+    Tracker.update t a
+  in
+  M.make name on_action

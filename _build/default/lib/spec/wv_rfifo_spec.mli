@@ -1,0 +1,6 @@
+(** Monitor for WV_RFIFO : SPEC (paper §4.1.1, Figure 4): Self
+    Inclusion and Local Monotonicity on application views; the i'th
+    message delivered to p from q in p's current view is the i'th
+    message q's application sent in that view. *)
+
+val monitor : ?name:string -> unit -> Vsgc_ioa.Monitor.t

@@ -1,0 +1,1 @@
+lib/totalorder/tord_client.ml: Action Fmt List Msg Proc String Tord_core View Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+lib/totalorder/tord_client.mli: Action Proc Tord_core View Vsgc_ioa Vsgc_types

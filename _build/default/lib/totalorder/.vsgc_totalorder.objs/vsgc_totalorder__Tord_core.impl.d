@@ -1,0 +1,1 @@
+lib/totalorder/tord_core.ml: Fmt Int List Proc String View Vsgc_types

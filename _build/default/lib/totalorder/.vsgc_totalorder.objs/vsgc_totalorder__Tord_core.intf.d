@@ -1,0 +1,1 @@
+lib/totalorder/tord_core.mli: Proc View Vsgc_types

@@ -1,0 +1,1 @@
+lib/totalorder/tord_sym_client.ml: Action Fmt List Msg Proc Tord_symmetric View Vsgc_ioa Vsgc_types

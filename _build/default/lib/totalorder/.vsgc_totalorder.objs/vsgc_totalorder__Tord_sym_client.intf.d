@@ -1,0 +1,1 @@
+lib/totalorder/tord_sym_client.mli: Action Proc Tord_symmetric View Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+lib/totalorder/tord_symmetric.ml: Fmt Int List Proc String View Vsgc_types

@@ -1,0 +1,1 @@
+lib/totalorder/tord_symmetric.mli: Proc View Vsgc_types

@@ -1,0 +1,34 @@
+(** The totally-ordered-multicast application component: plays the
+    blocking-client role (Figure 12) toward a GCS end-point and exposes
+    the total order built by {!Tord_core}. *)
+
+open Vsgc_types
+
+type block_status = Unblocked | Requested | Blocked
+
+type t = {
+  core : Tord_core.t;
+  me : Proc.t;
+  block_status : block_status;
+  to_send : string list;  (** encoded data payloads, oldest first *)
+  announce_queue : string list;  (** sequencer announcements, oldest first *)
+  views : (View.t * Proc.Set.t) list;  (** newest first *)
+  crashed : bool;
+}
+
+val initial : Proc.t -> t
+
+val push : t ref -> string -> unit
+(** Queue a payload for totally ordered multicast. *)
+
+val total_order : t -> (Proc.t * string) list
+(** (original sender, payload), oldest first. *)
+
+val views : t -> (View.t * Proc.Set.t) list
+val last_view : t -> (View.t * Proc.Set.t) option
+
+val outputs : t -> Action.t list
+val accepts : Proc.t -> Action.t -> bool
+val apply : t -> Action.t -> t
+val def : Proc.t -> t Vsgc_ioa.Component.def
+val component : Proc.t -> Vsgc_ioa.Component.packed * t ref

@@ -1,0 +1,31 @@
+(** The symmetric-total-order application component: the blocking-client
+    shell (Figure 12) over {!Tord_symmetric}. Timestamps are assigned at
+    actual send time; acknowledgments are derived from the core state. *)
+
+open Vsgc_types
+
+type block_status = Unblocked | Requested | Blocked
+
+type t = {
+  core : Tord_symmetric.t;
+  me : Proc.t;
+  block_status : block_status;
+  to_send : string list;
+  views : (View.t * Proc.Set.t) list;
+  crashed : bool;
+}
+
+val initial : Proc.t -> t
+
+val push : t ref -> string -> unit
+(** Queue a payload for totally ordered multicast. *)
+
+val total_order : t -> (Proc.t * string) list
+val views : t -> (View.t * Proc.Set.t) list
+val last_view : t -> (View.t * Proc.Set.t) option
+
+val outputs : t -> Action.t list
+val accepts : Proc.t -> Action.t -> bool
+val apply : t -> Action.t -> t
+val def : Proc.t -> t Vsgc_ioa.Component.def
+val component : Proc.t -> Vsgc_ioa.Component.packed * t ref

@@ -1,0 +1,156 @@
+(* Symmetric (logical-timestamp) totally ordered multicast atop the
+   within-view reliable FIFO service.
+
+   The paper points at Chockler-Huleihel-Dolev [13] — an ADAPTIVE
+   totally ordered protocol implemented "atop a service that satisfies
+   the WV_RFIFO specification" — which switches between two orderings:
+   the sequencer-based one ({!Tord_core}) and the symmetric one built
+   here. Every message carries a Lamport timestamp; the total order is
+   (timestamp, sender), and a message becomes deliverable once every
+   view member has been heard from at or beyond its timestamp (each
+   sender's timestamps are strictly increasing, so nothing earlier can
+   still arrive). Silent members acknowledge: upon seeing a timestamp
+   above the last one it broadcast, a member multicasts an
+   acknowledgment — at most one per message received, so ack cascades
+   terminate.
+
+   At a view change, Virtual Synchrony gives all transitional-set
+   members the same delivered set of data and acks; the undeliverable
+   remainder is flushed in (timestamp, sender) order, extending the
+   total order consistently with no extra agreement — the same argument
+   as for the sequencer variant, which is what makes [13]'s switching
+   sound. *)
+
+open Vsgc_types
+
+type entry = { ts : int; sender : Proc.t; payload : string }
+
+let entry_compare a b =
+  match Int.compare a.ts b.ts with 0 -> Proc.compare a.sender b.sender | c -> c
+
+type t = {
+  me : Proc.t;
+  view : View.t;
+  lamport : int;  (* largest timestamp seen or used *)
+  last_broadcast : int;  (* largest timestamp this process multicast *)
+  heard : int Proc.Map.t;  (* largest timestamp heard per member, this view *)
+  pending : entry list;  (* sorted by (ts, sender) *)
+  total : entry list;  (* delivered total order, newest first *)
+}
+
+let create me =
+  {
+    me;
+    view = View.initial me;
+    lamport = 0;
+    last_broadcast = 0;
+    heard = Proc.Map.empty;
+    pending = [];
+    total = [];
+  }
+
+let total_order t = List.rev t.total
+
+(* -- Wire encoding (inside opaque GCS payloads) -------------------------- *)
+
+let encode_data ~ts payload = Fmt.str "T%d:%s" ts payload
+let encode_ack ~ts = Fmt.str "A%d" ts
+
+type decoded = Data of int * string | Ack of int | Other of string
+
+let decode s =
+  if String.length s = 0 then Other s
+  else
+    match s.[0] with
+    | 'T' -> (
+        match String.index_opt s ':' with
+        | Some i -> (
+            match int_of_string_opt (String.sub s 1 (i - 1)) with
+            | Some ts -> Data (ts, String.sub s (i + 1) (String.length s - i - 1))
+            | None -> Other s)
+        | None -> Other s)
+    | 'A' -> (
+        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+        | Some ts -> Ack ts
+        | None -> Other s)
+    | _ -> Other s
+
+(* -- Deliverability -------------------------------------------------------- *)
+
+(* Timestamps per sender are strictly increasing, so an entry (t, s) is
+   safe once every member has been heard from at or beyond t: anything
+   still in flight from them is later in the total order. *)
+let deliverable t (e : entry) =
+  Proc.Set.for_all
+    (fun q -> Proc.Map.find_default ~default:0 q t.heard >= e.ts)
+    (View.set t.view)
+
+let rec drain t delivered =
+  match t.pending with
+  | e :: rest when deliverable t e ->
+      drain { t with pending = rest; total = e :: t.total } (e :: delivered)
+  | _ -> (t, List.rev delivered)
+
+let insert_sorted e l =
+  let rec go = function
+    | x :: rest when entry_compare x e < 0 -> x :: go rest
+    | rest -> e :: rest
+  in
+  go l
+
+(* -- Events ------------------------------------------------------------------ *)
+
+(* The broadcast discipline: every message this process multicasts —
+   data or ack — carries a timestamp strictly larger than its previous
+   one, assigned AT SEND TIME (assigning earlier would let a later ack
+   overtake queued data and break the per-sender monotonicity the
+   deliverability rule relies on). [heard.(me)] advances only at
+   self-delivery, keeping the local total order aligned with the GCS's
+   own delivery order. *)
+
+(* Timestamp and encode a payload for sending now. *)
+let stamp t payload =
+  let ts = t.lamport + 1 in
+  ({ t with lamport = ts; last_broadcast = ts }, encode_data ~ts payload)
+
+(* An acknowledgment is due whenever this process has seen a timestamp
+   above everything it has broadcast — i.e. peers may be waiting to
+   hear from it. Sending data first supersedes the ack. *)
+let ack_due t = t.lamport > t.last_broadcast
+let ack_payload t = encode_ack ~ts:t.lamport
+let ack_sent t = { t with last_broadcast = t.lamport }
+
+(* A GCS delivery from [sender]. Returns the new state and the newly
+   totally ordered entries. *)
+let on_deliver t ~sender ~payload =
+  let note ts t =
+    { t with
+      lamport = max t.lamport ts;
+      heard =
+        Proc.Map.add sender
+          (max ts (Proc.Map.find_default ~default:0 sender t.heard))
+          t.heard }
+  in
+  match decode payload with
+  | Data (ts, body) ->
+      let t = note ts t in
+      let t = { t with pending = insert_sorted { ts; sender; payload = body } t.pending } in
+      drain t []
+  | Ack ts ->
+      let t = note ts t in
+      drain t []
+  | Other _ -> (t, [])
+
+(* A GCS view: flush the remainder deterministically (identical at all
+   transitional-set members, by Virtual Synchrony). *)
+let on_view t ~view ~transitional:_ =
+  let flushed = List.sort entry_compare t.pending in
+  ( { t with
+      view;
+      heard = Proc.Map.empty;
+      (* re-announce in the new view: an ack becomes due immediately,
+         seeding everyone's heard map for the fresh membership *)
+      last_broadcast = 0;
+      pending = [];
+      total = List.rev_append flushed t.total },
+    flushed )

@@ -1,0 +1,56 @@
+(** Symmetric (logical-timestamp) totally ordered multicast atop the
+    within-view reliable FIFO service — the other endpoint of the
+    adaptive protocol of [13] that the paper cites (§4.1.1), next to
+    the sequencer-based {!Tord_core}.
+
+    The total order is (Lamport timestamp, sender); an entry delivers
+    once every view member has been heard at or beyond its timestamp
+    (per-sender timestamps are strictly increasing, so nothing earlier
+    can still arrive). Silent members owe acknowledgments; at a view
+    change the undeliverable remainder flushes in (timestamp, sender)
+    order, identical at all transitional-set members by Virtual
+    Synchrony. *)
+
+open Vsgc_types
+
+type entry = { ts : int; sender : Proc.t; payload : string }
+
+val entry_compare : entry -> entry -> int
+(** The total order: (timestamp, sender), lexicographic. *)
+
+type t
+
+val create : Proc.t -> t
+
+val total_order : t -> entry list
+(** The delivered totally ordered prefix, oldest first. *)
+
+(** {1 Wire encoding (inside opaque GCS payloads)} *)
+
+val encode_data : ts:int -> string -> string
+val encode_ack : ts:int -> string
+
+type decoded = Data of int * string | Ack of int | Other of string
+
+val decode : string -> decoded
+
+(** {1 Events} *)
+
+val stamp : t -> string -> t * string
+(** Timestamp and encode a payload for sending NOW — broadcast
+    timestamps must increase in wire order, so stamping must coincide
+    with the actual send. *)
+
+val ack_due : t -> bool
+(** Peers may be waiting to hear from this process (it has seen a
+    timestamp above everything it broadcast). Queued data supersedes
+    the acknowledgment. *)
+
+val ack_payload : t -> string
+val ack_sent : t -> t
+
+val on_deliver : t -> sender:Proc.t -> payload:string -> t * entry list
+(** A GCS delivery; returns the newly totally ordered entries. *)
+
+val on_view : t -> view:View.t -> transitional:Proc.Set.t -> t * entry list
+(** A GCS view: flush the remainder deterministically. *)

@@ -1,0 +1,1 @@
+lib/types/action.ml: Fmt Msg Proc Server Srv_msg View

@@ -1,0 +1,1 @@
+lib/types/action.mli: Format Msg Proc Server Srv_msg View

@@ -1,0 +1,1 @@
+lib/types/msg.ml: Fmt Int List Proc Stdlib String View

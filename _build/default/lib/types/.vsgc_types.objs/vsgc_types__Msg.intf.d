@@ -1,0 +1,1 @@
+lib/types/msg.mli: Format Proc View

@@ -1,0 +1,1 @@
+lib/types/proc.ml: Fmt Hashtbl Int List Map Set

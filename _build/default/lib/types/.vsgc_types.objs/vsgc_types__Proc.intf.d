@@ -1,0 +1,1 @@
+lib/types/proc.mli: Format Map Set

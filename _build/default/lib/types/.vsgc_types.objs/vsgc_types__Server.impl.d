@@ -1,0 +1,1 @@
+lib/types/server.ml: Fmt Int Proc

@@ -1,0 +1,1 @@
+lib/types/server.mli: Format Proc

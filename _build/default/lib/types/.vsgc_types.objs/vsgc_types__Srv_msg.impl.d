@@ -1,0 +1,1 @@
+lib/types/srv_msg.ml: Fmt Proc Server View

@@ -1,0 +1,1 @@
+lib/types/srv_msg.mli: Format Proc Server View

@@ -1,0 +1,1 @@
+lib/types/view.ml: Fmt Int Map Proc

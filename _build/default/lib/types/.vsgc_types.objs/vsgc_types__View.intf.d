@@ -1,0 +1,1 @@
+lib/types/view.mli: Format Map Proc

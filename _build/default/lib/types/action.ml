@@ -1,0 +1,187 @@
+(* The composed system's action signature.
+
+   Every external action of every automaton in the paper appears here,
+   tagged (as in the paper) with the process at which it occurs. The
+   executable I/O-automaton framework (vsgc_ioa) composes components
+   over this shared type: an action that is an output of one component
+   is simultaneously an input of every component that accepts it. *)
+
+type t =
+  (* -- Application interface of a GCS end-point (Figures 4-11) -- *)
+  | App_send of Proc.t * Msg.App_msg.t  (* send_p(m) *)
+  | App_deliver of Proc.t * Proc.t * Msg.App_msg.t  (* deliver_p(q, m) *)
+  | App_view of Proc.t * View.t * Proc.Set.t  (* view_p(v, T) *)
+  | Block of Proc.t  (* block_p() *)
+  | Block_ok of Proc.t  (* block_ok_p() *)
+  (* -- Membership service interface (Figure 2) -- *)
+  | Mb_start_change of Proc.t * View.Sc_id.t * Proc.Set.t
+  | Mb_view of Proc.t * View.t
+  (* -- CO_RFIFO interface (Figure 3) -- *)
+  | Rf_send of Proc.t * Proc.Set.t * Msg.Wire.t  (* co_rfifo.send_p(set, m) *)
+  | Rf_deliver of Proc.t * Proc.t * Msg.Wire.t  (* co_rfifo.deliver_{p,q}(m) *)
+  | Rf_reliable of Proc.t * Proc.Set.t  (* co_rfifo.reliable_p(set) *)
+  | Rf_live of Proc.t * Proc.Set.t  (* co_rfifo.live_p(set) *)
+  | Rf_lose of Proc.t * Proc.t  (* internal lose(p, q), exposed for adversaries *)
+  (* -- Crash and recovery of end-points (paper §8) -- *)
+  | Crash of Proc.t
+  | Recover of Proc.t
+  (* -- Membership-server substrate (client-server architecture, Fig. 1) -- *)
+  | Srv_send of Server.t * Server.t * Srv_msg.t
+  | Srv_deliver of Server.t * Server.t * Srv_msg.t
+  | Fd_change of Server.t * Server.Set.t
+      (* failure-detector event: server s now perceives this live server set *)
+  | Client_join of Proc.t * Server.t  (* client p attaches to server s *)
+  | Client_leave of Proc.t * Server.t  (* client p detaches / is expelled *)
+
+type category =
+  | C_app_send
+  | C_app_deliver
+  | C_app_view
+  | C_block
+  | C_block_ok
+  | C_mb_start_change
+  | C_mb_view
+  | C_rf_send
+  | C_rf_deliver
+  | C_rf_reliable
+  | C_rf_live
+  | C_rf_lose
+  | C_crash
+  | C_recover
+  | C_srv_send
+  | C_srv_deliver
+  | C_fd_change
+  | C_client_join
+  | C_client_leave
+
+let category = function
+  | App_send _ -> C_app_send
+  | App_deliver _ -> C_app_deliver
+  | App_view _ -> C_app_view
+  | Block _ -> C_block
+  | Block_ok _ -> C_block_ok
+  | Mb_start_change _ -> C_mb_start_change
+  | Mb_view _ -> C_mb_view
+  | Rf_send _ -> C_rf_send
+  | Rf_deliver _ -> C_rf_deliver
+  | Rf_reliable _ -> C_rf_reliable
+  | Rf_live _ -> C_rf_live
+  | Rf_lose _ -> C_rf_lose
+  | Crash _ -> C_crash
+  | Recover _ -> C_recover
+  | Srv_send _ -> C_srv_send
+  | Srv_deliver _ -> C_srv_deliver
+  | Fd_change _ -> C_fd_change
+  | Client_join _ -> C_client_join
+  | Client_leave _ -> C_client_leave
+
+let category_to_string = function
+  | C_app_send -> "app_send"
+  | C_app_deliver -> "app_deliver"
+  | C_app_view -> "app_view"
+  | C_block -> "block"
+  | C_block_ok -> "block_ok"
+  | C_mb_start_change -> "mb_start_change"
+  | C_mb_view -> "mb_view"
+  | C_rf_send -> "rf_send"
+  | C_rf_deliver -> "rf_deliver"
+  | C_rf_reliable -> "rf_reliable"
+  | C_rf_live -> "rf_live"
+  | C_rf_lose -> "rf_lose"
+  | C_crash -> "crash"
+  | C_recover -> "recover"
+  | C_srv_send -> "srv_send"
+  | C_srv_deliver -> "srv_deliver"
+  | C_fd_change -> "fd_change"
+  | C_client_join -> "client_join"
+  | C_client_leave -> "client_leave"
+
+(* The process (or server) at which the action occurs — the paper's
+   subscript p. For point-to-point deliveries this is the receiver. *)
+let locus = function
+  | App_send (p, _)
+  | App_deliver (p, _, _)
+  | App_view (p, _, _)
+  | Block p
+  | Block_ok p
+  | Mb_start_change (p, _, _)
+  | Mb_view (p, _)
+  | Rf_send (p, _, _)
+  | Rf_reliable (p, _)
+  | Rf_live (p, _)
+  | Crash p
+  | Recover p -> p
+  | Rf_deliver (_, q, _) -> q
+  | Rf_lose (p, _) -> p
+  | Srv_send (s, _, _) -> s
+  | Srv_deliver (_, s, _) -> s
+  | Fd_change (s, _) -> s
+  | Client_join (p, _) -> p
+  | Client_leave (p, _) -> p
+
+let equal a b =
+  match (a, b) with
+  | App_send (p, m), App_send (p', m') -> Proc.equal p p' && Msg.App_msg.equal m m'
+  | App_deliver (p, q, m), App_deliver (p', q', m') ->
+      Proc.equal p p' && Proc.equal q q' && Msg.App_msg.equal m m'
+  | App_view (p, v, t), App_view (p', v', t') ->
+      Proc.equal p p' && View.equal v v' && Proc.Set.equal t t'
+  | Block p, Block p' | Block_ok p, Block_ok p' -> Proc.equal p p'
+  | Mb_start_change (p, c, s), Mb_start_change (p', c', s') ->
+      Proc.equal p p' && View.Sc_id.equal c c' && Proc.Set.equal s s'
+  | Mb_view (p, v), Mb_view (p', v') -> Proc.equal p p' && View.equal v v'
+  | Rf_send (p, s, m), Rf_send (p', s', m') ->
+      Proc.equal p p' && Proc.Set.equal s s' && Msg.Wire.equal m m'
+  | Rf_deliver (p, q, m), Rf_deliver (p', q', m') ->
+      Proc.equal p p' && Proc.equal q q' && Msg.Wire.equal m m'
+  | Rf_reliable (p, s), Rf_reliable (p', s')
+  | Rf_live (p, s), Rf_live (p', s') -> Proc.equal p p' && Proc.Set.equal s s'
+  | Rf_lose (p, q), Rf_lose (p', q') -> Proc.equal p p' && Proc.equal q q'
+  | Crash p, Crash p' | Recover p, Recover p' -> Proc.equal p p'
+  | Srv_send (a1, b1, m), Srv_send (a2, b2, m')
+  | Srv_deliver (a1, b1, m), Srv_deliver (a2, b2, m') ->
+      Server.equal a1 a2 && Server.equal b1 b2 && m = m'
+  | Fd_change (s, set), Fd_change (s', set') ->
+      Server.equal s s' && Server.Set.equal set set'
+  | Client_join (p, s), Client_join (p', s')
+  | Client_leave (p, s), Client_leave (p', s') ->
+      Proc.equal p p' && Server.equal s s'
+  | ( ( App_send _ | App_deliver _ | App_view _ | Block _ | Block_ok _
+      | Mb_start_change _ | Mb_view _ | Rf_send _ | Rf_deliver _
+      | Rf_reliable _ | Rf_live _ | Rf_lose _ | Crash _ | Recover _
+      | Srv_send _ | Srv_deliver _ | Fd_change _ | Client_join _
+      | Client_leave _ ),
+      _ ) -> false
+
+let pp ppf = function
+  | App_send (p, m) -> Fmt.pf ppf "send_%a(%a)" Proc.pp p Msg.App_msg.pp m
+  | App_deliver (p, q, m) ->
+      Fmt.pf ppf "deliver_%a(%a,%a)" Proc.pp p Proc.pp q Msg.App_msg.pp m
+  | App_view (p, v, t) ->
+      Fmt.pf ppf "view_%a(%a,T=%a)" Proc.pp p View.pp v Proc.Set.pp t
+  | Block p -> Fmt.pf ppf "block_%a()" Proc.pp p
+  | Block_ok p -> Fmt.pf ppf "block_ok_%a()" Proc.pp p
+  | Mb_start_change (p, cid, set) ->
+      Fmt.pf ppf "mbrshp.start_change_%a(%a,%a)" Proc.pp p View.Sc_id.pp cid
+        Proc.Set.pp set
+  | Mb_view (p, v) -> Fmt.pf ppf "mbrshp.view_%a(%a)" Proc.pp p View.pp v
+  | Rf_send (p, set, m) ->
+      Fmt.pf ppf "co_rfifo.send_%a(%a,%a)" Proc.pp p Proc.Set.pp set Msg.Wire.pp m
+  | Rf_deliver (p, q, m) ->
+      Fmt.pf ppf "co_rfifo.deliver_{%a,%a}(%a)" Proc.pp p Proc.pp q Msg.Wire.pp m
+  | Rf_reliable (p, set) ->
+      Fmt.pf ppf "co_rfifo.reliable_%a(%a)" Proc.pp p Proc.Set.pp set
+  | Rf_live (p, set) -> Fmt.pf ppf "co_rfifo.live_%a(%a)" Proc.pp p Proc.Set.pp set
+  | Rf_lose (p, q) -> Fmt.pf ppf "co_rfifo.lose(%a,%a)" Proc.pp p Proc.pp q
+  | Crash p -> Fmt.pf ppf "crash_%a()" Proc.pp p
+  | Recover p -> Fmt.pf ppf "recover_%a()" Proc.pp p
+  | Srv_send (s, s', m) ->
+      Fmt.pf ppf "srv.send_{%a->%a}(%a)" Server.pp s Server.pp s' Srv_msg.pp m
+  | Srv_deliver (s, s', m) ->
+      Fmt.pf ppf "srv.deliver_{%a->%a}(%a)" Server.pp s Server.pp s' Srv_msg.pp m
+  | Fd_change (s, set) ->
+      Fmt.pf ppf "fd_change_%a(%a)" Server.pp s Server.Set.pp set
+  | Client_join (p, s) -> Fmt.pf ppf "join(%a@%a)" Proc.pp p Server.pp s
+  | Client_leave (p, s) -> Fmt.pf ppf "leave(%a@%a)" Proc.pp p Server.pp s
+
+let to_string a = Fmt.str "%a" pp a

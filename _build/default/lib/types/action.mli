@@ -1,0 +1,66 @@
+(** The composed system's action signature.
+
+    Every external action of every automaton in the paper appears here,
+    tagged (as in the paper) with the process at which it occurs. The
+    executable framework ({!Vsgc_ioa}) composes components over this
+    shared vocabulary. *)
+
+type t =
+  (* application interface of a GCS end-point (Figures 4-11) *)
+  | App_send of Proc.t * Msg.App_msg.t  (** send_p(m) *)
+  | App_deliver of Proc.t * Proc.t * Msg.App_msg.t  (** deliver_p(q, m) *)
+  | App_view of Proc.t * View.t * Proc.Set.t  (** view_p(v, T) *)
+  | Block of Proc.t  (** block_p() (Fig. 11) *)
+  | Block_ok of Proc.t  (** block_ok_p() (Fig. 12) *)
+  (* membership service interface (Figure 2) *)
+  | Mb_start_change of Proc.t * View.Sc_id.t * Proc.Set.t
+  | Mb_view of Proc.t * View.t
+  (* CO_RFIFO interface (Figure 3) *)
+  | Rf_send of Proc.t * Proc.Set.t * Msg.Wire.t
+  | Rf_deliver of Proc.t * Proc.t * Msg.Wire.t  (** from p, at q *)
+  | Rf_reliable of Proc.t * Proc.Set.t
+  | Rf_live of Proc.t * Proc.Set.t
+  | Rf_lose of Proc.t * Proc.t  (** adversary move; weight-gated *)
+  (* crash and recovery of end-points (paper §8) *)
+  | Crash of Proc.t
+  | Recover of Proc.t
+  (* membership-server substrate (client-server architecture, Fig. 1) *)
+  | Srv_send of Server.t * Server.t * Srv_msg.t
+  | Srv_deliver of Server.t * Server.t * Srv_msg.t
+  | Fd_change of Server.t * Server.Set.t
+      (** failure-detector event at a server *)
+  | Client_join of Proc.t * Server.t
+  | Client_leave of Proc.t * Server.t
+
+(** One constructor per action family; used for metrics and weights. *)
+type category =
+  | C_app_send
+  | C_app_deliver
+  | C_app_view
+  | C_block
+  | C_block_ok
+  | C_mb_start_change
+  | C_mb_view
+  | C_rf_send
+  | C_rf_deliver
+  | C_rf_reliable
+  | C_rf_live
+  | C_rf_lose
+  | C_crash
+  | C_recover
+  | C_srv_send
+  | C_srv_deliver
+  | C_fd_change
+  | C_client_join
+  | C_client_leave
+
+val category : t -> category
+val category_to_string : category -> string
+
+val locus : t -> Proc.t
+(** The process (or server) at which the action occurs — the paper's
+    subscript p. For point-to-point deliveries, the receiver. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,29 @@
+(** A persistent FIFO queue (two-list representation).
+
+    Used for CO_RFIFO channels: O(1) amortized enqueue/dequeue, plus the
+    [drop_last] operation the lose(p,q) action needs. *)
+
+type 'a t
+
+val empty : 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> 'a t
+(** Enqueue at the back. *)
+
+val peek : 'a t -> 'a option
+(** The front element, if any. *)
+
+val pop : 'a t -> ('a * 'a t) option
+(** Dequeue from the front. *)
+
+val drop_last : 'a t -> 'a t option
+(** Remove the most recently enqueued element — CO_RFIFO's lose(p,q)
+    "dequeues the last message". [None] when empty. *)
+
+val to_list : 'a t -> 'a list
+(** Front first. *)
+
+val of_list : 'a list -> 'a t
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

@@ -1,0 +1,153 @@
+(* Application messages, cuts, and the wire messages exchanged by GCS
+   end-points over CO_RFIFO (paper §5, Figures 9-11). *)
+
+module App_msg = struct
+  (* Opaque application payloads. Identity is structural; the queues of
+     the algorithms index messages positionally, as in the paper. *)
+  type t = { payload : string }
+
+  let make payload = { payload }
+  let payload t = t.payload
+  let equal a b = String.equal a.payload b.payload
+  let compare a b = String.compare a.payload b.payload
+  let pp ppf t = Fmt.pf ppf "%S" t.payload
+end
+
+module Cut = struct
+  (* A cut maps each process to the index of the last message from that
+     process that the cut's owner commits to deliver (paper §5.2). A
+     process absent from the map is committed to index 0 (no messages). *)
+  type t = int Proc.Map.t
+
+  let empty = Proc.Map.empty
+  let get cut q = Proc.Map.find_default ~default:0 q cut
+
+  let set cut q i =
+    if i < 0 then invalid_arg "Cut.set: negative index";
+    if i = 0 then Proc.Map.remove q cut else Proc.Map.add q i cut
+
+  let of_bindings l = List.fold_left (fun c (q, i) -> set c q i) empty l
+
+  (* Pointwise maximum over a set of cuts: the paper's
+     max_{r in T} sync_msg[r][...].cut(q). *)
+  let max_over cuts q =
+    List.fold_left (fun acc c -> Stdlib.max acc (get c q)) 0 cuts
+
+  let equal a b = Proc.Map.equal_by Int.equal a b
+
+  let pp ppf cut =
+    Fmt.pf ppf "[%a]"
+      Fmt.(list ~sep:(any ";") (fun ppf (q, i) -> Fmt.pf ppf "%a:%d" Proc.pp q i))
+      (Proc.Map.bindings cut)
+end
+
+module Wire = struct
+  (* Messages GCS end-points exchange through CO_RFIFO.
+
+     - [View_msg v]   stream marker: subsequent [App] messages from this
+                      sender were sent in view [v] (Fig. 9).
+     - [App m]        an original application message (Fig. 9).
+     - [Fwd]          an application message forwarded on behalf of
+                      [origin]; tagged with the view it was originally
+                      sent in and its index in the sender's queue (Fig. 9).
+     - [Sync]         a synchronization message tagged with a locally
+                      unique start_change id, carrying the sender's
+                      current view and cut (Fig. 10).
+     - [Bsync]       used only by the sequential-rounds baseline
+                      comparator: a cut exchanged after the membership
+                      view arrived, tagged with that view's identifier
+                      (the pre-agreed globally unique tag). *)
+  type sync_entry = {
+    origin : Proc.t;
+    cid : View.Sc_id.t;
+    sview : View.t;
+    cut : Cut.t;
+  }
+
+  type t =
+    | View_msg of View.t
+    | App of App_msg.t
+    | Fwd of { origin : Proc.t; view : View.t; index : int; msg : App_msg.t }
+    | Sync of { cid : View.Sc_id.t; view : View.t; cut : Cut.t }
+    | Sync_batch of sync_entry list
+        (* §9 two-tier hierarchy: a leader's aggregation of
+           synchronization messages into a single message *)
+    | Bsync of { vid : View.Id.t; view : View.t; cut : Cut.t }
+
+  let equal a b =
+    match (a, b) with
+    | View_msg u, View_msg v -> View.equal u v
+    | App m, App n -> App_msg.equal m n
+    | Fwd f, Fwd g ->
+        Proc.equal f.origin g.origin && View.equal f.view g.view
+        && f.index = g.index && App_msg.equal f.msg g.msg
+    | Sync s, Sync t ->
+        View.Sc_id.equal s.cid t.cid && View.equal s.view t.view
+        && Cut.equal s.cut t.cut
+    | Sync_batch a', Sync_batch b' ->
+        List.length a' = List.length b'
+        && List.for_all2
+             (fun (x : sync_entry) (y : sync_entry) ->
+               Proc.equal x.origin y.origin
+               && View.Sc_id.equal x.cid y.cid
+               && View.equal x.sview y.sview && Cut.equal x.cut y.cut)
+             a' b'
+    | Bsync s, Bsync t ->
+        View.Id.equal s.vid t.vid && View.equal s.view t.view && Cut.equal s.cut t.cut
+    | (View_msg _ | App _ | Fwd _ | Sync _ | Sync_batch _ | Bsync _), _ -> false
+
+  let pp ppf = function
+    | View_msg v -> Fmt.pf ppf "view_msg(%a)" View.pp v
+    | App m -> Fmt.pf ppf "app(%a)" App_msg.pp m
+    | Fwd f ->
+        Fmt.pf ppf "fwd(%a,%a,%d,%a)" Proc.pp f.origin View.Id.pp (View.id f.view)
+          f.index App_msg.pp f.msg
+    | Sync s ->
+        Fmt.pf ppf "sync(%a,%a,%a)" View.Sc_id.pp s.cid View.Id.pp (View.id s.view)
+          Cut.pp s.cut
+    | Sync_batch entries ->
+        Fmt.pf ppf "sync_batch[%a]"
+          Fmt.(list ~sep:(any ";") (fun ppf (e : sync_entry) ->
+                   Fmt.pf ppf "%a:%a" Proc.pp e.origin View.Sc_id.pp e.cid))
+          entries
+    | Bsync b ->
+        Fmt.pf ppf "bsync(%a,%a,%a)" View.Id.pp b.vid View.Id.pp (View.id b.view) Cut.pp b.cut
+
+  (* Approximate serialized size in bytes, for the overhead benches:
+     8 bytes per identifier or integer, 4 per member-set entry, plus
+     payload lengths. Not an actual codec — a cost model. *)
+  let view_size v =
+    8 + (4 * Proc.Set.cardinal (View.set v)) + (8 * Proc.Set.cardinal (View.set v))
+
+  let cut_size c = 1 + (8 * List.length (Proc.Map.bindings c))
+
+  let size_bytes = function
+    | View_msg v -> 1 + view_size v
+    | App m -> 1 + 4 + String.length m.payload
+    | Fwd f -> 1 + 4 + view_size f.view + 8 + String.length (App_msg.payload f.msg)
+    | Sync s -> 1 + 8 + view_size s.view + cut_size s.cut
+    | Sync_batch entries ->
+        List.fold_left
+          (fun acc (e : sync_entry) -> acc + 12 + view_size e.sview + cut_size e.cut)
+          1 entries
+    | Bsync b -> 1 + 8 + view_size b.view + cut_size b.cut
+
+  (* Coarse classification used by the metrics layer (bench E2). *)
+  type kind = K_view_msg | K_app | K_fwd | K_sync | K_sync_batch | K_bsync
+
+  let kind = function
+    | View_msg _ -> K_view_msg
+    | App _ -> K_app
+    | Fwd _ -> K_fwd
+    | Sync _ -> K_sync
+    | Sync_batch _ -> K_sync_batch
+    | Bsync _ -> K_bsync
+
+  let kind_to_string = function
+    | K_view_msg -> "view_msg"
+    | K_app -> "app"
+    | K_fwd -> "fwd"
+    | K_sync -> "sync"
+    | K_sync_batch -> "sync_batch"
+    | K_bsync -> "bsync"
+end

@@ -1,0 +1,76 @@
+(** Application messages, cuts, and the wire messages exchanged by GCS
+    end-points over CO_RFIFO (paper §5, Figures 9-11). *)
+
+(** Opaque application payloads. *)
+module App_msg : sig
+  type t = { payload : string }
+
+  val make : string -> t
+  val payload : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A cut maps each process to the index of the last of its messages
+    the cut's owner commits to deliver before the next view (§5.2).
+    Processes absent from the map are committed to index 0. *)
+module Cut : sig
+  type t = int Proc.Map.t
+
+  val empty : t
+  val get : t -> Proc.t -> int
+  val set : t -> Proc.t -> int -> t
+  (** @raise Invalid_argument on a negative index. *)
+
+  val of_bindings : (Proc.t * int) list -> t
+
+  val max_over : t list -> Proc.t -> int
+  (** Pointwise maximum: the paper's max over the transitional set of
+      sync_msg[r][...].cut(q). Empty list gives 0. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Messages GCS end-points exchange through CO_RFIFO. *)
+module Wire : sig
+  type sync_entry = {
+    origin : Proc.t;
+    cid : View.Sc_id.t;
+    sview : View.t;
+    cut : Cut.t;
+  }
+  (** One relayed synchronization message inside a leader's batch. *)
+
+  type t =
+    | View_msg of View.t
+        (** stream marker: subsequent [App] messages from this sender
+            were sent in this view (Fig. 9) *)
+    | App of App_msg.t  (** an original application message (Fig. 9) *)
+    | Fwd of { origin : Proc.t; view : View.t; index : int; msg : App_msg.t }
+        (** a message forwarded on behalf of [origin], tagged with its
+            original view and FIFO index (Fig. 9, §5.2.2) *)
+    | Sync of { cid : View.Sc_id.t; view : View.t; cut : Cut.t }
+        (** a synchronization message tagged with a locally unique
+            start_change id (Fig. 10) *)
+    | Sync_batch of sync_entry list
+        (** §9 two-tier hierarchy: a leader's aggregation of
+            synchronization messages into a single message *)
+    | Bsync of { vid : View.Id.t; view : View.t; cut : Cut.t }
+        (** the sequential-rounds baseline's cut exchange, tagged with
+            the target view's identifier (the pre-agreed global tag) *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  val size_bytes : t -> int
+  (** Approximate serialized size — a cost model for the overhead
+      benches, not a real codec. *)
+
+  (** Coarse classification for the metrics layer (bench E2). *)
+  type kind = K_view_msg | K_app | K_fwd | K_sync | K_sync_batch | K_bsync
+
+  val kind : t -> kind
+  val kind_to_string : kind -> string
+end

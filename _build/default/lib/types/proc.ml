@@ -1,0 +1,50 @@
+(* Process (GCS end-point) identifiers.
+
+   The paper ranges over an arbitrary universe [Proc]; we use small
+   integers so that sets and maps are cheap and traces are readable. *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+
+let of_int i =
+  if i < 0 then invalid_arg "Proc.of_int: negative process id";
+  i
+
+let to_int p = p
+let pp ppf p = Fmt.pf ppf "p%d" p
+let to_string p = Fmt.str "%a" pp p
+
+module Set = struct
+  include Set.Make (Int)
+
+  let of_range lo hi =
+    (* [of_range lo hi] is the set {lo, ..., hi} (empty when lo > hi). *)
+    let rec go acc i = if i > hi then acc else go (add i acc) (i + 1) in
+    go empty lo
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") (fun ppf p -> pp ppf p)) (elements s)
+
+  let to_string s = Fmt.str "%a" pp s
+end
+
+module Map = struct
+  include Map.Make (Int)
+
+  let keys m = fold (fun k _ acc -> k :: acc) m [] |> List.rev
+
+  let key_set m = fold (fun k _ acc -> Set.add k acc) m Set.empty
+
+  let find_default ~default k m =
+    match find_opt k m with Some v -> v | None -> default
+
+  (* Structural equality independent of internal tree shape. *)
+  let equal_by veq a b = equal veq a b
+
+  let pp pp_v ppf m =
+    let pp_binding ppf (k, v) = Fmt.pf ppf "%a->%a" pp k pp_v v in
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") pp_binding) (bindings m)
+end

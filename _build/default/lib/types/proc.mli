@@ -1,0 +1,46 @@
+(** Process (GCS end-point) identifiers.
+
+    The paper's [Proc] universe. Identifiers are non-negative integers;
+    [pp] renders them as ["p<i>"]. Membership servers reuse the same
+    identifier space (rendered by {!Vsgc_types.Server}). *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val of_int : int -> t
+(** [of_int i] is the process with id [i].
+    @raise Invalid_argument if [i < 0]. *)
+
+val to_int : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Sets of processes, with helpers used throughout the algorithms. *)
+module Set : sig
+  include Set.S with type elt = t
+
+  val of_range : int -> int -> t
+  (** [of_range lo hi] is [{lo, ..., hi}], empty when [lo > hi]. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+(** Maps keyed by processes. *)
+module Map : sig
+  include Map.S with type key = t
+
+  val keys : 'a t -> key list
+  val key_set : 'a t -> Set.t
+
+  val find_default : default:'a -> key -> 'a t -> 'a
+  (** Total lookup with a default, used for cuts and index tables. *)
+
+  val equal_by : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+  (** Structural equality independent of internal tree shape. *)
+
+  val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+end

@@ -1,0 +1,18 @@
+(* Membership-server identifiers (paper §1, Figure 1).
+
+   Servers live in the same integer id space as processes but are
+   rendered distinctly in traces. *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let of_int i =
+  if i < 0 then invalid_arg "Server.of_int: negative server id";
+  i
+
+let to_int s = s
+let pp ppf s = Fmt.pf ppf "s%d" s
+
+module Set = Proc.Set
+module Map = Proc.Map

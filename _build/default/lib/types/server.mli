@@ -1,0 +1,18 @@
+(** Membership-server identifiers (paper §1, Figure 1).
+
+    Servers share the integer id space with processes but render
+    distinctly (["s<i>"]) in traces. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val of_int : int -> t
+(** @raise Invalid_argument if negative. *)
+
+val to_int : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : module type of Proc.Set
+module Map : module type of Proc.Map

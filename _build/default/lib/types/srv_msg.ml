@@ -1,0 +1,33 @@
+(* Inter-server messages of the client-server membership algorithm
+   (our executable rendering of the one-round membership service of
+   Keidar-Sussman-Marzullo-Dolev [27]; see DESIGN.md §2).
+
+   [Proposal]: a server's current picture — its failure-detector
+   estimate, its attached clients with the start_change identifiers it
+   last sent them, its estimate of the full client union, and the
+   largest view identifier it has seen.
+
+   [Commit]: the view synthesized by the minimum live server once all
+   live servers' proposals agree on the server set and client union;
+   peers validate it against their own bookkeeping and deliver it to
+   their attached clients. *)
+
+type proposal = {
+  round : int;  (* the proposer's local attempt number *)
+  from : Server.t;
+  servers : Server.Set.t;  (* proposer's current estimate of live servers *)
+  clients : View.Sc_id.t Proc.Map.t;
+      (* clients attached to the proposer, with the start_change ids it
+         last sent them for this attempt *)
+  members : Proc.Set.t;  (* proposer's estimate of the full client union *)
+  max_vid : View.Id.t;  (* largest view identifier the proposer has seen *)
+}
+
+type t = Proposal of proposal | Commit of View.t
+
+let pp ppf = function
+  | Proposal m ->
+      Fmt.pf ppf "propose(r%d,%a,srv=%a,cl=%a,U=%a,max=%a)" m.round Server.pp
+        m.from Server.Set.pp m.servers (Proc.Map.pp View.Sc_id.pp) m.clients
+        Proc.Set.pp m.members View.Id.pp m.max_vid
+  | Commit v -> Fmt.pf ppf "commit(%a)" View.pp v

@@ -1,0 +1,20 @@
+(** Inter-server messages of the client-server membership algorithm —
+    our executable rendering of the service of [27] (DESIGN.md §2). *)
+
+type proposal = {
+  round : int;  (** the proposer's local attempt number *)
+  from : Server.t;
+  servers : Server.Set.t;  (** proposer's failure-detector estimate *)
+  clients : View.Sc_id.t Proc.Map.t;
+      (** attached clients with the start_change ids last sent to them *)
+  members : Proc.Set.t;  (** proposer's estimate of the full client union *)
+  max_vid : View.Id.t;  (** largest view identifier the proposer has seen *)
+}
+
+type t =
+  | Proposal of proposal
+  | Commit of View.t
+      (** the view synthesized by the minimum live server; peers
+          validate it against their own bookkeeping before delivering *)
+
+val pp : Format.formatter -> t -> unit

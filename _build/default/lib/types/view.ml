@@ -1,0 +1,89 @@
+(* Views and their identifiers (paper §3.1, Figure 2).
+
+   A view is a triple <id, set, startId>: an increasing identifier, the
+   member set, and a map from members to the start_change identifiers
+   they received last before the view. Two views are the same iff the
+   triples are identical. *)
+
+module Sc_id = struct
+  (* Locally-unique, increasing start_change identifiers (paper's
+     [StartChangeId], a totally ordered set with least element cid0). *)
+  type t = int
+
+  let zero = 0
+  let succ = Int.succ
+  let compare = Int.compare
+  let equal = Int.equal
+  let pp ppf c = Fmt.pf ppf "c%d" c
+end
+
+module Id = struct
+  (* View identifiers: the paper only needs a partially ordered set with
+     least element vid0 and per-process monotonicity. We use the totally
+     ordered pair (num, origin) so that concurrent views created by
+     different membership servers are comparable and distinct. *)
+  type t = { num : int; origin : int }
+
+  let zero = { num = 0; origin = 0 }
+  let make ~num ~origin = { num; origin }
+  let num t = t.num
+  let origin t = t.origin
+
+  let compare a b =
+    match Int.compare a.num b.num with
+    | 0 -> Int.compare a.origin b.origin
+    | c -> c
+
+  let equal a b = compare a b = 0
+  let lt a b = compare a b < 0
+  let succ_from ~origin t = { num = t.num + 1; origin }
+  let pp ppf t = Fmt.pf ppf "v%d.%d" t.num t.origin
+end
+
+type t = { id : Id.t; set : Proc.Set.t; start_ids : Sc_id.t Proc.Map.t }
+
+let make ~id ~set ~start_ids =
+  if not (Proc.Set.subset (Proc.Map.key_set start_ids) set) then
+    invalid_arg "View.make: start_ids mentions non-members";
+  if not (Proc.Set.for_all (fun p -> Proc.Map.mem p start_ids) set) then
+    invalid_arg "View.make: start_ids must be total on the member set";
+  { id; set; start_ids }
+
+let id t = t.id
+let set t = t.set
+let mem p t = Proc.Set.mem p t.set
+
+let start_id t p =
+  match Proc.Map.find_opt p t.start_ids with
+  | Some cid -> cid
+  | None -> invalid_arg (Fmt.str "View.start_id: %a not in %a" Proc.pp p Id.pp t.id)
+
+let start_ids t = t.start_ids
+
+(* The default initial view of process p: <vid0, {p}, {p -> cid0}>. *)
+let initial p =
+  { id = Id.zero;
+    set = Proc.Set.singleton p;
+    start_ids = Proc.Map.singleton p Sc_id.zero }
+
+let compare a b =
+  match Id.compare a.id b.id with
+  | 0 -> (
+      match Proc.Set.compare a.set b.set with
+      | 0 -> Proc.Map.compare Sc_id.compare a.start_ids b.start_ids
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Fmt.pf ppf "<%a %a [%a]>" Id.pp t.id Proc.Set.pp t.set
+    (Proc.Map.pp Sc_id.pp) t.start_ids
+
+let to_string t = Fmt.str "%a" pp t
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,69 @@
+(** Views and their identifiers (paper §3.1, Figure 2).
+
+    A view is the triple [<id, set, startId>]. Two views are the same
+    only if the triples are identical — in particular, a view carrying a
+    different [startId] map is a {e different} view (paper §9). *)
+
+(** Locally-unique, increasing start_change identifiers ([StartChangeId]). *)
+module Sc_id : sig
+  type t = int
+
+  val zero : t
+  (** The least element [cid0]. *)
+
+  val succ : t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** View identifiers, a totally ordered refinement of the paper's
+    partially ordered [ViewId]. *)
+module Id : sig
+  type t = private { num : int; origin : int }
+
+  val zero : t
+  (** The least element [vid0], used by every initial view. *)
+
+  val make : num:int -> origin:int -> t
+  val num : t -> int
+  val origin : t -> int
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val lt : t -> t -> bool
+
+  val succ_from : origin:int -> t -> t
+  (** [succ_from ~origin vid] is the identifier a membership server
+      [origin] assigns to the view following [vid]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type t = private { id : Id.t; set : Proc.Set.t; start_ids : Sc_id.t Proc.Map.t }
+
+val make : id:Id.t -> set:Proc.Set.t -> start_ids:Sc_id.t Proc.Map.t -> t
+(** [make ~id ~set ~start_ids] builds a view.
+    @raise Invalid_argument unless [start_ids] is total exactly on [set]. *)
+
+val id : t -> Id.t
+val set : t -> Proc.Set.t
+val mem : Proc.t -> t -> bool
+
+val start_id : t -> Proc.t -> Sc_id.t
+(** [start_id v p] is [v.startId(p)]: the identifier of the last
+    start_change delivered to member [p] before [v].
+    @raise Invalid_argument if [p] is not a member of [v]. *)
+
+val start_ids : t -> Sc_id.t Proc.Map.t
+
+val initial : Proc.t -> t
+(** [initial p] is process [p]'s default initial view
+    [<vid0, {p}, {p -> cid0}>]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Maps keyed by whole views (triple comparison). *)
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Fmt List Proc Vsgc_baseline Vsgc_core Vsgc_harness Vsgc_types

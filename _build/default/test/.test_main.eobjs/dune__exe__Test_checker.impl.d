@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Fmt List Msg Proc String View Vsgc_checker Vsgc_core Vsgc_harness Vsgc_types

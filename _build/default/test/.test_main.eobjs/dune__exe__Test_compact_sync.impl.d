@@ -1,0 +1,1 @@
+test/test_compact_sync.ml: Action Alcotest Fmt Msg Proc View Vsgc_core Vsgc_harness Vsgc_ioa Vsgc_types

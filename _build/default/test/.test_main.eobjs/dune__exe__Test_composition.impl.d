@@ -1,0 +1,1 @@
+test/test_composition.ml: Alcotest Fmt Hashtbl List Proc String Vsgc_core Vsgc_harness Vsgc_replication Vsgc_totalorder Vsgc_types

@@ -1,0 +1,1 @@
+test/test_corfifo.ml: Action Alcotest List Msg Proc View Vsgc_corfifo Vsgc_ioa Vsgc_spec Vsgc_types

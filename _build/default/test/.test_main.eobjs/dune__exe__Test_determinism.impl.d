@@ -1,0 +1,1 @@
+test/test_determinism.ml: Action Alcotest List Vsgc_harness Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+test/test_executor.ml: Action Alcotest Fmt List Msg Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+test/test_forwarding.ml: Action Alcotest Fmt List Msg Proc Vsgc_core Vsgc_corfifo Vsgc_harness Vsgc_ioa Vsgc_types

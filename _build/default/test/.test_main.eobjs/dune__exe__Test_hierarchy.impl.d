@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Fmt List Msg Proc Vsgc_core Vsgc_harness Vsgc_ioa Vsgc_types

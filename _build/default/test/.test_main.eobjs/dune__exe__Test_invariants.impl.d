@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest List Proc Vsgc_harness Vsgc_types

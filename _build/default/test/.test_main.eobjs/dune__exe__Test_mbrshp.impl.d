@@ -1,0 +1,1 @@
+test/test_mbrshp.ml: Action Alcotest List Proc View Vsgc_ioa Vsgc_mbrshp Vsgc_spec Vsgc_types

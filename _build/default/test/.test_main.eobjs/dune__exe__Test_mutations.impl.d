@@ -1,0 +1,1 @@
+test/test_mutations.ml: Action Alcotest Fmt List Proc Vsgc_core Vsgc_harness Vsgc_ioa Vsgc_types

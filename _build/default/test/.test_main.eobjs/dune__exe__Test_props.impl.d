@@ -1,0 +1,1 @@
+test/test_props.ml: Action Array Fmt Fun List Msg Proc QCheck QCheck_alcotest Random String View Vsgc_core Vsgc_harness Vsgc_types

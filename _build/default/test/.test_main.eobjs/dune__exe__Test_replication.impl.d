@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Fmt Hashtbl List Proc String Vsgc_harness Vsgc_replication Vsgc_types

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Fmt List Printexc Proc String Vsgc_core Vsgc_harness Vsgc_types

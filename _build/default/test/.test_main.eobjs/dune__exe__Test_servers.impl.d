@@ -1,0 +1,1 @@
+test/test_servers.ml: Alcotest Fmt List Proc Server View Vsgc_core Vsgc_harness Vsgc_types

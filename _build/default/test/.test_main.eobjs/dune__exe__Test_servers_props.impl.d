@@ -1,0 +1,1 @@
+test/test_servers_props.ml: Fmt List Proc QCheck QCheck_alcotest Random Server String View Vsgc_harness Vsgc_types

@@ -1,0 +1,1 @@
+test/test_servers_unit.ml: Action Alcotest List Proc Server Srv_msg View Vsgc_mbrshp Vsgc_types

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Fmt List Proc Vsgc_core Vsgc_harness Vsgc_types

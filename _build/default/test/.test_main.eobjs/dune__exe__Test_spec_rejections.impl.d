@@ -1,0 +1,1 @@
+test/test_spec_rejections.ml: Action Alcotest List Msg Proc View Vsgc_ioa Vsgc_spec Vsgc_types

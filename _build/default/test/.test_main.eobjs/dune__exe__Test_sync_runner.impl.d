@@ -1,0 +1,1 @@
+test/test_sync_runner.ml: Action Alcotest Fmt List Msg Proc Vsgc_corfifo Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+test/test_tord_core.ml: Alcotest Fmt Hashtbl List Proc QCheck QCheck_alcotest Random View Vsgc_totalorder Vsgc_types

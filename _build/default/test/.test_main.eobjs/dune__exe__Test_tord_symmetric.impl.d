@@ -1,0 +1,1 @@
+test/test_tord_symmetric.ml: Alcotest Fmt Hashtbl List Msg Proc String Vsgc_harness Vsgc_ioa Vsgc_totalorder Vsgc_types

@@ -1,0 +1,1 @@
+test/test_totalorder.ml: Alcotest Fmt Hashtbl List Proc String Vsgc_harness Vsgc_totalorder Vsgc_types

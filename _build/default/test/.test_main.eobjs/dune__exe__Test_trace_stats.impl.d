@@ -1,0 +1,1 @@
+test/test_trace_stats.ml: Action Alcotest Hashtbl List Msg Proc View Vsgc_ioa Vsgc_types

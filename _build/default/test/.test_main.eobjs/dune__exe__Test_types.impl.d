@@ -1,0 +1,1 @@
+test/test_types.ml: Action Alcotest Fqueue List Msg Proc View Vsgc_ioa Vsgc_types

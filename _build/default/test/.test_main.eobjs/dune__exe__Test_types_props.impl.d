@@ -1,0 +1,1 @@
+test/test_types_props.ml: Fmt Fqueue List Msg QCheck QCheck_alcotest Random String View Vsgc_types

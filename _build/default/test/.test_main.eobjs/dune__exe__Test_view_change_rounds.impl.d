@@ -1,0 +1,1 @@
+test/test_view_change_rounds.ml: Alcotest Fmt List Proc Vsgc_baseline Vsgc_harness Vsgc_ioa Vsgc_types

@@ -1,0 +1,1 @@
+test/test_vs.ml: Alcotest Fmt List Proc View Vsgc_core Vsgc_harness Vsgc_ioa Vsgc_types

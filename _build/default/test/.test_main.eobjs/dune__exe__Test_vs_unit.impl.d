@@ -1,0 +1,1 @@
+test/test_vs_unit.ml: Alcotest List Msg Proc View Vsgc_core Vsgc_types

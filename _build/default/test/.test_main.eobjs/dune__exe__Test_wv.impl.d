@@ -1,0 +1,1 @@
+test/test_wv.ml: Alcotest Fmt List Msg Proc View Vsgc_core Vsgc_harness Vsgc_types

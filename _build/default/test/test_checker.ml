@@ -1,0 +1,102 @@
+(* The invariant checkers themselves must have teeth: hand-corrupted
+   global states violating specific §6/§7 invariants are rejected by
+   exactly the right checker, and the healthy state passes all. *)
+
+open Vsgc_types
+module Inv = Vsgc_checker.Invariants
+module System = Vsgc_harness.System
+module Endpoint = Vsgc_core.Endpoint
+module Wv = Vsgc_core.Wv_rfifo
+module Vs = Vsgc_core.Vs_rfifo_ts
+
+(* A healthy settled system's snapshot, to corrupt. *)
+let healthy () =
+  let sys = System.create ~seed:131 ~n:3 () in
+  let all = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~set:all);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  System.settle sys;
+  (sys, System.snapshot sys)
+
+(* A corruption usually breaks several related invariants at once (the
+   proofs lean on each other); we require that SOME checker fires and
+   that it is one of the expected family. *)
+let rejects names f =
+  let _, snap = healthy () in
+  let snap = f snap in
+  try
+    Inv.check_all snap;
+    Alcotest.failf "corrupted state passed all invariants (%s)"
+      (String.concat "/" names)
+  with Inv.Invariant_violation { name = got; _ } ->
+    Alcotest.(check bool)
+      (Fmt.str "an expected invariant fired (%s ∈ %s)" got (String.concat "/" names))
+      true (List.mem got names)
+
+let mutate_endpoint snap p f =
+  { snap with Inv.endpoints = Proc.Map.add p (f (Proc.Map.find p snap.Inv.endpoints)) snap.Inv.endpoints }
+
+let test_healthy_passes () =
+  let _, snap = healthy () in
+  Inv.check_all snap
+
+let test_6_1 () =
+  (* an end-point whose current view excludes it *)
+  rejects [ "6.1" ] (fun snap ->
+      mutate_endpoint snap 0 (fun e ->
+          let w = Endpoint.wv e in
+          let v_foreign = View.initial 1 in
+          let w' = { w with Wv.current_view = v_foreign } in
+          { e with Endpoint.g =
+              { e.Endpoint.g with Vsgc_core.Gcs.vs =
+                  { e.Endpoint.g.Vsgc_core.Gcs.vs with Vs.wv = w' } } }))
+
+let test_6_9 () =
+  (* an own sync message recorded against a different view *)
+  rejects [ "6.9"; "6.8"; "6.7" ] (fun snap ->
+      mutate_endpoint snap 0 (fun e ->
+          let vs = Endpoint.vs e in
+          let bogus = { Vs.view = View.initial 0; cut = Msg.Cut.empty } in
+          let own = Proc.Map.find_default ~default:Vs.Sc_map.empty 0 vs.Vs.sync_msgs in
+          let sync_msgs = Proc.Map.add 0 (Vs.Sc_map.add 99 bogus own) vs.Vs.sync_msgs in
+          let vs' = { vs with Vs.sync_msgs; start_change = Some (99, Proc.Set.of_range 0 2) } in
+          { e with Endpoint.g = { e.Endpoint.g with Vsgc_core.Gcs.vs = vs' } }))
+
+let test_6_11 () =
+  (* end-point blocked, client unblocked *)
+  rejects [ "6.11" ] (fun snap ->
+      mutate_endpoint snap 0 (fun e ->
+          { e with Endpoint.g =
+              { e.Endpoint.g with Vsgc_core.Gcs.block_status = Vsgc_core.Gcs.Blocked } }))
+
+let test_6_6_3 () =
+  (* a receiver holding a message its sender never sent *)
+  rejects [ "6.6.3" ] (fun snap ->
+      mutate_endpoint snap 0 (fun e ->
+          let w = Endpoint.wv e in
+          let w' = Wv.msgs_set w 1 w.Wv.current_view 7 (Msg.App_msg.make "forged") in
+          { e with Endpoint.g =
+              { e.Endpoint.g with Vsgc_core.Gcs.vs =
+                  { e.Endpoint.g.Vsgc_core.Gcs.vs with Vs.wv = w' } } }))
+
+let test_7_2 () =
+  (* a cut committing to messages the owner does not hold *)
+  rejects [ "7.2"; "6.8"; "6.7"; "6.13" ] (fun snap ->
+      mutate_endpoint snap 0 (fun e ->
+          let vs = Endpoint.vs e in
+          let cut = Msg.Cut.of_bindings [ (1, 42) ] in
+          let sm = { Vs.view = (Endpoint.wv e).Wv.current_view; cut } in
+          let own = Proc.Map.find_default ~default:Vs.Sc_map.empty 0 vs.Vs.sync_msgs in
+          let sync_msgs = Proc.Map.add 0 (Vs.Sc_map.add 99 sm own) vs.Vs.sync_msgs in
+          let vs' = { vs with Vs.sync_msgs; start_change = Some (99, Proc.Set.of_range 0 2) } in
+          { e with Endpoint.g = { e.Endpoint.g with Vsgc_core.Gcs.vs = vs' } }))
+
+let suite =
+  [
+    Alcotest.test_case "healthy state passes all invariants" `Quick test_healthy_passes;
+    Alcotest.test_case "6.1 rejects self-exclusion" `Quick test_6_1;
+    Alcotest.test_case "6.9 rejects wrong-view own sync" `Quick test_6_9;
+    Alcotest.test_case "6.11 rejects block disagreement" `Quick test_6_11;
+    Alcotest.test_case "6.6.3 rejects forged messages" `Quick test_6_6_3;
+    Alcotest.test_case "7.2 rejects over-committing cuts" `Quick test_7_2;
+  ]

@@ -1,0 +1,84 @@
+(* The §5.2.4 optimization: synchronization messages sent to processes
+   outside the current view shrink to "I am not in your transitional
+   set" markers. Semantics must be unchanged (the full monitor battery
+   and invariants hold); the bytes on the wire must drop. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+
+let merge_scenario ?compact_sync ~seed () =
+  let sys = System.create ~seed ?compact_sync ~n:6 () in
+  System.attach_invariants ~every:5 sys;
+  let left = Proc.Set.of_range 0 2 in
+  let right = Proc.Set.of_range 3 5 in
+  let all = Proc.Set.of_range 0 5 in
+  ignore (System.reconfigure sys ~origin:0 ~set:left);
+  ignore (System.reconfigure sys ~origin:1 ~set:right);
+  System.settle sys;
+  System.broadcast sys ~senders:all ~per_sender:2;
+  System.settle sys;
+  (* the merge: each side's start_change set includes the other side,
+     which is outside its current view — markers apply *)
+  let v = System.reconfigure sys ~origin:0 ~set:all in
+  System.settle sys;
+  Alcotest.(check bool) "merged view installed" true (System.all_in_view sys v);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  System.settle sys;
+  Vsgc_ioa.Metrics.sent_bytes (Vsgc_ioa.Executor.metrics (System.exec sys)) Msg.Wire.K_sync
+
+let test_semantics_preserved () =
+  (* the scenario itself asserts view installation and runs under all
+     monitors and invariants; traffic must flow after the merge *)
+  ignore (merge_scenario ~compact_sync:true ~seed:101 ());
+  ignore (merge_scenario ~compact_sync:true ~seed:102 ())
+
+let test_bytes_reduced () =
+  let full = merge_scenario ~seed:103 () in
+  let compact = merge_scenario ~compact_sync:true ~seed:103 () in
+  Alcotest.(check bool)
+    (Fmt.str "compact sync cheaper (%d < %d bytes)" compact full)
+    true (compact < full)
+
+let test_marker_shape () =
+  (* markers carry the sender's initial singleton view and empty cut,
+     so no receiver can ever place the sender in its transitional set
+     through one *)
+  let open Vsgc_core.Vs_rfifo_ts in
+  let vs = initial ~compact_sync:true 0 in
+  let vs = start_change_effect vs ~cid:1 ~set:(Proc.Set.of_range 0 2) in
+  (* p0's current view is its initial singleton; peers 1,2 are outside *)
+  Alcotest.(check bool) "marker targets outside the view" true
+    (Proc.Set.equal (marker_dests vs) (Proc.Set.of_range 1 2));
+  match marker_send_action vs with
+  | Action.Rf_send (_, dests, Msg.Wire.Sync { view; cut; cid }) ->
+      Alcotest.(check bool) "dests" true (Proc.Set.equal dests (Proc.Set.of_range 1 2));
+      Alcotest.(check bool) "view is the initial singleton" true
+        (View.equal view (View.initial 0));
+      Alcotest.(check bool) "cut empty" true (Msg.Cut.equal cut Msg.Cut.empty);
+      Alcotest.(check int) "cid" 1 cid
+  | _ -> Alcotest.fail "unexpected marker action"
+
+let test_crossing_joiner () =
+  (* a joiner from a singleton view gets markers from everyone and
+     still installs the merged view *)
+  let sys = System.create ~seed:104 ~compact_sync:true ~n:4 () in
+  System.attach_invariants ~every:5 sys;
+  let trio = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~origin:0 ~set:trio);
+  System.settle sys;
+  let v = System.reconfigure sys ~origin:1 ~set:(Proc.Set.of_range 0 3) in
+  System.settle sys;
+  Alcotest.(check bool) "joiner included" true (System.all_in_view sys v);
+  match System.last_view_of sys 3 with
+  | Some (_, tset) ->
+      Alcotest.(check bool) "joiner's T is itself" true
+        (Proc.Set.equal tset (Proc.Set.singleton 3))
+  | None -> Alcotest.fail "joiner has no view"
+
+let suite =
+  [
+    Alcotest.test_case "semantics preserved under monitors" `Quick test_semantics_preserved;
+    Alcotest.test_case "bytes reduced" `Quick test_bytes_reduced;
+    Alcotest.test_case "marker shape" `Quick test_marker_shape;
+    Alcotest.test_case "joiner crossing via markers" `Quick test_crossing_joiner;
+  ]

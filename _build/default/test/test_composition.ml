@@ -1,0 +1,95 @@
+(* Composition torture tests: the optional features (garbage
+   collection, compact markers, the two-tier hierarchy, min-copies
+   forwarding) and the application layers compose — everything on at
+   once, under all monitors. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Replica = Vsgc_replication.Replica
+module Tord = Vsgc_totalorder.Tord_client
+
+let everything_on ~seed ~n ~client_builder =
+  System.create ~seed ~gc:true ~compact_sync:true ~hierarchy:2
+    ~strategy:Vsgc_core.Forwarding.Min_copies ?client_builder ~n ()
+
+let test_everything_on_gcs () =
+  let sys = everything_on ~seed:121 ~n:6 ~client_builder:None in
+  let all = Proc.Set.of_range 0 5 in
+  Vsgc_harness.Scenario.run sys (Vsgc_harness.Scenario.partition_heal ~n:6);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  System.settle sys;
+  Proc.Set.iter
+    (fun p ->
+      Proc.Set.iter
+        (fun q ->
+          Alcotest.(check bool)
+            (Fmt.str "%a got %a's traffic" Proc.pp p Proc.pp q)
+            true
+            (List.length (Vsgc_core.Client.delivered_from !(System.client sys p) q) >= 2))
+        all)
+    all
+
+let test_replication_over_hierarchy () =
+  let refs = Hashtbl.create 8 in
+  let sys =
+    System.create ~seed:122 ~hierarchy:2 ~gc:true ~n:4
+      ~client_builder:(fun p ->
+        let c, r = Replica.component p in
+        Hashtbl.replace refs p r;
+        c)
+      ()
+  in
+  ignore (System.reconfigure sys ~origin:0 ~set:(Proc.Set.of_range 0 1));
+  ignore (System.reconfigure sys ~origin:1 ~set:(Proc.Set.of_range 2 3));
+  System.settle sys;
+  Replica.set (Hashtbl.find refs 0) ~key:"a" ~value:"1";
+  Replica.set (Hashtbl.find refs 2) ~key:"b" ~value:"2";
+  System.settle sys;
+  ignore (System.reconfigure sys ~origin:0 ~set:(Proc.Set.of_range 0 3));
+  System.settle sys;
+  let s0 = Replica.state !(Hashtbl.find refs 0) in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Fmt.str "replica %d converged" p)
+        true
+        (Replica.Smap.equal String.equal s0 (Replica.state !(Hashtbl.find refs p))))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "both sides' writes merged" true
+    (Replica.get !(Hashtbl.find refs 1) "a" = Some "1"
+    && Replica.get !(Hashtbl.find refs 1) "b" = Some "2")
+
+let test_total_order_with_compact_and_gc () =
+  let refs = Hashtbl.create 8 in
+  let sys =
+    System.create ~seed:123 ~compact_sync:true ~gc:true ~n:3
+      ~client_builder:(fun p ->
+        let c, r = Tord.component p in
+        Hashtbl.replace refs p r;
+        c)
+      ()
+  in
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 2));
+  System.settle sys;
+  List.iter (fun p -> Tord.push (Hashtbl.find refs p) (Fmt.str "op%d" p)) [ 0; 1; 2 ];
+  System.settle sys;
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 1));
+  System.settle sys;
+  let o0 = Tord.total_order !(Hashtbl.find refs 0) in
+  let o1 = Tord.total_order !(Hashtbl.find refs 1) in
+  Alcotest.(check bool) "orders agree" true (o0 = o1);
+  Alcotest.(check int) "all ops ordered" 3 (List.length o0)
+
+let test_everything_on_invariants () =
+  let sys = everything_on ~seed:124 ~n:4 ~client_builder:None in
+  System.attach_invariants ~every:5 sys;
+  Vsgc_harness.Scenario.run sys (Vsgc_harness.Scenario.crash_recover ~n:4)
+
+let suite =
+  [
+    Alcotest.test_case "everything on: partition & heal" `Quick test_everything_on_gcs;
+    Alcotest.test_case "replication over the hierarchy" `Quick test_replication_over_hierarchy;
+    Alcotest.test_case "total order with compact + gc" `Quick test_total_order_with_compact_and_gc;
+    Alcotest.test_case "everything on: invariants through crash" `Quick
+      test_everything_on_invariants;
+  ]

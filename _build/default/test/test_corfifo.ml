@@ -1,0 +1,177 @@
+(* Unit tests for the CO_RFIFO component (Figure 3) and its spec
+   monitor: FIFO order, loss rules, liveness gating, crash effects. *)
+
+open Vsgc_types
+module C = Vsgc_corfifo
+
+let msg s = Msg.Wire.App (Msg.App_msg.make s)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let apply_all st actions = List.fold_left C.apply st actions
+
+let test_fifo_order () =
+  let st =
+    apply_all C.initial
+      [
+        Action.Rf_send (0, Proc.Set.of_list [ 1; 2 ], msg "a");
+        Action.Rf_send (0, Proc.Set.singleton 1, msg "b");
+      ]
+  in
+  check_int "chan 0->1 holds two" 2 (C.channel_length st 0 1);
+  check_int "chan 0->2 holds one" 1 (C.channel_length st 0 2);
+  (* only channel heads are deliverable, and only to live targets *)
+  let st = C.apply st (Action.Rf_live (0, Proc.Set.of_list [ 0; 1; 2 ])) in
+  let deliveries =
+    List.filter_map
+      (function Action.Rf_deliver (p, q, m) -> Some (p, q, m) | _ -> None)
+      (C.outputs st)
+  in
+  check "head of 0->1 is a" true
+    (List.exists (fun (p, q, m) -> p = 0 && q = 1 && Msg.Wire.equal m (msg "a")) deliveries);
+  check "b is not deliverable yet" false
+    (List.exists (fun (_, _, m) -> Msg.Wire.equal m (msg "b")) deliveries);
+  let st = C.apply st (Action.Rf_deliver (0, 1, msg "a")) in
+  check_int "after deliver, one left" 1 (C.channel_length st 0 1)
+
+let test_deliver_wrong_head_rejected () =
+  let st = C.apply C.initial (Action.Rf_send (0, Proc.Set.singleton 1, msg "a")) in
+  check "delivering non-head raises" true
+    (try
+       ignore (C.apply st (Action.Rf_deliver (0, 1, msg "b")));
+       false
+     with Invalid_argument _ -> true)
+
+let test_live_gating () =
+  let st = C.apply C.initial (Action.Rf_send (0, Proc.Set.singleton 1, msg "a")) in
+  (* default live_set[0] = {0}: no delivery task toward 1 *)
+  check "no delivery to non-live target" true
+    (not
+       (List.exists
+          (function Action.Rf_deliver _ -> true | _ -> false)
+          (C.outputs st)));
+  let st = C.apply st (Action.Rf_live (0, Proc.Set.of_list [ 0; 1 ])) in
+  check "delivery enabled once live" true
+    (List.exists (function Action.Rf_deliver _ -> true | _ -> false) (C.outputs st))
+
+let test_lose_only_unreliable () =
+  let st =
+    apply_all C.initial
+      [
+        Action.Rf_send (0, Proc.Set.singleton 1, msg "a");
+        Action.Rf_send (0, Proc.Set.singleton 1, msg "b");
+        Action.Rf_reliable (0, Proc.Set.of_list [ 0; 1 ]);
+      ]
+  in
+  check "no lose toward reliable peer" true
+    (not (List.exists (function Action.Rf_lose _ -> true | _ -> false) (C.outputs st)));
+  let st = C.apply st (Action.Rf_reliable (0, Proc.Set.singleton 0)) in
+  check "lose enabled toward unreliable peer" true
+    (List.exists (function Action.Rf_lose (0, 1) -> true | _ -> false) (C.outputs st));
+  let st = C.apply st (Action.Rf_lose (0, 1)) in
+  check_int "lose drops the tail" 1 (C.channel_length st 0 1);
+  Alcotest.(check (list string))
+    "head survives" [ "a" ]
+    (List.filter_map
+       (function Msg.Wire.App m -> Some (Msg.App_msg.payload m) | _ -> None)
+       (C.channel_contents st 0 1))
+
+let test_membership_link_updates_live () =
+  (* Figure 8: Mb_start_change and Mb_view drive live_p *)
+  let v =
+    View.make
+      ~id:(View.Id.make ~num:1 ~origin:0)
+      ~set:(Proc.Set.of_list [ 0; 1 ])
+      ~start_ids:Proc.Map.(empty |> add 0 1 |> add 1 1)
+  in
+  let st = C.apply C.initial (Action.Mb_start_change (0, 1, Proc.Set.of_list [ 0; 1; 2 ])) in
+  check "start_change sets live" true
+    (Proc.Set.equal (C.live_set st 0) (Proc.Set.of_list [ 0; 1; 2 ]));
+  let st = C.apply st (Action.Mb_view (0, v)) in
+  check "view narrows live" true (Proc.Set.equal (C.live_set st 0) (Proc.Set.of_list [ 0; 1 ]))
+
+let test_crash_clears_sets () =
+  let st =
+    apply_all C.initial
+      [
+        Action.Rf_reliable (0, Proc.Set.of_list [ 0; 1 ]);
+        Action.Rf_live (0, Proc.Set.of_list [ 0; 1 ]);
+        Action.Crash 0;
+      ]
+  in
+  check "reliable emptied" true (Proc.Set.is_empty (C.reliable_set st 0));
+  check "live emptied" true (Proc.Set.is_empty (C.live_set st 0))
+
+(* -- The spec monitor must reject bad transports ------------------------- *)
+
+let feed monitor actions = List.iter monitor.Vsgc_ioa.Monitor.on_action actions
+
+let expect_violation actions =
+  let m = Vsgc_spec.Co_rfifo_spec.monitor () in
+  try
+    feed m actions;
+    false
+  with Vsgc_ioa.Monitor.Violation _ -> true
+
+let test_monitor_catches_reorder () =
+  check "out-of-order delivery rejected" true
+    (expect_violation
+       [
+         Action.Rf_send (0, Proc.Set.singleton 1, msg "a");
+         Action.Rf_send (0, Proc.Set.singleton 1, msg "b");
+         Action.Rf_deliver (0, 1, msg "b");
+       ])
+
+let test_monitor_catches_fabrication () =
+  check "delivery from empty channel rejected" true
+    (expect_violation [ Action.Rf_deliver (0, 1, msg "ghost") ])
+
+let test_monitor_catches_bad_lose () =
+  check "loss toward reliable peer rejected" true
+    (expect_violation
+       [
+         Action.Rf_reliable (0, Proc.Set.of_list [ 0; 1 ]);
+         Action.Rf_send (0, Proc.Set.singleton 1, msg "a");
+         Action.Rf_lose (0, 1);
+       ])
+
+let test_monitor_accepts_implementation () =
+  (* drive the executable CO_RFIFO randomly and feed its trace to the
+     monitor: the implementation must satisfy its own spec *)
+  let rng = Vsgc_ioa.Rng.make 99 in
+  let m = Vsgc_spec.Co_rfifo_spec.monitor () in
+  let st = ref C.initial in
+  let do_action a =
+    st := C.apply !st a;
+    m.Vsgc_ioa.Monitor.on_action a
+  in
+  do_action (Action.Rf_live (0, Proc.Set.of_list [ 0; 1; 2 ]));
+  do_action (Action.Rf_live (1, Proc.Set.of_list [ 0; 1; 2 ]));
+  for i = 1 to 200 do
+    (match Vsgc_ioa.Rng.int rng 3 with
+    | 0 ->
+        do_action
+          (Action.Rf_send
+             (Vsgc_ioa.Rng.int rng 2, Proc.Set.singleton (Vsgc_ioa.Rng.int rng 3), msg (string_of_int i)))
+    | 1 ->
+        do_action (Action.Rf_reliable (Vsgc_ioa.Rng.int rng 2, Proc.Set.of_range 0 (Vsgc_ioa.Rng.int rng 2)))
+    | _ -> ());
+    (* drain one enabled output if any *)
+    match C.outputs !st with a :: _ -> do_action a | [] -> ()
+  done;
+  check "implementation satisfies spec" true true
+
+let suite =
+  [
+    Alcotest.test_case "fifo order" `Quick test_fifo_order;
+    Alcotest.test_case "wrong head rejected" `Quick test_deliver_wrong_head_rejected;
+    Alcotest.test_case "live gating" `Quick test_live_gating;
+    Alcotest.test_case "loss only to unreliable" `Quick test_lose_only_unreliable;
+    Alcotest.test_case "membership link drives live" `Quick test_membership_link_updates_live;
+    Alcotest.test_case "crash clears sets" `Quick test_crash_clears_sets;
+    Alcotest.test_case "monitor rejects reorder" `Quick test_monitor_catches_reorder;
+    Alcotest.test_case "monitor rejects fabrication" `Quick test_monitor_catches_fabrication;
+    Alcotest.test_case "monitor rejects bad loss" `Quick test_monitor_catches_bad_lose;
+    Alcotest.test_case "implementation satisfies own spec" `Quick test_monitor_accepts_implementation;
+  ]

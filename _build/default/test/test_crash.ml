@@ -1,0 +1,111 @@
+(* Crash and recovery semantics (paper §8): end-points restart under
+   their original identity from initial state (no stable storage); the
+   membership keeps its identifiers, so the first view after recovery
+   still satisfies Local Monotonicity. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Client = Vsgc_core.Client
+
+let check = Alcotest.(check bool)
+
+let test_survivors_continue () =
+  let sys = System.create ~seed:71 ~n:3 () in
+  let all = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~set:all);
+  System.settle sys;
+  System.broadcast sys ~senders:all ~per_sender:3;
+  (match System.run sys ~max_steps:150 with _ -> ());
+  System.crash sys 2;
+  let v = System.reconfigure sys ~set:(Proc.Set.of_range 0 1) in
+  System.settle sys;
+  check "survivors installed the new view" true (System.all_in_view sys v)
+
+let test_recovery_same_identity () =
+  let sys = System.create ~seed:72 ~n:3 () in
+  let all = Proc.Set.of_range 0 2 in
+  let v1 = System.reconfigure sys ~set:all in
+  System.settle sys;
+  System.crash sys 2;
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 1));
+  System.settle sys;
+  System.recover sys 2;
+  let v3 = System.reconfigure sys ~set:all in
+  System.settle sys;
+  check "recovered process is a member again" true (View.mem 2 v3);
+  check "everyone installed the post-recovery view" true (System.all_in_view sys v3);
+  check "post-recovery id above pre-crash id" true (View.Id.lt (View.id v1) (View.id v3));
+  (* the end-point restarted from scratch: its client log holds only
+     the new view *)
+  match Client.views !(System.client sys 2) with
+  | [ (v, tset) ] ->
+      check "single view since recovery" true (View.equal v v3);
+      check "recovered end-point's T is itself" true (Proc.Set.equal tset (Proc.Set.singleton 2))
+  | l -> Alcotest.failf "expected 1 view at the recovered client, got %d" (List.length l)
+
+let test_crashed_endpoint_is_silent () =
+  let sys = System.create ~seed:73 ~n:2 () in
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 1));
+  System.settle sys;
+  System.crash sys 1;
+  check "no outputs from crashed end-point" true
+    (Vsgc_core.Endpoint.outputs !(System.endpoint sys 1) = []);
+  System.send sys 0 "into-the-void";
+  System.settle sys;
+  (* p0 still self-delivers; p1 observed nothing new *)
+  check "sender self-delivered" true
+    (List.length (Client.delivered_from !(System.client sys 0) 0) = 1);
+  Alcotest.(check int) "crashed client saw nothing" 0
+    (List.length (Client.delivered !(System.client sys 1)))
+
+let test_traffic_after_recovery () =
+  let sys = System.create ~seed:74 ~n:3 () in
+  let all = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~set:all);
+  System.settle sys;
+  System.broadcast sys ~senders:all ~per_sender:2;
+  System.settle sys;
+  System.crash sys 1;
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_list [ 0; 2 ]));
+  System.settle sys;
+  System.recover sys 1;
+  ignore (System.reconfigure sys ~set:all);
+  System.settle sys;
+  System.broadcast sys ~senders:all ~per_sender:2;
+  System.settle sys;
+  (* everyone, including the recovered process, exchanges traffic *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          check
+            (Fmt.str "%a receives %a after recovery" Proc.pp p Proc.pp q)
+            true
+            (List.length (Client.delivered_from !(System.client sys p) q) >= 2))
+        [ 0; 1; 2 ])
+    [ 0; 1; 2 ]
+
+let test_invariants_across_crash_recovery () =
+  let sys = System.create ~seed:75 ~n:3 () in
+  System.attach_invariants sys;
+  let all = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~set:all);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  (match System.run sys ~max_steps:100 with _ -> ());
+  System.crash sys 0;
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 1 2));
+  System.settle sys;
+  System.recover sys 0;
+  ignore (System.reconfigure sys ~set:all);
+  System.settle sys;
+  check "invariants held throughout" true true
+
+let suite =
+  [
+    Alcotest.test_case "survivors continue" `Quick test_survivors_continue;
+    Alcotest.test_case "recovery under original identity" `Quick test_recovery_same_identity;
+    Alcotest.test_case "crashed end-point is silent" `Quick test_crashed_endpoint_is_silent;
+    Alcotest.test_case "traffic after recovery" `Quick test_traffic_after_recovery;
+    Alcotest.test_case "invariants across crash/recovery" `Quick
+      test_invariants_across_crash_recovery;
+  ]

@@ -1,0 +1,135 @@
+(* Unit tests for the I/O-automaton executor: composition semantics,
+   weights, injection, quiescence, filtered runs, monitors and hooks. *)
+
+open Vsgc_types
+module Executor = Vsgc_ioa.Executor
+module Component = Vsgc_ioa.Component
+
+let msg s = Msg.App_msg.make s
+
+(* A one-shot emitter: outputs a fixed action until it has fired. *)
+let emitter nm action =
+  Component.
+    {
+      name = nm;
+      init = false;
+      accepts = (fun _ -> false);
+      outputs = (fun fired -> if fired then [] else [ action ]);
+      apply = (fun _ a -> Action.equal a action);
+    }
+
+(* A counter of accepted actions. *)
+let counter pred =
+  let r = ref 0 in
+  let def =
+    Component.
+      {
+        name = "counter";
+        init = ();
+        accepts = pred;
+        outputs = (fun () -> []);
+        apply = (fun () _ -> incr r);
+      }
+  in
+  (def, r)
+
+let test_output_reaches_acceptors () =
+  let a = Action.App_send (0, msg "x") in
+  let c, seen = counter (function Action.App_send (0, _) -> true | _ -> false) in
+  let exec = Executor.create ~seed:1 [ Component.pack (emitter "e" a); Component.pack c ] in
+  (match Executor.run exec with
+  | Executor.Quiescent n -> Alcotest.(check int) "one step to quiescence" 1 n
+  | Executor.Step_limit -> Alcotest.fail "no quiescence");
+  Alcotest.(check int) "acceptor saw the action" 1 !seen;
+  Alcotest.(check bool) "quiescent" true (Executor.is_quiescent exec)
+
+let test_non_acceptor_unaffected () =
+  let a = Action.App_send (0, msg "x") in
+  let c, seen = counter (function Action.App_send (1, _) -> true | _ -> false) in
+  let exec = Executor.create ~seed:1 [ Component.pack (emitter "e" a); Component.pack c ] in
+  ignore (Executor.run exec);
+  Alcotest.(check int) "other-process acceptor untouched" 0 !seen
+
+let test_zero_weight_disables () =
+  let a = Action.App_send (0, msg "x") in
+  let weights act = match act with Action.App_send _ -> 0.0 | _ -> 1.0 in
+  let exec = Executor.create ~seed:1 ~weights [ Component.pack (emitter "e" a) ] in
+  (match Executor.run exec with
+  | Executor.Quiescent 0 -> ()
+  | _ -> Alcotest.fail "weighted-out action must not fire");
+  Alcotest.(check int) "candidate still enabled" 1 (List.length (Executor.candidates exec))
+
+let test_injection () =
+  let c, seen = counter (function Action.Crash 3 -> true | _ -> false) in
+  let exec = Executor.create ~seed:1 [ Component.pack c ] in
+  Executor.inject exec (Action.Crash 3);
+  Alcotest.(check int) "injected input delivered" 1 !seen;
+  Alcotest.(check int) "trace records it" 1 (Executor.trace_length exec)
+
+let test_determinism () =
+  (* same seed, same components => identical traces *)
+  let build () =
+    let mk i = Component.pack (emitter (Fmt.str "e%d" i) (Action.Block i)) in
+    Executor.create ~seed:9 [ mk 0; mk 1; mk 2; mk 3 ]
+  in
+  let t1 =
+    let e = build () in
+    ignore (Executor.run e);
+    Executor.trace e
+  in
+  let t2 =
+    let e = build () in
+    ignore (Executor.run e);
+    Executor.trace e
+  in
+  Alcotest.(check bool) "identical traces" true (List.for_all2 Action.equal t1 t2)
+
+let test_run_filtered () =
+  let mk i = Component.pack (emitter (Fmt.str "e%d" i) (Action.Block i)) in
+  let exec = Executor.create ~seed:2 [ mk 0; mk 1 ] in
+  let steps = Executor.run_filtered exec ~allow:(function Action.Block 0 -> true | _ -> false) in
+  Alcotest.(check int) "only the allowed action ran" 1 steps;
+  Alcotest.(check int) "the other is still pending" 1 (List.length (Executor.candidates exec))
+
+let test_monitor_violation_propagates () =
+  let m =
+    Vsgc_ioa.Monitor.make "grumpy" (fun _ ->
+        Vsgc_ioa.Monitor.violate ~monitor:"grumpy" "no actions allowed")
+  in
+  let exec = Executor.create ~seed:1 [ Component.pack (emitter "e" (Action.Block 0)) ] in
+  Executor.add_monitor exec m;
+  Alcotest.check_raises "violation surfaces"
+    (Vsgc_ioa.Monitor.Violation { monitor = "grumpy"; message = "no actions allowed" })
+    (fun () -> ignore (Executor.run exec))
+
+let test_finish_reports_residuals () =
+  let m =
+    Vsgc_ioa.Monitor.make ~at_end:(fun () -> [ "leftover" ]) "residual" (fun _ -> ())
+  in
+  let exec = Executor.create ~seed:1 [] in
+  Executor.add_monitor exec m;
+  Alcotest.check_raises "at_end surfaces"
+    (Vsgc_ioa.Monitor.Violation { monitor = "residual"; message = "leftover" })
+    (fun () -> Executor.finish exec)
+
+let test_stop_condition () =
+  let mk i = Component.pack (emitter (Fmt.str "e%d" i) (Action.Block i)) in
+  let exec = Executor.create ~seed:3 [ mk 0; mk 1; mk 2 ] in
+  let stop () = Executor.trace_length exec >= 2 in
+  (match Executor.run ~stop exec with
+  | Executor.Quiescent _ -> ()
+  | Executor.Step_limit -> Alcotest.fail "stop ignored");
+  Alcotest.(check int) "stopped at two steps" 2 (Executor.trace_length exec)
+
+let suite =
+  [
+    Alcotest.test_case "output reaches acceptors" `Quick test_output_reaches_acceptors;
+    Alcotest.test_case "non-acceptors unaffected" `Quick test_non_acceptor_unaffected;
+    Alcotest.test_case "zero weight disables" `Quick test_zero_weight_disables;
+    Alcotest.test_case "injection" `Quick test_injection;
+    Alcotest.test_case "determinism per seed" `Quick test_determinism;
+    Alcotest.test_case "filtered runs" `Quick test_run_filtered;
+    Alcotest.test_case "monitor violations propagate" `Quick test_monitor_violation_propagates;
+    Alcotest.test_case "finish reports residuals" `Quick test_finish_reports_residuals;
+    Alcotest.test_case "stop condition" `Quick test_stop_condition;
+  ]

@@ -1,0 +1,107 @@
+(* The §9 two-tier hierarchy: members route synchronization messages
+   through group leaders, who aggregate. Semantics must be unchanged
+   (full monitor battery + invariants); the message count must drop
+   from O(n²) toward O(n + g²); latency grows by the relay hops. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Vs = Vsgc_core.Vs_rfifo_ts
+
+let sync_copies sys =
+  let m = Vsgc_ioa.Executor.metrics (System.exec sys) in
+  Vsgc_ioa.Metrics.sent_count m Msg.Wire.K_sync
+  + Vsgc_ioa.Metrics.sent_count m Msg.Wire.K_sync_batch
+
+let churn_scenario ?hierarchy ~seed ~n () =
+  let sys = System.create ~seed ?hierarchy ~n () in
+  let all = Proc.Set.of_range 0 (n - 1) in
+  let v1 = System.reconfigure sys ~origin:0 ~set:all in
+  System.settle sys;
+  Alcotest.(check bool) "first view installed" true (System.all_in_view sys v1);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  let v2 = System.reconfigure sys ~origin:1 ~set:(Proc.Set.of_range 0 (n - 2)) in
+  System.settle sys;
+  Alcotest.(check bool) "second view installed" true (System.all_in_view sys v2);
+  sys
+
+let test_semantics_under_monitors () =
+  (* two reconfigurations with traffic, n=8, g=3: all monitors green *)
+  let sys = churn_scenario ~hierarchy:3 ~seed:111 ~n:8 () in
+  let all = Proc.Set.of_range 0 5 in
+  System.broadcast sys ~senders:all ~per_sender:2;
+  System.settle sys;
+  Proc.Set.iter
+    (fun p ->
+      Proc.Set.iter
+        (fun q ->
+          Alcotest.(check bool)
+            (Fmt.str "%a got %a's post-change traffic" Proc.pp p Proc.pp q)
+            true
+            (List.length (Vsgc_core.Client.delivered_from !(System.client sys p) q) >= 2))
+        all)
+    all
+
+let test_invariants_hold () =
+  let sys = System.create ~seed:112 ~hierarchy:2 ~n:6 () in
+  System.attach_invariants ~every:5 sys;
+  let all = Proc.Set.of_range 0 5 in
+  ignore (System.reconfigure sys ~origin:0 ~set:all);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  ignore (System.reconfigure sys ~origin:1 ~set:(Proc.Set.of_range 0 3));
+  System.settle sys
+
+let test_message_reduction () =
+  let n = 12 in
+  let direct = sync_copies (churn_scenario ~seed:113 ~n ()) in
+  let hier = sync_copies (churn_scenario ~hierarchy:3 ~seed:113 ~n ()) in
+  Alcotest.(check bool)
+    (Fmt.str "hierarchy sends fewer sync copies (%d < %d)" hier direct)
+    true (hier < direct)
+
+let test_latency_cost () =
+  (* the flip side: the relay hops cost extra rounds on a view change *)
+  let measure ?hierarchy () =
+    let sys = System.create ~seed:114 ?hierarchy ~n:9 () in
+    let all = Proc.Set.of_range 0 8 in
+    let v1 = System.reconfigure sys ~origin:0 ~set:all in
+    let exec = System.exec sys in
+    let wait pred =
+      ignore (Vsgc_ioa.Sync_runner.local_quiesce exec);
+      let rec go r =
+        if pred () || r > 30 then r
+        else begin
+          ignore (Vsgc_ioa.Sync_runner.round exec ~make_budget:(System.round_budget sys));
+          go (r + 1)
+        end
+      in
+      go 0
+    in
+    ignore (wait (fun () -> System.all_in_view sys v1));
+    let target = Proc.Set.of_range 0 7 in
+    let v2 = System.reconfigure sys ~origin:1 ~set:target in
+    wait (fun () -> System.all_in_view sys v2)
+  in
+  let direct = measure () in
+  let hier = measure ~hierarchy:3 () in
+  Alcotest.(check int) "direct synchronization: one round" 1 direct;
+  Alcotest.(check bool)
+    (Fmt.str "hierarchy pays relay latency (%d > %d)" hier direct)
+    true (hier > direct)
+
+let test_leader_election_is_deterministic () =
+  let set = Proc.Set.of_list [ 0; 1; 2; 3; 4; 5; 6 ] in
+  (* groups mod 3: {0,3,6} {1,4} {2,5}; leaders 0, 1, 2 *)
+  Alcotest.(check int) "leader of 6 is 0" 0 (Vs.leader_of ~g:3 set 6);
+  Alcotest.(check int) "leader of 4 is 1" 1 (Vs.leader_of ~g:3 set 4);
+  Alcotest.(check int) "leader of 2 is itself" 2 (Vs.leader_of ~g:3 set 2);
+  Alcotest.(check bool) "all leaders" true
+    (Proc.Set.equal (Vs.all_leaders ~g:3 set) (Proc.Set.of_list [ 0; 1; 2 ]))
+
+let suite =
+  [
+    Alcotest.test_case "semantics under monitors" `Quick test_semantics_under_monitors;
+    Alcotest.test_case "invariants hold" `Quick test_invariants_hold;
+    Alcotest.test_case "message reduction" `Quick test_message_reduction;
+    Alcotest.test_case "latency cost" `Quick test_latency_cost;
+    Alcotest.test_case "leader election deterministic" `Quick test_leader_election_is_deterministic;
+  ]

@@ -1,0 +1,67 @@
+(* The paper's proof obligations, checked dynamically: every invariant
+   of §6/§7 must hold after every step of randomized monitored runs
+   covering reconfigurations, partitions, concurrent traffic, joins
+   mid-change, and crashes. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+
+let run_checked ~seed scenario =
+  let sys = System.create ~seed ~n:4 () in
+  System.attach_invariants sys;
+  scenario sys;
+  System.settle sys
+
+let scenario_stable sys =
+  let all = Proc.Set.of_range 0 3 in
+  ignore (System.reconfigure sys ~set:all);
+  System.broadcast sys ~senders:all ~per_sender:4
+
+let scenario_cascade sys =
+  let all = Proc.Set.of_range 0 3 in
+  ignore (System.reconfigure sys ~set:all);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 2));
+  System.broadcast sys ~senders:(Proc.Set.of_range 0 2) ~per_sender:2;
+  ignore (System.reconfigure sys ~set:all)
+
+let scenario_partition sys =
+  let all = Proc.Set.of_range 0 3 in
+  ignore (System.reconfigure sys ~set:all);
+  System.broadcast sys ~senders:all ~per_sender:3;
+  (* split into two concurrent disjoint views *)
+  ignore (System.reconfigure sys ~origin:0 ~set:(Proc.Set.of_range 0 1));
+  ignore (System.reconfigure sys ~origin:1 ~set:(Proc.Set.of_range 2 3));
+  System.broadcast sys ~senders:(Proc.Set.of_range 0 1) ~per_sender:2
+
+let scenario_join_mid_change sys =
+  let trio = Proc.Set.of_range 0 2 in
+  let all = Proc.Set.of_range 0 3 in
+  ignore (System.reconfigure sys ~set:trio);
+  System.broadcast sys ~senders:trio ~per_sender:2;
+  (* membership changes its mind: start_change for the trio, then a
+     fresh start_change adding the joiner, then the final view *)
+  ignore (System.start_change sys ~set:trio);
+  ignore (System.start_change sys ~set:all);
+  ignore (System.deliver_view sys ~origin:0 ~set:all)
+
+let scenario_crash sys =
+  let all = Proc.Set.of_range 0 3 in
+  ignore (System.reconfigure sys ~set:all);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  (match System.run sys ~max_steps:200 with _ -> ());
+  System.crash sys 3;
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 2))
+
+let case name scenario =
+  Alcotest.test_case name `Quick (fun () ->
+      List.iter (fun seed -> run_checked ~seed scenario) [ 1; 7; 23; 91 ])
+
+let suite =
+  [
+    case "stable run upholds invariants" scenario_stable;
+    case "cascaded reconfigurations uphold invariants" scenario_cascade;
+    case "partition upholds invariants" scenario_partition;
+    case "join mid-change upholds invariants" scenario_join_mid_change;
+    case "crash upholds invariants" scenario_crash;
+  ]

@@ -1,0 +1,76 @@
+(* Liveness (Property 4.2): once the membership stabilizes on a view v
+   delivered to all its members with no later events, every member
+   eventually installs v, and every message sent in v afterwards is
+   delivered to every member. Fair executions are approximated by long
+   seeded random schedules run to quiescence. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Client = Vsgc_core.Client
+
+let check = Alcotest.(check bool)
+
+let assert_property_4_2 sys view =
+  (* part 1: GCS.view_p(v) occurred at every member *)
+  check "every member installed the stable view" true (System.all_in_view sys view);
+  (* part 2: post-view sends are delivered everywhere *)
+  let members = View.set view in
+  System.broadcast sys ~senders:members ~per_sender:3;
+  System.settle sys;
+  Proc.Set.iter
+    (fun p ->
+      Proc.Set.iter
+        (fun q ->
+          check
+            (Fmt.str "%a delivered %a's post-view traffic" Proc.pp p Proc.pp q)
+            true
+            (List.length (Client.delivered_from !(System.client sys p) q) >= 3))
+        members)
+    members
+
+let test_stabilized_after_churn ~seed () =
+  let sys = System.create ~seed ~n:4 () in
+  let all = Proc.Set.of_range 0 3 in
+  (* churn: several overlapping changes with traffic in flight *)
+  ignore (System.reconfigure sys ~set:all);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 2));
+  System.broadcast sys ~senders:(Proc.Set.of_range 0 2) ~per_sender:2;
+  (* final, stable view *)
+  let v = System.reconfigure sys ~set:all in
+  System.settle sys;
+  assert_property_4_2 sys v
+
+let test_stabilized_after_partition ~seed () =
+  let sys = System.create ~seed ~n:4 () in
+  let all = Proc.Set.of_range 0 3 in
+  ignore (System.reconfigure sys ~set:all);
+  System.settle sys;
+  System.broadcast sys ~senders:all ~per_sender:3;
+  ignore (System.reconfigure sys ~origin:0 ~set:(Proc.Set.of_range 0 1));
+  ignore (System.reconfigure sys ~origin:1 ~set:(Proc.Set.of_range 2 3));
+  System.settle sys;
+  let v = System.reconfigure sys ~set:all in
+  System.settle sys;
+  assert_property_4_2 sys v
+
+let test_liveness_through_servers ~seed () =
+  let ss = Vsgc_harness.Server_system.create ~seed ~n_clients:5 ~n_servers:2 () in
+  Vsgc_harness.Server_system.bootstrap ss;
+  let sys = Vsgc_harness.Server_system.sys ss in
+  System.settle sys;
+  match System.last_view_of sys 0 with
+  | Some (v, _) -> assert_property_4_2 sys v
+  | None -> Alcotest.fail "no stable view emerged"
+
+let seeds = [ 2; 17; 101 ]
+
+let multi name f =
+  Alcotest.test_case name `Quick (fun () -> List.iter (fun seed -> f ~seed ()) seeds)
+
+let suite =
+  [
+    multi "stabilization after churn" test_stabilized_after_churn;
+    multi "stabilization after partition" test_stabilized_after_partition;
+    multi "stabilization through membership servers" test_liveness_through_servers;
+  ]

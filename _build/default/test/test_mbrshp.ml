@@ -1,0 +1,158 @@
+(* Unit tests for the membership components: the oracle's by-
+   construction conformance to Figure 2, its script validation, and the
+   MBRSHP spec monitor's rejection of bad services. *)
+
+open Vsgc_types
+module Oracle = Vsgc_mbrshp.Oracle
+
+let check = Alcotest.(check bool)
+
+let test_oracle_fresh_cids () =
+  let r = ref Oracle.initial in
+  let set = Proc.Set.of_list [ 0; 1 ] in
+  let cids1 = Oracle.queue_start_change r ~set in
+  let cids2 = Oracle.queue_start_change r ~set in
+  Proc.Set.iter
+    (fun p ->
+      check "cids strictly increase" true
+        (View.Sc_id.compare (Proc.Map.find p cids2) (Proc.Map.find p cids1) > 0))
+    set
+
+let test_oracle_form_view () =
+  let r = ref Oracle.initial in
+  let set = Proc.Set.of_list [ 0; 1; 2 ] in
+  let cids = Oracle.queue_start_change r ~set in
+  let v = Oracle.form_view r ~origin:0 ~set in
+  check "view covers set" true (Proc.Set.equal (View.set v) set);
+  Proc.Set.iter
+    (fun p ->
+      check "startId is the queued cid" true
+        (View.Sc_id.equal (View.start_id v p) (Proc.Map.find p cids)))
+    set;
+  check "id above zero" true (View.Id.lt View.Id.zero (View.id v))
+
+let test_oracle_rejects_view_without_start_change () =
+  let r = ref Oracle.initial in
+  let set = Proc.Set.of_list [ 0; 1 ] in
+  check "form_view before start_change rejected" true
+    (try
+       ignore (Oracle.form_view r ~origin:0 ~set);
+       false
+     with Invalid_argument _ -> true)
+
+let test_oracle_rejects_nonmonotonic_view () =
+  let r = ref Oracle.initial in
+  let set = Proc.Set.of_list [ 0 ] in
+  let v1 = Oracle.change r ~set () in
+  ignore (Oracle.queue_start_change r ~set);
+  (* hand-build a view with a stale identifier *)
+  let stale =
+    View.make ~id:(View.id v1) ~set ~start_ids:(Proc.Map.singleton 0 ((Oracle.pst !r 0).Oracle.last_cid))
+  in
+  check "stale view id rejected" true
+    (try
+       Oracle.queue_view r stale;
+       false
+     with Invalid_argument _ -> true)
+
+let test_oracle_emission_order () =
+  (* events reach each client in exactly the order they were queued *)
+  let oracle_c, r = Oracle.component () in
+  let exec = Vsgc_ioa.Executor.create ~seed:3 [ oracle_c ] in
+  let set = Proc.Set.of_list [ 0; 1 ] in
+  ignore (Oracle.queue_start_change r ~set);
+  let v1 = Oracle.form_view r ~origin:0 ~set in
+  ignore (Oracle.queue_start_change r ~set);
+  let v2 = Oracle.form_view r ~origin:0 ~set in
+  (match Vsgc_ioa.Executor.run exec with
+  | Vsgc_ioa.Executor.Quiescent _ -> ()
+  | Vsgc_ioa.Executor.Step_limit -> Alcotest.fail "oracle did not drain");
+  check "drained" true (Oracle.drained r);
+  let per_proc p =
+    List.filter_map
+      (function
+        | Action.Mb_start_change (q, _, _) when q = p -> Some "sc"
+        | Action.Mb_view (q, v) when q = p ->
+            Some (if View.equal v v1 then "v1" else if View.equal v v2 then "v2" else "?")
+        | _ -> None)
+      (Vsgc_ioa.Executor.trace exec)
+  in
+  Alcotest.(check (list string)) "order at p0" [ "sc"; "v1"; "sc"; "v2" ] (per_proc 0);
+  Alcotest.(check (list string)) "order at p1" [ "sc"; "v1"; "sc"; "v2" ] (per_proc 1)
+
+(* -- The MBRSHP monitor must reject non-conforming services -------------- *)
+
+let expect_violation actions =
+  let m = Vsgc_spec.Mbrshp_spec.monitor () in
+  try
+    List.iter m.Vsgc_ioa.Monitor.on_action actions;
+    false
+  with Vsgc_ioa.Monitor.Violation _ -> true
+
+let view ~num ~origin ~set ~ids =
+  View.make ~id:(View.Id.make ~num ~origin) ~set:(Proc.Set.of_list set)
+    ~start_ids:(Proc.Map.of_seq (List.to_seq ids))
+
+let test_monitor_rejects_view_without_start_change () =
+  check "view without start_change" true
+    (expect_violation [ Action.Mb_view (0, view ~num:1 ~origin:0 ~set:[ 0 ] ~ids:[ (0, 0) ]) ])
+
+let test_monitor_rejects_nonmonotonic_ids () =
+  check "non-increasing cid" true
+    (expect_violation
+       [
+         Action.Mb_start_change (0, 2, Proc.Set.singleton 0);
+         Action.Mb_start_change (0, 2, Proc.Set.singleton 0);
+       ])
+
+let test_monitor_rejects_self_exclusion () =
+  check "start_change omitting target" true
+    (expect_violation [ Action.Mb_start_change (0, 1, Proc.Set.singleton 1) ]);
+  check "view omitting target" true
+    (expect_violation
+       [
+         Action.Mb_start_change (0, 1, Proc.Set.of_list [ 0; 1 ]);
+         Action.Mb_view (0, view ~num:1 ~origin:0 ~set:[ 1 ] ~ids:[ (1, 1) ]);
+       ])
+
+let test_monitor_rejects_wrong_start_id () =
+  check "startId mismatch" true
+    (expect_violation
+       [
+         Action.Mb_start_change (0, 5, Proc.Set.singleton 0);
+         Action.Mb_view (0, view ~num:1 ~origin:0 ~set:[ 0 ] ~ids:[ (0, 4) ]);
+       ])
+
+let test_monitor_rejects_superset_view () =
+  check "view beyond start_change set" true
+    (expect_violation
+       [
+         Action.Mb_start_change (0, 1, Proc.Set.singleton 0);
+         Action.Mb_view (0, view ~num:1 ~origin:0 ~set:[ 0; 1 ] ~ids:[ (0, 1); (1, 1) ]);
+       ])
+
+let test_monitor_rejects_two_views_one_change () =
+  check "mode discipline" true
+    (expect_violation
+       [
+         Action.Mb_start_change (0, 1, Proc.Set.singleton 0);
+         Action.Mb_view (0, view ~num:1 ~origin:0 ~set:[ 0 ] ~ids:[ (0, 1) ]);
+         Action.Mb_view (0, view ~num:2 ~origin:0 ~set:[ 0 ] ~ids:[ (0, 1) ]);
+       ])
+
+let suite =
+  [
+    Alcotest.test_case "oracle issues fresh cids" `Quick test_oracle_fresh_cids;
+    Alcotest.test_case "oracle forms conforming views" `Quick test_oracle_form_view;
+    Alcotest.test_case "oracle rejects view w/o start_change" `Quick
+      test_oracle_rejects_view_without_start_change;
+    Alcotest.test_case "oracle rejects stale view ids" `Quick test_oracle_rejects_nonmonotonic_view;
+    Alcotest.test_case "oracle emits per-client FIFO" `Quick test_oracle_emission_order;
+    Alcotest.test_case "monitor: view needs start_change" `Quick
+      test_monitor_rejects_view_without_start_change;
+    Alcotest.test_case "monitor: cids must increase" `Quick test_monitor_rejects_nonmonotonic_ids;
+    Alcotest.test_case "monitor: self inclusion" `Quick test_monitor_rejects_self_exclusion;
+    Alcotest.test_case "monitor: startId must match" `Quick test_monitor_rejects_wrong_start_id;
+    Alcotest.test_case "monitor: view within proposal" `Quick test_monitor_rejects_superset_view;
+    Alcotest.test_case "monitor: mode discipline" `Quick test_monitor_rejects_two_views_one_change;
+  ]

@@ -1,0 +1,90 @@
+(* Mutation tests: the spec monitors must have teeth. We run weakened
+   algorithms — the plain within-view layer without virtual synchrony,
+   and the no-blocking layer without self delivery — in scenarios where
+   their missing guarantees actually break, and require the monitors to
+   catch them. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Client = Vsgc_core.Client
+
+let expect_violation f =
+  try
+    f ();
+    Alcotest.fail "expected a specification violation"
+  with Vsgc_ioa.Monitor.Violation { monitor; _ } -> monitor
+
+(* Without the synchronization round, two processes move together into
+   a view having delivered different message sets: Virtual Synchrony is
+   violated and the VS_RFIFO monitor must say so. *)
+let test_wv_layer_violates_virtual_synchrony () =
+  let monitor =
+    expect_violation (fun () ->
+        let phase = ref `Frozen in
+        let weights (a : Action.t) =
+          match a with
+          | Action.Rf_deliver (2, 1, _) when !phase = `Frozen -> 0.0
+          | Action.Rf_lose _ -> 0.0
+          | _ -> 1.0
+        in
+        (* `Wv endpoints, but with ALL monitors attached *)
+        let sys = System.create ~seed:55 ~weights ~layer:`Wv ~monitors:`All ~n:3 () in
+        let all = Proc.Set.of_range 0 2 in
+        ignore (System.reconfigure sys ~set:all);
+        System.settle sys;
+        for i = 1 to 4 do
+          System.send sys 2 (Fmt.str "u%d" i)
+        done;
+        (* p0 receives p2's messages; p1's channel from p2 is frozen *)
+        (match
+           System.run sys ~max_steps:100_000 ~stop:(fun () ->
+               List.length (Client.delivered_from !(System.client sys 0) 2) = 4)
+         with
+        | Vsgc_ioa.Executor.Quiescent _ -> ()
+        | Vsgc_ioa.Executor.Step_limit -> failwith "setup failed");
+        (* both survivors move on immediately: no cut agreement *)
+        ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 1));
+        System.settle sys)
+  in
+  (* the WV layer also emits empty transitional sets, so either the
+     VS or the T monitor fires first depending on the schedule *)
+  Alcotest.(check bool)
+    (Fmt.str "caught by a virtual-synchrony monitor (%s)" monitor)
+    true
+    (List.mem monitor [ "vs_rfifo_spec"; "trans_set_spec" ])
+
+(* Without blocking, an application keeps sending during the view
+   change; messages beyond the announced cut are not self-delivered
+   before the view: Self Delivery is violated. *)
+let test_vs_layer_violates_self_delivery () =
+  let monitor =
+    expect_violation (fun () ->
+        let sys = System.create ~seed:56 ~layer:`Vs ~monitors:`All ~n:3 () in
+        let all = Proc.Set.of_range 0 2 in
+        ignore (System.reconfigure sys ~set:all);
+        System.settle sys;
+        ignore (System.start_change sys ~set:all);
+        (* run until every endpoint has published its cut *)
+        let sync_count () =
+          Vsgc_ioa.Metrics.category_count
+            (Vsgc_ioa.Executor.metrics (System.exec sys))
+            Action.C_rf_send
+        in
+        let base = sync_count () in
+        ignore
+          (System.run sys ~max_steps:100_000 ~stop:(fun () -> sync_count () >= base + 3));
+        (* the unblocked application sends more — beyond the cuts *)
+        System.send sys 0 "too-late-1";
+        System.send sys 0 "too-late-2";
+        ignore (System.deliver_view sys ~set:all);
+        System.settle sys)
+  in
+  Alcotest.(check string) "caught by the Self Delivery monitor" "self_spec" monitor
+
+let suite =
+  [
+    Alcotest.test_case "WV layer caught violating virtual synchrony" `Quick
+      test_wv_layer_violates_virtual_synchrony;
+    Alcotest.test_case "VS layer caught violating self delivery" `Quick
+      test_vs_layer_violates_self_delivery;
+  ]

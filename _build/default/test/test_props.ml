@@ -1,0 +1,194 @@
+(* Property-based tests (qcheck): randomized scenarios over the full
+   stack. Every generated run executes under all seven safety monitors
+   and all §6/§7 invariant checkers — a random search for reachable
+   states that falsify the paper's proof obligations — plus trace-level
+   properties checked here directly. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Client = Vsgc_core.Client
+
+let n = 4
+let all = Proc.Set.of_range 0 (n - 1)
+
+type op =
+  | Reconfigure of Proc.Set.t
+  | Send of Proc.t * int
+  | Crash of Proc.t
+  | Recover of Proc.t
+  | Run of int  (* partial run: let the scheduler interleave *)
+
+let pp_op = function
+  | Reconfigure s -> Fmt.str "reconf%a" Proc.Set.pp s
+  | Send (p, k) -> Fmt.str "send(%a,%d)" Proc.pp p k
+  | Crash p -> Fmt.str "crash(%a)" Proc.pp p
+  | Recover p -> Fmt.str "recover(%a)" Proc.pp p
+  | Run k -> Fmt.str "run(%d)" k
+
+let gen_subset =
+  (* non-empty subset of the universe *)
+  QCheck.Gen.(
+    map
+      (fun bits ->
+        let s =
+          List.fold_left
+            (fun acc i -> if bits land (1 lsl i) <> 0 then Proc.Set.add i acc else acc)
+            Proc.Set.empty
+            (List.init n Fun.id)
+        in
+        if Proc.Set.is_empty s then Proc.Set.singleton 0 else s)
+      (int_range 1 ((1 lsl n) - 1)))
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun s -> Reconfigure s) gen_subset);
+        (4, map2 (fun p k -> Send (p, k)) (int_range 0 (n - 1)) (int_range 1 4));
+        (1, map (fun p -> Crash p) (int_range 0 (n - 1)));
+        (1, map (fun p -> Recover p) (int_range 0 (n - 1)));
+        (3, map (fun k -> Run k) (int_range 10 200));
+      ])
+
+let gen_scenario = QCheck.Gen.(list_size (int_range 1 10) gen_op)
+
+let arb_scenario =
+  QCheck.make gen_scenario ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+
+(* Execute a scenario. Returns the system, the per-process send
+   history since the last crash (newest first), the live set, and the
+   set of processes that ever crashed. *)
+let execute ?hierarchy ?weights ~seed ops =
+  let sys = System.create ~seed ?weights ?hierarchy ~n () in
+  System.attach_invariants ~every:5 sys;
+  let counter = ref 0 in
+  let history = Array.make n [] in
+  let crashed = ref Proc.Set.empty in
+  let ever = ref Proc.Set.empty in
+  let origin = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Reconfigure set ->
+          (* reconfigure the non-crashed members of [set]; the oracle
+             view must go to processes that can eventually act *)
+          let set = Proc.Set.diff set !crashed in
+          if not (Proc.Set.is_empty set) then begin
+            incr origin;
+            ignore (System.reconfigure sys ~origin:!origin ~set)
+          end
+      | Send (p, k) ->
+          if not (Proc.Set.mem p !crashed) then
+            for _ = 1 to k do
+              incr counter;
+              let payload = Fmt.str "x%d" !counter in
+              System.send sys p payload;
+              history.(p) <- payload :: history.(p)
+            done
+      | Crash p ->
+          if not (Proc.Set.mem p !crashed) then begin
+            System.crash sys p;
+            crashed := Proc.Set.add p !crashed;
+            ever := Proc.Set.add p !ever;
+            history.(p) <- []
+          end
+      | Recover p ->
+          if Proc.Set.mem p !crashed then begin
+            System.recover sys p;
+            crashed := Proc.Set.remove p !crashed
+          end
+      | Run k -> ignore (System.run sys ~max_steps:k))
+    ops;
+  (* stabilize on the live membership *)
+  let live = Proc.Set.diff all !crashed in
+  if not (Proc.Set.is_empty live) then begin
+    incr origin;
+    ignore (System.reconfigure sys ~origin:!origin ~set:live)
+  end;
+  System.settle sys;
+  (sys, history, live, !ever)
+
+(* [sub] is a subsequence of [full]. *)
+let rec is_subsequence sub full =
+  match (sub, full) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys -> if String.equal x y then is_subsequence xs ys else is_subsequence (x :: xs) ys
+
+let prop_monitored_run seed ops =
+  (* monitors + invariants raise on any violation *)
+  ignore (execute ~seed ops);
+  true
+
+let prop_monitored_run_hierarchy seed ops =
+  (* the §9 two-tier relaying must satisfy the same specs everywhere *)
+  ignore (execute ~hierarchy:2 ~seed ops);
+  true
+
+let prop_monitored_run_lossy seed ops =
+  (* adversarial message loss: CO_RFIFO may drop suffixes toward any
+     target outside a sender's reliable set (the spec's lose action at
+     full weight). Safety must be untouched, and the final stabilized
+     view must still form: reliable connections cover view members, so
+     loss only ever hits processes excluded from the next view. *)
+  let weights (a : Action.t) = match a with Action.Rf_lose _ -> 1.0 | _ -> 1.0 in
+  let sys, _, live, _ = execute ~weights ~seed ops in
+  Proc.Set.is_empty live
+  ||
+  match System.last_view_of sys (Proc.Set.min_elt live) with
+  | Some (v, _) -> System.all_in_view sys v
+  | None -> false
+
+let prop_fifo_subsequence seed ops =
+  let sys, history, _live, ever = execute ~seed ops in
+  List.for_all
+    (fun p ->
+      List.for_all
+        (fun q ->
+          (* a crash wipes q's history, so only never-crashed senders
+             can be checked against the recorded send order *)
+          Proc.Set.mem q ever
+          ||
+          let got =
+            List.map Msg.App_msg.payload (Client.delivered_from !(System.client sys p) q)
+          in
+          is_subsequence got (List.rev history.(q)))
+        (List.init n Fun.id))
+    (List.init n Fun.id)
+
+let prop_self_delivery seed ops =
+  let sys, _history, live, _ = execute ~seed ops in
+  Proc.Set.for_all
+    (fun p ->
+      let c = !(System.client sys p) in
+      List.length (Client.sent c) = List.length (Client.delivered_from c p))
+    live
+
+let prop_stable_view_agreement seed ops =
+  let sys, _history, live, _ = execute ~seed ops in
+  (* after stabilization every live process sits in the same view with
+     the same member set *)
+  Proc.Set.is_empty live
+  ||
+  match System.last_view_of sys (Proc.Set.min_elt live) with
+  | None -> Proc.Set.cardinal live <= 1
+  | Some (v, _) ->
+      Proc.Set.equal (View.set v) live && System.all_in_view sys v
+
+let mk_test name prop =
+  QCheck.Test.make ~count:60 ~name
+    QCheck.(pair (int_range 0 10_000) arb_scenario)
+    (fun (seed, ops) -> prop seed ops)
+
+let suite =
+  (* pinned randomness: property runs must be reproducible *)
+  List.map
+    (fun t -> QCheck_alcotest.to_alcotest ~long:false ~rand:(Random.State.make [| 0xBEEF |]) t)
+    [
+      mk_test "random runs satisfy all specs and invariants" prop_monitored_run;
+      mk_test "random runs with the two-tier hierarchy" prop_monitored_run_hierarchy;
+      mk_test "random runs under adversarial message loss" prop_monitored_run_lossy;
+      mk_test "deliveries are FIFO subsequences of sends" prop_fifo_subsequence;
+      mk_test "self delivery after stabilization" prop_self_delivery;
+      mk_test "stable views agree" prop_stable_view_agreement;
+    ]

@@ -1,0 +1,62 @@
+(* The scenario DSL: the named catalog passes on every end-point
+   configuration (plain, gc, compact, hierarchical), and the DSL's
+   failure modes are precise. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Scenario = Vsgc_harness.Scenario
+
+let configs =
+  [
+    ("plain", fun ~seed ~n -> System.create ~seed ~n ());
+    ("gc", fun ~seed ~n -> System.create ~seed ~gc:true ~n ());
+    ("compact", fun ~seed ~n -> System.create ~seed ~compact_sync:true ~n ());
+    ("hierarchy", fun ~seed ~n -> System.create ~seed ~hierarchy:2 ~n ());
+    ("min-copies", fun ~seed ~n -> System.create ~seed ~strategy:Vsgc_core.Forwarding.Min_copies ~n ());
+  ]
+
+let test_catalog_everywhere () =
+  List.iter
+    (fun (cname, build) ->
+      List.iter
+        (fun (sname, scenario) ->
+          let sys = build ~seed:7 ~n:5 in
+          try Scenario.run sys scenario
+          with e ->
+            Alcotest.failf "scenario %s on config %s: %s" sname cname
+              (Printexc.to_string e))
+        (Scenario.catalog ~n:5))
+    configs
+
+let test_check_failure_is_reported () =
+  let sys = System.create ~seed:8 ~n:2 () in
+  let scenario =
+    [ Scenario.Check ("doomed", fun _ -> false) ]
+  in
+  Alcotest.check_raises "failed checks surface by name"
+    (Vsgc_harness.Scenario.Check_failed "doomed") (fun () -> Scenario.run sys scenario)
+
+let test_assertion_helpers () =
+  let sys = System.create ~seed:9 ~n:3 () in
+  let all = Proc.Set.of_range 0 2 in
+  Scenario.run sys
+    [
+      Scenario.Reconfigure { origin = 0; set = all };
+      Scenario.Send { from = 1; payloads = [ "a"; "b" ] };
+      Scenario.Settle;
+      Scenario.Check ("in view", Scenario.all_in_last_view all);
+      Scenario.Check
+        ("p0 got p1's messages", Scenario.delivered_at_least ~at:0 ~from:1 ~count:2);
+    ]
+
+let test_scenarios_print () =
+  let s = Fmt.str "%a" Scenario.pp (Scenario.partition_heal ~n:4) in
+  Alcotest.(check bool) "printable" true (String.length s > 20)
+
+let suite =
+  [
+    Alcotest.test_case "catalog passes on every configuration" `Quick test_catalog_everywhere;
+    Alcotest.test_case "check failures are reported" `Quick test_check_failure_is_reported;
+    Alcotest.test_case "assertion helpers" `Quick test_assertion_helpers;
+    Alcotest.test_case "scenarios print" `Quick test_scenarios_print;
+  ]

@@ -1,0 +1,101 @@
+(* The client-server membership stack end-to-end: servers agree on
+   views in one proposal round while the GCS end-points run the
+   virtual-synchrony round, all under every safety monitor. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module SS = Vsgc_harness.Server_system
+
+let check = Alcotest.(check bool)
+
+let settled_view ss =
+  (* after settle, every client of the system should share one view *)
+  let sys = SS.sys ss in
+  let p0_view = System.last_view_of sys 0 in
+  match p0_view with
+  | None -> None
+  | Some (v, _) -> if System.all_in_view sys v then Some v else None
+
+let test_initial_view ~n_clients ~n_servers ~seed =
+  let ss = SS.create ~seed ~n_clients ~n_servers () in
+  SS.bootstrap ss;
+  System.settle (SS.sys ss);
+  match settled_view ss with
+  | Some v ->
+      Alcotest.(check int)
+        "view covers all clients" n_clients
+        (Proc.Set.cardinal (View.set v))
+  | None -> Alcotest.fail "clients did not converge on a common view"
+
+let test_multicast_through_servers () =
+  let ss = SS.create ~seed:11 ~n_clients:6 ~n_servers:2 () in
+  SS.bootstrap ss;
+  let sys = SS.sys ss in
+  System.settle sys;
+  let all = Proc.Set.of_range 0 5 in
+  System.broadcast sys ~senders:all ~per_sender:3;
+  System.settle sys;
+  Proc.Set.iter
+    (fun p ->
+      Proc.Set.iter
+        (fun q ->
+          Alcotest.(check int)
+            (Fmt.str "%a got all of %a" Proc.pp p Proc.pp q)
+            3
+            (List.length (Vsgc_core.Client.delivered_from !(System.client sys p) q)))
+        all)
+    all
+
+let test_join_leave () =
+  let ss = SS.create ~seed:5 ~n_clients:5 ~n_servers:2 () in
+  SS.bootstrap ss;
+  let sys = SS.sys ss in
+  System.settle sys;
+  (* client 4 leaves, then rejoins: two further reconfigurations *)
+  SS.leave ss 4;
+  System.settle sys;
+  (match System.last_view_of sys 0 with
+  | Some (v, _) ->
+      check "leaver excluded" true (not (View.mem 4 v));
+      check "others converged" true (System.all_in_view sys v)
+  | None -> Alcotest.fail "no view after leave");
+  SS.join ss 4;
+  System.settle sys;
+  match System.last_view_of sys 0 with
+  | Some (v, _) ->
+      check "rejoiner included" true (View.mem 4 v);
+      check "all converged" true (System.all_in_view sys v)
+  | None -> Alcotest.fail "no view after rejoin"
+
+let test_server_partition () =
+  (* 4 clients, 2 servers; the servers partition from each other, each
+     side forming its own (disjoint) client view. *)
+  let ss = SS.create ~seed:8 ~n_clients:4 ~n_servers:2 () in
+  SS.bootstrap ss;
+  let sys = SS.sys ss in
+  System.settle sys;
+  SS.fd_change ss ~perceived:(Server.Set.singleton 0);
+  SS.fd_change ss ~perceived:(Server.Set.singleton 1);
+  System.settle sys;
+  (* server 0 owns clients 0,2; server 1 owns 1,3 *)
+  (match System.last_view_of sys 0 with
+  | Some (v, _) ->
+      check "side A view is {0,2}" true (Proc.Set.equal (View.set v) (Proc.Set.of_list [ 0; 2 ]))
+  | None -> Alcotest.fail "no view on side A");
+  match System.last_view_of sys 1 with
+  | Some (v, _) ->
+      check "side B view is {1,3}" true (Proc.Set.equal (View.set v) (Proc.Set.of_list [ 1; 3 ]))
+  | None -> Alcotest.fail "no view on side B"
+
+let suite =
+  [
+    Alcotest.test_case "initial view, 1 server" `Quick (fun () ->
+        test_initial_view ~n_clients:4 ~n_servers:1 ~seed:3);
+    Alcotest.test_case "initial view, 2 servers" `Quick (fun () ->
+        test_initial_view ~n_clients:6 ~n_servers:2 ~seed:4);
+    Alcotest.test_case "initial view, 3 servers" `Quick (fun () ->
+        test_initial_view ~n_clients:9 ~n_servers:3 ~seed:9);
+    Alcotest.test_case "multicast through servers" `Quick test_multicast_through_servers;
+    Alcotest.test_case "join and leave" `Quick test_join_leave;
+    Alcotest.test_case "server partition" `Quick test_server_partition;
+  ]

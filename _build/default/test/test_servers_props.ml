@@ -1,0 +1,99 @@
+(* Property-based tests for the client-server membership stack: random
+   sequences of failure-detector events, joins and leaves, followed by
+   stabilization, must leave every attached client of every connected
+   server component in one agreed view — with the whole run under the
+   MBRSHP monitor and the rest of the safety battery. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module SS = Vsgc_harness.Server_system
+
+let n_clients = 6
+let n_servers = 2
+
+type op = Leave of Proc.t | Rejoin of Proc.t | Split | Heal | Run of int | Traffic
+
+let pp_op = function
+  | Leave p -> Fmt.str "leave(%a)" Proc.pp p
+  | Rejoin p -> Fmt.str "rejoin(%a)" Proc.pp p
+  | Split -> "split"
+  | Heal -> "heal"
+  | Run k -> Fmt.str "run(%d)" k
+  | Traffic -> "traffic"
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, map (fun p -> Leave p) (int_range 0 (n_clients - 1)));
+        (2, map (fun p -> Rejoin p) (int_range 0 (n_clients - 1)));
+        (1, return Split);
+        (1, return Heal);
+        (3, map (fun k -> Run k) (int_range 20 200));
+        (2, return Traffic);
+      ])
+
+let arb =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 1 8) gen_op)
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+
+let execute ~seed ops =
+  let ss = SS.create ~seed ~n_clients ~n_servers () in
+  let sys = SS.sys ss in
+  SS.bootstrap ss;
+  let present = ref (Proc.Set.of_range 0 (n_clients - 1)) in
+  List.iter
+    (fun op ->
+      match op with
+      | Leave p ->
+          if Proc.Set.mem p !present then begin
+            SS.leave ss p;
+            present := Proc.Set.remove p !present
+          end
+      | Rejoin p ->
+          if not (Proc.Set.mem p !present) then begin
+            SS.join ss p;
+            present := Proc.Set.add p !present
+          end
+      | Split ->
+          SS.fd_change ss ~perceived:(Server.Set.singleton 0);
+          SS.fd_change ss ~perceived:(Server.Set.singleton 1)
+      | Heal -> SS.fd_change ss ~perceived:(Server.Set.of_range 0 (n_servers - 1))
+      | Run k -> ignore (System.run sys ~max_steps:k)
+      | Traffic ->
+          Proc.Set.iter
+            (fun p -> System.send sys p (Fmt.str "t%a" Proc.pp p))
+            !present)
+    ops;
+  (* stabilize: heal the servers and settle *)
+  SS.fd_change ss ~perceived:(Server.Set.of_range 0 (n_servers - 1));
+  System.settle ~max_steps:2_000_000 sys;
+  (ss, sys, !present)
+
+let prop_monitored seed ops =
+  ignore (execute ~seed ops);
+  true
+
+let prop_agreement seed ops =
+  let _ss, sys, present = execute ~seed ops in
+  (* after stabilization, all currently attached clients share one view
+     whose member set is exactly the attached set *)
+  Proc.Set.is_empty present
+  ||
+  match System.last_view_of sys (Proc.Set.min_elt present) with
+  | None -> false
+  | Some (v, _) -> Proc.Set.equal (View.set v) present && System.all_in_view sys v
+
+let mk name prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0xFACE |])
+    (QCheck.Test.make ~count:40 ~name
+       QCheck.(pair (int_range 0 10_000) arb)
+       (fun (seed, ops) -> prop seed ops))
+
+let suite =
+  [
+    mk "random membership events satisfy all specs" prop_monitored;
+    mk "clients converge after stabilization" prop_agreement;
+  ]

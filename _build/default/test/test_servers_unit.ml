@@ -1,0 +1,117 @@
+(* Unit tests for the membership servers' pure logic: estimates,
+   refresh, readiness, deterministic synthesis, commit validation. *)
+
+open Vsgc_types
+module Servers = Vsgc_mbrshp.Servers
+
+let two_servers = Server.Set.of_range 0 1
+
+let proposal ~round ~from ~servers ~clients ~members ~max_vid =
+  { Srv_msg.round; from; servers; clients; members; max_vid }
+
+let test_estimate_unions_proposals () =
+  let st = Servers.initial ~clients:(Proc.Set.of_list [ 0; 2 ]) ~servers:two_servers 0 in
+  Alcotest.(check bool) "own clients only at first" true
+    (Proc.Set.equal (Servers.estimate st) (Proc.Set.of_list [ 0; 2 ]));
+  let p1 =
+    proposal ~round:1 ~from:1 ~servers:two_servers
+      ~clients:Proc.Map.(empty |> add 1 1 |> add 3 1)
+      ~members:(Proc.Set.of_list [ 1; 3 ]) ~max_vid:View.Id.zero
+  in
+  let st = Servers.apply st (Action.Srv_deliver (1, 0, Srv_msg.Proposal p1)) in
+  Alcotest.(check bool) "union includes the peer's clients" true
+    (Proc.Set.equal (Servers.estimate st) (Proc.Set.of_list [ 0; 1; 2; 3 ]))
+
+let test_refresh_issues_fresh_cids () =
+  let st = Servers.initial ~clients:(Proc.Set.of_list [ 0 ]) ~servers:two_servers 0 in
+  let st = Servers.refresh st in
+  let cid1 = Proc.Map.find 0 st.Servers.sent_cid in
+  let st = Servers.refresh st in
+  let cid2 = Proc.Map.find 0 st.Servers.sent_cid in
+  Alcotest.(check bool) "cids increase across refreshes" true
+    (View.Sc_id.compare cid2 cid1 > 0);
+  Alcotest.(check bool) "in change" true st.Servers.in_change;
+  Alcotest.(check int) "a proposal per refresh queued" 2 (List.length st.Servers.outbox)
+
+let test_single_server_concludes_alone () =
+  let st = Servers.initial ~clients:(Proc.Set.of_list [ 0; 1 ]) ~servers:(Server.Set.singleton 0) 0 in
+  let st = Servers.apply st (Action.Fd_change (0, Server.Set.singleton 0)) in
+  Alcotest.(check bool) "concluded" true (not st.Servers.in_change);
+  Alcotest.(check bool) "view recorded" true
+    (Proc.Set.equal st.Servers.last_view_set (Proc.Set.of_list [ 0; 1 ]));
+  (* the clients each got a start_change then the view, in order *)
+  List.iter
+    (fun c ->
+      match Proc.Map.find_opt c st.Servers.pending with
+      | Some [ Action.Mb_start_change (c', _, _); Action.Mb_view (c'', v) ] ->
+          Alcotest.(check int) "sc target" c c';
+          Alcotest.(check int) "view target" c c'';
+          Alcotest.(check bool) "view covers both clients" true
+            (Proc.Set.equal (View.set v) (Proc.Set.of_list [ 0; 1 ]))
+      | _ -> Alcotest.fail "unexpected pending queue")
+    [ 0; 1 ]
+
+let test_synthesis_contents () =
+  (* the committer merges all proposals: the view's member set is the
+     client union, the startId map takes each client's identifier from
+     its owner's proposal, and the identifier exceeds everything seen *)
+  let st = Servers.initial ~clients:(Proc.Set.singleton 0) ~servers:two_servers 0 in
+  let st = Servers.refresh st in
+  let p =
+    proposal ~round:1 ~from:1 ~servers:two_servers
+      ~clients:(Proc.Map.singleton 1 7)
+      ~members:(Proc.Set.of_list [ 0; 1 ])
+      ~max_vid:(View.Id.make ~num:4 ~origin:1)
+  in
+  let st = { st with Servers.proposals = Server.Map.add 1 p st.Servers.proposals } in
+  let v = Servers.synthesize st in
+  Alcotest.(check bool) "member set is the union" true
+    (Proc.Set.equal (View.set v) (Proc.Set.of_list [ 0; 1 ]));
+  Alcotest.(check int) "peer client keeps its owner's cid" 7 (View.start_id v 1);
+  Alcotest.(check bool) "own client cid from own proposal" true
+    (View.Sc_id.equal (View.start_id v 0) (Proc.Map.find 0 st.Servers.sent_cid));
+  Alcotest.(check int) "identifier exceeds the maximum seen" 5 (View.Id.num (View.id v))
+
+let test_not_ready_without_all_proposals () =
+  let st = Servers.initial ~clients:(Proc.Set.singleton 0) ~servers:two_servers 0 in
+  let st = Servers.refresh st in
+  Alcotest.(check bool) "missing peer proposal blocks conclusion" false (Servers.ready st)
+
+let test_non_min_never_ready () =
+  let st = Servers.initial ~clients:(Proc.Set.singleton 5) ~servers:two_servers 1 in
+  let st = Servers.refresh st in
+  let p =
+    proposal ~round:1 ~from:0 ~servers:two_servers ~clients:Proc.Map.empty
+      ~members:(Proc.Set.singleton 5) ~max_vid:View.Id.zero
+  in
+  let st = { st with Servers.proposals = Server.Map.add 0 p st.Servers.proposals } in
+  Alcotest.(check bool) "only the minimum live server concludes" false (Servers.ready st)
+
+let test_stale_commit_rejected () =
+  (* a commit whose identifiers do not match what this server last sent
+     its clients must be discarded *)
+  let st = Servers.initial ~clients:(Proc.Set.singleton 1) ~servers:two_servers 1 in
+  let st = Servers.refresh st in
+  let stale =
+    View.make
+      ~id:(View.Id.make ~num:5 ~origin:0)
+      ~set:(Proc.Set.of_list [ 0; 1 ])
+      ~start_ids:Proc.Map.(empty |> add 0 1 |> add 1 99)
+  in
+  let before = st in
+  let st' = Servers.apply st (Action.Srv_deliver (0, 1, Srv_msg.Commit stale)) in
+  Alcotest.(check bool) "still mid-change" true st'.Servers.in_change;
+  Alcotest.(check bool) "no view queued for the client" true
+    (Proc.Map.find_default ~default:[] 1 st'.Servers.pending
+    = Proc.Map.find_default ~default:[] 1 before.Servers.pending)
+
+let suite =
+  [
+    Alcotest.test_case "estimate unions proposals" `Quick test_estimate_unions_proposals;
+    Alcotest.test_case "refresh issues fresh cids" `Quick test_refresh_issues_fresh_cids;
+    Alcotest.test_case "single server concludes alone" `Quick test_single_server_concludes_alone;
+    Alcotest.test_case "synthesis contents" `Quick test_synthesis_contents;
+    Alcotest.test_case "not ready without all proposals" `Quick test_not_ready_without_all_proposals;
+    Alcotest.test_case "non-min never concludes" `Quick test_non_min_never_ready;
+    Alcotest.test_case "stale commit rejected" `Quick test_stale_commit_rejected;
+  ]

@@ -1,0 +1,52 @@
+(* End-to-end smoke tests: the full GCS stack under the oracle
+   membership, monitored by every safety spec. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+
+let check = Alcotest.(check bool)
+
+let test_initial_reconfiguration () =
+  let sys = System.create ~seed:1 ~n:3 () in
+  let set = Proc.Set.of_range 0 2 in
+  let view = System.reconfigure sys ~set in
+  System.settle sys;
+  check "all members installed the view" true (System.all_in_view sys view)
+
+let test_stable_multicast () =
+  let sys = System.create ~seed:2 ~n:3 () in
+  let set = Proc.Set.of_range 0 2 in
+  let view = System.reconfigure sys ~set in
+  System.settle sys;
+  check "view installed" true (System.all_in_view sys view);
+  System.broadcast sys ~senders:set ~per_sender:5;
+  System.settle sys;
+  Proc.Set.iter
+    (fun p ->
+      Proc.Set.iter
+        (fun q ->
+          let from_q = Vsgc_core.Client.delivered_from !(System.client sys p) q in
+          Alcotest.(check int)
+            (Fmt.str "%a delivered all of %a's messages" Proc.pp p Proc.pp q)
+            5 (List.length from_q))
+        set)
+    set
+
+let test_two_reconfigurations () =
+  let sys = System.create ~seed:3 ~n:4 () in
+  let all = Proc.Set.of_range 0 3 in
+  let v1 = System.reconfigure sys ~set:all in
+  System.settle sys;
+  check "v1 installed" true (System.all_in_view sys v1);
+  System.broadcast sys ~senders:all ~per_sender:3;
+  let sub = Proc.Set.of_range 0 1 in
+  let v2 = System.reconfigure sys ~set:sub in
+  System.settle sys;
+  check "v2 installed by survivors" true (System.all_in_view sys v2)
+
+let suite =
+  [
+    Alcotest.test_case "initial reconfiguration" `Quick test_initial_reconfiguration;
+    Alcotest.test_case "stable multicast" `Quick test_stable_multicast;
+    Alcotest.test_case "two reconfigurations" `Quick test_two_reconfigurations;
+  ]

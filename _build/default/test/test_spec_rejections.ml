@@ -1,0 +1,205 @@
+(* Hand-crafted non-conforming traces, one per clause of the §4
+   specification monitors: each must be rejected at the precise action
+   that leaves the specification's trace set. *)
+
+open Vsgc_types
+
+let view ~num ~members =
+  let set = Proc.Set.of_list members in
+  View.make
+    ~id:(View.Id.make ~num ~origin:0)
+    ~set
+    ~start_ids:(Proc.Set.fold (fun p m -> Proc.Map.add p 1 m) set Proc.Map.empty)
+
+let msg s = Msg.App_msg.make s
+
+let rejects monitor actions =
+  let m = monitor () in
+  try
+    List.iter m.Vsgc_ioa.Monitor.on_action actions;
+    false
+  with Vsgc_ioa.Monitor.Violation _ -> true
+
+let accepts monitor actions = not (rejects monitor actions)
+
+let check = Alcotest.(check bool)
+
+(* -- WV_RFIFO : SPEC ----------------------------------------------------- *)
+
+let wv = Vsgc_spec.Wv_rfifo_spec.monitor
+
+let v01 = view ~num:1 ~members:[ 0; 1 ]
+
+let test_wv_gap () =
+  check "skipping a message is rejected" true
+    (rejects wv
+       [
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         Action.App_view (1, v01, Proc.Set.singleton 1);
+         Action.App_send (0, msg "m1");
+         Action.App_send (0, msg "m2");
+         Action.App_deliver (1, 0, msg "m2");
+       ]);
+  check "in-order delivery accepted" true
+    (accepts wv
+       [
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         Action.App_view (1, v01, Proc.Set.singleton 1);
+         Action.App_send (0, msg "m1");
+         Action.App_send (0, msg "m2");
+         Action.App_deliver (1, 0, msg "m1");
+         Action.App_deliver (1, 0, msg "m2");
+       ])
+
+let test_wv_cross_view_delivery () =
+  (* a message sent in the initial view must not be delivered in v01 *)
+  check "cross-view delivery rejected" true
+    (rejects wv
+       [
+         Action.App_send (0, msg "early");
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         Action.App_view (1, v01, Proc.Set.singleton 1);
+         Action.App_deliver (1, 0, msg "early");
+       ])
+
+let test_wv_duplicate_delivery () =
+  check "duplicate delivery rejected" true
+    (rejects wv
+       [
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         Action.App_view (1, v01, Proc.Set.singleton 1);
+         Action.App_send (0, msg "m1");
+         Action.App_deliver (1, 0, msg "m1");
+         Action.App_deliver (1, 0, msg "m1");
+       ])
+
+let test_wv_view_monotonicity () =
+  let v2 = view ~num:2 ~members:[ 0; 1 ] in
+  check "regressing view rejected" true
+    (rejects wv
+       [ Action.App_view (0, v2, Proc.Set.singleton 0);
+         Action.App_view (0, v01, Proc.Set.singleton 0) ]);
+  check "non-member view rejected" true
+    (rejects wv [ Action.App_view (5, v01, Proc.Set.singleton 5) ])
+
+(* -- VS_RFIFO : SPEC ------------------------------------------------------ *)
+
+let vs = Vsgc_spec.Vs_rfifo_spec.monitor
+
+let test_vs_cut_disagreement () =
+  let v2 = view ~num:2 ~members:[ 0; 1 ] in
+  check "co-movers with different delivery sets rejected" true
+    (rejects vs
+       [
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         Action.App_view (1, v01, Proc.Set.singleton 1);
+         Action.App_send (0, msg "m1");
+         (* p1 delivers it, p0 does not; both move to v2 *)
+         Action.App_deliver (1, 0, msg "m1");
+         Action.App_deliver (0, 0, msg "m1");
+         Action.App_view (1, v2, Proc.Set.of_list [ 0; 1 ]);
+         Action.App_deliver (0, 0, msg "never-mind");
+         Action.App_view (0, v2, Proc.Set.of_list [ 0; 1 ]);
+       ])
+
+let test_vs_agreement_accepted () =
+  let v2 = view ~num:2 ~members:[ 0; 1 ] in
+  check "identical delivery sets accepted" true
+    (accepts vs
+       [
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         Action.App_view (1, v01, Proc.Set.singleton 1);
+         Action.App_send (0, msg "m1");
+         Action.App_deliver (1, 0, msg "m1");
+         Action.App_deliver (0, 0, msg "m1");
+         Action.App_view (1, v2, Proc.Set.of_list [ 0; 1 ]);
+         Action.App_view (0, v2, Proc.Set.of_list [ 0; 1 ]);
+       ])
+
+(* -- TRANS_SET : SPEC ------------------------------------------------------ *)
+
+let ts = Vsgc_spec.Trans_set_spec.monitor
+
+let test_ts_missing_self () =
+  check "T without the mover rejected" true
+    (rejects ts [ Action.App_view (0, v01, Proc.Set.empty) ])
+
+let test_ts_overclaiming () =
+  (* p0 claims p1 travelled with it, but p1 arrives from a different view *)
+  let v2 = view ~num:2 ~members:[ 0; 1 ] in
+  check "overclaimed T rejected" true
+    (rejects ts
+       [
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         (* p1 never installed v01: it moves to v2 straight from its
+            initial view *)
+         Action.App_view (0, v2, Proc.Set.of_list [ 0; 1 ]);
+         Action.App_view (1, v2, Proc.Set.singleton 1);
+       ])
+
+let test_ts_inconsistent_sets () =
+  (* both move v01 -> v2 together but deliver different Ts *)
+  let v2 = view ~num:2 ~members:[ 0; 1 ] in
+  check "different Ts for co-movers rejected" true
+    (rejects ts
+       [
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         Action.App_view (1, v01, Proc.Set.singleton 1);
+         Action.App_view (0, v2, Proc.Set.of_list [ 0; 1 ]);
+         Action.App_view (1, v2, Proc.Set.singleton 1);
+       ])
+
+(* -- SELF : SPEC ------------------------------------------------------------ *)
+
+let self = Vsgc_spec.Self_spec.monitor
+
+let test_self_violated () =
+  check "moving on before self-delivery rejected" true
+    (rejects self
+       [
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         Action.App_send (0, msg "m1");
+         Action.App_view (0, view ~num:2 ~members:[ 0 ], Proc.Set.singleton 0);
+       ]);
+  check "self-delivery first accepted" true
+    (accepts self
+       [
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         Action.App_send (0, msg "m1");
+         Action.App_deliver (0, 0, msg "m1");
+         Action.App_view (0, view ~num:2 ~members:[ 0 ], Proc.Set.singleton 0);
+       ])
+
+(* -- CLIENT : SPEC ------------------------------------------------------------ *)
+
+let client = Vsgc_spec.Client_spec.monitor
+
+let test_client_clauses () =
+  check "send while blocked rejected" true
+    (rejects client
+       [ Action.Block 0; Action.Block_ok 0; Action.App_send (0, msg "x") ]);
+  check "spontaneous block_ok rejected" true (rejects client [ Action.Block_ok 0 ]);
+  check "double block rejected" true (rejects client [ Action.Block 0; Action.Block 0 ]);
+  check "view unblocks" true
+    (accepts client
+       [
+         Action.Block 0;
+         Action.Block_ok 0;
+         Action.App_view (0, v01, Proc.Set.singleton 0);
+         Action.App_send (0, msg "x");
+       ])
+
+let suite =
+  [
+    Alcotest.test_case "wv: gap rejected" `Quick test_wv_gap;
+    Alcotest.test_case "wv: cross-view delivery rejected" `Quick test_wv_cross_view_delivery;
+    Alcotest.test_case "wv: duplicate rejected" `Quick test_wv_duplicate_delivery;
+    Alcotest.test_case "wv: view monotonicity & inclusion" `Quick test_wv_view_monotonicity;
+    Alcotest.test_case "vs: cut disagreement rejected" `Quick test_vs_cut_disagreement;
+    Alcotest.test_case "vs: agreement accepted" `Quick test_vs_agreement_accepted;
+    Alcotest.test_case "ts: missing self rejected" `Quick test_ts_missing_self;
+    Alcotest.test_case "ts: overclaiming rejected" `Quick test_ts_overclaiming;
+    Alcotest.test_case "ts: inconsistent sets rejected" `Quick test_ts_inconsistent_sets;
+    Alcotest.test_case "self: clauses" `Quick test_self_violated;
+    Alcotest.test_case "client: clauses" `Quick test_client_clauses;
+  ]

@@ -1,0 +1,133 @@
+(* The symmetric (logical-timestamp) total order: agreement everywhere,
+   consistency across view changes, and the traffic/latency tradeoff
+   against the sequencer variant — the two endpoints of [13]'s adaptive
+   protocol, both atop the same WV_RFIFO substrate. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Sym = Vsgc_totalorder.Tord_sym_client
+module Seq = Vsgc_totalorder.Tord_client
+
+let build_sym ~seed ~n =
+  let refs = Hashtbl.create 8 in
+  let sys =
+    System.create ~seed ~n
+      ~client_builder:(fun p ->
+        let c, r = Sym.component p in
+        Hashtbl.replace refs p r;
+        c)
+      ()
+  in
+  (sys, fun p -> Hashtbl.find refs p)
+
+let orders_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (p, s) (q, t) -> Proc.equal p q && String.equal s t) a b
+
+let test_agreement () =
+  let sys, sym = build_sym ~seed:151 ~n:3 in
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 2));
+  System.settle sys;
+  List.iter
+    (fun p ->
+      for i = 1 to 5 do
+        Sym.push (sym p) (Fmt.str "s%d.%d" p i)
+      done)
+    [ 0; 1; 2 ];
+  System.settle sys;
+  let o0 = Sym.total_order !(sym 0) in
+  Alcotest.(check int) "all ordered" 15 (List.length o0);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Fmt.str "p%d agrees" p)
+        true
+        (orders_equal o0 (Sym.total_order !(sym p))))
+    [ 1; 2 ]
+
+let test_order_respects_timestamps () =
+  (* entries come out sorted per view segment by (ts, sender) *)
+  let sys, sym = build_sym ~seed:152 ~n:2 in
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 1));
+  System.settle sys;
+  Sym.push (sym 0) "a";
+  Sym.push (sym 0) "b";
+  Sym.push (sym 1) "c";
+  System.settle sys;
+  let o = Sym.total_order !(sym 0) in
+  (* p0's a,b keep their relative order; all three present *)
+  let payloads = List.map snd o in
+  Alcotest.(check int) "three entries" 3 (List.length o);
+  Alcotest.(check bool) "a before b" true
+    (let rec idx x i = function
+       | [] -> -1
+       | y :: _ when String.equal x y -> i
+       | _ :: r -> idx x (i + 1) r
+     in
+     idx "a" 0 payloads < idx "b" 0 payloads)
+
+let test_across_view_change () =
+  let sys, sym = build_sym ~seed:153 ~n:3 in
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 2));
+  System.settle sys;
+  List.iter (fun p -> Sym.push (sym p) (Fmt.str "pre%d" p)) [ 0; 1; 2 ];
+  (match System.run sys ~max_steps:150 with _ -> ());
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 1));
+  System.settle sys;
+  List.iter (fun p -> Sym.push (sym p) (Fmt.str "post%d" p)) [ 0; 1 ];
+  System.settle sys;
+  let o0 = Sym.total_order !(sym 0) in
+  let o1 = Sym.total_order !(sym 1) in
+  Alcotest.(check bool) "survivors agree across the change" true (orders_equal o0 o1);
+  Alcotest.(check int) "all five ordered" 5 (List.length o0)
+
+(* The tradeoff against the sequencer variant: symmetric ordering costs
+   O(n²) ack copies per multicast but no sequencer hotspot; the
+   sequencer costs O(n) announcement copies. *)
+let test_traffic_tradeoff () =
+  let app_copies sys =
+    Vsgc_ioa.Metrics.sent_count (Vsgc_ioa.Executor.metrics (System.exec sys)) Msg.Wire.K_app
+  in
+  let n = 5 in
+  let run_sym () =
+    let sys, sym = build_sym ~seed:154 ~n in
+    ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 (n - 1)));
+    System.settle sys;
+    let before = app_copies sys in
+    Sym.push (sym 2) "solo";
+    System.settle sys;
+    app_copies sys - before
+  in
+  let run_seq () =
+    let refs = Hashtbl.create 8 in
+    let sys =
+      System.create ~seed:154 ~n
+        ~client_builder:(fun p ->
+          let c, r = Seq.component p in
+          Hashtbl.replace refs p r;
+          c)
+        ()
+    in
+    ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 (n - 1)));
+    System.settle sys;
+    let before = app_copies sys in
+    Seq.push (Hashtbl.find refs 2) "solo";
+    System.settle sys;
+    app_copies sys - before
+  in
+  let sym = run_sym () and seq = run_seq () in
+  (* sequencer: data (n-1) + announcement (n-1) = 8;
+     symmetric: data (n-1) + an ack from each other member ((n-1)²) = 20 *)
+  Alcotest.(check int) "sequencer copies" (2 * (n - 1)) seq;
+  Alcotest.(check bool)
+    (Fmt.str "symmetric costs more copies (%d > %d)" sym seq)
+    true (sym > seq)
+
+let suite =
+  [
+    Alcotest.test_case "symmetric order: agreement" `Quick test_agreement;
+    Alcotest.test_case "symmetric order: timestamps respected" `Quick
+      test_order_respects_timestamps;
+    Alcotest.test_case "symmetric order: across view change" `Quick test_across_view_change;
+    Alcotest.test_case "traffic tradeoff vs sequencer" `Quick test_traffic_tradeoff;
+  ]

@@ -1,0 +1,75 @@
+(* Unit tests for the trace-query helpers. *)
+
+open Vsgc_types
+module TS = Vsgc_ioa.Trace_stats
+
+let v1 =
+  View.make
+    ~id:(View.Id.make ~num:1 ~origin:0)
+    ~set:(Proc.Set.of_list [ 0; 1 ])
+    ~start_ids:Proc.Map.(empty |> add 0 1 |> add 1 1)
+
+let msg s = Msg.App_msg.make s
+
+let trace =
+  [
+    Action.Mb_start_change (0, 1, Proc.Set.of_list [ 0; 1 ]);
+    Action.Block 0;
+    Action.Block_ok 0;
+    Action.App_deliver (0, 1, msg "during-1");
+    Action.App_deliver (1, 0, msg "other-proc");
+    Action.App_deliver (0, 1, msg "during-2");
+    Action.App_view (0, v1, Proc.Set.singleton 0);
+    Action.App_deliver (0, 1, msg "after");
+    Action.Mb_start_change (0, 2, Proc.Set.of_list [ 0; 1 ]);
+    Action.Block_ok 0;
+    Action.App_deliver (0, 1, msg "second-window");
+    Action.App_view (0, v1, Proc.Set.singleton 0);
+  ]
+
+let test_deliveries_during_reconfiguration () =
+  Alcotest.(check int) "first window" 2
+    (TS.deliveries_during_reconfiguration ~at:0 trace);
+  Alcotest.(check int) "second window" 1
+    (TS.deliveries_during_reconfiguration ~nth_change:2 ~at:0 trace);
+  Alcotest.(check int) "other process untouched" 0
+    (TS.deliveries_during_reconfiguration ~at:1 trace)
+
+let test_views_at () =
+  Alcotest.(check int) "two views at p0" 2 (List.length (TS.views_at ~at:0 trace));
+  Alcotest.(check int) "none at p1" 0 (List.length (TS.views_at ~at:1 trace))
+
+let test_delivered_payloads () =
+  Alcotest.(check (list string)) "p0 from p1 in order"
+    [ "during-1"; "during-2"; "after"; "second-window" ]
+    (TS.delivered_payloads ~at:0 ~sender:1 trace)
+
+let test_blocked_windows () =
+  (* first window: block_ok at index 2, view at index 6 -> 4 steps;
+     second: block_ok at 9, view at 11 -> 2 steps *)
+  Alcotest.(check (list int)) "window lengths" [ 4; 2 ] (TS.blocked_windows ~at:0 trace)
+
+let test_happens_before () =
+  let is_block = function Action.Block 0 -> true | _ -> false in
+  let is_view = function Action.App_view (0, _, _) -> true | _ -> false in
+  Alcotest.(check bool) "block before view" true (TS.happens_before is_block is_view trace);
+  Alcotest.(check bool) "view not before block" false
+    (TS.happens_before is_view is_block trace)
+
+let test_count_and_categories () =
+  Alcotest.(check int) "deliver count" 5
+    (TS.count (function Action.App_deliver _ -> true | _ -> false) trace);
+  let tbl = TS.category_counts trace in
+  Alcotest.(check (option int)) "views counted" (Some 2)
+    (Hashtbl.find_opt tbl Action.C_app_view)
+
+let suite =
+  [
+    Alcotest.test_case "deliveries during reconfiguration" `Quick
+      test_deliveries_during_reconfiguration;
+    Alcotest.test_case "views_at" `Quick test_views_at;
+    Alcotest.test_case "delivered payloads" `Quick test_delivered_payloads;
+    Alcotest.test_case "blocked windows" `Quick test_blocked_windows;
+    Alcotest.test_case "happens_before" `Quick test_happens_before;
+    Alcotest.test_case "count and categories" `Quick test_count_and_categories;
+  ]

@@ -1,0 +1,150 @@
+(* Unit tests for the vocabulary types: identifiers, views, cuts,
+   queues, and the deterministic RNG. *)
+
+open Vsgc_types
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- Proc --------------------------------------------------------------- *)
+
+let test_proc () =
+  check_int "roundtrip" 7 (Proc.to_int (Proc.of_int 7));
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Proc.of_int: negative process id")
+    (fun () -> ignore (Proc.of_int (-1)));
+  check "of_range" true (Proc.Set.equal (Proc.Set.of_range 2 4) (Proc.Set.of_list [ 2; 3; 4 ]));
+  check "of_range empty" true (Proc.Set.is_empty (Proc.Set.of_range 3 2));
+  Alcotest.(check string) "pp" "p3" (Proc.to_string 3)
+
+let test_proc_map () =
+  let m = Proc.Map.(empty |> add 1 "a" |> add 3 "b") in
+  Alcotest.(check string) "find_default hit" "a" (Proc.Map.find_default ~default:"z" 1 m);
+  Alcotest.(check string) "find_default miss" "z" (Proc.Map.find_default ~default:"z" 2 m);
+  check "key_set" true (Proc.Set.equal (Proc.Map.key_set m) (Proc.Set.of_list [ 1; 3 ]));
+  Alcotest.(check (list int)) "keys sorted" [ 1; 3 ] (Proc.Map.keys m)
+
+(* -- View ids and views -------------------------------------------------- *)
+
+let test_view_id_order () =
+  let a = View.Id.make ~num:1 ~origin:0 in
+  let b = View.Id.make ~num:1 ~origin:1 in
+  let c = View.Id.make ~num:2 ~origin:0 in
+  check "same num, origin breaks tie" true (View.Id.lt a b);
+  check "num dominates" true (View.Id.lt b c);
+  check "zero least" true (View.Id.lt View.Id.zero a);
+  check "succ_from increments num" true
+    (View.Id.equal (View.Id.succ_from ~origin:5 a) (View.Id.make ~num:2 ~origin:5))
+
+let test_view_make_validation () =
+  let set = Proc.Set.of_list [ 0; 1 ] in
+  let ok = Proc.Map.(empty |> add 0 1 |> add 1 1) in
+  ignore (View.make ~id:(View.Id.make ~num:1 ~origin:0) ~set ~start_ids:ok);
+  let missing = Proc.Map.singleton 0 1 in
+  check "partial start_ids rejected" true
+    (try
+       ignore (View.make ~id:View.Id.zero ~set ~start_ids:missing);
+       false
+     with Invalid_argument _ -> true);
+  let extra = Proc.Map.(ok |> add 2 1) in
+  check "extra start_ids rejected" true
+    (try
+       ignore (View.make ~id:View.Id.zero ~set ~start_ids:extra);
+       false
+     with Invalid_argument _ -> true)
+
+let test_view_identity () =
+  (* two views are the same only if the whole triple matches — in
+     particular differing startId maps make different views (§9) *)
+  let set = Proc.Set.of_list [ 0; 1 ] in
+  let id = View.Id.make ~num:1 ~origin:0 in
+  let v1 = View.make ~id ~set ~start_ids:Proc.Map.(empty |> add 0 1 |> add 1 1) in
+  let v2 = View.make ~id ~set ~start_ids:Proc.Map.(empty |> add 0 1 |> add 1 2) in
+  check "same id, different startIds: different views" false (View.equal v1 v2);
+  check "equal to itself" true (View.equal v1 v1);
+  check_int "start_id lookup" 2 (View.start_id v2 1);
+  check "initial view is self-inclusive" true (View.mem 4 (View.initial 4))
+
+(* -- Cuts ---------------------------------------------------------------- *)
+
+let test_cut () =
+  let c = Msg.Cut.of_bindings [ (0, 3); (1, 0); (2, 5) ] in
+  check_int "get set" 3 (Msg.Cut.get c 0);
+  check_int "zero binding is default" 0 (Msg.Cut.get c 1);
+  check_int "missing is zero" 0 (Msg.Cut.get c 9);
+  let d = Msg.Cut.of_bindings [ (0, 4); (2, 1) ] in
+  check_int "max_over picks pointwise max" 4 (Msg.Cut.max_over [ c; d ] 0);
+  check_int "max_over other key" 5 (Msg.Cut.max_over [ c; d ] 2);
+  check_int "max_over empty list" 0 (Msg.Cut.max_over [] 0);
+  check "cuts with zero entries equal" true
+    (Msg.Cut.equal (Msg.Cut.of_bindings [ (1, 0) ]) Msg.Cut.empty);
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Cut.set: negative index") (fun () ->
+      ignore (Msg.Cut.set Msg.Cut.empty 0 (-1)))
+
+(* -- Fqueue --------------------------------------------------------------- *)
+
+let test_fqueue () =
+  let q = List.fold_left Fqueue.push Fqueue.empty [ 1; 2; 3 ] in
+  check_int "length" 3 (Fqueue.length q);
+  (match Fqueue.pop q with
+  | Some (1, q') -> check_int "pop preserves rest" 2 (Fqueue.length q')
+  | _ -> Alcotest.fail "pop head");
+  Alcotest.(check (list int)) "to_list order" [ 1; 2; 3 ] (Fqueue.to_list q);
+  (match Fqueue.drop_last q with
+  | Some q' -> Alcotest.(check (list int)) "drop_last" [ 1; 2 ] (Fqueue.to_list q')
+  | None -> Alcotest.fail "drop_last");
+  (* drop_last after a pop forced the front list *)
+  (match Fqueue.pop q with
+  | Some (_, q') -> (
+      match Fqueue.drop_last q' with
+      | Some q'' -> Alcotest.(check (list int)) "drop_last on front" [ 2 ] (Fqueue.to_list q'')
+      | None -> Alcotest.fail "drop_last on front")
+  | None -> Alcotest.fail "pop");
+  check "drop_last empty" true (Fqueue.drop_last Fqueue.empty = None);
+  check "peek" true (Fqueue.peek q = Some 1);
+  check "of_list roundtrip" true (Fqueue.to_list (Fqueue.of_list [ 9; 8 ]) = [ 9; 8 ])
+
+(* -- Rng ------------------------------------------------------------------ *)
+
+let test_rng () =
+  let a = Vsgc_ioa.Rng.make 7 and b = Vsgc_ioa.Rng.make 7 in
+  let seq r = List.init 20 (fun _ -> Vsgc_ioa.Rng.int r 1000) in
+  Alcotest.(check (list int)) "deterministic" (seq a) (seq b);
+  let r = Vsgc_ioa.Rng.make 1 in
+  for _ = 1 to 1000 do
+    let v = Vsgc_ioa.Rng.int r 10 in
+    check "int in bounds" true (v >= 0 && v < 10);
+    let f = Vsgc_ioa.Rng.float r in
+    check "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done;
+  let l = [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int))
+    "shuffle permutes" l
+    (List.sort compare (Vsgc_ioa.Rng.shuffle r l));
+  check "pick member" true (List.mem (Vsgc_ioa.Rng.pick r l) l)
+
+(* -- Actions --------------------------------------------------------------- *)
+
+let test_action () =
+  let v = View.initial 2 in
+  let a = Action.App_view (2, v, Proc.Set.singleton 2) in
+  check "equal self" true (Action.equal a a);
+  check "different kinds differ" false (Action.equal a (Action.Block 2));
+  Alcotest.(check int) "locus of deliver is receiver" 5
+    (Action.locus (Action.Rf_deliver (1, 5, Msg.Wire.App (Msg.App_msg.make "x"))));
+  Alcotest.(check int) "locus of view" 2 (Action.locus a);
+  Alcotest.(check string) "category name" "app_view"
+    (Action.category_to_string (Action.category a))
+
+let suite =
+  [
+    Alcotest.test_case "proc ids" `Quick test_proc;
+    Alcotest.test_case "proc maps" `Quick test_proc_map;
+    Alcotest.test_case "view id order" `Quick test_view_id_order;
+    Alcotest.test_case "view validation" `Quick test_view_make_validation;
+    Alcotest.test_case "view identity is the triple" `Quick test_view_identity;
+    Alcotest.test_case "cuts" `Quick test_cut;
+    Alcotest.test_case "fqueue" `Quick test_fqueue;
+    Alcotest.test_case "rng" `Quick test_rng;
+    Alcotest.test_case "actions" `Quick test_action;
+  ]

@@ -1,0 +1,72 @@
+(* The headline theorem of the reproduction, as a test (bench E1's
+   assertion form): the paper's algorithm completes a view change in
+   ONE communication round beyond the membership's; the pre-agreement
+   baseline needs TWO. Checked across group sizes and feature
+   configurations. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Sync_runner = Vsgc_ioa.Sync_runner
+
+let measure build ~n =
+  let sys = build ~n in
+  let exec = System.exec sys in
+  let wait pred =
+    ignore (Sync_runner.local_quiesce exec);
+    let rec go r =
+      if pred () || r > 30 then r
+      else begin
+        ignore (Sync_runner.round exec ~make_budget:(System.round_budget sys));
+        go (r + 1)
+      end
+    in
+    go 0
+  in
+  let all = Proc.Set.of_range 0 (n - 1) in
+  let v0 = System.reconfigure sys ~set:all in
+  ignore (wait (fun () -> System.all_in_view sys v0));
+  let target = Proc.Set.of_range 0 (n - 2) in
+  ignore (System.start_change sys ~set:target);
+  ignore (Sync_runner.local_quiesce exec);
+  (* the membership round; the paper's algorithm synchronizes within it *)
+  ignore (Sync_runner.round exec ~make_budget:(System.round_budget sys));
+  let v = System.deliver_view sys ~set:target in
+  1 + wait (fun () -> System.all_in_view sys v)
+
+let gcs ~n = System.create ~seed:141 ~n ()
+let gcs_compact ~n = System.create ~seed:141 ~compact_sync:true ~n ()
+let gcs_gc ~n = System.create ~seed:141 ~gc:true ~n ()
+
+let baseline ~n =
+  System.create ~seed:141 ~n ~endpoint_builder:(fun p -> fst (Vsgc_baseline.component p)) ()
+
+let test_one_round () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (Fmt.str "gcs n=%d: one round" n) 1 (measure gcs ~n))
+    [ 3; 5; 9 ]
+
+let test_one_round_with_options () =
+  Alcotest.(check int) "compact sync: still one round" 1 (measure gcs_compact ~n:5);
+  Alcotest.(check int) "gc: still one round" 1 (measure gcs_gc ~n:5)
+
+let test_baseline_two_rounds () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Fmt.str "baseline n=%d: two rounds" n)
+        2 (measure baseline ~n))
+    [ 3; 5; 9 ]
+
+let test_hierarchy_three_rounds () =
+  (* §9 mode deliberately trades rounds for messages *)
+  Alcotest.(check int) "hierarchy: three rounds" 3
+    (measure (fun ~n -> System.create ~seed:141 ~hierarchy:2 ~n ()) ~n:6)
+
+let suite =
+  [
+    Alcotest.test_case "gcs completes in one round" `Quick test_one_round;
+    Alcotest.test_case "optimizations keep one round" `Quick test_one_round_with_options;
+    Alcotest.test_case "baseline needs two rounds" `Quick test_baseline_two_rounds;
+    Alcotest.test_case "hierarchy costs three rounds" `Quick test_hierarchy_three_rounds;
+  ]

@@ -1,0 +1,128 @@
+(* Layer tests: virtual synchrony and transitional sets (Figure 10),
+   exercised through client-visible observations. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+
+let check = Alcotest.(check bool)
+
+let test_agreed_delivery_sets () =
+  (* processes moving together deliver identical message sets in the
+     old view — checked structurally here, beyond the online monitor *)
+  let sys = System.create ~seed:41 ~n:3 () in
+  let set = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~set);
+  System.settle sys;
+  System.broadcast sys ~senders:set ~per_sender:7;
+  ignore (System.reconfigure sys ~set);
+  System.settle sys;
+  let counts p =
+    List.map
+      (fun q -> List.length (Vsgc_core.Client.delivered_from !(System.client sys p) q))
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check (list int)) "p0/p1 same delivery vector" (counts 0) (counts 1);
+  Alcotest.(check (list int)) "p0/p2 same delivery vector" (counts 0) (counts 2)
+
+let test_transitional_set_joint_move () =
+  let sys = System.create ~seed:42 ~n:3 () in
+  let set = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~set);
+  System.settle sys;
+  let pair = Proc.Set.of_range 0 1 in
+  ignore (System.reconfigure sys ~set:pair);
+  System.settle sys;
+  List.iter
+    (fun p ->
+      match System.last_view_of sys p with
+      | Some (_, tset) ->
+          check
+            (Fmt.str "T at %a is the joint movers" Proc.pp p)
+            true (Proc.Set.equal tset pair)
+      | None -> Alcotest.fail "no view")
+    [ 0; 1 ]
+
+let test_transitional_set_first_view () =
+  (* moving out of the initial singleton views, every process moves
+     from a different previous view: T = {self} *)
+  let sys = System.create ~seed:43 ~n:3 () in
+  let set = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~set);
+  System.settle sys;
+  List.iter
+    (fun p ->
+      match System.last_view_of sys p with
+      | Some (_, tset) ->
+          check "T is the singleton self" true (Proc.Set.equal tset (Proc.Set.singleton p))
+      | None -> Alcotest.fail "no view")
+    [ 0; 1; 2 ]
+
+let test_transitional_set_merge () =
+  (* {0,1} and {2} evolve separately, then merge: the pair's T is
+     {0,1}, the singleton's is {2} *)
+  let sys = System.create ~seed:44 ~n:3 () in
+  let all = Proc.Set.of_range 0 2 in
+  let pair = Proc.Set.of_range 0 1 in
+  let solo = Proc.Set.singleton 2 in
+  ignore (System.reconfigure sys ~origin:0 ~set:pair);
+  ignore (System.reconfigure sys ~origin:1 ~set:solo);
+  System.settle sys;
+  ignore (System.reconfigure sys ~origin:0 ~set:all);
+  System.settle sys;
+  let t_of p =
+    match System.last_view_of sys p with
+    | Some (_, t) -> t
+    | None -> Alcotest.failf "no view at %a" Proc.pp p
+  in
+  check "T at p0" true (Proc.Set.equal (t_of 0) pair);
+  check "T at p1" true (Proc.Set.equal (t_of 1) pair);
+  check "T at p2" true (Proc.Set.equal (t_of 2) solo)
+
+let test_no_pre_agreed_identifier () =
+  (* the mechanism under test: different processes may receive
+     different start_change identifiers for the same reconfiguration,
+     and the view's startId map reconciles them; here p2's cid history
+     diverges from p0/p1's because it went through an extra solo change *)
+  let sys = System.create ~seed:45 ~n:3 () in
+  let all = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~origin:0 ~set:(Proc.Set.of_range 0 1));
+  ignore (System.reconfigure sys ~origin:1 ~set:(Proc.Set.singleton 2));
+  ignore (System.reconfigure sys ~origin:2 ~set:(Proc.Set.singleton 2));
+  System.settle sys;
+  ignore (System.reconfigure sys ~origin:0 ~set:all);
+  System.settle sys;
+  match System.last_view_of sys 0 with
+  | Some (v, _) ->
+      check "cids differ across members" true
+        (not (View.Sc_id.equal (View.start_id v 0) (View.start_id v 2)));
+      check "everyone installed it anyway" true (System.all_in_view sys v)
+  | None -> Alcotest.fail "no view"
+
+let test_messages_delivered_while_reconfiguring () =
+  (* paper §1: some application messages may be delivered while the
+     algorithm reconfigures — deliveries occur between start_change and
+     the new view at the trace level *)
+  let sys = System.create ~seed:46 ~n:3 () in
+  let set = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~set);
+  System.settle sys;
+  System.broadcast sys ~senders:set ~per_sender:10;
+  (match System.run sys ~max_steps:120 with _ -> ());
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 1));
+  System.settle sys;
+  let tr = Vsgc_ioa.Executor.trace (System.exec sys) in
+  (* deliveries at p0 strictly between its second start_change and its
+     second view *)
+  let n = Vsgc_ioa.Trace_stats.deliveries_during_reconfiguration ~nth_change:2 ~at:0 tr in
+  check "deliveries happened during reconfiguration" true (n > 0)
+
+let suite =
+  [
+    Alcotest.test_case "agreed delivery sets" `Quick test_agreed_delivery_sets;
+    Alcotest.test_case "transitional set: joint move" `Quick test_transitional_set_joint_move;
+    Alcotest.test_case "transitional set: first view" `Quick test_transitional_set_first_view;
+    Alcotest.test_case "transitional set: merge" `Quick test_transitional_set_merge;
+    Alcotest.test_case "no pre-agreed identifier needed" `Quick test_no_pre_agreed_identifier;
+    Alcotest.test_case "delivery during reconfiguration" `Quick
+      test_messages_delivered_while_reconfiguring;
+  ]

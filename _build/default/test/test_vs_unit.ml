@@ -1,0 +1,123 @@
+(* White-box unit tests for the VS_RFIFO+TS layer's guards (Figure 10),
+   on hand-built states: the view-readiness precondition, the delivery
+   restriction, obsolete-view skipping, and cut computation. *)
+
+open Vsgc_types
+module Vs = Vsgc_core.Vs_rfifo_ts
+module Wv = Vsgc_core.Wv_rfifo
+
+let mk_view ~num ~origin ~ids =
+  let set = Proc.Set.of_list (List.map fst ids) in
+  View.make ~id:(View.Id.make ~num ~origin) ~set
+    ~start_ids:(Proc.Map.of_seq (List.to_seq ids))
+
+let check = Alcotest.(check bool)
+
+(* Build p0's state: installed view v1 = {0,1,2}, pending change c2. *)
+let v1 = mk_view ~num:1 ~origin:0 ~ids:[ (0, 1); (1, 1); (2, 1) ]
+let v2 = mk_view ~num:2 ~origin:0 ~ids:[ (0, 2); (1, 2); (2, 2) ]
+
+let base () =
+  let t = Vs.initial 0 in
+  let t = Vs.lift t (fun w -> Wv.mbrshp_view_effect w v1) in
+  let t = Vs.start_change_effect t ~cid:1 ~set:(View.set v1) in
+  let t = Vs.lift t (fun w -> Wv.view_effect w v1) in
+  let t = Vs.view_effect t v1 in
+  (* next change *)
+  let t = Vs.start_change_effect t ~cid:2 ~set:(View.set v2) in
+  let t = Vs.lift t (fun w -> Wv.mbrshp_view_effect w v2) in
+  t
+
+let with_sync t q ~cid ~view = Vs.recv_sync t q ~cid ~view ~cut:Msg.Cut.empty
+
+let test_view_not_ready_without_syncs () =
+  let t = base () in
+  check "no syncs at all" true (Vs.view_ready t v2 = None);
+  let t = Vs.sync_send_effect t in
+  check "own sync alone is not enough" true (Vs.view_ready t v2 = None);
+  let t = with_sync t 1 ~cid:2 ~view:v1 in
+  check "still missing p2" true (Vs.view_ready t v2 = None);
+  let t = with_sync t 2 ~cid:2 ~view:v1 in
+  match Vs.view_ready t v2 with
+  | Some tset ->
+      check "all three in T" true (Proc.Set.equal tset (View.set v2))
+  | None -> Alcotest.fail "view should be ready"
+
+let test_wrong_cid_not_counted () =
+  let t = base () in
+  let t = Vs.sync_send_effect t in
+  (* p1's sync for the OLD change does not satisfy the new view *)
+  let t = with_sync t 1 ~cid:1 ~view:v1 in
+  let t = with_sync t 2 ~cid:2 ~view:v1 in
+  check "old-cid sync ignored" true (Vs.view_ready t v2 = None)
+
+let test_foreign_view_excluded_from_t () =
+  let t = base () in
+  let t = Vs.sync_send_effect t in
+  let t = with_sync t 1 ~cid:2 ~view:v1 in
+  (* p2 moves to v2 from elsewhere *)
+  let other = mk_view ~num:1 ~origin:5 ~ids:[ (2, 1) ] in
+  let t = with_sync t 2 ~cid:2 ~view:other in
+  match Vs.view_ready t v2 with
+  | Some tset ->
+      check "p2 excluded from T" true (Proc.Set.equal tset (Proc.Set.of_list [ 0; 1 ]))
+  | None -> Alcotest.fail "ready with p2 as a joiner"
+
+let test_obsolete_view_skipped () =
+  let t = base () in
+  let t = Vs.sync_send_effect t in
+  let t = with_sync t 1 ~cid:2 ~view:v1 in
+  let t = with_sync t 2 ~cid:2 ~view:v1 in
+  (* a newer start_change supersedes the change v2 belongs to *)
+  let t = Vs.start_change_effect t ~cid:3 ~set:(View.set v2) in
+  check "superseded view never ready" true (Vs.view_ready t v2 = None)
+
+let test_deliver_restriction_phases () =
+  let t = base () in
+  (* before the own sync: unrestricted *)
+  check "unrestricted before own sync" true (Vs.deliver_restriction t 1);
+  (* p1 sent 2 messages in the current view v1; our cut commits them *)
+  let t =
+    Vs.lift t (fun w ->
+        let w = Wv.msgs_set w 1 v1 1 (Msg.App_msg.make "a") in
+        Wv.msgs_set w 1 v1 2 (Msg.App_msg.make "b"))
+  in
+  let t = Vs.sync_send_effect t in
+  (* mbrshp view v2 carries startId(p0)=2 = our cid: restriction uses
+     the transitional members' cuts; only our own sync is in *)
+  check "own cut admits message 1" true (Vs.deliver_restriction t 1);
+  let t' = Vs.lift t (fun w -> Wv.deliver_effect w 1) in
+  check "own cut admits message 2" true (Vs.deliver_restriction t' 1);
+  let t'' = Vs.lift t' (fun w -> Wv.deliver_effect w 1) in
+  check "beyond the cut is blocked" false (Vs.deliver_restriction t'' 1)
+
+let test_sync_cut_commits_buffered_prefix () =
+  let t = base () in
+  let t =
+    Vs.lift t (fun w ->
+        let w = Wv.msgs_set w 2 v1 1 (Msg.App_msg.make "x") in
+        (* gap at 2 *)
+        Wv.msgs_set w 2 v1 3 (Msg.App_msg.make "z"))
+  in
+  let cut = Vs.sync_cut t in
+  Alcotest.(check int) "cut stops at the gap" 1 (Msg.Cut.get cut 2);
+  Alcotest.(check int) "nothing from silent members" 0 (Msg.Cut.get cut 1)
+
+let test_transitional_set_requires_sync () =
+  let t = base () in
+  let t = Vs.sync_send_effect t in
+  check "T contains self once synced" true
+    (Proc.Set.mem 0 (Vs.transitional_set t v2));
+  check "peers without syncs excluded" false
+    (Proc.Set.mem 1 (Vs.transitional_set t v2))
+
+let suite =
+  [
+    Alcotest.test_case "view not ready without syncs" `Quick test_view_not_ready_without_syncs;
+    Alcotest.test_case "wrong cid not counted" `Quick test_wrong_cid_not_counted;
+    Alcotest.test_case "foreign view excluded from T" `Quick test_foreign_view_excluded_from_t;
+    Alcotest.test_case "obsolete view skipped" `Quick test_obsolete_view_skipped;
+    Alcotest.test_case "delivery restriction phases" `Quick test_deliver_restriction_phases;
+    Alcotest.test_case "sync cut commits buffered prefix" `Quick test_sync_cut_commits_buffered_prefix;
+    Alcotest.test_case "transitional set requires syncs" `Quick test_transitional_set_requires_sync;
+  ]
