@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 gate: build, full test suite, then a depth-bounded explorer
+# smoke (well under 30 s): the seeded no-sync-wait mutation must be
+# found within the depth bound, shrunk, saved, and reproduced
+# deterministically from the saved file.
+set -e
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+tmp=$(mktemp /tmp/vsgc-smoke-XXXXXX.sched)
+trap 'rm -f "$tmp"' EXIT
+dune exec -- devtools/explore.exe find -mutation no_sync_wait -depth 4 -max-runs 2000 -o "$tmp" -quiet
+dune exec -- devtools/explore.exe replay "$tmp" -quiet
+
+echo "ci: OK"

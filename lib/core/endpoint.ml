@@ -15,8 +15,9 @@ type layer = [ `Wv | `Vs | `Full ]
 
 type t = { g : Gcs.t; layer : layer; crashed : bool }
 
-let initial ?strategy ?gc ?compact_sync ?hierarchy ~layer me =
-  { g = Gcs.initial ?strategy ?gc ?compact_sync ?hierarchy me; layer; crashed = false }
+let initial ?strategy ?gc ?compact_sync ?hierarchy ?mutation ~layer me =
+  { g = Gcs.initial ?strategy ?gc ?compact_sync ?hierarchy ?mutation me;
+    layer; crashed = false }
 
 let me st = Gcs.me st.g
 let gcs st = st.g
@@ -97,7 +98,8 @@ let apply st (a : Action.t) =
     | Action.Recover q when Proc.equal p q ->
         initial ~strategy:(vs st).Vs_rfifo_ts.strategy ~gc:(wv st).Wv_rfifo.gc
           ~compact_sync:(vs st).Vs_rfifo_ts.compact_sync
-          ?hierarchy:(vs st).Vs_rfifo_ts.hierarchy ~layer:st.layer p
+          ?hierarchy:(vs st).Vs_rfifo_ts.hierarchy
+          ?mutation:(vs st).Vs_rfifo_ts.mutation ~layer:st.layer p
     | _ -> st
   else
     match a with
@@ -146,17 +148,17 @@ let apply st (a : Action.t) =
         lift_wv st (fun w -> Wv_rfifo.view_effect w v)
     | _ -> st
 
-let def ?strategy ?gc ?compact_sync ?hierarchy ?(layer = `Full) p :
+let def ?strategy ?gc ?compact_sync ?hierarchy ?mutation ?(layer = `Full) p :
     t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "gcs_%a" Proc.pp p;
-    init = initial ?strategy ?gc ?compact_sync ?hierarchy ~layer p;
+    init = initial ?strategy ?gc ?compact_sync ?hierarchy ?mutation ~layer p;
     accepts = accepts p;
     outputs;
     apply;
   }
 
-let component ?strategy ?gc ?compact_sync ?hierarchy ?layer p =
-  let d = def ?strategy ?gc ?compact_sync ?hierarchy ?layer p in
+let component ?strategy ?gc ?compact_sync ?hierarchy ?mutation ?layer p =
+  let d = def ?strategy ?gc ?compact_sync ?hierarchy ?mutation ?layer p in
   let r = ref d.Vsgc_ioa.Component.init in
   (Vsgc_ioa.Component.pack_with_ref d r, r)

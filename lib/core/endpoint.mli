@@ -16,7 +16,7 @@ type t = { g : Gcs.t; layer : layer; crashed : bool }
 
 val initial :
   ?strategy:Forwarding.kind -> ?gc:bool -> ?compact_sync:bool -> ?hierarchy:int ->
-  layer:layer -> Proc.t -> t
+  ?mutation:Vs_rfifo_ts.mutation -> layer:layer -> Proc.t -> t
 val me : t -> Proc.t
 val gcs : t -> Gcs.t
 val vs : t -> Vs_rfifo_ts.t
@@ -30,10 +30,12 @@ val apply : t -> Action.t -> t
 
 val def :
   ?strategy:Forwarding.kind -> ?gc:bool -> ?compact_sync:bool -> ?hierarchy:int ->
+  ?mutation:Vs_rfifo_ts.mutation ->
   ?layer:layer -> Proc.t -> t Vsgc_ioa.Component.def
 
 val component :
   ?strategy:Forwarding.kind -> ?gc:bool -> ?compact_sync:bool -> ?hierarchy:int ->
+  ?mutation:Vs_rfifo_ts.mutation ->
   ?layer:layer -> Proc.t -> Vsgc_ioa.Component.packed * t ref
 (** Build the component with a typed state handle (used by the §6/§7
     invariant checkers and the harness observations). *)

@@ -14,8 +14,8 @@ type block_status = Unblocked | Requested | Blocked
 
 type t = { vs : Vs_rfifo_ts.t; block_status : block_status }
 
-let initial ?strategy ?gc ?compact_sync ?hierarchy me =
-  { vs = Vs_rfifo_ts.initial ?strategy ?gc ?compact_sync ?hierarchy me;
+let initial ?strategy ?gc ?compact_sync ?hierarchy ?mutation me =
+  { vs = Vs_rfifo_ts.initial ?strategy ?gc ?compact_sync ?hierarchy ?mutation me;
     block_status = Unblocked }
 
 let me t = Vs_rfifo_ts.me t.vs

@@ -8,7 +8,7 @@ type t = { vs : Vs_rfifo_ts.t; block_status : block_status }
 
 val initial :
   ?strategy:Forwarding.kind -> ?gc:bool -> ?compact_sync:bool -> ?hierarchy:int ->
-  Vsgc_types.Proc.t -> t
+  ?mutation:Vs_rfifo_ts.mutation -> Vsgc_types.Proc.t -> t
 val me : t -> Vsgc_types.Proc.t
 
 val block_enabled : t -> bool

@@ -34,6 +34,16 @@ module Fwd_set = Set.Make (Fwd_key)
 
 type sync = { view : View.t; cut : Msg.Cut.t }
 
+(* Deliberate, opt-in protocol mutations (§5 algorithm weakenings).
+   Test infrastructure only: the schedule explorer must demonstrate it
+   finds the interleavings on which each weakening breaks the spec. *)
+type mutation =
+  | No_sync_wait
+      (* skip the TS_p wait for the peers' synchronization messages:
+         install a view as soon as the own one is out — virtual
+         synchrony then breaks whenever a peer committed to messages
+         this end-point has not delivered *)
+
 type t = {
   wv : Wv_rfifo.t;  (* parent state; only parent effects modify it *)
   start_change : (View.Sc_id.t * Proc.Set.t) option;
@@ -67,9 +77,11 @@ type t = {
          because installed views carry their startId maps *)
   shipped_l : Msg.Wire.sync_entry list;  (* last leader-ward batch shipped *)
   shipped_g : Msg.Wire.sync_entry list;  (* last group-ward batch shipped *)
+  mutation : mutation option;  (* seeded bug, for the schedule explorer *)
 }
 
-let initial ?(strategy = Forwarding.Simple) ?gc ?(compact_sync = false) ?hierarchy me =
+let initial ?(strategy = Forwarding.Simple) ?gc ?(compact_sync = false) ?hierarchy
+    ?mutation me =
   {
     wv = Wv_rfifo.initial ?gc me;
     start_change = None;
@@ -86,6 +98,7 @@ let initial ?(strategy = Forwarding.Simple) ?gc ?(compact_sync = false) ?hierarc
     prior_cids = Proc.Map.empty;
     shipped_l = [];
     shipped_g = [];
+    mutation;
   }
 
 let me t = t.wv.Wv_rfifo.me
@@ -384,7 +397,13 @@ let view_ready t v' =
       else
         let inter = Proc.Set.inter (View.set v') (View.set (current_view t)) in
         let all_syncs =
-          Proc.Set.for_all (fun q -> sync_msg t q (View.start_id v' q) <> None) inter
+          match t.mutation with
+          | Some No_sync_wait ->
+              (* the seeded bug: only the own synchronization message is
+                 awaited; peers' commitments are ignored *)
+              sync_msg t (me t) (View.start_id v' (me t)) <> None
+          | None ->
+              Proc.Set.for_all (fun q -> sync_msg t q (View.start_id v' q) <> None) inter
         in
         if not all_syncs then None
         else

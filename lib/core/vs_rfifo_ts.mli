@@ -20,6 +20,16 @@ module Fwd_set : Set.S with type elt = Proc.t * Proc.t * View.t * int
 type sync = { view : View.t; cut : Msg.Cut.t }
 (** The content of a synchronization message. *)
 
+(** Deliberate, opt-in weakenings of the §5 algorithm — test
+    infrastructure for the schedule explorer, which must find the
+    interleavings on which each one violates the specifications. *)
+type mutation =
+  | No_sync_wait
+      (** install a view as soon as the own synchronization message is
+          out, without waiting for the peers' — breaks Virtual
+          Synchrony on schedules where a peer committed to messages
+          this end-point has not delivered *)
+
 type t = {
   wv : Wv_rfifo.t;  (** parent state; only parent effects modify it *)
   start_change : (View.Sc_id.t * Proc.Set.t) option;
@@ -45,11 +55,12 @@ type t = {
           fresh (relevant to a pending change) iff strictly newer *)
   shipped_l : Msg.Wire.sync_entry list;
   shipped_g : Msg.Wire.sync_entry list;
+  mutation : mutation option;  (** seeded bug, for the schedule explorer *)
 }
 
 val initial :
   ?strategy:Forwarding.kind -> ?gc:bool -> ?compact_sync:bool -> ?hierarchy:int ->
-  Proc.t -> t
+  ?mutation:mutation -> Proc.t -> t
 (** [strategy] defaults to {!Forwarding.Simple}; [compact_sync] to
     [false] (the unoptimized Figure 10 automaton); [hierarchy] to
     direct all-to-all synchronization. *)

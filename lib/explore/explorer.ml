@@ -1,0 +1,158 @@
+(* Bounded depth-first schedule exploration with sleep-set reduction.
+
+   The explorer takes a schedule as a driving prefix (environment
+   operations + seeded runs, typically derived from a scenario),
+   replays it, then systematically enumerates every interleaving of the
+   enabled locally-controlled actions up to a depth bound. Backtracking
+   is replay-based: the executor offers no state snapshots, so each
+   alternative is reached by rebuilding the system from its Sysconf and
+   re-running prefix + path — cheap at the small configurations model
+   checking targets, and exactly the mechanism that later reproduces a
+   finding from its saved schedule.
+
+   Reduction: a sleep-set variant of partial-order reduction. After a
+   sibling action [a] has been fully explored at a node, [a] is added
+   to the sleep set of the node's remaining children and stays asleep
+   as long as every action taken commutes with it. Independence is
+   deliberately conservative: two [Rf_deliver]s at distinct receivers
+   touch disjoint channel suffixes and disjoint endpoint state, so
+   exploring both orders of such a pair is provably redundant; every
+   other pair is treated as dependent.
+
+   At each leaf (and at nodes with no enabled candidates) the explorer
+   optionally probes completion: a seeded run to quiescence plus the
+   monitors' end-of-trace obligations, same procedure as a [Settle]
+   entry. A violation surfaced anywhere — during the prefix, during a
+   chosen step, or during a probe — is returned together with the
+   schedule that reaches it. *)
+
+module System = Vsgc_harness.System
+module Executor = Vsgc_ioa.Executor
+module Action = Vsgc_types.Action
+
+type outcome =
+  | Found of Schedule.t * Replay.violation
+  | Exhausted
+  | Run_budget  (* max_runs replays spent before the tree was done *)
+
+type report = {
+  outcome : outcome;
+  runs : int;  (* system rebuild+replays performed *)
+  states : int;  (* interior nodes visited *)
+  sleep_skips : int;  (* branches pruned by the sleep set *)
+}
+
+let pp_outcome ppf = function
+  | Found (s, v) ->
+      Fmt.pf ppf "violation %a via %d-entry schedule" Replay.pp_violation v
+        (List.length s.Schedule.entries)
+  | Exhausted -> Fmt.string ppf "exhausted (no violation)"
+  | Run_budget -> Fmt.string ppf "run budget spent (no violation)"
+
+let pp_report ppf r =
+  Fmt.pf ppf "%a [runs %d, states %d, sleep skips %d]" pp_outcome r.outcome r.runs
+    r.states r.sleep_skips
+
+(* Two actions commute when neither can enable, disable, or change the
+   effect of the other. Conservative: only deliveries on disjoint
+   point-to-point channels qualify. *)
+let independent a b =
+  match (a, b) with
+  | Action.Rf_deliver (_, q, _), Action.Rf_deliver (_, q', _) ->
+      not (Vsgc_types.Proc.equal q q')
+  | _ -> false
+
+exception Stop of Schedule.t * Replay.violation
+exception Budget
+
+let explore ?(depth = 4) ?(max_runs = 10_000) ?(probe = true) (sched : Schedule.t) =
+  let runs = ref 0 and states = ref 0 and sleep_skips = ref 0 in
+  let prefix = sched.Schedule.entries in
+  (* Entries reaching the current node, newest first. *)
+  let found path v =
+    let entries = prefix @ List.rev path in
+    raise
+      (Stop
+         ( { sched with Schedule.entries; expect = Some v.Replay.kind; name = sched.Schedule.name },
+           v ))
+  in
+  (* Rebuild + replay up to the node [path] leads to. Any violation on
+     the way ends the search: the path that raised is the finding. *)
+  let rebuild path =
+    if !runs >= max_runs then raise Budget;
+    incr runs;
+    let sys = Sysconf.build sched.Schedule.conf in
+    (try Replay.replay sys (prefix @ List.rev path) with
+    | e -> (
+        match Replay.violation_of_exn e with
+        | Some v -> found path v
+        | None -> raise e));
+    sys
+  in
+  let probe_leaf sys path =
+    if probe then
+      try Replay.settle_once sys with
+      | e -> (
+          match Replay.violation_of_exn e with
+          | Some v -> found (Schedule.Settle :: path) v
+          | None -> raise e)
+  in
+  (* Deterministic candidate order: sorted by (key, owner). Adversarial
+     losses are the fairness assumption's to exclude, not the DFS's to
+     enumerate. *)
+  let node_candidates sys =
+    Executor.candidates (System.exec sys)
+    |> List.filter (fun (_, a) -> Action.category a <> Action.C_rf_lose)
+    |> List.map (fun (i, a) -> (Schedule.key_of_action a, i, a))
+    |> List.sort compare
+  in
+  (* [sys] is live at the node [path] reaches; it may be consumed by
+     the first explored child (a replay-free descent), after which the
+     remaining children rebuild. *)
+  let rec dfs sys path d sleep =
+    if d = 0 then probe_leaf sys path
+    else begin
+      let cands = node_candidates sys in
+      if cands = [] then probe_leaf sys path
+      else begin
+        incr states;
+        let used_live = ref false in
+        let explored = ref [] in
+        List.iter
+          (fun (key, owner, a) ->
+            if List.exists (Action.equal a) sleep then incr sleep_skips
+            else begin
+              (* the child may keep asleep whatever commutes with the
+                 step taken: fully-explored siblings join the set *)
+              let child_sleep = List.filter (independent a) (sleep @ !explored) in
+              let child_path = Schedule.Choose { owner; key } :: path in
+              let child_sys =
+                if !used_live then rebuild child_path
+                else begin
+                  used_live := true;
+                  (try Executor.perform (System.exec sys) ~owner a with
+                  | e -> (
+                      match Replay.violation_of_exn e with
+                      | Some v -> found child_path v
+                      | None -> raise e));
+                  sys
+                end
+              in
+              dfs child_sys child_path (d - 1) child_sleep;
+              explored := a :: !explored
+            end)
+          cands
+      end
+    end
+  in
+  let outcome =
+    try
+      (match rebuild [] with
+      | sys -> dfs sys [] depth []
+      | exception Budget -> ());
+      Exhausted
+    with
+    | Stop (s, v) -> Found (s, v)
+    | Budget -> Run_budget
+  in
+  { outcome; runs = !runs; states = !states; sleep_skips = !sleep_skips }

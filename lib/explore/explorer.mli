@@ -1,0 +1,38 @@
+(** Bounded depth-first schedule exploration with sleep-set reduction.
+
+    Replays a schedule as a driving prefix, then enumerates every
+    interleaving of the enabled locally-controlled actions up to a
+    depth bound, pruning provably commuting delivery orders (deliveries
+    at distinct receivers) with sleep sets. Backtracking is
+    replay-based — rebuild from {!Sysconf} + re-run prefix and path —
+    which is also exactly how a finding is later reproduced from its
+    saved schedule. Every explored state is watched by the full oracle
+    battery (spec monitors + §6/§7 invariants); leaves are optionally
+    probed to completion (seeded settle + end-of-trace monitor
+    obligations). *)
+
+type outcome =
+  | Found of Schedule.t * Replay.violation
+      (** the returned schedule replays to this violation
+          deterministically; its [expect] header is set accordingly *)
+  | Exhausted  (** whole bounded tree explored, no violation *)
+  | Run_budget  (** [max_runs] replays spent before the tree was done *)
+
+type report = {
+  outcome : outcome;
+  runs : int;  (** system rebuild+replays performed *)
+  states : int;  (** interior nodes visited *)
+  sleep_skips : int;  (** branches pruned by the sleep set *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val independent : Vsgc_types.Action.t -> Vsgc_types.Action.t -> bool
+(** Conservative commutation check used by the reduction: true only
+    for deliveries at distinct receivers. *)
+
+val explore : ?depth:int -> ?max_runs:int -> ?probe:bool -> Schedule.t -> report
+(** [explore sched] uses [sched.entries] as the driving prefix;
+    [sched.expect] is ignored on input and set on the finding.
+    Defaults: [depth 4], [max_runs 10_000], [probe true]. *)

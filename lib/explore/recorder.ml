@@ -1,0 +1,83 @@
+(* Schedule recording — turn any live run into a replayable schedule.
+
+   A recorder builds a system from a Sysconf and registers an executor
+   choice hook (Executor.add_choice_hook), so every performed step is
+   captured as an explicit [Choose] entry — including steps taken
+   inside seeded [run]s, whose RNG draws therefore need not be
+   re-enacted at replay. Crash/recover injections surface through the
+   same hook with no owner and are recorded as env ops. The remaining
+   environment operations have no executor footprint (client pushes,
+   oracle scripting), so drive the system through the recorder's
+   wrappers, not [System] directly, or those inputs will be missing
+   from the recording. *)
+
+module System = Vsgc_harness.System
+module Executor = Vsgc_ioa.Executor
+module Action = Vsgc_types.Action
+
+type t = {
+  conf : Sysconf.t;
+  sys : System.t;
+  mutable rev_entries : Schedule.entry list;
+}
+
+let push t e = t.rev_entries <- e :: t.rev_entries
+
+let create conf =
+  let sys = Sysconf.build conf in
+  let t = { conf; sys; rev_entries = [] } in
+  Executor.add_choice_hook (System.exec sys) (fun owner a ->
+      match (owner, a) with
+      | Some i, _ -> push t (Schedule.Choose { owner = i; key = Schedule.key_of_action a })
+      | None, Action.Crash p -> push t (Schedule.Env (Schedule.Crash p))
+      | None, Action.Recover p -> push t (Schedule.Env (Schedule.Recover p))
+      | None, _ -> ());
+  t
+
+let system t = t.sys
+let entries t = List.rev t.rev_entries
+
+(* -- Recorded drivers ---------------------------------------------------- *)
+
+let send t p payload =
+  push t (Schedule.Env (Schedule.Send { from = p; payload }));
+  System.send t.sys p payload
+
+let reconfigure ?(origin = 0) t ~set =
+  push t (Schedule.Env (Schedule.Reconfigure { origin; set }));
+  System.reconfigure ~origin t.sys ~set
+
+let start_change t ~set =
+  push t (Schedule.Env (Schedule.Start_change set));
+  System.start_change t.sys ~set
+
+let deliver_view ?(origin = 0) t ~set =
+  push t (Schedule.Env (Schedule.Deliver_view { origin; set }));
+  System.deliver_view ~origin t.sys ~set
+
+(* Recorded as env ops by the choice hook (injection path). *)
+let crash t p = System.crash t.sys p
+let recover t p = System.recover t.sys p
+
+let run t k = ignore (Executor.run ~max_steps:k (System.exec t.sys))
+
+(* Steps taken while settling are captured as explicit choices; the
+   trailing [Settle] entry is still recorded so replay re-discharges
+   the monitors' end-of-trace obligations (the run-to-quiescence part
+   is then a no-op: the explicit choices land it already quiescent). *)
+let settle t =
+  Fun.protect ~finally:(fun () -> push t Schedule.Settle) (fun () -> Replay.settle_once t.sys)
+
+let schedule ?(name = "recorded") ?expect t =
+  { Schedule.name; expect; conf = t.conf; entries = entries t }
+
+(* Drive [f] over a fresh recorder; classify any monitor/invariant
+   violation into the schedule's [expect] header. *)
+let capture ?name conf f =
+  let t = create conf in
+  match f t with
+  | () -> schedule ?name t
+  | exception e -> (
+      match Replay.violation_of_exn e with
+      | Some v -> schedule ?name ~expect:v.Replay.kind t
+      | None -> raise e)

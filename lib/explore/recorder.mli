@@ -1,0 +1,38 @@
+(** Schedule recording — turn any live run into a replayable schedule.
+
+    Registers an executor choice hook so every performed step is
+    captured as an explicit {!Schedule.entry.Choose}; crash/recover
+    injections are captured as env ops through the same hook. Client
+    pushes and oracle scripting have no executor footprint, so drive
+    the system through the wrappers below (not {!System} directly) for
+    a complete recording. *)
+
+module System = Vsgc_harness.System
+
+type t
+
+val create : Sysconf.t -> t
+val system : t -> System.t
+val entries : t -> Schedule.entry list
+
+val send : t -> Vsgc_types.Proc.t -> string -> unit
+val reconfigure : ?origin:int -> t -> set:Vsgc_types.Proc.Set.t -> Vsgc_types.View.t
+val start_change :
+  t -> set:Vsgc_types.Proc.Set.t -> Vsgc_types.View.Sc_id.t Vsgc_types.Proc.Map.t
+val deliver_view : ?origin:int -> t -> set:Vsgc_types.Proc.Set.t -> Vsgc_types.View.t
+val crash : t -> Vsgc_types.Proc.t -> unit
+val recover : t -> Vsgc_types.Proc.t -> unit
+
+val run : t -> int -> unit
+(** Up to [k] seeded steps, each captured as an explicit choice. *)
+
+val settle : t -> unit
+(** Settle; the trailing [Settle] entry is recorded even when a
+    monitor or invariant raises, so the recording is complete. *)
+
+val schedule : ?name:string -> ?expect:string -> t -> Schedule.t
+
+val capture : ?name:string -> Sysconf.t -> (t -> unit) -> Schedule.t
+(** Drive a function over a fresh recorder; a monitor or invariant
+    violation is classified into the result's [expect] header, any
+    other exception propagates. *)

@@ -1,0 +1,113 @@
+(* Deterministic schedule replay.
+
+   Rebuilds the system a schedule describes and re-executes its entries
+   against the full oracle battery (all spec monitors + all §6/§7
+   invariants, attached by Sysconf.build). Explicit Choose entries
+   consume no randomness; Run/Settle entries draw from the seeded RNG,
+   whose trajectory is a function of the seed and the entry list alone —
+   so replaying the same schedule always reproduces the same execution,
+   and in particular the same violation at the same step. *)
+
+module System = Vsgc_harness.System
+module Executor = Vsgc_ioa.Executor
+
+type violation = { kind : string; message : string }
+
+let pp_violation ppf v = Fmt.pf ppf "%s: %s" v.kind v.message
+
+exception Divergence of string
+
+(* The Settle step budget — shared with the explorer's leaf probes so a
+   saved schedule replays through the identical code path. *)
+let settle_steps = 200_000
+
+let violation_of_exn = function
+  | Vsgc_ioa.Monitor.Violation { monitor; message } -> Some { kind = monitor; message }
+  | Vsgc_checker.Invariants.Invariant_violation { name; message } ->
+      Some { kind = name; message }
+  | _ -> None
+
+let apply_env sys (op : Schedule.env_op) =
+  match op with
+  | Schedule.Reconfigure { origin; set } -> ignore (System.reconfigure sys ~origin ~set)
+  | Schedule.Start_change set -> ignore (System.start_change sys ~set)
+  | Schedule.Deliver_view { origin; set } -> ignore (System.deliver_view sys ~origin ~set)
+  | Schedule.Send { from; payload } -> System.send sys from payload
+  | Schedule.Crash p -> System.crash sys p
+  | Schedule.Recover p -> System.recover sys p
+
+(* Run to quiescence under the step budget and discharge residual
+   monitor obligations; hitting the budget is not itself a failure
+   (bounded probes stop there). *)
+let settle_once sys =
+  match Executor.run ~max_steps:settle_steps (System.exec sys) with
+  | Executor.Quiescent _ -> Executor.finish (System.exec sys)
+  | Executor.Step_limit -> ()
+
+let find_candidate sys ~owner ~key =
+  let matching =
+    List.filter
+      (fun (_, a) -> String.equal (Schedule.key_of_action a) key)
+      (Executor.candidates (System.exec sys))
+  in
+  match List.find_opt (fun (i, _) -> i = owner) matching with
+  | Some x -> Some x
+  | None -> ( match matching with x :: _ -> Some x | [] -> None)
+
+let apply_entry sys (e : Schedule.entry) =
+  match e with
+  | Schedule.Env op -> apply_env sys op
+  | Schedule.Run k -> ignore (Executor.run ~max_steps:k (System.exec sys))
+  | Schedule.Settle -> settle_once sys
+  | Schedule.Choose { owner; key } -> (
+      match find_candidate sys ~owner ~key with
+      | Some (i, a) -> Executor.perform (System.exec sys) ~owner:i a
+      | None ->
+          raise
+            (Divergence (Fmt.str "no enabled candidate matches choose %d %s" owner key)))
+
+let replay sys entries = List.iter (apply_entry sys) entries
+
+let run (s : Schedule.t) =
+  let sys = Sysconf.build s.conf in
+  match replay sys s.entries with
+  | () -> Ok sys
+  | exception e -> ( match violation_of_exn e with Some v -> Error v | None -> raise e)
+
+(* Tolerant replay, for the shrinker: candidate schedules produced by
+   deleting entries may leave later entries unmatched (a Choose whose
+   action is no longer enabled) or invalid (an env op the oracle's
+   scripting preconditions reject); those are skipped. Returns the
+   entries that actually applied — a strict replay of exactly that list
+   behaves identically — and the violation, if one fired. *)
+let run_tolerant (s : Schedule.t) =
+  let sys = Sysconf.build s.conf in
+  let applied = ref [] in
+  let viol = ref None in
+  (try
+     List.iter
+       (fun e ->
+         match apply_entry sys e with
+         | () -> applied := e :: !applied
+         | exception Divergence _ -> ()
+         | exception Invalid_argument _ -> ()
+         | exception ex -> (
+             match violation_of_exn ex with
+             | Some v ->
+                 applied := e :: !applied;
+                 viol := Some v;
+                 raise Exit
+             | None -> raise ex))
+       s.entries
+   with Exit -> ());
+  (List.rev !applied, !viol)
+
+(* Check a schedule against its recorded expectation. *)
+type verdict = Reproduced | Unexpected of violation | Missing of string | Clean_ok
+
+let check (s : Schedule.t) =
+  match (run s, s.expect) with
+  | Ok _, None -> Clean_ok
+  | Ok _, Some kind -> Missing kind
+  | Error v, Some kind when String.equal v.kind kind -> Reproduced
+  | Error v, _ -> Unexpected v

@@ -1,0 +1,44 @@
+(** Deterministic schedule replay.
+
+    Rebuilds the system a schedule describes (full oracle battery: all
+    spec monitors + all §6/§7 invariants) and re-executes its entries.
+    Explicit choices consume no randomness and seeded phases draw the
+    same RNG trajectory, so the same schedule always reproduces the
+    same execution — and the same violation at the same step. *)
+
+module System = Vsgc_harness.System
+
+type violation = { kind : string; message : string }
+(** [kind] is the monitor name (e.g. ["vs_rfifo_spec"]) or the
+    invariant name (e.g. ["6.7"]). *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+exception Divergence of string
+(** A [Choose] entry matched no enabled candidate (strict replay). *)
+
+val settle_steps : int
+(** Step budget of [Settle] entries and explorer probes (shared so
+    saved schedules replay through the identical code path). *)
+
+val violation_of_exn : exn -> violation option
+(** Classify monitor/invariant violations; [None] for anything else. *)
+
+val apply_env : System.t -> Schedule.env_op -> unit
+val apply_entry : System.t -> Schedule.entry -> unit
+val settle_once : System.t -> unit
+val replay : System.t -> Schedule.entry list -> unit
+
+val run : Schedule.t -> (System.t, violation) result
+(** Build + strict replay. [Error] is a classified violation; replay
+    divergence and non-violation exceptions propagate. *)
+
+val run_tolerant : Schedule.t -> Schedule.entry list * violation option
+(** Shrinker-grade replay: skips unmatched choices and rejected env
+    ops. Returns the entries that actually applied (a strict replay of
+    exactly that list behaves identically) and the violation, if any. *)
+
+type verdict = Reproduced | Unexpected of violation | Missing of string | Clean_ok
+
+val check : Schedule.t -> verdict
+(** Strict replay judged against the schedule's [expect] header. *)

@@ -1,0 +1,208 @@
+(* Serializable schedules.
+
+   A schedule is the complete recipe for one execution of the composed
+   system: the configuration to rebuild it from scratch (Sysconf), plus
+   an ordered list of entries — environment operations (the scenario
+   ingredients: membership scripting, traffic, crashes), bounded seeded
+   scheduler runs, and explicit action choices. Replaying the same
+   schedule against a freshly built system reproduces the same
+   execution deterministically: explicit choices consume no randomness,
+   and the seeded phases draw from the same RNG trajectory.
+
+   Every violation the explorer, the stress soak, or CI finds is saved
+   in this form (one human-readable line per entry), shrunk, and
+   becomes a regression-corpus artifact under test/corpus/. *)
+
+open Vsgc_types
+
+type env_op =
+  | Reconfigure of { origin : int; set : Proc.Set.t }
+  | Start_change of Proc.Set.t
+  | Deliver_view of { origin : int; set : Proc.Set.t }
+  | Send of { from : Proc.t; payload : string }
+  | Crash of Proc.t
+  | Recover of Proc.t
+
+type entry =
+  | Env of env_op
+  | Run of int  (* up to k seeded scheduler steps *)
+  | Settle  (* seeded run to quiescence + monitor discharge *)
+  | Choose of { owner : int; key : string }
+      (* perform the unique enabled action with this key, as a step of
+         component [owner] *)
+
+type t = {
+  name : string;
+  expect : string option;  (* violation kind this schedule reproduces *)
+  conf : Sysconf.t;
+  entries : entry list;
+}
+
+(* Action keys: the printed form of the action, escaped onto one line.
+   Keys are matched against the escaped printed form of the enabled
+   candidates at replay time — the composed system never enables two
+   distinct actions with identical printed forms at the same owner. *)
+let key_of_action a = String.escaped (Action.to_string a)
+
+let choose owner a = Choose { owner; key = key_of_action a }
+
+(* -- Printing ----------------------------------------------------------- *)
+
+let set_to_string s =
+  if Proc.Set.is_empty s then "-"
+  else String.concat "," (List.map string_of_int (Proc.Set.elements s))
+
+let set_of_string str =
+  if str = "-" then Proc.Set.empty
+  else
+    List.fold_left
+      (fun acc x -> Proc.Set.add (int_of_string x) acc)
+      Proc.Set.empty
+      (String.split_on_char ',' str)
+
+let env_op_to_string = function
+  | Reconfigure { origin; set } -> Fmt.str "env reconfigure %d %s" origin (set_to_string set)
+  | Start_change set -> Fmt.str "env start_change %s" (set_to_string set)
+  | Deliver_view { origin; set } -> Fmt.str "env deliver_view %d %s" origin (set_to_string set)
+  | Send { from; payload } -> Fmt.str "env send %d %s" from (String.escaped payload)
+  | Crash p -> Fmt.str "env crash %d" p
+  | Recover p -> Fmt.str "env recover %d" p
+
+let entry_to_string = function
+  | Env op -> env_op_to_string op
+  | Run k -> Fmt.str "run %d" k
+  | Settle -> "settle"
+  | Choose { owner; key } -> Fmt.str "choose %d %s" owner key
+
+let pp_entry ppf e = Fmt.string ppf (entry_to_string e)
+let pp ppf t =
+  Fmt.pf ppf "@[<v>schedule %s (%a, %d entries)@,%a@]" t.name Sysconf.pp t.conf
+    (List.length t.entries)
+    (Fmt.list ~sep:Fmt.cut pp_entry)
+    t.entries
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "vsgc-schedule 1";
+  line "name %s" t.name;
+  line "n %d" t.conf.Sysconf.n;
+  line "seed %d" t.conf.Sysconf.seed;
+  line "layer %s" (Sysconf.layer_to_string t.conf.Sysconf.layer);
+  line "mutation %s" (Sysconf.mutation_to_string t.conf.Sysconf.mutation);
+  (match t.expect with Some e -> line "expect %s" e | None -> line "expect clean");
+  List.iter (fun e -> line "%s" (entry_to_string e)) t.entries;
+  Buffer.contents b
+
+(* -- Parsing ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let fail_parse fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* [rest_after line k] is the line with its first [k] space-separated
+   fields removed — used for trailing fields that may contain spaces. *)
+let rest_after line k =
+  let len = String.length line in
+  let rec skip i k =
+    if k = 0 then i
+    else
+      match String.index_from_opt line i ' ' with
+      | Some j -> skip (j + 1) (k - 1)
+      | None -> len
+  in
+  String.sub line (skip 0 k) (len - skip 0 k)
+
+let unescape s =
+  try Scanf.unescaped s with Scanf.Scan_failure _ -> fail_parse "bad escape in %S" s
+
+let entry_of_string line =
+  match String.split_on_char ' ' line with
+  | "run" :: k :: _ -> Run (int_of_string k)
+  | "settle" :: _ -> Settle
+  | "choose" :: owner :: _ :: _ ->
+      Choose { owner = int_of_string owner; key = rest_after line 2 }
+  | "env" :: "reconfigure" :: origin :: set :: _ ->
+      Env (Reconfigure { origin = int_of_string origin; set = set_of_string set })
+  | "env" :: "start_change" :: set :: _ -> Env (Start_change (set_of_string set))
+  | "env" :: "deliver_view" :: origin :: set :: _ ->
+      Env (Deliver_view { origin = int_of_string origin; set = set_of_string set })
+  | "env" :: "send" :: from :: _ :: _ ->
+      Env (Send { from = int_of_string from; payload = unescape (rest_after line 3) })
+  | "env" :: "crash" :: p :: _ -> Env (Crash (int_of_string p))
+  | "env" :: "recover" :: p :: _ -> Env (Recover (int_of_string p))
+  | _ -> fail_parse "unrecognized schedule entry %S" line
+
+let of_string text =
+  let lines =
+    List.filter
+      (fun l -> l <> "" && l.[0] <> '#')
+      (List.map String.trim (String.split_on_char '\n' text))
+  in
+  match lines with
+  | magic :: rest when magic = "vsgc-schedule 1" ->
+      let name = ref "unnamed" and expect = ref None in
+      let n = ref 0 and seed = ref 42 in
+      let layer = ref `Full and mutation = ref None in
+      let entries = ref [] in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | "name" :: _ :: _ -> name := rest_after line 1
+          | "n" :: x :: _ -> n := int_of_string x
+          | "seed" :: x :: _ -> seed := int_of_string x
+          | "layer" :: x :: _ -> layer := Sysconf.layer_of_string x
+          | "mutation" :: x :: _ -> mutation := Sysconf.mutation_of_string x
+          | "expect" :: x :: _ -> expect := (if x = "clean" then None else Some x)
+          | _ -> entries := entry_of_string line :: !entries)
+        rest;
+      if !n <= 0 then fail_parse "schedule is missing a positive 'n' header";
+      {
+        name = !name;
+        expect = !expect;
+        conf = Sysconf.make ~seed:!seed ~layer:!layer ?mutation:!mutation ~n:!n ();
+        entries = List.rev !entries;
+      }
+  | first :: _ -> fail_parse "bad magic %S (want \"vsgc-schedule 1\")" first
+  | [] -> fail_parse "empty schedule"
+
+(* -- Files -------------------------------------------------------------- *)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      of_string (really_input_string ic (in_channel_length ic)))
+
+(* -- Scenario conversion ------------------------------------------------ *)
+
+(* The env-expressible subset of the harness scenario language; [Check]
+   steps carry closures and are dropped (the explorer's own oracles —
+   monitors and invariants — keep watching). *)
+let of_scenario (sc : Vsgc_harness.Scenario.t) : entry list =
+  List.concat_map
+    (fun (step : Vsgc_harness.Scenario.step) ->
+      match step with
+      | Vsgc_harness.Scenario.Reconfigure { origin; set } ->
+          [ Env (Reconfigure { origin; set }) ]
+      | Vsgc_harness.Scenario.Start_change set -> [ Env (Start_change set) ]
+      | Vsgc_harness.Scenario.Deliver_view { origin; set } ->
+          [ Env (Deliver_view { origin; set }) ]
+      | Vsgc_harness.Scenario.Send { from; payloads } ->
+          List.map (fun payload -> Env (Send { from; payload })) payloads
+      | Vsgc_harness.Scenario.Broadcast { senders; per_sender } ->
+          List.concat_map
+            (fun p ->
+              List.init per_sender (fun i ->
+                  Env (Send { from = p; payload = Fmt.str "m-%a-%d" Proc.pp p (i + 1) })))
+            (Proc.Set.elements senders)
+      | Vsgc_harness.Scenario.Crash p -> [ Env (Crash p) ]
+      | Vsgc_harness.Scenario.Recover p -> [ Env (Recover p) ]
+      | Vsgc_harness.Scenario.Run k -> [ Run k ]
+      | Vsgc_harness.Scenario.Settle -> [ Settle ]
+      | Vsgc_harness.Scenario.Check _ -> [])
+    sc

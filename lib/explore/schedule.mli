@@ -1,0 +1,59 @@
+(** Serializable schedules — replayable execution recipes.
+
+    A schedule is a {!Sysconf.t} (how to rebuild the system) plus an
+    ordered entry list: environment operations, bounded seeded runs,
+    and explicit action choices. Replaying the same schedule against a
+    freshly built system reproduces the same execution
+    deterministically; every violation found by exploration, stress, or
+    CI is saved in this form and shrunk into a regression-corpus
+    artifact. The file format is one line per entry, human-readable. *)
+
+open Vsgc_types
+
+type env_op =
+  | Reconfigure of { origin : int; set : Proc.Set.t }
+  | Start_change of Proc.Set.t
+  | Deliver_view of { origin : int; set : Proc.Set.t }
+  | Send of { from : Proc.t; payload : string }
+  | Crash of Proc.t
+  | Recover of Proc.t
+
+type entry =
+  | Env of env_op
+  | Run of int  (** up to k seeded scheduler steps *)
+  | Settle  (** seeded run to quiescence + monitor discharge *)
+  | Choose of { owner : int; key : string }
+      (** perform the unique enabled action with this key as a step of
+          component [owner] *)
+
+type t = {
+  name : string;
+  expect : string option;
+      (** violation kind this schedule reproduces; [None] means the
+          replay must complete cleanly *)
+  conf : Sysconf.t;
+  entries : entry list;
+}
+
+val key_of_action : Action.t -> string
+(** The printed form of the action, escaped onto one line — the match
+    key used by {!Replay} to find the candidate again. *)
+
+val choose : int -> Action.t -> entry
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+
+exception Parse_error of string
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val save : t -> string -> unit
+val load : string -> t
+
+val of_scenario : Vsgc_harness.Scenario.t -> entry list
+(** The env-expressible subset of the scenario language; [Check] steps
+    carry closures and are dropped (monitors and invariants keep
+    watching during replay). *)

@@ -1,0 +1,71 @@
+(* Delta-debugging schedule minimization.
+
+   Classic ddmin over the entry list: split into n chunks, test each
+   complement with a tolerant replay (deleting an entry can invalidate
+   later ones — unmatched choices and rejected env ops are skipped, not
+   fatal), keep any complement that still reproduces the expected
+   violation kind, refine granularity otherwise. The result is then
+   normalized — re-run tolerantly and reduced to the entries that
+   actually applied — and the normalized schedule is verified with a
+   strict replay before being returned, so callers always get a
+   schedule that reproduces its [expect] exactly as written. *)
+
+let split_chunks n xs =
+  let len = List.length xs in
+  let base = len / n and extra = len mod n in
+  let rec go i xs =
+    if i >= n then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest =
+        let rec take k acc = function
+          | xs when k = 0 -> (List.rev acc, xs)
+          | x :: xs -> take (k - 1) (x :: acc) xs
+          | [] -> (List.rev acc, [])
+        in
+        take size [] xs
+      in
+      chunk :: go (i + 1) rest
+  in
+  go 0 xs
+
+let ddmin reproduces entries =
+  let rec go entries n =
+    let len = List.length entries in
+    if len < 2 then entries
+    else
+      let chunks = split_chunks (min n len) entries in
+      let complements =
+        List.mapi (fun i _ -> List.concat (List.filteri (fun j _ -> j <> i) chunks)) chunks
+      in
+      match List.find_opt reproduces complements with
+      | Some smaller -> go smaller (max (n - 1) 2)
+      | None -> if n < len then go entries (min len (2 * n)) else entries
+  in
+  go entries 2
+
+let minimize (s : Schedule.t) =
+  match s.expect with
+  | None -> s
+  | Some kind ->
+      let same_kind = function
+        | Some v -> String.equal v.Replay.kind kind
+        | None -> false
+      in
+      let reproduces entries =
+        let _, v = Replay.run_tolerant { s with Schedule.entries } in
+        same_kind v
+      in
+      if not (reproduces s.entries) then
+        invalid_arg "Shrink.minimize: schedule does not reproduce its expect header";
+      let best = ddmin reproduces s.entries in
+      let applied, v = Replay.run_tolerant { s with Schedule.entries = best } in
+      let entries = if same_kind v then applied else best in
+      let cand = { s with Schedule.entries } in
+      (* The normalized entries applied without a skip, so a strict
+         replay performs the identical operations; verify anyway and
+         fall back to the (reproducing) input if anything disagrees. *)
+      match Replay.run cand with
+      | Error v when String.equal v.Replay.kind kind -> cand
+      | Ok _ | Error _ -> s
+      | exception Replay.Divergence _ -> s

@@ -1,0 +1,18 @@
+(** Delta-debugging schedule minimization (ddmin).
+
+    Minimizes a violating schedule's entry list — environment script
+    and explicit choices alike — while preserving the violation kind
+    named by its [expect] header. Candidate sub-schedules are judged
+    with tolerant replay (entries invalidated by a deletion are
+    skipped); the final result is normalized to the entries that
+    actually apply and verified with a strict replay. *)
+
+val ddmin : ('a list -> bool) -> 'a list -> 'a list
+(** Generic ddmin: greatest-granularity complement reduction over a
+    list, given a reproduction test. The test is assumed to hold for
+    the full input. *)
+
+val minimize : Schedule.t -> Schedule.t
+(** @raise Invalid_argument if the schedule has an [expect] header it
+    does not reproduce. Schedules with [expect = None] are returned
+    unchanged. The result strictly replays to the expected kind. *)

@@ -1,0 +1,63 @@
+(* A rebuildable system configuration.
+
+   Everything the explorer needs to reconstruct a monitored system from
+   scratch lives here, so a saved schedule is self-contained: the same
+   configuration plus the same entry list reproduces the same execution
+   bit for bit. Rebuilt systems always carry every safety monitor and
+   every §6/§7 invariant (checked after each step) — exploration is
+   only as strong as the oracles watching each visited state. *)
+
+module System = Vsgc_harness.System
+
+type t = {
+  n : int;  (* processes 0..n-1 *)
+  seed : int;  (* scheduler seed, used by Run/Settle entries *)
+  layer : Vsgc_core.Endpoint.layer;
+  mutation : Vsgc_core.Vs_rfifo_ts.mutation option;
+      (* seeded algorithm weakening under test, if any *)
+}
+
+let make ?(seed = 42) ?(layer = `Full) ?mutation ~n () = { n; seed; layer; mutation }
+
+let layer_to_string = function `Wv -> "wv" | `Vs -> "vs" | `Full -> "full"
+
+let layer_of_string = function
+  | "wv" -> `Wv
+  | "vs" -> `Vs
+  | "full" -> `Full
+  | s -> invalid_arg (Fmt.str "Sysconf.layer_of_string: %S" s)
+
+let mutation_to_string = function
+  | None -> "none"
+  | Some Vsgc_core.Vs_rfifo_ts.No_sync_wait -> "no_sync_wait"
+
+let mutation_of_string = function
+  | "none" -> None
+  | "no_sync_wait" -> Some Vsgc_core.Vs_rfifo_ts.No_sync_wait
+  | s -> invalid_arg (Fmt.str "Sysconf.mutation_of_string: %S" s)
+
+let pp ppf t =
+  Fmt.pf ppf "n=%d seed=%d layer=%s mutation=%s" t.n t.seed
+    (layer_to_string t.layer)
+    (mutation_to_string t.mutation)
+
+(* The blocking invariants (6.11, 6.12) assert the Figure 11/12 block
+   protocol, which the layers below `Full omit by construction — there
+   they are not proof obligations but false alarms. *)
+let invariants_for = function
+  | `Full -> Vsgc_checker.Invariants.all
+  | `Wv | `Vs ->
+      List.filter
+        (fun (name, _) -> name <> "6.11" && name <> "6.12")
+        Vsgc_checker.Invariants.all
+
+let build t =
+  let sys =
+    System.create ~seed:t.seed ~n:t.n ~layer:t.layer ?mutation:t.mutation
+      ~monitors:`All ()
+  in
+  let invs = invariants_for t.layer in
+  Vsgc_ioa.Executor.add_step_hook (System.exec sys) (fun _ ->
+      let snap = System.snapshot sys in
+      List.iter (fun (_, check) -> check snap) invs);
+  sys

@@ -1,0 +1,35 @@
+(** A rebuildable system configuration.
+
+    Everything needed to reconstruct a monitored system from scratch,
+    so a saved schedule is self-contained: the same configuration plus
+    the same entries reproduces the same execution deterministically. *)
+
+module System = Vsgc_harness.System
+
+type t = {
+  n : int;  (** processes 0..n-1 *)
+  seed : int;  (** scheduler seed, used by Run/Settle entries *)
+  layer : Vsgc_core.Endpoint.layer;
+  mutation : Vsgc_core.Vs_rfifo_ts.mutation option;
+      (** seeded algorithm weakening under test, if any *)
+}
+
+val make :
+  ?seed:int ->
+  ?layer:Vsgc_core.Endpoint.layer ->
+  ?mutation:Vsgc_core.Vs_rfifo_ts.mutation ->
+  n:int ->
+  unit ->
+  t
+
+val layer_to_string : Vsgc_core.Endpoint.layer -> string
+val layer_of_string : string -> Vsgc_core.Endpoint.layer
+val mutation_to_string : Vsgc_core.Vs_rfifo_ts.mutation option -> string
+val mutation_of_string : string -> Vsgc_core.Vs_rfifo_ts.mutation option
+val pp : Format.formatter -> t -> unit
+
+val build : t -> System.t
+(** Fresh system with all safety monitors and the §6/§7 invariants
+    checked after each step. At layers below [`Full] the blocking
+    invariants (6.11, 6.12) are omitted — those assert the block
+    protocol that such layers leave out by construction. *)

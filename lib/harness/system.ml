@@ -24,7 +24,8 @@ type t = {
 
 type monitors = [ `All | `Wv | `None ]
 
-let create ?(seed = 42) ?weights ?strategy ?gc ?compact_sync ?hierarchy ?(layer = `Full) ?(monitors = `All)
+let create ?(seed = 42) ?weights ?strategy ?gc ?compact_sync ?hierarchy ?mutation
+    ?(layer = `Full) ?(monitors = `All)
     ?(with_oracle = true) ?(extra_components = []) ?(extra_budgets = [])
     ?(send_while_requested = true) ?endpoint_builder ?client_builder ~n () =
   let procs = Proc.Set.of_range 0 (n - 1) in
@@ -40,7 +41,8 @@ let create ?(seed = 42) ?weights ?strategy ?gc ?compact_sync ?hierarchy ?(layer 
         Proc.Set.fold
           (fun p (m, cs) ->
             let c, r =
-              Vsgc_core.Endpoint.component ?strategy ?gc ?compact_sync ?hierarchy ~layer p
+              Vsgc_core.Endpoint.component ?strategy ?gc ?compact_sync ?hierarchy
+                ?mutation ~layer p
             in
             (Proc.Map.add p r m, c :: cs))
           procs (Proc.Map.empty, [])

@@ -21,6 +21,7 @@ val create :
   ?gc:bool ->
   ?compact_sync:bool ->
   ?hierarchy:int ->
+  ?mutation:Vsgc_core.Vs_rfifo_ts.mutation ->
   ?layer:Vsgc_core.Endpoint.layer ->
   ?monitors:monitors ->
   ?with_oracle:bool ->

@@ -21,6 +21,7 @@ type t = {
   mutable trace_len : int;
   keep_trace : bool;
   mutable step_hooks : (Action.t -> unit) list;
+  mutable choice_hooks : (int option -> Action.t -> unit) list;
 }
 
 let default_weights (a : Action.t) =
@@ -39,12 +40,15 @@ let create ?(seed = 0xC0FFEE) ?(weights = default_weights) ?(keep_trace = true)
     trace_len = 0;
     keep_trace;
     step_hooks = [];
+    choice_hooks = [];
   }
 
 let metrics t = t.metrics
 let rng t = t.rng
 let add_monitor t m = t.monitors <- m :: t.monitors
 let add_step_hook t f = t.step_hooks <- f :: t.step_hooks
+
+let add_choice_hook t f = t.choice_hooks <- f :: t.choice_hooks
 
 let trace t = List.rev t.trace
 let trace_length t = t.trace_len
@@ -61,6 +65,9 @@ let candidates t =
 (* Perform [a] as a step of the whole composition: the owner (if any)
    and every accepting component move together; monitors observe. *)
 let perform t ?owner a =
+  (* Choice-point capture first: recorders must see the decision even
+     when a monitor or invariant hook raises on this very step. *)
+  List.iter (fun f -> f owner a) t.choice_hooks;
   Array.iteri
     (fun i c ->
       let is_owner = match owner with Some o -> i = o | None -> false in

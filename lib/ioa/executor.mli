@@ -33,6 +33,14 @@ val add_monitor : t -> Monitor.t -> unit
 val add_step_hook : t -> (Action.t -> unit) -> unit
 (** Attach an arbitrary per-step observer (e.g. invariant checking). *)
 
+val add_choice_hook : t -> (int option -> Action.t -> unit) -> unit
+(** Attach a choice-point observer: called on every {!perform} with the
+    owning component's index ([None] for environment injections),
+    {e before} components move and monitors observe — so a schedule
+    recorder captures the decision even when the step itself raises.
+    The explorer ({!module:Vsgc_explore} in the growth tree) uses this
+    to turn any execution into a replayable schedule. *)
+
 val trace : t -> Action.t list
 (** The trace so far, oldest first (empty if [keep_trace:false]). *)
 

@@ -1,0 +1,34 @@
+(* The regression corpus: every saved schedule under test/corpus/ must
+   replay, against the full monitor + invariant battery, to exactly
+   what its expect header records — violating schedules reproduce their
+   violation, clean schedules stay clean. Findings from the explorer
+   (devtools/explore.exe) are shrunk and parked here so once-found bugs
+   stay found. *)
+
+module E = Vsgc_explore
+
+let corpus_dir = "corpus"
+
+let corpus_files () =
+  match Sys.readdir corpus_dir with
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".sched")
+      |> List.sort compare
+      |> List.map (Filename.concat corpus_dir)
+  | exception Sys_error _ -> []
+
+let check_one file () =
+  let s = E.Schedule.load file in
+  match E.Replay.check s with
+  | E.Replay.Reproduced | E.Replay.Clean_ok -> ()
+  | E.Replay.Missing kind ->
+      Alcotest.failf "%s: replay was clean, expected a %s violation" file kind
+  | E.Replay.Unexpected v ->
+      Alcotest.failf "%s: unexpected violation %a" file E.Replay.pp_violation v
+
+let suite =
+  let files = corpus_files () in
+  Alcotest.test_case "corpus present" `Quick (fun () ->
+      if files = [] then Alcotest.fail "no .sched files under test/corpus")
+  :: List.map (fun f -> Alcotest.test_case f `Quick (check_one f)) files

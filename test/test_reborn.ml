@@ -1,0 +1,79 @@
+(* §8 crash/recovery vs the §6 proof obligations: a restart wipes the
+   volatile bookkeeping the invariants quantify over, so checks that
+   reference wiped state (here 6.7: received sync messages equal the
+   sender's record) must be vacuous for processes that have ever
+   crashed — and must keep their teeth for processes that never did.
+
+   The fabricated state: receiver p1 holds a synchronization message
+   that sender p0 has no record of sending. With an intact p0 that is
+   exactly the inconsistency 6.7 exists to catch; with a reborn p0 it
+   is the expected aftermath of the restart. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Inv = Vsgc_checker.Invariants
+module Endpoint = Vsgc_core.Endpoint
+module Vs = Vsgc_core.Vs_rfifo_ts
+
+let fabricated ~reborn =
+  let sys = System.create ~n:2 () in
+  ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 1));
+  System.settle sys;
+  let snap = System.snapshot sys in
+  let e1 = Proc.Map.find 1 snap.Inv.endpoints in
+  let vs' =
+    Vs.recv_sync (Endpoint.vs e1) 0 ~cid:99 ~view:(Endpoint.current_view e1)
+      ~cut:Msg.Cut.empty
+  in
+  let e1' = { e1 with Endpoint.g = { e1.Endpoint.g with Vsgc_core.Gcs.vs = vs' } } in
+  { snap with Inv.endpoints = Proc.Map.add 1 e1' snap.Inv.endpoints; Inv.reborn = reborn }
+
+let expect_6_7 snap =
+  match Inv.inv_6_7 snap with
+  | () -> Alcotest.fail "expected invariant 6.7 to fire"
+  | exception Inv.Invariant_violation { name; _ } ->
+      Alcotest.(check string) "violated invariant" "6.7" name
+
+let test_enforced_for_never_crashed () = expect_6_7 (fabricated ~reborn:Proc.Set.empty)
+
+(* The sender crashed at some point: its missing record proves nothing,
+   the check is vacuous. *)
+let test_vacuous_for_reborn_sender () =
+  Inv.inv_6_7 (fabricated ~reborn:(Proc.Set.singleton 0))
+
+(* Rebirth of the RECEIVER does not excuse the sender's missing record:
+   vacuity is keyed on whose state was wiped. *)
+let test_still_enforced_when_only_receiver_reborn () =
+  expect_6_7 (fabricated ~reborn:(Proc.Set.singleton 1))
+
+(* End to end: a real crash/recover run populates the snapshot's reborn
+   set, and the full battery — checked after every step — stays green
+   across the wipe and re-admission. *)
+let test_crash_recover_run_is_green_and_marks_reborn () =
+  let all = Proc.Set.of_range 0 2 in
+  let sys = System.create ~seed:3 ~n:3 () in
+  System.attach_invariants sys;
+  ignore (System.reconfigure sys ~set:all);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  System.settle sys;
+  System.crash sys 2;
+  ignore (System.reconfigure sys ~origin:1 ~set:(Proc.Set.of_range 0 1));
+  System.settle sys;
+  System.recover sys 2;
+  ignore (System.reconfigure sys ~origin:2 ~set:all);
+  System.settle sys;
+  Alcotest.(check bool)
+    "snapshot marks p2 reborn" true
+    (Proc.Set.equal (System.snapshot sys).Inv.reborn (Proc.Set.singleton 2))
+
+let suite =
+  [
+    Alcotest.test_case "6.7 enforced for never-crashed processes" `Quick
+      test_enforced_for_never_crashed;
+    Alcotest.test_case "6.7 vacuous when the sender is reborn" `Quick
+      test_vacuous_for_reborn_sender;
+    Alcotest.test_case "6.7 still enforced when only the receiver is reborn" `Quick
+      test_still_enforced_when_only_receiver_reborn;
+    Alcotest.test_case "crash/recover run is green and marks reborn" `Quick
+      test_crash_recover_run_is_green_and_marks_reborn;
+  ]
