@@ -14,4 +14,23 @@ trap 'rm -f "$tmp"' EXIT
 dune exec -- devtools/explore.exe find -mutation no_sync_wait -depth 4 -max-runs 2000 -o "$tmp" -quiet
 dune exec -- devtools/explore.exe replay "$tmp" -quiet
 
+# Static vet: every shipped composition must lint clean, the
+# inheritance tower must hold, and every saved schedule must match its
+# layer's signature...
+dune exec -- devtools/vet.exe all
+# ...and the found schedule above must validate too.
+schdir=$(mktemp -d /tmp/vsgc-vet-XXXXXX)
+trap 'rm -rf "$tmp" "$schdir"' EXIT
+cp "$tmp" "$schdir/found.sched"
+dune exec -- devtools/vet.exe corpus "$schdir"
+
+# The linter must stay able to see: each seeded miswiring fixture must
+# make vet exit non-zero (a clean fixture means the check went blind).
+for f in $(dune exec -- devtools/vet.exe fixture -list); do
+  if dune exec -- devtools/vet.exe fixture "$f" > /dev/null 2>&1; then
+    echo "ci: FAIL: vet fixture $f reported no diagnostic" >&2
+    exit 1
+  fi
+done
+
 echo "ci: OK"

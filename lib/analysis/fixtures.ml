@@ -1,0 +1,128 @@
+(* Seeded miswiring fixtures — the linter's negative tests.
+
+   Each fixture is a deliberately broken miniature composition; running
+   the named vet pass over it MUST produce at least one diagnostic of
+   the expected check. CI asserts this (vet.exe fixture <name> exits
+   non-zero), so a refactor that silently blinds a linter check fails
+   the build rather than shipping a toothless vet. *)
+
+open Vsgc_types
+module Component = Vsgc_ioa.Component
+module Footprint = Vsgc_ioa.Footprint
+module Executor = Vsgc_ioa.Executor
+
+(* Fixture actions must be members of the representative universe —
+   the static pass checks exactly that set, and Action.equal compares
+   payloads — so the fixtures reuse the universe's message. *)
+let msg = Universe.msg
+
+let universe = Universe.actions ~n:2 ()
+
+let fp _ = Footprint.rw [ Footprint.Proc_state 0 ]
+
+(* A one-shot emitter of [a]: outputs it until applied once. *)
+let emitter ?(name = "emitter") ?(accepts = fun _ -> false) a =
+  Component.pack
+    (Component.make ~footprint:fp
+       ~emits:(Action.equal a) ~name ~init:false
+       ~accepts
+       ~outputs:(fun fired -> if fired then [] else [ a ])
+       ~apply:(fun _ _ -> true)
+       ())
+
+(* [deliver] is emitted, but no other component accepts it. The
+   [send]/[speaker] wiring is sound, so the only finding is the
+   dangling [deliver]. *)
+let dangling_output () =
+  let deliver = Action.App_deliver (0, 1, msg) in
+  let send = Action.App_send (0, msg) in
+  [
+    emitter ~name:"speaker"
+      ~accepts:(fun a -> Action.category a = Action.C_app_send)
+      deliver;
+    emitter ~name:"other" send;
+  ]
+
+(* Two components both declare [send] as their output. *)
+let multi_writer () =
+  let send = Action.App_send (0, msg) in
+  let deliver = Action.App_deliver (0, 1, msg) in
+  let accepts_deliver a = Action.category a = Action.C_app_deliver in
+  [
+    emitter ~name:"writer-a" ~accepts:accepts_deliver send;
+    emitter ~name:"writer-b" ~accepts:accepts_deliver send;
+    Component.pack
+      (Component.make ~footprint:fp ~emits:(Action.equal deliver) ~name:"sink"
+         ~init:false
+         ~accepts:(fun a -> Action.category a = Action.C_app_send)
+         ~outputs:(fun fired -> if fired then [] else [ deliver ])
+         ~apply:(fun _ _ -> true)
+         ());
+  ]
+
+(* A component that emits nothing (an observer by signature) yet only
+   accepts one category — a silent blind spot. *)
+let partial_observer () =
+  let send = Action.App_send (0, msg) in
+  [
+    emitter ~name:"speaker" ~accepts:(fun a -> Action.category a = Action.C_app_send) send;
+    Component.pack
+      (Component.make ~footprint:fp
+         ~emits:(fun _ -> false) ~name:"half-logger" ~init:0
+         ~accepts:(fun a -> Action.category a = Action.C_app_send)
+         ~outputs:(fun _ -> [])
+         ~apply:(fun k _ -> k + 1)
+         ());
+  ]
+
+(* The dynamic check: outputs produce [Block_ok 0] while the static
+   signature only admits [App_send] — the over-approximation is a lie. *)
+let emits_unsound () =
+  let send = Action.App_send (0, msg) in
+  let sneaky = Action.Block_ok 0 in
+  [
+    Component.pack
+      (Component.make ~footprint:fp ~emits:(Action.equal send) ~name:"liar"
+         ~init:false
+         ~accepts:(fun _ -> false)
+         ~outputs:(fun fired -> if fired then [] else [ sneaky ])
+         ~apply:(fun _ _ -> true)
+         ());
+    Component.pack
+      (Component.make ~footprint:fp ~emits:(fun _ -> false) ~name:"listener"
+         ~init:0
+         ~accepts:(fun _ -> true)
+         ~outputs:(fun _ -> [])
+         ~apply:(fun k _ -> k + 1)
+         ());
+  ]
+
+type t = { name : string; expect : string; run : unit -> Diag.t list }
+
+let all : t list =
+  [
+    {
+      name = "dangling-output";
+      expect = "dangling-output";
+      run = (fun () -> Lint.static ~universe (dangling_output ()));
+    };
+    {
+      name = "multi-writer";
+      expect = "multi-writer";
+      run = (fun () -> Lint.static ~universe (multi_writer ()));
+    };
+    {
+      name = "partial-observer";
+      expect = "partial-observer";
+      run = (fun () -> Lint.static ~universe (partial_observer ()));
+    };
+    {
+      name = "emits-unsound";
+      expect = "emits-unsound";
+      run = (fun () -> Lint.dynamic ~steps:10 (Executor.create ~seed:1 (emits_unsound ())));
+    };
+  ]
+
+let find name = List.find_opt (fun f -> f.name = name) all
+
+let names = List.map (fun f -> f.name) all

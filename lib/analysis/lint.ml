@@ -1,0 +1,202 @@
+(* The wiring linter (vet pass 1).
+
+   Composition in the paper's §2 sense is sound only when the action
+   vocabulary is wired consistently: every output reaches someone,
+   every action category has one writer per locus, and purely reactive
+   components (observers) see the whole vocabulary. These are exactly
+   the properties the executor cannot check at runtime — a dangling
+   output or a shadowed writer produces a quietly wrong execution, not
+   a crash — so they are checked statically here, over the declared
+   [emits]/[accepts] signatures and the representative universe.
+
+   Checks:
+   - dangling-output: an emitted, non-environment action no other
+     component accepts. The emitter would fire into the void.
+   - multi-writer: two components both declare an action as output.
+     The single-writer discipline is what makes "the owner moves, the
+     acceptors follow" composition deterministic.
+   - partial-observer: a component that emits nothing is an observer;
+     an observer that rejects some action has a silent blind spot.
+   - footprint-gap: a component participates in an action (accepts or
+     emits it) but declares an empty footprint — the independence
+     relation would wrongly commute it past everything.
+   - emits-unsound (dynamic): over a driven run, an enabled candidate
+     outside its owner's declared static signature disproves the
+     [emits] over-approximation that every static pass relies on.
+
+   Environment-controlled categories (crashes, failure-detector events,
+   client attachment, adversarial loss, liveness inputs) have no
+   component writer or no component reader by design and are exempt
+   from the dangling-output check. *)
+
+open Vsgc_types
+module Component = Vsgc_ioa.Component
+module Executor = Vsgc_ioa.Executor
+
+let env_category = function
+  | Action.C_crash | Action.C_recover | Action.C_rf_live | Action.C_rf_lose
+  | Action.C_fd_change | Action.C_client_join | Action.C_client_leave -> true
+  | Action.C_app_send | Action.C_app_deliver | Action.C_app_view | Action.C_block
+  | Action.C_block_ok | Action.C_mb_start_change | Action.C_mb_view
+  | Action.C_rf_send | Action.C_rf_deliver | Action.C_rf_reliable
+  | Action.C_srv_send | Action.C_srv_deliver -> false
+
+let diag check ~subject fmt = Diag.vf ~pass:"wiring" ~check ~subject fmt
+
+(* -- Static pass --------------------------------------------------------- *)
+
+let static ~universe (comps : Component.packed list) : Diag.t list =
+  let comps = Array.of_list comps in
+  let names = Array.map Component.name comps in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* A component that statically emits nothing is a pure observer. *)
+  let observer =
+    Array.map
+      (fun c -> List.for_all (fun a -> not (Component.emits c a)) universe)
+      comps
+  in
+  List.iter
+    (fun a ->
+      let subject = Action.to_string a in
+      let writers = ref [] in
+      Array.iteri (fun i c -> if Component.emits c a then writers := i :: !writers) comps;
+      let writers = List.rev !writers in
+      (match writers with
+      | _ :: _ :: _ ->
+          add
+            (diag "multi-writer" ~subject "emitted by %s (want a single writer per %s at %a)"
+               (String.concat " and " (List.map (fun i -> names.(i)) writers))
+               (Action.category_to_string (Action.category a))
+               Proc.pp (Action.locus a))
+      | _ -> ());
+      if not (env_category (Action.category a)) then
+        List.iter
+          (fun w ->
+            let accepted =
+              Array.exists Fun.id
+                (Array.mapi (fun i c -> i <> w && Component.accepts c a) comps)
+            in
+            if not accepted then
+              add
+                (diag "dangling-output" ~subject
+                   "output of %s but no other component accepts it" names.(w)))
+          writers;
+      Array.iteri
+        (fun i c ->
+          if
+            (not observer.(i))
+            && (Component.accepts c a || Component.emits c a)
+            && Vsgc_ioa.Footprint.is_empty (Component.footprint c a)
+          then
+            add
+              (diag "footprint-gap" ~subject
+                 "%s participates but declares an empty footprint" names.(i)))
+        comps)
+    universe;
+  Array.iteri
+    (fun i c ->
+      if observer.(i) then
+        match List.find_opt (fun a -> not (Component.accepts c a)) universe with
+        | Some a ->
+            add
+              (diag "partial-observer" ~subject:names.(i)
+                 "emits nothing (an observer) yet rejects %a" Action.pp a)
+        | None -> ())
+    comps;
+  List.rev !diags
+
+(* -- Dynamic pass -------------------------------------------------------- *)
+
+(* Check every enabled candidate of the current state against its
+   owner's declared signature, then take one seeded scheduler step;
+   repeat. Duplicate findings (same owner, same action) are reported
+   once. *)
+let dynamic ?(steps = 500) (exec : Executor.t) : Diag.t list =
+  let comps = Executor.components exec in
+  let seen = Hashtbl.create 16 in
+  let diags = ref [] in
+  let check () =
+    List.iter
+      (fun (i, a) ->
+        if not (Component.emits comps.(i) a) then begin
+          let key = (i, Action.to_string a) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            diags :=
+              diag "emits-unsound" ~subject:(Action.to_string a)
+                "enabled output of %s outside its declared static signature"
+                (Component.name comps.(i))
+              :: !diags
+          end
+        end)
+      (Executor.candidates exec)
+  in
+  check ();
+  let budget = ref steps in
+  while !budget > 0 && Executor.step exec do
+    check ();
+    decr budget
+  done;
+  List.rev !diags
+
+(* -- Drivers for the shipped compositions -------------------------------- *)
+
+module System = Vsgc_harness.System
+module Server_system = Vsgc_harness.Server_system
+module Sysconf = Vsgc_explore.Sysconf
+
+let drain sys = ignore (System.run ~max_steps:5_000 sys)
+
+(* Lint one Sysconf layer: the static pass over the built composition,
+   then the dynamic pass along a scripted reconfiguration with traffic,
+   a partial change, and a crash/recovery — the scenario shapes that
+   exercise every branch of every [outputs]. Monitors stay off: the
+   linter checks wiring, not the algorithm (the sub-`Full layers are
+   deliberately incomplete algorithms whose oracles may fire). *)
+let layer ?(n = 3) (l : Vsgc_core.Endpoint.layer) : Diag.t list =
+  let conf = Sysconf.make ~n ~layer:l () in
+  let sys =
+    System.create ~seed:conf.Sysconf.seed ~n:conf.Sysconf.n
+      ~layer:conf.Sysconf.layer ~monitors:`None ()
+  in
+  let comps = Array.to_list (Executor.components (System.exec sys)) in
+  let static_diags = static ~universe:(Universe.actions ~n ()) comps in
+  let exec = System.exec sys in
+  let all = Proc.Set.of_range 0 (n - 1) in
+  let dynamic_diags = ref [] in
+  let collect ?steps () = dynamic_diags := !dynamic_diags @ dynamic ?steps exec in
+  ignore (System.reconfigure sys ~set:all);
+  collect ();
+  System.send sys 0 "vet-a";
+  System.send sys 1 "vet-b";
+  ignore (System.start_change sys ~set:(Proc.Set.remove (n - 1) all));
+  collect ();
+  ignore (System.deliver_view ~origin:1 sys ~set:(Proc.Set.remove (n - 1) all));
+  collect ();
+  System.crash sys (n - 1);
+  System.recover sys (n - 1);
+  ignore (System.reconfigure ~origin:2 sys ~set:all);
+  collect ();
+  drain sys;
+  static_diags @ !dynamic_diags
+
+(* Lint the client-server membership stack (Figure 1): servers and
+   their transport replace the oracle; the universe gains the server
+   vocabulary. *)
+let server_stack ?(n_clients = 4) ?(n_servers = 2) () : Diag.t list =
+  let t = Server_system.create ~n_clients ~n_servers ~monitors:`None () in
+  let sys = Server_system.sys t in
+  let comps = Array.to_list (Executor.components (System.exec sys)) in
+  let static_diags =
+    static ~universe:(Universe.actions ~n:n_clients ~n_servers ()) comps
+  in
+  let exec = System.exec sys in
+  Server_system.bootstrap t;
+  let d1 = dynamic exec in
+  Server_system.fd_change t ~perceived:(Server.Set.of_range 0 (n_servers - 1));
+  Server_system.leave t (n_clients - 1);
+  Server_system.join t (n_clients - 1);
+  let d2 = dynamic exec in
+  drain sys;
+  static_diags @ d1 @ d2

@@ -1,0 +1,221 @@
+(* The schedule/corpus checker (vet pass 3).
+
+   Regression schedules under test/corpus/ are replayed by CI against
+   freshly built systems, so a schedule that drifted out of the layer's
+   action signature fails late and confusingly (an unmatched Choose at
+   replay time) or, worse, silently validates nothing. This pass checks
+   each schedule STATICALLY against the signature of its declared
+   configuration:
+
+   - every Choose key must parse as a known action shape (classified by
+     the stable pp prefixes the schedules serialize);
+   - the action must belong to the layer: block/block_ok only at
+     `Full; sync/sync_batch/fwd wire traffic only above `Wv; no server
+     vocabulary in any Sysconf (oracle-driven) schedule;
+   - loci must be in range: processes < n, owner index < 2n+2 (the
+     corfifo + oracle + n end-points + n clients composition);
+   - environment operations must also target processes < n. *)
+
+module Schedule = Vsgc_explore.Schedule
+module Sysconf = Vsgc_explore.Sysconf
+
+let diag check ~subject fmt = Diag.vf ~pass:"sched" ~check ~subject fmt
+
+(* -- Choose-key classification ------------------------------------------- *)
+
+type wire_kind = W_view_msg | W_app | W_fwd | W_sync | W_sync_batch | W_bsync | W_unknown
+
+(* Action shapes, recovered from Action.pp's stable prefixes. Only the
+   layer- and range-relevant structure is parsed; payloads are opaque. *)
+type shape =
+  | App_send of int
+  | App_deliver of int * int
+  | App_view of int
+  | Block of int
+  | Block_ok of int
+  | Mb of int  (* mbrshp.start_change / mbrshp.view *)
+  | Rf_send of int * wire_kind
+  | Rf_deliver of int * int * wire_kind
+  | Rf_reliable of int
+  | Rf_live of int
+  | Rf_lose of int * int
+  | Crash of int
+  | Recover of int
+  | Server_action  (* srv.*, fd_change, join, leave *)
+  | Unknown
+
+let prefixed ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* The integer right after [prefix], read up to the first non-digit. *)
+let int_after s prefix =
+  let i = String.length prefix in
+  let j = ref i in
+  while !j < String.length s && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+  if !j = i then None else int_of_string_opt (String.sub s i (!j - i))
+
+(* "<prefix><a>,p<b>..." — the two process ids of a pairwise action. *)
+let pair_after s prefix =
+  match int_after s prefix with
+  | None -> None
+  | Some a -> (
+      let at = String.length prefix + String.length (string_of_int a) in
+      let rest = String.sub s at (String.length s - at) in
+      match int_after rest ",p" with Some b -> Some (a, b) | None -> None)
+
+let wire_kind_of payload =
+  if prefixed ~prefix:"view_msg(" payload then W_view_msg
+  else if prefixed ~prefix:"app(" payload then W_app
+  else if prefixed ~prefix:"fwd(" payload then W_fwd
+  else if prefixed ~prefix:"sync_batch[" payload then W_sync_batch
+  else if prefixed ~prefix:"bsync(" payload then W_bsync
+  else if prefixed ~prefix:"sync(" payload then W_sync
+  else W_unknown
+
+(* The wire payload: co_rfifo.send_pN({set},WIRE) — after the first
+   "},"; co_rfifo.deliver_{pA,pB}(WIRE) — after the first '('. *)
+let send_payload s =
+  let rec find i =
+    if i + 1 >= String.length s then ""
+    else if s.[i] = '}' && s.[i + 1] = ',' then
+      String.sub s (i + 2) (String.length s - i - 2)
+    else find (i + 1)
+  in
+  find 0
+
+let deliver_payload s =
+  match String.index_opt s '(' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> ""
+
+let classify (key : string) : shape =
+  let s = try Scanf.unescaped key with Scanf.Scan_failure _ -> key in
+  let p1 prefix mk = match int_after s prefix with Some p -> mk p | None -> Unknown in
+  let p2 prefix mk = match pair_after s prefix with Some pq -> mk pq | None -> Unknown in
+  if prefixed ~prefix:"send_p" s then p1 "send_p" (fun p -> App_send p)
+  else if prefixed ~prefix:"deliver_p" s then
+    p2 "deliver_p" (fun (p, q) -> App_deliver (p, q))
+  else if prefixed ~prefix:"view_p" s then p1 "view_p" (fun p -> App_view p)
+  else if prefixed ~prefix:"block_ok_p" s then p1 "block_ok_p" (fun p -> Block_ok p)
+  else if prefixed ~prefix:"block_p" s then p1 "block_p" (fun p -> Block p)
+  else if prefixed ~prefix:"crash_p" s then p1 "crash_p" (fun p -> Crash p)
+  else if prefixed ~prefix:"recover_p" s then p1 "recover_p" (fun p -> Recover p)
+  else if prefixed ~prefix:"mbrshp.start_change_p" s then
+    p1 "mbrshp.start_change_p" (fun p -> Mb p)
+  else if prefixed ~prefix:"mbrshp.view_p" s then p1 "mbrshp.view_p" (fun p -> Mb p)
+  else if prefixed ~prefix:"co_rfifo.send_p" s then
+    p1 "co_rfifo.send_p" (fun p -> Rf_send (p, wire_kind_of (send_payload s)))
+  else if prefixed ~prefix:"co_rfifo.deliver_{p" s then
+    p2 "co_rfifo.deliver_{p" (fun (p, q) ->
+        Rf_deliver (p, q, wire_kind_of (deliver_payload s)))
+  else if prefixed ~prefix:"co_rfifo.reliable_p" s then
+    p1 "co_rfifo.reliable_p" (fun p -> Rf_reliable p)
+  else if prefixed ~prefix:"co_rfifo.live_p" s then
+    p1 "co_rfifo.live_p" (fun p -> Rf_live p)
+  else if prefixed ~prefix:"co_rfifo.lose(p" s then
+    p2 "co_rfifo.lose(p" (fun (p, q) -> Rf_lose (p, q))
+  else if
+    prefixed ~prefix:"srv." s
+    || prefixed ~prefix:"fd_change_s" s
+    || prefixed ~prefix:"join(p" s
+    || prefixed ~prefix:"leave(p" s
+  then Server_action
+  else Unknown
+
+(* -- Per-schedule checks ------------------------------------------------- *)
+
+let check_sched (sched : Schedule.t) : Diag.t list =
+  let conf = sched.Schedule.conf in
+  let n = conf.Sysconf.n in
+  let layer = conf.Sysconf.layer in
+  let n_comps = (2 * n) + 2 in
+  let subject = sched.Schedule.name in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let check_proc what p =
+    if p < 0 || p >= n then
+      add (diag "locus-range" ~subject "%s targets p%d but n = %d" what p n)
+  in
+  let check_env (op : Schedule.env_op) =
+    match op with
+    | Schedule.Reconfigure { set; _ }
+    | Schedule.Start_change set
+    | Schedule.Deliver_view { set; _ } ->
+        Vsgc_types.Proc.Set.iter (check_proc "env op") set
+    | Schedule.Send { from; _ } -> check_proc "env send" from
+    | Schedule.Crash p -> check_proc "env crash" p
+    | Schedule.Recover p -> check_proc "env recover" p
+  in
+  let wire_ok = function
+    | W_sync | W_sync_batch | W_fwd -> layer <> `Wv
+    | W_view_msg | W_app | W_bsync -> true
+    | W_unknown -> false
+  in
+  let check_choose ~owner ~key =
+    if owner < 0 || owner >= n_comps then
+      add
+        (diag "owner-range" ~subject
+           "choose owner %d out of range (composition has %d components)" owner
+           n_comps);
+    match classify key with
+    | Unknown ->
+        add (diag "unknown-action" ~subject "unrecognized choose key %S" key)
+    | Server_action ->
+        add
+          (diag "layer-mismatch" ~subject
+             "server-stack action %S in an oracle-driven schedule" key)
+    | Block p | Block_ok p ->
+        check_proc "choose" p;
+        if layer <> `Full then
+          add
+            (diag "layer-mismatch" ~subject
+               "blocking action %S below the full layer (%s)" key
+               (Sysconf.layer_to_string layer))
+    | Rf_send (p, k) ->
+        check_proc "choose" p;
+        if not (wire_ok k) then
+          add
+            (diag "layer-mismatch" ~subject
+               "wire payload of %S out of layer %s" key
+               (Sysconf.layer_to_string layer))
+    | Rf_deliver (p, q, k) ->
+        check_proc "choose" p;
+        check_proc "choose" q;
+        if not (wire_ok k) then
+          add
+            (diag "layer-mismatch" ~subject
+               "wire payload of %S out of layer %s" key
+               (Sysconf.layer_to_string layer))
+    | App_send p | App_view p | Rf_reliable p | Rf_live p | Crash p | Recover p
+    | Mb p ->
+        check_proc "choose" p
+    | App_deliver (p, q) | Rf_lose (p, q) ->
+        check_proc "choose" p;
+        check_proc "choose" q
+  in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      match e with
+      | Schedule.Env op -> check_env op
+      | Schedule.Run _ | Schedule.Settle -> ()
+      | Schedule.Choose { owner; key } -> check_choose ~owner ~key)
+    sched.Schedule.entries;
+  List.rev !diags
+
+let check_file path : Diag.t list =
+  match Schedule.load path with
+  | sched -> check_sched sched
+  | exception Schedule.Parse_error m -> [ diag "parse-error" ~subject:path "%s" m ]
+  | exception Sys_error m -> [ diag "parse-error" ~subject:path "%s" m ]
+
+(* Check every *.sched under [dir]. *)
+let check_dir dir : Diag.t list =
+  match Sys.readdir dir with
+  | files ->
+      Array.sort String.compare files;
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".sched")
+      |> List.concat_map (fun f -> check_file (Filename.concat dir f))
+  | exception Sys_error m ->
+      [ diag "parse-error" ~subject:dir "cannot read corpus directory: %s" m ]

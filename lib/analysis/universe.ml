@@ -1,0 +1,105 @@
+(* A finite, representative action universe for the static vet passes.
+
+   The static signatures (accepts, emits, footprint) are parametric in
+   message contents: every component dispatches on the constructor, the
+   loci, and — for [Rf_send]/[Rf_deliver] — the wire-message kind,
+   never on payloads or identifiers. One representative action per
+   (category, locus tuple, wire kind) therefore drives every branch of
+   every signature, which is what lets a check over this finite set
+   stand for the infinite action vocabulary. *)
+
+open Vsgc_types
+
+let msg = Msg.App_msg.make "vet"
+
+let procs n = List.init n (fun p -> p)
+
+(* A plausible non-initial view over all of 0..n-1. *)
+let view ~n =
+  let set = Proc.Set.of_range 0 (n - 1) in
+  let start_ids =
+    Proc.Set.fold
+      (fun p acc -> Proc.Map.add p (View.Sc_id.succ View.Sc_id.zero) acc)
+      set Proc.Map.empty
+  in
+  View.make ~id:(View.Id.make ~num:1 ~origin:0) ~set ~start_ids
+
+(* One wire message per kind. *)
+let wires ~n : Msg.Wire.t list =
+  let v = view ~n in
+  let cid = View.Sc_id.succ View.Sc_id.zero in
+  [
+    Msg.Wire.View_msg v;
+    Msg.Wire.App msg;
+    Msg.Wire.Fwd { origin = 0; view = v; index = 1; msg };
+    Msg.Wire.Sync { cid; view = v; cut = Msg.Cut.empty };
+    Msg.Wire.Sync_batch [ { Msg.Wire.origin = 0; cid; sview = v; cut = Msg.Cut.empty } ];
+    Msg.Wire.Bsync { vid = View.Id.make ~num:1 ~origin:0; view = v; cut = Msg.Cut.empty };
+  ]
+
+let srv_msgs ~n ~n_servers : Srv_msg.t list =
+  [
+    Srv_msg.Proposal
+      {
+        round = 1;
+        from = Server.of_int 0;
+        servers = Server.Set.of_range 0 (n_servers - 1);
+        clients = Proc.Map.empty;
+        members = Proc.Set.of_range 0 (n - 1);
+        max_vid = View.Id.zero;
+      };
+    Srv_msg.Commit (view ~n);
+  ]
+
+(* The universe for a composition over processes 0..n-1 and (when
+   [n_servers] > 0) servers 0..n_servers-1. *)
+let actions ?(n_servers = 0) ~n () : Action.t list =
+  let v = view ~n in
+  let all = Proc.Set.of_range 0 (n - 1) in
+  let cid = View.Sc_id.succ View.Sc_id.zero in
+  let acc = ref [] in
+  let add a = acc := a :: !acc in
+  List.iter
+    (fun p ->
+      add (Action.App_send (p, msg));
+      add (Action.Block p);
+      add (Action.Block_ok p);
+      add (Action.Crash p);
+      add (Action.Recover p);
+      add (Action.Mb_start_change (p, cid, all));
+      add (Action.Mb_view (p, v));
+      add (Action.Rf_reliable (p, all));
+      add (Action.Rf_live (p, all));
+      add (Action.App_view (p, v, all));
+      add (Action.App_view (p, v, Proc.Set.empty));
+      List.iter (fun w -> add (Action.Rf_send (p, all, w))) (wires ~n);
+      List.iter
+        (fun q ->
+          add (Action.App_deliver (p, q, msg));
+          add (Action.Rf_lose (p, q));
+          List.iter (fun w -> add (Action.Rf_deliver (p, q, w))) (wires ~n))
+        (procs n))
+    (procs n);
+  if n_servers > 0 then begin
+    let all_servers = Server.Set.of_range 0 (n_servers - 1) in
+    List.iter
+      (fun s ->
+        let s = Server.of_int s in
+        add (Action.Fd_change (s, all_servers));
+        List.iter
+          (fun p ->
+            add (Action.Client_join (p, s));
+            add (Action.Client_leave (p, s)))
+          (procs n);
+        List.iter
+          (fun s' ->
+            let s' = Server.of_int s' in
+            List.iter
+              (fun m ->
+                add (Action.Srv_send (s, s', m));
+                add (Action.Srv_deliver (s, s', m)))
+              (srv_msgs ~n ~n_servers))
+          (procs n_servers))
+      (procs n_servers)
+  end;
+  List.rev !acc

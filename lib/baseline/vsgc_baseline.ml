@@ -249,6 +249,31 @@ let apply st (a : Action.t) =
           lift st (fun w -> Wv.view_effect w v)
       | _ -> st)
 
+(* End-point-role component: co-located at p (same cell as the client
+   and the real end-point tower it replaces). *)
+let footprint p (a : Action.t) =
+  let open Vsgc_ioa.Footprint in
+  match a with
+  | Action.App_send (q, _) | Action.Block_ok q | Action.Mb_start_change (q, _, _)
+  | Action.Mb_view (q, _) | Action.Crash q | Action.Recover q
+  | Action.Rf_reliable (q, _) | Action.Rf_send (q, _, _)
+  | Action.App_deliver (q, _, _) | Action.App_view (q, _, _) | Action.Block q
+    when Proc.equal p q -> rw [ Proc_state p ]
+  | Action.Rf_deliver (_, q, _) when Proc.equal p q -> rw [ Proc_state p ]
+  | _ -> empty
+
+let emits p (a : Action.t) =
+  match a with
+  | Action.Rf_reliable (q, _) | Action.App_deliver (q, _, _)
+  | Action.App_view (q, _, _) | Action.Block q -> Proc.equal p q
+  | Action.Rf_send (q, _, w) -> (
+      Proc.equal p q
+      &&
+      match Msg.Wire.kind w with
+      | Msg.Wire.K_view_msg | Msg.Wire.K_app | Msg.Wire.K_bsync -> true
+      | Msg.Wire.K_sync | Msg.Wire.K_sync_batch | Msg.Wire.K_fwd -> false)
+  | _ -> false
+
 let def p : t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "baseline_%a" Proc.pp p;
@@ -256,6 +281,8 @@ let def p : t Vsgc_ioa.Component.def =
     accepts = accepts p;
     outputs;
     apply;
+    footprint = footprint p;
+    emits = emits p;
   }
 
 let component p =

@@ -87,6 +87,21 @@ let apply t (a : Action.t) =
     | Action.Crash _ -> { t with crashed = true }
     | _ -> t
 
+(* The client's whole state is co-located with its end-point at me:
+   both live in the Proc_state me cell. *)
+let footprint me (a : Action.t) =
+  let open Vsgc_ioa.Footprint in
+  match a with
+  | Action.App_send (p, _) | Action.Block_ok p | Action.App_deliver (p, _, _)
+  | Action.App_view (p, _, _) | Action.Block p | Action.Crash p | Action.Recover p
+    when Proc.equal p me -> rw [ Proc_state me ]
+  | _ -> empty
+
+let emits me (a : Action.t) =
+  match a with
+  | Action.App_send (p, _) | Action.Block_ok p -> Proc.equal p me
+  | _ -> false
+
 let def me : t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "client_%a" Proc.pp me;
@@ -94,6 +109,8 @@ let def me : t Vsgc_ioa.Component.def =
     accepts = accepts me;
     outputs;
     apply;
+    footprint = footprint me;
+    emits = emits me;
   }
 
 let component ?send_while_requested me =

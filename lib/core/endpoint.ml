@@ -148,6 +148,38 @@ let apply st (a : Action.t) =
         lift_wv st (fun w -> Wv_rfifo.view_effect w v)
     | _ -> st
 
+(* Everything the end-point tower at p reads or writes is co-located at
+   p: its share of any of its actions (inputs and outputs alike) is the
+   Proc_state p cell. *)
+let footprint p (a : Action.t) =
+  let open Vsgc_ioa.Footprint in
+  match a with
+  | Action.App_send (q, _) | Action.Block_ok q | Action.Mb_start_change (q, _, _)
+  | Action.Mb_view (q, _) | Action.Crash q | Action.Recover q
+  | Action.Rf_reliable (q, _) | Action.Rf_send (q, _, _)
+  | Action.App_deliver (q, _, _) | Action.App_view (q, _, _) | Action.Block q
+    when Proc.equal p q -> rw [ Proc_state p ]
+  | Action.Rf_deliver (_, q, _) when Proc.equal p q -> rw [ Proc_state p ]
+  | _ -> empty
+
+(* Static output signature, by inheritance layer: synchronization
+   traffic (Sync, Sync_batch, Fwd) appears from `Vs up, the blocking
+   protocol's block() only at `Full. *)
+let emits ~layer p (a : Action.t) =
+  match a with
+  | Action.Rf_reliable (q, _) | Action.App_deliver (q, _, _)
+  | Action.App_view (q, _, _) -> Proc.equal p q
+  | Action.Block q -> layer = `Full && Proc.equal p q
+  | Action.Rf_send (q, _, w) ->
+      Proc.equal p q
+      && (match (Msg.Wire.kind w, layer) with
+         | (Msg.Wire.K_view_msg | Msg.Wire.K_app), _ -> true
+         | (Msg.Wire.K_sync | Msg.Wire.K_sync_batch | Msg.Wire.K_fwd), (`Vs | `Full)
+           -> true
+         | (Msg.Wire.K_sync | Msg.Wire.K_sync_batch | Msg.Wire.K_fwd), `Wv -> false
+         | Msg.Wire.K_bsync, _ -> false)
+  | _ -> false
+
 let def ?strategy ?gc ?compact_sync ?hierarchy ?mutation ?(layer = `Full) p :
     t Vsgc_ioa.Component.def =
   {
@@ -156,6 +188,8 @@ let def ?strategy ?gc ?compact_sync ?hierarchy ?mutation ?(layer = `Full) p :
     accepts = accepts p;
     outputs;
     apply;
+    footprint = footprint p;
+    emits = emits ~layer p;
   }
 
 let component ?strategy ?gc ?compact_sync ?hierarchy ?mutation ?layer p =

@@ -105,8 +105,29 @@ let apply st (a : Action.t) =
         live = Proc.Map.add p Proc.Set.empty st.live }
   | _ -> st
 
+(* CO_RFIFO's share of each action. Delivery and loss are gated by the
+   sender's live/reliable sets, so they read Net_ctl as well as the
+   channel they pop; the membership actions write Net_ctl because
+   Figure 8 links them with live_p; crash wipes every channel into the
+   crashed process plus its Net_ctl entry. *)
+let footprint (a : Action.t) =
+  let open Vsgc_ioa.Footprint in
+  match a with
+  | Action.Rf_send (p, set, _) ->
+      make ~writes:(Proc.Set.fold (fun q acc -> Channel (p, q) :: acc) set []) ()
+  | Action.Rf_deliver (p, q, _) | Action.Rf_lose (p, q) ->
+      make ~reads:[ Net_ctl p; Channel (p, q) ] ~writes:[ Channel (p, q) ] ()
+  | Action.Rf_reliable (p, _) | Action.Rf_live (p, _)
+  | Action.Mb_start_change (p, _, _) | Action.Mb_view (p, _) ->
+      make ~writes:[ Net_ctl p ] ()
+  | Action.Crash p -> make ~writes:[ Channels_to p; Net_ctl p ] ()
+  | _ -> empty
+
+let emits (a : Action.t) =
+  match a with Action.Rf_deliver _ | Action.Rf_lose _ -> true | _ -> false
+
 let def : state Vsgc_ioa.Component.def =
-  { name = "co_rfifo"; init = initial; accepts; outputs; apply }
+  { name = "co_rfifo"; init = initial; accepts; outputs; apply; footprint; emits }
 
 (* Build the component together with a typed handle on its state, for
    invariant checkers and Sync_runner budgets. *)

@@ -14,10 +14,13 @@
    sibling action [a] has been fully explored at a node, [a] is added
    to the sleep set of the node's remaining children and stays asleep
    as long as every action taken commutes with it. Independence is
-   deliberately conservative: two [Rf_deliver]s at distinct receivers
-   touch disjoint channel suffixes and disjoint endpoint state, so
-   exploring both orders of such a pair is provably redundant; every
-   other pair is treated as dependent.
+   derived from the components' declared read/write footprints
+   ({!Vsgc_ioa.Footprint}): two actions commute when, summed over every
+   component of the configuration, neither one's writes interfere with
+   the other's reads or writes. This subsumes the historical hand-coded
+   relation (deliveries at distinct receivers) and additionally sleeps
+   e.g. [App_send]s at distinct processes and [Srv_deliver]s at
+   distinct servers.
 
    At each leaf (and at nodes with no enabled candidates) the explorer
    optionally probes completion: a seeded run to quiescence plus the
@@ -54,19 +57,20 @@ let pp_report ppf r =
     r.states r.sleep_skips
 
 (* Two actions commute when neither can enable, disable, or change the
-   effect of the other. Conservative: only deliveries on disjoint
-   point-to-point channels qualify. *)
-let independent a b =
-  match (a, b) with
-  | Action.Rf_deliver (_, q, _), Action.Rf_deliver (_, q', _) ->
-      not (Vsgc_types.Proc.equal q q')
-  | _ -> false
+   effect of the other. The relation is derived from the declared
+   footprints of one freshly built instance of the configuration;
+   footprints are static per action, so the instance's state never
+   matters and the relation is valid at every node of the tree. *)
+let independence conf =
+  let sys = Sysconf.build conf in
+  Executor.independence (System.exec sys)
 
 exception Stop of Schedule.t * Replay.violation
 exception Budget
 
 let explore ?(depth = 4) ?(max_runs = 10_000) ?(probe = true) (sched : Schedule.t) =
   let runs = ref 0 and states = ref 0 and sleep_skips = ref 0 in
+  let independent = independence sched.Schedule.conf in
   let prefix = sched.Schedule.entries in
   (* Entries reaching the current node, newest first. *)
   let found path v =

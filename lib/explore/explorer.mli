@@ -2,8 +2,8 @@
 
     Replays a schedule as a driving prefix, then enumerates every
     interleaving of the enabled locally-controlled actions up to a
-    depth bound, pruning provably commuting delivery orders (deliveries
-    at distinct receivers) with sleep sets. Backtracking is
+    depth bound, pruning provably commuting orders with sleep sets
+    driven by the footprint-derived independence relation. Backtracking is
     replay-based — rebuild from {!Sysconf} + re-run prefix and path —
     which is also exactly how a finding is later reproduced from its
     saved schedule. Every explored state is watched by the full oracle
@@ -28,9 +28,13 @@ type report = {
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_report : Format.formatter -> report -> unit
 
-val independent : Vsgc_types.Action.t -> Vsgc_types.Action.t -> bool
-(** Conservative commutation check used by the reduction: true only
-    for deliveries at distinct receivers. *)
+val independence : Sysconf.t -> Vsgc_types.Action.t -> Vsgc_types.Action.t -> bool
+(** [independence conf] is the commutation check used by the reduction
+    for systems built from [conf]: two actions are independent when,
+    over the declared footprints of every component of the
+    configuration, neither one's writes interfere with the other's
+    reads or writes. Memoized per action; building the relation costs
+    one [Sysconf.build]. *)
 
 val explore : ?depth:int -> ?max_runs:int -> ?probe:bool -> Schedule.t -> report
 (** [explore sched] uses [sched.entries] as the driving prefix;

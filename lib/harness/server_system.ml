@@ -50,6 +50,7 @@ let create ?seed ?weights ?strategy ?layer ?monitors ?send_while_requested
 
 let sys t = t.sys
 let server t s = Server.Map.find s t.servers
+let srv_net t = t.srv_net
 
 (* Kick every server's failure detector with the full server set —
    triggers the initial view agreement. *)

@@ -24,6 +24,7 @@ val create :
 
 val sys : t -> System.t
 val server : t -> Server.t -> Vsgc_mbrshp.Servers.t ref
+val srv_net : t -> Vsgc_mbrshp.Srv_net.state ref
 val server_of : t -> Proc.t -> Server.t
 
 val bootstrap : t -> unit

@@ -5,7 +5,13 @@
    the locally-controlled actions enabled in the current state (each is
    its own task, matching the paper's fairness partition); [accepts]
    describes its input signature; [apply] performs the transition
-   effect, for inputs and for the component's own outputs alike. *)
+   effect, for inputs and for the component's own outputs alike.
+
+   Two static declarations ride along for the vet passes and the
+   explorer's partial-order reduction: [footprint] gives the per-action
+   read/write footprint of this component's share of the joint step,
+   and [emits] over-approximates the output signature — it must return
+   true for every action [outputs] could ever produce, in any state. *)
 
 open Vsgc_types
 
@@ -15,7 +21,23 @@ type 's def = {
   accepts : Action.t -> bool;
   outputs : 's -> Action.t list;
   apply : 's -> Action.t -> 's;
+  footprint : Action.t -> Footprint.t;
+  emits : Action.t -> bool;
 }
+
+(* Convenience constructor: the declarations default to the sound
+   coarse ones (footprint interfering with everything, output signature
+   covering everything), which ad-hoc test components can live with. *)
+let make ?footprint ?emits ~name ~init ~accepts ~outputs ~apply () =
+  {
+    name;
+    init;
+    accepts;
+    outputs;
+    apply;
+    footprint = (match footprint with Some f -> f | None -> Footprint.coarse name);
+    emits = (match emits with Some f -> f | None -> fun _ -> true);
+  }
 
 (* A component packed with its mutable current state, so that
    heterogeneous components compose into one system. The [state] ref is
@@ -35,7 +57,21 @@ let accepts (Packed (d, _)) a = d.accepts a
 
 let apply (Packed (d, s)) a = s := d.apply !s a
 
+let footprint (Packed (d, _)) a = d.footprint a
+
+let emits (Packed (d, _)) a = d.emits a
+
 (* A purely reactive observer: accepts everything, outputs nothing.
-   Used to turn trace monitors into components when convenient. *)
+   Like the trace monitors it stands in for, an observer is an oracle
+   outside the composition's state — its private log is deliberately
+   excluded from the footprint, exactly as monitor state is. *)
 let observer ~name ~init ~apply =
-  { name; init; accepts = (fun _ -> true); outputs = (fun _ -> []); apply }
+  {
+    name;
+    init;
+    accepts = (fun _ -> true);
+    outputs = (fun _ -> []);
+    apply;
+    footprint = (fun _ -> Footprint.empty);
+    emits = (fun _ -> false);
+  }

@@ -17,7 +17,29 @@ type 's def = {
   apply : 's -> Action.t -> 's;
       (** the transition effect — for accepted inputs and for the
           component's own outputs alike *)
+  footprint : Action.t -> Footprint.t;
+      (** this component's share of the joint step: reads must cover
+          everything enabledness and effect depend on, writes
+          everything the effect may change; {!Footprint.empty} for
+          actions the component neither accepts nor outputs *)
+  emits : Action.t -> bool;
+      (** static output signature: must hold for every action [outputs]
+          could ever produce, in any state (an over-approximation) *)
 }
+
+val make :
+  ?footprint:(Action.t -> Footprint.t) ->
+  ?emits:(Action.t -> bool) ->
+  name:string ->
+  init:'s ->
+  accepts:(Action.t -> bool) ->
+  outputs:('s -> Action.t list) ->
+  apply:('s -> Action.t -> 's) ->
+  unit ->
+  's def
+(** Build a def; [footprint] defaults to the sound {!Footprint.coarse}
+    fallback and [emits] to the everything signature — fine for ad-hoc
+    test components, too weak for anything the vet passes lint. *)
 
 type packed = Packed : 's def * 's ref -> packed
 (** A component with its mutable current state, packed so that
@@ -38,9 +60,17 @@ val outputs : packed -> Action.t list
 val accepts : packed -> Action.t -> bool
 val apply : packed -> Action.t -> unit
 
+val footprint : packed -> Action.t -> Footprint.t
+(** The declared per-action footprint (state-independent). *)
+
+val emits : packed -> Action.t -> bool
+(** The declared static output signature (state-independent). *)
+
 val observer :
   name:string ->
   init:'s ->
   apply:('s -> Action.t -> 's) ->
   's def
-(** A purely reactive component: accepts everything, outputs nothing. *)
+(** A purely reactive component: accepts everything, outputs nothing.
+    Observers are oracles — their private log is excluded from the
+    footprint, exactly as trace-monitor state is. *)

@@ -53,6 +53,32 @@ let add_choice_hook t f = t.choice_hooks <- f :: t.choice_hooks
 let trace t = List.rev t.trace
 let trace_length t = t.trace_len
 
+let components t = t.components
+
+(* The composition-wide footprint of [a]: the union of every
+   component's declared share. Components unrelated to [a] contribute
+   Footprint.empty, so this is exactly the joint step's footprint. *)
+let footprint t a =
+  Array.fold_left
+    (fun acc c -> Footprint.union acc (Component.footprint c a))
+    Footprint.empty t.components
+
+(* The independence relation the declared footprints induce on this
+   composition: two actions are independent when their composition-wide
+   footprints do not interfere. The relation is state-independent (it
+   depends only on the component set), so it is memoized per action. *)
+let independence t =
+  let cache : (Action.t, Footprint.t) Hashtbl.t = Hashtbl.create 64 in
+  let fp a =
+    match Hashtbl.find_opt cache a with
+    | Some f -> f
+    | None ->
+        let f = footprint t a in
+        Hashtbl.add cache a f;
+        f
+  in
+  fun a b -> Footprint.independent (fp a) (fp b)
+
 (* All enabled locally-controlled actions, tagged with owner index. *)
 let candidates t =
   let acc = ref [] in

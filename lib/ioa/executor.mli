@@ -46,6 +46,19 @@ val trace : t -> Action.t list
 
 val trace_length : t -> int
 
+val components : t -> Component.packed array
+(** The composition, in owner-index order (shared, not a copy). *)
+
+val footprint : t -> Action.t -> Footprint.t
+(** The composition-wide footprint of an action: the union of every
+    component's declared share of the joint step. *)
+
+val independence : t -> Action.t -> Action.t -> bool
+(** The independence relation the declared footprints induce on this
+    composition (memoized; state-independent). Independent actions
+    commute: performing them in either order reaches the same state,
+    and neither enables or disables the other. *)
+
 val candidates : t -> (int * Action.t) list
 (** All enabled locally-controlled actions, tagged with owner index. *)
 

@@ -1,0 +1,96 @@
+(* Static read/write footprints for composed-system actions.
+
+   Each component declares, per action, which abstract state locations
+   the joint step touches from its point of view: its reads must cover
+   everything its enabledness and effect depend on, its writes
+   everything its effect may change. The union over a composition is a
+   sound over-approximation of the whole step's footprint, and two
+   actions whose footprints do not interfere (no write against the
+   other's reads or writes) commute: neither can enable, disable, or
+   change the effect of the other. The explorer's sleep-set reduction
+   and the vet wiring pass both consume these declarations. *)
+
+open Vsgc_types
+
+type loc =
+  | Proc_state of Proc.t
+      (* all automaton state co-located at process p: end-point tower +
+         application client (they always step together on p's actions) *)
+  | Server_state of Server.t  (* a membership server's local state *)
+  | Channel of Proc.t * Proc.t  (* the CO_RFIFO stream p -> q *)
+  | Channels_to of Proc.t
+      (* every CO_RFIFO stream with receiver p (crash wipes them all) *)
+  | Net_ctl of Proc.t
+      (* CO_RFIFO's reliable/live bookkeeping for sender p — read by
+         the delivery/lose gates, written by reliable/live/mbrshp/crash *)
+  | Srv_channel of Server.t * Server.t  (* the server transport s -> s' *)
+  | Mb_queue of Proc.t
+      (* the membership service's pending event queue toward client p *)
+  | Global of string
+      (* a named catch-all that interferes with everything — the
+         conservative fallback for undeclared components *)
+
+let pp_loc ppf = function
+  | Proc_state p -> Fmt.pf ppf "proc(%a)" Proc.pp p
+  | Server_state s -> Fmt.pf ppf "server(%a)" Server.pp s
+  | Channel (p, q) -> Fmt.pf ppf "chan(%a->%a)" Proc.pp p Proc.pp q
+  | Channels_to p -> Fmt.pf ppf "chan(*->%a)" Proc.pp p
+  | Net_ctl p -> Fmt.pf ppf "netctl(%a)" Proc.pp p
+  | Srv_channel (s, s') -> Fmt.pf ppf "srvchan(%a->%a)" Server.pp s Server.pp s'
+  | Mb_queue p -> Fmt.pf ppf "mbq(%a)" Proc.pp p
+  | Global s -> Fmt.pf ppf "global(%s)" s
+
+(* Two locations interfere when the state they denote may overlap. The
+   Global catch-all overlaps everything, and the Channels_to wildcard
+   overlaps every concrete channel with the same receiver. *)
+let loc_interferes a b =
+  match (a, b) with
+  | Global _, _ | _, Global _ -> true
+  | Proc_state p, Proc_state q -> Proc.equal p q
+  | Server_state s, Server_state s' -> Server.equal s s'
+  | Channel (p, q), Channel (p', q') -> Proc.equal p p' && Proc.equal q q'
+  | Channel (_, q), Channels_to r | Channels_to r, Channel (_, q) -> Proc.equal q r
+  | Channels_to p, Channels_to q -> Proc.equal p q
+  | Net_ctl p, Net_ctl q -> Proc.equal p q
+  | Srv_channel (s, t), Srv_channel (s', t') -> Server.equal s s' && Server.equal t t'
+  | Mb_queue p, Mb_queue q -> Proc.equal p q
+  | ( ( Proc_state _ | Server_state _ | Channel _ | Channels_to _ | Net_ctl _
+      | Srv_channel _ | Mb_queue _ ),
+      _ ) -> false
+
+type t = { reads : loc list; writes : loc list }
+
+let empty = { reads = []; writes = [] }
+let is_empty t = t.reads = [] && t.writes = []
+
+let make ?(reads = []) ?(writes = []) () = { reads; writes }
+
+(* The common case: the action both depends on and updates [locs]. *)
+let rw locs = { reads = locs; writes = locs }
+
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { reads = a.reads @ b.reads; writes = a.writes @ b.writes }
+
+let interferes locs locs' =
+  List.exists (fun l -> List.exists (loc_interferes l) locs') locs
+
+(* Independence: neither action writes anything the other reads or
+   writes. This is exactly the condition under which performing them in
+   either order yields the same state and leaves each other's
+   enabledness untouched. *)
+let independent a b =
+  (not (interferes a.writes b.writes))
+  && (not (interferes a.writes b.reads))
+  && not (interferes b.writes a.reads)
+
+(* Conservative fallback for components without real declarations:
+   every action touches one named global cell, so nothing involving
+   this component is ever reordered or pruned. *)
+let coarse name (_ : Action.t) = rw [ Global name ]
+
+let pp ppf t =
+  Fmt.pf ppf "@[r:{%a} w:{%a}@]"
+    (Fmt.list ~sep:Fmt.comma pp_loc) t.reads
+    (Fmt.list ~sep:Fmt.comma pp_loc) t.writes

@@ -1,0 +1,51 @@
+(** Static read/write footprints for composed-system actions.
+
+    A component declares, per action, the abstract state locations its
+    part of the joint step reads (everything enabledness and effect
+    depend on) and writes (everything the effect may change). Unions of
+    footprints over a composition over-approximate the whole step, and
+    {!independent} footprints commute — the soundness basis for the
+    explorer's sleep-set reduction and one of the vet passes. *)
+
+open Vsgc_types
+
+(** Abstract state locations. Distinct constructors denote disjoint
+    state except where {!loc_interferes} says otherwise ([Global]
+    overlaps everything; [Channels_to p] overlaps [Channel (_, p)]). *)
+type loc =
+  | Proc_state of Proc.t
+      (** all automaton state co-located at process [p] (end-point
+          tower + application client) *)
+  | Server_state of Server.t
+  | Channel of Proc.t * Proc.t  (** the CO_RFIFO stream p -> q *)
+  | Channels_to of Proc.t  (** every CO_RFIFO stream into p *)
+  | Net_ctl of Proc.t
+      (** CO_RFIFO's reliable/live bookkeeping for sender [p] *)
+  | Srv_channel of Server.t * Server.t
+  | Mb_queue of Proc.t
+      (** the membership service's pending queue toward client [p] *)
+  | Global of string  (** named catch-all, interferes with everything *)
+
+val loc_interferes : loc -> loc -> bool
+val pp_loc : Format.formatter -> loc -> unit
+
+type t = { reads : loc list; writes : loc list }
+
+val empty : t
+val is_empty : t -> bool
+val make : ?reads:loc list -> ?writes:loc list -> unit -> t
+
+val rw : loc list -> t
+(** [rw locs] both reads and writes [locs] — the common case. *)
+
+val union : t -> t -> t
+
+val independent : t -> t -> bool
+(** Neither footprint writes anything the other reads or writes: the
+    actions commute and cannot enable or disable each other. *)
+
+val coarse : string -> Action.t -> t
+(** A per-action footprint that maps everything to one named {!Global}
+    cell — the sound fallback for components without declarations. *)
+
+val pp : Format.formatter -> t -> unit

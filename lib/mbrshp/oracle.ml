@@ -136,8 +136,27 @@ let apply (st : state) (a : Action.t) =
       | _ -> st)
   | _ -> st
 
+(* Each queued event's emission depends on and pops exactly the pending
+   queue toward its target client. *)
+let footprint (a : Action.t) =
+  let open Vsgc_ioa.Footprint in
+  match a with
+  | Action.Mb_start_change (p, _, _) | Action.Mb_view (p, _) -> rw [ Mb_queue p ]
+  | _ -> empty
+
+let emits (a : Action.t) =
+  match a with Action.Mb_start_change _ | Action.Mb_view _ -> true | _ -> false
+
 let def : state Vsgc_ioa.Component.def =
-  { name = "mbrshp_oracle"; init = initial; accepts = (fun _ -> false); outputs; apply }
+  {
+    name = "mbrshp_oracle";
+    init = initial;
+    accepts = (fun _ -> false);
+    outputs;
+    apply;
+    footprint;
+    emits;
+  }
 
 let component () =
   let r = ref initial in

@@ -289,13 +289,44 @@ let apply st (a : Action.t) =
       | _ -> st)
   | _ -> st
 
+(* Every action this server takes part in touches its local state; the
+   client-facing membership events additionally touch the pending queue
+   toward that client. The footprint claims Mb_queue for ANY client —
+   attachment is dynamic (Client_join may bring in new clients), so the
+   conservative claim keeps the independence relation sound under
+   migration. *)
+let footprint me (a : Action.t) =
+  let open Vsgc_ioa.Footprint in
+  match a with
+  | Action.Fd_change (s, _) when Server.equal s me -> rw [ Server_state me ]
+  | (Action.Client_join (_, s) | Action.Client_leave (_, s)) when Server.equal s me
+    -> rw [ Server_state me ]
+  | Action.Srv_deliver (_, s, _) when Server.equal s me -> rw [ Server_state me ]
+  | Action.Srv_send (s, _, _) when Server.equal s me -> rw [ Server_state me ]
+  | Action.Mb_start_change (c, _, _) | Action.Mb_view (c, _) ->
+      rw [ Server_state me; Mb_queue c ]
+  | _ -> empty
+
+(* The static output signature reflects the initial wiring: membership
+   events go to the initially attached clients (a Client_join moves
+   write ownership at runtime — the linter checks the initial
+   composition, see DESIGN.md §9). *)
+let emits ~clients me (a : Action.t) =
+  match a with
+  | Action.Srv_send (s, _, _) -> Server.equal s me
+  | Action.Mb_start_change (c, _, _) | Action.Mb_view (c, _) -> Proc.Set.mem c clients
+  | _ -> false
+
 let def ?clients ~servers me : t Vsgc_ioa.Component.def =
+  let init = initial ?clients ~servers me in
   {
     name = Fmt.str "mbrshp_server_%a" Server.pp me;
-    init = initial ?clients ~servers me;
+    init;
     accepts = accepts me;
     outputs;
     apply;
+    footprint = footprint me;
+    emits = emits ~clients:init.clients me;
   }
 
 let component ?clients ~servers me =

@@ -43,8 +43,17 @@ let apply st (a : Action.t) =
       | None -> st)
   | _ -> st
 
+let footprint (a : Action.t) =
+  let open Vsgc_ioa.Footprint in
+  match a with
+  | Action.Srv_send (s, s', _) -> make ~writes:[ Srv_channel (s, s') ] ()
+  | Action.Srv_deliver (s, s', _) -> rw [ Srv_channel (s, s') ]
+  | _ -> empty
+
+let emits (a : Action.t) = match a with Action.Srv_deliver _ -> true | _ -> false
+
 let def : state Vsgc_ioa.Component.def =
-  { name = "srv_net"; init = initial; accepts; outputs; apply }
+  { name = "srv_net"; init = initial; accepts; outputs; apply; footprint; emits }
 
 let component () =
   let r = ref initial in

@@ -17,7 +17,6 @@
 open Vsgc_types
 module Smap = Map.Make (String)
 module Tord_client = Vsgc_totalorder.Tord_client
-module Tord_core = Vsgc_totalorder.Tord_core
 
 type t = {
   tc : Tord_client.t;
@@ -136,6 +135,20 @@ let apply t (a : Action.t) =
       else t
   | _ -> t
 
+(* Client-role component (wraps Tord_client): co-located at me. *)
+let footprint me (a : Action.t) =
+  let open Vsgc_ioa.Footprint in
+  match a with
+  | Action.App_send (p, _) | Action.Block_ok p | Action.App_deliver (p, _, _)
+  | Action.App_view (p, _, _) | Action.Block p | Action.Crash p | Action.Recover p
+    when Proc.equal p me -> rw [ Proc_state me ]
+  | _ -> empty
+
+let emits me (a : Action.t) =
+  match a with
+  | Action.App_send (p, _) | Action.Block_ok p -> Proc.equal p me
+  | _ -> false
+
 let def ?transfer_blind me : t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "replica_%a" Proc.pp me;
@@ -143,6 +156,8 @@ let def ?transfer_blind me : t Vsgc_ioa.Component.def =
     accepts = accepts me;
     outputs;
     apply;
+    footprint = footprint me;
+    emits = emits me;
   }
 
 let component ?transfer_blind me =

@@ -96,6 +96,20 @@ let apply t (a : Action.t) =
     | Action.Crash _ -> { t with crashed = true }
     | _ -> t
 
+(* Client-role component: everything is co-located at me. *)
+let footprint me (a : Action.t) =
+  let open Vsgc_ioa.Footprint in
+  match a with
+  | Action.App_send (p, _) | Action.Block_ok p | Action.App_deliver (p, _, _)
+  | Action.App_view (p, _, _) | Action.Block p | Action.Crash p | Action.Recover p
+    when Proc.equal p me -> rw [ Proc_state me ]
+  | _ -> empty
+
+let emits me (a : Action.t) =
+  match a with
+  | Action.App_send (p, _) | Action.Block_ok p -> Proc.equal p me
+  | _ -> false
+
 let def me : t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "tord_%a" Proc.pp me;
@@ -103,6 +117,8 @@ let def me : t Vsgc_ioa.Component.def =
     accepts = accepts me;
     outputs;
     apply;
+    footprint = footprint me;
+    emits = emits me;
   }
 
 let component me =

@@ -46,6 +46,7 @@ let create me =
   }
 
 let is_sequencer t = Proc.equal t.me t.sequencer
+let view t = t.view
 let total_order t = List.rev t.total
 
 (* -- Wire encoding (within opaque GCS payloads) -------------------------- *)

@@ -19,6 +19,9 @@ type t
 val create : Proc.t -> t
 val is_sequencer : t -> bool
 
+val view : t -> View.t
+(** The view this instance currently orders within. *)
+
 val total_order : t -> entry list
 (** The totally ordered prefix, oldest first — identical at every
     member that has processed the same GCS events. *)

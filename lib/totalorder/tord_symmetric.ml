@@ -49,6 +49,7 @@ let create me =
     total = [];
   }
 
+let me t = t.me
 let total_order t = List.rev t.total
 
 (* -- Wire encoding (inside opaque GCS payloads) -------------------------- *)

@@ -21,6 +21,7 @@ val entry_compare : entry -> entry -> int
 type t
 
 val create : Proc.t -> t
+val me : t -> Proc.t
 
 val total_order : t -> entry list
 (** The delivered totally ordered prefix, oldest first. *)

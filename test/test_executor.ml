@@ -9,27 +9,20 @@ let msg s = Msg.App_msg.make s
 
 (* A one-shot emitter: outputs a fixed action until it has fired. *)
 let emitter nm action =
-  Component.
-    {
-      name = nm;
-      init = false;
-      accepts = (fun _ -> false);
-      outputs = (fun fired -> if fired then [] else [ action ]);
-      apply = (fun _ a -> Action.equal a action);
-    }
+  Component.make ~name:nm ~init:false
+    ~accepts:(fun _ -> false)
+    ~outputs:(fun fired -> if fired then [] else [ action ])
+    ~apply:(fun _ a -> Action.equal a action)
+    ()
 
 (* A counter of accepted actions. *)
 let counter pred =
   let r = ref 0 in
   let def =
-    Component.
-      {
-        name = "counter";
-        init = ();
-        accepts = pred;
-        outputs = (fun () -> []);
-        apply = (fun () _ -> incr r);
-      }
+    Component.make ~name:"counter" ~init:() ~accepts:pred
+      ~outputs:(fun () -> [])
+      ~apply:(fun () _ -> incr r)
+      ()
   in
   (def, r)
 

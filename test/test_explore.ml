@@ -107,14 +107,27 @@ let test_sleep_sets_prune_commuting_deliveries () =
   | o -> Alcotest.failf "expected exhaustion, got %a" E.Explorer.pp_outcome o);
   Alcotest.(check bool) "some branches were slept" true (r.E.Explorer.sleep_skips > 0)
 
-let test_independence_is_receiver_disjointness () =
+let test_independence_from_footprints () =
+  let indep = E.Explorer.independence (E.Sysconf.make ~n:3 ()) in
   let m = Msg.Wire.App (Msg.App_msg.make "x") in
   let d q = Action.Rf_deliver (0, q, m) in
-  Alcotest.(check bool) "distinct receivers commute" true (E.Explorer.independent (d 1) (d 2));
-  Alcotest.(check bool) "same receiver does not" false (E.Explorer.independent (d 1) (d 1));
+  (* the historical hand-coded relation is preserved... *)
+  Alcotest.(check bool) "distinct receivers commute" true (indep (d 1) (d 2));
+  Alcotest.(check bool) "same receiver does not" false (indep (d 1) (d 1));
   Alcotest.(check bool)
-    "delivery vs anything else does not" false
-    (E.Explorer.independent (d 1) (Action.Crash 0))
+    "delivery vs a crash of the sender does not" false
+    (indep (d 1) (Action.Crash 0));
+  (* ...and the footprint-derived one is strictly larger *)
+  let send p = Action.App_send (p, Msg.App_msg.make "y") in
+  Alcotest.(check bool) "sends at distinct processes commute" true (indep (send 0) (send 1));
+  Alcotest.(check bool) "send vs a delivery to it does not" false (indep (send 1) (d 1));
+  let v =
+    View.make ~id:(View.Id.make ~num:1 ~origin:0) ~set:Proc.Set.empty
+      ~start_ids:Proc.Map.empty
+  in
+  Alcotest.(check bool)
+    "membership view vs delivery from the viewed process does not" false
+    (indep (Action.Mb_view (0, v)) (d 1))
 
 (* -- Schedule serialization --------------------------------------------- *)
 
@@ -209,8 +222,8 @@ let suite =
       test_finds_unblocked_cut_interleaving;
     Alcotest.test_case "sleep sets prune commuting deliveries" `Quick
       test_sleep_sets_prune_commuting_deliveries;
-    Alcotest.test_case "independence is receiver disjointness" `Quick
-      test_independence_is_receiver_disjointness;
+    Alcotest.test_case "independence derives from footprints" `Quick
+      test_independence_from_footprints;
     Alcotest.test_case "schedule text roundtrip" `Quick test_schedule_roundtrip;
     Alcotest.test_case "schedule parser rejects garbage" `Quick test_schedule_rejects_garbage;
     Alcotest.test_case "recorder captures a replayable run" `Quick

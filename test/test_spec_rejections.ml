@@ -26,7 +26,7 @@ let check = Alcotest.(check bool)
 
 (* -- WV_RFIFO : SPEC ----------------------------------------------------- *)
 
-let wv = Vsgc_spec.Wv_rfifo_spec.monitor
+let wv () = Vsgc_spec.Wv_rfifo_spec.monitor ()
 
 let v01 = view ~num:1 ~members:[ 0; 1 ]
 
@@ -84,7 +84,7 @@ let test_wv_view_monotonicity () =
 
 (* -- VS_RFIFO : SPEC ------------------------------------------------------ *)
 
-let vs = Vsgc_spec.Vs_rfifo_spec.monitor
+let vs () = Vsgc_spec.Vs_rfifo_spec.monitor ()
 
 let test_vs_cut_disagreement () =
   let v2 = view ~num:2 ~members:[ 0; 1 ] in
@@ -118,7 +118,7 @@ let test_vs_agreement_accepted () =
 
 (* -- TRANS_SET : SPEC ------------------------------------------------------ *)
 
-let ts = Vsgc_spec.Trans_set_spec.monitor
+let ts () = Vsgc_spec.Trans_set_spec.monitor ()
 
 let test_ts_missing_self () =
   check "T without the mover rejected" true
@@ -151,7 +151,7 @@ let test_ts_inconsistent_sets () =
 
 (* -- SELF : SPEC ------------------------------------------------------------ *)
 
-let self = Vsgc_spec.Self_spec.monitor
+let self () = Vsgc_spec.Self_spec.monitor ()
 
 let test_self_violated () =
   check "moving on before self-delivery rejected" true
@@ -172,7 +172,7 @@ let test_self_violated () =
 
 (* -- CLIENT : SPEC ------------------------------------------------------------ *)
 
-let client = Vsgc_spec.Client_spec.monitor
+let client () = Vsgc_spec.Client_spec.monitor ()
 
 let test_client_clauses () =
   check "send while blocked rejected" true

@@ -11,37 +11,31 @@ let msg s = Msg.Wire.App (Msg.App_msg.make s)
 (* A relay chain over CO_RFIFO: node i, upon delivery, sends to i+1.
    End-to-end latency over k hops must be exactly k rounds. *)
 let relay ~me ~next =
-  Component.
-    {
-      name = Fmt.str "relay%d" me;
-      init = [];  (* payloads to forward *)
-      accepts = (fun a -> match a with Action.Rf_deliver (_, q, _) -> q = me | _ -> false);
-      outputs =
-        (fun pending ->
-          match pending with
-          | p :: _ -> [ Action.Rf_send (me, Proc.Set.singleton next, msg p) ]
-          | [] -> []);
-      apply =
-        (fun pending a ->
-          match a with
-          | Action.Rf_deliver (_, _, Msg.Wire.App m) -> pending @ [ Msg.App_msg.payload m ]
-          | Action.Rf_send _ -> ( match pending with _ :: rest -> rest | [] -> [])
-          | _ -> pending);
-    }
+  Component.make
+    ~name:(Fmt.str "relay%d" me)
+    ~init:[] (* payloads to forward *)
+    ~accepts:(fun a -> match a with Action.Rf_deliver (_, q, _) -> q = me | _ -> false)
+    ~outputs:(fun pending ->
+      match pending with
+      | p :: _ -> [ Action.Rf_send (me, Proc.Set.singleton next, msg p) ]
+      | [] -> [])
+    ~apply:(fun pending a ->
+      match a with
+      | Action.Rf_deliver (_, _, Msg.Wire.App m) -> pending @ [ Msg.App_msg.payload m ]
+      | Action.Rf_send _ -> ( match pending with _ :: rest -> rest | [] -> [])
+      | _ -> pending)
+    ()
 
 let test_hop_per_round () =
   let corfifo, net = Vsgc_corfifo.component () in
   let chain = List.init 4 (fun i -> Component.pack (relay ~me:i ~next:(i + 1))) in
   let sink_seen = ref 0 in
   let sink =
-    Component.
-      {
-        name = "sink";
-        init = ();
-        accepts = (fun a -> match a with Action.Rf_deliver (_, 4, _) -> true | _ -> false);
-        outputs = (fun () -> []);
-        apply = (fun () _ -> incr sink_seen);
-      }
+    Component.make ~name:"sink" ~init:()
+      ~accepts:(fun a -> match a with Action.Rf_deliver (_, 4, _) -> true | _ -> false)
+      ~outputs:(fun () -> [])
+      ~apply:(fun () _ -> incr sink_seen)
+      ()
   in
   let exec = Executor.create ~seed:4 (corfifo :: Component.pack sink :: chain) in
   (* everyone can deliver to everyone *)
@@ -64,29 +58,22 @@ let test_local_actions_are_free () =
   (* a component that performs k local steps then sends: still 1 round *)
   let corfifo, net = Vsgc_corfifo.component () in
   let ticker =
-    Component.
-      {
-        name = "ticker";
-        init = 5;
-        accepts = (fun _ -> false);
-        outputs =
-          (fun k ->
-            if k > 0 then [ Action.Block 0 ]  (* stands in for local work *)
-            else if k = 0 then [ Action.Rf_send (0, Proc.Set.singleton 1, msg "done") ]
-            else []);
-        apply = (fun k a -> match a with Action.Block _ -> k - 1 | _ -> -1);
-      }
+    Component.make ~name:"ticker" ~init:5
+      ~accepts:(fun _ -> false)
+      ~outputs:(fun k ->
+        if k > 0 then [ Action.Block 0 ]  (* stands in for local work *)
+        else if k = 0 then [ Action.Rf_send (0, Proc.Set.singleton 1, msg "done") ]
+        else [])
+      ~apply:(fun k a -> match a with Action.Block _ -> k - 1 | _ -> -1)
+      ()
   in
   let got = ref false in
   let sink =
-    Component.
-      {
-        name = "sink";
-        init = ();
-        accepts = (fun a -> match a with Action.Rf_deliver (0, 1, _) -> true | _ -> false);
-        outputs = (fun () -> []);
-        apply = (fun () _ -> got := true);
-      }
+    Component.make ~name:"sink" ~init:()
+      ~accepts:(fun a -> match a with Action.Rf_deliver (0, 1, _) -> true | _ -> false)
+      ~outputs:(fun () -> [])
+      ~apply:(fun () _ -> got := true)
+      ()
   in
   let exec = Executor.create ~seed:5 [ corfifo; Component.pack ticker; Component.pack sink ] in
   Executor.inject exec (Action.Rf_live (0, Proc.Set.of_range 0 1));
@@ -103,32 +90,25 @@ let test_budget_blocks_same_round_delivery () =
   let corfifo, net = Vsgc_corfifo.component () in
   let echo =
     (* node 1 echoes back to 0 upon delivery *)
-    Component.
-      {
-        name = "echo";
-        init = 0;
-        accepts = (fun a -> match a with Action.Rf_deliver (_, 1, _) -> true | _ -> false);
-        outputs =
-          (fun n -> if n > 0 then [ Action.Rf_send (1, Proc.Set.singleton 0, msg "echo") ] else []);
-        apply =
-          (fun n a ->
-            match a with
-            | Action.Rf_deliver _ -> n + 1
-            | Action.Rf_send _ -> n - 1
-            | _ -> n);
-      }
+    Component.make ~name:"echo" ~init:0
+      ~accepts:(fun a -> match a with Action.Rf_deliver (_, 1, _) -> true | _ -> false)
+      ~outputs:(fun n ->
+        if n > 0 then [ Action.Rf_send (1, Proc.Set.singleton 0, msg "echo") ] else [])
+      ~apply:(fun n a ->
+        match a with
+        | Action.Rf_deliver _ -> n + 1
+        | Action.Rf_send _ -> n - 1
+        | _ -> n)
+      ()
   in
   let echoed = ref (-1) in
   let round_no = ref 0 in
   let sink =
-    Component.
-      {
-        name = "sink0";
-        init = ();
-        accepts = (fun a -> match a with Action.Rf_deliver (1, 0, _) -> true | _ -> false);
-        outputs = (fun () -> []);
-        apply = (fun () _ -> echoed := !round_no);
-      }
+    Component.make ~name:"sink0" ~init:()
+      ~accepts:(fun a -> match a with Action.Rf_deliver (1, 0, _) -> true | _ -> false)
+      ~outputs:(fun () -> [])
+      ~apply:(fun () _ -> echoed := !round_no)
+      ()
   in
   let exec = Executor.create ~seed:6 [ corfifo; Component.pack echo; Component.pack sink ] in
   Executor.inject exec (Action.Rf_live (0, Proc.Set.of_range 0 1));
