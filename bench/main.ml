@@ -20,6 +20,57 @@ module Client = Vsgc_core.Client
 let section id title = Fmt.pr "@.== %s: %s ==@." id title
 let rowf fmt = Fmt.pr fmt
 
+(* -- Machine-readable rows ------------------------------------------------ *)
+
+(* A hand-rolled JSON value (the toolchain ships no JSON library, and
+   the rows are flat): experiments record one object per table row;
+   the driver writes them to BENCH_wire.json so tooling can track the
+   wire-layer numbers across commits without scraping the tables. *)
+module Json = struct
+  type t =
+    | Int of int
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec pp ppf = function
+    | Int i -> Fmt.pf ppf "%d" i
+    | Num f -> Fmt.pf ppf "%.3f" f
+    | Str s -> Fmt.pf ppf "\"%s\"" (escape s)
+    | Arr l -> Fmt.pf ppf "[@[<hv>%a@]]" Fmt.(list ~sep:(any ",@ ") pp) l
+    | Obj kvs ->
+        let pp_kv ppf (k, v) = Fmt.pf ppf "\"%s\": %a" (escape k) pp v in
+        Fmt.pf ppf "{@[<hv>%a@]}" Fmt.(list ~sep:(any ",@ ") pp_kv) kvs
+end
+
+let bench_rows : Json.t list ref = ref []
+let record fields = bench_rows := Json.Obj fields :: !bench_rows
+
+let write_rows () =
+  match List.rev !bench_rows with
+  | [] -> ()
+  | rows ->
+      let oc = open_out "BENCH_wire.json" in
+      let ppf = Format.formatter_of_out_channel oc in
+      Fmt.pf ppf "%a@." Json.pp (Json.Obj [ ("rows", Json.Arr rows) ]);
+      close_out oc;
+      Fmt.pr "@.wrote BENCH_wire.json (%d rows)@." (List.length rows)
+
 (* -- Round-measurement helpers ------------------------------------------- *)
 
 (* Run synchronous rounds until [pred] holds (checked after each
@@ -400,6 +451,93 @@ let e9 () =
       rowf "%6d  %6d  %14d  %14d  %10d  %10d@." n g dc hc dr hr)
     [ (8, 2); (16, 4); (32, 4); (32, 6) ]
 
+(* -- E11: wire-layer throughput ----------------------------------------------- *)
+
+(* The transport runtime's raw costs, wall-clock measured: framing
+   codec throughput per payload size, and the full
+   encode -> loopback hub -> decode round trip. These are the only
+   wall-clock numbers in the suite (everything else counts rounds or
+   messages), so they also land in BENCH_wire.json. *)
+
+module Packet = Vsgc_wire.Packet
+module Frame = Vsgc_wire.Frame
+module Node_id = Vsgc_wire.Node_id
+module Loopback = Vsgc_net.Loopback
+module Transport = Vsgc_net.Transport
+
+let e11 () =
+  section "E11" "wire throughput: codec msgs/sec, loopback round trip";
+  rowf "%10s  %9s  %14s  %14s@." "payload B" "frame B" "encode msg/s" "decode msg/s";
+  let iters = 100_000 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  List.iter
+    (fun size ->
+      let pkt =
+        Packet.Rf { from = 0; wire = Msg.Wire.App (Msg.App_msg.make (String.make size 'x')) }
+      in
+      let frame = Frame.encode pkt in
+      let te = timed (fun () -> for _ = 1 to iters do ignore (Frame.encode pkt) done) in
+      let td =
+        timed (fun () ->
+            for _ = 1 to iters do
+              match Frame.decode frame with
+              | Ok _ -> ()
+              | Error _ -> failwith "bench: own frame rejected"
+            done)
+      in
+      let eps = float_of_int iters /. te and dps = float_of_int iters /. td in
+      rowf "%10d  %9d  %14.0f  %14.0f@." size (Bytes.length frame) eps dps;
+      record
+        [
+          ("experiment", Json.Str "wire_codec");
+          ("payload_bytes", Json.Int size);
+          ("frame_bytes", Json.Int (Bytes.length frame));
+          ("encode_msgs_per_sec", Json.Num eps);
+          ("decode_msgs_per_sec", Json.Num dps);
+        ])
+    [ 16; 256; 4096 ];
+  (* Round trip through the loopback transport: every leg frames on
+     send and decodes on delivery, so this prices the whole wire path
+     minus the kernel. *)
+  let hub = Loopback.hub ~seed:7 () in
+  let a = Loopback.attach hub (Node_id.client 0) in
+  let b = Loopback.attach hub (Node_id.client 1) in
+  Transport.connect a (Node_id.client 1);
+  ignore (Transport.recv a);
+  ignore (Transport.recv b);
+  let ping = Packet.Rf { from = 0; wire = Msg.Wire.App (Msg.App_msg.make "ping") } in
+  let rec pump tr =
+    match Transport.recv tr with
+    | [] ->
+        Loopback.tick hub;
+        pump tr
+    | evs -> evs
+  in
+  let rtts = 20_000 in
+  let dt =
+    timed (fun () ->
+        for _ = 1 to rtts do
+          Transport.send a (Node_id.client 1) ping;
+          ignore (pump b);
+          Transport.send b (Node_id.client 0) ping;
+          ignore (pump a)
+        done)
+  in
+  let rtt_us = dt /. float_of_int rtts *. 1e6 in
+  let mps = float_of_int (2 * rtts) /. dt in
+  rowf "@.%-28s  %10.2f us  (%10.0f msg/s)@." "loopback round trip" rtt_us mps;
+  record
+    [
+      ("experiment", Json.Str "loopback_roundtrip");
+      ("round_trips", Json.Int rtts);
+      ("rtt_us", Json.Num rtt_us);
+      ("msgs_per_sec", Json.Num mps);
+    ]
+
 (* -- Driver ------------------------------------------------------------------ *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -413,6 +551,7 @@ let all : (string * string * (unit -> unit)) list =
     ("E7", "client-server end-to-end", e7);
     ("E8", "state transfer", e8);
     ("E9", "two-tier hierarchy ablation", e9);
+    ("E11", "wire throughput", e11);
   ]
 
 let () =
@@ -425,4 +564,5 @@ let () =
     Fmt.(list ~sep:(any ",") string)
     (List.map (fun (id, _, _) -> id) selected);
   List.iter (fun (_, _, f) -> f ()) selected;
+  write_rows ();
   Fmt.pr "@.done.@."

@@ -1,0 +1,242 @@
+(* vsgc_node: one node of the group-multicast system as an OS process.
+
+   Two roles (DESIGN.md §10):
+   - [server]: a membership server. Listens, meshes with its peer
+     servers, accepts client joins, and takes part in the proposal /
+     commit protocol. Runs until killed.
+   - [client]: a GCS end-point plus a scripted application. Dials its
+     membership server and the other clients, joins, waits for a view
+     of the requested cardinality, multicasts its payloads, and exits
+     once the expected number of deliveries arrived.
+
+   The client prints one machine-readable line per event:
+     VIEW id=<vid> members=<set>
+     DELIVER view=<vid> from=p<sender> payload=<string>
+   which is what the CI socket smoke diffs across processes. *)
+
+open Vsgc_types
+module Node = Vsgc_net.Node
+module Tcp = Vsgc_net.Tcp
+module Transport = Vsgc_net.Transport
+module Node_id = Vsgc_wire.Node_id
+
+(* -- Argument parsing ----------------------------------------------------- *)
+
+let parse_addr s =
+  match String.index_opt s ':' with
+  | Some i -> begin
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when 0 < p && p < 65536 && host <> "" -> Ok (host, p)
+      | _ -> Error (`Msg (Fmt.str "bad address %S (want HOST:PORT)" s))
+    end
+  | None -> Error (`Msg (Fmt.str "bad address %S (want HOST:PORT)" s))
+
+let addr_conv =
+  Cmdliner.Arg.conv
+    (parse_addr, fun ppf (h, p) -> Fmt.pf ppf "%s:%d" h p)
+
+(* A peer spec names the node behind an address: p<N>=HOST:PORT for a
+   client, s<N>=HOST:PORT for a server. *)
+let parse_peer s =
+  match String.index_opt s '=' with
+  | None -> Error (`Msg (Fmt.str "bad peer %S (want p<N>=HOST:PORT or s<N>=HOST:PORT)" s))
+  | Some i -> begin
+      let name = String.sub s 0 i in
+      let addr = String.sub s (i + 1) (String.length s - i - 1) in
+      let id =
+        if String.length name >= 2 then
+          let n = String.sub name 1 (String.length name - 1) in
+          match name.[0], int_of_string_opt n with
+          | 'p', Some k when k >= 0 -> Some (Node_id.client k)
+          | 's', Some k when k >= 0 -> Some (Node_id.server (Server.of_int k))
+          | _ -> None
+        else None
+      in
+      match id, parse_addr addr with
+      | Some id, Ok a -> Ok (id, a)
+      | None, _ ->
+          Error (`Msg (Fmt.str "bad peer name %S (want p<N> or s<N>)" name))
+      | _, (Error _ as e) -> e
+    end
+
+let peer_conv =
+  Cmdliner.Arg.conv
+    ( parse_peer,
+      fun ppf (id, (h, p)) -> Fmt.pf ppf "%s=%s:%d" (Node_id.to_string id) h p )
+
+open Cmdliner
+
+let id_arg =
+  Arg.(required & opt (some int) None & info [ "id" ] ~docv:"N" ~doc:"Numeric identity of this node.")
+
+let listen_arg =
+  Arg.(value & opt (some addr_conv) None
+       & info [ "listen" ] ~docv:"HOST:PORT" ~doc:"Address to accept connections on.")
+
+let peers_arg =
+  Arg.(value & opt_all peer_conv []
+       & info [ "peer" ] ~docv:"ID=HOST:PORT"
+           ~doc:"A peer this node dials (repeatable). $(docv) is \
+                 p<N>=HOST:PORT for a client, s<N>=HOST:PORT for a \
+                 server. Each deployment lists every edge exactly once.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Executor schedule seed.")
+
+let timeout_arg ~default =
+  Arg.(value & opt float default
+       & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Give up and exit non-zero after $(docv) seconds (0 = never).")
+
+(* -- Shared drive loop ---------------------------------------------------- *)
+
+let deadline_of timeout = if timeout <= 0.0 then None else Some (Unix.gettimeofday () +. timeout)
+
+let expired = function
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+(* One iteration: drain the wire into the automata, pump them, ship
+   what they produced. Returns how many transport events arrived. *)
+let spin node tr =
+  let events = Transport.recv tr in
+  List.iter (Node.handle node) events;
+  List.iter (fun (dst, pkt) -> Transport.send tr dst pkt) (Node.step node);
+  List.length events
+
+(* -- Server role ---------------------------------------------------------- *)
+
+let run_server id listen peers seed timeout =
+  let me = Node_id.server (Server.of_int id) in
+  let tr = Tcp.create (Tcp.config ~listen ~peers me) in
+  let node = Node.create ~seed (Node.Server_node { server = Server.of_int id }) in
+  Fmt.pr "READY %s@." (Node_id.to_string me);
+  let deadline = deadline_of timeout in
+  let rec loop () =
+    ignore (spin node tr);
+    if expired deadline then begin
+      Transport.close tr;
+      Fmt.epr "vsgc_node: server timeout after %.1fs@." timeout;
+      exit 1
+    end
+    else loop ()
+  in
+  loop ()
+
+(* -- Client role ---------------------------------------------------------- *)
+
+let members_arg =
+  Arg.(value & opt int 1
+       & info [ "members" ] ~docv:"M"
+           ~doc:"Start multicasting once a view of cardinality $(docv) is delivered.")
+
+let send_arg =
+  Arg.(value & opt int 0
+       & info [ "send" ] ~docv:"K" ~doc:"Multicast $(docv) payloads p<id>-1 .. p<id>-K.")
+
+let expect_arg =
+  Arg.(value & opt int 0
+       & info [ "expect" ] ~docv:"D" ~doc:"Exit successfully after $(docv) application deliveries.")
+
+let attach_arg =
+  Arg.(value & opt int 0
+       & info [ "attach" ] ~docv:"S" ~doc:"Membership server to register with (default s0).")
+
+let linger_arg =
+  Arg.(value & opt float 1.0
+       & info [ "linger" ] ~docv:"SECS"
+           ~doc:"Keep servicing the protocol for $(docv) seconds after the \
+                 expected deliveries arrived, so peers can drain before this \
+                 node's departure forces a view change.")
+
+let run_client id attach listen peers seed members send expect linger timeout =
+  let me = Node_id.client id in
+  let tr = Tcp.create (Tcp.config ~listen ~peers me) in
+  let node =
+    Node.create ~seed (Node.Client_node { proc = id; attach = Server.of_int attach })
+  in
+  Fmt.pr "READY %s@." (Node_id.to_string me);
+  let deadline = deadline_of timeout in
+  let seen_views = ref 0 and seen_deliveries = ref 0 and sent = ref false in
+  let report () =
+    let views = Node.views node in
+    List.iteri
+      (fun i (v, _) ->
+        if i >= !seen_views then
+          Fmt.pr "VIEW id=%a members=%a@." View.Id.pp (View.id v) Proc.Set.pp
+            (View.set v))
+      views;
+    seen_views := List.length views;
+    let vid =
+      match Node.last_view node with
+      | Some (v, _) -> Fmt.str "%a" View.Id.pp (View.id v)
+      | None -> "-"
+    in
+    let deliveries = Node.delivered node in
+    List.iteri
+      (fun i (q, m) ->
+        if i >= !seen_deliveries then
+          Fmt.pr "DELIVER view=%s from=%a payload=%s@." vid Proc.pp q
+            (Msg.App_msg.payload m))
+      deliveries;
+    seen_deliveries := List.length deliveries
+  in
+  let rec loop () =
+    ignore (spin node tr);
+    report ();
+    if (not !sent) && send > 0 then begin
+      match Node.last_view node with
+      | Some (v, _) when Proc.Set.cardinal (View.set v) >= members ->
+          sent := true;
+          for i = 1 to send do
+            Node.push node (Fmt.str "p%d-%d" id i)
+          done
+      | _ -> ()
+    end;
+    if !seen_deliveries >= expect && Node.quiescent node then begin
+      (* Done, but stay responsive: peers may still be pulling the
+         messages this node multicast. *)
+      let until = Unix.gettimeofday () +. linger in
+      while Unix.gettimeofday () < until do
+        ignore (spin node tr);
+        report ()
+      done;
+      Transport.close tr;
+      Fmt.pr "DONE deliveries=%d@." !seen_deliveries;
+      exit 0
+    end;
+    if expired deadline then begin
+      Transport.close tr;
+      Fmt.epr "vsgc_node: client timeout after %.1fs (%d/%d deliveries)@."
+        timeout !seen_deliveries expect;
+      exit 1
+    end;
+    loop ()
+  in
+  loop ()
+
+(* -- Commands ------------------------------------------------------------- *)
+
+let server_cmd =
+  let doc = "run a membership server (runs until killed)" in
+  Cmd.v
+    (Cmd.info "server" ~doc)
+    Term.(
+      const run_server $ id_arg $ listen_arg $ peers_arg $ seed_arg
+      $ timeout_arg ~default:0.0)
+
+let client_cmd =
+  let doc = "run a GCS end-point with a scripted application" in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      const run_client $ id_arg $ attach_arg $ listen_arg $ peers_arg $ seed_arg
+      $ members_arg $ send_arg $ expect_arg $ linger_arg
+      $ timeout_arg ~default:30.0)
+
+let () =
+  let doc = "a vsgc group-multicast node over TCP" in
+  let info = Cmd.info "vsgc_node" ~doc ~version:"%%VERSION%%" in
+  exit (Cmd.eval (Cmd.group info [ server_cmd; client_cmd ]))

@@ -11,7 +11,10 @@
                             report its expected diagnostic (so a clean
                             result is itself a failure)
      vet fixture -list      list fixture names
-     vet all [DIR]          wiring + inherit + corpus
+     vet wire               round-trip + totality check of the wire
+                            codecs (codec errors come out in the
+                            one-line vet:wire:... vocabulary)
+     vet all [DIR]          wiring + inherit + corpus + wire
 
    Exit codes: 0 clean, 1 diagnostics reported (or a fixture failing to
    produce its expected finding), 2 usage error. *)
@@ -51,6 +54,8 @@ let inherit_ () =
 
 let corpus dir = report ("corpus " ^ dir) (A.Sched_check.check_dir dir)
 
+let wire () = report "wire codecs" (A.Wire_check.check ())
+
 let fixture name =
   match A.Fixtures.find name with
   | None ->
@@ -88,10 +93,12 @@ let () =
             0
         | Some name -> fixture name
         | None -> die "fixture: missing name (or -list)")
+    | Some "wire" -> wire ()
     | Some "all" ->
         wiring () + inherit_ ()
         + corpus (Option.value (arg 2) ~default:"test/corpus")
-    | Some cmd -> die "unknown subcommand %S (wiring|inherit|corpus|fixture|all)" cmd
-    | None -> die "usage: vet (wiring|inherit|corpus|fixture NAME|all)"
+        + wire ()
+    | Some cmd -> die "unknown subcommand %S (wiring|inherit|corpus|fixture|wire|all)" cmd
+    | None -> die "usage: vet (wiring|inherit|corpus|fixture NAME|wire|all)"
   in
   exit (if count = 0 then 0 else 1)

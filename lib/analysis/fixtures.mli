@@ -1,0 +1,18 @@
+(** Seeded miswiring fixtures — the linter's negative tests.
+
+    Each fixture is a deliberately broken miniature composition;
+    running the named vet pass over it MUST produce at least one
+    diagnostic of the expected check. CI asserts this
+    ([vet.exe fixture <name>] exits non-zero), so a refactor that
+    silently blinds a linter check fails the build rather than
+    shipping a toothless vet. *)
+
+type t = {
+  name : string;
+  expect : string;  (** the {!Diag.t.check} the fixture must trigger *)
+  run : unit -> Diag.t list;
+}
+
+val all : t list
+val find : string -> t option
+val names : string list

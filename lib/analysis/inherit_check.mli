@@ -1,0 +1,35 @@
+(** The inheritance-discipline checker (vet pass 2).
+
+    The paper builds its end-point as an inheritance tower (§2, §5):
+
+    {v WV_RFIFO_p  <-  VS_RFIFO+TS_p  <-  GCS_p v}
+
+    where a child may only STRENGTHEN preconditions of inherited
+    actions and EXTEND effects with writes to its own new variables.
+    Checked over a corpus of reachable child states:
+
+    - precondition strengthening: every inherited action the child
+      enables is also enabled in the parent projection;
+    - effect extension: child and parent transitions agree on the
+      parent's state variables;
+    - frame condition: a child-new action leaves the parent's state
+      variables untouched. *)
+
+type pair = Full_over_vs | Vs_over_wv
+
+val pair_name : pair -> string
+
+type report = {
+  pair : string;
+  states : int;  (** corpus states checked *)
+  transitions : int;  (** transition pairs compared *)
+  diags : Diag.t list;
+}
+
+val check : ?n:int -> ?seed:int -> pair -> report
+(** Check one adjacent pair of the tower over a driven state corpus. *)
+
+val all : ?n:int -> ?seed:int -> unit -> report list
+(** Both adjacent pairs, child-most first. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,36 @@
+(** The wiring linter (vet pass 1).
+
+    Composition in the paper's §2 sense is sound only when the action
+    vocabulary is wired consistently: every output reaches someone,
+    every action category has one writer per locus, and purely
+    reactive components (observers) see the whole vocabulary. These
+    are exactly the properties the executor cannot check at runtime —
+    a dangling output or a shadowed writer produces a quietly wrong
+    execution, not a crash — so they are checked statically here, over
+    the declared [emits]/[accepts] signatures and the representative
+    {!Universe}.
+
+    Checks: [dangling-output], [multi-writer], [partial-observer],
+    [footprint-gap] (static) and [emits-unsound] (dynamic). *)
+
+val static :
+  universe:Vsgc_types.Action.t list ->
+  Vsgc_ioa.Component.packed list ->
+  Diag.t list
+(** The static pass over a composition's declared signatures. *)
+
+val dynamic : ?steps:int -> Vsgc_ioa.Executor.t -> Diag.t list
+(** Check every enabled candidate against its owner's declared static
+    signature along [steps] (default 500) seeded scheduler steps.
+    Duplicate findings (same owner, same action) are reported once. *)
+
+val layer : ?n:int -> Vsgc_core.Endpoint.layer -> Diag.t list
+(** Lint one Sysconf layer: the static pass over the built
+    composition, then the dynamic pass along a scripted
+    reconfiguration with traffic, a partial change and a
+    crash/recovery. *)
+
+val server_stack : ?n_clients:int -> ?n_servers:int -> unit -> Diag.t list
+(** Lint the client-server membership stack (Figure 1): servers and
+    their transport replace the oracle; the universe gains the server
+    vocabulary. *)

@@ -1,0 +1,16 @@
+(** The schedule/corpus checker (vet pass 3).
+
+    Regression schedules under [test/corpus/] are replayed by CI
+    against freshly built systems, so a schedule that drifted out of
+    its layer's action signature fails late and confusingly (an
+    unmatched Choose at replay time) or, worse, silently validates
+    nothing. This pass checks each schedule statically against the
+    signature of its declared configuration: every Choose key must
+    parse as a known action shape, belong to the declared layer, and
+    target loci in range. *)
+
+val check_sched : Vsgc_explore.Schedule.t -> Diag.t list
+val check_file : string -> Diag.t list
+
+val check_dir : string -> Diag.t list
+(** Check every [*.sched] under a directory, in file-name order. *)

@@ -1,0 +1,27 @@
+(** A finite, representative action universe for the static vet passes.
+
+    The static signatures (accepts, emits, footprint) are parametric in
+    message contents: every component dispatches on the constructor,
+    the loci, and — for [Rf_send]/[Rf_deliver] — the wire-message kind,
+    never on payloads or identifiers. One representative action per
+    (category, locus tuple, wire kind) therefore drives every branch of
+    every signature, which is what lets a check over this finite set
+    stand for the infinite action vocabulary. *)
+
+open Vsgc_types
+
+val msg : Msg.App_msg.t
+(** The one representative application payload. *)
+
+val view : n:int -> View.t
+(** A plausible non-initial view over all of [0..n-1]. *)
+
+val wires : n:int -> Msg.Wire.t list
+(** One wire message per kind. *)
+
+val srv_msgs : n:int -> n_servers:int -> Srv_msg.t list
+(** One server-to-server message per constructor. *)
+
+val actions : ?n_servers:int -> n:int -> unit -> Action.t list
+(** The universe for a composition over processes [0..n-1] and (when
+    [n_servers] > 0) servers [0..n_servers-1]. *)

@@ -1,0 +1,125 @@
+(* The wire-codec checker (vet pass 4).
+
+   The transport runtime stands on two codec properties the type
+   system cannot see: every value the automata can produce must
+   survive encode/decode unchanged (round-trip), and decode must be
+   total — arbitrary bytes yield [Error _], never an exception (a
+   malformed frame costs a link, not a process). The deep QCheck
+   coverage lives in test/test_wire.ml; this pass is the cheap static
+   gate CI and humans run via [vet wire], and it renders any codec
+   failure in the one-line diagnostic vocabulary:
+
+     vet:wire:roundtrip-broken: <value>: ... <rendered codec error>
+     vet:wire:roundtrip-drift:  <value>: decodes to a different value
+     vet:wire:decode-raises:    <decoder>: ... <raised exception>
+
+   Samples come from the representative {!Universe}: one value per
+   constructor per wire kind is exactly the granularity the codecs
+   dispatch on. *)
+
+open Vsgc_types
+open Vsgc_wire
+
+let diag check ~subject fmt = Diag.vf ~pass:"wire" ~check ~subject fmt
+
+(* -- Round-trip over the representative universe ------------------------- *)
+
+(* The packets a deployment can ship, one per constructor, built from
+   the universe's representative payloads. *)
+let packets ~n ~n_servers : Packet.t list =
+  let v = Universe.view ~n in
+  let cid = View.Sc_id.succ View.Sc_id.zero in
+  [
+    Packet.Hello (Node_id.client 0);
+    Packet.Hello (Node_id.server (Server.of_int 0));
+    Packet.Join 0;
+    Packet.Leave (n - 1);
+    Packet.Start_change { target = 0; cid; set = Proc.Set.of_range 0 (n - 1) };
+    Packet.View { target = 0; view = v };
+  ]
+  @ List.map (fun w -> Packet.Rf { from = 0; wire = w }) (Universe.wires ~n)
+  @ List.map
+      (fun m -> Packet.Srv { from = Server.of_int 0; msg = m })
+      (Universe.srv_msgs ~n ~n_servers)
+
+let roundtrip ?(n = 3) ?(n_servers = 2) () : Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let one ~what ~pp ~equal ~encode ~decode x =
+    let subject = Fmt.str "%s %a" what pp x in
+    match decode (encode x) with
+    | Ok y when equal x y -> ()
+    | Ok _ -> add (diag "roundtrip-drift" ~subject "decodes to a different value")
+    | Error e ->
+        add
+          (diag "roundtrip-broken" ~subject "own encoding rejected: %s"
+             (Frame.error_to_string e))
+    | exception exn ->
+        add
+          (diag "decode-raises" ~subject "decoding own encoding raised %s"
+             (Printexc.to_string exn))
+  in
+  (* Packets through the full frame path — the bytes TCP actually
+     ships — which transitively round-trips every Msg.Wire, Srv_msg,
+     View and Node_id constructor the universe knows. *)
+  List.iter
+    (one ~what:"packet" ~pp:Packet.pp ~equal:Packet.equal ~encode:Frame.encode
+       ~decode:Frame.decode)
+    (packets ~n ~n_servers);
+  List.rev !diags
+
+(* -- Totality spot-check -------------------------------------------------- *)
+
+(* Seeded fuzz: random byte strings, random bodies behind a valid
+   frame header, and single-byte corruptions of a valid frame. The
+   only acceptable outcomes are [Ok] and [Error]. *)
+let totality ?(seed = 7) ?(count = 1_000) () : Diag.t list =
+  let rng = Vsgc_ioa.Rng.make seed in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let random_bytes len =
+    Bytes.init len (fun _ -> Char.chr (Vsgc_ioa.Rng.int rng 256))
+  in
+  let sample = Frame.encode (Packet.Join 1) in
+  let input i =
+    match i mod 3 with
+    | 0 -> random_bytes (Vsgc_ioa.Rng.int rng 65)
+    | 1 ->
+        (* a valid header with a random body: exercises the payload
+           decoders, not just the frame envelope *)
+        let body = random_bytes (Vsgc_ioa.Rng.int rng 33) in
+        let b = Buffer.create 16 in
+        Buffer.add_char b 'V';
+        Buffer.add_char b 'G';
+        Buffer.add_uint8 b Frame.version;
+        Buffer.add_int32_be b (Int32.of_int (Bytes.length body));
+        Buffer.add_bytes b body;
+        Buffer.to_bytes b
+    | _ ->
+        let c = Bytes.copy sample in
+        Bytes.set c
+          (Vsgc_ioa.Rng.int rng (Bytes.length c))
+          (Char.chr (Vsgc_ioa.Rng.int rng 256));
+        c
+  in
+  let decoders =
+    [
+      ("frame.decode", fun buf -> ignore (Frame.decode buf));
+      ("packet.of_bytes", fun buf -> ignore (Packet.of_bytes buf));
+    ]
+  in
+  for i = 0 to count - 1 do
+    let buf = input i in
+    List.iter
+      (fun (name, d) ->
+        try d buf
+        with exn ->
+          add
+            (diag "decode-raises" ~subject:name "raised %s on a %d-byte input"
+               (Printexc.to_string exn) (Bytes.length buf)))
+      decoders
+  done;
+  List.rev !diags
+
+let check ?n ?n_servers ?seed ?count () =
+  roundtrip ?n ?n_servers () @ totality ?seed ?count ()

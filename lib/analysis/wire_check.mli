@@ -1,0 +1,25 @@
+(** The wire-codec checker (vet pass 4).
+
+    Round-trips every representative {!Universe} value through the
+    frame codec and spot-checks decode totality on seeded fuzz
+    inputs, rendering any failure in the one-line [vet:wire:...]
+    diagnostic vocabulary ([roundtrip-broken], [roundtrip-drift],
+    [decode-raises]). The deep property coverage lives in
+    [test/test_wire.ml]; this is the cheap static gate. *)
+
+val packets : n:int -> n_servers:int -> Vsgc_wire.Packet.t list
+(** One packet per constructor, built from the universe's
+    representative payloads. *)
+
+val roundtrip : ?n:int -> ?n_servers:int -> unit -> Diag.t list
+(** Encode/decode every representative packet through the full frame
+    path (the bytes TCP actually ships). *)
+
+val totality : ?seed:int -> ?count:int -> unit -> Diag.t list
+(** Seeded fuzz (default 1000 inputs): random bytes, random bodies
+    behind a valid header, and single-byte corruptions. Any raised
+    exception is a diagnostic. *)
+
+val check :
+  ?n:int -> ?n_servers:int -> ?seed:int -> ?count:int -> unit -> Diag.t list
+(** {!roundtrip} followed by {!totality}. *)

@@ -1,0 +1,185 @@
+(* Networked system assembly: the Figure 8 (a) composition again, but
+   with every end-point (and, optionally, every membership server) in
+   its own executor behind the deterministic loopback transport —
+   deployment topology under harness control.
+
+   Two membership modes:
+   - [n_servers = 0]: scripted membership. A standalone Oracle state
+     validates and sequences the scripted events exactly as the
+     in-memory System's oracle component does, then the events are
+     injected into each client node. Same script => same cids and
+     views on both sides, which is what the equivalence tests check.
+   - [n_servers > 0]: real client-server membership. Server nodes run
+     the Servers automaton; clients join over the wire; views are
+     proposed, committed and shipped as packets.
+
+   The drive loop is synchronous and deterministic: recv+handle at
+   every node (fixed order), step every node and ship its packets,
+   tick the hub — until nothing is in flight and every node is
+   quiescent. *)
+
+open Vsgc_types
+module Node = Vsgc_net.Node
+module Transport = Vsgc_net.Transport
+module Loopback = Vsgc_net.Loopback
+module Node_id = Vsgc_wire.Node_id
+module Oracle = Vsgc_mbrshp.Oracle
+
+type t = {
+  hub : Loopback.hub;
+  clients : (Proc.t * (Node.t * Transport.t)) list;  (* ascending *)
+  servers : (Server.t * (Node.t * Transport.t)) list;  (* ascending *)
+  script : Oracle.state ref;  (* drives membership when servers = [] *)
+}
+
+let create ?(seed = 42) ?knobs ?layer ~n ?(n_servers = 0) () =
+  let hub = Loopback.hub ~seed ?knobs () in
+  let clients =
+    List.init n (fun p ->
+        let attach = Server.of_int (if n_servers = 0 then 0 else p mod n_servers) in
+        let node =
+          Node.create ~seed:(seed + 1 + p) ?layer
+            (Node.Client_node { proc = p; attach })
+        in
+        (p, (node, Loopback.attach hub (Node_id.Client p))))
+  in
+  let servers =
+    List.init n_servers (fun s ->
+        let node =
+          Node.create ~seed:(seed + 1 + n + s) (Node.Server_node { server = s })
+        in
+        (s, (node, Loopback.attach hub (Node_id.Server s))))
+  in
+  (* Full client mesh (CO_RFIFO is point-to-point between any two
+     members), each client to its own server, full server mesh. *)
+  List.iter
+    (fun (p, (_, tr)) ->
+      List.iter
+        (fun (q, _) -> if q > p then Transport.connect tr (Node_id.Client q))
+        clients;
+      if n_servers > 0 then
+        Transport.connect tr (Node_id.Server (p mod n_servers)))
+    clients;
+  List.iter
+    (fun (s, (_, tr)) ->
+      List.iter
+        (fun (s', _) -> if s' > s then Transport.connect tr (Node_id.Server s'))
+        servers)
+    servers;
+  { hub; clients; servers; script = ref Oracle.initial }
+
+let hub t = t.hub
+
+let client_node t p =
+  match List.assoc_opt p t.clients with
+  | Some (node, _) -> node
+  | None -> invalid_arg (Fmt.str "Net_system.client_node: no client %a" Proc.pp p)
+
+let server_node t s =
+  match List.assoc_opt s t.servers with
+  | Some (node, _) -> node
+  | None ->
+      invalid_arg (Fmt.str "Net_system.server_node: no server %a" Server.pp s)
+
+let nodes t = List.map snd t.clients @ List.map snd t.servers
+
+(* -- Driving ------------------------------------------------------------- *)
+
+let quiescent t =
+  Loopback.idle t.hub && List.for_all (fun (n, _) -> Node.quiescent n) (nodes t)
+
+let run ?(max_ticks = 50_000) t =
+  let rec go budget =
+    List.iter
+      (fun (node, tr) -> List.iter (Node.handle node) (Transport.recv tr))
+      (nodes t);
+    List.iter
+      (fun (node, tr) ->
+        List.iter (fun (dst, pkt) -> Transport.send tr dst pkt) (Node.step node))
+      (nodes t);
+    if not (quiescent t) then
+      if budget = 0 then failwith "Net_system.run: tick budget exhausted"
+      else begin
+        Loopback.tick t.hub;
+        go (budget - 1)
+      end
+  in
+  go max_ticks
+
+(* -- Scenario drivers ---------------------------------------------------- *)
+
+let send t p payload = Node.push (client_node t p) payload
+
+let broadcast t ~senders ~per_sender =
+  Proc.Set.iter
+    (fun p ->
+      for i = 1 to per_sender do
+        send t p (Fmt.str "m-%a-%d" Proc.pp p i)
+      done)
+    senders
+
+(* Scripted membership: queue through the standalone oracle state (so
+   identifiers and view ids follow exactly the in-memory System's
+   bookkeeping), then move the queued events into the node inboxes. *)
+let require_scripted t what =
+  if t.servers <> [] then
+    invalid_arg (Fmt.str "Net_system.%s: system runs real servers" what)
+
+let drain_script t =
+  Proc.Map.iter
+    (fun p (pst : Oracle.pst) ->
+      List.iter
+        (fun a -> Node.inject (client_node t p) a)
+        (List.rev pst.Oracle.pending))
+    !(t.script);
+  t.script :=
+    Proc.Map.map (fun (pst : Oracle.pst) -> { pst with Oracle.pending = [] })
+      !(t.script)
+
+let start_change t ~set =
+  require_scripted t "start_change";
+  let cids = Oracle.queue_start_change t.script ~set in
+  drain_script t;
+  cids
+
+let deliver_view ?(origin = 0) t ~set =
+  require_scripted t "deliver_view";
+  let v = Oracle.form_view t.script ~origin ~set in
+  drain_script t;
+  v
+
+let reconfigure ?(origin = 0) t ~set =
+  require_scripted t "reconfigure";
+  let v = Oracle.change t.script ~origin ~set () in
+  drain_script t;
+  v
+
+(* -- Observations --------------------------------------------------------- *)
+
+let delivered t p = Node.delivered (client_node t p)
+let views_of t p = Node.views (client_node t p)
+let last_view_of t p = Node.last_view (client_node t p)
+
+let all_in_view t view =
+  Proc.Set.for_all
+    (fun p ->
+      match last_view_of t p with
+      | Some (v, _) -> View.equal v view
+      | None -> false)
+    (View.set view)
+
+let malformed t =
+  List.fold_left (fun acc (n, _) -> acc + Node.malformed n) 0 (nodes t)
+
+(* One digest for the whole deployment: per-node trace fingerprints in
+   node order plus the hub's delivery counters. Equal iff every node
+   behaved identically — the determinism regression's yardstick. *)
+let fingerprint t =
+  let parts =
+    List.map
+      (fun (node, _) ->
+        Fmt.str "%s=%s" (Node_id.to_string (Node.id node)) (Node.fingerprint node))
+      (nodes t)
+  in
+  Fmt.str "%s|hub:%d/%d" (String.concat ";" parts) (Loopback.delivered t.hub)
+    (Loopback.dropped t.hub)

@@ -1,0 +1,69 @@
+(** Networked system assembly: every end-point (and optionally every
+    membership server) in its own executor behind the deterministic
+    loopback transport (DESIGN.md §10).
+
+    With [n_servers = 0] membership is scripted through a standalone
+    oracle whose bookkeeping matches the in-memory {!System}'s — the
+    equivalence tests rely on identical scripts producing identical
+    identifiers and views. With [n_servers > 0] the client-server
+    membership algorithm runs for real, over packets. *)
+
+open Vsgc_types
+
+type t
+
+val create :
+  ?seed:int ->
+  ?knobs:Vsgc_net.Loopback.knobs ->
+  ?layer:Vsgc_core.Endpoint.layer ->
+  n:int ->
+  ?n_servers:int ->
+  unit ->
+  t
+(** [n] client nodes (full mesh); [n_servers] server nodes (full mesh,
+    client [p] attached to [p mod n_servers]). A (seed, knobs) pair
+    fully determines every run. *)
+
+val hub : t -> Vsgc_net.Loopback.hub
+val client_node : t -> Proc.t -> Vsgc_net.Node.t
+val server_node : t -> Server.t -> Vsgc_net.Node.t
+
+val run : ?max_ticks:int -> t -> unit
+(** Drive recv/step/tick rounds until nothing is in flight and every
+    node is quiescent.
+    @raise Failure when the tick budget runs out first. *)
+
+val quiescent : t -> bool
+
+(** {1 Scenario drivers} *)
+
+val send : t -> Proc.t -> string -> unit
+(** Queue a payload at client [p]'s application (takes effect on the
+    next {!run}). *)
+
+val broadcast : t -> senders:Proc.Set.t -> per_sender:int -> unit
+
+val start_change : t -> set:Proc.Set.t -> View.Sc_id.t Proc.Map.t
+(** Scripted membership only.
+    @raise Invalid_argument when real servers are running. *)
+
+val deliver_view : ?origin:int -> t -> set:Proc.Set.t -> View.t
+val reconfigure : ?origin:int -> t -> set:Proc.Set.t -> View.t
+
+(** {1 Observations} *)
+
+val delivered : t -> Proc.t -> (Proc.t * Msg.App_msg.t) list
+(** Oldest first. *)
+
+val views_of : t -> Proc.t -> (View.t * Proc.Set.t) list
+(** Oldest first. *)
+
+val last_view_of : t -> Proc.t -> (View.t * Proc.Set.t) option
+val all_in_view : t -> View.t -> bool
+
+val malformed : t -> int
+(** Malformed transport events across all nodes (0 in healthy runs). *)
+
+val fingerprint : t -> string
+(** Per-node trace fingerprints plus hub counters; equal iff every
+    node behaved identically. *)

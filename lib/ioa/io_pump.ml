@@ -1,0 +1,45 @@
+(* The bridge between an executor and a transport.
+
+   A networked node hosts one composed automaton. Packets arriving off
+   the wire become environment inputs ([enqueue]); [pump] injects them
+   and drives the composition to quiescence; actions matching the
+   [capture] predicate — the node's outputs, e.g. [Rf_send] — are
+   diverted into an outbox the caller [drain]s onto the transport.
+
+   The capture hook only records: it never re-enters the executor, so
+   the no-reentrancy rule of [Executor.perform] is respected. *)
+
+open Vsgc_types
+
+type t = {
+  exec : Executor.t;
+  inbox : Action.t Queue.t;
+  outbox : Action.t Queue.t;
+}
+
+let create ~capture exec =
+  let t = { exec; inbox = Queue.create (); outbox = Queue.create () } in
+  Executor.add_step_hook exec (fun a -> if capture a then Queue.add a t.outbox);
+  t
+
+let executor t = t.exec
+let enqueue t a = Queue.add a t.inbox
+let pending t = Queue.length t.inbox
+
+let pump ?(max_steps = 200_000) t =
+  while not (Queue.is_empty t.inbox) do
+    Executor.inject t.exec (Queue.pop t.inbox)
+  done;
+  match Executor.run ~max_steps t.exec with
+  | Executor.Quiescent _ -> ()
+  | Executor.Step_limit ->
+      (* A node that cannot quiesce on a bounded budget is livelocked;
+         in the runtime that is a bug, not a schedule to explore. *)
+      failwith "Io_pump.pump: step limit exceeded"
+
+let drain t =
+  let l = List.of_seq (Queue.to_seq t.outbox) in
+  Queue.clear t.outbox;
+  l
+
+let quiescent t = Queue.is_empty t.inbox && Executor.is_quiescent t.exec

@@ -1,0 +1,34 @@
+(** The bridge between an executor and a transport (DESIGN.md §10).
+
+    Packets arriving off the wire become environment inputs
+    ({!enqueue}); {!pump} injects them and drives the composition to
+    quiescence; actions matching [capture] are diverted into an outbox
+    the caller {!drain}s onto the transport. *)
+
+open Vsgc_types
+
+type t
+
+val create : capture:(Action.t -> bool) -> Executor.t -> t
+(** [create ~capture exec] attaches an outbox hook to [exec]; every
+    subsequently performed action satisfying [capture] is recorded in
+    order. The hook only records — it never re-enters the executor. *)
+
+val executor : t -> Executor.t
+
+val enqueue : t -> Action.t -> unit
+(** Queue an environment input for the next {!pump}. *)
+
+val pending : t -> int
+(** Inputs queued but not yet injected. *)
+
+val pump : ?max_steps:int -> t -> unit
+(** Inject every queued input, then run the composition to quiescence.
+    @raise Failure if the step budget (default 200k) is exhausted —
+    a node that cannot quiesce is livelocked. *)
+
+val drain : t -> Action.t list
+(** Captured outputs since the last drain, oldest first. *)
+
+val quiescent : t -> bool
+(** No queued inputs and the executor is quiescent. *)

@@ -66,6 +66,23 @@ let happens_before pred_a pred_b trace =
   in
   go false trace
 
+(* A stable digest of a trace: FNV-1a 64-bit over the rendered actions.
+   Two traces fingerprint equal iff their renderings agree action by
+   action — the determinism regressions compare these across runs. *)
+let fingerprint trace =
+  let h = ref 0xcbf29ce484222325L in
+  let mix c =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int c)) 0x100000001b3L
+  in
+  let n = ref 0 in
+  List.iter
+    (fun a ->
+      String.iter (fun ch -> mix (Char.code ch)) (Fmt.str "%a" Action.pp a);
+      mix (Char.code '\n');
+      incr n)
+    trace;
+  Fmt.str "%Lx:%d" !h !n
+
 (* Per-category totals — a cheap sanity check against Metrics. *)
 let category_counts trace =
   let tbl = Hashtbl.create 16 in

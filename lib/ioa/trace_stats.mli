@@ -25,4 +25,9 @@ val happens_before :
 (** Did the first match of the first predicate precede the first match
     of the second? *)
 
+val fingerprint : Action.t list -> string
+(** A stable digest ["<fnv1a-64-hex>:<length>"] of the rendered trace;
+    equal iff the traces render identically action by action. Used by
+    the determinism regressions. *)
+
 val category_counts : Action.t list -> (Action.category, int) Hashtbl.t

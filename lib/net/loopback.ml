@@ -1,0 +1,174 @@
+(* Deterministic in-process transport.
+
+   All endpoints attach to one [hub]; [tick] advances a virtual clock
+   and moves due packets into receiver mailboxes. Every packet is
+   FRAMED on send and DECODED on delivery — the loopback path
+   exercises exactly the bytes the TCP path ships, so codec bugs
+   surface under the deterministic harness, not just on sockets.
+
+   Fault knobs (all driven by the hub's seeded Rng, so a (seed, knobs)
+   pair fully determines behaviour):
+   - [delay]    each packet is due 1 + uniform(0..delay) ticks out
+   - [drop]     probability a packet vanishes in flight
+   - [reorder]  probability a packet may overtake earlier ones on the
+                same link (otherwise per-link FIFO is enforced, like a
+                TCP stream) *)
+
+open Vsgc_wire
+
+type knobs = { delay : int; drop : float; reorder : float }
+
+let default_knobs = { delay = 0; drop = 0.0; reorder = 0.0 }
+
+type flight = {
+  due : int;
+  seq : int;  (* tie-break: FIFO among same-tick packets *)
+  src : Node_id.t;
+  dst : Node_id.t;
+  frame : bytes;
+}
+
+type endpoint_state = {
+  id : Node_id.t;
+  mailbox : Transport.event Queue.t;
+  mutable closed : bool;
+}
+
+type hub = {
+  rng : Vsgc_ioa.Rng.t;
+  knobs : knobs;
+  mutable now : int;
+  mutable seq : int;
+  mutable in_flight : flight list;  (* unordered; selected by (due, seq) *)
+  links : (Node_id.t * Node_id.t, unit) Hashtbl.t;  (* symmetric pairs *)
+  fifo_floor : (Node_id.t * Node_id.t, int) Hashtbl.t;
+      (* per directed link: latest due already assigned *)
+  mutable endpoints : endpoint_state list;  (* sorted by id *)
+  mutable dropped : int;
+  mutable delivered : int;
+}
+
+let hub ?(seed = 0) ?(knobs = default_knobs) () =
+  {
+    rng = Vsgc_ioa.Rng.make seed;
+    knobs;
+    now = 0;
+    seq = 0;
+    in_flight = [];
+    links = Hashtbl.create 16;
+    fifo_floor = Hashtbl.create 16;
+    endpoints = [];
+    dropped = 0;
+    delivered = 0;
+  }
+
+let dropped h = h.dropped
+let delivered h = h.delivered
+let now h = h.now
+
+let find_endpoint h id =
+  List.find_opt (fun e -> Node_id.equal e.id id) h.endpoints
+
+let linked h a b = Hashtbl.mem h.links (a, b) || Hashtbl.mem h.links (b, a)
+
+let push h id ev =
+  match find_endpoint h id with
+  | Some e when not e.closed -> Queue.add ev e.mailbox
+  | Some _ | None -> ()
+
+let unlink h a b =
+  Hashtbl.remove h.links (a, b);
+  Hashtbl.remove h.links (b, a)
+
+let attach h id =
+  (match find_endpoint h id with
+  | Some _ -> invalid_arg "Loopback.attach: id already attached"
+  | None -> ());
+  let ep = { id; mailbox = Queue.create (); closed = false } in
+  h.endpoints <-
+    List.sort
+      (fun a b -> Node_id.compare a.id b.id)
+      (ep :: h.endpoints);
+  let connect peer =
+    if ep.closed then ()
+    else
+      match find_endpoint h peer with
+      | Some other when not other.closed ->
+          if not (linked h id peer) then begin
+            Hashtbl.replace h.links (id, peer) ();
+            push h id (Transport.Up peer);
+            push h peer (Transport.Up id)
+          end
+      | Some _ | None -> ()
+  in
+  let send peer pkt =
+    if ep.closed || not (linked h id peer) then ()
+    else if h.knobs.drop > 0.0 && Vsgc_ioa.Rng.float h.rng < h.knobs.drop then
+      h.dropped <- h.dropped + 1
+    else begin
+      let jitter =
+        if h.knobs.delay > 0 then Vsgc_ioa.Rng.int h.rng (h.knobs.delay + 1)
+        else 0
+      in
+      let base = h.now + 1 + jitter in
+      let floor =
+        Option.value ~default:0 (Hashtbl.find_opt h.fifo_floor (id, peer))
+      in
+      let overtake =
+        h.knobs.reorder > 0.0 && Vsgc_ioa.Rng.float h.rng < h.knobs.reorder
+      in
+      let due = if overtake then base else Stdlib.max base floor in
+      if due > floor then Hashtbl.replace h.fifo_floor (id, peer) due;
+      h.seq <- h.seq + 1;
+      h.in_flight <-
+        { due; seq = h.seq; src = id; dst = peer; frame = Frame.encode pkt }
+        :: h.in_flight
+    end
+  in
+  let recv () =
+    let evs = List.of_seq (Queue.to_seq ep.mailbox) in
+    Queue.clear ep.mailbox;
+    evs
+  in
+  let close () =
+    if not ep.closed then begin
+      ep.closed <- true;
+      List.iter
+        (fun other ->
+          if (not (Node_id.equal other.id id)) && linked h id other.id then begin
+            unlink h id other.id;
+            push h other.id (Transport.Down id)
+          end)
+        h.endpoints;
+      Queue.clear ep.mailbox
+    end
+  in
+  { Transport.me = id; connect; send; recv; close }
+
+(* Advance the virtual clock one tick and deliver everything due, in
+   (due, seq) order — the only order, so runs are reproducible. *)
+let tick h =
+  h.now <- h.now + 1;
+  let due, rest = List.partition (fun f -> f.due <= h.now) h.in_flight in
+  h.in_flight <- rest;
+  let due = List.sort (fun a b -> compare (a.due, a.seq) (b.due, b.seq)) due in
+  List.iter
+    (fun f ->
+      if linked h f.src f.dst then begin
+        (match Frame.decode f.frame with
+        | Ok pkt ->
+            h.delivered <- h.delivered + 1;
+            push h f.dst (Transport.Received (f.src, pkt))
+        | Error error ->
+            push h f.dst (Transport.Malformed { peer = Some f.src; error }));
+        ()
+      end
+      else h.dropped <- h.dropped + 1)
+    due
+
+(* Nothing in flight and every mailbox drained. Mailboxes only empty
+   when their endpoint [recv]s, so idleness is checked by the node
+   loop after a recv pass, not busy-waited on here. *)
+let idle h =
+  h.in_flight = []
+  && List.for_all (fun e -> Queue.is_empty e.mailbox) h.endpoints

@@ -1,0 +1,39 @@
+(** Deterministic in-process transport.
+
+    All endpoints attach to one {!hub}; {!tick} advances a virtual
+    clock and moves due packets into receiver mailboxes. Every packet
+    is framed on send and decoded on delivery, so the loopback path
+    exercises exactly the bytes the TCP path ships. A (seed, knobs)
+    pair fully determines behaviour. *)
+
+open Vsgc_wire
+
+type knobs = {
+  delay : int;  (** each packet is due 1 + uniform(0..delay) ticks out *)
+  drop : float;  (** probability a packet vanishes in flight *)
+  reorder : float;
+      (** probability a packet may overtake earlier ones on its link;
+          at 0.0 per-link FIFO is enforced, like a TCP stream *)
+}
+
+val default_knobs : knobs
+(** No delay, no loss, FIFO links. *)
+
+type hub
+
+val hub : ?seed:int -> ?knobs:knobs -> unit -> hub
+
+val attach : hub -> Node_id.t -> Transport.t
+(** A fresh endpoint with this identity.
+    @raise Invalid_argument if the identity is already attached. *)
+
+val tick : hub -> unit
+(** Advance the virtual clock one tick; deliver every due packet in
+    (due, sequence) order. *)
+
+val idle : hub -> bool
+(** Nothing in flight and every mailbox drained. *)
+
+val now : hub -> int
+val dropped : hub -> int
+val delivered : hub -> int

@@ -1,0 +1,210 @@
+(* A deployable vsgc node: one OS-process-worth of the system.
+
+   A node hosts the UNCHANGED automata — a GCS end-point plus its
+   scripted client, or a membership server — inside a private
+   [Executor], bridged to a transport by an [Io_pump]:
+
+     transport events --[handle]--> environment inputs
+     [step]: pump to quiescence, captured outputs --> packets out
+
+   The translation is mechanical and total:
+
+   client p            Rf packet            -> Rf_deliver(q, p, wire)
+                       Start_change packet  -> Mb_start_change
+                       View packet          -> Mb_view
+                       Up(its server)       -> emits a Join packet
+                       Rf_send(p, set, w)   -> one Rf packet per target
+
+   server s            Join/Leave packet    -> Client_join/Client_leave
+                       Srv packet           -> Srv_deliver
+                       Up/Down(server)      -> Fd_change(s, connected+s)
+                       Down(client p)       -> Client_leave(p, s)
+                       Srv_send(s, s', m)   -> one Srv packet to s'
+                       Mb_start_change/view -> Start_change/View packet
+
+   Malformed transport events bump a counter and nothing else: a bad
+   frame can cost a link (the transport's business), never the node. *)
+
+open Vsgc_types
+open Vsgc_wire
+
+type role =
+  | Client_node of { proc : Proc.t; attach : Server.t }
+  | Server_node of { server : Server.t }
+
+type kind =
+  | Client_k of {
+      proc : Proc.t;
+      attach : Server.t;
+      client : Vsgc_core.Client.t ref;
+      endpoint : Vsgc_core.Endpoint.t ref;
+    }
+  | Server_k of {
+      server : Server.t;
+      state : Vsgc_mbrshp.Servers.t ref;
+      mutable connected : Server.Set.t;  (* live links to peer servers *)
+      mutable attached : Proc.Set.t;  (* clients that sent Join *)
+    }
+
+type t = {
+  id : Node_id.t;
+  exec : Vsgc_ioa.Executor.t;
+  pump : Vsgc_ioa.Io_pump.t;
+  outq : (Node_id.t * Packet.t) Queue.t;
+  mutable malformed : int;
+  kind : kind;
+}
+
+let create ?(seed = 0) ?(layer = `Full) role =
+  match role with
+  | Client_node { proc; attach } ->
+      let ep_packed, endpoint = Vsgc_core.Endpoint.component ~layer proc in
+      let cl_packed, client = Vsgc_core.Client.component proc in
+      let exec =
+        Vsgc_ioa.Executor.create ~seed ~keep_trace:true [ ep_packed; cl_packed ]
+      in
+      let capture = function
+        | Action.Rf_send (q, _, _) -> Proc.equal q proc
+        | _ -> false
+      in
+      {
+        id = Node_id.Client proc;
+        exec;
+        pump = Vsgc_ioa.Io_pump.create ~capture exec;
+        outq = Queue.create ();
+        malformed = 0;
+        kind = Client_k { proc; attach; client; endpoint };
+      }
+  | Server_node { server } ->
+      let packed, state =
+        Vsgc_mbrshp.Servers.component
+          ~servers:(Server.Set.singleton server)
+          server
+      in
+      let exec = Vsgc_ioa.Executor.create ~seed ~keep_trace:true [ packed ] in
+      let capture = function
+        | Action.Srv_send (s, _, _) -> Server.equal s server
+        | Action.Mb_start_change _ | Action.Mb_view _ -> true
+        | _ -> false
+      in
+      {
+        id = Node_id.Server server;
+        exec;
+        pump = Vsgc_ioa.Io_pump.create ~capture exec;
+        outq = Queue.create ();
+        malformed = 0;
+        kind =
+          Server_k
+            {
+              server;
+              state;
+              connected = Server.Set.empty;
+              attached = Proc.Set.empty;
+            };
+      }
+
+let id t = t.id
+let executor t = t.exec
+let malformed t = t.malformed
+
+let send_pkt t dst pkt = Queue.add (dst, pkt) t.outq
+let enqueue t a = Vsgc_ioa.Io_pump.enqueue t.pump a
+
+let handle t ev =
+  match (t.kind, ev) with
+  | _, Transport.Malformed _ -> t.malformed <- t.malformed + 1
+  (* -- client side -- *)
+  | Client_k c, Transport.Up (Node_id.Server s) when Server.equal s c.attach ->
+      send_pkt t (Node_id.Server s) (Packet.Join c.proc)
+  | Client_k _, Transport.Up _ | Client_k _, Transport.Down _ -> ()
+  | Client_k c, Transport.Received (_, Packet.Rf { from; wire }) ->
+      enqueue t (Action.Rf_deliver (from, c.proc, wire))
+  | Client_k c, Transport.Received (_, Packet.Start_change { target; cid; set })
+    when Proc.equal target c.proc ->
+      enqueue t (Action.Mb_start_change (c.proc, cid, set))
+  | Client_k c, Transport.Received (_, Packet.View { target; view })
+    when Proc.equal target c.proc ->
+      enqueue t (Action.Mb_view (c.proc, view))
+  | Client_k _, Transport.Received _ -> ()
+  (* -- server side -- *)
+  | Server_k sk, Transport.Up (Node_id.Server s') ->
+      sk.connected <- Server.Set.add s' sk.connected;
+      enqueue t
+        (Action.Fd_change (sk.server, Server.Set.add sk.server sk.connected))
+  | Server_k sk, Transport.Down (Node_id.Server s') ->
+      sk.connected <- Server.Set.remove s' sk.connected;
+      enqueue t
+        (Action.Fd_change (sk.server, Server.Set.add sk.server sk.connected))
+  | Server_k _, Transport.Up (Node_id.Client _) -> ()
+  | Server_k sk, Transport.Down (Node_id.Client p) ->
+      if Proc.Set.mem p sk.attached then begin
+        sk.attached <- Proc.Set.remove p sk.attached;
+        enqueue t (Action.Client_leave (p, sk.server))
+      end
+  | Server_k sk, Transport.Received (_, Packet.Join p) ->
+      sk.attached <- Proc.Set.add p sk.attached;
+      enqueue t (Action.Client_join (p, sk.server))
+  | Server_k sk, Transport.Received (_, Packet.Leave p) ->
+      if Proc.Set.mem p sk.attached then begin
+        sk.attached <- Proc.Set.remove p sk.attached;
+        enqueue t (Action.Client_leave (p, sk.server))
+      end
+  | Server_k sk, Transport.Received (_, Packet.Srv { from; msg }) ->
+      enqueue t (Action.Srv_deliver (from, sk.server, msg))
+  | Server_k _, Transport.Received _ -> ()
+
+(* Captured executor outputs become packets. *)
+let route t a =
+  match (t.kind, a) with
+  | Client_k c, Action.Rf_send (p, targets, wire) when Proc.equal p c.proc ->
+      Proc.Set.iter
+        (fun q -> send_pkt t (Node_id.Client q) (Packet.Rf { from = p; wire }))
+        targets
+  | Server_k sk, Action.Srv_send (from, dst, msg) when Server.equal from sk.server
+    ->
+      send_pkt t (Node_id.Server dst) (Packet.Srv { from; msg })
+  | Server_k _, Action.Mb_start_change (p, cid, set) ->
+      send_pkt t (Node_id.Client p) (Packet.Start_change { target = p; cid; set })
+  | Server_k _, Action.Mb_view (p, view) ->
+      send_pkt t (Node_id.Client p) (Packet.View { target = p; view })
+  | _ -> ()
+
+let step ?max_steps t =
+  Vsgc_ioa.Io_pump.pump ?max_steps t.pump;
+  List.iter (route t) (Vsgc_ioa.Io_pump.drain t.pump);
+  let pkts = List.of_seq (Queue.to_seq t.outq) in
+  Queue.clear t.outq;
+  pkts
+
+let inject = enqueue
+
+let push t payload =
+  match t.kind with
+  | Client_k c -> Vsgc_core.Client.push c.client payload
+  | Server_k _ -> invalid_arg "Node.push: not a client node"
+
+let client_state t =
+  match t.kind with
+  | Client_k c -> !(c.client)
+  | Server_k _ -> invalid_arg "Node.client_state: not a client node"
+
+let delivered t = Vsgc_core.Client.delivered (client_state t)
+let views t = Vsgc_core.Client.views (client_state t)
+let last_view t = Vsgc_core.Client.last_view (client_state t)
+
+let current_view t =
+  match t.kind with
+  | Client_k c -> Vsgc_core.Endpoint.current_view !(c.endpoint)
+  | Server_k _ -> invalid_arg "Node.current_view: not a client node"
+
+let attached t =
+  match t.kind with
+  | Server_k sk -> sk.attached
+  | Client_k _ -> invalid_arg "Node.attached: not a server node"
+
+let trace t = Vsgc_ioa.Executor.trace t.exec
+
+let quiescent t =
+  Vsgc_ioa.Io_pump.quiescent t.pump && Queue.is_empty t.outq
+
+let fingerprint t = Vsgc_ioa.Trace_stats.fingerprint (trace t)

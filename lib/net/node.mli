@@ -1,0 +1,63 @@
+(** A deployable vsgc node: one OS-process-worth of the system.
+
+    Hosts the unchanged automata — a GCS end-point plus its scripted
+    client, or a membership server — inside a private executor,
+    bridged to a transport by an I/O pump. Transport events go in via
+    {!handle}; {!step} pumps the composition to quiescence and
+    returns the packets to ship (DESIGN.md §10). *)
+
+open Vsgc_types
+open Vsgc_wire
+
+type role =
+  | Client_node of { proc : Proc.t; attach : Server.t }
+      (** a GCS end-point, registering with membership server [attach] *)
+  | Server_node of { server : Server.t }  (** a membership server *)
+
+type t
+
+val create : ?seed:int -> ?layer:Vsgc_core.Endpoint.layer -> role -> t
+(** [layer] (default [`Full]) selects the end-point's inheritance
+    layer; ignored for servers. *)
+
+val id : t -> Node_id.t
+val executor : t -> Vsgc_ioa.Executor.t
+
+val handle : t -> Transport.event -> unit
+(** Translate one transport event into environment inputs (queued for
+    the next {!step}). Total: malformed events only bump a counter. *)
+
+val step : ?max_steps:int -> t -> (Node_id.t * Packet.t) list
+(** Pump every queued input and run the composition to quiescence;
+    returns the packets this produced, oldest first, addressed. *)
+
+val inject : t -> Action.t -> unit
+(** Queue a raw environment input — scripted membership events in
+    server-less deployments, crash/recover, ... *)
+
+val push : t -> string -> unit
+(** Queue an application payload for multicast (client nodes).
+    @raise Invalid_argument on a server node. *)
+
+(** {1 Observation} *)
+
+val delivered : t -> (Proc.t * Msg.App_msg.t) list
+(** Client node: application deliveries, oldest first. *)
+
+val views : t -> (View.t * Proc.Set.t) list
+(** Client node: views delivered to the application, oldest first. *)
+
+val last_view : t -> (View.t * Proc.Set.t) option
+val current_view : t -> View.t
+
+val attached : t -> Proc.Set.t
+(** Server node: clients currently joined. *)
+
+val malformed : t -> int
+(** Malformed transport events survived so far. *)
+
+val trace : t -> Action.t list
+val quiescent : t -> bool
+
+val fingerprint : t -> string
+(** {!Vsgc_ioa.Trace_stats.fingerprint} of this node's trace. *)

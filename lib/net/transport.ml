@@ -1,0 +1,49 @@
+(* The transport interface of the runtime.
+
+   A transport endpoint belongs to one node and mediates all its
+   communication: it dials peers, ships framed packets, and surfaces
+   everything observable as a queue of [event]s the node drains each
+   iteration of its main loop. Implementations:
+
+   - [Loopback]: deterministic in-process hub with seeded fault knobs,
+     so networked compositions stay reproducible and explorable.
+   - [Tcp]: real sockets, non-blocking select loop, reconnecting.
+
+   The interface is a record of closures rather than a functor: every
+   endpoint carries its own connection state, and nodes stay
+   polymorphic in the transport without staging. *)
+
+open Vsgc_wire
+
+type event =
+  | Up of Node_id.t  (** a link to this peer is established *)
+  | Down of Node_id.t  (** the link is lost (peer closed, crashed...) *)
+  | Received of Node_id.t * Packet.t  (** a decoded packet from the peer *)
+  | Malformed of { peer : Node_id.t option; error : Frame.error }
+      (** undecodable bytes arrived; the link is dropped, never the
+          process *)
+
+let pp_event ppf = function
+  | Up id -> Fmt.pf ppf "up(%a)" Node_id.pp id
+  | Down id -> Fmt.pf ppf "down(%a)" Node_id.pp id
+  | Received (id, pkt) -> Fmt.pf ppf "recv(%a,%a)" Node_id.pp id Packet.pp pkt
+  | Malformed { peer; error } ->
+      Fmt.pf ppf "malformed(%a,%a)"
+        Fmt.(option ~none:(any "?") Node_id.pp)
+        peer Frame.pp_error error
+
+type t = {
+  me : Node_id.t;
+  connect : Node_id.t -> unit;
+      (** dial a peer; idempotent, [Up] is reported when established *)
+  send : Node_id.t -> Packet.t -> unit;
+      (** frame and ship; silently dropped when the link is down *)
+  recv : unit -> event list;  (** drain pending events, oldest first *)
+  close : unit -> unit;  (** tear down every link *)
+}
+
+let me t = t.me
+let connect t peer = t.connect peer
+let send t peer pkt = t.send peer pkt
+let recv t = t.recv ()
+let close t = t.close ()

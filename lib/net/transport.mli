@@ -1,0 +1,38 @@
+(** The transport interface of the runtime (DESIGN.md §10).
+
+    A transport endpoint belongs to one node and mediates all its
+    communication. The interface is a record of closures so that nodes
+    are polymorphic in the transport: {!Loopback} provides the
+    deterministic in-process implementation, {!Tcp} the real one. *)
+
+open Vsgc_wire
+
+type event =
+  | Up of Node_id.t  (** a link to this peer is established *)
+  | Down of Node_id.t  (** the link is lost *)
+  | Received of Node_id.t * Packet.t  (** a decoded packet *)
+  | Malformed of { peer : Node_id.t option; error : Frame.error }
+      (** undecodable bytes; the link is dropped, never the process *)
+
+val pp_event : Format.formatter -> event -> unit
+
+type t = {
+  me : Node_id.t;
+  connect : Node_id.t -> unit;
+  send : Node_id.t -> Packet.t -> unit;
+  recv : unit -> event list;
+  close : unit -> unit;
+}
+
+val me : t -> Node_id.t
+
+val connect : t -> Node_id.t -> unit
+(** Dial a peer; idempotent. [Up] is reported once established. *)
+
+val send : t -> Node_id.t -> Packet.t -> unit
+(** Frame and ship; silently dropped when the link is down. *)
+
+val recv : t -> event list
+(** Drain pending events, oldest first. *)
+
+val close : t -> unit

@@ -1,0 +1,139 @@
+(* Binary codec primitives shared by every wire codec in the repo.
+
+   Conventions (all big-endian):
+     - u8            one byte (tags, booleans)
+     - int           8-byte two's-complement (ids, indices, rounds)
+     - string        u32 length + raw bytes
+     - list          u32 count + elements
+
+   Writers append to a [Buffer.t] and never fail. Readers raise the
+   private [Error] exception internally; [run] converts it — and any
+   other exception a malformed input provokes in a constructor — into
+   a [result], so the public decoding entry points are TOTAL: they
+   never raise on arbitrary bytes. *)
+
+type error =
+  | Truncated of { what : string; need : int; have : int }
+      (* the input ends before [what]'s [need] bytes *)
+  | Bad_tag of { what : string; tag : int }  (* unknown constructor tag *)
+  | Bad_value of { what : string; detail : string }
+      (* structurally well-formed bytes denoting an invalid value *)
+  | Trailing of { extra : int }  (* decode succeeded with bytes left over *)
+
+let pp_error ppf = function
+  | Truncated { what; need; have } ->
+      Fmt.pf ppf "truncated %s (need %d bytes, have %d)" what need have
+  | Bad_tag { what; tag } -> Fmt.pf ppf "bad %s tag %d" what tag
+  | Bad_value { what; detail } -> Fmt.pf ppf "bad %s: %s" what detail
+  | Trailing { extra } -> Fmt.pf ppf "%d trailing bytes after message" extra
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+exception Error of error
+
+let fail e = raise (Error e)
+let bad_value ~what detail = fail (Bad_value { what; detail })
+
+(* -- Writers ------------------------------------------------------------- *)
+
+let w_u8 b i = Buffer.add_char b (Char.chr (i land 0xff))
+
+let w_u32 b i =
+  if i < 0 || i > 0xffff_ffff then invalid_arg "Bin.w_u32: out of range";
+  Buffer.add_char b (Char.chr ((i lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((i lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((i lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (i land 0xff))
+
+let w_int b i = Buffer.add_int64_be b (Int64.of_int i)
+
+let w_string b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_list b w_elt l =
+  w_u32 b (List.length l);
+  List.iter (w_elt b) l
+
+(* -- Readers ------------------------------------------------------------- *)
+
+type reader = { buf : bytes; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?len buf =
+  let limit = match len with Some l -> pos + l | None -> Bytes.length buf in
+  if pos < 0 || limit > Bytes.length buf || pos > limit then
+    invalid_arg "Bin.reader: bad window";
+  { buf; pos; limit }
+
+let remaining r = r.limit - r.pos
+
+let need r ~what n =
+  if remaining r < n then
+    fail (Truncated { what; need = n; have = remaining r })
+
+let r_u8 r ~what =
+  need r ~what 1;
+  let c = Char.code (Bytes.get r.buf r.pos) in
+  r.pos <- r.pos + 1;
+  c
+
+let r_u32 r ~what =
+  need r ~what 4;
+  let b i = Char.code (Bytes.get r.buf (r.pos + i)) in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  r.pos <- r.pos + 4;
+  v
+
+let r_int r ~what =
+  need r ~what 8;
+  let v = Bytes.get_int64_be r.buf r.pos in
+  r.pos <- r.pos + 8;
+  (* Reject the two 64-bit values that do not fit OCaml's 63-bit int:
+     truncating them would make decode(encode x) lossy for no x we
+     ever produce, so they can only denote a corrupt input. *)
+  let v' = Int64.to_int v in
+  if Int64.of_int v' <> v then
+    bad_value ~what (Fmt.str "integer %Ld out of range" v);
+  v'
+
+let r_string r ~what =
+  let n = r_u32 r ~what in
+  (* A length prefix exceeding the bytes actually present is corrupt;
+     checking it here also prevents absurd allocations. *)
+  need r ~what n;
+  let s = Bytes.sub_string r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_list r ~what r_elt =
+  let n = r_u32 r ~what in
+  (* every element encodes to >= 1 byte, so a count beyond the bytes
+     left is corrupt — and bounding it keeps the loop allocation-safe *)
+  if n > remaining r then
+    fail (Truncated { what; need = n; have = remaining r });
+  let rec go acc k = if k = 0 then List.rev acc else go (r_elt r :: acc) (k - 1) in
+  go [] n
+
+let expect_end r =
+  if remaining r > 0 then fail (Trailing { extra = remaining r })
+
+(* -- Total decoding ------------------------------------------------------ *)
+
+let run read buf =
+  match
+    let r = reader buf in
+    let v = read r in
+    expect_end r;
+    v
+  with
+  | v -> Ok v
+  | exception Error e -> Error e
+  | exception exn ->
+      (* Backstop: a constructor invariant (View.make, Cut.set, ...)
+         tripped by structurally valid bytes. Decoding stays total. *)
+      Error (Bad_value { what = "decode"; detail = Printexc.to_string exn })
+
+let to_bytes write v =
+  let b = Buffer.create 64 in
+  write b v;
+  Buffer.to_bytes b

@@ -1,0 +1,49 @@
+(** Binary codec primitives shared by every wire codec.
+
+    Writers append to a [Buffer.t] and never fail; readers raise the
+    private {!Error} internally, and {!run} converts any exception a
+    malformed input can provoke into a [result] — the public decoding
+    entry points built on it are total. *)
+
+type error =
+  | Truncated of { what : string; need : int; have : int }
+  | Bad_tag of { what : string; tag : int }
+  | Bad_value of { what : string; detail : string }
+  | Trailing of { extra : int }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+exception Error of error
+
+val fail : error -> 'a
+val bad_value : what:string -> string -> 'a
+
+(** {1 Writers} *)
+
+val w_u8 : Buffer.t -> int -> unit
+val w_u32 : Buffer.t -> int -> unit
+val w_int : Buffer.t -> int -> unit
+val w_string : Buffer.t -> string -> unit
+val w_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+
+(** {1 Readers (raise {!Error})} *)
+
+type reader
+
+val reader : ?pos:int -> ?len:int -> bytes -> reader
+val remaining : reader -> int
+val r_u8 : reader -> what:string -> int
+val r_u32 : reader -> what:string -> int
+val r_int : reader -> what:string -> int
+val r_string : reader -> what:string -> string
+val r_list : reader -> what:string -> (reader -> 'a) -> 'a list
+val expect_end : reader -> unit
+
+(** {1 Total decoding} *)
+
+val run : (reader -> 'a) -> bytes -> ('a, error) result
+(** [run read buf] decodes the whole of [buf] with [read]; any raised
+    exception becomes an [Error]. Never raises. *)
+
+val to_bytes : (Buffer.t -> 'a -> unit) -> 'a -> bytes

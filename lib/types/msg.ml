@@ -11,6 +11,8 @@ module App_msg = struct
   let equal a b = String.equal a.payload b.payload
   let compare a b = String.compare a.payload b.payload
   let pp ppf t = Fmt.pf ppf "%S" t.payload
+  let write b t = Bin.w_string b t.payload
+  let read r = { payload = Bin.r_string r ~what:"app_msg" }
 end
 
 module Cut = struct
@@ -39,6 +41,23 @@ module Cut = struct
     Fmt.pf ppf "[%a]"
       Fmt.(list ~sep:(any ";") (fun ppf (q, i) -> Fmt.pf ppf "%a:%d" Proc.pp q i))
       (Proc.Map.bindings cut)
+
+  let write b cut =
+    Bin.w_list b
+      (fun b (q, i) ->
+        Proc.write b q;
+        Bin.w_int b i)
+      (Proc.Map.bindings cut)
+
+  let read r =
+    let bindings =
+      Bin.r_list r ~what:"cut" (fun r ->
+          let q = Proc.read r in
+          let i = Bin.r_int r ~what:"cut.index" in
+          if i < 0 then Bin.bad_value ~what:"cut.index" "negative index";
+          (q, i))
+    in
+    of_bindings bindings
 end
 
 module Wire = struct
@@ -112,6 +131,71 @@ module Wire = struct
           entries
     | Bsync b ->
         Fmt.pf ppf "bsync(%a,%a,%a)" View.Id.pp b.vid View.Id.pp (View.id b.view) Cut.pp b.cut
+
+  (* The real codec. Tags 1-6 follow the constructor order; tag 0 is
+     reserved so an all-zero buffer never decodes. *)
+  let write_sync_entry b (e : sync_entry) =
+    Proc.write b e.origin;
+    View.Sc_id.write b e.cid;
+    View.write b e.sview;
+    Cut.write b e.cut
+
+  let read_sync_entry r =
+    let origin = Proc.read r in
+    let cid = View.Sc_id.read r in
+    let sview = View.read r in
+    let cut = Cut.read r in
+    { origin; cid; sview; cut }
+
+  let write b = function
+    | View_msg v ->
+        Bin.w_u8 b 1;
+        View.write b v
+    | App m ->
+        Bin.w_u8 b 2;
+        App_msg.write b m
+    | Fwd f ->
+        Bin.w_u8 b 3;
+        Proc.write b f.origin;
+        View.write b f.view;
+        Bin.w_int b f.index;
+        App_msg.write b f.msg
+    | Sync s ->
+        Bin.w_u8 b 4;
+        View.Sc_id.write b s.cid;
+        View.write b s.view;
+        Cut.write b s.cut
+    | Sync_batch entries ->
+        Bin.w_u8 b 5;
+        Bin.w_list b write_sync_entry entries
+    | Bsync s ->
+        Bin.w_u8 b 6;
+        View.Id.write b s.vid;
+        View.write b s.view;
+        Cut.write b s.cut
+
+  let read r =
+    match Bin.r_u8 r ~what:"wire" with
+    | 1 -> View_msg (View.read r)
+    | 2 -> App (App_msg.read r)
+    | 3 ->
+        let origin = Proc.read r in
+        let view = View.read r in
+        let index = Bin.r_int r ~what:"fwd.index" in
+        let msg = App_msg.read r in
+        Fwd { origin; view; index; msg }
+    | 4 ->
+        let cid = View.Sc_id.read r in
+        let view = View.read r in
+        let cut = Cut.read r in
+        Sync { cid; view; cut }
+    | 5 -> Sync_batch (Bin.r_list r ~what:"sync_batch" read_sync_entry)
+    | 6 ->
+        let vid = View.Id.read r in
+        let view = View.read r in
+        let cut = Cut.read r in
+        Bsync { vid; view; cut }
+    | tag -> Bin.fail (Bad_tag { what = "wire"; tag })
 
   (* Approximate serialized size in bytes, for the overhead benches:
      8 bytes per identifier or integer, 4 per member-set entry, plus

@@ -10,6 +10,10 @@ module App_msg : sig
   val equal : t -> t -> bool
   val compare : t -> t -> int
   val pp : Format.formatter -> t -> unit
+  val write : Buffer.t -> t -> unit
+
+  val read : Bin.reader -> t
+  (** @raise Bin.Error *)
 end
 
 (** A cut maps each process to the index of the last of its messages
@@ -31,6 +35,11 @@ module Cut : sig
 
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
+  val write : Buffer.t -> t -> unit
+
+  val read : Bin.reader -> t
+  (** Decodes to the canonical representation (zero indices dropped).
+      @raise Bin.Error *)
 end
 
 (** Messages GCS end-points exchange through CO_RFIFO. *)
@@ -63,6 +72,12 @@ module Wire : sig
 
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
+
+  val write : Buffer.t -> t -> unit
+  (** The real codec (u8 constructor tag 1-6, then the fields). *)
+
+  val read : Bin.reader -> t
+  (** @raise Bin.Error *)
 
   val size_bytes : t -> int
   (** Approximate serialized size — a cost model for the overhead

@@ -17,6 +17,13 @@ let to_int p = p
 let pp ppf p = Fmt.pf ppf "p%d" p
 let to_string p = Fmt.str "%a" pp p
 
+let write b p = Bin.w_int b p
+
+let read r =
+  let i = Bin.r_int r ~what:"proc" in
+  if i < 0 then Bin.bad_value ~what:"proc" "negative process id";
+  i
+
 module Set = struct
   include Set.Make (Int)
 

@@ -18,6 +18,11 @@ val to_int : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val write : Buffer.t -> t -> unit
+
+val read : Bin.reader -> t
+(** @raise Bin.Error on a negative or truncated identifier. *)
+
 (** Sets of processes, with helpers used throughout the algorithms. *)
 module Set : sig
   include Set.S with type elt = t

@@ -14,5 +14,12 @@ let of_int i =
 let to_int s = s
 let pp ppf s = Fmt.pf ppf "s%d" s
 
+let write b s = Bin.w_int b s
+
+let read r =
+  let i = Bin.r_int r ~what:"server" in
+  if i < 0 then Bin.bad_value ~what:"server" "negative server id";
+  i
+
 module Set = Proc.Set
 module Map = Proc.Map

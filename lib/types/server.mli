@@ -14,5 +14,10 @@ val of_int : int -> t
 val to_int : t -> int
 val pp : Format.formatter -> t -> unit
 
+val write : Buffer.t -> t -> unit
+
+val read : Bin.reader -> t
+(** @raise Bin.Error on a negative or truncated identifier. *)
+
 module Set : module type of Proc.Set
 module Map : module type of Proc.Map

@@ -25,6 +25,64 @@ type proposal = {
 
 type t = Proposal of proposal | Commit of View.t
 
+(* Structural equality; the map/set comparisons go through the
+   shape-independent helpers, never [Stdlib.compare] on trees. *)
+let equal_proposal a b =
+  a.round = b.round && Server.equal a.from b.from
+  && Server.Set.equal a.servers b.servers
+  && Proc.Map.equal_by View.Sc_id.equal a.clients b.clients
+  && Proc.Set.equal a.members b.members
+  && View.Id.equal a.max_vid b.max_vid
+
+let equal a b =
+  match (a, b) with
+  | Proposal p, Proposal q -> equal_proposal p q
+  | Commit u, Commit v -> View.equal u v
+  | (Proposal _ | Commit _), _ -> false
+
+let write b = function
+  | Proposal m ->
+      Bin.w_u8 b 1;
+      Bin.w_int b m.round;
+      Server.write b m.from;
+      Bin.w_list b Server.write (Server.Set.elements m.servers);
+      Bin.w_list b
+        (fun b (p, c) ->
+          Proc.write b p;
+          View.Sc_id.write b c)
+        (Proc.Map.bindings m.clients);
+      Bin.w_list b Proc.write (Proc.Set.elements m.members);
+      View.Id.write b m.max_vid
+  | Commit v ->
+      Bin.w_u8 b 2;
+      View.write b v
+
+let read r =
+  match Bin.r_u8 r ~what:"srv_msg" with
+  | 1 ->
+      let round = Bin.r_int r ~what:"proposal.round" in
+      if round < 0 then Bin.bad_value ~what:"proposal.round" "negative round";
+      let from = Server.read r in
+      let servers =
+        Server.Set.of_list (Bin.r_list r ~what:"proposal.servers" Server.read)
+      in
+      let clients =
+        List.fold_left
+          (fun m (p, c) -> Proc.Map.add p c m)
+          Proc.Map.empty
+          (Bin.r_list r ~what:"proposal.clients" (fun r ->
+               let p = Proc.read r in
+               let c = View.Sc_id.read r in
+               (p, c)))
+      in
+      let members =
+        Proc.Set.of_list (Bin.r_list r ~what:"proposal.members" Proc.read)
+      in
+      let max_vid = View.Id.read r in
+      Proposal { round; from; servers; clients; members; max_vid }
+  | 2 -> Commit (View.read r)
+  | tag -> Bin.fail (Bad_tag { what = "srv_msg"; tag })
+
 let pp ppf = function
   | Proposal m ->
       Fmt.pf ppf "propose(r%d,%a,srv=%a,cl=%a,U=%a,max=%a)" m.round Server.pp

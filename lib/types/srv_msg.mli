@@ -17,4 +17,11 @@ type t =
       (** the view synthesized by the minimum live server; peers
           validate it against their own bookkeeping before delivering *)
 
+val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+val write : Buffer.t -> t -> unit
+(** The real codec (u8 constructor tag, then the fields). *)
+
+val read : Bin.reader -> t
+(** @raise Bin.Error *)

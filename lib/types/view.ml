@@ -15,6 +15,13 @@ module Sc_id = struct
   let compare = Int.compare
   let equal = Int.equal
   let pp ppf c = Fmt.pf ppf "c%d" c
+
+  let write b c = Bin.w_int b c
+
+  let read r =
+    let c = Bin.r_int r ~what:"sc_id" in
+    if c < 0 then Bin.bad_value ~what:"sc_id" "negative start_change id";
+    c
 end
 
 module Id = struct
@@ -38,6 +45,15 @@ module Id = struct
   let lt a b = compare a b < 0
   let succ_from ~origin t = { num = t.num + 1; origin }
   let pp ppf t = Fmt.pf ppf "v%d.%d" t.num t.origin
+
+  let write b t =
+    Bin.w_int b t.num;
+    Bin.w_int b t.origin
+
+  let read r =
+    let num = Bin.r_int r ~what:"view_id.num" in
+    let origin = Bin.r_int r ~what:"view_id.origin" in
+    { num; origin }
 end
 
 type t = { id : Id.t; set : Proc.Set.t; start_ids : Sc_id.t Proc.Map.t }
@@ -81,6 +97,30 @@ let pp ppf t =
     (Proc.Map.pp Sc_id.pp) t.start_ids
 
 let to_string t = Fmt.str "%a" pp t
+
+(* On the wire a view is its id plus the [start_ids] bindings: the
+   member set is exactly the map's key set ([make] enforces totality),
+   so encoding it separately could only introduce inconsistency. *)
+let write b t =
+  Id.write b t.id;
+  Bin.w_list b
+    (fun b (p, c) ->
+      Proc.write b p;
+      Sc_id.write b c)
+    (Proc.Map.bindings t.start_ids)
+
+let read r =
+  let id = Id.read r in
+  let bindings =
+    Bin.r_list r ~what:"view.start_ids" (fun r ->
+        let p = Proc.read r in
+        let c = Sc_id.read r in
+        (p, c))
+  in
+  let start_ids =
+    List.fold_left (fun m (p, c) -> Proc.Map.add p c m) Proc.Map.empty bindings
+  in
+  make ~id ~set:(Proc.Map.key_set start_ids) ~start_ids
 
 module Map = Map.Make (struct
   type nonrec t = t

@@ -15,6 +15,10 @@ module Sc_id : sig
   val compare : t -> t -> int
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
+  val write : Buffer.t -> t -> unit
+
+  val read : Bin.reader -> t
+  (** @raise Bin.Error *)
 end
 
 (** View identifiers, a totally ordered refinement of the paper's
@@ -37,6 +41,10 @@ module Id : sig
       [origin] assigns to the view following [vid]. *)
 
   val pp : Format.formatter -> t -> unit
+  val write : Buffer.t -> t -> unit
+
+  val read : Bin.reader -> t
+  (** @raise Bin.Error *)
 end
 
 type t = private { id : Id.t; set : Proc.Set.t; start_ids : Sc_id.t Proc.Map.t }
@@ -64,6 +72,13 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val write : Buffer.t -> t -> unit
+(** Serializes the id and the [start_ids] bindings; the member set is
+    recovered from the bindings' keys on decode. *)
+
+val read : Bin.reader -> t
+(** @raise Bin.Error *)
 
 (** Maps keyed by whole views (triple comparison). *)
 module Map : Map.S with type key = t

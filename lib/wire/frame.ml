@@ -1,0 +1,129 @@
+(* Framing: every packet travels as
+
+     magic 'V' 'G' | version u8 | body length u32 | body
+
+   The header lets a receiver reject garbage cheaply, the version byte
+   lets future PRs evolve the body codec, and the length prefix
+   delimits packets on a TCP stream. [decode] is total; the
+   incremental [feeder] incorporates bytes as they arrive and yields
+   complete packets (or structured errors) without ever raising. *)
+
+open Vsgc_types
+
+let magic0 = 'V'
+let magic1 = 'G'
+let version = 1
+let header_len = 2 + 1 + 4
+
+(* Upper bound on a body: anything larger on a real socket is far more
+   likely a corrupt length prefix than a genuine packet, and trusting
+   it would let one bad header allocate gigabytes. *)
+let max_body_len = 16 * 1024 * 1024
+
+type error =
+  | Bad_magic of { got : char * char }
+  | Bad_version of int
+  | Oversize of int
+  | Body of Bin.error
+
+let pp_error ppf = function
+  | Bad_magic { got = c0, c1 } ->
+      Fmt.pf ppf "bad frame magic 0x%02x%02x" (Char.code c0) (Char.code c1)
+  | Bad_version v -> Fmt.pf ppf "unsupported frame version %d" v
+  | Oversize n -> Fmt.pf ppf "frame body of %d bytes exceeds limit" n
+  | Body e -> Fmt.pf ppf "frame body: %a" Bin.pp_error e
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+let encode pkt =
+  let body = Buffer.create 64 in
+  Packet.write body pkt;
+  let n = Buffer.length body in
+  let b = Buffer.create (header_len + n) in
+  Buffer.add_char b magic0;
+  Buffer.add_char b magic1;
+  Bin.w_u8 b version;
+  Bin.w_u32 b n;
+  Buffer.add_buffer b body;
+  Buffer.to_bytes b
+
+type header = Need_more | Body_len of int
+
+let check_header buf ~pos ~have =
+  if have < header_len then Ok Need_more
+  else
+    let c0 = Bytes.get buf pos and c1 = Bytes.get buf (pos + 1) in
+    if c0 <> magic0 || c1 <> magic1 then Error (Bad_magic { got = (c0, c1) })
+    else
+      let v = Char.code (Bytes.get buf (pos + 2)) in
+      if v <> version then Error (Bad_version v)
+      else
+        let b i = Char.code (Bytes.get buf (pos + 3 + i)) in
+        let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+        if n > max_body_len then Error (Oversize n) else Ok (Body_len n)
+
+let decode buf =
+  let have = Bytes.length buf in
+  match check_header buf ~pos:0 ~have with
+  | Error e -> Error e
+  | Ok Need_more ->
+      Error
+        (Body (Bin.Truncated { what = "frame header"; need = header_len; have }))
+  | Ok (Body_len n) ->
+      if have < header_len + n then
+        Error
+          (Body
+             (Bin.Truncated
+                { what = "frame body"; need = n; have = have - header_len }))
+      else if have > header_len + n then
+        Error (Body (Bin.Trailing { extra = have - header_len - n }))
+      else (
+        match Bin.run Packet.read (Bytes.sub buf header_len n) with
+        | Ok pkt -> Ok pkt
+        | Error e -> Error (Body e))
+
+(* -- Incremental decoding for stream transports -------------------------- *)
+
+type feeder = { mutable acc : bytes; mutable len : int }
+
+let feeder () = { acc = Bytes.create 4096; len = 0 }
+
+let feed f buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Frame.feed: bad slice";
+  let need = f.len + len in
+  if need > Bytes.length f.acc then begin
+    let cap = ref (Bytes.length f.acc * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let acc = Bytes.create !cap in
+    Bytes.blit f.acc 0 acc 0 f.len;
+    f.acc <- acc
+  end;
+  Bytes.blit buf off f.acc f.len len;
+  f.len <- f.len + len
+
+let buffered f = f.len
+
+let consume f n =
+  Bytes.blit f.acc n f.acc 0 (f.len - n);
+  f.len <- f.len - n
+
+let next f =
+  match check_header f.acc ~pos:0 ~have:f.len with
+  | Error e ->
+      (* The stream is out of sync. The caller is expected to drop the
+         connection, so don't try to resynchronize — just flush. *)
+      f.len <- 0;
+      Some (Error e)
+  | Ok Need_more -> None
+  | Ok (Body_len n) ->
+      if f.len < header_len + n then None
+      else begin
+        let body = Bytes.sub f.acc header_len n in
+        consume f (header_len + n);
+        match Bin.run Packet.read body with
+        | Ok pkt -> Some (Ok pkt)
+        | Error e -> Some (Error (Body e))
+      end

@@ -1,0 +1,57 @@
+(** Packet framing for stream and datagram transports.
+
+    Every {!Packet.t} travels as [magic 'V' 'G' | version u8 |
+    body length u32 | body]. {!decode} and {!next} are total: malformed
+    input yields an {!error}, never an exception (DESIGN.md §10). *)
+
+open Vsgc_types
+
+val version : int
+(** Current wire-format version (1). *)
+
+val header_len : int
+(** Bytes of framing overhead per packet (7). *)
+
+val max_body_len : int
+(** Bodies larger than this are rejected as {!Oversize} — a corrupt
+    length prefix must not drive allocation. *)
+
+type error =
+  | Bad_magic of { got : char * char }
+  | Bad_version of int
+  | Oversize of int
+  | Body of Bin.error
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val encode : Packet.t -> bytes
+(** One whole frame: header plus body. *)
+
+val decode : bytes -> (Packet.t, error) result
+(** Decodes exactly one whole frame. Total: truncated input reports
+    [Body (Truncated _)], excess input [Body (Trailing _)]. *)
+
+(** {1 Incremental decoding}
+
+    A [feeder] accumulates stream bytes as they arrive and yields
+    complete packets. After {!next} returns a framing error the
+    feeder's buffer is flushed — the caller should drop the
+    connection, since a byte stream that lost framing cannot be
+    trusted to recover. *)
+
+type feeder
+
+val feeder : unit -> feeder
+
+val feed : feeder -> bytes -> off:int -> len:int -> unit
+(** Appends [len] bytes of [buf] starting at [off].
+    @raise Invalid_argument on a slice outside [buf]. *)
+
+val buffered : feeder -> int
+(** Bytes accumulated but not yet consumed by {!next}. *)
+
+val next : feeder -> (Packet.t, error) result option
+(** [next f] is [Some (Ok pkt)] when a complete frame is buffered,
+    [Some (Error e)] when the buffered bytes cannot be a frame, and
+    [None] when more bytes are needed. Never raises. *)

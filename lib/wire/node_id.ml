@@ -1,0 +1,47 @@
+(* Network-level endpoint identities.
+
+   A node on the wire is either a GCS client end-point (a [Proc.t]) or
+   a membership server (a [Server.t]). The two id spaces overlap as
+   integers, so the wire identity carries the role tag. *)
+
+open Vsgc_types
+
+type t = Client of Proc.t | Server of Server.t
+
+let client p = Client p
+let server s = Server s
+
+let compare a b =
+  match (a, b) with
+  | Client p, Client q -> Proc.compare p q
+  | Server s, Server t -> Server.compare s t
+  | Client _, Server _ -> -1
+  | Server _, Client _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Client p -> Proc.pp ppf p
+  | Server s -> Server.pp ppf s
+
+let to_string t = Fmt.str "%a" pp t
+
+let write b = function
+  | Client p ->
+      Bin.w_u8 b 0;
+      Proc.write b p
+  | Server s ->
+      Bin.w_u8 b 1;
+      Server.write b s
+
+let read r =
+  match Bin.r_u8 r ~what:"node_id" with
+  | 0 -> Client (Proc.read r)
+  | 1 -> Server (Server.read r)
+  | tag -> Bin.fail (Bad_tag { what = "node_id"; tag })
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,20 @@
+(** Network-level endpoint identities: a node is a GCS client
+    end-point or a membership server. The integer id spaces overlap,
+    so the wire identity carries the role tag. *)
+
+open Vsgc_types
+
+type t = Client of Proc.t | Server of Server.t
+
+val client : Proc.t -> t
+val server : Server.t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val write : Buffer.t -> t -> unit
+
+val read : Bin.reader -> t
+(** @raise Bin.Error *)
+
+module Map : Map.S with type key = t

@@ -1,0 +1,112 @@
+(* The application-level packet vocabulary of the runtime.
+
+   Everything two vsgc nodes ever exchange is one of these; the framing
+   layer ([Frame]) wraps them with a magic/version/length header. The
+   variants mirror the action vocabulary at each process boundary:
+
+   - [Hello]          connection preamble: the dialer announces who it
+                      is, so the acceptor can map the socket to a node.
+   - [Rf]             a CO_RFIFO-level wire message between end-points
+                      (carried client-to-client via the transport).
+   - [Srv]            an inter-server membership message.
+   - [Join]/[Leave]   a client (de)registering with its membership
+                      server.
+   - [Start_change]   server -> client: the mb_start_change event.
+   - [View]           server -> client: the mb_view event. *)
+
+open Vsgc_types
+
+type t =
+  | Hello of Node_id.t
+  | Rf of { from : Proc.t; wire : Msg.Wire.t }
+  | Srv of { from : Server.t; msg : Srv_msg.t }
+  | Join of Proc.t
+  | Leave of Proc.t
+  | Start_change of { target : Proc.t; cid : View.Sc_id.t; set : Proc.Set.t }
+  | View of { target : Proc.t; view : View.t }
+
+let equal a b =
+  match (a, b) with
+  | Hello x, Hello y -> Node_id.equal x y
+  | Rf x, Rf y -> Proc.equal x.from y.from && Msg.Wire.equal x.wire y.wire
+  | Srv x, Srv y -> Server.equal x.from y.from && Srv_msg.equal x.msg y.msg
+  | Join p, Join q | Leave p, Leave q -> Proc.equal p q
+  | Start_change x, Start_change y ->
+      Proc.equal x.target y.target
+      && View.Sc_id.equal x.cid y.cid
+      && Proc.Set.equal x.set y.set
+  | View x, View y -> Proc.equal x.target y.target && View.equal x.view y.view
+  | ( ( Hello _ | Rf _ | Srv _ | Join _ | Leave _ | Start_change _ | View _ ),
+      _ ) ->
+      false
+
+let pp ppf = function
+  | Hello id -> Fmt.pf ppf "hello(%a)" Node_id.pp id
+  | Rf { from; wire } -> Fmt.pf ppf "rf(%a,%a)" Proc.pp from Msg.Wire.pp wire
+  | Srv { from; msg } -> Fmt.pf ppf "srv(%a,%a)" Server.pp from Srv_msg.pp msg
+  | Join p -> Fmt.pf ppf "join(%a)" Proc.pp p
+  | Leave p -> Fmt.pf ppf "leave(%a)" Proc.pp p
+  | Start_change { target; cid; set } ->
+      Fmt.pf ppf "start_change(%a,%a,%a)" Proc.pp target View.Sc_id.pp cid
+        Proc.Set.pp set
+  | View { target; view } ->
+      Fmt.pf ppf "view(%a,%a)" Proc.pp target View.pp view
+
+let to_string t = Fmt.str "%a" pp t
+
+let write b = function
+  | Hello id ->
+      Bin.w_u8 b 1;
+      Node_id.write b id
+  | Rf { from; wire } ->
+      Bin.w_u8 b 2;
+      Proc.write b from;
+      Msg.Wire.write b wire
+  | Srv { from; msg } ->
+      Bin.w_u8 b 3;
+      Server.write b from;
+      Srv_msg.write b msg
+  | Join p ->
+      Bin.w_u8 b 4;
+      Proc.write b p
+  | Leave p ->
+      Bin.w_u8 b 5;
+      Proc.write b p
+  | Start_change { target; cid; set } ->
+      Bin.w_u8 b 6;
+      Proc.write b target;
+      View.Sc_id.write b cid;
+      Bin.w_list b Proc.write (Proc.Set.elements set)
+  | View { target; view } ->
+      Bin.w_u8 b 7;
+      Proc.write b target;
+      View.write b view
+
+let read r =
+  match Bin.r_u8 r ~what:"packet" with
+  | 1 -> Hello (Node_id.read r)
+  | 2 ->
+      let from = Proc.read r in
+      let wire = Msg.Wire.read r in
+      Rf { from; wire }
+  | 3 ->
+      let from = Server.read r in
+      let msg = Srv_msg.read r in
+      Srv { from; msg }
+  | 4 -> Join (Proc.read r)
+  | 5 -> Leave (Proc.read r)
+  | 6 ->
+      let target = Proc.read r in
+      let cid = View.Sc_id.read r in
+      let set =
+        Proc.Set.of_list (Bin.r_list r ~what:"start_change.set" Proc.read)
+      in
+      Start_change { target; cid; set }
+  | 7 ->
+      let target = Proc.read r in
+      let view = View.read r in
+      View { target; view }
+  | tag -> Bin.fail (Bad_tag { what = "packet"; tag })
+
+let to_bytes t = Bin.to_bytes write t
+let of_bytes buf = Bin.run read buf

@@ -1,0 +1,31 @@
+(** The application-level packet vocabulary of the runtime: everything
+    two vsgc nodes exchange, prior to framing (DESIGN.md §10). *)
+
+open Vsgc_types
+
+type t =
+  | Hello of Node_id.t
+      (** connection preamble: the dialer announces its identity *)
+  | Rf of { from : Proc.t; wire : Msg.Wire.t }
+      (** a CO_RFIFO-level wire message between GCS end-points *)
+  | Srv of { from : Server.t; msg : Srv_msg.t }
+      (** an inter-server membership message *)
+  | Join of Proc.t  (** client registers with its membership server *)
+  | Leave of Proc.t  (** client deregisters *)
+  | Start_change of { target : Proc.t; cid : View.Sc_id.t; set : Proc.Set.t }
+      (** server -> client mb_start_change event *)
+  | View of { target : Proc.t; view : View.t }
+      (** server -> client mb_view event *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val write : Buffer.t -> t -> unit
+
+val read : Bin.reader -> t
+(** @raise Bin.Error *)
+
+val to_bytes : t -> bytes
+
+val of_bytes : bytes -> (t, Bin.error) result
+(** Total: never raises on malformed input. *)

@@ -32,9 +32,38 @@ let test_server_stack_deterministic () =
   Alcotest.(check bool) "server stack reproducible" true
     (List.length t1 = List.length t2 && List.for_all2 Action.equal t1 t2)
 
+(* Same seed + same fault knobs on the loopback transport => identical
+   per-node Trace_stats fingerprints (the wire runtime is as
+   reproducible as the in-memory executor). *)
+let test_loopback_fingerprint_deterministic () =
+  let run ~seed ~knobs =
+    let net = Vsgc_harness.Net_system.create ~seed ~knobs ~n:3 () in
+    ignore (Vsgc_harness.Net_system.reconfigure net ~set:(Proc.Set.of_range 0 2));
+    Vsgc_harness.Net_system.run net;
+    Vsgc_harness.Net_system.broadcast net ~senders:(Proc.Set.of_range 0 2)
+      ~per_sender:3;
+    Vsgc_harness.Net_system.run net;
+    ignore
+      (Vsgc_harness.Net_system.reconfigure ~origin:1 net
+         ~set:(Proc.Set.of_range 0 1));
+    Vsgc_harness.Net_system.run net;
+    Vsgc_harness.Net_system.fingerprint net
+  in
+  let knobs = { Vsgc_net.Loopback.delay = 2; drop = 0.0; reorder = 0.25 } in
+  Alcotest.(check string)
+    "same seed + knobs, same fingerprint" (run ~seed:97 ~knobs)
+    (run ~seed:97 ~knobs);
+  let lossy = { knobs with Vsgc_net.Loopback.drop = 0.2 } in
+  (* Loss makes runs shorter, never non-deterministic. *)
+  Alcotest.(check string)
+    "lossy links still reproducible" (run ~seed:98 ~knobs:lossy)
+    (run ~seed:98 ~knobs:lossy)
+
 let suite =
   [
     Alcotest.test_case "same seed, same trace" `Quick test_same_seed_same_trace;
+    Alcotest.test_case "loopback transport reproducible" `Quick
+      test_loopback_fingerprint_deterministic;
     Alcotest.test_case "different seed, different schedule" `Quick
       test_different_seed_different_schedule;
     Alcotest.test_case "server stack reproducible" `Quick test_server_stack_deterministic;

@@ -1,0 +1,373 @@
+(* Wire-codec properties.
+
+   Round-trips: decode (encode m) = Ok m for every codec, on
+   generated values covering all constructors. Totality: decoding
+   arbitrary bytes — random, truncated, or bit-flipped valid
+   encodings — returns a result, never raises; across well over the
+   10k inputs the acceptance bar asks for. *)
+
+open Vsgc_types
+module Packet = Vsgc_wire.Packet
+module Frame = Vsgc_wire.Frame
+module Node_id = Vsgc_wire.Node_id
+module Gen = QCheck.Gen
+
+(* -- Generators ---------------------------------------------------------- *)
+
+let gen_proc = Gen.int_range 0 20
+let gen_server = Gen.int_range 0 7
+let gen_sc_id = Gen.int_range 0 50
+
+let gen_vid =
+  Gen.map2
+    (fun num origin -> View.Id.make ~num ~origin)
+    (Gen.int_range 0 100) (Gen.int_range 0 5)
+
+let gen_proc_set =
+  Gen.map Proc.Set.of_list (Gen.list_size (Gen.int_range 0 6) gen_proc)
+
+let gen_view =
+  Gen.map2
+    (fun id bindings ->
+      let start_ids =
+        List.fold_left
+          (fun m (p, c) -> Proc.Map.add p c m)
+          Proc.Map.empty bindings
+      in
+      View.make ~id ~set:(Proc.Map.key_set start_ids) ~start_ids)
+    gen_vid
+    (Gen.list_size (Gen.int_range 1 6) (Gen.pair gen_proc gen_sc_id))
+
+let gen_payload = Gen.string_size ~gen:Gen.char (Gen.int_range 0 16)
+let gen_app = Gen.map Msg.App_msg.make gen_payload
+
+let gen_cut =
+  Gen.map Msg.Cut.of_bindings
+    (Gen.list_size (Gen.int_range 0 5) (Gen.pair gen_proc (Gen.int_range 0 30)))
+
+let gen_sync_entry =
+  Gen.map
+    (fun (origin, cid, sview, cut) -> { Msg.Wire.origin; cid; sview; cut })
+    (Gen.quad gen_proc gen_sc_id gen_view gen_cut)
+
+let gen_wire =
+  Gen.frequency
+    [
+      (2, Gen.map (fun v -> Msg.Wire.View_msg v) gen_view);
+      (4, Gen.map (fun m -> Msg.Wire.App m) gen_app);
+      ( 2,
+        Gen.map
+          (fun (origin, view, index, msg) ->
+            Msg.Wire.Fwd { origin; view; index; msg })
+          (Gen.quad gen_proc gen_view (Gen.int_range 0 100) gen_app) );
+      ( 2,
+        Gen.map
+          (fun (cid, view, cut) -> Msg.Wire.Sync { cid; view; cut })
+          (Gen.triple gen_sc_id gen_view gen_cut) );
+      ( 1,
+        Gen.map
+          (fun es -> Msg.Wire.Sync_batch es)
+          (Gen.list_size (Gen.int_range 0 4) gen_sync_entry) );
+      ( 1,
+        Gen.map
+          (fun (vid, view, cut) -> Msg.Wire.Bsync { vid; view; cut })
+          (Gen.triple gen_vid gen_view gen_cut) );
+    ]
+
+let gen_srv_msg =
+  Gen.frequency
+    [
+      ( 2,
+        Gen.map2
+          (fun (round, from, servers) (clients, members, max_vid) ->
+            let clients =
+              List.fold_left
+                (fun m (p, c) -> Proc.Map.add p c m)
+                Proc.Map.empty clients
+            in
+            Srv_msg.Proposal
+              {
+                round;
+                from;
+                servers = Server.Set.of_list servers;
+                clients;
+                members = Proc.Set.of_list members;
+                max_vid;
+              })
+          (Gen.triple (Gen.int_range 0 50) gen_server
+             (Gen.list_size (Gen.int_range 0 4) gen_server))
+          (Gen.triple
+             (Gen.list_size (Gen.int_range 0 4) (Gen.pair gen_proc gen_sc_id))
+             (Gen.list_size (Gen.int_range 0 5) gen_proc)
+             gen_vid) );
+      (1, Gen.map (fun v -> Srv_msg.Commit v) gen_view);
+    ]
+
+let gen_node_id =
+  Gen.oneof
+    [
+      Gen.map (fun p -> Node_id.Client p) gen_proc;
+      Gen.map (fun s -> Node_id.Server s) gen_server;
+    ]
+
+let gen_packet =
+  Gen.frequency
+    [
+      (1, Gen.map (fun id -> Packet.Hello id) gen_node_id);
+      ( 4,
+        Gen.map2 (fun from wire -> Packet.Rf { from; wire }) gen_proc gen_wire
+      );
+      ( 2,
+        Gen.map2 (fun from msg -> Packet.Srv { from; msg }) gen_server
+          gen_srv_msg );
+      (1, Gen.map (fun p -> Packet.Join p) gen_proc);
+      (1, Gen.map (fun p -> Packet.Leave p) gen_proc);
+      ( 1,
+        Gen.map
+          (fun (target, cid, set) -> Packet.Start_change { target; cid; set })
+          (Gen.triple gen_proc gen_sc_id gen_proc_set) );
+      ( 1,
+        Gen.map2
+          (fun target view -> Packet.View { target; view })
+          gen_proc gen_view );
+    ]
+
+(* -- Round-trip properties ----------------------------------------------- *)
+
+let roundtrip ~name ~count gen write read equal pp =
+  QCheck.Test.make ~name ~count (QCheck.make gen ~print:(Fmt.str "%a" pp))
+    (fun v ->
+      match Bin.run read (Bin.to_bytes write v) with
+      | Ok v' -> equal v v'
+      | Error e -> QCheck.Test.fail_reportf "decode error: %a" Bin.pp_error e)
+
+let prop_view =
+  roundtrip ~name:"view roundtrip" ~count:500 gen_view View.write View.read
+    View.equal View.pp
+
+let prop_wire =
+  roundtrip ~name:"wire msg roundtrip" ~count:1000 gen_wire Msg.Wire.write
+    Msg.Wire.read Msg.Wire.equal Msg.Wire.pp
+
+let prop_srv_msg =
+  roundtrip ~name:"srv msg roundtrip" ~count:1000 gen_srv_msg Srv_msg.write
+    Srv_msg.read Srv_msg.equal Srv_msg.pp
+
+let prop_node_id =
+  roundtrip ~name:"node id roundtrip" ~count:200 gen_node_id Node_id.write
+    Node_id.read Node_id.equal Node_id.pp
+
+let prop_packet =
+  roundtrip ~name:"packet roundtrip" ~count:1000 gen_packet Packet.write
+    Packet.read Packet.equal Packet.pp
+
+let prop_frame =
+  QCheck.Test.make ~name:"frame roundtrip" ~count:1000
+    (QCheck.make gen_packet ~print:Packet.to_string) (fun pkt ->
+      match Frame.decode (Frame.encode pkt) with
+      | Ok pkt' -> Packet.equal pkt pkt'
+      | Error e -> QCheck.Test.fail_reportf "frame error: %a" Frame.pp_error e)
+
+(* Every strict prefix of a framed packet is rejected, not misparsed. *)
+let prop_prefix =
+  QCheck.Test.make ~name:"strict prefixes never decode" ~count:300
+    (QCheck.make
+       Gen.(pair gen_packet (float_bound_inclusive 1.0))
+       ~print:(fun (pkt, f) -> Fmt.str "%a@%f" Packet.pp pkt f))
+    (fun (pkt, f) ->
+      let b = Frame.encode pkt in
+      let k = int_of_float (f *. float_of_int (Bytes.length b - 1)) in
+      match Frame.decode (Bytes.sub b 0 k) with
+      | Error _ -> true
+      | Ok _ -> QCheck.Test.fail_reportf "prefix of length %d decoded" k)
+
+(* -- Totality (fuzz) ----------------------------------------------------- *)
+
+(* Feed [n] adversarial inputs to every total entry point; the only
+   acceptable outcomes are Ok and Error. Inputs: uniform random bytes,
+   random bytes behind a valid frame header, and single-byte
+   corruptions of valid encodings. *)
+let test_fuzz_total () =
+  let rng = Vsgc_ioa.Rng.make 0xf00d in
+  let random_bytes len =
+    Bytes.init len (fun _ -> Char.chr (Vsgc_ioa.Rng.int rng 256))
+  in
+  let decoders : (string * (bytes -> bool)) list =
+    [
+      ("packet", fun b -> Result.is_ok (Packet.of_bytes b));
+      ("frame", fun b -> Result.is_ok (Frame.decode b));
+      ("wire", fun b -> Result.is_ok (Bin.run Msg.Wire.read b));
+      ("srv_msg", fun b -> Result.is_ok (Bin.run Srv_msg.read b));
+      ("view", fun b -> Result.is_ok (Bin.run View.read b));
+    ]
+  in
+  let oks = ref 0 and errs = ref 0 in
+  let feed b =
+    List.iter
+      (fun (what, d) ->
+        match d b with
+        | true -> incr oks
+        | false -> incr errs
+        | exception exn ->
+            Alcotest.failf "%s decoder raised %s on %d bytes" what
+              (Printexc.to_string exn) (Bytes.length b))
+      decoders
+  in
+  (* 1. uniform random inputs *)
+  for _ = 1 to 6_000 do
+    feed (random_bytes (Vsgc_ioa.Rng.int rng 65))
+  done;
+  (* 2. random bodies behind a valid frame header *)
+  for _ = 1 to 3_000 do
+    let body = random_bytes (Vsgc_ioa.Rng.int rng 48) in
+    let b = Buffer.create 64 in
+    Buffer.add_string b "VG";
+    Bin.w_u8 b Frame.version;
+    Bin.w_u32 b (Bytes.length body);
+    Buffer.add_bytes b body;
+    feed (Buffer.to_bytes b)
+  done;
+  (* 3. single-byte corruptions of valid frames *)
+  let sample =
+    [
+      Packet.Join 3;
+      Packet.Hello (Node_id.Server 1);
+      Packet.Rf
+        {
+          from = 0;
+          wire =
+            Msg.Wire.Sync
+              {
+                cid = 2;
+                view = View.initial 0;
+                cut = Msg.Cut.of_bindings [ (1, 4) ];
+              };
+        };
+      Packet.View { target = 1; view = View.initial 1 };
+    ]
+  in
+  for _ = 1 to 3_000 do
+    let pkt = Vsgc_ioa.Rng.pick rng sample in
+    let b = Frame.encode pkt in
+    let i = Vsgc_ioa.Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Vsgc_ioa.Rng.int rng 256));
+    feed b
+  done;
+  Alcotest.(check int)
+    (Fmt.str "every input produced a result (ok=%d err=%d)" !oks !errs)
+    (12_000 * List.length decoders)
+    (!oks + !errs)
+
+(* -- Directed cases ------------------------------------------------------ *)
+
+let test_bad_tag () =
+  let b = Bytes.of_string "\xff" in
+  (match Bin.run Msg.Wire.read b with
+  | Error (Bin.Bad_tag { what = "wire"; tag = 255 }) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Bin.pp_error e
+  | Ok _ -> Alcotest.fail "tag 255 decoded");
+  match Packet.of_bytes (Bytes.of_string "\x00") with
+  | Error (Bin.Bad_tag { what = "packet"; tag = 0 }) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Bin.pp_error e
+  | Ok _ -> Alcotest.fail "tag 0 decoded"
+
+let test_trailing_rejected () =
+  let b = Packet.to_bytes (Packet.Join 1) in
+  let b' = Bytes.cat b (Bytes.of_string "x") in
+  match Packet.of_bytes b' with
+  | Error (Bin.Trailing { extra = 1 }) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Bin.pp_error e
+  | Ok _ -> Alcotest.fail "trailing byte accepted"
+
+let test_frame_header_errors () =
+  let pkt = Packet.Leave 2 in
+  let f = Frame.encode pkt in
+  let bad_magic = Bytes.copy f in
+  Bytes.set bad_magic 0 'X';
+  (match Frame.decode bad_magic with
+  | Error (Frame.Bad_magic _) -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  let bad_version = Bytes.copy f in
+  Bytes.set bad_version 2 '\x63';
+  (match Frame.decode bad_version with
+  | Error (Frame.Bad_version 0x63) -> ()
+  | _ -> Alcotest.fail "bad version accepted");
+  let oversize = Bytes.copy f in
+  Bytes.set oversize 3 '\xff';
+  match Frame.decode oversize with
+  | Error (Frame.Oversize _) -> ()
+  | _ -> Alcotest.fail "oversize length accepted"
+
+(* The incremental feeder yields the same packets the sender framed,
+   whatever the chunking. *)
+let test_feeder_chunked () =
+  let pkts =
+    [
+      Packet.Hello (Node_id.Client 0);
+      Packet.Join 0;
+      Packet.Rf { from = 0; wire = Msg.Wire.App (Msg.App_msg.make "payload") };
+      Packet.View { target = 0; view = View.initial 0 };
+      Packet.Leave 0;
+    ]
+  in
+  let stream = Bytes.concat Bytes.empty (List.map Frame.encode pkts) in
+  List.iter
+    (fun chunk ->
+      let f = Frame.feeder () in
+      let got = ref [] in
+      let drain () =
+        let rec go () =
+          match Frame.next f with
+          | Some (Ok pkt) ->
+              got := pkt :: !got;
+              go ()
+          | Some (Error e) -> Alcotest.failf "feeder error %a" Frame.pp_error e
+          | None -> ()
+        in
+        go ()
+      in
+      let len = Bytes.length stream in
+      let off = ref 0 in
+      while !off < len do
+        let k = Stdlib.min chunk (len - !off) in
+        Frame.feed f stream ~off:!off ~len:k;
+        drain ();
+        off := !off + k
+      done;
+      let got = List.rev !got in
+      Alcotest.(check int)
+        (Fmt.str "all packets at chunk %d" chunk)
+        (List.length pkts) (List.length got);
+      Alcotest.(check bool)
+        (Fmt.str "identical at chunk %d" chunk)
+        true
+        (List.for_all2 Packet.equal pkts got))
+    [ 1; 2; 3; 7; 16; 64; 100_000 ]
+
+let test_feeder_garbage () =
+  let f = Frame.feeder () in
+  Frame.feed f (Bytes.of_string "garbage bytes here") ~off:0 ~len:18;
+  (match Frame.next f with
+  | Some (Error (Frame.Bad_magic _)) -> ()
+  | _ -> Alcotest.fail "garbage not rejected");
+  Alcotest.(check int) "buffer flushed" 0 (Frame.buffered f)
+
+let suite =
+  List.map (fun t -> QCheck_alcotest.to_alcotest ~long:false t)
+    [
+      prop_view;
+      prop_wire;
+      prop_srv_msg;
+      prop_node_id;
+      prop_packet;
+      prop_frame;
+      prop_prefix;
+    ]
+  @ [
+      Alcotest.test_case "fuzz: decoders are total" `Quick test_fuzz_total;
+      Alcotest.test_case "bad tags rejected" `Quick test_bad_tag;
+      Alcotest.test_case "trailing bytes rejected" `Quick test_trailing_rejected;
+      Alcotest.test_case "frame header errors" `Quick test_frame_header_errors;
+      Alcotest.test_case "feeder: chunk-independent" `Quick test_feeder_chunked;
+      Alcotest.test_case "feeder: garbage flushes" `Quick test_feeder_garbage;
+    ]
