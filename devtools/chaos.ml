@@ -1,0 +1,156 @@
+(* Chaos-schedule CLI over the networked runtime.
+
+     chaos find   [opts]                sample seeded fault schedules until one
+                                        fails the oracle battery; shrink + save
+     chaos replay FILE.fault...         re-execute saved schedules, judge each
+                                        against its expect header + fingerprint
+     chaos pin    FILE.fault [OUT]      run a schedule and pin its fingerprint
+
+   Every schedule rebuilds a Net_system deployment from scratch; equal
+   (seed, config) pairs sample equal schedules and equal schedules give
+   equal fingerprints, so CI replays are exact. *)
+
+module F = Vsgc_fault
+
+let die fmt = Fmt.kstr (fun s -> Fmt.epr "chaos: %s@." s; exit 2) fmt
+
+let layer_of_string = function
+  | "wv" -> `Wv
+  | "vs" -> `Vs
+  | "full" -> `Full
+  | s -> die "unknown layer %S (want wv|vs|full)" s
+
+(* -- Options ------------------------------------------------------------- *)
+
+let seed = ref 1
+let rounds = ref 50
+let clients = ref F.Chaos.default_config.F.Chaos.clients
+let servers = ref F.Chaos.default_config.F.Chaos.servers
+let blocks = ref F.Chaos.default_config.F.Chaos.fault_blocks
+let layer = ref F.Chaos.default_config.F.Chaos.layer
+let delay = ref F.Chaos.default_config.F.Chaos.knobs.Vsgc_net.Loopback.delay
+let out = ref ""
+let quiet = ref false
+
+let find_opts =
+  [
+    ("-seed", Arg.Set_int seed, "S base seed (default 1)");
+    ("-rounds", Arg.Set_int rounds, "R schedules to sample (default 50)");
+    ("-clients", Arg.Set_int clients, "N client count (default 3)");
+    ( "-servers",
+      Arg.Set_int servers,
+      "M server count; 0 = scripted membership (default 2)" );
+    ("-blocks", Arg.Set_int blocks, "B fault blocks per schedule (default 4)");
+    ( "-layer",
+      Arg.String (fun s -> layer := layer_of_string s),
+      "L wv|vs|full (default full)" );
+    ("-delay", Arg.Set_int delay, "D baseline delay knob (default 1)");
+    ("-o", Arg.Set_string out, "FILE save the (shrunk) finding here");
+    ("-quiet", Arg.Set quiet, " only print the outcome line");
+  ]
+
+let cmd_find args =
+  Arg.parse_argv ~current:(ref 0)
+    (Array.of_list (Sys.argv.(0) :: args))
+    (Arg.align find_opts)
+    (fun a -> die "find takes no positional argument (got %S)" a)
+    "chaos find [options]";
+  if !clients < 1 then die "-clients must be at least 1";
+  let config =
+    {
+      F.Chaos.clients = !clients;
+      servers = !servers;
+      layer = !layer;
+      knobs = { Vsgc_net.Loopback.default_knobs with delay = !delay };
+      fault_blocks = !blocks;
+    }
+  in
+  let log = if !quiet then None else Some (fun s -> Fmt.pr "%s@." s) in
+  let t0 = Unix.gettimeofday () in
+  let found = F.Chaos.find ?log ~rounds:!rounds ~seed:!seed config in
+  let dt = Unix.gettimeofday () -. t0 in
+  match found with
+  | None ->
+      Fmt.pr "no violation in %d rounds (%.2fs)@." !rounds dt;
+      exit 1
+  | Some f ->
+      Fmt.pr "violation (round %d, %.2fs): %a@." f.F.Chaos.round dt
+        F.Inject.pp_violation f.F.Chaos.violation;
+      if not !quiet then
+        Fmt.pr "schedule: %d events (%d before shrinking)@."
+          (List.length f.F.Chaos.schedule.F.Schedule.events)
+          f.F.Chaos.events_before_shrink;
+      if !out <> "" then begin
+        F.Schedule.save f.F.Chaos.schedule !out;
+        Fmt.pr "saved: %s@." !out
+      end
+      else if not !quiet then Fmt.pr "%a@." F.Schedule.pp f.F.Chaos.schedule;
+      exit 0
+
+let cmd_replay args =
+  let files = List.filter (fun a -> a <> "-quiet") args in
+  quiet := List.mem "-quiet" args;
+  if files = [] then die "replay needs at least one FILE.fault";
+  let bad = ref 0 in
+  List.iter
+    (fun file ->
+      let sched = F.Schedule.load file in
+      (match F.Inject.check sched with
+      | F.Inject.Reproduced ->
+          Fmt.pr "%s: reproduced %s@." file
+            (Option.get sched.F.Schedule.conf.F.Schedule.expect)
+      | F.Inject.Clean_ok -> Fmt.pr "%s: clean, as expected@." file
+      | F.Inject.Missing kind ->
+          incr bad;
+          Fmt.pr "%s: FAILED to reproduce expected %s@." file kind
+      | F.Inject.Unexpected v ->
+          incr bad;
+          Fmt.pr "%s: UNEXPECTED %a@." file F.Inject.pp_violation v
+      | F.Inject.Fingerprint_mismatch { expected; got } ->
+          incr bad;
+          Fmt.pr "%s: FINGERPRINT drift@.  pinned: %s@.  got:    %s@." file
+            expected got);
+      if not !quiet then Fmt.pr "%a@." F.Schedule.pp sched)
+    files;
+  exit (if !bad = 0 then 0 else 1)
+
+let cmd_pin args =
+  match List.filter (fun a -> not (String.length a > 0 && a.[0] = '-')) args with
+  | ([ file ] | [ file; _ ]) as pos ->
+      let out = match pos with [ _; o ] -> o | _ -> file in
+      let sched = F.Schedule.load file in
+      let outcome = F.Inject.run sched in
+      let expect = sched.F.Schedule.conf.F.Schedule.expect in
+      (match (outcome.F.Inject.verdict, expect) with
+      | Ok (), None -> ()
+      | Error v, Some kind when v.F.Inject.kind = kind -> ()
+      | Ok (), Some kind -> die "%s: expected %s but the run was clean" file kind
+      | Error v, _ ->
+          die "%s: run raised %a but the header expects %s" file
+            F.Inject.pp_violation v
+            (Option.value expect ~default:"clean"));
+      let pinned =
+        F.Schedule.with_fingerprint sched outcome.F.Inject.fingerprint
+      in
+      F.Schedule.save pinned out;
+      Fmt.pr "%s: pinned %s -> %s@." file outcome.F.Inject.fingerprint out;
+      exit 0
+  | _ -> die "usage: chaos pin FILE.fault [OUT.fault]"
+
+let usage () =
+  Fmt.epr
+    "usage:@.  chaos find [options]@.  chaos replay FILE.fault...@.  chaos pin \
+     FILE.fault [OUT.fault]@.";
+  exit 2
+
+let () =
+  try
+    match Array.to_list Sys.argv with
+    | _ :: "find" :: args -> cmd_find args
+    | _ :: "replay" :: args -> cmd_replay args
+    | _ :: "pin" :: args -> cmd_pin args
+    | _ -> usage ()
+  with
+  | F.Schedule.Parse_error msg -> die "parse error: %s" msg
+  | Sys_error msg -> die "%s" msg
+  | Invalid_argument msg -> die "%s" msg

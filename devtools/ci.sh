@@ -1,8 +1,10 @@
 #!/bin/sh
-# Tier-1 gate: build, full test suite, then a depth-bounded explorer
-# smoke (well under 30 s): the seeded no-sync-wait mutation must be
-# found within the depth bound, shrunk, saved, and reproduced
-# deterministically from the saved file.
+# Tier-1 gate: build, full test suite, a depth-bounded explorer smoke
+# (the seeded no-sync-wait mutation must be found, shrunk, saved, and
+# reproduced deterministically from the saved file), static vet, the
+# fault corpus replayed against pinned fingerprints, a seeded chaos
+# sweep, and two socket smokes — plain agreement plus SIGKILL-and-
+# rejoin. Everything carries a hard timeout.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -80,5 +82,79 @@ diff -u "$smokedir/c0.events" "$smokedir/c1.events" \
   || smoke_fail "clients disagree on delivery order or view"
 test "$(grep -c '^DELIVER ' "$smokedir/c0.events")" = 5 \
   || smoke_fail "expected 5 deliveries"
+
+# Fault-schedule regression corpus: every checked-in .fault schedule
+# must replay to its expect header AND its pinned fingerprint (the
+# runtest corpus suite covers the library path; this exercises the
+# chaos.exe CLI the schedules were pinned with).
+dune exec -- devtools/chaos.exe replay -quiet test/corpus/*.fault
+
+# Chaos smoke: a short seeded sweep of sampled fault schedules must
+# come back green (exit 1 = nothing found; 0 = a violation was found
+# and shrunk; anything else is a driver error).
+chaos_status=0
+dune exec -- devtools/chaos.exe find -rounds 5 -seed 2026 -quiet \
+  || chaos_status=$?
+if [ "$chaos_status" != 1 ]; then
+  echo "ci: FAIL: chaos find exited $chaos_status (want 1 = green)" >&2
+  exit 1
+fi
+
+# Kill-and-restart smoke: the §8 story over real sockets. Two servers
+# and two clients; client 1 is SIGKILLed mid-run, the survivor must
+# install the singleton view, then a new incarnation of client 1
+# rejoins under the same identity — both must land in the full view
+# again and the survivor must deliver the reborn client's traffic.
+# Bounded poll loops plus per-process hard timeouts keep a wedged run
+# failing fast instead of hanging.
+killdir=$(mktemp -d /tmp/vsgc-kill-XXXXXX)
+trap 'rm -rf "$tmp" "$schdir" "$smokedir" "$killdir"' EXIT
+kport=$((port + 100))
+kill_fail() {
+  echo "ci: FAIL: kill-and-restart smoke: $1" >&2
+  for f in "$killdir"/*.log; do echo "--- $f"; cat "$f"; done >&2
+  kill -9 "$ks0" "$ks1" "$kc0" "$kc1" 2>/dev/null || true
+  exit 1
+}
+wait_for() { # FILE PATTERN TENTH_SECS WHAT
+  i=0
+  until grep -q "$2" "$1" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -ge "$3" ] && kill_fail "timed out waiting for $4"
+    sleep 0.1
+  done
+}
+"$node" server --id 0 --listen 127.0.0.1:$kport --timeout 40 \
+  > "$killdir/s0.log" 2>&1 &
+ks0=$!
+"$node" server --id 1 --listen 127.0.0.1:$((kport+1)) \
+  --peer s0=127.0.0.1:$kport --timeout 40 > "$killdir/s1.log" 2>&1 &
+ks1=$!
+"$node" client --id 0 --attach 0 --listen 127.0.0.1:$((kport+10)) \
+  --peer s0=127.0.0.1:$kport \
+  --members 2 --expect 2 --linger 2 --timeout 35 > "$killdir/c0.log" 2>&1 &
+kc0=$!
+"$node" client --id 1 --attach 1 --listen 127.0.0.1:$((kport+11)) \
+  --peer s1=127.0.0.1:$((kport+1)) --peer p0=127.0.0.1:$((kport+10)) \
+  --members 2 --expect 999 --timeout 30 > "$killdir/c1.log" 2>&1 &
+kc1=$!
+wait_for "$killdir/c0.log" '^VIEW .*members={p0,p1}' 200 "the full view"
+kill -9 "$kc1" 2>/dev/null || true
+wait_for "$killdir/c0.log" '^VIEW .*members={p0}$' 200 \
+  "the survivor's singleton view"
+"$node" client --id 1 --attach 1 --listen 127.0.0.1:$((kport+12)) \
+  --peer s1=127.0.0.1:$((kport+1)) --peer p0=127.0.0.1:$((kport+10)) \
+  --members 2 --send 2 --expect 2 --linger 2 --timeout 25 \
+  > "$killdir/c1b.log" 2>&1 &
+kc1=$!
+wait "$kc0" || kill_fail "surviving client exited non-zero"
+wait "$kc1" || kill_fail "reborn client exited non-zero"
+kill "$ks0" "$ks1" 2>/dev/null || true
+grep -q '^VIEW .*members={p0,p1}' "$killdir/c1b.log" \
+  || kill_fail "reborn client never rejoined the full view"
+grep '^VIEW ' "$killdir/c0.log" | tail -1 | grep -q 'members={p0,p1}' \
+  || kill_fail "survivor's last view is not the rejoined pair"
+test "$(grep -c '^DELIVER .*from=p1' "$killdir/c0.log")" = 2 \
+  || kill_fail "survivor missed the reborn client's deliveries"
 
 echo "ci: OK"

@@ -1,0 +1,178 @@
+(* Seeded chaos: sample structured-random fault schedules, judge each
+   against the full oracle battery, shrink what fails.
+
+   A sampled schedule is not arbitrary noise — it has the shape the
+   paper's scenarios have: stabilize, then a bounded number of fault
+   blocks (partition / heal / crash / restart / knob spike / traffic,
+   each followed by a bounded run that leaves the system mid-protocol
+   as often as not), then a deterministic cool-down that restarts
+   every crashed client, heals, restores the knobs, sends one last
+   traffic batch, settles, and demands convergence. So every sample
+   asks the acid-test question: after arbitrary faults stop, does the
+   service reconverge to one agreed view with consistent transitional
+   sets — with every spec monitor and invariant green along the way?
+
+   Sampling is a pure function of (seed, config); round [i] of a find
+   uses seed*10_000 + i, so a found schedule's name alone ("chaos-N")
+   is enough to regenerate it. *)
+
+open Vsgc_types
+module Rng = Vsgc_ioa.Rng
+module Node_id = Vsgc_wire.Node_id
+module Loopback = Vsgc_net.Loopback
+
+type config = {
+  clients : int;
+  servers : int;
+  layer : Vsgc_core.Endpoint.layer;
+  knobs : Loopback.knobs;
+  fault_blocks : int;
+}
+
+let default_config =
+  {
+    clients = 3;
+    servers = 2;
+    layer = `Full;
+    knobs = { Loopback.delay = 1; drop = 0.0; reorder = 0.0 };
+    fault_blocks = 4;
+  }
+
+let all_ids c =
+  List.init c.clients Node_id.client
+  @ List.init c.servers (fun s -> Node_id.server (Server.of_int s))
+
+let sample ~seed (c : config) : Schedule.t =
+  let rng = Rng.make seed in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  (* Stabilize: joins settle into a first common view, one clean
+     traffic batch proves the fault-free path. *)
+  emit Schedule.Settle;
+  emit (Schedule.Traffic 1);
+  emit Schedule.Settle;
+  let crashed = ref Proc.Set.empty in
+  let partitioned = ref false in
+  let live () =
+    List.filter (fun p -> not (Proc.Set.mem p !crashed)) (List.init c.clients Fun.id)
+  in
+  for _ = 1 to c.fault_blocks do
+    let choices =
+      List.concat
+        [
+          [ `Partition; `Spike; `Traffic ];
+          (if !partitioned then [ `Heal ] else []);
+          (match live () with [] -> [] | _ -> [ `Crash ]);
+          (if Proc.Set.is_empty !crashed then [] else [ `Restart ]);
+        ]
+    in
+    (match Rng.pick rng choices with
+    | `Partition ->
+        let ids = Rng.shuffle rng (all_ids c) in
+        let cut = 1 + Rng.int rng (List.length ids - 1) in
+        let left = List.filteri (fun i _ -> i < cut) ids in
+        let right = List.filteri (fun i _ -> i >= cut) ids in
+        partitioned := true;
+        emit (Schedule.Partition [ left; right ])
+    | `Heal ->
+        partitioned := false;
+        emit Schedule.Heal
+    | `Crash ->
+        let p = Rng.pick rng (live ()) in
+        crashed := Proc.Set.add p !crashed;
+        emit (Schedule.Crash p)
+    | `Restart ->
+        let p = Rng.pick rng (Proc.Set.elements !crashed) in
+        crashed := Proc.Set.remove p !crashed;
+        emit (Schedule.Restart p)
+    | `Spike ->
+        emit
+          (Schedule.Delay_spike
+             {
+               Loopback.delay = 1 + Rng.int rng 5;
+               drop = Rng.pick rng [ 0.0; 0.2; 0.4 ];
+               reorder = Rng.pick rng [ 0.0; 0.25 ];
+             })
+    | `Traffic -> emit (Schedule.Traffic (1 + Rng.int rng 2)));
+    emit (Schedule.Run (5 + Rng.int rng 40))
+  done;
+  (* Cool-down: all faults lifted, then the convergence question. *)
+  Proc.Set.iter (fun p -> emit (Schedule.Restart p)) !crashed;
+  if !partitioned then emit Schedule.Heal;
+  emit (Schedule.Delay_spike c.knobs);
+  emit (Schedule.Traffic 1);
+  emit Schedule.Settle;
+  emit Schedule.Converged;
+  {
+    Schedule.conf =
+      {
+        name = Fmt.str "chaos-%d" seed;
+        seed;
+        clients = c.clients;
+        servers = c.servers;
+        layer = c.layer;
+        knobs = c.knobs;
+        expect = None;
+        fingerprint = None;
+      };
+    events = List.rev !events;
+  }
+
+(* -- Shrinking ------------------------------------------------------------ *)
+
+let reproduces (s : Schedule.t) kind events =
+  match Inject.run_tolerant { s with events } with
+  | Some v -> String.equal v.Inject.kind kind
+  | None -> false
+
+(* ddmin over the event list, preserving the violation kind; the
+   result is accepted only if a STRICT replay still reproduces it
+   (tolerant replay may have been carried by skipped events). *)
+let shrink (s : Schedule.t) (v : Inject.violation) =
+  let events = Vsgc_explore.Shrink.ddmin (reproduces s v.kind) s.events in
+  let candidate = { s with events } in
+  match (Inject.run candidate).verdict with
+  | Error v' when String.equal v'.kind v.kind -> candidate
+  | Ok () | Error _ -> s
+  | exception _ -> s
+
+(* -- The find loop -------------------------------------------------------- *)
+
+type found = {
+  schedule : Schedule.t;  (* shrunk, expect set to the violation kind *)
+  violation : Inject.violation;
+  round : int;
+  events_before_shrink : int;
+}
+
+let round_seed ~seed i = (seed * 10_000) + i
+
+let find ?(rounds = 50) ?(log = fun _ -> ()) ~seed (c : config) =
+  let rec go i =
+    if i >= rounds then None
+    else begin
+      let s = sample ~seed:(round_seed ~seed i) c in
+      log
+        (Fmt.str "round %d/%d: %s (%d events)" (i + 1) rounds s.Schedule.conf.name
+           (List.length s.Schedule.events));
+      match (Inject.run s).verdict with
+      | Ok () -> go (i + 1)
+      | Error v ->
+          log (Fmt.str "round %d: %a — shrinking" (i + 1) Inject.pp_violation v);
+          let expecting =
+            {
+              s with
+              Schedule.conf = { s.Schedule.conf with expect = Some v.kind };
+            }
+          in
+          let shrunk = shrink expecting v in
+          Some
+            {
+              schedule = shrunk;
+              violation = v;
+              round = i;
+              events_before_shrink = List.length s.Schedule.events;
+            }
+    end
+  in
+  go 0

@@ -1,0 +1,46 @@
+(** Seeded chaos: sample structured-random fault schedules, judge each
+    against the full oracle battery, shrink what fails.
+
+    Every sample stabilizes first, applies a bounded number of fault
+    blocks (partition / heal / crash / restart / knob spike / traffic,
+    each followed by a bounded run), then lifts every fault and
+    demands convergence — so each run asks whether the service
+    reconverges to one agreed view with consistent transitional sets
+    after the faults stop, with every monitor and invariant green
+    along the way. *)
+
+type config = {
+  clients : int;
+  servers : int;
+  layer : Vsgc_core.Endpoint.layer;
+  knobs : Vsgc_net.Loopback.knobs;  (** baseline; spikes deviate from it *)
+  fault_blocks : int;  (** fault events per sampled schedule *)
+}
+
+val default_config : config
+(** 3 clients, 2 servers, [`Full] layer, delay-1 knobs, 4 blocks. *)
+
+val sample : seed:int -> config -> Schedule.t
+(** Pure: equal (seed, config) give equal schedules. *)
+
+val round_seed : seed:int -> int -> int
+(** The sample seed used by round [i] of {!find} — a found schedule
+    named "chaos-N" regenerates as [sample ~seed:N]. *)
+
+val shrink : Schedule.t -> Inject.violation -> Schedule.t
+(** ddmin the event list while preserving the violation kind; returns
+    the input unchanged when the shrunk candidate does not strictly
+    reproduce. *)
+
+type found = {
+  schedule : Schedule.t;
+      (** shrunk, with [expect] set to the violation kind *)
+  violation : Inject.violation;
+  round : int;
+  events_before_shrink : int;
+}
+
+val find :
+  ?rounds:int -> ?log:(string -> unit) -> seed:int -> config -> found option
+(** Sample and judge up to [rounds] schedules (default 50); shrink and
+    return the first failure. [None] = everything was green. *)

@@ -1,0 +1,46 @@
+(** Deterministic fault-schedule injection.
+
+    Rebuilds the networked deployment a {!Schedule.t} describes with
+    the service-level spec monitors (WV_RFIFO, VS_RFIFO, TRANS_SET,
+    SELF) attached, applies the events in order, runs the §6/§7
+    invariant battery at every [Settle], and discharges the residual
+    monitor obligations at the end — every faulted run is judged
+    against the paper's specifications, not just delivery-log diffs. *)
+
+type violation = { kind : string; message : string }
+(** [kind] is a monitor name, an invariant name, ["stuck"] (a drive
+    budget ran out before quiescence) or ["diverged"] (the [Converged]
+    check failed). *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+exception Diverged of string
+
+val violation_of_exn : exn -> violation option
+(** Classify an exception raised during injection; [None] means it is
+    not a specification verdict and should propagate. *)
+
+type outcome = {
+  verdict : (unit, violation) result;
+  fingerprint : string;  (** {!Vsgc_harness.Net_system.fingerprint} *)
+  net : Vsgc_harness.Net_system.t;  (** for post-mortem observation *)
+}
+
+val run : Schedule.t -> outcome
+(** Build and inject. Deterministic: equal schedules give equal
+    outcomes, including the fingerprint. *)
+
+val run_tolerant : Schedule.t -> violation option
+(** Shrinker variant: events invalidated by a deletion (e.g. a restart
+    of a never-crashed client) are skipped instead of failing. *)
+
+type check_verdict =
+  | Reproduced  (** expected violation kind fired (fingerprint ok) *)
+  | Clean_ok  (** no expectation, no violation (fingerprint ok) *)
+  | Missing of string  (** the expected kind never fired *)
+  | Unexpected of violation
+  | Fingerprint_mismatch of { expected : string; got : string }
+
+val check : Schedule.t -> check_verdict
+(** Judge a schedule against its [expect] header and, when present,
+    its pinned fingerprint — what corpus replays and CI run. *)

@@ -1,0 +1,241 @@
+(* Serializable fault schedules.
+
+   A fault schedule is the complete recipe for one faulted execution of
+   the NETWORKED runtime: the deployment to rebuild from scratch (how
+   many clients and servers, loopback seed and knobs) plus an ordered
+   list of events — partitions, heals, §8 crashes and restarts, knob
+   spikes, traffic, and bounded or settling runs. Replaying the same
+   schedule always reproduces the same execution: the hub's RNG
+   trajectory is a function of (seed, knobs, fault history) alone, and
+   every event is applied at a deterministic point of the synchronous
+   drive loop.
+
+   Like the explorer's .sched artifacts, every schedule the chaos
+   driver finds is saved in this one-line-per-event form, shrunk, and
+   checked into test/corpus/ as a .fault regression — with the
+   expected violation kind and, once pinned, the exact
+   Net_system.fingerprint the replay must reproduce. *)
+
+open Vsgc_types
+module Loopback = Vsgc_net.Loopback
+module Node_id = Vsgc_wire.Node_id
+module Sysconf = Vsgc_explore.Sysconf
+
+type conf = {
+  name : string;
+  seed : int;
+  clients : int;
+  servers : int;  (* 0 = scripted membership (no Joins, no view churn) *)
+  layer : Vsgc_core.Endpoint.layer;
+  knobs : Loopback.knobs;
+  expect : string option;  (* violation kind this schedule reproduces *)
+  fingerprint : string option;  (* pinned deployment fingerprint *)
+}
+
+type event =
+  | Partition of Node_id.t list list
+      (* classes keep their internal links; everything across — and
+         every node listed in no class — goes down *)
+  | Heal
+  | Crash of Proc.t
+  | Restart of Proc.t
+  | Delay_spike of Loopback.knobs  (* replace the hub default knobs *)
+  | Link of { a : Node_id.t; b : Node_id.t; up : bool }
+  | Send of { from : Proc.t; payload : string }
+  | Traffic of int  (* every non-crashed client multicasts k payloads *)
+  | Run of int  (* exactly k drive rounds, quiescent or not *)
+  | Settle  (* run to quiescence, then the invariant battery *)
+  | Converged  (* convergence-after-heal check over the survivors *)
+
+type t = { conf : conf; events : event list }
+
+let with_fingerprint t fingerprint =
+  { t with conf = { t.conf with fingerprint = Some fingerprint } }
+
+(* -- Printing ----------------------------------------------------------- *)
+
+let node_id_to_string = Node_id.to_string
+
+let node_id_of_string ~fail s =
+  if String.length s >= 2 then
+    let n = String.sub s 1 (String.length s - 1) in
+    match (s.[0], int_of_string_opt n) with
+    | 'p', Some k when k >= 0 -> Node_id.client k
+    | 's', Some k when k >= 0 -> Node_id.server (Server.of_int k)
+    | _ -> fail ()
+  else fail ()
+
+let classes_to_string classes =
+  String.concat "|"
+    (List.map
+       (fun cls -> String.concat "," (List.map node_id_to_string cls))
+       classes)
+
+let knob_fields (k : Loopback.knobs) =
+  Fmt.str "%d %g %g" k.delay k.drop k.reorder
+
+let event_to_string = function
+  | Partition classes -> Fmt.str "partition %s" (classes_to_string classes)
+  | Heal -> "heal"
+  | Crash p -> Fmt.str "crash %d" p
+  | Restart p -> Fmt.str "restart %d" p
+  | Delay_spike k -> Fmt.str "spike %s" (knob_fields k)
+  | Link { a; b; up } ->
+      Fmt.str "link %s %s %s" (node_id_to_string a) (node_id_to_string b)
+        (if up then "up" else "down")
+  | Send { from; payload } -> Fmt.str "send %d %s" from (String.escaped payload)
+  | Traffic k -> Fmt.str "traffic %d" k
+  | Run k -> Fmt.str "run %d" k
+  | Settle -> "settle"
+  | Converged -> "converged"
+
+let pp_event ppf e = Fmt.string ppf (event_to_string e)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>fault %s (%dc/%ds seed %d, %d events)@,%a@]" t.conf.name
+    t.conf.clients t.conf.servers t.conf.seed
+    (List.length t.events)
+    (Fmt.list ~sep:Fmt.cut pp_event)
+    t.events
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Fmt.kstr (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt
+  in
+  line "vsgc-fault 1";
+  line "name %s" t.conf.name;
+  line "seed %d" t.conf.seed;
+  line "clients %d" t.conf.clients;
+  line "servers %d" t.conf.servers;
+  line "layer %s" (Sysconf.layer_to_string t.conf.layer);
+  line "knobs %s" (knob_fields t.conf.knobs);
+  (match t.conf.expect with
+  | Some e -> line "expect %s" e
+  | None -> line "expect clean");
+  (match t.conf.fingerprint with
+  | Some fp -> line "fingerprint %s" fp
+  | None -> ());
+  List.iter (fun e -> line "%s" (event_to_string e)) t.events;
+  Buffer.contents b
+
+(* -- Parsing ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let fail_parse fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* [rest_after line k] is the line with its first [k] space-separated
+   fields removed — for trailing fields that may contain spaces. *)
+let rest_after line k =
+  let len = String.length line in
+  let rec skip i k =
+    if k = 0 then i
+    else
+      match String.index_from_opt line i ' ' with
+      | Some j -> skip (j + 1) (k - 1)
+      | None -> len
+  in
+  String.sub line (skip 0 k) (len - skip 0 k)
+
+let unescape s =
+  try Scanf.unescaped s
+  with Scanf.Scan_failure _ -> fail_parse "bad escape in %S" s
+
+let node_id s =
+  node_id_of_string s ~fail:(fun () -> fail_parse "bad node id %S" s)
+
+let classes_of_string s =
+  List.map
+    (fun cls ->
+      match String.split_on_char ',' cls with
+      | [ "" ] | [] -> fail_parse "empty partition class in %S" s
+      | ids -> List.map node_id ids)
+    (String.split_on_char '|' s)
+
+let knobs_of_fields ~d ~dr ~re : Loopback.knobs =
+  match (int_of_string_opt d, float_of_string_opt dr, float_of_string_opt re) with
+  | Some delay, Some drop, Some reorder when delay >= 0 -> { delay; drop; reorder }
+  | _ -> fail_parse "bad knobs %S %S %S" d dr re
+
+let event_of_string line =
+  match String.split_on_char ' ' line with
+  | "partition" :: classes :: _ -> Partition (classes_of_string classes)
+  | "heal" :: _ -> Heal
+  | "crash" :: p :: _ -> Crash (int_of_string p)
+  | "restart" :: p :: _ -> Restart (int_of_string p)
+  | "spike" :: d :: dr :: re :: _ -> Delay_spike (knobs_of_fields ~d ~dr ~re)
+  | "link" :: a :: b :: state :: _ ->
+      let up =
+        match state with
+        | "up" -> true
+        | "down" -> false
+        | _ -> fail_parse "bad link state %S (want up|down)" state
+      in
+      Link { a = node_id a; b = node_id b; up }
+  | "send" :: from :: _ :: _ ->
+      Send { from = int_of_string from; payload = unescape (rest_after line 2) }
+  | "traffic" :: k :: _ -> Traffic (int_of_string k)
+  | "run" :: k :: _ -> Run (int_of_string k)
+  | "settle" :: _ -> Settle
+  | "converged" :: _ -> Converged
+  | _ -> fail_parse "unrecognized fault event %S" line
+
+let of_string text =
+  let lines =
+    List.filter
+      (fun l -> l <> "" && l.[0] <> '#')
+      (List.map String.trim (String.split_on_char '\n' text))
+  in
+  match lines with
+  | magic :: rest when magic = "vsgc-fault 1" ->
+      let name = ref "unnamed" and expect = ref None and fingerprint = ref None in
+      let seed = ref 42 and clients = ref 0 and servers = ref 0 in
+      let layer = ref `Full and knobs = ref Loopback.default_knobs in
+      let events = ref [] in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | "name" :: _ :: _ -> name := rest_after line 1
+          | "seed" :: x :: _ -> seed := int_of_string x
+          | "clients" :: x :: _ -> clients := int_of_string x
+          | "servers" :: x :: _ -> servers := int_of_string x
+          | "layer" :: x :: _ -> layer := Sysconf.layer_of_string x
+          | "knobs" :: d :: dr :: re :: _ -> knobs := knobs_of_fields ~d ~dr ~re
+          | "expect" :: x :: _ ->
+              expect := (if x = "clean" then None else Some x)
+          | "fingerprint" :: _ :: _ -> fingerprint := Some (rest_after line 1)
+          | _ -> events := event_of_string line :: !events)
+        rest;
+      if !clients <= 0 then
+        fail_parse "fault schedule is missing a positive 'clients' header";
+      {
+        conf =
+          {
+            name = !name;
+            seed = !seed;
+            clients = !clients;
+            servers = !servers;
+            layer = !layer;
+            knobs = !knobs;
+            expect = !expect;
+            fingerprint = !fingerprint;
+          };
+        events = List.rev !events;
+      }
+  | first :: _ -> fail_parse "bad magic %S (want \"vsgc-fault 1\")" first
+  | [] -> fail_parse "empty fault schedule"
+
+(* -- Files -------------------------------------------------------------- *)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,72 @@
+(** Serializable fault schedules over the networked runtime.
+
+    A fault schedule rebuilds a {!Vsgc_harness.Net_system} deployment
+    from scratch and applies an ordered list of fault events to it —
+    partitions, heals, §8 crashes and restarts, knob spikes, traffic,
+    bounded and settling runs. Same schedule, same execution: the hub
+    RNG trajectory is a function of (seed, knobs, fault history), and
+    every event lands at a deterministic point of the synchronous
+    drive loop (DESIGN.md §11).
+
+    Schedules are saved one human-readable line per event (magic
+    ["vsgc-fault 1"]) with an [expect] header naming the violation
+    kind they reproduce — or [clean] — and optionally a pinned
+    {!Vsgc_harness.Net_system.fingerprint} a replay must match. *)
+
+open Vsgc_types
+
+type conf = {
+  name : string;
+  seed : int;
+  clients : int;
+  servers : int;
+      (** 0 = scripted membership: no Joins and no fault-driven view
+          churn; partitions then only perturb message timing *)
+  layer : Vsgc_core.Endpoint.layer;
+  knobs : Vsgc_net.Loopback.knobs;
+  expect : string option;  (** violation kind, [None] = clean *)
+  fingerprint : string option;  (** pinned deployment fingerprint *)
+}
+
+type event =
+  | Partition of Vsgc_wire.Node_id.t list list
+      (** classes keep their internal links; links across classes —
+          and to nodes listed in no class — go down *)
+  | Heal
+  | Crash of Proc.t  (** §8 crash of a client node *)
+  | Restart of Proc.t  (** §8 recovery under the original identity *)
+  | Delay_spike of Vsgc_net.Loopback.knobs
+      (** replace the hub-wide default knobs from this point on *)
+  | Link of { a : Vsgc_wire.Node_id.t; b : Vsgc_wire.Node_id.t; up : bool }
+      (** surgical single-link control (partitions generalize this) *)
+  | Send of { from : Proc.t; payload : string }
+  | Traffic of int
+      (** every currently non-crashed client multicasts this many
+          deterministically-labelled payloads *)
+  | Run of int  (** exactly that many drive rounds, quiescent or not *)
+  | Settle  (** run to quiescence, then the §6/§7 invariant battery *)
+  | Converged  (** convergence check over the surviving clients *)
+
+type t = { conf : conf; events : event list }
+
+val with_fingerprint : t -> string -> t
+
+(** {1 Text form} *)
+
+exception Parse_error of string
+
+val event_to_string : event -> string
+val to_string : t -> string
+
+val of_string : string -> t
+(** @raise Parse_error *)
+
+val pp : Format.formatter -> t -> unit
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Files} *)
+
+val save : t -> string -> unit
+
+val load : string -> t
+(** @raise Parse_error on malformed content, [Sys_error] on I/O. *)

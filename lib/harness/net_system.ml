@@ -16,7 +16,27 @@
    The drive loop is synchronous and deterministic: recv+handle at
    every node (fixed order), step every node and ship its packets,
    tick the hub — until nothing is in flight and every node is
-   quiescent. *)
+   quiescent.
+
+   Fault surface (lib/fault drives it, tests use it directly too):
+   - [set_partition]/[heal] force hub links down/up along the
+     topology established at [create] (the base links). A link is up
+     iff no partition class separates its ends AND neither end is
+     crashed; every fault operation recomputes that predicate over all
+     base links, so crash+partition compose.
+   - [crash_client]/[restart_client] reuse the §8 crash/recovery layer
+     of the hosted end-point (Crash/Recover actions) and take the
+     node's links down/up with it. On restart the transport [Up] from
+     the attach server re-triggers the Join handshake, so a reborn
+     client re-enters membership by the ordinary protocol.
+   - [attach_monitors] attaches shared spec monitors to every CLIENT
+     node executor: the drive loop is single-threaded and visits nodes
+     in a fixed order, so the monitors observe one deterministic
+     merged trace. Server executors are excluded — the membership
+     actions they share with clients would otherwise be observed
+     twice. [check_invariants] snapshots the client-hosted automata at
+     quiescent points (in-flight CO_RFIFO state is not reconstructible
+     from outside, and at quiescence the channels are empty). *)
 
 open Vsgc_types
 module Node = Vsgc_net.Node
@@ -30,15 +50,21 @@ type t = {
   clients : (Proc.t * (Node.t * Transport.t)) list;  (* ascending *)
   servers : (Server.t * (Node.t * Transport.t)) list;  (* ascending *)
   script : Oracle.state ref;  (* drives membership when servers = [] *)
+  layer : Vsgc_core.Endpoint.layer;
+  base_links : (Node_id.t * Node_id.t) list;  (* topology at create *)
+  mutable partition : Node_id.t list list option;  (* None = healed *)
+  mutable down_nodes : Node_id.t list;  (* currently crashed clients *)
+  ever_crashed : Proc.Set.t ref;
+  mutable monitors : Vsgc_ioa.Monitor.t list;
 }
 
-let create ?(seed = 42) ?knobs ?layer ~n ?(n_servers = 0) () =
+let create ?(seed = 42) ?knobs ?(layer = `Full) ~n ?(n_servers = 0) () =
   let hub = Loopback.hub ~seed ?knobs () in
   let clients =
     List.init n (fun p ->
         let attach = Server.of_int (if n_servers = 0 then 0 else p mod n_servers) in
         let node =
-          Node.create ~seed:(seed + 1 + p) ?layer
+          Node.create ~seed:(seed + 1 + p) ~layer
             (Node.Client_node { proc = p; attach })
         in
         (p, (node, Loopback.attach hub (Node_id.Client p))))
@@ -52,21 +78,39 @@ let create ?(seed = 42) ?knobs ?layer ~n ?(n_servers = 0) () =
   in
   (* Full client mesh (CO_RFIFO is point-to-point between any two
      members), each client to its own server, full server mesh. *)
+  let base_links = ref [] in
+  let connect tr a b =
+    Transport.connect tr b;
+    base_links := (a, b) :: !base_links
+  in
   List.iter
     (fun (p, (_, tr)) ->
       List.iter
-        (fun (q, _) -> if q > p then Transport.connect tr (Node_id.Client q))
+        (fun (q, _) ->
+          if q > p then connect tr (Node_id.Client p) (Node_id.Client q))
         clients;
       if n_servers > 0 then
-        Transport.connect tr (Node_id.Server (p mod n_servers)))
+        connect tr (Node_id.Client p) (Node_id.Server (p mod n_servers)))
     clients;
   List.iter
     (fun (s, (_, tr)) ->
       List.iter
-        (fun (s', _) -> if s' > s then Transport.connect tr (Node_id.Server s'))
+        (fun (s', _) ->
+          if s' > s then connect tr (Node_id.Server s) (Node_id.Server s'))
         servers)
     servers;
-  { hub; clients; servers; script = ref Oracle.initial }
+  {
+    hub;
+    clients;
+    servers;
+    script = ref Oracle.initial;
+    layer;
+    base_links = List.rev !base_links;
+    partition = None;
+    down_nodes = [];
+    ever_crashed = ref Proc.Set.empty;
+    monitors = [];
+  }
 
 let hub t = t.hub
 
@@ -83,20 +127,36 @@ let server_node t s =
 
 let nodes t = List.map snd t.clients @ List.map snd t.servers
 
+let procs t = Proc.Set.of_list (List.map fst t.clients)
+
+let crashed_clients t =
+  List.fold_left
+    (fun acc id ->
+      match id with
+      | Node_id.Client p -> Proc.Set.add p acc
+      | Node_id.Server _ -> acc)
+    Proc.Set.empty t.down_nodes
+
 (* -- Driving ------------------------------------------------------------- *)
 
 let quiescent t =
   Loopback.idle t.hub && List.for_all (fun (n, _) -> Node.quiescent n) (nodes t)
 
+(* One synchronous round: drain the wire into every node, then step
+   every node and ship what it produced. Fixed node order makes the
+   merged action stream (and so the shared monitors) deterministic. *)
+let round t =
+  List.iter
+    (fun (node, tr) -> List.iter (Node.handle node) (Transport.recv tr))
+    (nodes t);
+  List.iter
+    (fun (node, tr) ->
+      List.iter (fun (dst, pkt) -> Transport.send tr dst pkt) (Node.step node))
+    (nodes t)
+
 let run ?(max_ticks = 50_000) t =
   let rec go budget =
-    List.iter
-      (fun (node, tr) -> List.iter (Node.handle node) (Transport.recv tr))
-      (nodes t);
-    List.iter
-      (fun (node, tr) ->
-        List.iter (fun (dst, pkt) -> Transport.send tr dst pkt) (Node.step node))
-      (nodes t);
+    round t;
     if not (quiescent t) then
       if budget = 0 then failwith "Net_system.run: tick budget exhausted"
       else begin
@@ -105,6 +165,132 @@ let run ?(max_ticks = 50_000) t =
       end
   in
   go max_ticks
+
+(* Exactly [k] rounds, quiescent or not — for injecting faults into
+   the middle of a protocol exchange (e.g. mid view-change). *)
+let run_ticks t k =
+  for _ = 1 to k do
+    round t;
+    Loopback.tick t.hub
+  done
+
+(* -- Fault surface -------------------------------------------------------- *)
+
+let is_down t id = List.exists (Node_id.equal id) t.down_nodes
+
+let same_class classes a b =
+  List.exists
+    (fun cls ->
+      List.exists (Node_id.equal a) cls && List.exists (Node_id.equal b) cls)
+    classes
+
+(* Recompute every base link's desired state from the partition and
+   the crash set. Idempotent per link (Loopback.set_link only pushes
+   Up/Down on actual transitions), so fault operations compose by
+   just calling this again. *)
+let apply_links t =
+  List.iter
+    (fun (a, b) ->
+      let up =
+        (match t.partition with
+        | None -> true
+        | Some classes -> same_class classes a b)
+        && (not (is_down t a))
+        && not (is_down t b)
+      in
+      Loopback.set_link t.hub a b ~up)
+    t.base_links
+
+let set_partition t classes =
+  t.partition <- Some classes;
+  apply_links t
+
+let heal t =
+  t.partition <- None;
+  apply_links t
+
+let crash_client t p =
+  let node = client_node t p in
+  if Node.crashed node then
+    invalid_arg (Fmt.str "Net_system.crash_client: %a already crashed" Proc.pp p);
+  Node.inject node (Action.Crash p);
+  t.down_nodes <- Node_id.Client p :: t.down_nodes;
+  t.ever_crashed := Proc.Set.add p !(t.ever_crashed);
+  apply_links t;
+  (* The dead node's session buffers die with it: §8's corfifo crash
+     wipes the channels into p and lets p's outgoing traffic drop. *)
+  Loopback.discard t.hub (Node_id.Client p)
+
+let restart_client t p =
+  let node = client_node t p in
+  if not (is_down t (Node_id.Client p)) then
+    invalid_arg (Fmt.str "Net_system.restart_client: %a not crashed" Proc.pp p);
+  t.down_nodes <-
+    List.filter (fun id -> not (Node_id.equal id (Node_id.Client p))) t.down_nodes;
+  Node.inject node (Action.Recover p);
+  apply_links t
+
+let set_knobs t knobs = Loopback.set_knobs t.hub knobs
+
+(* -- Specification oracles ------------------------------------------------ *)
+
+let attach_monitors t ms =
+  t.monitors <- t.monitors @ ms;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (_, (node, _)) -> Vsgc_ioa.Executor.add_monitor (Node.executor node) m)
+        t.clients)
+    ms
+
+let finish t =
+  List.iter
+    (fun (m : Vsgc_ioa.Monitor.t) ->
+      match m.at_end () with
+      | [] -> ()
+      | msg :: _ ->
+          raise (Vsgc_ioa.Monitor.Violation { monitor = m.name; message = msg }))
+    t.monitors
+
+let snapshot t : Vsgc_checker.Invariants.snapshot =
+  let endpoints =
+    List.fold_left
+      (fun m (p, (node, _)) ->
+        let ep = Node.endpoint_state node in
+        if Vsgc_core.Endpoint.crashed ep then m else Proc.Map.add p ep m)
+      Proc.Map.empty t.clients
+  in
+  let clients =
+    List.fold_left
+      (fun m (p, (node, _)) ->
+        let c = Node.client_state node in
+        if c.Vsgc_core.Client.crashed then m else Proc.Map.add p c m)
+      Proc.Map.empty t.clients
+  in
+  {
+    endpoints;
+    clients;
+    (* The wire state lives in the hub as frames, not as CO_RFIFO
+       channel contents; at the quiescent points where this snapshot
+       is taken the channels are empty, which [initial] renders. *)
+    net = Vsgc_corfifo.initial;
+    mbrshp = (if t.servers = [] then Some !(t.script) else None);
+    reborn = !(t.ever_crashed);
+  }
+
+(* The blocking invariants (6.11, 6.12) assert the Figure 11/12 block
+   protocol, which the layers below `Full omit by construction. *)
+let check_invariants t =
+  let invs =
+    match t.layer with
+    | `Full -> Vsgc_checker.Invariants.all
+    | `Wv | `Vs ->
+        List.filter
+          (fun (name, _) -> name <> "6.11" && name <> "6.12")
+          Vsgc_checker.Invariants.all
+  in
+  let snap = snapshot t in
+  List.iter (fun (_, check) -> check snap) invs
 
 (* -- Scenario drivers ---------------------------------------------------- *)
 
@@ -172,7 +358,7 @@ let malformed t =
   List.fold_left (fun acc (n, _) -> acc + Node.malformed n) 0 (nodes t)
 
 (* One digest for the whole deployment: per-node trace fingerprints in
-   node order plus the hub's delivery counters. Equal iff every node
+   node order plus the hub's traffic counters. Equal iff every node
    behaved identically — the determinism regression's yardstick. *)
 let fingerprint t =
   let parts =
@@ -181,5 +367,6 @@ let fingerprint t =
         Fmt.str "%s=%s" (Node_id.to_string (Node.id node)) (Node.fingerprint node))
       (nodes t)
   in
-  Fmt.str "%s|hub:%d/%d" (String.concat ";" parts) (Loopback.delivered t.hub)
-    (Loopback.dropped t.hub)
+  Fmt.str "%s|hub:%d/%d/%d" (String.concat ";" parts)
+    (Loopback.delivered t.hub) (Loopback.dropped t.hub)
+    (Loopback.retransmits t.hub)

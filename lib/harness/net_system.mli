@@ -6,7 +6,11 @@
     oracle whose bookkeeping matches the in-memory {!System}'s — the
     equivalence tests rely on identical scripts producing identical
     identifiers and views. With [n_servers > 0] the client-server
-    membership algorithm runs for real, over packets. *)
+    membership algorithm runs for real, over packets.
+
+    The fault surface (partitions over the created topology, §8 client
+    crash/recovery, knob spikes) plus the monitor/invariant bridging
+    below is what [lib/fault] drives (DESIGN.md §11). *)
 
 open Vsgc_types
 
@@ -21,19 +25,83 @@ val create :
   unit ->
   t
 (** [n] client nodes (full mesh); [n_servers] server nodes (full mesh,
-    client [p] attached to [p mod n_servers]). A (seed, knobs) pair
-    fully determines every run. *)
+    client [p] attached to [p mod n_servers]). A (seed, knobs, fault
+    history) triple fully determines every run. *)
 
 val hub : t -> Vsgc_net.Loopback.hub
 val client_node : t -> Proc.t -> Vsgc_net.Node.t
 val server_node : t -> Server.t -> Vsgc_net.Node.t
+val procs : t -> Proc.Set.t
 
 val run : ?max_ticks:int -> t -> unit
 (** Drive recv/step/tick rounds until nothing is in flight and every
     node is quiescent.
     @raise Failure when the tick budget runs out first. *)
 
+val run_ticks : t -> int -> unit
+(** Drive exactly that many rounds, quiescent or not — the hook for
+    injecting a fault into the middle of a protocol exchange. *)
+
 val quiescent : t -> bool
+
+(** {1 Fault surface}
+
+    All operations act on the base links established at [create]; a
+    link is up iff no partition class separates its ends and neither
+    end is crashed. Every operation is synchronous with the drive
+    loop, so a (seed, fault history) pair replays exactly. *)
+
+val set_partition : t -> Vsgc_wire.Node_id.t list list -> unit
+(** Partition the deployment into the given classes: links inside a
+    class stay up, links across classes (and links to nodes listed in
+    no class) go down. Replaces any previous partition. *)
+
+val heal : t -> unit
+(** Remove the partition; links between non-crashed nodes come back
+    up (both ends see [Up], clients re-run the Join handshake with
+    their servers). *)
+
+val crash_client : t -> Proc.t -> unit
+(** Crash the §8 end-point and client automata at this node and take
+    all its links down.
+    @raise Invalid_argument if already crashed. *)
+
+val restart_client : t -> Proc.t -> unit
+(** Restart a crashed client from initial state under its original
+    identity (§8 Recover) and bring its links back up, subject to the
+    current partition.
+    @raise Invalid_argument if not currently crashed. *)
+
+val crashed_clients : t -> Proc.Set.t
+(** Clients currently down. *)
+
+val set_knobs : t -> Vsgc_net.Loopback.knobs -> unit
+(** Replace the hub-wide default knobs (e.g. a delay spike); per-link
+    overrides via {!hub} and {!Vsgc_net.Loopback.set_link_knobs}. *)
+
+(** {1 Specification oracles} *)
+
+val attach_monitors : t -> Vsgc_ioa.Monitor.t list -> unit
+(** Attach shared spec monitors to every client node executor. The
+    drive loop is single-threaded with a fixed node order, so the
+    monitors observe one deterministic merged trace. (Client
+    executors only: the membership actions servers share with clients
+    would otherwise be observed twice.) *)
+
+val finish : t -> unit
+(** Discharge the attached monitors' residual obligations.
+    @raise Vsgc_ioa.Monitor.Violation on the first failure. *)
+
+val snapshot : t -> Vsgc_checker.Invariants.snapshot
+(** Global state of the client-hosted automata for the §6/§7 invariant
+    checkers. Meaningful at quiescent points: the wire state lives in
+    the hub as frames, so CO_RFIFO channels are rendered empty — which
+    they are once the system is quiescent. *)
+
+val check_invariants : t -> unit
+(** Run the invariant battery on {!snapshot}, skipping the blocking
+    invariants (6.11/6.12) below the [`Full] layer.
+    @raise Vsgc_checker.Invariants.Invariant_violation on failure. *)
 
 (** {1 Scenario drivers} *)
 

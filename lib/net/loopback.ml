@@ -6,13 +6,30 @@
    exercises exactly the bytes the TCP path ships, so codec bugs
    surface under the deterministic harness, not just on sockets.
 
-   Fault knobs (all driven by the hub's seeded Rng, so a (seed, knobs)
-   pair fully determines behaviour):
-   - [delay]    each packet is due 1 + uniform(0..delay) ticks out
-   - [drop]     probability a packet vanishes in flight
-   - [reorder]  probability a packet may overtake earlier ones on the
-                same link (otherwise per-link FIFO is enforced, like a
-                TCP stream) *)
+   The hub models CONNECTIONS, not datagrams: each directed link is a
+   stream, so a receiver always sees a link's packets in send order
+   (resequenced via per-link sequence numbers), and a packet is lost
+   only when its link goes down. The fault knobs therefore all resolve
+   to per-packet LATENCY — exactly what loss and reordering look like
+   through a reliable transport:
+   - [delay]    base jitter, uniform(0..delay) extra ticks
+   - [drop]     probability a send needs a retransmission round; each
+                round (geometric, capped) adds delay + 2 ticks and
+                bumps the [retransmits] counter
+   - [reorder]  probability a packet takes a slow path; it still
+                arrives in order because the link resequences
+
+   All randomness comes from the hub's seeded Rng, so a (seed, knobs,
+   link-control history) triple fully determines behaviour.
+
+   Link control ([set_link]) is the partition primitive: taking a link
+   down delivers [Down] to both ends and blocks reconnection until the
+   link is set up again. Traffic caught on (or sent into) a downed
+   link is PARKED, not lost — a session layer that retransmits on
+   reconnect, which is exactly the CO_RFIFO contract the end-points
+   are built on: channels between mutually-live processes may stall
+   but never silently lose a message. Only [discard] (a node death:
+   its buffers die with it) and a permanent [close] destroy traffic. *)
 
 open Vsgc_wire
 
@@ -20,9 +37,14 @@ type knobs = { delay : int; drop : float; reorder : float }
 
 let default_knobs = { delay = 0; drop = 0.0; reorder = 0.0 }
 
+(* Retransmission rounds are capped so drop = 1.0 still terminates
+   (the cap models a transport that eventually gets through). *)
+let max_retransmit_rounds = 6
+
 type flight = {
   due : int;
-  seq : int;  (* tie-break: FIFO among same-tick packets *)
+  seq : int;  (* global tie-break: FIFO among same-tick packets *)
+  lseq : int;  (* position in its directed link's stream *)
   src : Node_id.t;
   dst : Node_id.t;
   frame : bytes;
@@ -36,16 +58,25 @@ type endpoint_state = {
 
 type hub = {
   rng : Vsgc_ioa.Rng.t;
-  knobs : knobs;
+  mutable knobs : knobs;  (* default; per-link overrides win *)
   mutable now : int;
   mutable seq : int;
   mutable in_flight : flight list;  (* unordered; selected by (due, seq) *)
   links : (Node_id.t * Node_id.t, unit) Hashtbl.t;  (* symmetric pairs *)
-  fifo_floor : (Node_id.t * Node_id.t, int) Hashtbl.t;
-      (* per directed link: latest due already assigned *)
+  blocked : (Node_id.t * Node_id.t, unit) Hashtbl.t;
+      (* normalized pairs an operator forced down; connect is refused *)
+  link_knobs : (Node_id.t * Node_id.t, knobs) Hashtbl.t;  (* normalized *)
+  sent_count : (Node_id.t * Node_id.t, int) Hashtbl.t;
+      (* per directed link: next lseq to assign *)
+  next_expected : (Node_id.t * Node_id.t, int) Hashtbl.t;
+      (* per directed link: next lseq the receiver may consume *)
+  parked : (Node_id.t * Node_id.t, (int * bytes) Queue.t) Hashtbl.t;
+      (* per directed link: (lseq, frame) held while the link is down,
+         re-injected in order when it comes back up *)
   mutable endpoints : endpoint_state list;  (* sorted by id *)
   mutable dropped : int;
   mutable delivered : int;
+  mutable retransmits : int;
 }
 
 let hub ?(seed = 0) ?(knobs = default_knobs) () =
@@ -56,20 +87,39 @@ let hub ?(seed = 0) ?(knobs = default_knobs) () =
     seq = 0;
     in_flight = [];
     links = Hashtbl.create 16;
-    fifo_floor = Hashtbl.create 16;
+    blocked = Hashtbl.create 16;
+    link_knobs = Hashtbl.create 16;
+    sent_count = Hashtbl.create 16;
+    next_expected = Hashtbl.create 16;
+    parked = Hashtbl.create 16;
     endpoints = [];
     dropped = 0;
     delivered = 0;
+    retransmits = 0;
   }
 
 let dropped h = h.dropped
 let delivered h = h.delivered
+let retransmits h = h.retransmits
 let now h = h.now
+
+let norm a b = if Node_id.compare a b <= 0 then (a, b) else (b, a)
 
 let find_endpoint h id =
   List.find_opt (fun e -> Node_id.equal e.id id) h.endpoints
 
 let linked h a b = Hashtbl.mem h.links (a, b) || Hashtbl.mem h.links (b, a)
+let is_blocked h a b = Hashtbl.mem h.blocked (norm a b)
+
+let knobs_for h a b =
+  Option.value ~default:h.knobs (Hashtbl.find_opt h.link_knobs (norm a b))
+
+let set_knobs h knobs = h.knobs <- knobs
+
+let set_link_knobs h a b knobs =
+  match knobs with
+  | Some k -> Hashtbl.replace h.link_knobs (norm a b) k
+  | None -> Hashtbl.remove h.link_knobs (norm a b)
 
 let push h id ev =
   match find_endpoint h id with
@@ -79,6 +129,88 @@ let push h id ev =
 let unlink h a b =
   Hashtbl.remove h.links (a, b);
   Hashtbl.remove h.links (b, a)
+
+let parked_queue h src dst =
+  match Hashtbl.find_opt h.parked (src, dst) with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace h.parked (src, dst) q;
+      q
+
+(* The full latency model: base jitter, geometric retransmission
+   penalty, occasional slow path. One call per frame put in flight. *)
+let latency h a b =
+  let k = knobs_for h a b in
+  let jitter = if k.delay > 0 then Vsgc_ioa.Rng.int h.rng (k.delay + 1) else 0 in
+  let penalty = ref 0 in
+  if k.drop > 0.0 then begin
+    let rounds = ref 0 in
+    while
+      !rounds < max_retransmit_rounds && Vsgc_ioa.Rng.float h.rng < k.drop
+    do
+      incr rounds;
+      penalty := !penalty + k.delay + 2;
+      h.retransmits <- h.retransmits + 1
+    done
+  end;
+  let slow_path =
+    if k.reorder > 0.0 && Vsgc_ioa.Rng.float h.rng < k.reorder then
+      1 + Vsgc_ioa.Rng.int h.rng ((2 * k.delay) + 3)
+    else 0
+  in
+  1 + jitter + !penalty + slow_path
+
+let enqueue_flight h ~src ~dst ~lseq frame =
+  let due = h.now + latency h src dst in
+  h.seq <- h.seq + 1;
+  h.in_flight <- { due; seq = h.seq; lseq; src; dst; frame } :: h.in_flight
+
+(* Move everything in flight on the directed link src->dst into its
+   parking buffer, in stream order — the link went down with the
+   frames unacknowledged; they go out again on reconnect. *)
+let park h src dst =
+  let caught, kept =
+    List.partition
+      (fun f -> Node_id.equal f.src src && Node_id.equal f.dst dst)
+      h.in_flight
+  in
+  h.in_flight <- kept;
+  let q = parked_queue h src dst in
+  List.iter
+    (fun f -> Queue.add (f.lseq, f.frame) q)
+    (List.sort (fun a b -> compare a.lseq b.lseq) caught)
+
+(* Re-inject the parking buffer into flight, oldest first, with fresh
+   latencies — the reconnect retransmission. *)
+let unpark h src dst =
+  match Hashtbl.find_opt h.parked (src, dst) with
+  | None -> ()
+  | Some q ->
+      Queue.iter (fun (lseq, frame) -> enqueue_flight h ~src ~dst ~lseq frame) q;
+      Queue.clear q
+
+(* Destroy everything in flight or parked on the directed link
+   src->dst. The receiver must not wait for the destroyed frames, so
+   its stream cursor skips to the end of what was ever sent. *)
+let purge h src dst =
+  let gone, kept =
+    List.partition
+      (fun f -> Node_id.equal f.src src && Node_id.equal f.dst dst)
+      h.in_flight
+  in
+  h.in_flight <- kept;
+  let n_parked =
+    match Hashtbl.find_opt h.parked (src, dst) with
+    | None -> 0
+    | Some q ->
+        let n = Queue.length q in
+        Queue.clear q;
+        n
+  in
+  h.dropped <- h.dropped + List.length gone + n_parked;
+  let sent = Option.value ~default:0 (Hashtbl.find_opt h.sent_count (src, dst)) in
+  Hashtbl.replace h.next_expected (src, dst) sent
 
 let attach h id =
   (match find_endpoint h id with
@@ -90,7 +222,7 @@ let attach h id =
       (fun a b -> Node_id.compare a.id b.id)
       (ep :: h.endpoints);
   let connect peer =
-    if ep.closed then ()
+    if ep.closed || is_blocked h id peer then ()
     else
       match find_endpoint h peer with
       | Some other when not other.closed ->
@@ -101,29 +233,30 @@ let attach h id =
           end
       | Some _ | None -> ()
   in
+  let next_lseq peer =
+    let lseq =
+      Option.value ~default:0 (Hashtbl.find_opt h.sent_count (id, peer))
+    in
+    Hashtbl.replace h.sent_count (id, peer) (lseq + 1);
+    lseq
+  in
   let send peer pkt =
-    if ep.closed || not (linked h id peer) then ()
-    else if h.knobs.drop > 0.0 && Vsgc_ioa.Rng.float h.rng < h.knobs.drop then
+    if ep.closed then ()
+    else if linked h id peer then
+      enqueue_flight h ~src:id ~dst:peer ~lseq:(next_lseq peer)
+        (Frame.encode pkt)
+    else if
+      (* Link forced down but the peer is alive: the session layer
+         holds the frame for retransmission on reconnect. *)
+      is_blocked h id peer
+      && match find_endpoint h peer with
+         | Some other -> not other.closed
+         | None -> false
+    then
+      Queue.add (next_lseq peer, Frame.encode pkt) (parked_queue h id peer)
+    else
+      (* No connection and none pending: the bytes never leave. *)
       h.dropped <- h.dropped + 1
-    else begin
-      let jitter =
-        if h.knobs.delay > 0 then Vsgc_ioa.Rng.int h.rng (h.knobs.delay + 1)
-        else 0
-      in
-      let base = h.now + 1 + jitter in
-      let floor =
-        Option.value ~default:0 (Hashtbl.find_opt h.fifo_floor (id, peer))
-      in
-      let overtake =
-        h.knobs.reorder > 0.0 && Vsgc_ioa.Rng.float h.rng < h.knobs.reorder
-      in
-      let due = if overtake then base else Stdlib.max base floor in
-      if due > floor then Hashtbl.replace h.fifo_floor (id, peer) due;
-      h.seq <- h.seq + 1;
-      h.in_flight <-
-        { due; seq = h.seq; src = id; dst = peer; frame = Frame.encode pkt }
-        :: h.in_flight
-    end
   in
   let recv () =
     let evs = List.of_seq (Queue.to_seq ep.mailbox) in
@@ -135,9 +268,13 @@ let attach h id =
       ep.closed <- true;
       List.iter
         (fun other ->
-          if (not (Node_id.equal other.id id)) && linked h id other.id then begin
-            unlink h id other.id;
-            push h other.id (Transport.Down id)
+          if not (Node_id.equal other.id id) then begin
+            if linked h id other.id then begin
+              unlink h id other.id;
+              push h other.id (Transport.Down id)
+            end;
+            purge h id other.id;
+            purge h other.id id
           end)
         h.endpoints;
       Queue.clear ep.mailbox
@@ -145,26 +282,88 @@ let attach h id =
   in
   { Transport.me = id; connect; send; recv; close }
 
+let set_link h a b ~up =
+  if Node_id.equal a b then invalid_arg "Loopback.set_link: a = b";
+  if up then begin
+    Hashtbl.remove h.blocked (norm a b);
+    match (find_endpoint h a, find_endpoint h b) with
+    | Some ea, Some eb when (not ea.closed) && not eb.closed ->
+        if not (linked h a b) then begin
+          Hashtbl.replace h.links (a, b) ();
+          push h a (Transport.Up b);
+          push h b (Transport.Up a);
+          unpark h a b;
+          unpark h b a
+        end
+    | _ ->
+        (* One end is gone for good; the session can never resume. *)
+        purge h a b;
+        purge h b a
+  end
+  else begin
+    Hashtbl.replace h.blocked (norm a b) ();
+    if linked h a b then begin
+      unlink h a b;
+      push h a (Transport.Down b);
+      push h b (Transport.Down a)
+    end;
+    park h a b;
+    park h b a
+  end
+
+let discard h id =
+  List.iter
+    (fun other ->
+      if not (Node_id.equal other.id id) then begin
+        purge h id other.id;
+        purge h other.id id
+      end)
+    h.endpoints
+
+let connected h a b = linked h a b
+
 (* Advance the virtual clock one tick and deliver everything due, in
-   (due, seq) order — the only order, so runs are reproducible. *)
+   (due, seq) order — the only order, so runs are reproducible. A
+   packet is consumable only when it is the next one in its link's
+   stream; a due-but-early packet waits for its predecessors (that is
+   what "the link resequences" means), so delivering one packet can
+   make the next consumable within the same tick. *)
 let tick h =
   h.now <- h.now + 1;
-  let due, rest = List.partition (fun f -> f.due <= h.now) h.in_flight in
-  h.in_flight <- rest;
-  let due = List.sort (fun a b -> compare (a.due, a.seq) (b.due, b.seq)) due in
-  List.iter
-    (fun f ->
-      if linked h f.src f.dst then begin
-        (match Frame.decode f.frame with
-        | Ok pkt ->
-            h.delivered <- h.delivered + 1;
-            push h f.dst (Transport.Received (f.src, pkt))
-        | Error error ->
-            push h f.dst (Transport.Malformed { peer = Some f.src; error }));
-        ()
-      end
-      else h.dropped <- h.dropped + 1)
-    due
+  let next_exp src dst =
+    Option.value ~default:0 (Hashtbl.find_opt h.next_expected (src, dst))
+  in
+  let rec deliver_due () =
+    let eligible =
+      List.filter
+        (fun f -> f.due <= h.now && f.lseq = next_exp f.src f.dst)
+        h.in_flight
+    in
+    match eligible with
+    | [] -> ()
+    | _ :: _ ->
+        let f =
+          List.fold_left
+            (fun best f ->
+              if compare (f.due, f.seq) (best.due, best.seq) < 0 then f
+              else best)
+            (List.hd eligible) (List.tl eligible)
+        in
+        h.in_flight <-
+          List.filter (fun (g : flight) -> g.seq <> f.seq) h.in_flight;
+        Hashtbl.replace h.next_expected (f.src, f.dst) (f.lseq + 1);
+        if linked h f.src f.dst then begin
+          match Frame.decode f.frame with
+          | Ok pkt ->
+              h.delivered <- h.delivered + 1;
+              push h f.dst (Transport.Received (f.src, pkt))
+          | Error error ->
+              push h f.dst (Transport.Malformed { peer = Some f.src; error })
+        end
+        else h.dropped <- h.dropped + 1;
+        deliver_due ()
+  in
+  deliver_due ()
 
 (* Nothing in flight and every mailbox drained. Mailboxes only empty
    when their endpoint [recv]s, so idleness is checked by the node

@@ -3,21 +3,31 @@
     All endpoints attach to one {!hub}; {!tick} advances a virtual
     clock and moves due packets into receiver mailboxes. Every packet
     is framed on send and decoded on delivery, so the loopback path
-    exercises exactly the bytes the TCP path ships. A (seed, knobs)
-    pair fully determines behaviour. *)
+    exercises exactly the bytes the TCP path ships.
+
+    The hub models connections, not datagrams: each directed link is a
+    stream — receivers see a link's packets in send order, and a
+    packet is lost only when its link goes down. The fault knobs all
+    resolve to per-packet latency, which is what loss and reordering
+    look like through a reliable transport. A (seed, knobs,
+    link-control history) triple fully determines behaviour. *)
 
 open Vsgc_wire
 
 type knobs = {
-  delay : int;  (** each packet is due 1 + uniform(0..delay) ticks out *)
-  drop : float;  (** probability a packet vanishes in flight *)
+  delay : int;  (** base jitter: uniform(0..delay) extra ticks *)
+  drop : float;
+      (** probability a send needs a retransmission round; each round
+          (geometric, capped) adds delay + 2 ticks of latency and
+          bumps {!retransmits} *)
   reorder : float;
-      (** probability a packet may overtake earlier ones on its link;
-          at 0.0 per-link FIFO is enforced, like a TCP stream *)
+      (** probability a packet takes a slow path (up to 2·delay + 3
+          extra ticks); it still arrives in order because the link
+          resequences *)
 }
 
 val default_knobs : knobs
-(** No delay, no loss, FIFO links. *)
+(** No delay, no retransmissions, no slow paths. *)
 
 type hub
 
@@ -28,12 +38,48 @@ val attach : hub -> Node_id.t -> Transport.t
     @raise Invalid_argument if the identity is already attached. *)
 
 val tick : hub -> unit
-(** Advance the virtual clock one tick; deliver every due packet in
-    (due, sequence) order. *)
+(** Advance the virtual clock one tick; deliver every consumable
+    packet in (due, sequence) order. A packet is consumable when it is
+    due and is the next one in its directed link's stream. *)
 
 val idle : hub -> bool
 (** Nothing in flight and every mailbox drained. *)
 
+val set_link : hub -> Node_id.t -> Node_id.t -> up:bool -> unit
+(** Force the link between two endpoints down or allow it back up.
+
+    [up:false] blocks the pair: both ends receive [Down], everything
+    in flight between them (and every later send into the downed
+    link) is parked, and [connect] is refused until the block is
+    lifted. [up:true] lifts the block and, when both endpoints are
+    attached and open, re-establishes the link (both ends receive
+    [Up]) and re-injects the parked traffic in stream order — the
+    session layer retransmitting on reconnect, preserving the
+    CO_RFIFO contract that channels between live processes stall but
+    never silently lose messages. Parked traffic is destroyed only by
+    {!discard} or a permanent close.
+    @raise Invalid_argument if both identities are equal. *)
+
+val discard : hub -> Node_id.t -> unit
+(** Destroy all in-flight and parked traffic to and from this node
+    (counted in {!dropped}) — a node death: its session buffers die
+    with it. Stream cursors skip past the destroyed frames so traffic
+    after a later reconnect flows again. *)
+
+val set_knobs : hub -> knobs -> unit
+(** Replace the hub-wide default knobs (takes effect on subsequent
+    sends; packets already in flight keep their latency). *)
+
+val set_link_knobs : hub -> Node_id.t -> Node_id.t -> knobs option -> unit
+(** Override (or, with [None], restore) the knobs for one symmetric
+    pair; overrides win over the hub-wide default. *)
+
+val connected : hub -> Node_id.t -> Node_id.t -> bool
+(** Is the link between the two endpoints currently up? *)
+
 val now : hub -> int
 val dropped : hub -> int
 val delivered : hub -> int
+
+val retransmits : hub -> int
+(** Total retransmission rounds charged by the [drop] knob. *)

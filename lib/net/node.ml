@@ -188,6 +188,16 @@ let client_state t =
   | Client_k c -> !(c.client)
   | Server_k _ -> invalid_arg "Node.client_state: not a client node"
 
+let endpoint_state t =
+  match t.kind with
+  | Client_k c -> !(c.endpoint)
+  | Server_k _ -> invalid_arg "Node.endpoint_state: not a client node"
+
+let crashed t =
+  match t.kind with
+  | Client_k c -> Vsgc_core.Endpoint.crashed !(c.endpoint)
+  | Server_k _ -> false
+
 let delivered t = Vsgc_core.Client.delivered (client_state t)
 let views t = Vsgc_core.Client.views (client_state t)
 let last_view t = Vsgc_core.Client.last_view (client_state t)

@@ -53,6 +53,18 @@ val current_view : t -> View.t
 val attached : t -> Proc.Set.t
 (** Server node: clients currently joined. *)
 
+val client_state : t -> Vsgc_core.Client.t
+(** Client node: the hosted application automaton's state.
+    @raise Invalid_argument on a server node. *)
+
+val endpoint_state : t -> Vsgc_core.Endpoint.t
+(** Client node: the hosted GCS end-point's state — what the §6/§7
+    invariant checkers consume.
+    @raise Invalid_argument on a server node. *)
+
+val crashed : t -> bool
+(** Client node currently crashed (§8)? Always [false] for servers. *)
+
 val malformed : t -> int
 (** Malformed transport events survived so far. *)
 

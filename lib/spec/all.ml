@@ -16,3 +16,18 @@ let safety () =
    no virtual synchrony, transitional sets, or self-delivery claims. *)
 let wv_only () =
   [ Mbrshp_spec.monitor (); Co_rfifo_spec.monitor (); Wv_rfifo_spec.monitor () ]
+
+(* The service-level monitors for networked runs: they consume only
+   client-side actions (App_send/App_deliver/App_view/Crash), which
+   occur exactly once each — at the client node's executor — so a
+   per-node deployment can share one instance of each across all
+   client executors. The environment specs (membership, CO_RFIFO) are
+   excluded: over the wire those automata are replaced by real
+   packets, and their input-enabledness assumptions do not transfer. *)
+let net () =
+  [
+    Wv_rfifo_spec.monitor ();
+    Vs_rfifo_spec.monitor ();
+    Trans_set_spec.monitor ();
+    Self_spec.monitor ();
+  ]

@@ -6,3 +6,8 @@ val safety : unit -> Vsgc_ioa.Monitor.t list
 
 val wv_only : unit -> Vsgc_ioa.Monitor.t list
 (** The monitors meaningful for the pure within-view layer. *)
+
+val net : unit -> Vsgc_ioa.Monitor.t list
+(** The service-level monitors (WV_RFIFO, VS_RFIFO, TRANS_SET, SELF)
+    for networked runs: they consume only client-side actions, so one
+    shared instance of each can watch a multi-executor deployment. *)

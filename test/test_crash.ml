@@ -5,6 +5,7 @@
 
 open Vsgc_types
 module System = Vsgc_harness.System
+module Net_system = Vsgc_harness.Net_system
 module Client = Vsgc_core.Client
 
 let check = Alcotest.(check bool)
@@ -100,6 +101,46 @@ let test_invariants_across_crash_recovery () =
   System.settle sys;
   check "invariants held throughout" true true
 
+(* Networked real-server mode: crash one client, then crash a second
+   one in the MIDDLE of the view change the first crash started. The
+   service-level monitors (including TRANS_SET and SELF) and the
+   reborn-aware invariant battery must stay green for the survivor,
+   and after both crashed clients restart everyone converges to one
+   agreed view again. *)
+let test_net_crash_mid_view_change () =
+  let net = Net_system.create ~seed:81 ~n:3 ~n_servers:2 () in
+  Net_system.attach_monitors net (Vsgc_spec.All.net ());
+  Net_system.run net;
+  Net_system.broadcast net ~senders:(Proc.Set.of_range 0 2) ~per_sender:2;
+  Net_system.run net;
+  Net_system.crash_client net 2;
+  (* a few rounds: the Client_leave-driven view change is now in
+     flight among the survivors *)
+  Net_system.run_ticks net 3;
+  Net_system.crash_client net 1;
+  Net_system.run net;
+  (match Net_system.last_view_of net 0 with
+  | None -> Alcotest.fail "survivor got no view after the crashes"
+  | Some (v, tset) ->
+      check "survivor's view is exactly itself" true
+        (Proc.Set.equal (View.set v) (Proc.Set.singleton 0));
+      check "survivor's transitional set is itself" true
+        (Proc.Set.equal tset (Proc.Set.singleton 0)));
+  Net_system.check_invariants net;
+  (* both reborn end-points rejoin under their original identities *)
+  Net_system.restart_client net 1;
+  Net_system.restart_client net 2;
+  Net_system.run net;
+  (match Net_system.last_view_of net 0 with
+  | None -> Alcotest.fail "no view after the restarts"
+  | Some (v, _) ->
+      check "post-restart view covers everyone" true
+        (Proc.Set.equal (View.set v) (Proc.Set.of_range 0 2));
+      check "all clients agree on it" true (Net_system.all_in_view net v));
+  Net_system.check_invariants net;
+  Net_system.finish net;
+  Alcotest.(check int) "no malformed traffic" 0 (Net_system.malformed net)
+
 let suite =
   [
     Alcotest.test_case "survivors continue" `Quick test_survivors_continue;
@@ -108,4 +149,6 @@ let suite =
     Alcotest.test_case "traffic after recovery" `Quick test_traffic_after_recovery;
     Alcotest.test_case "invariants across crash/recovery" `Quick
       test_invariants_across_crash_recovery;
+    Alcotest.test_case "net mode: crash mid view-change" `Quick
+      test_net_crash_mid_view_change;
   ]

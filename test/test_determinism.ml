@@ -54,7 +54,8 @@ let test_loopback_fingerprint_deterministic () =
     "same seed + knobs, same fingerprint" (run ~seed:97 ~knobs)
     (run ~seed:97 ~knobs);
   let lossy = { knobs with Vsgc_net.Loopback.drop = 0.2 } in
-  (* Loss makes runs shorter, never non-deterministic. *)
+  (* Drop charges retransmission latency instead of losing packets, so
+     lossy runs are slower, never non-deterministic. *)
   Alcotest.(check string)
     "lossy links still reproducible" (run ~seed:98 ~knobs:lossy)
     (run ~seed:98 ~knobs:lossy)

@@ -1,0 +1,325 @@
+(* The fault layer (DESIGN.md §11): serializable schedules over the
+   networked runtime, per-link controls in the loopback hub, the
+   acceptance partition-then-heal scenario judged by the full monitor +
+   invariant battery, seeded chaos, and the .fault regression corpus
+   with pinned fingerprints. *)
+
+open Vsgc_types
+module F = Vsgc_fault
+module Net_system = Vsgc_harness.Net_system
+module Loopback = Vsgc_net.Loopback
+module Transport = Vsgc_net.Transport
+module Node_id = Vsgc_wire.Node_id
+module Packet = Vsgc_wire.Packet
+
+let check = Alcotest.(check bool)
+
+(* -- Schedule text form -------------------------------------------------- *)
+
+(* One schedule exercising every event constructor round-trips through
+   the text form exactly. *)
+let test_schedule_roundtrip () =
+  let sched =
+    {
+      F.Schedule.conf =
+        {
+          name = "roundtrip";
+          seed = 99;
+          clients = 3;
+          servers = 2;
+          layer = `Full;
+          knobs = { Loopback.delay = 2; drop = 0.25; reorder = 0.5 };
+          expect = Some "wv_rfifo_spec";
+          fingerprint = Some "p0=dead:1|hub:2/3/4";
+        };
+      events =
+        [
+          F.Schedule.Settle;
+          F.Schedule.Partition
+            [
+              [ Node_id.Client 0; Node_id.Server 0 ];
+              [ Node_id.Client 1; Node_id.Client 2; Node_id.Server 1 ];
+            ];
+          F.Schedule.Traffic 2;
+          F.Schedule.Run 7;
+          F.Schedule.Heal;
+          F.Schedule.Crash 1;
+          F.Schedule.Restart 1;
+          F.Schedule.Delay_spike { Loopback.delay = 4; drop = 0.1; reorder = 0.0 };
+          F.Schedule.Link { a = Node_id.Client 0; b = Node_id.Server 1; up = false };
+          F.Schedule.Link { a = Node_id.Client 0; b = Node_id.Server 1; up = true };
+          F.Schedule.Send { from = 2; payload = "with space\nand newline" };
+          F.Schedule.Settle;
+          F.Schedule.Converged;
+        ];
+    }
+  in
+  let text = F.Schedule.to_string sched in
+  let back = F.Schedule.of_string text in
+  Alcotest.(check string) "text fixpoint" text (F.Schedule.to_string back)
+
+let test_schedule_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match F.Schedule.of_string text with
+      | exception F.Schedule.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" text)
+    [
+      "";
+      "vsgc-sched 1\nclients 2";
+      "vsgc-fault 1\nclients 2\nfrobnicate 3";
+      "vsgc-fault 1\nsettle";
+      "vsgc-fault 1\nclients 2\nlink p0 q1 up";
+      "vsgc-fault 1\nclients 2\npartition |";
+    ]
+
+(* -- Per-link hub controls ----------------------------------------------- *)
+
+let drain tr = Transport.recv tr
+
+let run_hub hub trs =
+  let got = ref [] in
+  let rec go budget =
+    if budget = 0 then Alcotest.fail "hub did not settle";
+    List.iter (fun tr -> got := !got @ drain tr) trs;
+    if not (Loopback.idle hub) then begin
+      Loopback.tick hub;
+      go (budget - 1)
+    end
+  in
+  go 200;
+  !got
+
+(* Down parks traffic (idle, nothing delivered, nothing dropped); up
+   re-injects it in order. *)
+let test_link_down_parks_up_redelivers () =
+  let hub = Loopback.hub ~seed:3 () in
+  let a = Loopback.attach hub (Node_id.Client 0)
+  and b = Loopback.attach hub (Node_id.Client 1) in
+  Transport.connect a (Node_id.Client 1);
+  ignore (run_hub hub [ a; b ]);
+  Loopback.set_link hub (Node_id.Client 0) (Node_id.Client 1) ~up:false;
+  ignore (drain a);
+  ignore (drain b);
+  Transport.send a (Node_id.Client 1) (Packet.Join 0);
+  Transport.send a (Node_id.Client 1) (Packet.Leave 0);
+  ignore (run_hub hub [ a; b ]);
+  check "parked traffic leaves the hub idle" true (Loopback.idle hub);
+  Alcotest.(check int) "nothing delivered while down" 0 (Loopback.delivered hub);
+  Alcotest.(check int) "nothing dropped either" 0 (Loopback.dropped hub);
+  check "link reported down" true
+    (not (Loopback.connected hub (Node_id.Client 0) (Node_id.Client 1)));
+  Loopback.set_link hub (Node_id.Client 0) (Node_id.Client 1) ~up:true;
+  let events = run_hub hub [ a; b ] in
+  let received =
+    List.filter_map
+      (function Transport.Received (_, p) -> Some p | _ -> None)
+      events
+  in
+  check "both parked packets delivered in order" true
+    (match received with
+    | [ Packet.Join 0; Packet.Leave 0 ] -> true
+    | _ -> false)
+
+(* discard is the node-death variant: parked and in-flight traffic is
+   destroyed (counted as dropped), and the stream cursor skips so a
+   later reconnect flows again. *)
+let test_discard_destroys_parked () =
+  let hub = Loopback.hub ~seed:4 () in
+  let a = Loopback.attach hub (Node_id.Client 0)
+  and b = Loopback.attach hub (Node_id.Client 1) in
+  Transport.connect a (Node_id.Client 1);
+  ignore (run_hub hub [ a; b ]);
+  Loopback.set_link hub (Node_id.Client 0) (Node_id.Client 1) ~up:false;
+  Transport.send a (Node_id.Client 1) (Packet.Join 0);
+  Loopback.discard hub (Node_id.Client 1);
+  Loopback.set_link hub (Node_id.Client 0) (Node_id.Client 1) ~up:true;
+  let events = run_hub hub [ a; b ] in
+  Alcotest.(check int) "parked packet counted dropped" 1 (Loopback.dropped hub);
+  check "no stale delivery" true
+    (not
+       (List.exists
+          (function Transport.Received _ -> true | _ -> false)
+          events));
+  Transport.send a (Node_id.Client 1) (Packet.Leave 0);
+  let events = run_hub hub [ a; b ] in
+  check "stream flows again past the destroyed frame" true
+    (List.exists
+       (function
+         | Transport.Received (_, Packet.Leave 0) -> true
+         | _ -> false)
+       events)
+
+(* Per-link knob overrides beat the hub default: an overridden slow
+   link delivers after a fast default link, and restoring the override
+   restores the default. *)
+let test_per_link_knobs () =
+  let hub = Loopback.hub ~seed:5 () in
+  let a = Loopback.attach hub (Node_id.Client 0) in
+  let b = Loopback.attach hub (Node_id.Client 1) in
+  let c = Loopback.attach hub (Node_id.Client 2) in
+  Transport.connect a (Node_id.Client 1);
+  Transport.connect a (Node_id.Client 2);
+  ignore (run_hub hub [ a; b; c ]);
+  Loopback.set_link_knobs hub (Node_id.Client 0) (Node_id.Client 2)
+    (Some { Loopback.delay = 0; drop = 1.0; reorder = 0.0 });
+  (* drop=1.0 charges the full capped retransmission penalty on every
+     packet into the overridden link; the default link stays at zero *)
+  Transport.send a (Node_id.Client 1) (Packet.Join 0);
+  Transport.send a (Node_id.Client 2) (Packet.Join 0);
+  Loopback.tick hub;
+  let fast = drain b and slow = drain c in
+  check "default link already delivered" true
+    (List.exists (function Transport.Received _ -> true | _ -> false) fast);
+  check "overridden link still in flight" true
+    (not
+       (List.exists (function Transport.Received _ -> true | _ -> false) slow));
+  ignore (run_hub hub [ a; b; c ]);
+  check "overridden link delivered eventually" true
+    (Loopback.delivered hub = 2);
+  check "retransmission rounds were charged" true (Loopback.retransmits hub > 0);
+  Loopback.set_link_knobs hub (Node_id.Client 0) (Node_id.Client 2) None;
+  Transport.send a (Node_id.Client 2) (Packet.Leave 0);
+  Loopback.tick hub;
+  check "restored link is fast again" true
+    (List.exists
+       (function Transport.Received _ -> true | _ -> false)
+       (drain c))
+
+(* -- The acceptance scenario --------------------------------------------- *)
+
+let acceptance_schedule =
+  {
+    F.Schedule.conf =
+      {
+        name = "acceptance";
+        seed = 31;
+        clients = 3;
+        servers = 2;
+        layer = `Full;
+        knobs = { Loopback.default_knobs with delay = 1 };
+        expect = None;
+        fingerprint = None;
+      };
+    events =
+      [
+        F.Schedule.Settle;
+        F.Schedule.Traffic 1;
+        F.Schedule.Partition
+          [
+            [ Node_id.Client 0; Node_id.Client 1; Node_id.Server 0 ];
+            [ Node_id.Client 2; Node_id.Server 1 ];
+          ];
+        F.Schedule.Traffic 1;
+        F.Schedule.Run 30;
+        F.Schedule.Heal;
+        F.Schedule.Traffic 1;
+        F.Schedule.Settle;
+        F.Schedule.Converged;
+      ];
+  }
+
+(* Seeded partition-then-heal over 2 servers + 3 clients: same seed,
+   same fingerprint; converges to one agreed view covering everyone;
+   all four monitors and the invariant battery green (a violation
+   would surface as an Error verdict). *)
+let test_acceptance_partition_heal () =
+  let o1 = F.Inject.run acceptance_schedule in
+  let o2 = F.Inject.run acceptance_schedule in
+  (match o1.F.Inject.verdict with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "violation: %a" F.Inject.pp_violation v);
+  Alcotest.(check string)
+    "same seed, same fingerprint" o1.F.Inject.fingerprint
+    o2.F.Inject.fingerprint;
+  let net = o1.F.Inject.net in
+  match Net_system.last_view_of net 0 with
+  | None -> Alcotest.fail "no final view"
+  | Some (v, _) ->
+      check "final view covers all three clients" true
+        (Proc.Set.equal (View.set v) (Proc.Set.of_range 0 2));
+      check "every client installed it" true (Net_system.all_in_view net v)
+
+(* The convergence check has teeth: never healing the partition makes
+   the schedule fail with "diverged", and the violation classifier
+   names it. *)
+let test_unhealed_partition_diverges () =
+  let events =
+    List.filter
+      (fun e -> e <> F.Schedule.Heal)
+      acceptance_schedule.F.Schedule.events
+  in
+  let sched = { acceptance_schedule with events } in
+  match (F.Inject.run sched).F.Inject.verdict with
+  | Error { kind = "diverged"; _ } -> ()
+  | Error v -> Alcotest.failf "wrong kind: %a" F.Inject.pp_violation v
+  | Ok () -> Alcotest.fail "unhealed partition converged"
+
+(* -- Chaos --------------------------------------------------------------- *)
+
+let test_chaos_sample_pure () =
+  let c = F.Chaos.default_config in
+  let s1 = F.Chaos.sample ~seed:9 c and s2 = F.Chaos.sample ~seed:9 c in
+  Alcotest.(check string)
+    "equal seeds, equal schedules" (F.Schedule.to_string s1)
+    (F.Schedule.to_string s2);
+  let s3 = F.Chaos.sample ~seed:10 c in
+  check "different seeds differ" true
+    (F.Schedule.to_string s1 <> F.Schedule.to_string s3)
+
+let test_chaos_smoke () =
+  match F.Chaos.find ~rounds:3 ~seed:2026 F.Chaos.default_config with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "chaos round %d found %a:@,%a" f.F.Chaos.round
+        F.Inject.pp_violation f.F.Chaos.violation F.Schedule.pp
+        f.F.Chaos.schedule
+
+(* -- The .fault regression corpus ---------------------------------------- *)
+
+let corpus_files () =
+  match Sys.readdir "corpus" with
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f ".fault")
+      |> List.sort compare
+      |> List.map (Filename.concat "corpus")
+  | exception Sys_error _ -> []
+
+let check_one file () =
+  let s = F.Schedule.load file in
+  check (file ^ " carries a pinned fingerprint") true
+    (s.F.Schedule.conf.F.Schedule.fingerprint <> None);
+  match F.Inject.check s with
+  | F.Inject.Reproduced | F.Inject.Clean_ok -> ()
+  | F.Inject.Missing kind ->
+      Alcotest.failf "%s: replay was clean, expected a %s violation" file kind
+  | F.Inject.Unexpected v ->
+      Alcotest.failf "%s: unexpected violation %a" file F.Inject.pp_violation v
+  | F.Inject.Fingerprint_mismatch { expected; got } ->
+      Alcotest.failf "%s: fingerprint drift@.  pinned: %s@.  got:    %s" file
+        expected got
+
+let suite =
+  [
+    Alcotest.test_case "schedule text round-trip" `Quick test_schedule_roundtrip;
+    Alcotest.test_case "schedule parser rejects garbage" `Quick
+      test_schedule_rejects_garbage;
+    Alcotest.test_case "link down parks, up redelivers" `Quick
+      test_link_down_parks_up_redelivers;
+    Alcotest.test_case "discard destroys parked traffic" `Quick
+      test_discard_destroys_parked;
+    Alcotest.test_case "per-link knob overrides" `Quick test_per_link_knobs;
+    Alcotest.test_case "acceptance: partition-heal converges" `Quick
+      test_acceptance_partition_heal;
+    Alcotest.test_case "unhealed partition diverges" `Quick
+      test_unhealed_partition_diverges;
+    Alcotest.test_case "chaos sampling is pure" `Quick test_chaos_sample_pure;
+    Alcotest.test_case "chaos: 3 rounds green" `Quick test_chaos_smoke;
+  ]
+  @ (let files = corpus_files () in
+     Alcotest.test_case "fault corpus present" `Quick (fun () ->
+         if List.length files < 3 then
+           Alcotest.failf "want at least 3 .fault files under test/corpus, got %d"
+             (List.length files))
+     :: List.map (fun f -> Alcotest.test_case f `Quick (check_one f)) files)

@@ -344,6 +344,66 @@ let test_feeder_chunked () =
         (List.for_all2 Packet.equal pkts got))
     [ 1; 2; 3; 7; 16; 64; 100_000 ]
 
+(* Adversarial chunking, as a property: for a generated packet train,
+   split the concatenated byte stream at EVERY boundary — each split
+   feeds the two halves separately — and require the feeder to hand
+   back the identical packets each time. A trailing-garbage variant
+   must yield the packets and then exactly one decode error. *)
+let prop_feeder_adversarial =
+  let gen_train = Gen.list_size (Gen.int_range 1 4) gen_packet in
+  QCheck.Test.make ~name:"feeder: every split point decodes identically"
+    ~count:60
+    (QCheck.make gen_train
+       ~print:(Fmt.str "%a" (Fmt.Dump.list Packet.pp)))
+    (fun pkts ->
+      let stream = Bytes.concat Bytes.empty (List.map Frame.encode pkts) in
+      let len = Bytes.length stream in
+      let drain f =
+        let rec go acc errs =
+          match Frame.next f with
+          | Some (Ok pkt) -> go (pkt :: acc) errs
+          | Some (Error _) -> go acc (errs + 1)
+          | None -> (List.rev acc, errs)
+        in
+        go [] 0
+      in
+      let feed_split k ~garbage =
+        let f = Frame.feeder () in
+        Frame.feed f stream ~off:0 ~len:k;
+        let got1, errs1 = drain f in
+        Frame.feed f stream ~off:k ~len:(len - k);
+        (* a full header's worth of junk, so the feeder can rule on it *)
+        if garbage then
+          Frame.feed f
+            (Bytes.of_string "\xde\xad\xbe\xef\xde\xad\xbe\xef")
+            ~off:0 ~len:8;
+        let got2, errs2 = drain f in
+        (got1 @ got2, errs1 + errs2)
+      in
+      let check_split k ~garbage =
+        let got, errs = feed_split k ~garbage in
+        let want_errs = if garbage then 1 else 0 in
+        if errs <> want_errs then
+          QCheck.Test.fail_reportf "split %d/%d: %d decode errors (want %d)" k
+            len errs want_errs;
+        if
+          List.length got <> List.length pkts
+          || not (List.for_all2 Packet.equal pkts got)
+        then
+          QCheck.Test.fail_reportf
+            "split %d/%d: %d packets out for %d in (garbage=%b)" k len
+            (List.length got) (List.length pkts) garbage
+      in
+      for k = 0 to len do
+        check_split k ~garbage:false
+      done;
+      (* trailing garbage after a complete train: sampled splits keep
+         the quadratic-ish cost honest *)
+      List.iter
+        (fun k -> check_split k ~garbage:true)
+        [ 0; len / 3; len / 2; len - 1; len ];
+      true)
+
 let test_feeder_garbage () =
   let f = Frame.feeder () in
   Frame.feed f (Bytes.of_string "garbage bytes here") ~off:0 ~len:18;
@@ -362,6 +422,7 @@ let suite =
       prop_packet;
       prop_frame;
       prop_prefix;
+      prop_feeder_adversarial;
     ]
   @ [
       Alcotest.test_case "fuzz: decoders are total" `Quick test_fuzz_total;
