@@ -58,18 +58,34 @@ module Json = struct
         Fmt.pf ppf "{@[<hv>%a@]}" Fmt.(list ~sep:(any ",@ ") pp_kv) kvs
 end
 
+(* -smoke: reduced iterations and no JSON writes — the CI perf gate
+   runs the hot-path experiments for shape, not for numbers. *)
+let smoke = ref false
+
 let bench_rows : Json.t list ref = ref []
 let record fields = bench_rows := Json.Obj fields :: !bench_rows
 
-let write_rows () =
-  match List.rev !bench_rows with
+(* The hot-path experiments (E13/E14) land in their own file so the
+   executor/codec optimisation numbers are tracked separately from the
+   wire-layer baseline in BENCH_wire.json. *)
+let hot_rows : Json.t list ref = ref []
+let record_hot fields = hot_rows := Json.Obj fields :: !hot_rows
+
+let write_file file rows =
+  match List.rev rows with
   | [] -> ()
   | rows ->
-      let oc = open_out "BENCH_wire.json" in
+      let oc = open_out file in
       let ppf = Format.formatter_of_out_channel oc in
       Fmt.pf ppf "%a@." Json.pp (Json.Obj [ ("rows", Json.Arr rows) ]);
       close_out oc;
-      Fmt.pr "@.wrote BENCH_wire.json (%d rows)@." (List.length rows)
+      Fmt.pr "@.wrote %s (%d rows)@." file (List.length rows)
+
+let write_rows () =
+  if not !smoke then begin
+    write_file "BENCH_wire.json" !bench_rows;
+    write_file "BENCH_hotpath.json" !hot_rows
+  end
 
 (* -- Round-measurement helpers ------------------------------------------- *)
 
@@ -538,6 +554,196 @@ let e11 () =
       ("msgs_per_sec", Json.Num mps);
     ]
 
+(* -- E13: executor scheduling throughput (cached vs rescan) ------------------- *)
+
+(* The incremental scheduler against the full-rescan reference, on the
+   workloads that dominate every experiment above: the free-running
+   random scheduler and the round-synchronous runner, across system
+   sizes. Both modes are run on identical seeds; the step counts must
+   agree exactly (the modes are behaviourally equivalent — that is the
+   qcheck-verified contract), so the steps/sec ratio is a pure
+   like-for-like scheduling-cost comparison. *)
+
+let e13_run ~mode ~sync ~n ~reps =
+  Executor.set_default_mode mode;
+  Fun.protect
+    ~finally:(fun () -> Executor.set_default_mode `Cached)
+    (fun () ->
+      let sys = System.create ~seed:21 ~monitors:`None ~n () in
+      let all = Proc.Set.of_range 0 (n - 1) in
+      ignore (System.reconfigure sys ~set:all);
+      System.settle sys;
+      let m = Executor.metrics (System.exec sys) in
+      let s0 = Metrics.steps m in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        System.broadcast sys ~senders:all ~per_sender:2;
+        if sync then ignore (System.run_rounds ~max_rounds:400 sys)
+        else System.settle ~max_steps:10_000_000 sys
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let steps = Metrics.steps m - s0 in
+      (float_of_int steps /. dt, steps, Vsgc_ioa.Trace_stats.counters m))
+
+let e13 () =
+  section "E13" "executor scheduling: steps/sec, cached vs full rescan";
+  rowf "%6s  %8s  %14s  %14s  %9s  %10s@." "n" "mode" "cached st/s" "rescan st/s"
+    "speedup" "hit rate";
+  List.iter
+    (fun n ->
+      let reps = if !smoke then 1 else max 2 (128 / n) in
+      List.iter
+        (fun (label, sync) ->
+          let c_sps, c_steps, ctr = e13_run ~mode:`Cached ~sync ~n ~reps in
+          let r_sps, r_steps, _ = e13_run ~mode:`Rescan ~sync ~n ~reps in
+          if c_steps <> r_steps then
+            failwith
+              (Fmt.str "E13: modes diverged at n=%d %s: %d vs %d steps" n label
+                 c_steps r_steps);
+          let hit_rate =
+            let total = ctr.Vsgc_ioa.Trace_stats.cand_hits + ctr.cand_misses in
+            if total = 0 then 0.0
+            else float_of_int ctr.cand_hits /. float_of_int total
+          in
+          rowf "%6d  %8s  %14.0f  %14.0f  %8.2fx  %9.1f%%@." n label c_sps r_sps
+            (c_sps /. r_sps) (100. *. hit_rate);
+          record_hot
+            [
+              ("experiment", Json.Str "executor_steps");
+              ("n", Json.Int n);
+              ("workload", Json.Str label);
+              ("steps", Json.Int c_steps);
+              ("cached_steps_per_sec", Json.Num c_sps);
+              ("rescan_steps_per_sec", Json.Num r_sps);
+              ("speedup", Json.Num (c_sps /. r_sps));
+              ("cand_hit_rate", Json.Num hit_rate);
+            ])
+        [ ("random", false); ("sync", true) ])
+    [ 4; 8; 16; 32 ]
+
+(* -- E14: hot-path codec + transport throughput -------------------------------- *)
+
+(* The zero-copy encode path against the pre-optimisation two-buffer
+   path, replicated here cost-for-cost: a fresh 64-byte growable body
+   buffer (doubling growth from a fixed hint), one copy out of it,
+   then a second whole-frame copy behind the header. *)
+let legacy_frame_encode pkt =
+  let body =
+    let b = Bin.Wbuf.create 64 in
+    Packet.write b pkt;
+    Bin.Wbuf.to_bytes b
+  in
+  let n = Bytes.length body in
+  let frame = Bytes.create (Frame.header_len + n) in
+  Bytes.set frame 0 'V';
+  Bytes.set frame 1 'G';
+  Bytes.set frame 2 (Char.chr Frame.version);
+  Bytes.set frame 3 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set frame 4 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set frame 5 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set frame 6 (Char.chr (n land 0xff));
+  Bytes.blit body 0 frame Frame.header_len n;
+  frame
+
+let e14 () =
+  section "E14" "hot-path codec + transport: legacy vs pooled vs batched";
+  let iters = if !smoke then 2_000 else 100_000 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  rowf "%10s  %13s  %13s  %13s  %13s  %9s@." "payload B" "legacy e/s"
+    "pooled e/s" "batched e/s" "decode m/s" "speedup";
+  List.iter
+    (fun size ->
+      let pkt =
+        Packet.Rf
+          { from = 0; wire = Msg.Wire.App (Msg.App_msg.make (String.make size 'x')) }
+      in
+      let frame = Frame.encode pkt in
+      if not (Bytes.equal frame (legacy_frame_encode pkt)) then
+        failwith "E14: legacy and pooled encodes disagree";
+      let tl =
+        timed (fun () -> for _ = 1 to iters do ignore (legacy_frame_encode pkt) done)
+      in
+      (* the pooled path: scratch reuse, one copy out *)
+      let tp = timed (fun () -> for _ = 1 to iters do ignore (Frame.encode pkt) done) in
+      (* the batched path TCP runs: frames appended to one long-lived
+         buffer, drained (cleared) as a flush would *)
+      let batch = Bin.Wbuf.create 65536 in
+      let tb =
+        timed (fun () ->
+            for _ = 1 to iters do
+              Frame.encode_into batch pkt;
+              if Bin.Wbuf.length batch > 60_000 then Bin.Wbuf.clear batch
+            done)
+      in
+      let td =
+        timed (fun () ->
+            for _ = 1 to iters do
+              match Frame.decode frame with
+              | Ok _ -> ()
+              | Error _ -> failwith "E14: own frame rejected"
+            done)
+      in
+      let per t = float_of_int iters /. t in
+      rowf "%10d  %13.0f  %13.0f  %13.0f  %13.0f  %8.2fx@." size (per tl) (per tp)
+        (per tb) (per td)
+        (per tb /. per tl);
+      record_hot
+        [
+          ("experiment", Json.Str "codec_hotpath");
+          ("payload_bytes", Json.Int size);
+          ("legacy_encode_msgs_per_sec", Json.Num (per tl));
+          ("pooled_encode_msgs_per_sec", Json.Num (per tp));
+          ("batched_encode_msgs_per_sec", Json.Num (per tb));
+          ("decode_msgs_per_sec", Json.Num (per td));
+          ("batched_vs_legacy_speedup", Json.Num (per tb /. per tl));
+        ])
+    [ 16; 256; 1024; 4096 ];
+  (* Transport leg: one-way loopback throughput per payload size — the
+     scratch-encode, in-place-decode path end to end (frame on send,
+     decode on delivery). *)
+  rowf "@.%10s  %14s@." "payload B" "loopback m/s";
+  let batch = 64 in
+  let rounds = max 1 (iters / batch) in
+  List.iter
+    (fun size ->
+      let hub = Loopback.hub ~seed:9 () in
+      let a = Loopback.attach hub (Node_id.client 0) in
+      let b = Loopback.attach hub (Node_id.client 1) in
+      Transport.connect a (Node_id.client 1);
+      ignore (Transport.recv a);
+      ignore (Transport.recv b);
+      let pkt =
+        Packet.Rf
+          { from = 0; wire = Msg.Wire.App (Msg.App_msg.make (String.make size 'x')) }
+      in
+      let got = ref 0 in
+      let dt =
+        timed (fun () ->
+            for _ = 1 to rounds do
+              for _ = 1 to batch do
+                Transport.send a (Node_id.client 1) pkt
+              done;
+              while !got < batch do
+                Loopback.tick hub;
+                got := !got + List.length (Transport.recv b)
+              done;
+              got := 0
+            done)
+      in
+      let mps = float_of_int (rounds * batch) /. dt in
+      rowf "%10d  %14.0f@." size mps;
+      record_hot
+        [
+          ("experiment", Json.Str "loopback_throughput");
+          ("payload_bytes", Json.Int size);
+          ("msgs_per_sec", Json.Num mps);
+        ])
+    [ 16; 256; 1024; 4096 ]
+
 (* -- Driver ------------------------------------------------------------------ *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -552,17 +758,22 @@ let all : (string * string * (unit -> unit)) list =
     ("E8", "state transfer", e8);
     ("E9", "two-tier hierarchy ablation", e9);
     ("E11", "wire throughput", e11);
+    ("E13", "executor scheduling cached vs rescan", e13);
+    ("E14", "hot-path codec + transport", e14);
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  smoke := List.mem "-smoke" args;
+  let requested = List.filter (fun a -> a <> "-smoke") args in
   let selected =
     if requested = [] then all
     else List.filter (fun (id, _, _) -> List.mem id requested) all
   in
-  Fmt.pr "vsgc benchmark harness — experiments %a@."
+  Fmt.pr "vsgc benchmark harness — experiments %a%s@."
     Fmt.(list ~sep:(any ",") string)
-    (List.map (fun (id, _, _) -> id) selected);
+    (List.map (fun (id, _, _) -> id) selected)
+    (if !smoke then " (smoke: reduced iterations, no JSON)" else "");
   List.iter (fun (_, _, f) -> f ()) selected;
   write_rows ();
   Fmt.pr "@.done.@."

@@ -89,6 +89,22 @@ test "$(grep -c '^DELIVER ' "$smokedir/c0.events")" = 5 \
 # chaos.exe CLI the schedules were pinned with).
 dune exec -- devtools/chaos.exe replay -quiet test/corpus/*.fault
 
+# Scheduler-cache fingerprint gate: the incremental scheduler must be
+# byte-identical to the pre-cache rescan implementation. Replay the
+# whole corpus — the pinned .fault fingerprints and every .sched
+# expectation — under VSGC_SCHED=rescan; any divergence between the
+# cached replays above and these fails here.
+VSGC_SCHED=rescan dune exec -- devtools/chaos.exe replay -quiet test/corpus/*.fault
+for s in test/corpus/*.sched; do
+  VSGC_SCHED=rescan dune exec -- devtools/explore.exe replay "$s" -quiet
+done
+
+# Perf-gate smoke: E13 (cached-vs-rescan scheduling; the run itself
+# asserts both modes take the identical step count) and E14 (the
+# zero-copy codec path; asserts legacy and pooled encodes agree
+# byte-for-byte) at reduced iterations, JSON output suppressed.
+dune exec -- bench/main.exe -smoke E13 E14 > /dev/null
+
 # Chaos smoke: a short seeded sweep of sampled fault schedules must
 # come back green (exit 1 = nothing found; 0 = a violation was found
 # and shrunk; anything else is a driver error).

@@ -14,7 +14,10 @@
      vet wire               round-trip + totality check of the wire
                             codecs (codec errors come out in the
                             one-line vet:wire:... vocabulary)
-     vet all [DIR]          wiring + inherit + corpus + wire
+     vet hotpath [DIR]      flag copy idioms (Buffer.to_bytes,
+                            Bytes.sub_string) on the zero-copy wire
+                            hot path (default lib/wire)
+     vet all [DIR]          wiring + inherit + corpus + wire + hotpath
 
    Exit codes: 0 clean, 1 diagnostics reported (or a fixture failing to
    produce its expected finding), 2 usage error. *)
@@ -56,6 +59,10 @@ let corpus dir = report ("corpus " ^ dir) (A.Sched_check.check_dir dir)
 
 let wire () = report "wire codecs" (A.Wire_check.check ())
 
+let hotpath ?dir () =
+  let dir = Option.value dir ~default:"lib/wire" in
+  report ("hotpath " ^ dir) (A.Hotpath_check.check ~dir ())
+
 let fixture name =
   match A.Fixtures.find name with
   | None ->
@@ -94,11 +101,13 @@ let () =
         | Some name -> fixture name
         | None -> die "fixture: missing name (or -list)")
     | Some "wire" -> wire ()
+    | Some "hotpath" -> hotpath ?dir:(arg 2) ()
     | Some "all" ->
         wiring () + inherit_ ()
         + corpus (Option.value (arg 2) ~default:"test/corpus")
-        + wire ()
-    | Some cmd -> die "unknown subcommand %S (wiring|inherit|corpus|fixture|wire|all)" cmd
-    | None -> die "usage: vet (wiring|inherit|corpus|fixture NAME|wire|all)"
+        + wire () + hotpath ()
+    | Some cmd ->
+        die "unknown subcommand %S (wiring|inherit|corpus|fixture|wire|hotpath|all)" cmd
+    | None -> die "usage: vet (wiring|inherit|corpus|fixture NAME|wire|hotpath|all)"
   in
   exit (if count = 0 then 0 else 1)

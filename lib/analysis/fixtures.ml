@@ -97,6 +97,20 @@ let emits_unsound () =
          ());
   ]
 
+(* The hotpath lint's negative test: a seeded source file committing
+   both banned copy idioms (plus one exempted line, which must stay
+   silent); scanning it must flag hot-path-copy twice. *)
+let hotpath_offender () =
+  let file = Filename.temp_file "vsgc-hotpath" ".ml" in
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc
+        "let snapshot b = Buffer.to_bytes b\n\
+         let window b = Bytes.sub_string b 0 8\n\
+         let dump b = Bytes.sub_string b 0 8 (* hotpath-allow: diagnostic *)\n");
+  let diags = Hotpath_check.scan_file file in
+  Sys.remove file;
+  diags
+
 type t = { name : string; expect : string; run : unit -> Diag.t list }
 
 let all : t list =
@@ -120,6 +134,11 @@ let all : t list =
       name = "emits-unsound";
       expect = "emits-unsound";
       run = (fun () -> Lint.dynamic ~steps:10 (Executor.create ~seed:1 (emits_unsound ())));
+    };
+    {
+      name = "hotpath-copy";
+      expect = "hot-path-copy";
+      run = hotpath_offender;
     };
   ]
 

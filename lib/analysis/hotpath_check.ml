@@ -1,0 +1,70 @@
+(* The hot-path allocation lint (vet pass "hotpath").
+
+   The zero-copy wire path earns its numbers by never materializing
+   intermediate byte copies: frames encode into one pooled [Bin.Wbuf]
+   and decode in place via [Bin.run_sub]. The cheapest way to lose that
+   is one innocent-looking line — a [Buffer.to_bytes] that snapshots a
+   whole buffer, or a [Bytes.sub_string] that copies a window the
+   decoder only needed to read. This pass greps the wire layer's
+   sources for exactly those idioms and flags each occurrence, so the
+   regression shows up in vet (and CI) before it shows up in E14.
+
+   Escape hatch: a line carrying the marker comment
+
+     (* hotpath-allow *)
+
+   is exempt — for the rare site where the copy is the point (say, a
+   diagnostic dump). The marker is per-line and greppable, so every
+   exemption stays visible. *)
+
+let pass = "hotpath"
+let allow_marker = "hotpath-allow"
+
+(* The banned idioms, each with the rewrite the diagnostic suggests. *)
+let banned =
+  [
+    ("Buffer.to_bytes", "encode into a pooled Bin.Wbuf instead");
+    ("Bytes.sub_string", "decode the window in place via Bin.run_sub");
+  ]
+
+let contains ~needle line =
+  let n = String.length needle and l = String.length line in
+  let rec go i =
+    i + n <= l && (String.sub line i n = needle || go (i + 1))
+  in
+  go 0
+
+let scan_line ~file ~lineno line =
+  if contains ~needle:allow_marker line then []
+  else
+    List.filter_map
+      (fun (needle, fix) ->
+        if contains ~needle line then
+          Some
+            (Diag.vf ~pass ~check:"hot-path-copy"
+               ~subject:(Fmt.str "%s:%d" file lineno)
+               "%s allocates a copy on the wire hot path — %s (or mark \
+                the line %s)"
+               needle fix allow_marker)
+        else None)
+      banned
+
+let scan_file file =
+  match In_channel.with_open_text file In_channel.input_lines with
+  | exception Sys_error msg ->
+      [ Diag.vf ~pass ~check:"unreadable" ~subject:file "%s" msg ]
+  | lines ->
+      List.concat
+        (List.mapi (fun i line -> scan_line ~file ~lineno:(i + 1) line) lines)
+
+(* Scan every .ml under [dir] (default: the wire layer), in sorted
+   order so the diagnostics are stable. *)
+let check ?(dir = "lib/wire") () =
+  match Sys.readdir dir with
+  | exception Sys_error msg ->
+      [ Diag.vf ~pass ~check:"unreadable" ~subject:dir "%s" msg ]
+  | entries ->
+      Array.sort compare entries;
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".ml")
+      |> List.concat_map (fun f -> scan_file (Filename.concat dir f))

@@ -1,0 +1,12 @@
+(** The hot-path allocation lint (vet pass "hotpath").
+
+    Greps the wire layer's sources for the copy idioms the zero-copy
+    encode/decode path exists to avoid ([Buffer.to_bytes],
+    [Bytes.sub_string]) and reports each occurrence as a
+    [vet:hotpath:hot-path-copy] diagnostic. A line carrying the
+    [hotpath-allow] marker comment is exempt. *)
+
+val scan_file : string -> Diag.t list
+
+val check : ?dir:string -> unit -> Diag.t list
+(** Scan every [.ml] directly under [dir] (default ["lib/wire"]). *)

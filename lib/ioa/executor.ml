@@ -7,15 +7,51 @@
    seeded random scheduler chooses uniformly (optionally weighted) among
    all enabled actions, which makes long executions fair with
    probability 1 — the setting in which the liveness arguments of §7
-   apply. *)
+   apply.
+
+   Scheduling is incremental (DESIGN.md §12): a component's enabled
+   outputs are a pure function of its state, and its state changes only
+   when it participates in a step (owner or acceptor), so [perform]
+   invalidates exactly the participants and every other component's
+   cached list stays valid. The candidate list is assembled from the
+   per-component caches in the same order the full rescan produced, so
+   the scheduler's RNG stream — and therefore every recorded schedule
+   and fingerprint — is bit-identical to the rescan implementation.
+   Harness code mutates component state refs directly (System.send,
+   oracle moves), bypassing [perform]; every PUBLIC entry point that
+   reads the cache therefore resynchronizes first, and only the internal
+   run loop — where all mutation flows through [perform] — trusts the
+   incremental invalidation. *)
 
 open Vsgc_types
+
+type mode = [ `Cached | `Rescan ]
+
+(* [VSGC_SCHED=rescan] forces the pre-cache scanning scheduler — the
+   CI fingerprint gate replays the corpus under both modes and diffs. *)
+let default_mode : mode ref =
+  ref
+    (match Sys.getenv_opt "VSGC_SCHED" with
+    | Some "rescan" -> `Rescan
+    | Some _ | None -> `Cached)
+
+let set_default_mode m = default_mode := m
+let get_default_mode () = !default_mode
 
 type t = {
   components : Component.packed array;
   rng : Rng.t;
   weights : Action.t -> float;
   metrics : Metrics.t;
+  mode : mode;
+  (* scheduling cache ([`Cached] mode only) *)
+  outs : (int * Action.t) list array;
+      (* per component: its enabled outputs in [Component.outputs]
+         order, pre-tagged with the owner index *)
+  valid : bool array;
+  mutable n_dirty : int;  (* components whose cached list is stale *)
+  mutable n_enabled : int;  (* valid components with a non-empty list *)
+  mutable cand_cache : (int * Action.t) list option;  (* assembled list *)
   mutable monitors : Monitor.t list;
   mutable trace : Action.t list;  (* reversed *)
   mutable trace_len : int;
@@ -29,12 +65,20 @@ let default_weights (a : Action.t) =
   match a with Action.Rf_lose _ -> 0.0 | _ -> 1.0
 
 let create ?(seed = 0xC0FFEE) ?(weights = default_weights) ?(keep_trace = true)
-    components =
+    ?mode components =
+  let components = Array.of_list components in
+  let n = Array.length components in
   {
-    components = Array.of_list components;
+    components;
     rng = Rng.make seed;
     weights;
     metrics = Metrics.create ();
+    mode = (match mode with Some m -> m | None -> !default_mode);
+    outs = Array.make n [];
+    valid = Array.make n false;
+    n_dirty = n;
+    n_enabled = 0;
+    cand_cache = None;
     monitors = [];
     trace = [];
     trace_len = 0;
@@ -43,6 +87,7 @@ let create ?(seed = 0xC0FFEE) ?(weights = default_weights) ?(keep_trace = true)
     choice_hooks = [];
   }
 
+let mode t = t.mode
 let metrics t = t.metrics
 let rng t = t.rng
 let add_monitor t m = t.monitors <- m :: t.monitors
@@ -79,8 +124,45 @@ let independence t =
   in
   fun a b -> Footprint.independent (fp a) (fp b)
 
-(* All enabled locally-controlled actions, tagged with owner index. *)
-let candidates t =
+(* -- The candidate cache ------------------------------------------------- *)
+
+let invalidate t i =
+  if t.valid.(i) then begin
+    t.valid.(i) <- false;
+    if t.outs.(i) <> [] then t.n_enabled <- t.n_enabled - 1;
+    t.n_dirty <- t.n_dirty + 1;
+    t.cand_cache <- None
+  end
+
+(* Drop everything. Public entry points call this because harness code
+   mutates component state refs directly, invisibly to [perform]. *)
+let resync t =
+  if t.mode = `Cached then begin
+    Array.fill t.valid 0 (Array.length t.valid) false;
+    t.n_dirty <- Array.length t.valid;
+    t.n_enabled <- 0;
+    t.cand_cache <- None
+  end
+
+let refresh t i =
+  if t.valid.(i) then Metrics.note_cand_hits t.metrics 1
+  else begin
+    t.outs.(i) <-
+      List.map (fun a -> (i, a)) (Component.outputs t.components.(i));
+    t.valid.(i) <- true;
+    t.n_dirty <- t.n_dirty - 1;
+    if t.outs.(i) <> [] then t.n_enabled <- t.n_enabled + 1;
+    Metrics.note_cand_misses t.metrics 1
+  end
+
+(* All enabled locally-controlled actions, tagged with owner index.
+
+   ORDER IS LOAD-BEARING: the full rescan prepends each component's
+   outputs as it scans components 0..n-1, and the weighted pick walks
+   the result front to back, so the list order feeds the RNG stream.
+   The cached assembly prepends the per-component lists in the same
+   scan order and so produces the identical list. *)
+let rescan_candidates t =
   let acc = ref [] in
   Array.iteri
     (fun i c ->
@@ -88,8 +170,33 @@ let candidates t =
     t.components;
   !acc
 
+let candidates_internal t =
+  match t.mode with
+  | `Rescan -> rescan_candidates t
+  | `Cached -> (
+      match t.cand_cache with
+      | Some l ->
+          Metrics.note_cand_hits t.metrics 1;
+          l
+      | None ->
+          let acc = ref [] in
+          Array.iteri
+            (fun i _ ->
+              refresh t i;
+              List.iter (fun p -> acc := p :: !acc) t.outs.(i))
+            t.components;
+          t.cand_cache <- Some !acc;
+          !acc)
+
+let candidates t =
+  resync t;
+  candidates_internal t
+
 (* Perform [a] as a step of the whole composition: the owner (if any)
-   and every accepting component move together; monitors observe. *)
+   and every accepting component move together; monitors observe. A
+   participant's state changed, so its cached outputs are invalidated
+   right here — before monitors and hooks run, so the cache is already
+   consistent when a monitor raises and the explorer carries on. *)
 let perform t ?owner a =
   (* Choice-point capture first: recorders must see the decision even
      when a monitor or invariant hook raises on this very step. *)
@@ -97,7 +204,10 @@ let perform t ?owner a =
   Array.iteri
     (fun i c ->
       let is_owner = match owner with Some o -> i = o | None -> false in
-      if is_owner || Component.accepts c a then Component.apply c a)
+      if is_owner || Component.accepts c a then begin
+        Component.apply c a;
+        if t.mode = `Cached then invalidate t i
+      end)
     t.components;
   Metrics.record t.metrics a;
   if t.keep_trace then begin
@@ -132,38 +242,55 @@ let weighted_pick t cands =
       in
       Some (go 0.0 weighted)
 
+(* One scheduler step against a trusted cache. The enabled-component
+   count gives an O(1) no-candidates check; [weighted_pick] on an empty
+   list consumed no randomness in the rescan implementation either, so
+   the fast path cannot shift the RNG stream. *)
+let step_internal t =
+  if t.mode = `Cached && t.n_dirty = 0 && t.n_enabled = 0 then false
+  else
+    match weighted_pick t (candidates_internal t) with
+    | None -> false
+    | Some (i, a) ->
+        perform t ~owner:i a;
+        true
+
 (* One scheduler step. Returns false when the system is quiescent (no
    enabled action has positive weight). *)
 let step t =
-  match weighted_pick t (candidates t) with
-  | None -> false
-  | Some (i, a) ->
-      perform t ~owner:i a;
-      true
+  resync t;
+  step_internal t
 
 type outcome = Quiescent of int | Step_limit
 
-(* Run until quiescence or until [stop] holds (checked between steps). *)
+(* Run until quiescence or until [stop] holds (checked between steps).
+   One resync at entry; inside the loop all state changes flow through
+   [perform], so the incremental cache is trusted. *)
 let run ?(max_steps = 200_000) ?(stop = fun () -> false) t =
+  resync t;
   let rec go n =
     if n >= max_steps then Step_limit
     else if stop () then Quiescent n
-    else if step t then go (n + 1)
+    else if step_internal t then go (n + 1)
     else Quiescent n
   in
   go 0
 
 let is_quiescent t =
-  List.for_all (fun (_, a) -> t.weights a <= 0.0) (candidates t)
+  resync t;
+  if t.mode = `Cached && t.n_dirty = 0 && t.n_enabled = 0 then true
+  else
+    List.for_all (fun (_, a) -> t.weights a <= 0.0) (candidates_internal t)
 
 (* Run restricted to actions satisfying [allow] (used by Sync_runner).
    Returns the number of steps taken before no allowed action remains. *)
 let run_filtered ?(max_steps = 200_000) t ~allow =
+  resync t;
   let rec go n =
     if n >= max_steps then n
     else
       let cands =
-        List.filter (fun (_, a) -> allow a) (candidates t)
+        List.filter (fun (_, a) -> allow a) (candidates_internal t)
       in
       match weighted_pick t cands with
       | None -> n

@@ -12,6 +12,22 @@ open Vsgc_types
 
 type t
 
+type mode = [ `Cached | `Rescan ]
+(** Scheduling implementation. [`Cached] (the default) keeps each
+    component's enabled-output list and invalidates it only when the
+    component participates in a step; [`Rescan] recomputes every list
+    on every scheduling decision — the pre-cache implementation, kept
+    as the behavioural reference. Both produce bit-identical RNG
+    streams, traces, and fingerprints (DESIGN.md §12); CI replays the
+    schedule corpus under both and diffs the fingerprints. *)
+
+val set_default_mode : mode -> unit
+(** Mode used by {!create} when [?mode] is omitted. Initialized from
+    the [VSGC_SCHED] environment variable ([rescan] selects
+    [`Rescan]); anything else, or unset, selects [`Cached]. *)
+
+val get_default_mode : unit -> mode
+
 val default_weights : Action.t -> float
 (** Weight 1.0 for everything except the adversary move [Rf_lose]
     (weight 0: scenarios opt into message loss). *)
@@ -20,8 +36,11 @@ val create :
   ?seed:int ->
   ?weights:(Action.t -> float) ->
   ?keep_trace:bool ->
+  ?mode:mode ->
   Component.packed list ->
   t
+
+val mode : t -> mode
 
 val metrics : t -> Metrics.t
 val rng : t -> Rng.t
@@ -60,7 +79,10 @@ val independence : t -> Action.t -> Action.t -> bool
     and neither enables or disables the other. *)
 
 val candidates : t -> (int * Action.t) list
-(** All enabled locally-controlled actions, tagged with owner index. *)
+(** All enabled locally-controlled actions, tagged with owner index.
+    Safe against out-of-band state mutation: harness code that writes
+    component state refs directly (bypassing {!perform}) is picked up
+    because every public read resynchronizes the scheduling cache. *)
 
 val perform : t -> ?owner:int -> Action.t -> unit
 (** Execute one step of the composition: the owner (if any) and every

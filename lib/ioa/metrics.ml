@@ -9,6 +9,10 @@ open Vsgc_types
 type t = {
   mutable steps : int;
   mutable rounds : int;
+  mutable cand_hits : int;
+      (* scheduling decisions served from a cached candidate list *)
+  mutable cand_misses : int;
+      (* per-component enabled-output rescans the cache could not avoid *)
   by_category : (Action.category, int) Hashtbl.t;
   sent_by_kind : (Msg.Wire.kind, int) Hashtbl.t;
       (* point-to-point copies: an Rf_send to k destinations counts k *)
@@ -20,6 +24,8 @@ let create () =
   {
     steps = 0;
     rounds = 0;
+    cand_hits = 0;
+    cand_misses = 0;
     by_category = Hashtbl.create 32;
     sent_by_kind = Hashtbl.create 8;
     sent_bytes_by_kind = Hashtbl.create 8;
@@ -44,6 +50,10 @@ let record t (a : Action.t) =
 let steps t = t.steps
 let rounds t = t.rounds
 let add_round t = t.rounds <- t.rounds + 1
+let note_cand_hits t n = t.cand_hits <- t.cand_hits + n
+let note_cand_misses t n = t.cand_misses <- t.cand_misses + n
+let cand_hits t = t.cand_hits
+let cand_misses t = t.cand_misses
 
 let category_count t c =
   match Hashtbl.find_opt t.by_category c with Some n -> n | None -> 0

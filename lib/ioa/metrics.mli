@@ -15,6 +15,17 @@ val record : t -> Action.t -> unit
 val steps : t -> int
 val rounds : t -> int
 val add_round : t -> unit
+
+val note_cand_hits : t -> int -> unit
+(** Candidate-cache hits: a scheduling read served from a still-valid
+    cached list (whole assembled list, or one component's). Bumped by
+    the executor; never part of a trace fingerprint. *)
+
+val note_cand_misses : t -> int -> unit
+(** Candidate-cache misses: per-component enabled-output rescans. *)
+
+val cand_hits : t -> int
+val cand_misses : t -> int
 val category_count : t -> Action.category -> int
 
 val sent_count : t -> Msg.Wire.kind -> int

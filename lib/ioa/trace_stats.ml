@@ -83,6 +83,30 @@ let fingerprint trace =
     trace;
   Fmt.str "%Lx:%d" !h !n
 
+(* Hot-path cache effectiveness, reported alongside the trace queries
+   in bench and node output. Deliberately NOT part of [fingerprint]:
+   the counters vary with scheduler mode and pool pressure while the
+   observable trace does not, and the pinned corpus digests must stay
+   mode-independent. *)
+type counters = {
+  cand_hits : int;
+  cand_misses : int;
+  pool_reused : int;
+  pool_allocated : int;
+}
+
+let counters metrics =
+  {
+    cand_hits = Metrics.cand_hits metrics;
+    cand_misses = Metrics.cand_misses metrics;
+    pool_reused = Bin.Pool.reused ();
+    pool_allocated = Bin.Pool.allocated ();
+  }
+
+let pp_counters ppf c =
+  Fmt.pf ppf "cand_hits=%d cand_misses=%d pool_reused=%d pool_allocated=%d"
+    c.cand_hits c.cand_misses c.pool_reused c.pool_allocated
+
 (* Per-category totals — a cheap sanity check against Metrics. *)
 let category_counts trace =
   let tbl = Hashtbl.create 16 in

@@ -31,3 +31,18 @@ val fingerprint : Action.t list -> string
     the determinism regressions. *)
 
 val category_counts : Action.t list -> (Action.category, int) Hashtbl.t
+
+type counters = {
+  cand_hits : int;
+  cand_misses : int;
+  pool_reused : int;
+  pool_allocated : int;
+}
+(** Hot-path cache effectiveness: the executor's candidate-cache
+    hit/miss counters plus the process-wide codec buffer-pool
+    reuse/alloc counters. Reported next to the trace queries; never
+    part of {!fingerprint} — the pinned corpus digests must not depend
+    on scheduler mode or pool pressure. *)
+
+val counters : Metrics.t -> counters
+val pp_counters : Format.formatter -> counters -> unit

@@ -74,6 +74,9 @@ type hub = {
       (* per directed link: (lseq, frame) held while the link is down,
          re-injected in order when it comes back up *)
   mutable endpoints : endpoint_state list;  (* sorted by id *)
+  scratch : Vsgc_types.Bin.Wbuf.t;
+      (* every send encodes its frame here, then copies out exactly the
+         frame's bytes for the flight — the buffer itself is reused *)
   mutable dropped : int;
   mutable delivered : int;
   mutable retransmits : int;
@@ -93,6 +96,7 @@ let hub ?(seed = 0) ?(knobs = default_knobs) () =
     next_expected = Hashtbl.create 16;
     parked = Hashtbl.create 16;
     endpoints = [];
+    scratch = Vsgc_types.Bin.Wbuf.create 256;
     dropped = 0;
     delivered = 0;
     retransmits = 0;
@@ -160,6 +164,13 @@ let latency h a b =
     else 0
   in
   1 + jitter + !penalty + slow_path
+
+(* Encode through the hub's reusable scratch; the flight gets an owned
+   copy of just the frame's bytes (flights outlive the send). *)
+let encode_frame h pkt =
+  Vsgc_types.Bin.Wbuf.clear h.scratch;
+  Frame.encode_into h.scratch pkt;
+  Vsgc_types.Bin.Wbuf.to_bytes h.scratch
 
 let enqueue_flight h ~src ~dst ~lseq frame =
   let due = h.now + latency h src dst in
@@ -244,7 +255,7 @@ let attach h id =
     if ep.closed then ()
     else if linked h id peer then
       enqueue_flight h ~src:id ~dst:peer ~lseq:(next_lseq peer)
-        (Frame.encode pkt)
+        (encode_frame h pkt)
     else if
       (* Link forced down but the peer is alive: the session layer
          holds the frame for retransmission on reconnect. *)
@@ -253,7 +264,7 @@ let attach h id =
          | Some other -> not other.closed
          | None -> false
     then
-      Queue.add (next_lseq peer, Frame.encode pkt) (parked_queue h id peer)
+      Queue.add (next_lseq peer, encode_frame h pkt) (parked_queue h id peer)
     else
       (* No connection and none pending: the bytes never leave. *)
       h.dropped <- h.dropped + 1

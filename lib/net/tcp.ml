@@ -24,6 +24,7 @@
    [poll_timeout]. *)
 
 open Vsgc_wire
+module Bin = Vsgc_types.Bin
 
 type addr = string * int
 
@@ -43,13 +44,26 @@ let config ?(listen = None) ?(peers = []) ?(poll_timeout = 0.05)
 type conn = {
   fd : Unix.file_descr;
   feeder : Frame.feeder;
-  mutable out : bytes list;  (* unsent chunks, oldest first *)
-  mutable out_off : int;  (* offset into the head chunk *)
+  out : Bin.Wbuf.t;
+      (* the coalescing write path: every queued frame is encoded
+         straight into this buffer (no per-frame bytes), and one
+         [write] syscall flushes everything pending *)
+  mutable out_off : int;  (* bytes of [out] already written *)
   mutable peer : Node_id.t option;  (* known once the Hello arrives *)
   mutable hello_sent : bool;
   dialed : Node_id.t option;  (* Some p when we dialed this as p *)
   mutable connecting : bool;  (* non-blocking connect in progress *)
 }
+
+let pending conn = Bin.Wbuf.length conn.out - conn.out_off
+
+(* One burst must not pin its high-water buffer forever. *)
+let out_shrink_cap = 1 lsl 20
+
+let out_drained conn =
+  conn.out_off <- 0;
+  if Bin.Wbuf.capacity conn.out > out_shrink_cap then Bin.Wbuf.shrink conn.out
+  else Bin.Wbuf.clear conn.out
 
 type dial = {
   addr : addr;
@@ -79,10 +93,7 @@ let mk_listen (host, port) =
 
 let emit st ev = Queue.add ev st.events
 
-let enqueue_bytes conn b =
-  conn.out <- conn.out @ [ b ]
-
-let enqueue_pkt conn pkt = enqueue_bytes conn (Frame.encode pkt)
+let enqueue_pkt conn pkt = Frame.encode_into conn.out pkt
 
 let send_hello st conn =
   if not conn.hello_sent then begin
@@ -119,7 +130,7 @@ let start_dial st peer (d : dial) =
         {
           fd;
           feeder = Frame.feeder ();
-          out = [];
+          out = Bin.Wbuf.create 256;
           out_off = 0;
           peer = None;
           hello_sent = false;
@@ -152,25 +163,23 @@ let finish_connect st conn =
   | Some _ -> drop_conn st conn ~down:false
 
 let flush_out conn =
-  (* Returns false when the connection broke mid-write. *)
-  let rec go () =
-    match conn.out with
-    | [] -> true
-    | chunk :: rest -> (
-        let len = Bytes.length chunk - conn.out_off in
-        match Unix.write conn.fd chunk conn.out_off len with
-        | n when n = len ->
-            conn.out <- rest;
-            conn.out_off <- 0;
-            go ()
-        | n ->
-            conn.out_off <- conn.out_off + n;
-            true
-        | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) ->
-            true
-        | exception Unix.Unix_error _ -> false)
-  in
-  go ()
+  (* Returns false when the connection broke mid-write. Everything
+     queued since the last flush goes out in ONE syscall; a partial
+     write just advances the offset and the rest goes next pass. *)
+  match pending conn with
+  | 0 -> true
+  | len -> (
+      match
+        Unix.write conn.fd (Bin.Wbuf.unsafe_contents conn.out) conn.out_off len
+      with
+      | n when n = len ->
+          out_drained conn;
+          true
+      | n ->
+          conn.out_off <- conn.out_off + n;
+          true
+      | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) -> true
+      | exception Unix.Unix_error _ -> false)
 
 let handle_frames st conn =
   let rec go () =
@@ -223,7 +232,7 @@ let accept_new st listen_fd =
           {
             fd;
             feeder = Frame.feeder ();
-            out = [];
+            out = Bin.Wbuf.create 256;
             out_off = 0;
             peer = None;
             hello_sent = false;
@@ -250,7 +259,7 @@ let poll st timeout =
     in
     let writes =
       List.filter_map
-        (fun c -> if c.connecting || c.out <> [] then Some c.fd else None)
+        (fun c -> if c.connecting || pending c > 0 then Some c.fd else None)
         st.conns
     in
     match Unix.select reads writes [] timeout with
@@ -324,7 +333,7 @@ let create cfg =
       (* Best-effort flush so frames sent just before exit get out. *)
       let deadline = Unix.gettimeofday () +. 1.0 in
       let rec flush_all () =
-        let pending = List.exists (fun c -> c.out <> []) st.conns in
+        let pending = List.exists (fun c -> pending c > 0) st.conns in
         if pending && Unix.gettimeofday () < deadline then begin
           poll st 0.01;
           flush_all ()

@@ -6,11 +6,15 @@
      - string        u32 length + raw bytes
      - list          u32 count + elements
 
-   Writers append to a [Buffer.t] and never fail. Readers raise the
-   private [Error] exception internally; [run] converts it — and any
-   other exception a malformed input provokes in a constructor — into
-   a [result], so the public decoding entry points are TOTAL: they
-   never raise on arbitrary bytes. *)
+   Writers append to a [Wbuf.t] — a growable byte sink that, unlike
+   [Buffer.t], supports in-place backpatching (length prefixes written
+   before the lengths are known) and pooling (one scratch buffer
+   serves every encode on a hot path instead of one allocation per
+   message). Writers never fail. Readers raise the private [Error]
+   exception internally; [run] converts it — and any other exception a
+   malformed input provokes in a constructor — into a [result], so the
+   public decoding entry points are TOTAL: they never raise on
+   arbitrary bytes. *)
 
 type error =
   | Truncated of { what : string; need : int; have : int }
@@ -34,22 +38,132 @@ exception Error of error
 let fail e = raise (Error e)
 let bad_value ~what detail = fail (Bad_value { what; detail })
 
+(* -- The writer sink ----------------------------------------------------- *)
+
+module Wbuf = struct
+  (* A growable byte sink. The live region is [buf[0, len)]; [grow]
+     jumps straight to the needed capacity (doubled), so one oversized
+     payload costs one copy, not a cascade of doubling copies. *)
+  type t = { mutable buf : bytes; mutable len : int }
+
+  let create hint = { buf = Bytes.create (max 16 hint); len = 0 }
+  let length t = t.len
+  let clear t = t.len <- 0
+  let capacity t = Bytes.length t.buf
+
+  (* Drop an oversized backing store after a burst, so one large
+     encode does not pin its high-water capacity forever. *)
+  let shrink t =
+    t.buf <- Bytes.create 64;
+    t.len <- 0
+
+  let grow t need =
+    let cap = max (2 * Bytes.length t.buf) need in
+    let buf = Bytes.create cap in
+    Bytes.blit t.buf 0 buf 0 t.len;
+    t.buf <- buf
+
+  let reserve t n = if t.len + n > Bytes.length t.buf then grow t (t.len + n)
+
+  let add_char t c =
+    reserve t 1;
+    Bytes.unsafe_set t.buf t.len c;
+    t.len <- t.len + 1
+
+  let add_string t s =
+    let n = String.length s in
+    reserve t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let add_int64_be t v =
+    reserve t 8;
+    Bytes.set_int64_be t.buf t.len v;
+    t.len <- t.len + 8
+
+  let to_bytes t = Bytes.sub t.buf 0 t.len
+
+  let blit t ~dst ~dst_off = Bytes.blit t.buf 0 dst dst_off t.len
+
+  (* Backpatch a big-endian u32 at [at] (already written). The length-
+     prefix idiom: reserve 4 bytes, write the body, patch the length. *)
+  let patch_u32 t ~at v =
+    if at < 0 || at + 4 > t.len then invalid_arg "Wbuf.patch_u32: out of range";
+    if v < 0 || v > 0xffff_ffff then invalid_arg "Wbuf.patch_u32: out of range";
+    Bytes.unsafe_set t.buf at (Char.unsafe_chr ((v lsr 24) land 0xff));
+    Bytes.unsafe_set t.buf (at + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set t.buf (at + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set t.buf (at + 3) (Char.unsafe_chr (v land 0xff))
+
+  (* The raw backing store, for callers that hand [buf[0, len)] to a
+     syscall or blit it out themselves. Invalidated by any append. *)
+  let unsafe_contents t = t.buf
+end
+
+type wbuf = Wbuf.t
+
+(* -- The scratch-buffer pool --------------------------------------------- *)
+
+(* Encode paths borrow a scratch Wbuf, fill it, copy the result out,
+   and return it — so a steady-state hot path allocates exactly the
+   result bytes per message, never the intermediate buffer. The pool
+   is a small LIFO stack: nested encodes (a codec calling [to_bytes]
+   while holding a scratch) borrow distinct buffers, so no live buffer
+   is ever aliased. Counters feed the observability layer. *)
+module Pool = struct
+  type stats = { mutable reused : int; mutable allocated : int }
+
+  let stats_ = { reused = 0; allocated = 0 }
+  let max_pooled = 8
+  let free : Wbuf.t list ref = ref []
+
+  let acquire ~hint =
+    match !free with
+    | w :: rest ->
+        free := rest;
+        stats_.reused <- stats_.reused + 1;
+        if hint > Wbuf.capacity w then Wbuf.grow w hint;
+        w
+    | [] ->
+        stats_.allocated <- stats_.allocated + 1;
+        Wbuf.create (max 64 hint)
+
+  let release w =
+    Wbuf.clear w;
+    if List.length !free < max_pooled then free := w :: !free
+
+  let reused () = stats_.reused
+  let allocated () = stats_.allocated
+end
+
+(* Borrow a pooled scratch, run [f] on it, and return [f]'s result.
+   The scratch goes back to the pool even when [f] raises. *)
+let with_scratch ~hint f =
+  let w = Pool.acquire ~hint in
+  match f w with
+  | v ->
+      Pool.release w;
+      v
+  | exception exn ->
+      Pool.release w;
+      raise exn
+
 (* -- Writers ------------------------------------------------------------- *)
 
-let w_u8 b i = Buffer.add_char b (Char.chr (i land 0xff))
+let w_u8 b i = Wbuf.add_char b (Char.chr (i land 0xff))
 
 let w_u32 b i =
   if i < 0 || i > 0xffff_ffff then invalid_arg "Bin.w_u32: out of range";
-  Buffer.add_char b (Char.chr ((i lsr 24) land 0xff));
-  Buffer.add_char b (Char.chr ((i lsr 16) land 0xff));
-  Buffer.add_char b (Char.chr ((i lsr 8) land 0xff));
-  Buffer.add_char b (Char.chr (i land 0xff))
+  Wbuf.add_char b (Char.chr ((i lsr 24) land 0xff));
+  Wbuf.add_char b (Char.chr ((i lsr 16) land 0xff));
+  Wbuf.add_char b (Char.chr ((i lsr 8) land 0xff));
+  Wbuf.add_char b (Char.chr (i land 0xff))
 
-let w_int b i = Buffer.add_int64_be b (Int64.of_int i)
+let w_int b i = Wbuf.add_int64_be b (Int64.of_int i)
 
 let w_string b s =
   w_u32 b (String.length s);
-  Buffer.add_string b s
+  Wbuf.add_string b s
 
 let w_list b w_elt l =
   w_u32 b (List.length l);
@@ -119,9 +233,9 @@ let expect_end r =
 
 (* -- Total decoding ------------------------------------------------------ *)
 
-let run read buf =
+let run_reader mk_reader read =
   match
-    let r = reader buf in
+    let r = mk_reader () in
     let v = read r in
     expect_end r;
     v
@@ -130,10 +244,18 @@ let run read buf =
   | exception Error e -> Error e
   | exception exn ->
       (* Backstop: a constructor invariant (View.make, Cut.set, ...)
-         tripped by structurally valid bytes. Decoding stays total. *)
+         tripped by structurally valid bytes — or a caller-supplied
+         window outside the buffer. Decoding stays total. *)
       Error (Bad_value { what = "decode"; detail = Printexc.to_string exn })
 
-let to_bytes write v =
-  let b = Buffer.create 64 in
-  write b v;
-  Buffer.to_bytes b
+let run read buf = run_reader (fun () -> reader buf) read
+
+(* Decode a window of [buf] in place — no [Bytes.sub] copy of the
+   window. The framing layer uses this to decode a body straight out
+   of the frame (or the stream accumulator) it arrived in. *)
+let run_sub read buf ~pos ~len = run_reader (fun () -> reader ~pos ~len buf) read
+
+let to_bytes ?(hint = 64) write v =
+  with_scratch ~hint (fun b ->
+      write b v;
+      Wbuf.to_bytes b)

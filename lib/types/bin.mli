@@ -1,9 +1,10 @@
 (** Binary codec primitives shared by every wire codec.
 
-    Writers append to a [Buffer.t] and never fail; readers raise the
-    private {!Error} internally, and {!run} converts any exception a
-    malformed input can provoke into a [result] — the public decoding
-    entry points built on it are total. *)
+    Writers append to a {!Wbuf.t} — a growable byte sink supporting
+    in-place length-prefix backpatching and pooling — and never fail;
+    readers raise the private {!Error} internally, and {!run} converts
+    any exception a malformed input can provoke into a [result] — the
+    public decoding entry points built on it are total. *)
 
 type error =
   | Truncated of { what : string; need : int; have : int }
@@ -19,13 +20,77 @@ exception Error of error
 val fail : error -> 'a
 val bad_value : what:string -> string -> 'a
 
+(** {1 The writer sink} *)
+
+module Wbuf : sig
+  type t
+  (** A growable byte sink; the live region is [buf[0, len)]. *)
+
+  val create : int -> t
+  (** [create hint] sizes the backing store for [hint] bytes. *)
+
+  val length : t -> int
+  val capacity : t -> int
+  val clear : t -> unit
+
+  val shrink : t -> unit
+  (** Clear AND release the backing store back to a small buffer —
+      for long-lived buffers after an unusually large burst. *)
+
+  val grow : t -> int -> unit
+  (** Ensure capacity of at least the given byte count (one copy). *)
+
+  val add_char : t -> char -> unit
+  val add_string : t -> string -> unit
+  val add_int64_be : t -> int64 -> unit
+
+  val to_bytes : t -> bytes
+  (** A fresh copy of the live region. *)
+
+  val blit : t -> dst:bytes -> dst_off:int -> unit
+  (** Copy the live region into [dst] at [dst_off]. *)
+
+  val patch_u32 : t -> at:int -> int -> unit
+  (** Backpatch a big-endian u32 over 4 already-written bytes at
+      offset [at] — the length-prefix idiom: reserve, write the body,
+      patch. @raise Invalid_argument outside the live region. *)
+
+  val unsafe_contents : t -> bytes
+  (** The raw backing store; only [[0, length t)] is meaningful, and
+      any append invalidates it. For handing to a syscall. *)
+end
+
+type wbuf = Wbuf.t
+
+(** {1 The scratch-buffer pool}
+
+    Encode paths borrow a scratch buffer, fill it, copy the result
+    out, and return it — steady-state hot paths allocate only the
+    result bytes. LIFO, so nested borrows never alias. *)
+
+module Pool : sig
+  val acquire : hint:int -> Wbuf.t
+  val release : Wbuf.t -> unit
+
+  val reused : unit -> int
+  (** Scratch acquisitions served from the pool (process-wide). *)
+
+  val allocated : unit -> int
+  (** Scratch acquisitions that had to allocate (process-wide). *)
+end
+
+val with_scratch : hint:int -> (Wbuf.t -> 'a) -> 'a
+(** Borrow a pooled scratch for the extent of the callback; the
+    scratch is returned to the pool even on raise. The callback must
+    not retain the scratch. *)
+
 (** {1 Writers} *)
 
-val w_u8 : Buffer.t -> int -> unit
-val w_u32 : Buffer.t -> int -> unit
-val w_int : Buffer.t -> int -> unit
-val w_string : Buffer.t -> string -> unit
-val w_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+val w_u8 : wbuf -> int -> unit
+val w_u32 : wbuf -> int -> unit
+val w_int : wbuf -> int -> unit
+val w_string : wbuf -> string -> unit
+val w_list : wbuf -> (wbuf -> 'a -> unit) -> 'a list -> unit
 
 (** {1 Readers (raise {!Error})} *)
 
@@ -46,4 +111,11 @@ val run : (reader -> 'a) -> bytes -> ('a, error) result
 (** [run read buf] decodes the whole of [buf] with [read]; any raised
     exception becomes an [Error]. Never raises. *)
 
-val to_bytes : (Buffer.t -> 'a -> unit) -> 'a -> bytes
+val run_sub : (reader -> 'a) -> bytes -> pos:int -> len:int -> ('a, error) result
+(** Like {!run} over the window [buf[pos, pos+len)], decoded in place
+    — no copy of the window. Never raises (a bad window included). *)
+
+val to_bytes : ?hint:int -> (wbuf -> 'a -> unit) -> 'a -> bytes
+(** Encode via a pooled scratch buffer; [hint] sizes the first
+    allocation so large payloads skip the doubling copies (default
+    64). *)

@@ -10,7 +10,7 @@ module App_msg : sig
   val equal : t -> t -> bool
   val compare : t -> t -> int
   val pp : Format.formatter -> t -> unit
-  val write : Buffer.t -> t -> unit
+  val write : Bin.wbuf -> t -> unit
 
   val read : Bin.reader -> t
   (** @raise Bin.Error *)
@@ -35,7 +35,7 @@ module Cut : sig
 
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
-  val write : Buffer.t -> t -> unit
+  val write : Bin.wbuf -> t -> unit
 
   val read : Bin.reader -> t
   (** Decodes to the canonical representation (zero indices dropped).
@@ -73,7 +73,7 @@ module Wire : sig
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
 
-  val write : Buffer.t -> t -> unit
+  val write : Bin.wbuf -> t -> unit
   (** The real codec (u8 constructor tag 1-6, then the fields). *)
 
   val read : Bin.reader -> t

@@ -18,7 +18,7 @@ val to_int : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
-val write : Buffer.t -> t -> unit
+val write : Bin.wbuf -> t -> unit
 
 val read : Bin.reader -> t
 (** @raise Bin.Error on a negative or truncated identifier. *)

@@ -14,7 +14,7 @@ val of_int : int -> t
 val to_int : t -> int
 val pp : Format.formatter -> t -> unit
 
-val write : Buffer.t -> t -> unit
+val write : Bin.wbuf -> t -> unit
 
 val read : Bin.reader -> t
 (** @raise Bin.Error on a negative or truncated identifier. *)

@@ -20,7 +20,7 @@ type t =
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
-val write : Buffer.t -> t -> unit
+val write : Bin.wbuf -> t -> unit
 (** The real codec (u8 constructor tag, then the fields). *)
 
 val read : Bin.reader -> t

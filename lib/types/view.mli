@@ -15,7 +15,7 @@ module Sc_id : sig
   val compare : t -> t -> int
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
-  val write : Buffer.t -> t -> unit
+  val write : Bin.wbuf -> t -> unit
 
   val read : Bin.reader -> t
   (** @raise Bin.Error *)
@@ -41,7 +41,7 @@ module Id : sig
       [origin] assigns to the view following [vid]. *)
 
   val pp : Format.formatter -> t -> unit
-  val write : Buffer.t -> t -> unit
+  val write : Bin.wbuf -> t -> unit
 
   val read : Bin.reader -> t
   (** @raise Bin.Error *)
@@ -73,7 +73,7 @@ val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
-val write : Buffer.t -> t -> unit
+val write : Bin.wbuf -> t -> unit
 (** Serializes the id and the [start_ids] bindings; the member set is
     recovered from the bindings' keys on decode. *)
 

@@ -35,17 +35,25 @@ let pp_error ppf = function
 
 let error_to_string e = Fmt.str "%a" pp_error e
 
-let encode pkt =
-  let body = Buffer.create 64 in
-  Packet.write body pkt;
-  let n = Buffer.length body in
-  let b = Buffer.create (header_len + n) in
-  Buffer.add_char b magic0;
-  Buffer.add_char b magic1;
+(* Append one whole frame to [b]: header, a length placeholder, the
+   body written IN PLACE (no encode-to-bytes-then-embed), then the
+   length backpatched. One buffer end to end; callers that batch
+   multiple frames into one write keep appending to the same [b]. *)
+let encode_into b pkt =
+  let base = Bin.Wbuf.length b in
+  Bin.Wbuf.add_char b magic0;
+  Bin.Wbuf.add_char b magic1;
   Bin.w_u8 b version;
-  Bin.w_u32 b n;
-  Buffer.add_buffer b body;
-  Buffer.to_bytes b
+  Bin.w_u32 b 0 (* length; patched below *);
+  Packet.write b pkt;
+  Bin.Wbuf.patch_u32 b ~at:(base + 3) (Bin.Wbuf.length b - base - header_len)
+
+let encode pkt =
+  Bin.with_scratch
+    ~hint:(header_len + Packet.size_hint pkt)
+    (fun b ->
+      encode_into b pkt;
+      Bin.Wbuf.to_bytes b)
 
 type header = Need_more | Body_len of int
 
@@ -78,7 +86,8 @@ let decode buf =
       else if have > header_len + n then
         Error (Body (Bin.Trailing { extra = have - header_len - n }))
       else (
-        match Bin.run Packet.read (Bytes.sub buf header_len n) with
+        (* decode the body in place — no copy of the window *)
+        match Bin.run_sub Packet.read buf ~pos:header_len ~len:n with
         | Ok pkt -> Ok pkt
         | Error e -> Error (Body e))
 
@@ -121,9 +130,13 @@ let next f =
   | Ok (Body_len n) ->
       if f.len < header_len + n then None
       else begin
-        let body = Bytes.sub f.acc header_len n in
+        (* decode straight out of the accumulator (decoders copy any
+           payload they keep), then slide the window *)
+        let res =
+          match Bin.run_sub Packet.read f.acc ~pos:header_len ~len:n with
+          | Ok pkt -> Ok pkt
+          | Error e -> Error (Body e)
+        in
         consume f (header_len + n);
-        match Bin.run Packet.read body with
-        | Ok pkt -> Some (Ok pkt)
-        | Error e -> Some (Error (Body e))
+        Some res
       end

@@ -26,7 +26,13 @@ val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
 val encode : Packet.t -> bytes
-(** One whole frame: header plus body. *)
+(** One whole frame: header plus body, encoded through a pooled
+    scratch buffer sized from {!Packet.size_hint}. *)
+
+val encode_into : Bin.wbuf -> Packet.t -> unit
+(** Append one whole frame to the buffer — body written in place,
+    length prefix backpatched. Batching callers append several frames
+    to the same buffer and ship them in one write. *)
 
 val decode : bytes -> (Packet.t, error) result
 (** Decodes exactly one whole frame. Total: truncated input reports

@@ -12,7 +12,7 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
-val write : Buffer.t -> t -> unit
+val write : Bin.wbuf -> t -> unit
 
 val read : Bin.reader -> t
 (** @raise Bin.Error *)

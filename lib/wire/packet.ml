@@ -108,5 +108,13 @@ let read r =
       View { target; view }
   | tag -> Bin.fail (Bad_tag { what = "packet"; tag })
 
-let to_bytes t = Bin.to_bytes write t
+(* A cheap lower bound on the encoded size, so encode paths size their
+   buffer from the payload instead of discovering it by doubling. Only
+   the variants that can carry large payloads matter; the fixed-size
+   ones fall back to the default scratch size. *)
+let size_hint = function
+  | Rf { wire; _ } -> 16 + Msg.Wire.size_bytes wire
+  | Srv _ | View _ | Start_change _ | Hello _ | Join _ | Leave _ -> 64
+
+let to_bytes t = Bin.to_bytes ~hint:(size_hint t) write t
 let of_bytes buf = Bin.run read buf

@@ -20,10 +20,14 @@ type t =
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
-val write : Buffer.t -> t -> unit
+val write : Bin.wbuf -> t -> unit
 
 val read : Bin.reader -> t
 (** @raise Bin.Error *)
+
+val size_hint : t -> int
+(** A cheap lower bound on the encoded size, used to size encode
+    buffers from the payload instead of growing by doubling. *)
 
 val to_bytes : t -> bytes
 

@@ -220,12 +220,12 @@ let test_fuzz_total () =
   (* 2. random bodies behind a valid frame header *)
   for _ = 1 to 3_000 do
     let body = random_bytes (Vsgc_ioa.Rng.int rng 48) in
-    let b = Buffer.create 64 in
-    Buffer.add_string b "VG";
+    let b = Bin.Wbuf.create 64 in
+    Bin.Wbuf.add_string b "VG";
     Bin.w_u8 b Frame.version;
     Bin.w_u32 b (Bytes.length body);
-    Buffer.add_bytes b body;
-    feed (Buffer.to_bytes b)
+    Bin.Wbuf.add_string b (Bytes.to_string body);
+    feed (Bin.Wbuf.to_bytes b)
   done;
   (* 3. single-byte corruptions of valid frames *)
   let sample =
