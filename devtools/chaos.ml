@@ -2,9 +2,16 @@
 
      chaos find   [opts]                sample seeded fault schedules until one
                                         fails the oracle battery; shrink + save
+                                        (-corrupt adds corruption events;
+                                         -want-detection hunts a green run whose
+                                         corruption guards fired instead)
      chaos replay FILE.fault...         re-execute saved schedules, judge each
                                         against its expect header + fingerprint
      chaos pin    FILE.fault [OUT]      run a schedule and pin its fingerprint
+     chaos soak   [opts]                corruption-enabled samples until the
+                                        accumulated executor steps reach -steps;
+                                        any violation is fatal; prints detection
+                                        latency stats (DESIGN.md §13)
 
    Every schedule rebuilds a Net_system deployment from scratch; equal
    (seed, config) pairs sample equal schedules and equal schedules give
@@ -31,9 +38,16 @@ let layer = ref F.Chaos.default_config.F.Chaos.layer
 let delay = ref F.Chaos.default_config.F.Chaos.knobs.Vsgc_net.Loopback.delay
 let out = ref ""
 let quiet = ref false
+let corrupt = ref false
+let want_detection = ref false
+let soak_steps = ref 1_000_000
 
 let find_opts =
   [
+    ("-corrupt", Arg.Set corrupt, " sample state-corruption events too");
+    ( "-want-detection",
+      Arg.Set want_detection,
+      " hunt a green run whose corruption guards fired (implies -corrupt)" );
     ("-seed", Arg.Set_int seed, "S base seed (default 1)");
     ("-rounds", Arg.Set_int rounds, "R schedules to sample (default 50)");
     ("-clients", Arg.Set_int clients, "N client count (default 3)");
@@ -63,10 +77,32 @@ let cmd_find args =
       layer = !layer;
       knobs = { Vsgc_net.Loopback.default_knobs with delay = !delay };
       fault_blocks = !blocks;
+      corruption = !corrupt || !want_detection;
     }
   in
   let log = if !quiet then None else Some (fun s -> Fmt.pr "%s@." s) in
   let t0 = Unix.gettimeofday () in
+  if !want_detection then begin
+    let found = F.Chaos.find_detection ?log ~rounds:!rounds ~seed:!seed config in
+    let dt = Unix.gettimeofday () -. t0 in
+    match found with
+    | None ->
+        Fmt.pr "no detection in %d rounds (%.2fs)@." !rounds dt;
+        exit 1
+    | Some f ->
+        Fmt.pr "detected-and-rejoined (round %d, %.2fs): %d detection(s)@."
+          f.F.Chaos.round dt
+          (List.length f.F.Chaos.detections);
+        List.iter
+          (fun (p, reason, at) -> Fmt.pr "  p%d @@ tick %d: %s@." p at reason)
+          f.F.Chaos.detections;
+        if !out <> "" then begin
+          F.Schedule.save f.F.Chaos.schedule !out;
+          Fmt.pr "saved: %s@." !out
+        end
+        else if not !quiet then Fmt.pr "%a@." F.Schedule.pp f.F.Chaos.schedule;
+        exit 0
+  end;
   let found = F.Chaos.find ?log ~rounds:!rounds ~seed:!seed config in
   let dt = Unix.gettimeofday () -. t0 in
   match found with
@@ -121,8 +157,14 @@ let cmd_pin args =
       let sched = F.Schedule.load file in
       let outcome = F.Inject.run sched in
       let expect = sched.F.Schedule.conf.F.Schedule.expect in
+      let detections =
+        Vsgc_harness.Net_system.detections outcome.F.Inject.net
+      in
       (match (outcome.F.Inject.verdict, expect) with
       | Ok (), None -> ()
+      | Ok (), Some kind when kind = F.Inject.detected_kind ->
+          if detections = [] then
+            die "%s: expected %s but no corruption guard fired" file kind
       | Error v, Some kind when v.F.Inject.kind = kind -> ()
       | Ok (), Some kind -> die "%s: expected %s but the run was clean" file kind
       | Error v, _ ->
@@ -137,10 +179,108 @@ let cmd_pin args =
       exit 0
   | _ -> die "usage: chaos pin FILE.fault [OUT.fault]"
 
+(* -- Soak (DESIGN.md §13, EXPERIMENTS.md E15) ----------------------------- *)
+
+(* Corruption-enabled samples, seeds round_seed(seed, 0..), until the
+   executor steps accumulated across all deployments reach the target.
+   Any violation is fatal (the offending schedule is printed so it can
+   be pinned as a regression); the summary reports how often the
+   guards fired and how quickly after the corruption they did. *)
+let soak_opts =
+  [
+    ("-steps", Arg.Set_int soak_steps, "N executor steps to accumulate (default 1000000)");
+    ("-seed", Arg.Set_int seed, "S base seed (default 1)");
+    ("-clients", Arg.Set_int clients, "N client count (default 3)");
+    ( "-servers",
+      Arg.Set_int servers,
+      "M server count; 0 = scripted membership (default 2)" );
+    ("-blocks", Arg.Set_int blocks, "B fault blocks per schedule (default 4)");
+    ( "-layer",
+      Arg.String (fun s -> layer := layer_of_string s),
+      "L wv|vs|full (default full)" );
+    ("-delay", Arg.Set_int delay, "D baseline delay knob (default 1)");
+    ("-quiet", Arg.Set quiet, " only print the summary");
+  ]
+
+let detection_latencies ~corruptions ~detections =
+  (* pair each corruption with the first unconsumed detection of the
+     same client at or after it *)
+  let remaining = ref detections in
+  List.filter_map
+    (fun (p, t0) ->
+      let rec take acc = function
+        | [] -> None
+        | (q, _, t1) :: rest when q = p && t1 >= t0 ->
+            remaining := List.rev_append acc rest;
+            Some (t1 - t0)
+        | d :: rest -> take (d :: acc) rest
+      in
+      take [] !remaining)
+    corruptions
+
+let cmd_soak args =
+  Arg.parse_argv ~current:(ref 0)
+    (Array.of_list (Sys.argv.(0) :: args))
+    (Arg.align soak_opts)
+    (fun a -> die "soak takes no positional argument (got %S)" a)
+    "chaos soak [options]";
+  if !clients < 1 then die "-clients must be at least 1";
+  let config =
+    {
+      F.Chaos.clients = !clients;
+      servers = !servers;
+      layer = !layer;
+      knobs = { Vsgc_net.Loopback.default_knobs with delay = !delay };
+      fault_blocks = !blocks;
+      corruption = true;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let steps = ref 0 and schedules = ref 0 in
+  let corruptions = ref 0 and detections = ref 0 in
+  let latencies = ref [] in
+  while !steps < !soak_steps do
+    let s = F.Chaos.sample ~seed:(F.Chaos.round_seed ~seed:!seed !schedules) config in
+    incr schedules;
+    let o = F.Inject.run s in
+    (match o.F.Inject.verdict with
+    | Ok () -> ()
+    | Error v ->
+        Fmt.pr "soak: VIOLATION after %d steps: %a@.%s@." !steps
+          F.Inject.pp_violation v
+          (F.Schedule.to_string s);
+        exit 1);
+    let net = o.F.Inject.net in
+    let cs = Vsgc_harness.Net_system.corruptions net in
+    let ds = Vsgc_harness.Net_system.detections net in
+    steps := !steps + Vsgc_harness.Net_system.steps net;
+    corruptions := !corruptions + List.length cs;
+    detections := !detections + List.length ds;
+    latencies :=
+      List.rev_append (detection_latencies ~corruptions:cs ~detections:ds)
+        !latencies;
+    if (not !quiet) && !schedules mod 50 = 0 then
+      Fmt.pr "soak: %d schedules, %d/%d steps@." !schedules !steps !soak_steps
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let lat = !latencies in
+  let mean =
+    match lat with
+    | [] -> 0.0
+    | _ ->
+        float_of_int (List.fold_left ( + ) 0 lat) /. float_of_int (List.length lat)
+  in
+  let max_lat = List.fold_left max 0 lat in
+  Fmt.pr
+    "soak: green — %d schedules, %d steps, %d corruptions, %d detections, \
+     detection latency mean %.2f max %d ticks (%.2fs)@."
+    !schedules !steps !corruptions !detections mean max_lat dt;
+  exit 0
+
 let usage () =
   Fmt.epr
     "usage:@.  chaos find [options]@.  chaos replay FILE.fault...@.  chaos pin \
-     FILE.fault [OUT.fault]@.";
+     FILE.fault [OUT.fault]@.  chaos soak [options]@.";
   exit 2
 
 let () =
@@ -149,6 +289,7 @@ let () =
     | _ :: "find" :: args -> cmd_find args
     | _ :: "replay" :: args -> cmd_replay args
     | _ :: "pin" :: args -> cmd_pin args
+    | _ :: "soak" :: args -> cmd_soak args
     | _ -> usage ()
   with
   | F.Schedule.Parse_error msg -> die "parse error: %s" msg

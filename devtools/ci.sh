@@ -3,10 +3,24 @@
 # (the seeded no-sync-wait mutation must be found, shrunk, saved, and
 # reproduced deterministically from the saved file), static vet, the
 # fault corpus replayed against pinned fingerprints, a seeded chaos
-# sweep, and two socket smokes — plain agreement plus SIGKILL-and-
-# rejoin. Everything carries a hard timeout.
+# sweep (crash faults and state corruption), and two socket smokes —
+# plain agreement plus SIGKILL-and-rejoin. Everything carries a hard
+# timeout.
+#
+#   ci.sh [-smoke]   the fast gate above (default)
+#   ci.sh -soak      the gate plus the §13 soak: the full schedule +
+#                    fault corpus (corruption included) and >= 1M
+#                    corruption-enabled chaos steps, each under both
+#                    VSGC_SCHED=cached and VSGC_SCHED=rescan
 set -e
 cd "$(dirname "$0")/.."
+
+soak=0
+case "${1:-}" in
+  ""|-smoke) ;;
+  -soak) soak=1 ;;
+  *) echo "usage: ci.sh [-smoke|-soak]" >&2; exit 2 ;;
+esac
 
 dune build
 dune runtest
@@ -115,6 +129,16 @@ if [ "$chaos_status" != 1 ]; then
   echo "ci: FAIL: chaos find exited $chaos_status (want 1 = green)" >&2
   exit 1
 fi
+# ...and with state corruption sampled in (DESIGN.md §13): green means
+# every injected corruption was detected by the local guards and
+# healed through the rejoin, so exit 1 is still the only pass.
+chaos_status=0
+dune exec -- devtools/chaos.exe find -corrupt -rounds 5 -seed 2027 -quiet \
+  || chaos_status=$?
+if [ "$chaos_status" != 1 ]; then
+  echo "ci: FAIL: chaos find -corrupt exited $chaos_status (want 1 = green)" >&2
+  exit 1
+fi
 
 # Kill-and-restart smoke: the §8 story over real sockets. Two servers
 # and two clients; client 1 is SIGKILLed mid-run, the survivor must
@@ -172,5 +196,23 @@ grep '^VIEW ' "$killdir/c0.log" | tail -1 | grep -q 'members={p0,p1}' \
   || kill_fail "survivor's last view is not the rejoined pair"
 test "$(grep -c '^DELIVER .*from=p1' "$killdir/c0.log")" = 2 \
   || kill_fail "survivor missed the reborn client's deliveries"
+
+# Soak (-soak only): the whole corpus and >= 1M corruption-enabled
+# chaos steps, under both scheduler modes. Any violation, fingerprint
+# drift, or undetected corruption fails; the soak summary's detection
+# stats feed EXPERIMENTS.md E15.
+if [ "$soak" = 1 ]; then
+  for mode in cached rescan; do
+    echo "ci: soak [$mode]: corpus replay"
+    VSGC_SCHED=$mode dune exec -- devtools/chaos.exe replay -quiet \
+      test/corpus/*.fault
+    for s in test/corpus/*.sched; do
+      VSGC_SCHED=$mode dune exec -- devtools/explore.exe replay "$s" -quiet
+    done
+    echo "ci: soak [$mode]: chaos soak"
+    VSGC_SCHED=$mode dune exec -- devtools/chaos.exe soak \
+      -steps 1000000 -seed 2026 -quiet
+  done
+fi
 
 echo "ci: OK"

@@ -384,6 +384,19 @@ let inv_7_2 s =
       | None -> ())
     s.endpoints
 
+(* Self-stabilization (DESIGN.md §13): every live automaton passes its
+   own local legitimacy guards. Reachable states always do — the guard
+   battery is a strict subset of the global invariants — so a failure
+   here means corrupted state survived the harness's detect-and-rejoin
+   scan: the "silent divergence" the self-checks exist to prevent. *)
+let inv_self s =
+  Proc.Map.iter
+    (fun p e ->
+      match Endpoint.self_check e with
+      | Some reason -> fail "self" "%a: undetected corrupt state: %s" Proc.pp p reason
+      | None -> ())
+    s.endpoints
+
 let all =
   [
     ("6.1", inv_6_1);
@@ -398,6 +411,10 @@ let all =
     ("6.13", inv_6_13);
     ("7.1", inv_7_1);
     ("7.2", inv_7_2);
+    (* last: overlapping corruptions classify under the historical
+       names above; "self" only fires for corruption no global
+       invariant describes (e.g. counter wraparound) *)
+    ("self", inv_self);
   ]
 
 let check_all snapshot = List.iter (fun (_, f) -> f snapshot) all

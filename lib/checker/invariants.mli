@@ -25,6 +25,11 @@ type snapshot = {
   reborn : Proc.Set.t;  (** processes that crashed at least once *)
 }
 
+val inv_self : snapshot -> unit
+(** Self-stabilization (DESIGN.md §13): every live end-point passes its
+    local legitimacy guards ({!Vsgc_core.Endpoint.self_check}) — a
+    failure means corrupted state survived detect-and-rejoin. *)
+
 val inv_6_1 : snapshot -> unit
 (** Self inclusion of current_view and mbrshp_view. *)
 

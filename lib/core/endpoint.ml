@@ -91,6 +91,48 @@ let accepts p (a : Action.t) =
 let lift_wv st f = { st with g = Gcs.lift st.g (fun v -> Vs_rfifo_ts.lift v f) }
 let lift_vs st f = { st with g = Gcs.lift st.g f }
 
+(* -- Self-stabilization (DESIGN.md §13) --------------------------------- *)
+
+type corruption = Last_dlvrd | Last_sent | View_id | Wraparound | Payload
+
+let all_corruptions = [ Last_dlvrd; Last_sent; View_id; Wraparound; Payload ]
+let detectable_corruptions = [ Last_dlvrd; Last_sent; View_id; Wraparound ]
+
+let corruption_to_string = function
+  | Last_dlvrd -> "last_dlvrd"
+  | Last_sent -> "last_sent"
+  | View_id -> "view_id"
+  | Wraparound -> "wraparound"
+  | Payload -> "payload"
+
+let corruption_of_string = function
+  | "last_dlvrd" -> Some Last_dlvrd
+  | "last_sent" -> Some Last_sent
+  | "view_id" -> Some View_id
+  | "wraparound" -> Some Wraparound
+  | "payload" -> Some Payload
+  | _ -> None
+
+let corrupt ~salt field st =
+  if st.crashed then invalid_arg "Endpoint.corrupt: end-point is crashed";
+  lift_wv st (fun w ->
+      match field with
+      | Last_dlvrd -> Wv_rfifo.corrupt_last_dlvrd ~salt w
+      | Last_sent -> Wv_rfifo.corrupt_last_sent ~salt w
+      | View_id -> Wv_rfifo.corrupt_view_id ~salt w
+      | Wraparound -> Wv_rfifo.corrupt_wraparound ~salt w
+      | Payload -> Wv_rfifo.corrupt_payload ~salt w)
+
+let self_check st =
+  if st.crashed then None
+  else
+    match Wv_rfifo.self_check (wv st) with
+    | Some _ as r -> r
+    | None -> (
+        match st.layer with
+        | `Wv -> None
+        | `Vs | `Full -> Vs_rfifo_ts.self_check (vs st))
+
 let apply st (a : Action.t) =
   let p = me st in
   if st.crashed then

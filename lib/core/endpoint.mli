@@ -24,6 +24,40 @@ val wv : t -> Wv_rfifo.t
 val crashed : t -> bool
 val current_view : t -> View.t
 
+(** {1 Self-stabilization (DESIGN.md §13)}
+
+    The fault layer's state-corruption class and the local legitimacy
+    guards that detect it. A detected end-point recycles through the §8
+    crash-rejoin machinery (no stable storage: rejoining from initial
+    state resets every bounded counter — the epoch recycling of
+    practically-self-stabilizing virtual synchrony). *)
+
+type corruption =
+  | Last_dlvrd  (** delivered index pushed past the contiguous prefix *)
+  | Last_sent  (** sent index pushed past the own queue end *)
+  | View_id  (** current view identifier pushed past the membership's *)
+  | Wraparound  (** all view identifiers at {!Vsgc_types.View.counter_bound} *)
+  | Payload
+      (** scribbled buffered message — {e not} locally detectable; the
+          global §6 invariants catch the divergence instead *)
+
+val all_corruptions : corruption list
+val detectable_corruptions : corruption list
+(** The fields whose corruption {!self_check} is guaranteed to flag. *)
+
+val corruption_to_string : corruption -> string
+val corruption_of_string : string -> corruption option
+
+val corrupt : salt:int -> corruption -> t -> t
+(** Apply a seeded state mutation. Mutations are computed relative to
+    the current state, so they corrupt at any point of a run.
+    @raise Invalid_argument on a crashed end-point. *)
+
+val self_check : t -> string option
+(** Local legitimacy guards over the whole tower ([Some reason] =
+    corrupt or counter-exhausted state); [None] on every reachable
+    state and on crashed end-points. *)
+
 val outputs : t -> Action.t list
 val accepts : Proc.t -> Action.t -> bool
 val apply : t -> Action.t -> t

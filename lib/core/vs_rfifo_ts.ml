@@ -577,3 +577,17 @@ let fwd_effect t (c : fwd_candidate) =
 (* -- Lifting parent transitions ----------------------------------------- *)
 
 let lift t f = { t with wv = f t.wv }
+
+(* -- Self-stabilization (DESIGN.md §13) --------------------------------- *)
+
+(* The child's own bounded counters: start_change identifiers. The
+   parent's guards cover views and sequence numbers. *)
+let self_check t =
+  let bound = View.counter_bound in
+  match t.start_change with
+  | Some (cid, _) when cid >= bound ->
+      Some (Fmt.str "wraparound: start_change id c%d at bound" cid)
+  | _ ->
+      if Proc.Map.exists (fun _ c -> c >= bound) t.prior_cids then
+        Some "wraparound: recorded start_change id at bound"
+      else None

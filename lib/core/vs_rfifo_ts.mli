@@ -165,3 +165,10 @@ val fwd_effect : t -> fwd_candidate -> t
 val lift : t -> (Wv_rfifo.t -> Wv_rfifo.t) -> t
 (** Apply a parent transition (the child never writes parent state
     directly — the inheritance discipline of §2). *)
+
+(** {1 Self-stabilization (DESIGN.md §13)} *)
+
+val self_check : t -> string option
+(** The child's bounded-counter guard (start_change identifiers at
+    {!Vsgc_types.View.counter_bound}); the parent's {!Wv_rfifo.self_check}
+    covers views and sequence numbers. *)

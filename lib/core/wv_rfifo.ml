@@ -194,3 +194,111 @@ let recv t q (w : Msg.Wire.t) =
       { t with last_rcvd = Proc.Map.add q i t.last_rcvd }
   | Msg.Wire.Fwd { origin; view; index; msg } -> msgs_set t origin view index msg
   | Msg.Wire.Sync _ | Msg.Wire.Sync_batch _ | Msg.Wire.Bsync _ -> t
+
+(* -- Self-stabilization (DESIGN.md §13) --------------------------------- *)
+
+(* Local legitimacy guards: every state reachable by the Figure 9
+   transitions satisfies all of them, so a [Some] answer witnesses
+   corruption (or counter exhaustion) and never a protocol state. The
+   checks only read state this automaton owns — they are decidable
+   locally, without any exchange. *)
+let self_check t =
+  let bound = View.counter_bound in
+  let vid v = View.Id.num (View.id v) in
+  let over_bound =
+    vid t.current_view >= bound || vid t.mbrshp_view >= bound
+    || t.last_sent >= bound
+    || Proc.Map.exists (fun _ n -> n >= bound) t.last_rcvd
+    || Proc.Map.exists (fun _ n -> n >= bound) t.last_dlvrd
+  in
+  if over_bound then
+    Some (Fmt.str "wraparound: counter at bound in view %a" View.Id.pp (View.id t.current_view))
+  else if not (View.mem t.me t.current_view) then
+    Some (Fmt.str "self-exclusion: %a not in current view %a" Proc.pp t.me View.pp t.current_view)
+  else if not (View.mem t.me t.mbrshp_view) then
+    Some (Fmt.str "self-exclusion: %a not in membership view %a" Proc.pp t.me View.pp t.mbrshp_view)
+  else if View.Id.lt (View.id t.mbrshp_view) (View.id t.current_view) then
+    Some
+      (Fmt.str "view-ahead: current %a exceeds membership %a" View.Id.pp
+         (View.id t.current_view) View.Id.pp (View.id t.mbrshp_view))
+  else if t.last_sent > last_index t t.me t.current_view then
+    Some
+      (Fmt.str "seqno: last_sent %d beyond own queue end %d" t.last_sent
+         (last_index t t.me t.current_view))
+  else
+    Proc.Map.fold
+      (fun q n acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            let lp = longest_prefix t q t.current_view in
+            if n > lp then
+              Some (Fmt.str "seqno: last_dlvrd[%a] = %d beyond prefix %d" Proc.pp q n lp)
+            else None)
+      t.last_dlvrd None
+
+(* Harness-only corruption effects (the fault layer's state-corruption
+   class): each lands the state strictly past the matching guard, so a
+   corruption here is detected by [self_check] before the automaton
+   takes another locally controlled step. Mutations are computed
+   relative to the current state — never absolute — so they corrupt at
+   any point of a run. *)
+
+let corrupt_last_dlvrd ~salt t =
+  let k = 1 + (abs salt mod 8) in
+  let lp = longest_prefix t t.me t.current_view in
+  { t with last_dlvrd = Proc.Map.add t.me (lp + k) t.last_dlvrd }
+
+let corrupt_last_sent ~salt t =
+  let k = 1 + (abs salt mod 8) in
+  { t with last_sent = last_index t t.me t.current_view + k }
+
+let corrupt_view_id ~salt t =
+  let a = View.id t.current_view and b = View.id t.mbrshp_view in
+  let top = if View.Id.lt a b then b else a in
+  let id = View.Id.succ_from ~origin:(abs salt mod 4) top in
+  let cv = t.current_view in
+  { t with
+    current_view = View.make ~id ~set:(View.set cv) ~start_ids:(View.start_ids cv) }
+
+let corrupt_wraparound ~salt t =
+  (* A consistent state whose identifiers have exhausted the bounded
+     range: current and membership views keep their sets but jump to
+     the bound, as after an (impossibly long) legitimate run. *)
+  let bump v =
+    View.make
+      ~id:
+        (View.Id.make
+           ~num:(View.counter_bound + (abs salt mod 8))
+           ~origin:(View.Id.origin (View.id v)))
+      ~set:(View.set v) ~start_ids:(View.start_ids v)
+  in
+  { t with current_view = bump t.current_view; mbrshp_view = bump t.mbrshp_view }
+
+let corrupt_payload ~salt t =
+  (* Scribble the newest buffered message of the first non-empty queue:
+     deliberately NOT locally detectable — receivers already filed the
+     genuine copy, so the global §6 invariants catch the divergence
+     instead (the undetected-corruption witness). No-op when nothing is
+     buffered. *)
+  let scribbled = Msg.App_msg.make (Fmt.str "corrupt-%d" (abs salt)) in
+  let pick =
+    Proc.Map.fold
+      (fun q by_view acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            View.Map.fold
+              (fun v q_msgs acc ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                    match Int_map.max_binding_opt q_msgs with
+                    | Some (i, _) -> Some (q, v, i)
+                    | None -> None))
+              by_view None)
+      t.msgs None
+  in
+  match pick with
+  | Some (q, v, i) -> msgs_set t q v i scribbled
+  | None -> t

@@ -103,3 +103,29 @@ val recv : t -> Proc.t -> Msg.Wire.t -> t
 (** INPUT co_rfifo.deliver_{q,p}: view markers reset the stream index;
     application messages are filed under the sender's announced view;
     forwarded messages land at their tagged (view, index). *)
+
+(** {1 Self-stabilization (DESIGN.md §13)} *)
+
+val self_check : t -> string option
+(** Local legitimacy guards: [None] on every state reachable by the
+    Figure 9 transitions; [Some reason] witnesses corrupted state or a
+    counter at {!Vsgc_types.View.counter_bound} (epoch exhaustion).
+    Purely local — reads only this automaton's own state. *)
+
+val corrupt_last_dlvrd : salt:int -> t -> t
+(** Harness-only corruption effects for the fault layer's
+    state-corruption class. Each lands strictly past the matching
+    {!self_check} guard; mutations are relative to the current state,
+    so they apply at any point of a run. *)
+
+val corrupt_last_sent : salt:int -> t -> t
+val corrupt_view_id : salt:int -> t -> t
+
+val corrupt_wraparound : salt:int -> t -> t
+(** A {e consistent} state whose view identifiers have exhausted the
+    bounded counter range — only the wraparound guard fires. *)
+
+val corrupt_payload : salt:int -> t -> t
+(** Scribbles the newest buffered message — deliberately {e not}
+    locally detectable (the global §6 invariants catch it): the
+    undetected-corruption witness. No-op when nothing is buffered. *)

@@ -27,6 +27,10 @@ type config = {
   layer : Vsgc_core.Endpoint.layer;
   knobs : Loopback.knobs;
   fault_blocks : int;
+  corruption : bool;
+      (* sample state-corruption events (DESIGN.md §13) alongside the
+         crash-fault classes; only detectable fields, so a green run
+         means detected-and-rejoined, never silently-lucky *)
 }
 
 let default_config =
@@ -36,6 +40,7 @@ let default_config =
     layer = `Full;
     knobs = { Loopback.delay = 1; drop = 0.0; reorder = 0.0 };
     fault_blocks = 4;
+    corruption = false;
   }
 
 let all_ids c =
@@ -64,6 +69,9 @@ let sample ~seed (c : config) : Schedule.t =
           (if !partitioned then [ `Heal ] else []);
           (match live () with [] -> [] | _ -> [ `Crash ]);
           (if Proc.Set.is_empty !crashed then [] else [ `Restart ]);
+          (match (c.corruption, live ()) with
+          | true, _ :: _ -> [ `Corrupt ]
+          | _ -> []);
         ]
     in
     (match Rng.pick rng choices with
@@ -93,6 +101,14 @@ let sample ~seed (c : config) : Schedule.t =
                drop = Rng.pick rng [ 0.0; 0.2; 0.4 ];
                reorder = Rng.pick rng [ 0.0; 0.25 ];
              })
+    | `Corrupt ->
+        (* Detectable fields only: the guards catch the corruption at
+           the next round's scan and the §8 rejoin heals it well within
+           the block's run — so every block of rounds that follows, and
+           the cool-down's Converged, still demand a green outcome. *)
+        let p = Rng.pick rng (live ()) in
+        let field = Rng.pick rng Vsgc_core.Endpoint.detectable_corruptions in
+        emit (Schedule.Corrupt { target = p; field; salt = Rng.int rng 1000 })
     | `Traffic -> emit (Schedule.Traffic (1 + Rng.int rng 2)));
     emit (Schedule.Run (5 + Rng.int rng 40))
   done;
@@ -173,6 +189,67 @@ let find ?(rounds = 50) ?(log = fun _ -> ()) ~seed (c : config) =
               round = i;
               events_before_shrink = List.length s.Schedule.events;
             }
+    end
+  in
+  go 0
+
+(* -- The detection-find loop ---------------------------------------------- *)
+
+(* A detection witness is the dual of a violation: a corruption-enabled
+   sample whose run is GREEN but whose harness log shows the guards
+   fired — proof the detect-and-rejoin path ran end to end. Shrunk with
+   the same ddmin, preserving "clean run with at least one detection"
+   (strict replay: a candidate that only detects thanks to skipped
+   events is rejected), and pinned with expect detected-and-rejoined. *)
+
+let detection_found (s : Schedule.t) events =
+  match Inject.run { s with events } with
+  | { Inject.verdict = Ok (); net; _ } ->
+      Vsgc_harness.Net_system.detections net <> []
+  | { Inject.verdict = Error _; _ } -> false
+  | exception _ -> false
+
+type found_detection = {
+  schedule : Schedule.t;  (* shrunk, expect set to detected-and-rejoined *)
+  detections : (Proc.t * string * int) list;
+  round : int;
+}
+
+let find_detection ?(rounds = 50) ?(log = fun _ -> ()) ~seed (c : config) =
+  let c = { c with corruption = true } in
+  let rec go i =
+    if i >= rounds then None
+    else begin
+      let s = sample ~seed:(round_seed ~seed i) c in
+      log
+        (Fmt.str "round %d/%d: %s (%d events)" (i + 1) rounds s.Schedule.conf.name
+           (List.length s.Schedule.events));
+      match Inject.run s with
+      | { Inject.verdict = Ok (); net; _ }
+        when Vsgc_harness.Net_system.detections net <> [] ->
+          log (Fmt.str "round %d: detected-and-rejoined — shrinking" (i + 1));
+          let expecting =
+            {
+              s with
+              Schedule.conf =
+                { s.Schedule.conf with expect = Some Inject.detected_kind };
+            }
+          in
+          let events =
+            Vsgc_explore.Shrink.ddmin (detection_found expecting)
+              expecting.Schedule.events
+          in
+          let candidate = { expecting with Schedule.events } in
+          let schedule, dets =
+            match Inject.run candidate with
+            | { Inject.verdict = Ok (); net = net'; _ }
+              when Vsgc_harness.Net_system.detections net' <> [] ->
+                (candidate, Vsgc_harness.Net_system.detections net')
+            | _ -> (expecting, Vsgc_harness.Net_system.detections net)
+            | exception _ -> (expecting, Vsgc_harness.Net_system.detections net)
+          in
+          Some { schedule; detections = dets; round = i }
+      | _ -> go (i + 1)
     end
   in
   go 0

@@ -15,10 +15,15 @@ type config = {
   layer : Vsgc_core.Endpoint.layer;
   knobs : Vsgc_net.Loopback.knobs;  (** baseline; spikes deviate from it *)
   fault_blocks : int;  (** fault events per sampled schedule *)
+  corruption : bool;
+      (** sample state-corruption events (DESIGN.md §13) alongside the
+          crash-fault classes — detectable fields only, so green still
+          means detected-and-rejoined, never silently-lucky *)
 }
 
 val default_config : config
-(** 3 clients, 2 servers, [`Full] layer, delay-1 knobs, 4 blocks. *)
+(** 3 clients, 2 servers, [`Full] layer, delay-1 knobs, 4 blocks, no
+    corruption. *)
 
 val sample : seed:int -> config -> Schedule.t
 (** Pure: equal (seed, config) give equal schedules. *)
@@ -44,3 +49,20 @@ val find :
   ?rounds:int -> ?log:(string -> unit) -> seed:int -> config -> found option
 (** Sample and judge up to [rounds] schedules (default 50); shrink and
     return the first failure. [None] = everything was green. *)
+
+type found_detection = {
+  schedule : Schedule.t;
+      (** shrunk, with [expect] set to {!Inject.detected_kind} *)
+  detections : (Vsgc_types.Proc.t * string * int) list;
+      (** {!Vsgc_harness.Net_system.detections} of the final replay *)
+  round : int;
+}
+
+val find_detection :
+  ?rounds:int -> ?log:(string -> unit) -> seed:int -> config ->
+  found_detection option
+(** The dual of {!find} with corruption forced on: sample until a run
+    is green {e and} the corruption guards fired, ddmin while
+    preserving exactly that, and return it as a pinnable
+    detected-and-rejoined witness. [None] = no sampled corruption was
+    detected within the budget. *)

@@ -16,7 +16,15 @@
                        the survivor set, or with asymmetric
                        transitional sets
 
-   plus the deployment fingerprint, which is what corpus replays pin. *)
+   plus the deployment fingerprint, which is what corpus replays pin.
+
+   Corruption events (DESIGN.md §13) add one expectation kind that is
+   NOT a violation: "detected-and-rejoined" demands a clean verdict
+   AND a non-empty Net_system.detections — the corruption was caught
+   by the local guards and healed through the §8 rejoin. A clean run
+   without detections then means the corruption went unnoticed
+   (Missing); any violation means it escaped the guards (whatever
+   fired first names the divergence). *)
 
 open Vsgc_types
 module Net_system = Vsgc_harness.Net_system
@@ -129,7 +137,7 @@ let build (conf : Schedule.conf) =
     Net_system.create ~seed:conf.seed ~knobs:conf.knobs ~layer:conf.layer
       ~n:conf.clients ~n_servers:conf.servers ()
   in
-  Net_system.attach_monitors net (Vsgc_spec.All.net ());
+  Net_system.attach_monitors net (Vsgc_spec.All.net_selfstab ());
   net
 
 let apply_event ~real_servers ~batch net (ev : Schedule.event) =
@@ -139,6 +147,8 @@ let apply_event ~real_servers ~batch net (ev : Schedule.event) =
   | Schedule.Crash p -> Net_system.crash_client net p
   | Schedule.Restart p -> Net_system.restart_client net p
   | Schedule.Delay_spike k -> Net_system.set_knobs net k
+  | Schedule.Corrupt { target; field; salt } ->
+      Net_system.corrupt_client net target ~salt field
   | Schedule.Link { a; b; up } ->
       Loopback.set_link (Net_system.hub net) a b ~up
   | Schedule.Send { from; payload } -> Net_system.send net from payload
@@ -220,9 +230,19 @@ type check_verdict =
   | Unexpected of violation
   | Fingerprint_mismatch of { expected : string; got : string }
 
+let detected_kind = "detected-and-rejoined"
+
 let check (s : Schedule.t) =
   let o = run s in
+  let detected = Net_system.detections o.net <> [] in
   match (o.verdict, s.conf.expect) with
+  | Ok (), Some kind when String.equal kind detected_kind && detected ->
+      (* not a violation: the corruption was caught by the local guards
+         and healed through the §8 rejoin — fall through to the pin *)
+      (match s.conf.fingerprint with
+      | Some expected when not (String.equal expected o.fingerprint) ->
+          Fingerprint_mismatch { expected; got = o.fingerprint }
+      | Some _ | None -> Reproduced)
   | Ok (), Some kind -> Missing kind
   | Error v, None -> Unexpected v
   | Error v, Some kind when not (String.equal v.kind kind) -> Unexpected v

@@ -34,6 +34,13 @@ val run_tolerant : Schedule.t -> violation option
 (** Shrinker variant: events invalidated by a deletion (e.g. a restart
     of a never-crashed client) are skipped instead of failing. *)
 
+val detected_kind : string
+(** ["detected-and-rejoined"]: the one [expect] kind that is not a
+    violation (DESIGN.md §13). {!check} judges it as a clean verdict
+    {e plus} non-empty {!Vsgc_harness.Net_system.detections} — the
+    corruption was caught by the local guards and healed through the
+    §8 rejoin; a clean run without detections is [Missing]. *)
+
 type check_verdict =
   | Reproduced  (** expected violation kind fired (fingerprint ok) *)
   | Clean_ok  (** no expectation, no violation (fingerprint ok) *)

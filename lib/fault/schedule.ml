@@ -41,6 +41,10 @@ type event =
   | Restart of Proc.t
   | Delay_spike of Loopback.knobs  (* replace the hub default knobs *)
   | Link of { a : Node_id.t; b : Node_id.t; up : bool }
+  | Corrupt of { target : Proc.t; field : Vsgc_core.Endpoint.corruption; salt : int }
+      (* seeded state corruption of the target client's end-point
+         (DESIGN.md §13) — applied between drive rounds; the next
+         round's self-check scan decides detected vs diverged *)
   | Send of { from : Proc.t; payload : string }
   | Traffic of int  (* every non-crashed client multicasts k payloads *)
   | Run of int  (* exactly k drive rounds, quiescent or not *)
@@ -83,6 +87,10 @@ let event_to_string = function
   | Link { a; b; up } ->
       Fmt.str "link %s %s %s" (node_id_to_string a) (node_id_to_string b)
         (if up then "up" else "down")
+  | Corrupt { target; field; salt } ->
+      Fmt.str "corrupt %d %s %d" target
+        (Vsgc_core.Endpoint.corruption_to_string field)
+        salt
   | Send { from; payload } -> Fmt.str "send %d %s" from (String.escaped payload)
   | Traffic k -> Fmt.str "traffic %d" k
   | Run k -> Fmt.str "run %d" k
@@ -173,6 +181,10 @@ let event_of_string line =
         | _ -> fail_parse "bad link state %S (want up|down)" state
       in
       Link { a = node_id a; b = node_id b; up }
+  | "corrupt" :: p :: f :: s :: _ -> (
+      match Vsgc_core.Endpoint.corruption_of_string f with
+      | Some field -> Corrupt { target = int_of_string p; field; salt = int_of_string s }
+      | None -> fail_parse "bad corruption field %S" f)
   | "send" :: from :: _ :: _ ->
       Send { from = int_of_string from; payload = unescape (rest_after line 2) }
   | "traffic" :: k :: _ -> Traffic (int_of_string k)

@@ -39,6 +39,11 @@ type event =
       (** replace the hub-wide default knobs from this point on *)
   | Link of { a : Vsgc_wire.Node_id.t; b : Vsgc_wire.Node_id.t; up : bool }
       (** surgical single-link control (partitions generalize this) *)
+  | Corrupt of { target : Proc.t; field : Vsgc_core.Endpoint.corruption; salt : int }
+      (** seeded state corruption of the target client's end-point
+          (DESIGN.md §13), applied between drive rounds; the next
+          round's self-check scan decides detected vs diverged. Text
+          form: [corrupt <p> <field> <salt>] *)
   | Send of { from : Proc.t; payload : string }
   | Traffic of int
       (** every currently non-crashed client multicasts this many

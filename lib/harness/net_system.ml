@@ -56,6 +56,9 @@ type t = {
   mutable down_nodes : Node_id.t list;  (* currently crashed clients *)
   ever_crashed : Proc.Set.t ref;
   mutable monitors : Vsgc_ioa.Monitor.t list;
+  mutable healing : Proc.t list;  (* detected last round, restart next *)
+  mutable detections : (Proc.t * string * int) list;  (* newest first *)
+  mutable corruptions : (Proc.t * int) list;  (* newest first *)
 }
 
 let create ?(seed = 42) ?knobs ?(layer = `Full) ~n ?(n_servers = 0) () =
@@ -110,6 +113,9 @@ let create ?(seed = 42) ?knobs ?(layer = `Full) ~n ?(n_servers = 0) () =
     down_nodes = [];
     ever_crashed = ref Proc.Set.empty;
     monitors = [];
+    healing = [];
+    detections = [];
+    corruptions = [];
   }
 
 let hub t = t.hub
@@ -136,43 +142,6 @@ let crashed_clients t =
       | Node_id.Client p -> Proc.Set.add p acc
       | Node_id.Server _ -> acc)
     Proc.Set.empty t.down_nodes
-
-(* -- Driving ------------------------------------------------------------- *)
-
-let quiescent t =
-  Loopback.idle t.hub && List.for_all (fun (n, _) -> Node.quiescent n) (nodes t)
-
-(* One synchronous round: drain the wire into every node, then step
-   every node and ship what it produced. Fixed node order makes the
-   merged action stream (and so the shared monitors) deterministic. *)
-let round t =
-  List.iter
-    (fun (node, tr) -> List.iter (Node.handle node) (Transport.recv tr))
-    (nodes t);
-  List.iter
-    (fun (node, tr) ->
-      List.iter (fun (dst, pkt) -> Transport.send tr dst pkt) (Node.step node))
-    (nodes t)
-
-let run ?(max_ticks = 50_000) t =
-  let rec go budget =
-    round t;
-    if not (quiescent t) then
-      if budget = 0 then failwith "Net_system.run: tick budget exhausted"
-      else begin
-        Loopback.tick t.hub;
-        go (budget - 1)
-      end
-  in
-  go max_ticks
-
-(* Exactly [k] rounds, quiescent or not — for injecting faults into
-   the middle of a protocol exchange (e.g. mid view-change). *)
-let run_ticks t k =
-  for _ = 1 to k do
-    round t;
-    Loopback.tick t.hub
-  done
 
 (* -- Fault surface -------------------------------------------------------- *)
 
@@ -231,6 +200,81 @@ let restart_client t p =
   apply_links t
 
 let set_knobs t knobs = Loopback.set_knobs t.hub knobs
+
+let corrupt_client t p ~salt field =
+  let node = client_node t p in
+  if Node.crashed node || is_down t (Node_id.Client p) then
+    invalid_arg (Fmt.str "Net_system.corrupt_client: %a is crashed" Proc.pp p);
+  t.corruptions <- (p, Loopback.now t.hub) :: t.corruptions;
+  Node.corrupt node ~salt field
+
+let detections t = List.rev t.detections
+let corruptions t = List.rev t.corruptions
+
+(* -- Driving ------------------------------------------------------------- *)
+
+let quiescent t =
+  t.healing = []
+  && Loopback.idle t.hub
+  && List.for_all (fun (n, _) -> Node.quiescent n) (nodes t)
+
+(* Self-stabilization (DESIGN.md §13): before a round's inputs reach
+   the automata, restart the clients whose corruption was detected last
+   round, then run every live client's local legitimacy guards. A
+   detected client is crashed on the spot — so a detectably corrupted
+   end-point never takes another locally controlled step — and queued
+   for restart at the next round's scan, one round of downtime, exactly
+   the ordinary §8 crash-rejoin path (bounded counters recycle because
+   rejoining from initial state resets them all). *)
+let self_stabilize t =
+  let heal = t.healing in
+  t.healing <- [];
+  List.iter
+    (fun p -> if is_down t (Node_id.Client p) then restart_client t p)
+    heal;
+  List.iter
+    (fun (p, (node, _)) ->
+      if (not (Node.crashed node)) && not (is_down t (Node_id.Client p)) then
+        match Node.self_check node with
+        | Some reason ->
+            t.detections <- (p, reason, Loopback.now t.hub) :: t.detections;
+            crash_client t p;
+            t.healing <- t.healing @ [ p ]
+        | None -> ())
+    t.clients
+
+(* One synchronous round: drain the wire into every node, then step
+   every node and ship what it produced. Fixed node order makes the
+   merged action stream (and so the shared monitors) deterministic. *)
+let round t =
+  self_stabilize t;
+  List.iter
+    (fun (node, tr) -> List.iter (Node.handle node) (Transport.recv tr))
+    (nodes t);
+  List.iter
+    (fun (node, tr) ->
+      List.iter (fun (dst, pkt) -> Transport.send tr dst pkt) (Node.step node))
+    (nodes t)
+
+let run ?(max_ticks = 50_000) t =
+  let rec go budget =
+    round t;
+    if not (quiescent t) then
+      if budget = 0 then failwith "Net_system.run: tick budget exhausted"
+      else begin
+        Loopback.tick t.hub;
+        go (budget - 1)
+      end
+  in
+  go max_ticks
+
+(* Exactly [k] rounds, quiescent or not — for injecting faults into
+   the middle of a protocol exchange (e.g. mid view-change). *)
+let run_ticks t k =
+  for _ = 1 to k do
+    round t;
+    Loopback.tick t.hub
+  done
 
 (* -- Specification oracles ------------------------------------------------ *)
 
@@ -356,6 +400,8 @@ let all_in_view t view =
 
 let malformed t =
   List.fold_left (fun acc (n, _) -> acc + Node.malformed n) 0 (nodes t)
+
+let steps t = List.fold_left (fun acc (n, _) -> acc + Node.steps n) 0 (nodes t)
 
 (* One digest for the whole deployment: per-node trace fingerprints in
    node order plus the hub's traffic counters. Equal iff every node

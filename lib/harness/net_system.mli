@@ -79,6 +79,26 @@ val set_knobs : t -> Vsgc_net.Loopback.knobs -> unit
 (** Replace the hub-wide default knobs (e.g. a delay spike); per-link
     overrides via {!hub} and {!Vsgc_net.Loopback.set_link_knobs}. *)
 
+(** {1 Self-stabilization (DESIGN.md §13)} *)
+
+val corrupt_client : t -> Proc.t -> salt:int -> Vsgc_core.Endpoint.corruption -> unit
+(** Apply a seeded state corruption to client [p]'s end-point between
+    rounds. The drive loop runs every live client's local legitimacy
+    guards ({!Vsgc_core.Endpoint.self_check}) at the top of each round:
+    a detected client is crashed on the spot — before it takes another
+    locally controlled step — and restarted one round later through the
+    ordinary §8 rejoin path, recycling its bounded counters.
+    @raise Invalid_argument on a crashed client. *)
+
+val detections : t -> (Proc.t * string * int) list
+(** Every guard detection so far as (client, reason, hub time at
+    detection), oldest first. Empty iff no corruption was detected —
+    the "detected-and-rejoined" / "diverged" classifier's input. *)
+
+val corruptions : t -> (Proc.t * int) list
+(** Every {!corrupt_client} call so far as (client, hub time), oldest
+    first — paired with {!detections} for detection-latency numbers. *)
+
 (** {1 Specification oracles} *)
 
 val attach_monitors : t -> Vsgc_ioa.Monitor.t list -> unit
@@ -131,6 +151,10 @@ val all_in_view : t -> View.t -> bool
 
 val malformed : t -> int
 (** Malformed transport events across all nodes (0 in healthy runs). *)
+
+val steps : t -> int
+(** Actions performed across all node executors — the soak layer's
+    step count. *)
 
 val fingerprint : t -> string
 (** Per-node trace fingerprints plus hub counters; equal iff every

@@ -232,6 +232,27 @@ let reconcile st =
   let st = if drifted then refresh st else st in
   conclude st
 
+(* -- Self-stabilization (DESIGN.md §13) --------------------------------- *)
+
+(* Local legitimacy guards over the server's bookkeeping: bounded
+   counters (proposal rounds, start_change ids, view identifiers) and
+   structural consistency every reachable state satisfies. A [Some]
+   answer witnesses corruption or counter exhaustion; unlike a client
+   end-point there is no rejoin machinery behind a server yet, so the
+   harness only reports these (ROADMAP: server recycling). *)
+let self_check st =
+  let bound = View.counter_bound in
+  if
+    st.round >= bound
+    || View.Id.num st.max_vid >= bound
+    || Proc.Map.exists (fun _ c -> c >= bound) st.sent_cid
+  then Some (Fmt.str "wraparound: counter at bound in round %d" st.round)
+  else if not (Server.Set.mem st.me st.alive) then
+    Some (Fmt.str "self-exclusion: %a not in own estimate" Server.pp st.me)
+  else if st.in_change && st.announced = None then
+    Some "mid-change without an announced member set"
+  else None
+
 let accepts me (a : Action.t) =
   match a with
   | Action.Fd_change (s, _) -> Server.equal s me

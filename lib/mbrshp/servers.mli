@@ -47,6 +47,12 @@ val ready : t -> bool
 val synthesize : t -> View.t
 (** Deterministic view synthesis from the proposal table. *)
 
+val self_check : t -> string option
+(** Local legitimacy guards (DESIGN.md §13): bounded counters at
+    {!Vsgc_types.View.counter_bound} and structural consistency.
+    [None] on every reachable state; [Some reason] witnesses corrupt
+    or counter-exhausted bookkeeping. *)
+
 val accepts : Server.t -> Action.t -> bool
 val outputs : t -> Action.t list
 val apply : t -> Action.t -> t

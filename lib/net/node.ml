@@ -198,6 +198,24 @@ let crashed t =
   | Client_k c -> Vsgc_core.Endpoint.crashed !(c.endpoint)
   | Server_k _ -> false
 
+(* -- Self-stabilization (DESIGN.md §13) --------------------------------- *)
+
+(* The harness writes the corrupted state straight into the component
+   ref, like [Client.push] does for payloads: the executor re-syncs
+   cached enabled-sets from the refs at its next public entry, so the
+   out-of-band write is safe under both scheduler modes. *)
+let corrupt t ~salt field =
+  match t.kind with
+  | Client_k c -> c.endpoint := Vsgc_core.Endpoint.corrupt ~salt field !(c.endpoint)
+  | Server_k _ -> invalid_arg "Node.corrupt: not a client node"
+
+let self_check t =
+  match t.kind with
+  | Client_k c -> Vsgc_core.Endpoint.self_check !(c.endpoint)
+  | Server_k sk -> Vsgc_mbrshp.Servers.self_check !(sk.state)
+
+let steps t = Vsgc_ioa.Executor.trace_length t.exec
+
 let delivered t = Vsgc_core.Client.delivered (client_state t)
 let views t = Vsgc_core.Client.views (client_state t)
 let last_view t = Vsgc_core.Client.last_view (client_state t)

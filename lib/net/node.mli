@@ -39,7 +39,20 @@ val push : t -> string -> unit
 (** Queue an application payload for multicast (client nodes).
     @raise Invalid_argument on a server node. *)
 
+val corrupt : t -> salt:int -> Vsgc_core.Endpoint.corruption -> unit
+(** Apply a seeded state corruption to the hosted end-point
+    (DESIGN.md §13), out-of-band like {!push}.
+    @raise Invalid_argument on a server node or a crashed end-point. *)
+
+val self_check : t -> string option
+(** The hosted automaton's local legitimacy guards
+    ({!Vsgc_core.Endpoint.self_check} / {!Vsgc_mbrshp.Servers.self_check});
+    [Some reason] witnesses corrupt or counter-exhausted state. *)
+
 (** {1 Observation} *)
+
+val steps : t -> int
+(** Actions this node's executor has performed (trace length). *)
 
 val delivered : t -> (Proc.t * Msg.App_msg.t) list
 (** Client node: application deliveries, oldest first. *)

@@ -31,3 +31,9 @@ let net () =
     Trans_set_spec.monitor ();
     Self_spec.monitor ();
   ]
+
+(* The networked bundle plus the self-stabilization rejoin contract:
+   what the fault layer attaches, so a client that crashes (or is
+   crashed by a corruption guard) and never completes the §8 rejoin is
+   classified as a violation rather than a quietly shrunken system. *)
+let net_selfstab () = net () @ [ Self_spec.rejoin () ]

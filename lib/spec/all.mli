@@ -11,3 +11,7 @@ val net : unit -> Vsgc_ioa.Monitor.t list
 (** The service-level monitors (WV_RFIFO, VS_RFIFO, TRANS_SET, SELF)
     for networked runs: they consume only client-side actions, so one
     shared instance of each can watch a multi-executor deployment. *)
+
+val net_selfstab : unit -> Vsgc_ioa.Monitor.t list
+(** {!net} plus {!Self_spec.rejoin}: the fault layer's bundle — every
+    crash must complete the §8 rejoin (DESIGN.md §13). *)

@@ -25,3 +25,36 @@ let monitor ?(name = "self_spec") () =
     Tracker.update t a
   in
   M.make name on_action
+
+(* Self-stabilization (DESIGN.md §13): the detect-and-rejoin contract.
+   Crashing — whether scheduled or triggered by a corruption guard — is
+   only acceptable if the end-point completes the §8 rejoin: a Recover,
+   and then a fresh view installed at the application. A trace that
+   ends with the obligation open diverged from the self-stabilization
+   contract (it "healed" by staying dead). Judged as residual
+   obligations on the whole trace, so mid-run downtime is fine. *)
+let rejoin ?(name = "rejoin_spec") () =
+  let pending : (Proc.t, [ `Down | `Recovering ]) Hashtbl.t = Hashtbl.create 7 in
+  let on_action (a : Action.t) =
+    match a with
+    | Action.Crash p -> Hashtbl.replace pending p `Down
+    | Action.Recover p ->
+        if Hashtbl.find_opt pending p = Some `Down then
+          Hashtbl.replace pending p `Recovering
+    | Action.App_view (p, _, _) ->
+        if Hashtbl.find_opt pending p = Some `Recovering then
+          Hashtbl.remove pending p
+    | _ -> ()
+  in
+  let at_end () =
+    Hashtbl.fold
+      (fun p st acc ->
+        (match st with
+        | `Down -> Fmt.str "%a crashed and never recovered" Proc.pp p
+        | `Recovering ->
+            Fmt.str "%a recovered but never re-installed a view" Proc.pp p)
+        :: acc)
+      pending []
+    |> List.sort compare
+  in
+  M.make ~at_end name on_action

@@ -4,3 +4,10 @@
     view. *)
 
 val monitor : ?name:string -> unit -> Vsgc_ioa.Monitor.t
+
+val rejoin : ?name:string -> unit -> Vsgc_ioa.Monitor.t
+(** The detect-and-rejoin contract (DESIGN.md §13): every crash —
+    scheduled or triggered by a corruption guard — must be followed by
+    a recovery and a fresh view at the application, judged as residual
+    obligations at the end of the trace. Distinguishes
+    "detected-and-rejoined" from "healed by staying dead". *)

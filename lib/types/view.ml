@@ -56,6 +56,15 @@ module Id = struct
     { num; origin }
 end
 
+(* Bounded-counter discipline (practically-self-stabilizing virtual
+   synchrony, PAPERS.md): identifiers and sequence numbers live in a
+   finite range. A counter at or beyond this bound is treated as
+   exhausted — the self-check guards flag it so the endpoint recycles
+   its epoch by rejoining from initial state, where every counter is
+   again zero. Far below max_int so arithmetic on corrupted values
+   cannot overflow before the guard sees them. *)
+let counter_bound = 1 lsl 30
+
 type t = { id : Id.t; set : Proc.Set.t; start_ids : Sc_id.t Proc.Map.t }
 
 let make ~id ~set ~start_ids =

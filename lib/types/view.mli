@@ -47,6 +47,13 @@ module Id : sig
   (** @raise Bin.Error *)
 end
 
+val counter_bound : int
+(** Bounded-counter discipline (practically-self-stabilizing virtual
+    synchrony): a view identifier, start_change identifier, or message
+    sequence number at or beyond this bound counts as exhausted. The
+    endpoint self-check treats it as corrupt state and recycles the
+    epoch by rejoining from initial state. *)
+
 type t = private { id : Id.t; set : Proc.Set.t; start_ids : Sc_id.t Proc.Map.t }
 
 val make : id:Id.t -> set:Proc.Set.t -> start_ids:Sc_id.t Proc.Map.t -> t

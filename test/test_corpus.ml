@@ -1,24 +1,102 @@
 (* The regression corpus: every saved schedule under test/corpus/ must
    replay, against the full monitor + invariant battery, to exactly
    what its expect header records — violating schedules reproduce their
-   violation, clean schedules stay clean. Findings from the explorer
-   (devtools/explore.exe) are shrunk and parked here so once-found bugs
-   stay found. *)
+   violation, clean schedules stay clean, and detected-and-rejoined
+   schedules heal through the §13 corruption guards. Findings from the
+   explorer (devtools/explore.exe) and the chaos driver
+   (devtools/chaos.exe) are shrunk and parked here so once-found bugs
+   stay found.
+
+   Discovery is a sorted directory scan: both [.sched] (explorer,
+   in-memory harness) and [.fault] (chaos, networked deployment) files
+   are picked up automatically, any other file in the directory fails
+   the suite loudly, and an unparseable corpus file is a test failure —
+   never a silent skip. Every file replays under BOTH executor
+   scheduling modes (cached and rescan), because a pinned fingerprint
+   that only reproduces under one mode is a scheduler bug in hiding. *)
 
 module E = Vsgc_explore
+module F = Vsgc_fault
+module Executor = Vsgc_ioa.Executor
 
 let corpus_dir = "corpus"
 
-let corpus_files () =
+(* -- Discovery ------------------------------------------------------------ *)
+
+let all_files () =
   match Sys.readdir corpus_dir with
   | files ->
-      Array.to_list files
-      |> List.filter (fun f -> Filename.check_suffix f ".sched")
-      |> List.sort compare
+      Array.to_list files |> List.sort compare
       |> List.map (Filename.concat corpus_dir)
   | exception Sys_error _ -> []
 
-let check_one file () =
+let sched_files () =
+  List.filter (fun f -> Filename.check_suffix f ".sched") (all_files ())
+
+let fault_files () =
+  List.filter (fun f -> Filename.check_suffix f ".fault") (all_files ())
+
+let stray_files () =
+  List.filter
+    (fun f ->
+      not
+        (Filename.check_suffix f ".sched" || Filename.check_suffix f ".fault"))
+    (all_files ())
+
+(* -- Loud-failure guards -------------------------------------------------- *)
+
+let test_corpus_present () =
+  if sched_files () = [] then Alcotest.fail "no .sched files under test/corpus";
+  if List.length (fault_files ()) < 3 then
+    Alcotest.failf "want at least 3 .fault files under test/corpus, got %d"
+      (List.length (fault_files ()))
+
+let test_no_stray_files () =
+  match stray_files () with
+  | [] -> ()
+  | strays ->
+      Alcotest.failf
+        "test/corpus holds files the replay harness cannot discover: %s"
+        (String.concat ", " strays)
+
+(* Every corpus file must parse; a half-edited pin must fail the suite,
+   not vanish from discovery. *)
+let test_corpus_parses () =
+  List.iter
+    (fun f ->
+      match E.Schedule.load f with
+      | (_ : E.Schedule.t) -> ()
+      | exception E.Schedule.Parse_error m ->
+          Alcotest.failf "%s does not parse: %s" f m)
+    (sched_files ());
+  List.iter
+    (fun f ->
+      match F.Schedule.load f with
+      | (_ : F.Schedule.t) -> ()
+      | exception F.Schedule.Parse_error m ->
+          Alcotest.failf "%s does not parse: %s" f m)
+    (fault_files ())
+
+(* The §13 corruption corpus must never silently shrink away: at least
+   one pinned .fault schedule carries a corrupt event. *)
+let test_corruption_corpus_present () =
+  let has_corrupt f =
+    List.exists
+      (function F.Schedule.Corrupt _ -> true | _ -> false)
+      (F.Schedule.load f).F.Schedule.events
+  in
+  match List.filter has_corrupt (fault_files ()) with
+  | [] -> Alcotest.fail "no pinned .fault schedule carries a corrupt event"
+  | _ -> ()
+
+(* -- Replay, under both scheduler modes ----------------------------------- *)
+
+let in_mode mode body () =
+  let saved = Executor.get_default_mode () in
+  Executor.set_default_mode mode;
+  Fun.protect ~finally:(fun () -> Executor.set_default_mode saved) body
+
+let check_sched file () =
   let s = E.Schedule.load file in
   match E.Replay.check s with
   | E.Replay.Reproduced | E.Replay.Clean_ok -> ()
@@ -27,8 +105,41 @@ let check_one file () =
   | E.Replay.Unexpected v ->
       Alcotest.failf "%s: unexpected violation %a" file E.Replay.pp_violation v
 
+let check_fault file () =
+  let s = F.Schedule.load file in
+  Alcotest.(check bool)
+    (file ^ " carries a pinned fingerprint")
+    true
+    (s.F.Schedule.conf.F.Schedule.fingerprint <> None);
+  match F.Inject.check s with
+  | F.Inject.Reproduced | F.Inject.Clean_ok -> ()
+  | F.Inject.Missing kind ->
+      Alcotest.failf "%s: replay was clean, expected %s" file kind
+  | F.Inject.Unexpected v ->
+      Alcotest.failf "%s: unexpected violation %a" file F.Inject.pp_violation v
+  | F.Inject.Fingerprint_mismatch { expected; got } ->
+      Alcotest.failf "%s: fingerprint drift@.  pinned: %s@.  got:    %s" file
+        expected got
+
+let replay_cases =
+  List.concat_map
+    (fun mode ->
+      let tag f = Fmt.str "%s [%s]" f (match mode with `Cached -> "cached" | `Rescan -> "rescan") in
+      List.map
+        (fun f -> Alcotest.test_case (tag f) `Quick (in_mode mode (check_sched f)))
+        (sched_files ())
+      @ List.map
+          (fun f ->
+            Alcotest.test_case (tag f) `Quick (in_mode mode (check_fault f)))
+          (fault_files ()))
+    [ `Cached; `Rescan ]
+
 let suite =
-  let files = corpus_files () in
-  Alcotest.test_case "corpus present" `Quick (fun () ->
-      if files = [] then Alcotest.fail "no .sched files under test/corpus")
-  :: List.map (fun f -> Alcotest.test_case f `Quick (check_one f)) files
+  [
+    Alcotest.test_case "corpus present" `Quick test_corpus_present;
+    Alcotest.test_case "no stray corpus files" `Quick test_no_stray_files;
+    Alcotest.test_case "corpus files all parse" `Quick test_corpus_parses;
+    Alcotest.test_case "corruption corpus present" `Quick
+      test_corruption_corpus_present;
+  ]
+  @ replay_cases

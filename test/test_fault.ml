@@ -49,6 +49,8 @@ let test_schedule_roundtrip () =
           F.Schedule.Link { a = Node_id.Client 0; b = Node_id.Server 1; up = false };
           F.Schedule.Link { a = Node_id.Client 0; b = Node_id.Server 1; up = true };
           F.Schedule.Send { from = 2; payload = "with space\nand newline" };
+          F.Schedule.Corrupt
+            { target = 1; field = Vsgc_core.Endpoint.Wraparound; salt = 42 };
           F.Schedule.Settle;
           F.Schedule.Converged;
         ];
@@ -71,6 +73,8 @@ let test_schedule_rejects_garbage () =
       "vsgc-fault 1\nsettle";
       "vsgc-fault 1\nclients 2\nlink p0 q1 up";
       "vsgc-fault 1\nclients 2\npartition |";
+      "vsgc-fault 1\nclients 2\ncorrupt 0 frobnicate 3";
+      "vsgc-fault 1\nclients 2\ncorrupt 0 last_sent";
     ]
 
 (* -- Per-link hub controls ----------------------------------------------- *)
@@ -275,30 +279,118 @@ let test_chaos_smoke () =
         F.Inject.pp_violation f.F.Chaos.violation F.Schedule.pp
         f.F.Chaos.schedule
 
-(* -- The .fault regression corpus ---------------------------------------- *)
+(* -- Properties (qcheck) -------------------------------------------------- *)
 
-let corpus_files () =
-  match Sys.readdir "corpus" with
-  | files ->
-      Array.to_list files
-      |> List.filter (fun f -> Filename.check_suffix f ".fault")
-      |> List.sort compare
-      |> List.map (Filename.concat "corpus")
-  | exception Sys_error _ -> []
+(* Random well-formed schedules: every constructor reachable, corrupt
+   events included, node ids within the conf's bounds. *)
+let gen_schedule =
+  QCheck.Gen.(
+    let* clients = int_range 2 4 in
+    let* servers = int_range 1 2 in
+    let gen_id =
+      oneof
+        [
+          map Node_id.client (int_range 0 (clients - 1));
+          map
+            (fun s -> Node_id.server (Server.of_int s))
+            (int_range 0 (servers - 1));
+        ]
+    in
+    let gen_knobs =
+      let* delay = int_range 0 4 in
+      let* drop = oneofl [ 0.0; 0.25; 0.5 ] in
+      let* reorder = oneofl [ 0.0; 0.5 ] in
+      return { Loopback.delay; drop; reorder }
+    in
+    let gen_event =
+      oneof
+        [
+          return F.Schedule.Settle;
+          return F.Schedule.Heal;
+          return F.Schedule.Converged;
+          map (fun n -> F.Schedule.Traffic n) (int_range 1 3);
+          map (fun n -> F.Schedule.Run n) (int_range 1 40);
+          map (fun p -> F.Schedule.Crash p) (int_range 0 (clients - 1));
+          map (fun p -> F.Schedule.Restart p) (int_range 0 (clients - 1));
+          map (fun k -> F.Schedule.Delay_spike k) gen_knobs;
+          (let* a = gen_id and* b = gen_id and* up = bool in
+           return (F.Schedule.Link { a; b; up }));
+          (let* target = int_range 0 (clients - 1)
+           and* field = oneofl Vsgc_core.Endpoint.all_corruptions
+           and* salt = int_range 0 999 in
+           return (F.Schedule.Corrupt { target; field; salt }));
+          (let* from = int_range 0 (clients - 1)
+           and* payload = oneofl [ "m"; "two words"; "line\nbreak" ] in
+           return (F.Schedule.Send { from; payload }));
+        ]
+    in
+    let* events = list_size (int_range 0 12) gen_event in
+    let* seed = int_range 0 9999 in
+    let* layer = oneofl [ `Wv; `Vs; `Full ] in
+    let* knobs = gen_knobs in
+    let* expect =
+      oneofl [ None; Some "wv_rfifo_spec"; Some F.Inject.detected_kind ]
+    in
+    let* fingerprint = oneofl [ None; Some "p0=dead:1|hub:2/3/4" ] in
+    return
+      {
+        F.Schedule.conf =
+          {
+            name = "prop";
+            seed;
+            clients;
+            servers;
+            layer;
+            knobs;
+            expect;
+            fingerprint;
+          };
+        events;
+      })
 
-let check_one file () =
-  let s = F.Schedule.load file in
-  check (file ^ " carries a pinned fingerprint") true
-    (s.F.Schedule.conf.F.Schedule.fingerprint <> None);
-  match F.Inject.check s with
-  | F.Inject.Reproduced | F.Inject.Clean_ok -> ()
-  | F.Inject.Missing kind ->
-      Alcotest.failf "%s: replay was clean, expected a %s violation" file kind
-  | F.Inject.Unexpected v ->
-      Alcotest.failf "%s: unexpected violation %a" file F.Inject.pp_violation v
-  | F.Inject.Fingerprint_mismatch { expected; got } ->
-      Alcotest.failf "%s: fingerprint drift@.  pinned: %s@.  got:    %s" file
-        expected got
+let prop_fault_roundtrip =
+  QCheck.Test.make ~count:200 ~name:".fault text round-trips"
+    (QCheck.make gen_schedule) (fun s ->
+      let text = F.Schedule.to_string s in
+      String.equal text (F.Schedule.to_string (F.Schedule.of_string text)))
+
+(* Chaos sampling stays pure with corruption enabled — and disabling
+   corruption must not disturb the RNG stream of crash-only sampling,
+   or every pinned chaos-N name would silently re-derive. *)
+let prop_chaos_corruption_pure =
+  QCheck.Test.make ~count:30 ~name:"chaos sampling is pure under corruption"
+    QCheck.(make Gen.(int_range 0 100_000))
+    (fun seed ->
+      let c = { F.Chaos.default_config with corruption = true } in
+      let s1 = F.Chaos.sample ~seed c and s2 = F.Chaos.sample ~seed c in
+      String.equal (F.Schedule.to_string s1) (F.Schedule.to_string s2))
+
+let is_corrupt = function F.Schedule.Corrupt _ -> true | _ -> false
+
+let rec subsequence xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' ->
+      if x = y then subsequence xs' ys' else subsequence xs ys'
+
+(* ddmin over a sampled schedule's events: the result still satisfies
+   the predicate, is a genuine subsequence (shrinking never invents or
+   reorders events), and the shrunk schedule is still serializable. *)
+let prop_shrink_preserves_validity =
+  QCheck.Test.make ~count:30 ~name:"shrinking preserves validity"
+    QCheck.(make Gen.(int_range 0 100_000))
+    (fun seed ->
+      let c = { F.Chaos.default_config with corruption = true } in
+      let s = F.Chaos.sample ~seed c in
+      let pred evs = List.exists is_corrupt evs in
+      QCheck.assume (pred s.F.Schedule.events);
+      let events = Vsgc_explore.Shrink.ddmin pred s.F.Schedule.events in
+      let shrunk = { s with events } in
+      let text = F.Schedule.to_string shrunk in
+      pred events
+      && subsequence events s.F.Schedule.events
+      && String.equal text (F.Schedule.to_string (F.Schedule.of_string text)))
 
 let suite =
   [
@@ -316,10 +408,7 @@ let suite =
       test_unhealed_partition_diverges;
     Alcotest.test_case "chaos sampling is pure" `Quick test_chaos_sample_pure;
     Alcotest.test_case "chaos: 3 rounds green" `Quick test_chaos_smoke;
+    QCheck_alcotest.to_alcotest ~long:false prop_fault_roundtrip;
+    QCheck_alcotest.to_alcotest ~long:false prop_chaos_corruption_pure;
+    QCheck_alcotest.to_alcotest ~long:false prop_shrink_preserves_validity;
   ]
-  @ (let files = corpus_files () in
-     Alcotest.test_case "fault corpus present" `Quick (fun () ->
-         if List.length files < 3 then
-           Alcotest.failf "want at least 3 .fault files under test/corpus, got %d"
-             (List.length files))
-     :: List.map (fun f -> Alcotest.test_case f `Quick (check_one f)) files)

@@ -1,0 +1,263 @@
+(* Self-stabilization (DESIGN.md §13): the local legitimacy guards
+   catch every detectable corruption class and stay silent on every
+   reachable state; the fault layer's corrupt event drives the
+   detect-and-rejoin path end to end; and each negative outcome —
+   divergence, convergence failure, fingerprint drift, missing
+   detection — classifies under the right verdict. *)
+
+open Vsgc_types
+module System = Vsgc_harness.System
+module Net_system = Vsgc_harness.Net_system
+module Endpoint = Vsgc_core.Endpoint
+module Servers = Vsgc_mbrshp.Servers
+module F = Vsgc_fault
+module Node_id = Vsgc_wire.Node_id
+module Loopback = Vsgc_net.Loopback
+
+let check = Alcotest.(check bool)
+
+(* A settled full-layer endpoint with traffic behind it — a reachable,
+   legitimate state to corrupt. *)
+let settled_endpoint () =
+  let sys = System.create ~seed:171 ~n:3 () in
+  let all = Proc.Set.of_range 0 2 in
+  ignore (System.reconfigure sys ~set:all);
+  System.broadcast sys ~senders:all ~per_sender:2;
+  System.settle sys;
+  !(System.endpoint sys 0)
+
+(* -- The guards themselves ------------------------------------------------ *)
+
+let test_reachable_states_pass () =
+  check "initial endpoint passes" true
+    (Endpoint.self_check (Endpoint.initial ~layer:`Full 0) = None);
+  check "settled endpoint passes" true
+    (Endpoint.self_check (settled_endpoint ()) = None)
+
+let expected_prefix = function
+  | Endpoint.Last_dlvrd | Endpoint.Last_sent -> "seqno:"
+  | Endpoint.View_id -> "view-ahead:"
+  | Endpoint.Wraparound -> "wraparound:"
+  | Endpoint.Payload -> assert false
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Every detectable corruption class trips its guard, with the reason
+   naming the right guard family — at several salts, since mutations
+   are salt-relative. *)
+let test_detectable_corruptions_caught () =
+  let st = settled_endpoint () in
+  List.iter
+    (fun field ->
+      List.iter
+        (fun salt ->
+          let name =
+            Fmt.str "%s salt %d" (Endpoint.corruption_to_string field) salt
+          in
+          match Endpoint.self_check (Endpoint.corrupt ~salt field st) with
+          | None -> Alcotest.failf "%s: corruption not detected" name
+          | Some reason ->
+              check
+                (Fmt.str "%s names the guard (%s)" name reason)
+                true
+                (starts_with ~prefix:(expected_prefix field) reason))
+        [ 0; 1; 17; -5 ])
+    Endpoint.detectable_corruptions
+
+(* Payload scribbling is the deliberate blind spot: locally invisible
+   (the state stays self-consistent), caught only by the global §6
+   invariants — the "diverged" witness below. *)
+let test_payload_locally_invisible () =
+  let st = settled_endpoint () in
+  check "payload corruption passes the local guards" true
+    (Endpoint.self_check (Endpoint.corrupt ~salt:5 Endpoint.Payload st) = None)
+
+let test_corrupt_rejects_crashed () =
+  let st = { (settled_endpoint ()) with Endpoint.crashed = true } in
+  check "self_check is silent on crashed end-points" true
+    (Endpoint.self_check st = None);
+  match Endpoint.corrupt ~salt:1 Endpoint.Last_sent st with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "corrupt accepted a crashed end-point"
+
+let test_corruption_field_names () =
+  List.iter
+    (fun f ->
+      check
+        (Endpoint.corruption_to_string f ^ " round-trips")
+        true
+        (Endpoint.corruption_of_string (Endpoint.corruption_to_string f)
+        = Some f))
+    Endpoint.all_corruptions;
+  check "garbage field rejected" true
+    (Endpoint.corruption_of_string "frobnicate" = None)
+
+(* Servers get the same guard discipline (no rejoin machinery yet —
+   see ROADMAP). *)
+let test_server_guards () =
+  let two = Server.Set.of_range 0 1 in
+  let st = Servers.initial ~clients:(Proc.Set.of_list [ 0; 1 ]) ~servers:two 0 in
+  check "initial server state passes" true (Servers.self_check st = None);
+  check "round at bound caught" true
+    (Servers.self_check { st with Servers.round = View.counter_bound } <> None);
+  check "self-exclusion caught" true
+    (Servers.self_check { st with Servers.alive = Server.Set.singleton 1 }
+    <> None);
+  check "mid-change without announcement caught" true
+    (Servers.self_check { st with Servers.in_change = true; announced = None }
+    <> None)
+
+(* -- Negative paths through the fault layer ------------------------------- *)
+
+let base_conf name seed =
+  {
+    F.Schedule.name;
+    seed;
+    clients = 3;
+    servers = 2;
+    layer = `Full;
+    knobs = { Loopback.default_knobs with delay = 1 };
+    expect = None;
+    fingerprint = None;
+  }
+
+let heal_schedule =
+  {
+    F.Schedule.conf =
+      { (base_conf "selfstab-heal" 181) with expect = Some F.Inject.detected_kind };
+    events =
+      [
+        F.Schedule.Settle;
+        F.Schedule.Traffic 1;
+        F.Schedule.Corrupt { target = 1; field = Endpoint.Last_dlvrd; salt = 7 };
+        F.Schedule.Run 20;
+        F.Schedule.Traffic 1;
+        F.Schedule.Settle;
+        F.Schedule.Converged;
+      ];
+  }
+
+(* The happy path: corruption detected, client recycled through the §8
+   rejoin, the run converges green — and check classifies it as
+   detected-and-rejoined, not merely clean. *)
+let test_detected_and_rejoined () =
+  let o = F.Inject.run heal_schedule in
+  (match o.F.Inject.verdict with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "violation: %a" F.Inject.pp_violation v);
+  let net = o.F.Inject.net in
+  check "corruption recorded" true (Net_system.corruptions net <> []);
+  (match Net_system.detections net with
+  | [ (1, reason, _) ] ->
+      check "guard names the seqno family" true
+        (starts_with ~prefix:"seqno:" reason)
+  | ds -> Alcotest.failf "want exactly one detection of p1, got %d" (List.length ds));
+  match F.Inject.check heal_schedule with
+  | F.Inject.Reproduced -> ()
+  | _ -> Alcotest.fail "check did not classify as detected-and-rejoined"
+
+(* Expecting a detection on a run whose guards never fire is Missing —
+   a corruption-free schedule cannot silently pass as healed. *)
+let test_detection_missing () =
+  let events =
+    List.filter
+      (function F.Schedule.Corrupt _ -> false | _ -> true)
+      heal_schedule.F.Schedule.events
+  in
+  match F.Inject.check { heal_schedule with events } with
+  | F.Inject.Missing kind ->
+      Alcotest.(check string) "missing kind" F.Inject.detected_kind kind
+  | _ -> Alcotest.fail "clean run accepted as detected-and-rejoined"
+
+(* Payload corruption slips past the local guards and surfaces as a
+   §6.6 divergence across the buffered copies. *)
+let test_payload_diverges () =
+  let sched =
+    {
+      F.Schedule.conf = base_conf "selfstab-payload" 183;
+      events =
+        [
+          F.Schedule.Settle;
+          F.Schedule.Traffic 2;
+          F.Schedule.Settle;
+          F.Schedule.Corrupt { target = 0; field = Endpoint.Payload; salt = 5 };
+          F.Schedule.Settle;
+          F.Schedule.Converged;
+        ];
+    }
+  in
+  let o = F.Inject.run sched in
+  check "no local detection" true (Net_system.detections o.F.Inject.net = []);
+  match o.F.Inject.verdict with
+  | Error v -> check "6.6 family" true (starts_with ~prefix:"6.6" v.F.Inject.kind)
+  | Ok () -> Alcotest.fail "scribbled payload went unnoticed globally"
+
+(* Detection does not excuse divergence: a corruption healed inside an
+   unhealed partition still fails the convergence question. *)
+let test_heal_does_not_mask_divergence () =
+  let sched =
+    {
+      F.Schedule.conf = base_conf "selfstab-partition" 185;
+      events =
+        [
+          F.Schedule.Settle;
+          F.Schedule.Traffic 1;
+          F.Schedule.Partition
+            [
+              [ Node_id.Client 0; Node_id.Client 1; Node_id.Server 0 ];
+              [ Node_id.Client 2; Node_id.Server 1 ];
+            ];
+          F.Schedule.Corrupt { target = 2; field = Endpoint.Last_dlvrd; salt = 9 };
+          F.Schedule.Run 30;
+          F.Schedule.Traffic 1;
+          F.Schedule.Settle;
+          F.Schedule.Converged;
+        ];
+    }
+  in
+  match (F.Inject.run sched).F.Inject.verdict with
+  | Error { kind = "diverged"; _ } -> ()
+  | Error v -> Alcotest.failf "wrong kind: %a" F.Inject.pp_violation v
+  | Ok () -> Alcotest.fail "unhealed partition converged"
+
+(* A tampered pin on a detected-and-rejoined schedule is fingerprint
+   drift, not a pass. *)
+let test_fingerprint_mismatch () =
+  let pinned = F.Schedule.load "corpus/corrupt-heal.fault" in
+  let tampered =
+    {
+      pinned with
+      F.Schedule.conf =
+        { pinned.F.Schedule.conf with fingerprint = Some "p0=feed:1|hub:0/0/0" };
+    }
+  in
+  match F.Inject.check tampered with
+  | F.Inject.Fingerprint_mismatch { expected = "p0=feed:1|hub:0/0/0"; _ } -> ()
+  | _ -> Alcotest.fail "tampered fingerprint not flagged"
+
+let suite =
+  [
+    Alcotest.test_case "reachable states pass the guards" `Quick
+      test_reachable_states_pass;
+    Alcotest.test_case "detectable corruptions are caught" `Quick
+      test_detectable_corruptions_caught;
+    Alcotest.test_case "payload corruption is locally invisible" `Quick
+      test_payload_locally_invisible;
+    Alcotest.test_case "corrupt rejects crashed end-points" `Quick
+      test_corrupt_rejects_crashed;
+    Alcotest.test_case "corruption field names round-trip" `Quick
+      test_corruption_field_names;
+    Alcotest.test_case "server guards" `Quick test_server_guards;
+    Alcotest.test_case "corrupt, detect, rejoin, converge" `Quick
+      test_detected_and_rejoined;
+    Alcotest.test_case "missing detection is Missing" `Quick
+      test_detection_missing;
+    Alcotest.test_case "payload corruption diverges globally" `Quick
+      test_payload_diverges;
+    Alcotest.test_case "detection does not mask divergence" `Quick
+      test_heal_does_not_mask_divergence;
+    Alcotest.test_case "tampered pin is fingerprint drift" `Quick
+      test_fingerprint_mismatch;
+  ]
