@@ -71,6 +71,11 @@ let record fields = bench_rows := Json.Obj fields :: !bench_rows
 let hot_rows : Json.t list ref = ref []
 let record_hot fields = hot_rows := Json.Obj fields :: !hot_rows
 
+(* E16's sanitizer-overhead rows track the cost of the honesty
+   certificate separately from the optimisation numbers. *)
+let san_rows : Json.t list ref = ref []
+let record_san fields = san_rows := Json.Obj fields :: !san_rows
+
 let write_file file rows =
   match List.rev rows with
   | [] -> ()
@@ -84,7 +89,8 @@ let write_file file rows =
 let write_rows () =
   if not !smoke then begin
     write_file "BENCH_wire.json" !bench_rows;
-    write_file "BENCH_hotpath.json" !hot_rows
+    write_file "BENCH_hotpath.json" !hot_rows;
+    write_file "BENCH_sanitize.json" !san_rows
   end
 
 (* -- Round-measurement helpers ------------------------------------------- *)
@@ -744,6 +750,74 @@ let e14 () =
         ])
     [ 16; 256; 1024; 4096 ]
 
+
+(* -- E16: effect-sanitizer overhead ------------------------------------------- *)
+
+(* What the honesty certificate costs on the scheduling hot path: the
+   E13 random workload with the sanitizer off vs collecting. The
+   sanitizer contract (DESIGN.md Â§14, qcheck-verified) is that it
+   consumes no randomness and restores race replays by value, so both
+   runs take the SAME steps and end on the SAME trace fingerprint â
+   asserted here, which makes steps/sec a pure overhead measurement â
+   and a shipped-component violation fails the bench outright. *)
+
+let e16_run ~sanitize ~n ~reps =
+  Executor.set_default_sanitize sanitize;
+  Fun.protect
+    ~finally:(fun () -> Executor.set_default_sanitize None)
+    (fun () ->
+      let sys = System.create ~seed:23 ~monitors:`None ~n () in
+      let all = Proc.Set.of_range 0 (n - 1) in
+      ignore (System.reconfigure sys ~set:all);
+      System.settle sys;
+      let exec = System.exec sys in
+      let m = Executor.metrics exec in
+      let s0 = Metrics.steps m in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        System.broadcast sys ~senders:all ~per_sender:2;
+        System.settle ~max_steps:10_000_000 sys
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let steps = Metrics.steps m - s0 in
+      let viol =
+        match Executor.sanitizer exec with
+        | Some s -> Vsgc_ioa.Sanitizer.violations s
+        | None -> 0
+      in
+      ( float_of_int steps /. dt,
+        steps,
+        Vsgc_ioa.Trace_stats.fingerprint (Executor.trace exec),
+        viol ))
+
+let e16 () =
+  section "E16" "effect sanitizer: steps/sec off vs collecting";
+  rowf "%6s  %14s  %14s  %9s@." "n" "off st/s" "sanitized st/s" "overhead";
+  List.iter
+    (fun n ->
+      let reps = if !smoke then 1 else max 2 (128 / n) in
+      let off_sps, off_steps, off_fp, _ = e16_run ~sanitize:None ~n ~reps in
+      let on_sps, on_steps, on_fp, viol =
+        e16_run ~sanitize:(Some `Collect) ~n ~reps
+      in
+      if off_steps <> on_steps || not (String.equal off_fp on_fp) then
+        failwith
+          (Fmt.str "E16: sanitizer perturbed the run at n=%d: %d/%s vs %d/%s" n
+             off_steps off_fp on_steps on_fp);
+      if viol <> 0 then
+        failwith (Fmt.str "E16: %d footprint violations at n=%d" viol n);
+      rowf "%6d  %14.0f  %14.0f  %8.2fx@." n off_sps on_sps (off_sps /. on_sps);
+      record_san
+        [
+          ("experiment", Json.Str "sanitizer_overhead");
+          ("n", Json.Int n);
+          ("steps", Json.Int off_steps);
+          ("off_steps_per_sec", Json.Num off_sps);
+          ("sanitized_steps_per_sec", Json.Num on_sps);
+          ("overhead_factor", Json.Num (off_sps /. on_sps));
+        ])
+    [ 8; 32 ]
+
 (* -- Driver ------------------------------------------------------------------ *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -760,6 +834,7 @@ let all : (string * string * (unit -> unit)) list =
     ("E11", "wire throughput", e11);
     ("E13", "executor scheduling cached vs rescan", e13);
     ("E14", "hot-path codec + transport", e14);
+    ("E16", "effect-sanitizer overhead", e16);
   ]
 
 let () =

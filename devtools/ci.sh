@@ -31,8 +31,10 @@ dune exec -- devtools/explore.exe find -mutation no_sync_wait -depth 4 -max-runs
 dune exec -- devtools/explore.exe replay "$tmp" -quiet
 
 # Static vet: every shipped composition must lint clean, the
-# inheritance tower must hold, and every saved schedule must match its
-# layer's signature...
+# inheritance tower must hold, the effect audit (vet effects: coarse
+# fallbacks, emit/footprint cross-checks, write-set totality) must
+# come back empty, and every saved schedule must match its layer's
+# signature...
 dune exec -- devtools/vet.exe all
 # ...and the found schedule above must validate too.
 schdir=$(mktemp -d /tmp/vsgc-vet-XXXXXX)
@@ -113,11 +115,28 @@ for s in test/corpus/*.sched; do
   VSGC_SCHED=rescan dune exec -- devtools/explore.exe replay "$s" -quiet
 done
 
+# Sanitized replay gate: the effect sanitizer shadow-checks every step
+# of the whole pinned corpus, under both scheduler modes.
+# VSGC_SANITIZE=1 raises on the first footprint lie (surfaced as a
+# "sanitize" verdict, so the replay exits non-zero), and the pinned
+# fingerprints double as proof the sanitizer consumed no randomness
+# and left no state behind.
+for mode in cached rescan; do
+  VSGC_SANITIZE=1 VSGC_SCHED=$mode dune exec -- devtools/chaos.exe replay \
+    -quiet test/corpus/*.fault
+  for s in test/corpus/*.sched; do
+    VSGC_SANITIZE=1 VSGC_SCHED=$mode dune exec -- devtools/explore.exe \
+      replay "$s" -quiet
+  done
+done
+
 # Perf-gate smoke: E13 (cached-vs-rescan scheduling; the run itself
-# asserts both modes take the identical step count) and E14 (the
+# asserts both modes take the identical step count), E14 (the
 # zero-copy codec path; asserts legacy and pooled encodes agree
-# byte-for-byte) at reduced iterations, JSON output suppressed.
-dune exec -- bench/main.exe -smoke E13 E14 > /dev/null
+# byte-for-byte), and E16 (sanitizer overhead; asserts a sanitized run
+# is step- and fingerprint-identical to an unsanitized one) at reduced
+# iterations, JSON output suppressed.
+dune exec -- bench/main.exe -smoke E13 E14 E16 > /dev/null
 
 # Chaos smoke: a short seeded sweep of sampled fault schedules must
 # come back green (exit 1 = nothing found; 0 = a violation was found
@@ -137,6 +156,16 @@ dune exec -- devtools/chaos.exe find -corrupt -rounds 5 -seed 2027 -quiet \
   || chaos_status=$?
 if [ "$chaos_status" != 1 ]; then
   echo "ci: FAIL: chaos find -corrupt exited $chaos_status (want 1 = green)" >&2
+  exit 1
+fi
+# ...and one sanitized sample: a short sweep with the effect sanitizer
+# raising on any footprint lie. Green (exit 1) means the shadow-state
+# diffs and race replays stayed silent under live fault injection.
+chaos_status=0
+VSGC_SANITIZE=1 dune exec -- devtools/chaos.exe find -rounds 2 -seed 2028 \
+  -quiet || chaos_status=$?
+if [ "$chaos_status" != 1 ]; then
+  echo "ci: FAIL: sanitized chaos find exited $chaos_status (want 1 = green)" >&2
   exit 1
 fi
 

@@ -1,24 +1,7 @@
-(* Machine-readable diagnostics shared by the vet passes.
+(* The diagnostic record moved down to lib/ioa so the runtime effect
+   sanitizer (Vsgc_ioa.Sanitizer) can report findings in the same
+   vocabulary as the static passes. Re-exported here so every vet pass
+   and caller keeps its [Diag.t] spelling — the types are equal, not
+   merely isomorphic. *)
 
-   One line per finding, stable format:
-
-     vet:<pass>:<check>: <subject>: <message>
-
-   so CI greps and humans read the same output. A pass that returns an
-   empty list is clean; any diagnostic is a wiring error (exit code 1
-   in the vet driver). *)
-
-type t = {
-  pass : string;  (* "wiring" | "inherit" | "sched" *)
-  check : string;  (* e.g. "dangling-output", "multi-writer" *)
-  subject : string;  (* the offending action, component, or file *)
-  message : string;
-}
-
-let v ~pass ~check ~subject message = { pass; check; subject; message }
-
-let vf ~pass ~check ~subject fmt = Fmt.kstr (v ~pass ~check ~subject) fmt
-
-let to_string d = Fmt.str "vet:%s:%s: %s: %s" d.pass d.check d.subject d.message
-
-let pp ppf d = Fmt.string ppf (to_string d)
+include Vsgc_ioa.Diag

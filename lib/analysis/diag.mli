@@ -1,29 +1,9 @@
 (** Machine-readable diagnostics shared by the vet passes.
 
-    One line per finding, stable format:
+    The record itself lives in {!Vsgc_ioa.Diag} (the runtime effect
+    sanitizer reports in the same vocabulary); this module re-exports
+    it with type equality so analysis-side callers are unaffected. *)
 
-    {v vet:<pass>:<check>: <subject>: <message> v}
-
-    so CI greps and humans read the same output. A pass that returns an
-    empty list is clean; any diagnostic is a wiring error (exit code 1
-    in the vet driver). *)
-
-type t = {
-  pass : string;  (** "wiring" | "inherit" | "sched" | "wire" *)
-  check : string;  (** e.g. "dangling-output", "multi-writer" *)
-  subject : string;  (** the offending action, component, or file *)
-  message : string;
-}
-
-val v : pass:string -> check:string -> subject:string -> string -> t
-
-val vf :
-  pass:string ->
-  check:string ->
-  subject:string ->
-  ('a, Format.formatter, unit, t) format4 ->
-  'a
-(** [vf] is {!v} with a format string for the message. *)
-
-val to_string : t -> string
-val pp : Format.formatter -> t -> unit
+include module type of struct
+  include Vsgc_ioa.Diag
+end

@@ -97,6 +97,76 @@ let emits_unsound () =
          ());
   ]
 
+(* The planted lying footprint — the effect passes' negative test. The
+   liar accepts [send] and increments its counter, but declares a
+   READ-ONLY footprint and exposes its state as a Proc_state 0 slice:
+   the written slice is covered by no declared write. The static
+   write-gap check and the dynamic sanitizer must BOTH catch it. *)
+let lying_footprint () =
+  let send = Action.App_send (0, msg) in
+  [
+    emitter ~name:"speaker" send;
+    Component.pack
+      (Component.make
+         ~footprint:(fun a ->
+           if Action.equal a send then
+             Footprint.make ~reads:[ Footprint.Proc_state 0 ] ()
+           else Footprint.empty)
+         ~emits:(fun _ -> false)
+         ~observe:(fun k -> [ (Footprint.Proc_state 0, Component.digest k) ])
+         ~name:"liar" ~init:0 ~accepts:(Action.equal send)
+         ~outputs:(fun _ -> [])
+         ~apply:(fun k a -> if Action.equal a send then k + 1 else k)
+         ());
+  ]
+
+(* A planted false independence: [flagger] accepts [act1] with an EMPTY
+   declared footprint for it, yet applying [act1] disables its own
+   output [act2] — so fp(act1)={Proc_state 0} and fp(act2)={Proc_state 1}
+   are declared independent while act1 observably flips act2's
+   enabledness. The sanitizer's enabledness diff must catch it. *)
+let false_independence () =
+  let act1 = Action.App_send (0, msg) in
+  let act2 = Action.Block_ok 1 in
+  [
+    (* A one-shot trigger whose footprint claims only its own action —
+       the [emitter] helper claims Proc_state 0 for everything, which
+       would make the pair dependent and defeat the plant. *)
+    Component.pack
+      (Component.make
+         ~footprint:(fun a ->
+           if Action.equal a act1 then Footprint.rw [ Footprint.Proc_state 0 ]
+           else Footprint.empty)
+         ~emits:(Action.equal act1)
+         ~observe:(fun fired ->
+           [ (Footprint.Proc_state 0, Component.digest fired) ])
+         ~name:"trigger" ~init:false
+         ~accepts:(fun _ -> false)
+         ~outputs:(fun fired -> if fired then [] else [ act1 ])
+         ~apply:(fun _ _ -> true)
+         ());
+    Component.pack
+      (Component.make
+         ~footprint:(fun a ->
+           if Action.equal a act2 then
+             Footprint.rw [ Footprint.Proc_state 1 ]
+           else Footprint.empty)
+         ~emits:(Action.equal act2) ~name:"flagger" ~init:false
+         ~accepts:(Action.equal act1)
+         ~outputs:(fun flag -> if flag then [] else [ act2 ])
+         ~apply:(fun flag a -> if Action.equal a act1 then true else flag)
+         ());
+  ]
+
+(* Drive a fixture composition under the collecting sanitizer and
+   return its diagnostics. *)
+let sanitized_diags comps =
+  let exec = Executor.create ~seed:1 ~sanitize:(Some `Collect) comps in
+  ignore (Executor.run ~max_steps:50 exec);
+  match Executor.sanitizer exec with
+  | Some s -> Vsgc_ioa.Sanitizer.diags s
+  | None -> []
+
 (* The hotpath lint's negative test: a seeded source file committing
    both banned copy idioms (plus one exempted line, which must stay
    silent); scanning it must flag hot-path-copy twice. *)
@@ -139,6 +209,22 @@ let all : t list =
       name = "hotpath-copy";
       expect = "hot-path-copy";
       run = hotpath_offender;
+    };
+    {
+      name = "lying-footprint";
+      expect = "write-gap";
+      run =
+        (fun () -> Effect_check.audit ~steps:10 ~universe (lying_footprint ()));
+    };
+    {
+      name = "sanitize-undeclared-write";
+      expect = "undeclared-write";
+      run = (fun () -> sanitized_diags (lying_footprint ()));
+    };
+    {
+      name = "sanitize-false-independence";
+      expect = "false-independence";
+      run = (fun () -> sanitized_diags (false_independence ()));
     };
   ]
 

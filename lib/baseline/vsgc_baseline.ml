@@ -274,6 +274,9 @@ let emits p (a : Action.t) =
       | Msg.Wire.K_sync | Msg.Wire.K_sync_batch | Msg.Wire.K_fwd -> false)
   | _ -> false
 
+let observe p (st : t) =
+  [ (Vsgc_ioa.Footprint.Proc_state p, Vsgc_ioa.Component.digest st) ]
+
 let def p : t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "baseline_%a" Proc.pp p;
@@ -283,6 +286,7 @@ let def p : t Vsgc_ioa.Component.def =
     apply;
     footprint = footprint p;
     emits = emits p;
+    observe = observe p;
   }
 
 let component p =

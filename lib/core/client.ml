@@ -102,6 +102,10 @@ let emits me (a : Action.t) =
   | Action.App_send (p, _) | Action.Block_ok p -> Proc.equal p me
   | _ -> false
 
+(* All client state is co-located at [me] — one shadow slice. *)
+let observe me (st : t) =
+  [ (Vsgc_ioa.Footprint.Proc_state me, Vsgc_ioa.Component.digest st) ]
+
 let def me : t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "client_%a" Proc.pp me;
@@ -111,6 +115,7 @@ let def me : t Vsgc_ioa.Component.def =
     apply;
     footprint = footprint me;
     emits = emits me;
+    observe = observe me;
   }
 
 let component ?send_while_requested me =

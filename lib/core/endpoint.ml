@@ -222,6 +222,11 @@ let emits ~layer p (a : Action.t) =
          | Msg.Wire.K_bsync, _ -> false)
   | _ -> false
 
+(* The whole end-point tower at [p] is one Proc_state slice, matching
+   the footprint's granularity. *)
+let observe p (st : t) =
+  [ (Vsgc_ioa.Footprint.Proc_state p, Vsgc_ioa.Component.digest st) ]
+
 let def ?strategy ?gc ?compact_sync ?hierarchy ?mutation ?(layer = `Full) p :
     t Vsgc_ioa.Component.def =
   {
@@ -232,6 +237,7 @@ let def ?strategy ?gc ?compact_sync ?hierarchy ?mutation ?(layer = `Full) p :
     apply;
     footprint = footprint p;
     emits = emits ~layer p;
+    observe = observe p;
   }
 
 let component ?strategy ?gc ?compact_sync ?hierarchy ?mutation ?layer p =

@@ -126,8 +126,46 @@ let footprint (a : Action.t) =
 let emits (a : Action.t) =
   match a with Action.Rf_deliver _ | Action.Rf_lose _ -> true | _ -> false
 
+(* Shadow slices for the effect sanitizer: one per non-empty channel,
+   one Net_ctl slice per process with an explicit reliable/live entry.
+   Slices digest canonical projections (queue contents as a list, sets
+   as sorted elements), not the persistent-map internals, so the same
+   logical value always digests the same — the race replay compares
+   digests across different operation orders. *)
+let observe st =
+  let open Vsgc_ioa.Footprint in
+  let digest = Vsgc_ioa.Component.digest in
+  let slices =
+    Pair_map.fold
+      (fun (p, q) c acc -> (Channel (p, q), digest (Fqueue.to_list c)) :: acc)
+      st.channels []
+  in
+  let ctl_procs =
+    Proc.Map.fold
+      (fun p _ acc -> Proc.Set.add p acc)
+      st.reliable
+      (Proc.Map.fold (fun p _ acc -> Proc.Set.add p acc) st.live Proc.Set.empty)
+  in
+  Proc.Set.fold
+    (fun p acc ->
+      ( Net_ctl p,
+        digest
+          ( Proc.Set.elements (reliable_set st p),
+            Proc.Set.elements (live_set st p) ) )
+      :: acc)
+    ctl_procs slices
+
 let def : state Vsgc_ioa.Component.def =
-  { name = "co_rfifo"; init = initial; accepts; outputs; apply; footprint; emits }
+  {
+    name = "co_rfifo";
+    init = initial;
+    accepts;
+    outputs;
+    apply;
+    footprint;
+    emits;
+    observe;
+  }
 
 (* Build the component together with a typed handle on its state, for
    invariant checkers and Sync_runner budgets. *)

@@ -25,6 +25,11 @@ let violation_of_exn = function
   | Vsgc_ioa.Monitor.Violation { monitor; message } -> Some { kind = monitor; message }
   | Vsgc_checker.Invariants.Invariant_violation { name; message } ->
       Some { kind = name; message }
+  | Vsgc_ioa.Sanitizer.Violation d ->
+      (* A footprint lie caught by the effect sanitizer (VSGC_SANITIZE)
+         is a verdict like any monitor violation — the sanitized corpus
+         gate replays expecting none. *)
+      Some { kind = "sanitize"; message = Vsgc_ioa.Diag.to_string d }
   | _ -> None
 
 let apply_env sys (op : Schedule.env_op) =

@@ -42,6 +42,8 @@ let violation_of_exn = function
   | Vsgc_checker.Invariants.Invariant_violation { name; message } ->
       Some { kind = name; message }
   | Diverged message -> Some { kind = "diverged"; message }
+  | Vsgc_ioa.Sanitizer.Violation d ->
+      Some { kind = "sanitize"; message = Vsgc_ioa.Diag.to_string d }
   | Failure message ->
       (* Inside a run the only Failures are exhausted drive budgets
          (Net_system.run, Io_pump.pump) — liveness, not crashes. *)

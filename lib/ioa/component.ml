@@ -23,12 +23,22 @@ type 's def = {
   apply : 's -> Action.t -> 's;
   footprint : Action.t -> Footprint.t;
   emits : Action.t -> bool;
+  observe : 's -> (Footprint.loc * string) list;
 }
+
+(* Content digest for shadow-state slices. Marshal + MD5 rather than
+   Hashtbl.hash: the latter stops traversing after a handful of nodes,
+   so a deep state change could slip past the sanitizer's diff. The
+   Closures flag keeps the digest total even if a state ever smuggles a
+   closure in (today all component states are pure data). *)
+let digest (x : 'a) =
+  Digest.to_hex (Digest.string (Marshal.to_string x [ Marshal.Closures ]))
 
 (* Convenience constructor: the declarations default to the sound
    coarse ones (footprint interfering with everything, output signature
-   covering everything), which ad-hoc test components can live with. *)
-let make ?footprint ?emits ~name ~init ~accepts ~outputs ~apply () =
+   covering everything, the whole state observed as one Global slice),
+   which ad-hoc test components can live with. *)
+let make ?footprint ?emits ?observe ~name ~init ~accepts ~outputs ~apply () =
   {
     name;
     init;
@@ -37,6 +47,10 @@ let make ?footprint ?emits ~name ~init ~accepts ~outputs ~apply () =
     apply;
     footprint = (match footprint with Some f -> f | None -> Footprint.coarse name);
     emits = (match emits with Some f -> f | None -> fun _ -> true);
+    observe =
+      (match observe with
+      | Some f -> f
+      | None -> fun s -> [ (Footprint.Global name, digest s) ]);
   }
 
 (* A component packed with its mutable current state, so that
@@ -61,10 +75,21 @@ let footprint (Packed (d, _)) a = d.footprint a
 
 let emits (Packed (d, _)) a = d.emits a
 
+let observe (Packed (d, s)) = d.observe !s
+
+(* Capture the current state by value; the returned thunk restores it.
+   Component states are persistent (apply is ['s -> Action.t -> 's]),
+   so saving the ref's content is a full snapshot — the sanitizer's
+   race replay leans on this to rewind the whole composition. *)
+let save (Packed (_, s)) =
+  let v = !s in
+  fun () -> s := v
+
 (* A purely reactive observer: accepts everything, outputs nothing.
    Like the trace monitors it stands in for, an observer is an oracle
    outside the composition's state — its private log is deliberately
-   excluded from the footprint, exactly as monitor state is. *)
+   excluded from the footprint and from the sanitizer's shadow state,
+   exactly as monitor state is. *)
 let observer ~name ~init ~apply =
   {
     name;
@@ -74,4 +99,5 @@ let observer ~name ~init ~apply =
     apply;
     footprint = (fun _ -> Footprint.empty);
     emits = (fun _ -> false);
+    observe = (fun _ -> []);
   }

@@ -25,11 +25,24 @@ type 's def = {
   emits : Action.t -> bool;
       (** static output signature: must hold for every action [outputs]
           could ever produce, in any state (an over-approximation) *)
+  observe : 's -> (Footprint.loc * string) list;
+      (** shadow-state decomposition for the effect sanitizer: the
+          current state sliced at declared-loc granularity, each slice
+          reduced to a content digest (use {!digest}). Two observations
+          of equal states must produce equal slices — digest canonical
+          projections (lists, not balanced-tree internals) where the
+          same logical value can have several representations. Every
+          mutable part of the state must be covered by some slice. *)
 }
+
+val digest : 'a -> string
+(** Content digest (Marshal + MD5) for {!observe} slices. Deep-total,
+    unlike [Hashtbl.hash] which truncates its traversal. *)
 
 val make :
   ?footprint:(Action.t -> Footprint.t) ->
   ?emits:(Action.t -> bool) ->
+  ?observe:('s -> (Footprint.loc * string) list) ->
   name:string ->
   init:'s ->
   accepts:(Action.t -> bool) ->
@@ -38,8 +51,9 @@ val make :
   unit ->
   's def
 (** Build a def; [footprint] defaults to the sound {!Footprint.coarse}
-    fallback and [emits] to the everything signature — fine for ad-hoc
-    test components, too weak for anything the vet passes lint. *)
+    fallback, [emits] to the everything signature, and [observe] to the
+    whole state as one [Global name] slice — fine for ad-hoc test
+    components, too weak for anything the vet passes lint. *)
 
 type packed = Packed : 's def * 's ref -> packed
 (** A component with its mutable current state, packed so that
@@ -65,6 +79,14 @@ val footprint : packed -> Action.t -> Footprint.t
 
 val emits : packed -> Action.t -> bool
 (** The declared static output signature (state-independent). *)
+
+val observe : packed -> (Footprint.loc * string) list
+(** The current state's shadow-slice digests (see the [observe] field). *)
+
+val save : packed -> unit -> unit
+(** Capture the current state by value; calling the returned thunk
+    restores it. Sound because [apply] is persistent — the ref's
+    content is a full snapshot. *)
 
 val observer :
   name:string ->

@@ -1,0 +1,51 @@
+(* Machine-readable diagnostics shared by the vet passes and the
+   runtime effect sanitizer.
+
+   One line per finding, stable format:
+
+     vet:<pass>:<check>: <subject>: <message>
+
+   so CI greps and humans read the same output. A pass that returns an
+   empty list is clean; any diagnostic is a wiring error (exit code 1
+   in the vet driver). The record lives here, below the executor,
+   because the dynamic sanitizer reports footprint violations in the
+   same vocabulary the static passes use — one diagnostic type, one
+   grep pattern, whether the finding came from a lint or from a live
+   shadow-state diff. *)
+
+type t = {
+  pass : string;  (* "wiring" | "inherit" | "sched" | "effects" | "sanitize" *)
+  check : string;  (* e.g. "dangling-output", "undeclared-write" *)
+  subject : string;  (* the offending action, component, or file *)
+  message : string;
+}
+
+let v ~pass ~check ~subject message = { pass; check; subject; message }
+
+let vf ~pass ~check ~subject fmt = Fmt.kstr (v ~pass ~check ~subject) fmt
+
+let to_string d = Fmt.str "vet:%s:%s: %s: %s" d.pass d.check d.subject d.message
+
+let pp ppf d = Fmt.string ppf (to_string d)
+
+(* One flat JSON object per diagnostic (JSONL when printed one per
+   line) — the machine half of vet's output contract, so CI can
+   annotate findings without scraping the human lines. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Fmt.str {|{"pass":"%s","check":"%s","subject":"%s","message":"%s"}|}
+    (json_escape d.pass) (json_escape d.check) (json_escape d.subject)
+    (json_escape d.message)

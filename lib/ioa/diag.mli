@@ -1,0 +1,35 @@
+(** Machine-readable diagnostics shared by the vet passes and the
+    runtime effect sanitizer.
+
+    One line per finding, stable format:
+
+    {v vet:<pass>:<check>: <subject>: <message> v}
+
+    so CI greps and humans read the same output. A pass that returns an
+    empty list is clean; any diagnostic is a wiring error (exit code 1
+    in the vet driver). *)
+
+type t = {
+  pass : string;
+      (** "wiring" | "inherit" | "sched" | "wire" | "effects" | "sanitize" *)
+  check : string;  (** e.g. "dangling-output", "undeclared-write" *)
+  subject : string;  (** the offending action, component, or file *)
+  message : string;
+}
+
+val v : pass:string -> check:string -> subject:string -> string -> t
+
+val vf :
+  pass:string ->
+  check:string ->
+  subject:string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [vf] is {!v} with a format string for the message. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One flat JSON object (no trailing newline) — printed one per line
+    this is the JSONL side of vet's [--json] output contract. *)

@@ -38,6 +38,21 @@ let default_mode : mode ref =
 let set_default_mode m = default_mode := m
 let get_default_mode () = !default_mode
 
+(* [VSGC_SANITIZE] attaches the effect sanitizer to every executor the
+   process creates (DESIGN.md §14): [collect] accumulates diagnostics,
+   any other non-empty value ("1", "raise", ...) aborts on the first
+   violation — the replay/chaos drivers map Sanitizer.Violation to a
+   verdict, so the corpus gate runs with the raising policy. *)
+let default_sanitize : Sanitizer.policy option ref =
+  ref
+    (match Sys.getenv_opt "VSGC_SANITIZE" with
+    | None | Some "" | Some "0" | Some "off" -> None
+    | Some "collect" -> Some `Collect
+    | Some _ -> Some `Raise)
+
+let set_default_sanitize s = default_sanitize := s
+let get_default_sanitize () = !default_sanitize
+
 type t = {
   components : Component.packed array;
   rng : Rng.t;
@@ -58,6 +73,7 @@ type t = {
   keep_trace : bool;
   mutable step_hooks : (Action.t -> unit) list;
   mutable choice_hooks : (int option -> Action.t -> unit) list;
+  sanitizer : Sanitizer.t option;
 }
 
 let default_weights (a : Action.t) =
@@ -65,14 +81,18 @@ let default_weights (a : Action.t) =
   match a with Action.Rf_lose _ -> 0.0 | _ -> 1.0
 
 let create ?(seed = 0xC0FFEE) ?(weights = default_weights) ?(keep_trace = true)
-    ?mode components =
+    ?mode ?sanitize components =
   let components = Array.of_list components in
   let n = Array.length components in
+  let metrics = Metrics.create () in
+  let sanitize =
+    match sanitize with Some s -> s | None -> !default_sanitize
+  in
   {
     components;
     rng = Rng.make seed;
     weights;
-    metrics = Metrics.create ();
+    metrics;
     mode = (match mode with Some m -> m | None -> !default_mode);
     outs = Array.make n [];
     valid = Array.make n false;
@@ -85,10 +105,15 @@ let create ?(seed = 0xC0FFEE) ?(weights = default_weights) ?(keep_trace = true)
     keep_trace;
     step_hooks = [];
     choice_hooks = [];
+    sanitizer =
+      Option.map
+        (fun policy -> Sanitizer.create ~policy components metrics)
+        sanitize;
   }
 
 let mode t = t.mode
 let metrics t = t.metrics
+let sanitizer t = t.sanitizer
 let rng t = t.rng
 let add_monitor t m = t.monitors <- m :: t.monitors
 let add_step_hook t f = t.step_hooks <- f :: t.step_hooks
@@ -201,6 +226,10 @@ let perform t ?owner a =
   (* Choice-point capture first: recorders must see the decision even
      when a monitor or invariant hook raises on this very step. *)
   List.iter (fun f -> f owner a) t.choice_hooks;
+  (* Shadow snapshot after the decision, before any component moves:
+     the sanitizer consumes no randomness and mutates nothing visible,
+     so attaching it cannot perturb the schedule. *)
+  (match t.sanitizer with Some s -> Sanitizer.pre s ?owner a | None -> ());
   Array.iteri
     (fun i c ->
       let is_owner = match owner with Some o -> i = o | None -> false in
@@ -214,6 +243,10 @@ let perform t ?owner a =
     t.trace <- a :: t.trace;
     t.trace_len <- t.trace_len + 1
   end;
+  (* Diff before monitors run: a monitor raising on this step must not
+     hide a footprint lie the very step committed. Race replays restore
+     state by value, so the cached candidate lists stay consistent. *)
+  (match t.sanitizer with Some s -> Sanitizer.post s ?owner a | None -> ());
   List.iter (fun m -> m.Monitor.on_action a) t.monitors;
   List.iter (fun f -> f a) t.step_hooks
 

@@ -28,6 +28,14 @@ val set_default_mode : mode -> unit
 
 val get_default_mode : unit -> mode
 
+val set_default_sanitize : Sanitizer.policy option -> unit
+(** Sanitizer policy used by {!create} when [?sanitize] is omitted.
+    Initialized from the [VSGC_SANITIZE] environment variable: unset,
+    empty, ["0"] or ["off"] → [None]; ["collect"] → [Some `Collect];
+    anything else (["1"], ["raise"], ...) → [Some `Raise]. *)
+
+val get_default_sanitize : unit -> Sanitizer.policy option
+
 val default_weights : Action.t -> float
 (** Weight 1.0 for everything except the adversary move [Rf_lose]
     (weight 0: scenarios opt into message loss). *)
@@ -37,13 +45,21 @@ val create :
   ?weights:(Action.t -> float) ->
   ?keep_trace:bool ->
   ?mode:mode ->
+  ?sanitize:Sanitizer.policy option ->
   Component.packed list ->
   t
+(** [sanitize] attaches the effect sanitizer (default: the process-wide
+    {!get_default_sanitize}; pass [Some None] to force it off). A
+    sanitized run is fingerprint-identical to an unsanitized one. *)
 
 val mode : t -> mode
 
 val metrics : t -> Metrics.t
 val rng : t -> Rng.t
+
+val sanitizer : t -> Sanitizer.t option
+(** The attached effect sanitizer, if any — query it for accumulated
+    footprint diagnostics after a [`Collect]-policy run. *)
 
 val add_monitor : t -> Monitor.t -> unit
 (** Attach a specification monitor; it observes every subsequent step

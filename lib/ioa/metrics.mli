@@ -26,6 +26,25 @@ val note_cand_misses : t -> int -> unit
 
 val cand_hits : t -> int
 val cand_misses : t -> int
+
+val note_san_steps : t -> int -> unit
+(** Steps performed with the effect sanitizer attached. Like the
+    candidate-cache counters, sanitizer counters are observability
+    only — never part of a trace fingerprint. *)
+
+val note_san_diffs : t -> int -> unit
+(** Per-participant shadow-state diffs computed. *)
+
+val note_san_races : t -> int -> unit
+(** Declared-independent candidate pairs replayed in both orders. *)
+
+val note_san_violations : t -> int -> unit
+(** Footprint violations reported (after deduplication). *)
+
+val san_steps : t -> int
+val san_diffs : t -> int
+val san_races : t -> int
+val san_violations : t -> int
 val category_count : t -> Action.category -> int
 
 val sent_count : t -> Msg.Wire.kind -> int

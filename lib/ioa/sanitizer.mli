@@ -1,0 +1,57 @@
+(** The effect sanitizer: runtime honesty checking for declared
+    footprints (DESIGN.md §14).
+
+    Attached to an executor (via [Executor.create ~sanitize] or the
+    [VSGC_SANITIZE] environment variable), it shadow-snapshots every
+    step at declared-loc granularity and reports:
+
+    - ["undeclared-write"] — a participant's state slice changed at a
+      loc its declared write set does not cover;
+    - ["false-independence"] — the step flipped the enabledness of an
+      action whose declared footprint is independent of the step's;
+    - ["independent-disable"] / ["commute-divergence"] — a periodic
+      both-orders replay of a declared-independent enabled pair showed
+      the pair does not actually commute.
+
+    The sanitizer consumes no randomness and restores replayed state by
+    value, so a sanitized run is fingerprint-identical to an
+    unsanitized one. *)
+
+open Vsgc_types
+
+type policy = [ `Collect  (** accumulate diagnostics *) | `Raise ]
+(** Under [`Raise] the first violation raises {!Violation}. *)
+
+exception Violation of Diag.t
+
+type t
+
+val create :
+  ?race_every:int ->
+  ?policy:policy ->
+  Component.packed array ->
+  Metrics.t ->
+  t
+(** [race_every] (default 7): run the both-orders race replay every
+    that many steps; [0] disables it. [policy] defaults to [`Collect]. *)
+
+val pre : t -> ?owner:int -> Action.t -> unit
+(** Called by the executor after the scheduling decision, before any
+    [apply]: snapshots the participants' shadow slices and enabled
+    outputs. *)
+
+val post : t -> ?owner:int -> Action.t -> unit
+(** Called after the applies (and after trace/metrics recording):
+    diffs the shadow slices against the declared write set, checks
+    enabledness flips against declared independence, and periodically
+    races a declared-independent pair. *)
+
+val diags : t -> Diag.t list
+(** Deduplicated violations in discovery order. *)
+
+val violations : t -> int
+
+val footprint : t -> Action.t -> Footprint.t
+(** The composition-wide (union) footprint of an action, memoized. *)
+
+val independent : t -> Action.t -> Action.t -> bool

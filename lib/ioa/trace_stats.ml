@@ -83,16 +83,21 @@ let fingerprint trace =
     trace;
   Fmt.str "%Lx:%d" !h !n
 
-(* Hot-path cache effectiveness, reported alongside the trace queries
-   in bench and node output. Deliberately NOT part of [fingerprint]:
-   the counters vary with scheduler mode and pool pressure while the
-   observable trace does not, and the pinned corpus digests must stay
-   mode-independent. *)
+(* Hot-path cache effectiveness and sanitizer coverage, reported
+   alongside the trace queries in bench and node output. Deliberately
+   NOT part of [fingerprint]: the counters vary with scheduler mode,
+   pool pressure, and sanitizer attachment while the observable trace
+   does not, and the pinned corpus digests must stay mode- and
+   sanitize-independent. *)
 type counters = {
   cand_hits : int;
   cand_misses : int;
   pool_reused : int;
   pool_allocated : int;
+  san_steps : int;
+  san_diffs : int;
+  san_races : int;
+  san_violations : int;
 }
 
 let counters metrics =
@@ -101,11 +106,18 @@ let counters metrics =
     cand_misses = Metrics.cand_misses metrics;
     pool_reused = Bin.Pool.reused ();
     pool_allocated = Bin.Pool.allocated ();
+    san_steps = Metrics.san_steps metrics;
+    san_diffs = Metrics.san_diffs metrics;
+    san_races = Metrics.san_races metrics;
+    san_violations = Metrics.san_violations metrics;
   }
 
 let pp_counters ppf c =
-  Fmt.pf ppf "cand_hits=%d cand_misses=%d pool_reused=%d pool_allocated=%d"
-    c.cand_hits c.cand_misses c.pool_reused c.pool_allocated
+  Fmt.pf ppf
+    "cand_hits=%d cand_misses=%d pool_reused=%d pool_allocated=%d \
+     san_steps=%d san_diffs=%d san_races=%d san_violations=%d"
+    c.cand_hits c.cand_misses c.pool_reused c.pool_allocated c.san_steps
+    c.san_diffs c.san_races c.san_violations
 
 (* Per-category totals — a cheap sanity check against Metrics. *)
 let category_counts trace =

@@ -37,12 +37,17 @@ type counters = {
   cand_misses : int;
   pool_reused : int;
   pool_allocated : int;
+  san_steps : int;
+  san_diffs : int;
+  san_races : int;
+  san_violations : int;
 }
-(** Hot-path cache effectiveness: the executor's candidate-cache
-    hit/miss counters plus the process-wide codec buffer-pool
-    reuse/alloc counters. Reported next to the trace queries; never
-    part of {!fingerprint} — the pinned corpus digests must not depend
-    on scheduler mode or pool pressure. *)
+(** Hot-path cache effectiveness and effect-sanitizer coverage: the
+    executor's candidate-cache hit/miss counters, the process-wide
+    codec buffer-pool reuse/alloc counters, and the sanitizer's
+    steps/diffs/races/violations. Reported next to the trace queries;
+    never part of {!fingerprint} — the pinned corpus digests must not
+    depend on scheduler mode, pool pressure, or sanitizer attachment. *)
 
 val counters : Metrics.t -> counters
 val pp_counters : Format.formatter -> counters -> unit

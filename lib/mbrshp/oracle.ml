@@ -147,6 +147,16 @@ let footprint (a : Action.t) =
 let emits (a : Action.t) =
   match a with Action.Mb_start_change _ | Action.Mb_view _ -> true | _ -> false
 
+(* One shadow slice per client: everything the oracle tracks for [p]
+   (bookkeeping and pending queue) lives under Mb_queue p, matching the
+   footprint above. The scripting API's direct ref mutations happen
+   between steps, so the sanitizer's per-step snapshots absorb them. *)
+let observe (st : state) =
+  Proc.Map.fold
+    (fun p ps acc ->
+      (Vsgc_ioa.Footprint.Mb_queue p, Vsgc_ioa.Component.digest ps) :: acc)
+    st []
+
 let def : state Vsgc_ioa.Component.def =
   {
     name = "mbrshp_oracle";
@@ -156,6 +166,7 @@ let def : state Vsgc_ioa.Component.def =
     apply;
     footprint;
     emits;
+    observe;
   }
 
 let component () =

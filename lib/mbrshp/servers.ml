@@ -338,6 +338,16 @@ let emits ~clients me (a : Action.t) =
   | Action.Mb_start_change (c, _, _) | Action.Mb_view (c, _) -> Proc.Set.mem c clients
   | _ -> false
 
+(* The whole server state as one Server_state slice — NOT decomposed
+   into per-client Mb_queue slices, deliberately: Client_join and
+   Srv_deliver write [st.pending] while declaring only Server_state me
+   (they are server-locus actions; the per-client Mb_queue claim is for
+   the client-facing emission), so a finer decomposition would report
+   false undeclared-writes. Sound because every pending-writer declares
+   Server_state me. *)
+let observe me (st : t) =
+  [ (Vsgc_ioa.Footprint.Server_state me, Vsgc_ioa.Component.digest st) ]
+
 let def ?clients ~servers me : t Vsgc_ioa.Component.def =
   let init = initial ?clients ~servers me in
   {
@@ -348,6 +358,7 @@ let def ?clients ~servers me : t Vsgc_ioa.Component.def =
     apply;
     footprint = footprint me;
     emits = emits ~clients:init.clients me;
+    observe = observe me;
   }
 
 let component ?clients ~servers me =

@@ -52,8 +52,29 @@ let footprint (a : Action.t) =
 
 let emits (a : Action.t) = match a with Action.Srv_deliver _ -> true | _ -> false
 
+(* One shadow slice per non-empty server pair, digesting the queue's
+   canonical contents — deliveries on disjoint pairs must digest
+   independently of the map's internal tree shape, or the sanitizer's
+   both-orders race replay would see phantom divergence. *)
+let observe (st : state) =
+  Pair_map.fold
+    (fun (s, s') c acc ->
+      ( Vsgc_ioa.Footprint.Srv_channel (s, s'),
+        Vsgc_ioa.Component.digest (Fqueue.to_list c) )
+      :: acc)
+    st []
+
 let def : state Vsgc_ioa.Component.def =
-  { name = "srv_net"; init = initial; accepts; outputs; apply; footprint; emits }
+  {
+    name = "srv_net";
+    init = initial;
+    accepts;
+    outputs;
+    apply;
+    footprint;
+    emits;
+    observe;
+  }
 
 let component () =
   let r = ref initial in

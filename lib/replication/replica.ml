@@ -149,6 +149,9 @@ let emits me (a : Action.t) =
   | Action.App_send (p, _) | Action.Block_ok p -> Proc.equal p me
   | _ -> false
 
+let observe me (st : t) =
+  [ (Vsgc_ioa.Footprint.Proc_state me, Vsgc_ioa.Component.digest st) ]
+
 let def ?transfer_blind me : t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "replica_%a" Proc.pp me;
@@ -158,6 +161,7 @@ let def ?transfer_blind me : t Vsgc_ioa.Component.def =
     apply;
     footprint = footprint me;
     emits = emits me;
+    observe = observe me;
   }
 
 let component ?transfer_blind me =

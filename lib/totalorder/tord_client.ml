@@ -110,6 +110,9 @@ let emits me (a : Action.t) =
   | Action.App_send (p, _) | Action.Block_ok p -> Proc.equal p me
   | _ -> false
 
+let observe me (st : t) =
+  [ (Vsgc_ioa.Footprint.Proc_state me, Vsgc_ioa.Component.digest st) ]
+
 let def me : t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "tord_%a" Proc.pp me;
@@ -119,6 +122,7 @@ let def me : t Vsgc_ioa.Component.def =
     apply;
     footprint = footprint me;
     emits = emits me;
+    observe = observe me;
   }
 
 let component me =
