@@ -76,6 +76,11 @@ let record_hot fields = hot_rows := Json.Obj fields :: !hot_rows
 let san_rows : Json.t list ref = ref []
 let record_san fields = san_rows := Json.Obj fields :: !san_rows
 
+(* E17's replicated-KV-service rows (batched vs unbatched stable
+   delivery, loaded and faulted arms) land in BENCH_kv.json. *)
+let kv_rows : Json.t list ref = ref []
+let record_kv fields = kv_rows := Json.Obj fields :: !kv_rows
+
 let write_file file rows =
   match List.rev rows with
   | [] -> ()
@@ -90,7 +95,8 @@ let write_rows () =
   if not !smoke then begin
     write_file "BENCH_wire.json" !bench_rows;
     write_file "BENCH_hotpath.json" !hot_rows;
-    write_file "BENCH_sanitize.json" !san_rows
+    write_file "BENCH_sanitize.json" !san_rows;
+    write_file "BENCH_kv.json" !kv_rows
   end
 
 (* -- Round-measurement helpers ------------------------------------------- *)
@@ -818,6 +824,121 @@ let e16 () =
         ])
     [ 8; 32 ]
 
+(* -- E17: replicated KV service — batched stable delivery under load ----------- *)
+
+(* The KV service (DESIGN.md §15) on the loopback deployment: an
+   open-loop generator offers a fixed write rate; the batched arm
+   coalesces the sequencer's announcement backlog and applies
+   contiguous stable commands in one apply+ack round. Both arms must
+   produce byte-identical stores on the identical command log (the
+   correctness gate, asserted in every mode); the batched arm must do
+   strictly fewer apply rounds and ship fewer packets, which is where
+   its throughput win comes from. The faulted arm reruns the load
+   across a partition-heal script and gates the SLO: zero lost
+   acknowledged writes, bounded client-visible stall. *)
+
+module Kv_system = Vsgc_kv.Kv_system
+
+let e17 () =
+  section "E17"
+    "replicated KV service: open-loop load, batched stable delivery, SLO";
+  let count = if !smoke then 80 else 600 in
+  let rate = 2.0 (* writes per tick per client: saturates the sequencer *) in
+  let homes = [ 0; 2 ] and clients = 2 in
+  let partition_script =
+    [
+      ( 40,
+        Kv_system.Partition
+          [
+            [
+              Vsgc_wire.Node_id.Client 0;
+              Vsgc_wire.Node_id.Client 2;
+              Vsgc_wire.Node_id.Server 0;
+            ];
+            [ Vsgc_wire.Node_id.Client 1; Vsgc_wire.Node_id.Server 1 ];
+          ] );
+      (160, Kv_system.Heal);
+    ]
+  in
+  let run ?(script = []) ~batch () =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Kv_system.slo_run ~seed:17 ~batch ~n:3 ~n_servers:2 ~homes ~clients
+        ~rate ~count ~script ()
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let arm ~name ~batch (r : Kv_system.report) wall =
+    let cmds_per_sec = float_of_int r.Kv_system.acked /. wall in
+    rowf
+      "  %-22s acked=%d/%d cmds/s=%.0f p50=%d p99=%d p999=%d stall=%.0f \
+       apply_rounds=%d wire=%d lost=%d@."
+      name r.Kv_system.acked r.Kv_system.sent cmds_per_sec r.Kv_system.p50
+      r.Kv_system.p99 r.Kv_system.p999 r.Kv_system.max_stall
+      r.Kv_system.apply_rounds r.Kv_system.wire_delivered r.Kv_system.lost_acks;
+    record_kv
+      [
+        ("exp", Json.Str "E17");
+        ("arm", Json.Str name);
+        ("batch", Json.Str (string_of_bool batch));
+        ("clients", Json.Int clients);
+        ("rate", Json.Num rate);
+        ("count", Json.Int count);
+        ("sent", Json.Int r.Kv_system.sent);
+        ("acked", Json.Int r.Kv_system.acked);
+        ("lost_acks", Json.Int r.Kv_system.lost_acks);
+        ("dup_acks", Json.Int r.Kv_system.dup_acks);
+        ("cmds_per_sec", Json.Num cmds_per_sec);
+        ("p50_ticks", Json.Int r.Kv_system.p50);
+        ("p99_ticks", Json.Int r.Kv_system.p99);
+        ("p999_ticks", Json.Int r.Kv_system.p999);
+        ("max_stall_ticks", Json.Num r.Kv_system.max_stall);
+        ("apply_rounds", Json.Int r.Kv_system.apply_rounds);
+        ("wire_delivered", Json.Int r.Kv_system.wire_delivered);
+        ("converged", Json.Str (string_of_bool r.Kv_system.converged));
+      ];
+    cmds_per_sec
+  in
+  let check ~what (r : Kv_system.report) =
+    if r.Kv_system.acked <> r.Kv_system.sent then
+      failwith
+        (Fmt.str "E17 %s: %d/%d acked" what r.Kv_system.acked r.Kv_system.sent);
+    if r.Kv_system.lost_acks <> 0 then
+      failwith (Fmt.str "E17 %s: %d lost acks" what r.Kv_system.lost_acks);
+    if not r.Kv_system.converged then
+      failwith (Fmt.str "E17 %s: stores diverged" what)
+  in
+  let u, uw = run ~batch:false () in
+  let b, bw = run ~batch:true () in
+  check ~what:"unbatched" u;
+  check ~what:"batched" b;
+  (* the correctness gate: same command log => same store bytes,
+     whatever the delivery batching *)
+  List.iter2
+    (fun (p, du) (p', db) ->
+      if p <> p' || not (String.equal du db) then
+        failwith (Fmt.str "E17: batched arm store diverged at p%d" p))
+    u.Kv_system.digests b.Kv_system.digests;
+  if b.Kv_system.apply_rounds >= u.Kv_system.apply_rounds then
+    failwith
+      (Fmt.str "E17: batching did not reduce apply rounds (%d vs %d)"
+         b.Kv_system.apply_rounds u.Kv_system.apply_rounds);
+  let ut = arm ~name:"loaded/unbatched" ~batch:false u uw in
+  let bt = arm ~name:"loaded/batched" ~batch:true b bw in
+  if (not !smoke) && bt <= ut then
+    failwith
+      (Fmt.str "E17: batched throughput %.0f <= unbatched %.0f at saturation"
+         bt ut);
+  let f, fw = run ~batch:true ~script:partition_script () in
+  check ~what:"faulted" f;
+  if f.Kv_system.max_stall > 600.0 then
+    failwith (Fmt.str "E17 faulted: stall %.0f ticks" f.Kv_system.max_stall);
+  ignore (arm ~name:"faulted/partition-heal" ~batch:true f fw);
+  rowf "  batching: %dx fewer apply rounds, %.2fx fewer wire packets@."
+    (u.Kv_system.apply_rounds / max 1 b.Kv_system.apply_rounds)
+    (float_of_int u.Kv_system.wire_delivered
+    /. float_of_int (max 1 b.Kv_system.wire_delivered))
+
 (* -- Driver ------------------------------------------------------------------ *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -835,6 +956,7 @@ let all : (string * string * (unit -> unit)) list =
     ("E13", "executor scheduling cached vs rescan", e13);
     ("E14", "hot-path codec + transport", e14);
     ("E16", "effect-sanitizer overhead", e16);
+    ("E17", "replicated KV service: load, batching, SLO", e17);
   ]
 
 let () =

@@ -38,7 +38,8 @@ let addr_conv =
     (parse_addr, fun ppf (h, p) -> Fmt.pf ppf "%s:%d" h p)
 
 (* A peer spec names the node behind an address: p<N>=HOST:PORT for a
-   client, s<N>=HOST:PORT for a server. *)
+   client (or KV server), s<N>=HOST:PORT for a membership server,
+   k<N>=HOST:PORT for a KV load client. *)
 let parse_peer s =
   match String.index_opt s '=' with
   | None -> Error (`Msg (Fmt.str "bad peer %S (want p<N>=HOST:PORT or s<N>=HOST:PORT)" s))
@@ -51,13 +52,14 @@ let parse_peer s =
           match name.[0], int_of_string_opt n with
           | 'p', Some k when k >= 0 -> Some (Node_id.client k)
           | 's', Some k when k >= 0 -> Some (Node_id.server (Server.of_int k))
+          | 'k', Some k when k >= 0 -> Some (Node_id.kv_client k)
           | _ -> None
         else None
       in
       match id, parse_addr addr with
       | Some id, Ok a -> Ok (id, a)
       | None, _ ->
-          Error (`Msg (Fmt.str "bad peer name %S (want p<N> or s<N>)" name))
+          Error (`Msg (Fmt.str "bad peer name %S (want p<N>, s<N> or k<N>)" name))
       | _, (Error _ as e) -> e
     end
 
@@ -217,6 +219,155 @@ let run_client id attach listen peers seed members send expect linger timeout =
   in
   loop ()
 
+(* -- KV server role (DESIGN.md §15) --------------------------------------- *)
+
+module Kv_node = Vsgc_kv.Kv_node
+module Kv_load = Vsgc_kv.Kv_load
+module Kv_store = Vsgc_kv.Kv_store
+
+let batch_arg =
+  Arg.(value & flag
+       & info [ "batch" ]
+           ~doc:"Coalesce the sequencer's announcement backlog and apply \
+                 contiguous stable commands in one round (batched stable \
+                 delivery). Same total order, fewer messages.")
+
+let spin_kv node tr =
+  let events = Transport.recv tr in
+  List.iter (Kv_node.handle node) events;
+  List.iter (fun (dst, pkt) -> Transport.send tr dst pkt) (Kv_node.step node);
+  List.length events
+
+let run_kv_server id attach listen peers seed batch timeout =
+  let me = Node_id.client id in
+  let tr = Tcp.create (Tcp.config ~listen ~peers me) in
+  let node = Kv_node.create ~seed ~batch ~attach:(Server.of_int attach) id in
+  Fmt.pr "READY %s batch=%b@." (Node_id.to_string me) batch;
+  let deadline = deadline_of timeout in
+  let seen_views = ref 0 and last_digest = ref "" in
+  let report () =
+    let views = Kv_node.views node in
+    List.iteri
+      (fun i (v, _) ->
+        if i >= !seen_views then
+          Fmt.pr "VIEW id=%a members=%a@." View.Id.pp (View.id v) Proc.Set.pp
+            (View.set v))
+      views;
+    seen_views := List.length views;
+    let d = Kv_node.digest node in
+    if not (String.equal d !last_digest) then begin
+      last_digest := d;
+      Fmt.pr "STORE digest=%s applied=%d@." d
+        (Kv_store.applied_count (Kv_node.store node))
+    end
+  in
+  let rec loop () =
+    ignore (spin_kv node tr);
+    report ();
+    if expired deadline then begin
+      Transport.close tr;
+      Fmt.epr "vsgc_node: kv-server timeout after %.1fs@." timeout;
+      exit 1
+    end
+    else loop ()
+  in
+  loop ()
+
+(* -- KV load role --------------------------------------------------------- *)
+
+let rate_arg =
+  Arg.(value & opt float 200.0
+       & info [ "rate" ] ~docv:"R"
+           ~doc:"Offered load in requests per second. Open loop: request i \
+                 is due at start + i/R whether or not earlier requests were \
+                 answered.")
+
+let count_arg =
+  Arg.(value & opt int 500
+       & info [ "count" ] ~docv:"K" ~doc:"Total writes to issue.")
+
+let value_bytes_arg =
+  Arg.(value & opt int 32
+       & info [ "value-bytes" ] ~docv:"B" ~doc:"Size of each written value.")
+
+let key_space_arg =
+  Arg.(value & opt (some int) None
+       & info [ "key-space" ] ~docv:"S"
+           ~doc:"Keys cycle within a per-client namespace of $(docv) keys \
+                 (default: one key per write).")
+
+let retransmit_arg =
+  Arg.(value & opt float 1.0
+       & info [ "retransmit" ] ~docv:"SECS"
+           ~doc:"Retransmit unacknowledged writes after $(docv) seconds \
+                 (0 disables). Acks dedup by command id, so retransmission \
+                 is safe across server restarts.")
+
+let run_kv_load id peers rate count key_space value_bytes retransmit timeout =
+  let me = Node_id.kv_client id in
+  let home =
+    match
+      List.filter_map
+        (fun (pid, _) ->
+          match pid with Node_id.Client p -> Some p | _ -> None)
+        peers
+    with
+    | [ p ] -> p
+    | _ ->
+        Fmt.epr "vsgc_node: kv-load needs exactly one p<N> peer (its home)@.";
+        exit 2
+  in
+  let tr = Tcp.create (Tcp.config ~listen:None ~peers me) in
+  Fmt.pr "READY %s home=p%d@." (Node_id.to_string me) home;
+  (* The load core is time-abstract; feed it microseconds so the
+     histogram's integer buckets carry microsecond latencies. *)
+  let now_us () = Unix.gettimeofday () *. 1e6 in
+  let conf =
+    {
+      Kv_load.client = id;
+      rate = rate /. 1e6;
+      count;
+      key_space = (match key_space with Some s -> s | None -> count);
+      value_bytes;
+      retransmit_after = retransmit *. 1e6;
+    }
+  in
+  let gen = Kv_load.create ~start:(now_us ()) conf in
+  let deadline = deadline_of timeout in
+  let finish ~ok =
+    let s = (Kv_load.stats gen : Kv_load.stats) in
+    Fmt.pr
+      "KVLOAD sent=%d acked=%d dup=%d retx=%d lost=%d p50us=%d p99us=%d \
+       p999us=%d maxus=%d maxstallus=%.0f@."
+      s.Kv_load.sent s.Kv_load.acked s.Kv_load.dup_acks s.Kv_load.retransmits
+      s.Kv_load.outstanding s.Kv_load.p50 s.Kv_load.p99 s.Kv_load.p999
+      s.Kv_load.max_latency s.Kv_load.max_stall;
+    Transport.close tr;
+    exit (if ok && s.Kv_load.outstanding = 0 then 0 else 1)
+  in
+  let rec loop () =
+    let now = now_us () in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Transport.Received (_, Vsgc_wire.Packet.Kv_resp resp) ->
+            Kv_load.on_response gen ~now resp
+        | _ -> ())
+      (Transport.recv tr);
+    List.iter
+      (fun req ->
+        Transport.send tr (Node_id.client home) (Vsgc_wire.Packet.Kv_req req))
+      (Kv_load.due gen ~now);
+    if Kv_load.finished gen then finish ~ok:true
+    else if expired deadline then begin
+      Fmt.epr "vsgc_node: kv-load timeout after %.1fs (%d/%d acked)@." timeout
+        (Kv_load.acked gen) (Kv_load.sent gen);
+      finish ~ok:false
+    end
+    else loop ()
+  in
+  loop ()
+
 (* -- Commands ------------------------------------------------------------- *)
 
 let server_cmd =
@@ -236,7 +387,26 @@ let client_cmd =
       $ members_arg $ send_arg $ expect_arg $ linger_arg
       $ timeout_arg ~default:30.0)
 
+let kv_server_cmd =
+  let doc = "run a replicated KV server (GCS end-point + strict replica)" in
+  Cmd.v
+    (Cmd.info "kv-server" ~doc)
+    Term.(
+      const run_kv_server $ id_arg $ attach_arg $ listen_arg $ peers_arg
+      $ seed_arg $ batch_arg $ timeout_arg ~default:0.0)
+
+let kv_load_cmd =
+  let doc = "run an open-loop KV load generator against one kv-server" in
+  Cmd.v
+    (Cmd.info "kv-load" ~doc)
+    Term.(
+      const run_kv_load $ id_arg $ peers_arg $ rate_arg $ count_arg
+      $ key_space_arg $ value_bytes_arg $ retransmit_arg
+      $ timeout_arg ~default:60.0)
+
 let () =
   let doc = "a vsgc group-multicast node over TCP" in
   let info = Cmd.info "vsgc_node" ~doc ~version:"%%VERSION%%" in
-  exit (Cmd.eval (Cmd.group info [ server_cmd; client_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ server_cmd; client_cmd; kv_server_cmd; kv_load_cmd ]))

@@ -277,10 +277,105 @@ let cmd_soak args =
     !schedules !steps !corruptions !detections mean max_lat dt;
   exit 0
 
+(* -- kv-slo: the KV service SLO gate (DESIGN.md §15) ----------------------
+
+   Drive the open-loop load generator across scripted partition-heal
+   and crash-rejoin reconfigurations on the loopback deployment and
+   judge the "delivery continues during reconfiguration" SLO: every
+   acknowledged write is in its home replica's stable store (zero lost
+   acks after dedup by command id), all live stores are byte-identical
+   at the end, and the max client-visible stall stays within budget. *)
+
+module Kv_system = Vsgc_kv.Kv_system
+module Node_id = Vsgc_wire.Node_id
+
+let kv_batch = ref false
+let kv_rate = ref 1.0
+let kv_count = ref 80
+let kv_stall_budget = ref 600
+
+let kv_slo_opts =
+  [
+    ("-seed", Arg.Set_int seed, "S deployment seed (default 1)");
+    ("-batch", Arg.Set kv_batch, " batched stable delivery");
+    ("-rate", Arg.Set_float kv_rate, "R offered load per tick (default 1.0)");
+    ("-count", Arg.Set_int kv_count, "K writes per client (default 80)");
+    ( "-stall-budget",
+      Arg.Set_int kv_stall_budget,
+      "T max client-visible stall in ticks (default 600)" );
+    ("-quiet", Arg.Set quiet, " only print the outcome lines");
+  ]
+
+let kv_judge ~what (r : Kv_system.report) =
+  let breaches = ref [] in
+  let breach fmt = Fmt.kstr (fun s -> breaches := s :: !breaches) fmt in
+  if r.Kv_system.acked < r.Kv_system.sent then
+    breach "only %d/%d writes acknowledged" r.Kv_system.acked r.Kv_system.sent;
+  if r.Kv_system.lost_acks <> 0 then
+    breach "%d acknowledged writes missing from the stable store"
+      r.Kv_system.lost_acks;
+  if not r.Kv_system.converged then breach "live stores diverged";
+  if r.Kv_system.max_stall > float_of_int !kv_stall_budget then
+    breach "max stall %.0f ticks exceeds budget %d" r.Kv_system.max_stall
+      !kv_stall_budget;
+  Fmt.pr
+    "kv-slo: %-15s %s — acked=%d/%d lost=%d dup=%d stall=%.0f p50=%d p99=%d \
+     p999=%d rounds=%d@."
+    what
+    (if !breaches = [] then "ok" else "BREACH")
+    r.Kv_system.acked r.Kv_system.sent r.Kv_system.lost_acks
+    r.Kv_system.dup_acks r.Kv_system.max_stall r.Kv_system.p50 r.Kv_system.p99
+    r.Kv_system.p999 r.Kv_system.rounds;
+  List.iter (fun s -> Fmt.pr "  breach: %s@." s) (List.rev !breaches);
+  !breaches = []
+
+let cmd_kv_slo args =
+  Arg.parse_argv ~current:(ref 0)
+    (Array.of_list (Sys.argv.(0) :: args))
+    (Arg.align kv_slo_opts)
+    (fun a -> die "kv-slo takes no positional argument (got %S)" a)
+    "chaos kv-slo [options]";
+  let run ~homes ~script =
+    Kv_system.slo_run ~seed:!seed ~batch:!kv_batch ~n:3 ~n_servers:2 ~homes
+      ~clients:2 ~rate:!kv_rate ~count:!kv_count ~script ()
+  in
+  (* Partition: the two load homes end up on opposite sides of the
+     split; both sides keep ordering in their own view, the heal
+     merges them through one transitional-set snapshot exchange. *)
+  let partition_heal =
+    run ~homes:[ 0; 1 ]
+      ~script:
+        [
+          ( 40,
+            Kv_system.Partition
+              [
+                [ Node_id.Client 0; Node_id.Client 2; Node_id.Server 0 ];
+                [ Node_id.Client 1; Node_id.Server 1 ];
+              ] );
+          (160, Kv_system.Heal);
+        ]
+  in
+  (* Crash a non-home replica mid-load; it rejoins by the ordinary
+     Join handshake and refolds its store from the post-transfer log. *)
+  let crash_rejoin =
+    run ~homes:[ 0; 1 ]
+      ~script:[ (30, Kv_system.Crash 2); (120, Kv_system.Restart 2) ]
+  in
+  let ok =
+    List.for_all
+      (fun (what, r) -> kv_judge ~what r)
+      [ ("partition-heal", partition_heal); ("crash-rejoin", crash_rejoin) ]
+  in
+  if ok then begin
+    Fmt.pr "kv-slo: green (batch=%b)@." !kv_batch;
+    exit 0
+  end
+  else exit 1
+
 let usage () =
   Fmt.epr
     "usage:@.  chaos find [options]@.  chaos replay FILE.fault...@.  chaos pin \
-     FILE.fault [OUT.fault]@.  chaos soak [options]@.";
+     FILE.fault [OUT.fault]@.  chaos soak [options]@.  chaos kv-slo [options]@.";
   exit 2
 
 let () =
@@ -290,6 +385,7 @@ let () =
     | _ :: "replay" :: args -> cmd_replay args
     | _ :: "pin" :: args -> cmd_pin args
     | _ :: "soak" :: args -> cmd_soak args
+    | _ :: "kv-slo" :: args -> cmd_kv_slo args
     | _ -> usage ()
   with
   | F.Schedule.Parse_error msg -> die "parse error: %s" msg

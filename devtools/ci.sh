@@ -3,9 +3,10 @@
 # (the seeded no-sync-wait mutation must be found, shrunk, saved, and
 # reproduced deterministically from the saved file), static vet, the
 # fault corpus replayed against pinned fingerprints, a seeded chaos
-# sweep (crash faults and state corruption), and two socket smokes —
-# plain agreement plus SIGKILL-and-rejoin. Everything carries a hard
-# timeout.
+# sweep (crash faults and state corruption), the KV service SLO gate
+# (chaos kv-slo, both stable-delivery modes), and three socket smokes —
+# plain agreement, SIGKILL-and-rejoin, and the replicated KV service
+# under a mid-load server kill. Everything carries a hard timeout.
 #
 #   ci.sh [-smoke]   the fast gate above (default)
 #   ci.sh -soak      the gate plus the §13 soak: the full schedule +
@@ -133,10 +134,22 @@ done
 # Perf-gate smoke: E13 (cached-vs-rescan scheduling; the run itself
 # asserts both modes take the identical step count), E14 (the
 # zero-copy codec path; asserts legacy and pooled encodes agree
-# byte-for-byte), and E16 (sanitizer overhead; asserts a sanitized run
-# is step- and fingerprint-identical to an unsanitized one) at reduced
+# byte-for-byte), E16 (sanitizer overhead; asserts a sanitized run
+# is step- and fingerprint-identical to an unsanitized one), and E17
+# (the KV service; asserts batched and unbatched stable delivery
+# produce byte-identical stores with strictly fewer apply rounds, and
+# zero lost acks under the partition-heal script) at reduced
 # iterations, JSON output suppressed.
-dune exec -- bench/main.exe -smoke E13 E14 E16 > /dev/null
+dune exec -- bench/main.exe -smoke E13 E14 E16 E17 > /dev/null
+
+# KV SLO gate: the open-loop load generator across scripted
+# partition-heal and crash-rejoin reconfigurations on the loopback
+# deployment (chaos kv-slo, DESIGN.md §15). Green means every
+# acknowledged write is in its home replica's stable store, all live
+# stores are byte-identical, and the max client-visible stall stayed
+# within budget — in both stable-delivery modes.
+dune exec -- devtools/chaos.exe kv-slo
+dune exec -- devtools/chaos.exe kv-slo -batch
 
 # Chaos smoke: a short seeded sweep of sampled fault schedules must
 # come back green (exit 1 = nothing found; 0 = a violation was found
@@ -225,6 +238,71 @@ grep '^VIEW ' "$killdir/c0.log" | tail -1 | grep -q 'members={p0,p1}' \
   || kill_fail "survivor's last view is not the rejoined pair"
 test "$(grep -c '^DELIVER .*from=p1' "$killdir/c0.log")" = 2 \
   || kill_fail "survivor missed the reborn client's deliveries"
+
+# KV socket smoke: the replicated KV service over real sockets
+# (DESIGN.md §15). One membership server, two kv-servers, one
+# open-loop load client writing to p0 with retransmission on. p1 is
+# SIGKILLed mid-load and a new incarnation rejoins under the same
+# identity; the load must finish with zero lost acknowledged writes
+# (exit 0) and both kv-servers must settle on the identical store
+# digest — the reborn one refolded through the snapshot transfer.
+kvdir=$(mktemp -d /tmp/vsgc-kv-XXXXXX)
+trap 'rm -rf "$tmp" "$schdir" "$smokedir" "$killdir" "$kvdir"' EXIT
+vport=$((port + 200))
+kv_fail() {
+  echo "ci: FAIL: kv socket smoke: $1" >&2
+  for f in "$kvdir"/*.log; do echo "--- $f"; cat "$f"; done >&2
+  kill -9 "$vs0" "$vp0" "$vp1" "$vk0" 2>/dev/null || true
+  exit 1
+}
+kv_wait() { # FILE PATTERN TENTH_SECS WHAT [MIN_COUNT]
+  i=0
+  until [ "$(grep -c "$2" "$1" 2>/dev/null || true)" -ge "${5:-1}" ]; do
+    i=$((i + 1))
+    [ "$i" -ge "$3" ] && kv_fail "timed out waiting for $4"
+    sleep 0.1
+  done
+}
+"$node" server --id 0 --listen 127.0.0.1:$vport --timeout 45 \
+  > "$kvdir/s0.log" 2>&1 &
+vs0=$!
+"$node" kv-server --id 0 --listen 127.0.0.1:$((vport+1)) \
+  --peer s0=127.0.0.1:$vport --timeout 40 > "$kvdir/p0.log" 2>&1 &
+vp0=$!
+"$node" kv-server --id 1 --listen 127.0.0.1:$((vport+2)) \
+  --peer s0=127.0.0.1:$vport --peer p0=127.0.0.1:$((vport+1)) \
+  --timeout 40 > "$kvdir/p1.log" 2>&1 &
+vp1=$!
+kv_wait "$kvdir/p0.log" '^VIEW .*members={p0,p1}' 200 "the full kv view"
+"$node" kv-load --id 0 --peer p0=127.0.0.1:$((vport+1)) \
+  --rate 100 --count 300 --retransmit 0.5 --timeout 30 \
+  > "$kvdir/k0.log" 2>&1 &
+vk0=$!
+kv_wait "$kvdir/p1.log" '^STORE .*applied=[1-9]' 150 "replicated writes at p1"
+kill -9 "$vp1" 2>/dev/null || true
+kv_wait "$kvdir/p0.log" '^VIEW .*members={p0}$' 200 \
+  "the survivor's singleton view"
+"$node" kv-server --id 1 --listen 127.0.0.1:$((vport+3)) \
+  --peer s0=127.0.0.1:$vport --peer p0=127.0.0.1:$((vport+1)) \
+  --timeout 35 > "$kvdir/p1b.log" 2>&1 &
+vp1=$!
+kv_wait "$kvdir/p0.log" '^VIEW .*members={p0,p1}' 250 \
+  "the reborn kv-server's rejoin" 2
+wait "$vk0" || kv_fail "load client exited non-zero (lost acks or timeout)"
+grep -q '^KVLOAD .*lost=0 ' "$kvdir/k0.log" \
+  || kv_fail "load client reported lost acknowledged writes"
+# Both kv-servers must settle on the same final store digest: poll the
+# newest STORE line of each until they agree.
+i=0
+while :; do
+  d0=$(grep '^STORE ' "$kvdir/p0.log" | tail -1 | sed 's/.*digest=\([^ ]*\).*/\1/')
+  d1=$(grep '^STORE ' "$kvdir/p1b.log" | tail -1 | sed 's/.*digest=\([^ ]*\).*/\1/')
+  [ -n "$d0" ] && [ "$d0" = "$d1" ] && break
+  i=$((i + 1))
+  [ "$i" -ge 150 ] && kv_fail "store digests never converged ($d0 vs $d1)"
+  sleep 0.1
+done
+kill "$vs0" "$vp0" "$vp1" 2>/dev/null || true
 
 # Soak (-soak only): the whole corpus and >= 1M corruption-enabled
 # chaos steps, under both scheduler modes. Any violation, fingerprint

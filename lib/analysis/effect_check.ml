@@ -233,6 +233,44 @@ let server_stack ?(n_clients = 4) ?(n_servers = 2) () : Diag.t list =
   in
   static ~universe comps @ write_gap ~universe ~domains comps
 
+(* Audit the KV service stack (DESIGN.md §15): the composition a
+   [Vsgc_kv.Kv_node] hosts — a Full end-point plus a strict [Replica]
+   per process — along a scripted scenario that exercises ordered
+   writes, a partial view change and a crash/recovery. The KV engine
+   itself (store, service, load) runs outside the executor at the
+   node edge, so the component stack is exactly this pair. *)
+let kv_stack ?(n = 3) () : Diag.t list =
+  let refs = Hashtbl.create 8 in
+  let sys =
+    System.create ~seed:23 ~n ~monitors:`None
+      ~client_builder:(fun p ->
+        let c, r = Vsgc_replication.Replica.component p in
+        Hashtbl.replace refs p r;
+        c)
+      ()
+  in
+  let rep p : Vsgc_replication.Replica.t ref = Hashtbl.find refs p in
+  let comps = Array.to_list (Executor.components (System.exec sys)) in
+  let universe = Universe.actions ~n () in
+  let all = Proc.Set.of_range 0 (n - 1) in
+  let domains =
+    with_domains sys (fun () ->
+        ignore (System.reconfigure sys ~set:all);
+        drain sys;
+        Vsgc_replication.Replica.set (rep 0) ~key:"vet" ~value:"a";
+        Vsgc_replication.Replica.write (rep 1) ~client:0 ~seq:0 ~key:"vet-w"
+          ~value:"b";
+        drain sys;
+        ignore (System.start_change sys ~set:(Proc.Set.remove (n - 1) all));
+        ignore
+          (System.deliver_view ~origin:1 sys ~set:(Proc.Set.remove (n - 1) all));
+        System.crash sys (n - 1);
+        System.recover sys (n - 1);
+        ignore (System.reconfigure ~origin:2 sys ~set:all);
+        drain sys)
+  in
+  static ~universe comps @ write_gap ~universe ~domains comps
+
 (* -- Inheritance cross-check ---------------------------------------------- *)
 
 (* Across the WV <- VS <- Full tower, a child layer may extend the
@@ -282,5 +320,6 @@ let all () : (string * Diag.t list) list =
     ("effects vs", layer `Vs);
     ("effects full", layer `Full);
     ("effects server-stack", server_stack ());
+    ("effects kv-stack", kv_stack ());
     ("effects inherit", inherit_footprints ());
   ]

@@ -140,7 +140,7 @@ let crashed_clients t =
     (fun acc id ->
       match id with
       | Node_id.Client p -> Proc.Set.add p acc
-      | Node_id.Server _ -> acc)
+      | Node_id.Server _ | Node_id.Kv_client _ -> acc)
     Proc.Set.empty t.down_nodes
 
 (* -- Fault surface -------------------------------------------------------- *)

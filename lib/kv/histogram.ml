@@ -1,0 +1,83 @@
+(* A bucketed log-linear latency histogram (HdrHistogram-style, cut
+   down): 16 linear sub-buckets per power-of-two magnitude, so the
+   relative quantization error is bounded by ~6% at every scale while
+   [add] stays two shifts and an increment — cheap enough to sit on the
+   load generator's ack path.
+
+   Values are non-negative integers in whatever unit the caller uses
+   (hub ticks on the loopback arms, microseconds on the socket arms);
+   percentile reads report the bucket's inclusive upper bound, i.e.
+   they never understate a latency. *)
+
+(* 16 sub-buckets per octave; indices 0..15 are exact. *)
+let sub = 16
+let sub_bits = 4
+
+(* Enough octaves for 62-bit values; the last bucket absorbs overflow. *)
+let buckets = sub * 62
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable max_value : int;
+}
+
+let create () = { counts = Array.make buckets 0; total = 0; max_value = 0 }
+
+let reset t =
+  Array.fill t.counts 0 buckets 0;
+  t.total <- 0;
+  t.max_value <- 0
+
+(* Highest set bit position (0-based); v > 0. *)
+let msb v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let index_of v =
+  if v < sub then v
+  else
+    let shift = msb v - sub_bits in
+    let idx = (shift * sub) + (v lsr shift) in
+    if idx >= buckets then buckets - 1 else idx
+
+(* Inclusive upper bound of a bucket — the value a percentile read
+   reports. *)
+let upper_of idx =
+  if idx < sub then idx
+  else
+    let shift = (idx / sub) - 1 in
+    let m = idx - (shift * sub) in
+    ((m + 1) lsl shift) - 1
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  let idx = index_of v in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.total <- t.total + 1;
+  if v > t.max_value then t.max_value <- v
+
+let count t = t.total
+let max_value t = t.max_value
+
+let percentile t p =
+  if t.total = 0 then 0
+  else
+    let p = if p < 0. then 0. else if p > 1. then 1. else p in
+    (* The smallest bucket whose cumulative count covers p of total. *)
+    let target =
+      let x = int_of_float (ceil (p *. float_of_int t.total)) in
+      if x < 1 then 1 else x
+    in
+    let rec go idx acc =
+      if idx >= buckets then t.max_value
+      else
+        let acc = acc + t.counts.(idx) in
+        if acc >= target then min (upper_of idx) t.max_value else go (idx + 1) acc
+    in
+    go 0 0
+
+let merge ~into src =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.total <- into.total + src.total;
+  if src.max_value > into.max_value then into.max_value <- src.max_value

@@ -1,0 +1,22 @@
+(** A bucketed log-linear latency histogram (16 linear sub-buckets per
+    power-of-two octave, ~6% bounded relative error). Values are
+    non-negative integers in the caller's unit (hub ticks, or
+    microseconds on the socket arms). Percentile reads report the
+    bucket's inclusive upper bound — they never understate. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val add : t -> int -> unit
+(** Record one value (negatives clamp to 0). *)
+
+val count : t -> int
+val max_value : t -> int
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0,1]; 0 when empty. [percentile t
+    0.5] is p50, [0.99] p99, [0.999] p999. *)
+
+val merge : into:t -> t -> unit

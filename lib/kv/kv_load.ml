@@ -1,0 +1,171 @@
+(* Open-loop load generator core.
+
+   Open-loop means arrival times are a function of the clock alone —
+   [due] emits request i at [start + i/rate] whether or not earlier
+   requests have been answered, so a stalled service accumulates
+   latency instead of silently throttling the offered rate (the
+   coordinated-omission mistake a closed loop makes). The core is
+   time-abstract: the driver feeds "now" in whatever unit it has (hub
+   ticks on the loopback arms, seconds on the socket arms) and routes
+   requests/responses over its own transport.
+
+   Latency is measured from a command's FIRST emission to its first
+   acknowledgement, so retransmissions (enabled by a non-zero
+   [retransmit_after]) don't reset the clock; duplicate acks — a
+   retransmitted command ordered twice, or acked twice — are counted
+   and dropped by command id. The max client-visible stall is the
+   longest gap between consecutive acks while requests were
+   outstanding, the "delivery continues during reconfiguration" SLO
+   metric (DESIGN.md §15). *)
+
+type conf = {
+  client : int;  (* wire identity: Node_id.Kv_client client *)
+  rate : float;  (* target requests per time unit *)
+  count : int;  (* total unique writes to issue *)
+  key_space : int;  (* keys cycle within a per-client namespace *)
+  value_bytes : int;
+  retransmit_after : float;  (* 0. disables retransmission *)
+}
+
+type t = {
+  conf : conf;
+  start : float;
+  mutable next_seq : int;
+  pending : (int, float * float) Hashtbl.t;  (* seq -> first, last sent *)
+  acked : (int, unit) Hashtbl.t;
+  mutable dup_acks : int;
+  mutable retransmits : int;
+  hist : Histogram.t;
+  mutable last_ack_at : float;
+  mutable max_stall : float;
+}
+
+let create ~start conf =
+  if conf.rate <= 0. then invalid_arg "Kv_load.create: rate must be positive";
+  {
+    conf;
+    start;
+    next_seq = 0;
+    pending = Hashtbl.create 256;
+    acked = Hashtbl.create 256;
+    dup_acks = 0;
+    retransmits = 0;
+    hist = Histogram.create ();
+    last_ack_at = start;
+    max_stall = 0.;
+  }
+
+(* Deterministic per-client key/value streams: keys cycle inside the
+   client's own namespace (so concurrent clients never conflict and
+   acked values are checkable), values carry the command id and pad to
+   the configured size. *)
+let key_of t seq = Fmt.str "c%d/k%d" t.conf.client (seq mod t.conf.key_space)
+
+let value_of t seq =
+  let base = Fmt.str "v%d.%d." t.conf.client seq in
+  let pad = t.conf.value_bytes - String.length base in
+  if pad <= 0 then base else base ^ String.make pad '.'
+
+let request_of t seq =
+  Vsgc_wire.Kv_msg.Put
+    {
+      client = t.conf.client;
+      seq;
+      key = key_of t seq;
+      value = value_of t seq;
+    }
+
+let due t ~now =
+  (* New arrivals: everything whose scheduled time has passed. *)
+  let fresh = ref [] in
+  while
+    t.next_seq < t.conf.count
+    && t.start +. (float_of_int t.next_seq /. t.conf.rate) <= now
+  do
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Hashtbl.replace t.pending seq (now, now);
+    fresh := request_of t seq :: !fresh
+  done;
+  (* Retransmissions, oldest seq first for determinism. *)
+  let retx =
+    if t.conf.retransmit_after <= 0. then []
+    else
+      Hashtbl.fold
+        (fun seq (_, last) acc ->
+          if now -. last >= t.conf.retransmit_after then seq :: acc else acc)
+        t.pending []
+      |> List.sort Int.compare
+  in
+  List.iter
+    (fun seq ->
+      let first, _ = Hashtbl.find t.pending seq in
+      Hashtbl.replace t.pending seq (first, now);
+      t.retransmits <- t.retransmits + 1)
+    retx;
+  List.rev !fresh @ List.map (request_of t) retx
+
+let record_ack t ~now seq =
+  if Hashtbl.mem t.acked seq then t.dup_acks <- t.dup_acks + 1
+  else begin
+    Hashtbl.replace t.acked seq ();
+    (match Hashtbl.find_opt t.pending seq with
+    | Some (first, _) ->
+        Histogram.add t.hist (int_of_float (now -. first));
+        Hashtbl.remove t.pending seq
+    | None -> ());
+    let stall = now -. t.last_ack_at in
+    if stall > t.max_stall then t.max_stall <- stall;
+    t.last_ack_at <- now
+  end
+
+let on_response t ~now (resp : Vsgc_wire.Kv_msg.response) =
+  match resp with
+  | Vsgc_wire.Kv_msg.Put_ack { client; seq } when client = t.conf.client ->
+      record_ack t ~now seq
+  | Vsgc_wire.Kv_msg.Get_reply { client; seq; value = _ }
+    when client = t.conf.client ->
+      record_ack t ~now seq
+  | _ -> ()
+
+let conf t = t.conf
+let sent t = t.next_seq
+let acked t = Hashtbl.length t.acked
+let outstanding t = Hashtbl.length t.pending
+let dup_acks t = t.dup_acks
+let retransmits t = t.retransmits
+let all_sent t = t.next_seq >= t.conf.count
+let finished t = all_sent t && Hashtbl.length t.pending = 0
+let histogram t = t.hist
+let max_stall t = t.max_stall
+
+let acked_ids t =
+  Hashtbl.fold (fun seq () acc -> (t.conf.client, seq) :: acc) t.acked []
+  |> List.sort compare
+
+type stats = {
+  sent : int;
+  acked : int;
+  outstanding : int;
+  dup_acks : int;
+  retransmits : int;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  max_latency : int;
+  max_stall : float;
+}
+
+let stats t =
+  {
+    sent = t.next_seq;
+    acked = Hashtbl.length t.acked;
+    outstanding = Hashtbl.length t.pending;
+    dup_acks = t.dup_acks;
+    retransmits = t.retransmits;
+    p50 = Histogram.percentile t.hist 0.5;
+    p99 = Histogram.percentile t.hist 0.99;
+    p999 = Histogram.percentile t.hist 0.999;
+    max_latency = Histogram.max_value t.hist;
+    max_stall = t.max_stall;
+  }

@@ -1,0 +1,65 @@
+(** Open-loop load generator core: arrival times are a function of the
+    clock alone (request i is due at [start + i/rate] regardless of
+    outstanding responses), so a stalled service accumulates latency
+    instead of throttling the offered rate. Time-abstract — the
+    driver feeds [now] in its own unit (hub ticks or seconds) and
+    routes the requests itself. Latency runs from first emission to
+    first ack; duplicate acks dedup by command id; the max
+    client-visible stall is the longest gap between consecutive acks
+    (DESIGN.md §15). *)
+
+type conf = {
+  client : int;  (** wire identity: [Node_id.Kv_client client] *)
+  rate : float;  (** target requests per time unit *)
+  count : int;  (** total unique writes to issue *)
+  key_space : int;  (** keys cycle within a per-client namespace *)
+  value_bytes : int;
+  retransmit_after : float;  (** 0. disables retransmission *)
+}
+
+type t
+
+val create : start:float -> conf -> t
+(** @raise Invalid_argument when [rate <= 0]. *)
+
+val due : t -> now:float -> Vsgc_wire.Kv_msg.request list
+(** Requests to put on the wire now: new arrivals whose scheduled time
+    has passed, plus retransmissions of outstanding commands older
+    than [retransmit_after]. Deterministic given the [now] stream. *)
+
+val on_response : t -> now:float -> Vsgc_wire.Kv_msg.response -> unit
+
+val key_of : t -> int -> string
+val value_of : t -> int -> string
+
+val conf : t -> conf
+val sent : t -> int
+val acked : t -> int
+val outstanding : t -> int
+val dup_acks : t -> int
+val retransmits : t -> int
+
+val all_sent : t -> bool
+val finished : t -> bool
+(** All issued AND all acknowledged. *)
+
+val histogram : t -> Histogram.t
+val max_stall : t -> float
+
+val acked_ids : t -> (int * int) list
+(** Acknowledged command ids [(client, seq)], ascending. *)
+
+type stats = {
+  sent : int;
+  acked : int;
+  outstanding : int;
+  dup_acks : int;
+  retransmits : int;
+  p50 : int;
+  p99 : int;
+  p999 : int;
+  max_latency : int;
+  max_stall : float;
+}
+
+val stats : t -> stats

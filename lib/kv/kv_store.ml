@@ -1,0 +1,94 @@
+(* The incrementally materialized KV store behind a service replica.
+
+   [Replica.state] is a pure fold of the whole ordered log — the right
+   spec, but O(log) per read and O(log²) for a service that reads
+   after every command. This store applies each ordered payload once,
+   keeping the map, version and digest current; its semantics are
+   byte-for-byte the fold's ([Replica.fold_state]), which the test
+   suite pins by comparing both on the same log.
+
+   The store also keeps the set of applied write command ids: a
+   retransmitted write that was already ordered applies idempotently
+   (same key, same value) and is remembered as a duplicate, so
+   acknowledgements can dedup by id and the chaos SLO can check every
+   acknowledged write against the stable log. *)
+
+module Replica = Vsgc_replication.Replica
+module Smap = Replica.Smap
+
+type t = {
+  mutable map : string Smap.t;
+  mutable version : int;
+  applied : (int * int, unit) Hashtbl.t;  (* write command ids seen *)
+  mutable commands : int;  (* ordered payloads applied *)
+  mutable dups : int;  (* write ids ordered more than once *)
+  mutable unknowns : int;  (* undecodable payloads tolerated *)
+}
+
+let create () =
+  {
+    map = Smap.empty;
+    version = 0;
+    applied = Hashtbl.create 512;
+    commands = 0;
+    dups = 0;
+    unknowns = 0;
+  }
+
+let reset t =
+  t.map <- Smap.empty;
+  t.version <- 0;
+  Hashtbl.reset t.applied;
+  t.commands <- 0;
+  t.dups <- 0;
+  t.unknowns <- 0
+
+(* Apply one ordered payload; mirrors [Replica.fold_state] exactly.
+   Returns the write command id that just became stable, if any. *)
+let apply t payload =
+  t.commands <- t.commands + 1;
+  match Replica.decode payload with
+  | Replica.Set (k, v) ->
+      t.version <- t.version + 1;
+      t.map <- Smap.add k v t.map;
+      None
+  | Replica.Write { client; seq; key; value } ->
+      t.version <- t.version + 1;
+      t.map <- Smap.add key value t.map;
+      let id = (client, seq) in
+      if Hashtbl.mem t.applied id then t.dups <- t.dups + 1
+      else Hashtbl.replace t.applied id ();
+      Some id
+  | Replica.Snapshot (ver, snap_kv) ->
+      t.version <- max t.version ver;
+      t.map <- Smap.union (fun _ _mine theirs -> Some theirs) t.map snap_kv;
+      None
+  | Replica.Unknown ->
+      t.unknowns <- t.unknowns + 1;
+      None
+
+let get t key = Smap.find_opt key t.map
+let map t = t.map
+let version t = t.version
+let size t = Smap.cardinal t.map
+let commands t = t.commands
+let dups t = t.dups
+let unknowns t = t.unknowns
+let applied t ~client ~seq = Hashtbl.mem t.applied (client, seq)
+let applied_count t = Hashtbl.length t.applied
+
+(* A deterministic content digest of the map alone (not the version or
+   the id set): the byte-identity the batched-vs-unbatched equality
+   assertion and the cross-replica convergence check compare. *)
+let digest_map m =
+  let buf = Buffer.create 256 in
+  Smap.iter
+    (fun k v ->
+      Buffer.add_string buf k;
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf v;
+      Buffer.add_char buf '\x01')
+    m;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let digest t = digest_map t.map

@@ -1,0 +1,40 @@
+(** The incrementally materialized KV store behind a service replica:
+    applies each totally ordered payload once (same semantics as the
+    pure fold [Replica.fold_state], pinned by test), tracks applied
+    write command ids for ack dedup, and exposes a deterministic
+    content digest for the batched-vs-unbatched and cross-replica
+    byte-identity checks (DESIGN.md §15). *)
+
+module Replica = Vsgc_replication.Replica
+module Smap = Replica.Smap
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Back to empty — used when the hosting replica is reborn and its
+    log restarts. *)
+
+val apply : t -> string -> (int * int) option
+(** Apply one ordered payload; returns the write command id [(client,
+    seq)] that just became stable, if the payload was a service write.
+    A re-ordered duplicate id still returns the id (acks are
+    idempotent) and bumps {!dups}. *)
+
+val get : t -> string -> string option
+val map : t -> string Smap.t
+val version : t -> int
+val size : t -> int
+val commands : t -> int
+val dups : t -> int
+val unknowns : t -> int
+val applied : t -> client:int -> seq:int -> bool
+val applied_count : t -> int
+
+val digest : t -> string
+(** Content digest of the map alone (hex). *)
+
+val digest_map : string Smap.t -> string
+(** Same digest over a bare map — for comparing against
+    [Replica.state]. *)

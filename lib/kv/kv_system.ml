@@ -1,0 +1,389 @@
+(* Loopback deployment of the replicated KV service under the fault
+   surface — the harness behind bench E17 and `chaos.exe kv-slo`.
+
+   KV server nodes (end-point + strict replica + service engine) and
+   membership server nodes share one deterministic hub with the open-
+   loop load clients. The drive loop is synchronous like
+   [Net_system]'s: recv+handle every node in fixed order, step and
+   ship, feed the load generators (acks in, due requests out), tick.
+   Time is the hub's virtual clock, so latency percentiles and the
+   stall SLO are measured in ticks and every run is replayable from
+   (seed, script).
+
+   The fault surface mirrors [Net_system]: partition classes force hub
+   links down along the topology established at create (load clients
+   always travel with their home node's class — a partition separates
+   replicas, not a client from its chosen server), crash/restart reuse
+   the §8 Crash/Recover actions, and a reborn node re-enters by the
+   ordinary Join handshake, refolding its store from the post-transfer
+   log.
+
+   [slo_run] is the scripted arm: drive a load schedule across
+   partition-heal / crash-rejoin events and measure the "delivery
+   continues during reconfiguration" SLO — the max client-visible
+   stall, and zero acknowledged-but-lost writes (every acked command
+   id must be in its home replica's stable store, after dedup). *)
+
+open Vsgc_types
+open Vsgc_wire
+module Node = Vsgc_net.Node
+module Transport = Vsgc_net.Transport
+module Loopback = Vsgc_net.Loopback
+
+type load = { gen : Kv_load.t; tr : Transport.t; home : Proc.t }
+
+type t = {
+  hub : Loopback.hub;
+  kv_nodes : (Proc.t * (Kv_node.t * Transport.t)) list;  (* ascending *)
+  servers : (Server.t * (Node.t * Transport.t)) list;  (* ascending *)
+  mutable loads : (int * load) list;  (* insertion order *)
+  mutable base_links : (Node_id.t * Node_id.t) list;
+  mutable partition : Node_id.t list list option;  (* None = healed *)
+  mutable down : Node_id.t list;  (* currently crashed kv nodes *)
+}
+
+let create ?(seed = 42) ?knobs ?(batch = false) ~n ?(n_servers = 1) () =
+  if n_servers < 1 then invalid_arg "Kv_system.create: need n_servers >= 1";
+  let hub = Loopback.hub ~seed ?knobs () in
+  let kv_nodes =
+    List.init n (fun p ->
+        let attach = Server.of_int (p mod n_servers) in
+        let node = Kv_node.create ~seed:(seed + 1 + p) ~batch ~attach p in
+        (p, (node, Loopback.attach hub (Node_id.Client p))))
+  in
+  let servers =
+    List.init n_servers (fun s ->
+        let node =
+          Node.create ~seed:(seed + 1 + n + s) (Node.Server_node { server = s })
+        in
+        (s, (node, Loopback.attach hub (Node_id.Server s))))
+  in
+  let base_links = ref [] in
+  let connect tr a b =
+    Transport.connect tr b;
+    base_links := (a, b) :: !base_links
+  in
+  List.iter
+    (fun (p, (_, tr)) ->
+      List.iter
+        (fun (q, _) ->
+          if q > p then connect tr (Node_id.Client p) (Node_id.Client q))
+        kv_nodes;
+      connect tr (Node_id.Client p) (Node_id.Server (p mod n_servers)))
+    kv_nodes;
+  List.iter
+    (fun (s, (_, tr)) ->
+      List.iter
+        (fun (s', _) ->
+          if s' > s then connect tr (Node_id.Server s) (Node_id.Server s'))
+        servers)
+    servers;
+  {
+    hub;
+    kv_nodes;
+    servers;
+    loads = [];
+    base_links = List.rev !base_links;
+    partition = None;
+    down = [];
+  }
+
+let hub t = t.hub
+let now t = float_of_int (Loopback.now t.hub)
+
+let kv_node t p =
+  match List.assoc_opt p t.kv_nodes with
+  | Some (node, _) -> node
+  | None -> invalid_arg (Fmt.str "Kv_system.kv_node: no node %a" Proc.pp p)
+
+let procs t = List.map fst t.kv_nodes
+
+(* -- Fault surface -------------------------------------------------------- *)
+
+let is_down t id = List.exists (Node_id.equal id) t.down
+
+(* Load clients always travel with their home's partition class: the
+   partition under test separates replicas from each other, not a
+   client from the server it is connected to. *)
+let extend_classes t classes =
+  List.map
+    (fun cls ->
+      cls
+      @ List.filter_map
+          (fun (c, l) ->
+            if List.exists (Node_id.equal (Node_id.Client l.home)) cls then
+              Some (Node_id.Kv_client c)
+            else None)
+          t.loads)
+    classes
+
+let same_class classes a b =
+  List.exists
+    (fun cls ->
+      List.exists (Node_id.equal a) cls && List.exists (Node_id.equal b) cls)
+    classes
+
+let apply_links t =
+  List.iter
+    (fun (a, b) ->
+      let up =
+        (match t.partition with
+        | None -> true
+        | Some classes -> same_class (extend_classes t classes) a b)
+        && (not (is_down t a))
+        && not (is_down t b)
+      in
+      Loopback.set_link t.hub a b ~up)
+    t.base_links
+
+let set_partition t classes =
+  t.partition <- Some classes;
+  apply_links t
+
+let heal t =
+  t.partition <- None;
+  apply_links t
+
+let crash t p =
+  let node = kv_node t p in
+  if Kv_node.crashed node then
+    invalid_arg (Fmt.str "Kv_system.crash: %a already crashed" Proc.pp p);
+  Kv_node.inject node (Action.Crash p);
+  t.down <- Node_id.Client p :: t.down;
+  apply_links t;
+  Loopback.discard t.hub (Node_id.Client p)
+
+let restart t p =
+  let node = kv_node t p in
+  if not (is_down t (Node_id.Client p)) then
+    invalid_arg (Fmt.str "Kv_system.restart: %a not crashed" Proc.pp p);
+  t.down <-
+    List.filter (fun id -> not (Node_id.equal id (Node_id.Client p))) t.down;
+  Kv_node.inject node (Action.Recover p);
+  apply_links t
+
+(* -- Load clients --------------------------------------------------------- *)
+
+let add_load t ~home (conf : Kv_load.conf) =
+  if not (List.mem_assoc home t.kv_nodes) then
+    invalid_arg (Fmt.str "Kv_system.add_load: no home %a" Proc.pp home);
+  if List.mem_assoc conf.Kv_load.client t.loads then
+    invalid_arg
+      (Fmt.str "Kv_system.add_load: client %d exists" conf.Kv_load.client);
+  let id = Node_id.Kv_client conf.Kv_load.client in
+  let tr = Loopback.attach t.hub id in
+  Transport.connect tr (Node_id.Client home);
+  t.base_links <- t.base_links @ [ (id, Node_id.Client home) ];
+  let gen = Kv_load.create ~start:(now t) conf in
+  t.loads <- t.loads @ [ (conf.Kv_load.client, { gen; tr; home }) ];
+  apply_links t;
+  gen
+
+let loads t = List.map (fun (c, l) -> (c, l.gen, l.home)) t.loads
+
+(* -- Driving -------------------------------------------------------------- *)
+
+let quiescent t =
+  Loopback.idle t.hub
+  && List.for_all (fun (_, (n, _)) -> Kv_node.quiescent n) t.kv_nodes
+  && List.for_all (fun (_, (n, _)) -> Node.quiescent n) t.servers
+
+let all_sent t = List.for_all (fun (_, l) -> Kv_load.all_sent l.gen) t.loads
+
+(* One synchronous round: wire into every node, step and ship, then
+   feed the load generators — acks dated at the current virtual time,
+   due requests (new arrivals + retransmissions) onto the wire. *)
+let round t =
+  List.iter
+    (fun (_, (node, tr)) -> List.iter (Kv_node.handle node) (Transport.recv tr))
+    t.kv_nodes;
+  List.iter
+    (fun (_, (node, tr)) -> List.iter (Node.handle node) (Transport.recv tr))
+    t.servers;
+  let tick_now = now t in
+  List.iter
+    (fun (_, l) ->
+      List.iter
+        (fun ev ->
+          match ev with
+          | Transport.Received (_, Packet.Kv_resp resp) ->
+              Kv_load.on_response l.gen ~now:tick_now resp
+          | _ -> ())
+        (Transport.recv l.tr))
+    t.loads;
+  List.iter
+    (fun (_, (node, tr)) ->
+      List.iter
+        (fun (dst, pkt) -> Transport.send tr dst pkt)
+        (Kv_node.step node))
+    t.kv_nodes;
+  List.iter
+    (fun (_, (node, tr)) ->
+      List.iter (fun (dst, pkt) -> Transport.send tr dst pkt) (Node.step node))
+    t.servers;
+  List.iter
+    (fun (_, l) ->
+      List.iter
+        (fun req ->
+          Transport.send l.tr (Node_id.Client l.home) (Packet.Kv_req req))
+        (Kv_load.due l.gen ~now:tick_now))
+    t.loads;
+  Loopback.tick t.hub
+
+let run ?(max_ticks = 200_000) t =
+  let budget = ref max_ticks in
+  while (not (quiescent t && all_sent t)) && !budget > 0 do
+    round t;
+    decr budget
+  done;
+  if !budget = 0 then failwith "Kv_system.run: tick budget exhausted"
+
+let run_ticks t k =
+  for _ = 1 to k do
+    round t
+  done
+
+(* Every live kv node installed the full group view. *)
+let view_converged t =
+  let full = Proc.Set.of_list (procs t) in
+  List.for_all
+    (fun (p, (node, _)) ->
+      is_down t (Node_id.Client p)
+      || Proc.Set.equal (View.set (Kv_node.current_view node)) full)
+    t.kv_nodes
+
+let warmup ?(max_ticks = 20_000) t =
+  let budget = ref max_ticks in
+  while (not (view_converged t && quiescent t)) && !budget > 0 do
+    round t;
+    decr budget
+  done;
+  if !budget = 0 then failwith "Kv_system.warmup: view never converged"
+
+let digests t =
+  List.filter_map
+    (fun (p, (node, _)) ->
+      if is_down t (Node_id.Client p) then None
+      else Some (p, Kv_node.digest node))
+    t.kv_nodes
+
+let apply_rounds t =
+  List.fold_left
+    (fun acc (_, (node, _)) ->
+      acc + Kv_service.apply_rounds (Kv_node.service node))
+    0 t.kv_nodes
+
+(* -- The scripted SLO arm ------------------------------------------------- *)
+
+type fault =
+  | Partition of Node_id.t list list
+  | Heal
+  | Crash of Proc.t
+  | Restart of Proc.t
+
+type report = {
+  rounds : int;
+  stats : (int * Kv_load.stats) list;  (* per load client *)
+  sent : int;
+  acked : int;
+  dup_acks : int;
+  retransmits : int;
+  lost_acks : int;  (* acked ids missing from the home's stable store *)
+  max_stall : float;  (* longest inter-ack gap, in hub ticks *)
+  p50 : int;
+  p99 : int;
+  p999 : int;  (* merged latency percentiles, in hub ticks *)
+  converged : bool;  (* every live store byte-identical *)
+  digests : (Proc.t * string) list;
+  apply_rounds : int;
+  wire_delivered : int;  (* hub packets delivered over the whole run *)
+}
+
+let apply_fault t = function
+  | Partition classes -> set_partition t classes
+  | Heal -> heal t
+  | Crash p -> crash t p
+  | Restart p -> restart t p
+
+(* Drive loads across a fault script and settle; the script's round
+   indices are relative to the end of warmup. Homes must not be
+   crashed by the script (the lost-ack audit reads their stable
+   stores). *)
+let slo_run ?(seed = 42) ?(batch = false) ?(n = 3) ?(n_servers = 2)
+    ?(homes = [ 0 ]) ?(clients = 1) ?(rate = 0.5) ?(count = 200)
+    ?(value_bytes = 32) ?(retransmit_after = 0.) ?(script = [])
+    ?(max_rounds = 200_000) () =
+  let t = create ~seed ~batch ~n ~n_servers () in
+  warmup t;
+  let gens =
+    List.init clients (fun i ->
+        let home = List.nth homes (i mod List.length homes) in
+        let conf =
+          {
+            Kv_load.client = 100 + i;
+            rate;
+            count;
+            key_space = count;  (* unique keys: acked values stay auditable *)
+            value_bytes;
+            retransmit_after;
+          }
+        in
+        (100 + i, add_load t ~home conf, home))
+  in
+  let script = List.sort (fun (a, _) (b, _) -> compare a b) script in
+  let remaining = ref script in
+  let r = ref 0 in
+  let finished () = !remaining = [] && all_sent t && quiescent t in
+  while (not (finished ())) && !r < max_rounds do
+    (let rec fire () =
+       match !remaining with
+       | (at, f) :: rest when at <= !r ->
+           apply_fault t f;
+           remaining := rest;
+           fire ()
+       | _ -> ()
+     in
+     fire ());
+    round t;
+    incr r
+  done;
+  if !r >= max_rounds then failwith "Kv_system.slo_run: round budget exhausted";
+  (* Audit: every acknowledged command id must be in its home
+     replica's stable store (dedup by id — the id set ignores how many
+     times a retransmitted command was ordered). *)
+  let lost_acks =
+    List.fold_left
+      (fun acc (_, gen, home) ->
+        let store = Kv_node.store (kv_node t home) in
+        List.fold_left
+          (fun acc (client, seq) ->
+            if Kv_store.applied store ~client ~seq then acc else acc + 1)
+          acc (Kv_load.acked_ids gen))
+      0 gens
+  in
+  let ds = digests t in
+  let converged =
+    match ds with [] -> true | (_, d0) :: rest -> List.for_all (fun (_, d) -> String.equal d d0) rest
+  in
+  let merged = Histogram.create () in
+  List.iter (fun (_, gen, _) -> Histogram.merge ~into:merged (Kv_load.histogram gen)) gens;
+  let stats = List.map (fun (c, gen, _) -> (c, Kv_load.stats gen)) gens in
+  {
+    rounds = !r;
+    stats;
+    sent = List.fold_left (fun a (_, g, _) -> a + Kv_load.sent g) 0 gens;
+    acked = List.fold_left (fun a (_, g, _) -> a + Kv_load.acked g) 0 gens;
+    dup_acks = List.fold_left (fun a (_, g, _) -> a + Kv_load.dup_acks g) 0 gens;
+    retransmits =
+      List.fold_left (fun a (_, g, _) -> a + Kv_load.retransmits g) 0 gens;
+    lost_acks;
+    max_stall =
+      List.fold_left (fun a (_, g, _) -> Float.max a (Kv_load.max_stall g)) 0. gens;
+    p50 = Histogram.percentile merged 0.5;
+    p99 = Histogram.percentile merged 0.99;
+    p999 = Histogram.percentile merged 0.999;
+    converged;
+    digests = ds;
+    apply_rounds = apply_rounds t;
+    wire_delivered = Loopback.delivered t.hub;
+  }

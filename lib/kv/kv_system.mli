@@ -1,0 +1,130 @@
+(** Loopback deployment of the replicated KV service under the fault
+    surface — the harness behind bench E17 and [chaos.exe kv-slo].
+
+    KV server nodes and membership servers share one deterministic hub
+    with the open-loop load clients; the synchronous drive loop
+    mirrors [Net_system]'s, time is the hub's virtual clock, and a run
+    is fully determined by (seed, script). The fault surface composes
+    partitions with crash/restart exactly like [Net_system]; load
+    clients always travel with their home node's partition class
+    (DESIGN.md §15). *)
+
+open Vsgc_types
+open Vsgc_wire
+module Loopback = Vsgc_net.Loopback
+
+type t
+
+val create :
+  ?seed:int ->
+  ?knobs:Loopback.knobs ->
+  ?batch:bool ->
+  n:int ->
+  ?n_servers:int ->
+  unit ->
+  t
+(** [n] KV server nodes (proc [i] attached to membership server
+    [i mod n_servers]) plus [n_servers >= 1] membership servers, fully
+    meshed. [batch] selects coalesced announcements + one-round stable
+    delivery on every node. *)
+
+val hub : t -> Loopback.hub
+val now : t -> float
+val kv_node : t -> Proc.t -> Kv_node.t
+val procs : t -> Proc.t list
+
+(** {1 Fault surface} *)
+
+val set_partition : t -> Node_id.t list list -> unit
+val heal : t -> unit
+
+val crash : t -> Proc.t -> unit
+(** Crash a KV node: §8 Crash action, links down, in-flight traffic
+    discarded. *)
+
+val restart : t -> Proc.t -> unit
+(** Recover a crashed KV node; the transport [Up] from its server
+    re-triggers the Join handshake and the store refolds from the
+    post-transfer log. *)
+
+(** {1 Load clients} *)
+
+val add_load : t -> home:Proc.t -> Kv_load.conf -> Kv_load.t
+(** Attach an open-loop load client to the hub, wired to its [home] KV
+    node. The generator starts at the current virtual time. *)
+
+val loads : t -> (int * Kv_load.t * Proc.t) list
+
+(** {1 Driving} *)
+
+val round : t -> unit
+val run : ?max_ticks:int -> t -> unit
+(** Drive until quiescent with every load fully issued.
+    @raise Failure when the tick budget runs out. *)
+
+val run_ticks : t -> int -> unit
+val quiescent : t -> bool
+val all_sent : t -> bool
+
+val view_converged : t -> bool
+(** Every live KV node has installed the full-group view. *)
+
+val warmup : ?max_ticks:int -> t -> unit
+(** Drive until the full-group view is installed everywhere and the
+    system is quiescent. @raise Failure when the budget runs out. *)
+
+val digests : t -> (Proc.t * string) list
+(** Store digest of every live KV node. *)
+
+val apply_rounds : t -> int
+(** Total apply+ack rounds across all KV nodes (the batching win). *)
+
+(** {1 The scripted SLO arm} *)
+
+type fault =
+  | Partition of Node_id.t list list
+  | Heal
+  | Crash of Proc.t
+  | Restart of Proc.t
+
+type report = {
+  rounds : int;
+  stats : (int * Kv_load.stats) list;  (** per load client *)
+  sent : int;
+  acked : int;
+  dup_acks : int;
+  retransmits : int;
+  lost_acks : int;
+      (** acked command ids missing from the home's stable store *)
+  max_stall : float;  (** longest inter-ack gap, in hub ticks *)
+  p50 : int;
+  p99 : int;
+  p999 : int;  (** merged latency percentiles, in hub ticks *)
+  converged : bool;  (** every live store byte-identical *)
+  digests : (Proc.t * string) list;
+  apply_rounds : int;
+  wire_delivered : int;  (** hub packets delivered over the whole run *)
+}
+
+val slo_run :
+  ?seed:int ->
+  ?batch:bool ->
+  ?n:int ->
+  ?n_servers:int ->
+  ?homes:Proc.t list ->
+  ?clients:int ->
+  ?rate:float ->
+  ?count:int ->
+  ?value_bytes:int ->
+  ?retransmit_after:float ->
+  ?script:(int * fault) list ->
+  ?max_rounds:int ->
+  unit ->
+  report
+(** Build a deployment, warm it up, attach [clients] load generators
+    (client [100+i] homed at [homes[i mod _]], unique keys so acked
+    values stay auditable), then drive to completion while firing the
+    fault script — [(round, fault)] pairs relative to the end of
+    warmup. Homes must not be crashed by the script: the lost-ack
+    audit reads their stable stores.
+    @raise Failure when the round budget runs out. *)

@@ -135,12 +135,13 @@ let handle t ev =
       sk.connected <- Server.Set.remove s' sk.connected;
       enqueue t
         (Action.Fd_change (sk.server, Server.Set.add sk.server sk.connected))
-  | Server_k _, Transport.Up (Node_id.Client _) -> ()
+  | Server_k _, Transport.Up (Node_id.Client _ | Node_id.Kv_client _) -> ()
   | Server_k sk, Transport.Down (Node_id.Client p) ->
       if Proc.Set.mem p sk.attached then begin
         sk.attached <- Proc.Set.remove p sk.attached;
         enqueue t (Action.Client_leave (p, sk.server))
       end
+  | Server_k _, Transport.Down (Node_id.Kv_client _) -> ()
   | Server_k sk, Transport.Received (_, Packet.Join p) ->
       sk.attached <- Proc.Set.add p sk.attached;
       enqueue t (Action.Client_join (p, sk.server))

@@ -20,6 +20,15 @@
      transport contract says — CO_RFIFO sits above and owns
      retransmission semantics via view changes.
 
+   One exception to the drop rule: packets addressed to a peer no link
+   has identified YET are parked (bounded, drop-newest) and flushed
+   the moment that peer's [Hello] registers. A view change triggers
+   its state-transfer burst the instant the membership round closes,
+   which can race the direct link's dial at process startup — and a
+   FIFO stream never recovers from a lost prefix. Parking bridges
+   exactly that window; a [Down] clears the peer's parked queue, so a
+   reborn incarnation never inherits a dead view's traffic.
+
    The loop never blocks except inside [recv]'s select, bounded by
    [poll_timeout]. *)
 
@@ -76,6 +85,9 @@ type state = {
   listen_fd : Unix.file_descr option;
   mutable conns : conn list;
   dials : (Node_id.t, dial) Hashtbl.t;  (* peers we owe a connection *)
+  parked : (Node_id.t, Packet.t Queue.t) Hashtbl.t;
+      (* packets addressed to a peer no link has identified yet;
+         flushed on that peer's Hello, cleared on its Down *)
   events : Transport.event Queue.t;
   scratch : bytes;
   mutable closed : bool;
@@ -95,6 +107,30 @@ let emit st ev = Queue.add ev st.events
 
 let enqueue_pkt conn pkt = Frame.encode_into conn.out pkt
 
+(* Startup-race bridge only: far more than any state-transfer burst,
+   far less than an unbounded leak if the peer never shows up. Overflow
+   drops the NEWEST — a FIFO stream survives losing its tail (CO_RFIFO
+   re-syncs on the next view change) but never a hole in its prefix. *)
+let park_cap = 512
+
+let park st peer pkt =
+  let q =
+    match Hashtbl.find_opt st.parked peer with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace st.parked peer q;
+        q
+  in
+  if Queue.length q < park_cap then Queue.add pkt q
+
+let unpark st conn peer =
+  match Hashtbl.find_opt st.parked peer with
+  | Some q ->
+      Queue.iter (enqueue_pkt conn) q;
+      Hashtbl.remove st.parked peer
+  | None -> ()
+
 let send_hello st conn =
   if not conn.hello_sent then begin
     conn.hello_sent <- true;
@@ -107,7 +143,9 @@ let drop_conn st conn ~down =
   st.conns <- List.filter (fun c -> c.fd != conn.fd) st.conns;
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
   (match conn.peer with
-  | Some p when down -> emit st (Transport.Down p)
+  | Some p when down ->
+      Hashtbl.remove st.parked p;
+      emit st (Transport.Down p)
   | _ -> ());
   match conn.dialed with
   | Some p -> (
@@ -193,6 +231,7 @@ let handle_frames st conn =
         | None ->
             conn.peer <- Some id;
             send_hello st conn;
+            unpark st conn id;
             emit st (Transport.Up id)
         | Some _ -> () (* duplicate Hello: harmless *));
         go ()
@@ -292,6 +331,7 @@ let create cfg =
       listen_fd;
       conns = [];
       dials = Hashtbl.create 8;
+      parked = Hashtbl.create 8;
       events = Queue.create ();
       scratch = Bytes.create 65536;
       closed = false;
@@ -320,7 +360,7 @@ let create cfg =
     | Some conn ->
         enqueue_pkt conn pkt;
         if not (flush_out conn) then drop_conn st conn ~down:true
-    | None -> ()
+    | None -> park st peer pkt
   in
   let recv () =
     poll st cfg.poll_timeout;

@@ -17,6 +17,12 @@
 open Vsgc_types
 module Smap = Map.Make (String)
 module Tord_client = Vsgc_totalorder.Tord_client
+module Tord_core = Vsgc_totalorder.Tord_core
+
+exception Codec_drift of string
+(* Raised in strict mode when an undecodable command reaches the
+   totally ordered log — codec drift between writers and replicas
+   should be loud, not silently skipped. *)
 
 type t = {
   tc : Tord_client.t;
@@ -24,14 +30,32 @@ type t = {
   transfer_blind : bool;  (* ablation: no transitional-set knowledge *)
   snapshot_bytes : int;  (* total snapshot payload bytes multicast *)
   snapshots_sent : int;
+  strict : bool;  (* raise on Unknown ordered commands *)
+  unknowns : int;  (* Unknown commands tolerated (non-strict mode) *)
 }
 
-let initial ?(transfer_blind = false) me =
-  { tc = Tord_client.initial me; me; transfer_blind; snapshot_bytes = 0; snapshots_sent = 0 }
+let initial ?(transfer_blind = false) ?(strict = false) ?batch_orders me =
+  {
+    tc = Tord_client.initial ?batch_orders me;
+    me;
+    transfer_blind;
+    snapshot_bytes = 0;
+    snapshots_sent = 0;
+    strict;
+    unknowns = 0;
+  }
+
+let unknowns t = t.unknowns
 
 (* -- Command and snapshot encoding (inside total-order payloads) --------- *)
 
 let encode_set ~key ~value = Fmt.str "S%s=%s" key value
+
+(* A KV-service write: like [Set] but stamped with the originating load
+   client's command id (client, seq), so retransmissions stay
+   idempotent and acknowledgements dedup by id (DESIGN.md §15). *)
+let encode_write ~client ~seq ~key ~value =
+  Fmt.str "W%d:%d:%s=%s" client seq key value
 
 let encode_snapshot ~version kv =
   let body =
@@ -39,7 +63,11 @@ let encode_snapshot ~version kv =
   in
   Fmt.str "X%d:%s" version body
 
-type cmd = Set of string * string | Snapshot of int * string Smap.t | Unknown
+type cmd =
+  | Set of string * string
+  | Write of { client : int; seq : int; key : string; value : string }
+  | Snapshot of int * string Smap.t
+  | Unknown
 
 let decode s =
   if String.length s = 0 then Unknown
@@ -50,6 +78,35 @@ let decode s =
         | Some i ->
             Set (String.sub s 1 (i - 1), String.sub s (i + 1) (String.length s - i - 1))
         | None -> Unknown)
+    | 'W' -> (
+        let body = String.sub s 1 (String.length s - 1) in
+        match String.index_opt body ':' with
+        | None -> Unknown
+        | Some i -> (
+            match String.index_from_opt body (i + 1) ':' with
+            | None -> Unknown
+            | Some j -> (
+                match
+                  ( int_of_string_opt (String.sub body 0 i),
+                    int_of_string_opt (String.sub body (i + 1) (j - i - 1)) )
+                with
+                | Some client, Some seq -> (
+                    let rest =
+                      String.sub body (j + 1) (String.length body - j - 1)
+                    in
+                    match String.index_opt rest '=' with
+                    | Some k ->
+                        Write
+                          {
+                            client;
+                            seq;
+                            key = String.sub rest 0 k;
+                            value =
+                              String.sub rest (k + 1)
+                                (String.length rest - k - 1);
+                          }
+                    | None -> Unknown)
+                | _ -> Unknown)))
     | 'X' -> (
         match String.index_opt s ':' with
         | Some i -> (
@@ -87,7 +144,8 @@ let fold_state entries =
   List.fold_left
     (fun (version, kv) (_, payload) ->
       match decode payload with
-      | Set (k, v) -> (version + 1, Smap.add k v kv)
+      | Set (k, v) | Write { key = k; value = v; _ } ->
+          (version + 1, Smap.add k v kv)
       | Snapshot (ver, snap_kv) ->
           (max version ver, Smap.union (fun _ _mine theirs -> Some theirs) kv snap_kv)
       | Unknown -> (version, kv))
@@ -97,11 +155,25 @@ let state t = snd (fold_state (Tord_client.total_order t.tc))
 let version t = fst (fold_state (Tord_client.total_order t.tc))
 let get t key = Smap.find_opt key (state t)
 
+(* -- Cursor over the ordered log (for the incremental KV store) ----------- *)
+
+let log_length t = Tord_core.total_count t.tc.Tord_client.core
+
+let ordered_from t k =
+  List.map
+    (fun (e : Tord_core.entry) -> e.Tord_core.payload)
+    (Tord_core.entries_from t.tc.Tord_client.core k)
+
 (* -- Scripting API --------------------------------------------------------- *)
 
 let set (r : t ref) ~key ~value =
   let tc = ref !r.tc in
   Tord_client.push tc (encode_set ~key ~value);
+  r := { !r with tc = !tc }
+
+let write (r : t ref) ~client ~seq ~key ~value =
+  let tc = ref !r.tc in
+  Tord_client.push tc (encode_write ~client ~seq ~key ~value);
   r := { !r with tc = !tc }
 
 (* -- Component -------------------------------------------------------------- *)
@@ -118,9 +190,32 @@ let should_send_snapshot t view tset =
   if t.transfer_blind then View.mem t.me view
   else joined && Proc.Set.min_elt_opt tset = Some t.me
 
+(* Strict mode makes codec drift loud the moment an undecodable
+   command becomes totally ordered; otherwise it is tolerated and
+   counted. Newly ordered entries are exactly the log suffix past the
+   pre-event count (a reborn core restarts the count at zero, so the
+   clamped cursor read skips nothing real). *)
+let check_unknowns t ~before =
+  let entries = Tord_core.entries_from t.tc.Tord_client.core before in
+  let fresh =
+    List.fold_left
+      (fun acc (e : Tord_core.entry) ->
+        match decode e.Tord_core.payload with Unknown -> acc + 1 | _ -> acc)
+      0 entries
+  in
+  if fresh = 0 then t
+  else if t.strict then
+    raise
+      (Codec_drift
+         (Fmt.str "replica %a: %d undecodable ordered command%s" Proc.pp t.me
+            fresh
+            (if fresh = 1 then "" else "s")))
+  else { t with unknowns = t.unknowns + fresh }
+
 let apply t (a : Action.t) =
+  let before = Tord_core.total_count t.tc.Tord_client.core in
   let tc = Tord_client.apply t.tc a in
-  let t = { t with tc } in
+  let t = check_unknowns { t with tc } ~before in
   match a with
   | Action.App_view (_, view, tset) when not tc.Tord_client.crashed ->
       if should_send_snapshot t view tset then begin
@@ -152,10 +247,14 @@ let emits me (a : Action.t) =
 let observe me (st : t) =
   [ (Vsgc_ioa.Footprint.Proc_state me, Vsgc_ioa.Component.digest st) ]
 
-let def ?transfer_blind me : t Vsgc_ioa.Component.def =
+(* Under the executor strict mode defaults ON: a deployed replica that
+   orders an undecodable command has a codec-drift bug worth a crash,
+   not a skipped entry. *)
+let def ?transfer_blind ?(strict = true) ?batch_orders me :
+    t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "replica_%a" Proc.pp me;
-    init = initial ?transfer_blind me;
+    init = initial ?transfer_blind ~strict ?batch_orders me;
     accepts = accepts me;
     outputs;
     apply;
@@ -164,7 +263,7 @@ let def ?transfer_blind me : t Vsgc_ioa.Component.def =
     observe = observe me;
   }
 
-let component ?transfer_blind me =
-  let d = def ?transfer_blind me in
+let component ?transfer_blind ?strict ?batch_orders me =
+  let d = def ?transfer_blind ?strict ?batch_orders me in
   let r = ref d.Vsgc_ioa.Component.init in
   (Vsgc_ioa.Component.pack_with_ref d r, r)

@@ -11,6 +11,11 @@
 open Vsgc_types
 module Smap : Map.S with type key = string
 module Tord_client = Vsgc_totalorder.Tord_client
+module Tord_core = Vsgc_totalorder.Tord_core
+
+exception Codec_drift of string
+(** Raised in strict mode when an undecodable command reaches the
+    totally ordered log. *)
 
 type t = {
   tc : Tord_client.t;
@@ -18,16 +23,36 @@ type t = {
   transfer_blind : bool;
   snapshot_bytes : int;  (** total snapshot payload bytes multicast *)
   snapshots_sent : int;
+  strict : bool;  (** raise {!Codec_drift} on Unknown ordered commands *)
+  unknowns : int;  (** Unknown commands tolerated (non-strict mode) *)
 }
 
-val initial : ?transfer_blind:bool -> Proc.t -> t
+val initial :
+  ?transfer_blind:bool -> ?strict:bool -> ?batch_orders:bool -> Proc.t -> t
+(** [strict] defaults to [false] here (scripting contexts count codec
+    drift in {!unknowns}); the component {!def} defaults it to [true].
+    [batch_orders] selects the coalesced announcement path
+    ({!Tord_client.t.batch_orders}). *)
+
+val unknowns : t -> int
 
 (** {1 Commands and snapshots} *)
 
 val encode_set : key:string -> value:string -> string
+
+val encode_write :
+  client:int -> seq:int -> key:string -> value:string -> string
+(** A KV-service write stamped with the originating command id
+    [(client, seq)] — idempotent under retransmission, acks dedup by
+    id (DESIGN.md §15). *)
+
 val encode_snapshot : version:int -> string Smap.t -> string
 
-type cmd = Set of string * string | Snapshot of int * string Smap.t | Unknown
+type cmd =
+  | Set of string * string
+  | Write of { client : int; seq : int; key : string; value : string }
+  | Snapshot of int * string Smap.t
+  | Unknown
 
 val decode : string -> cmd
 
@@ -37,14 +62,44 @@ val state : t -> string Smap.t
 val version : t -> int
 val get : t -> string -> string option
 
+(** {1 Cursor over the ordered log}
+
+    The incremental KV store ({!Vsgc_kv.Kv_store}) consumes the log
+    through these instead of refolding {!state} per request. *)
+
+val log_length : t -> int
+(** Totally ordered entries so far (O(1)). *)
+
+val ordered_from : t -> int -> string list
+(** Ordered command payloads from global position [k], oldest first;
+    a beyond-the-log cursor (reborn core) reads as empty. *)
+
 (** {1 Scripting} *)
 
 val set : t ref -> key:string -> value:string -> unit
+
+val write :
+  t ref -> client:int -> seq:int -> key:string -> value:string -> unit
 
 (** {1 Component} *)
 
 val outputs : t -> Action.t list
 val accepts : Proc.t -> Action.t -> bool
+
 val apply : t -> Action.t -> t
-val def : ?transfer_blind:bool -> Proc.t -> t Vsgc_ioa.Component.def
-val component : ?transfer_blind:bool -> Proc.t -> Vsgc_ioa.Component.packed * t ref
+(** @raise Codec_drift in strict mode on an Unknown ordered command. *)
+
+val def :
+  ?transfer_blind:bool ->
+  ?strict:bool ->
+  ?batch_orders:bool ->
+  Proc.t ->
+  t Vsgc_ioa.Component.def
+(** [strict] defaults to [true] under the executor. *)
+
+val component :
+  ?transfer_blind:bool ->
+  ?strict:bool ->
+  ?batch_orders:bool ->
+  Proc.t ->
+  Vsgc_ioa.Component.packed * t ref

@@ -5,7 +5,14 @@
    Announcements the sequencer could not send while blocked are dropped
    at the view boundary: Virtual Synchrony means no member saw them, and
    the deterministic flush of {!Tord_core.on_view} orders the affected
-   messages identically everywhere. *)
+   messages identically everywhere.
+
+   With [batch_orders] the sequencer coalesces its whole announcement
+   backlog into one [Tord_core.encode_order_batch] multicast instead of
+   one wire message per data message — the Derecho-style batching that
+   keeps throughput wire-bound (DESIGN.md §15). The resulting total
+   order is identical to the unbatched path: a batch delivers its
+   members in announcement order. *)
 
 open Vsgc_types
 
@@ -16,12 +23,13 @@ type t = {
   me : Proc.t;
   block_status : block_status;
   to_send : string list;  (* encoded data payloads, oldest first *)
-  announce_queue : string list;  (* encoded announcements, oldest first *)
+  announce_queue : (Proc.t * int) list;  (* unsent announcements, oldest first *)
   views : (View.t * Proc.Set.t) list;  (* newest first *)
   crashed : bool;
+  batch_orders : bool;  (* coalesce the backlog into one multicast *)
 }
 
-let initial me =
+let initial ?(batch_orders = false) me =
   {
     core = Tord_core.create me;
     me;
@@ -30,6 +38,7 @@ let initial me =
     announce_queue = [];
     views = [];
     crashed = false;
+    batch_orders;
   }
 
 (* -- Scripting / observation API ----------------------------------------- *)
@@ -46,10 +55,20 @@ let last_view t = match t.views with [] -> None | v :: _ -> Some v
 
 (* -- Component ------------------------------------------------------------ *)
 
-let next_send t =
+(* The pending announcement multicast, if any: the head alone, or the
+   whole backlog in one batch payload when [batch_orders] is set. *)
+let announcement_payload t =
   match t.announce_queue with
-  | a :: _ -> Some a
-  | [] -> ( match t.to_send with d :: _ -> Some d | [] -> None)
+  | [] -> None
+  | [ (sender, index) ] -> Some (Tord_core.encode_order ~sender ~index)
+  | (sender, index) :: _ when not t.batch_orders ->
+      Some (Tord_core.encode_order ~sender ~index)
+  | batch -> Some (Tord_core.encode_order_batch batch)
+
+let next_send t =
+  match announcement_payload t with
+  | Some a -> Some a
+  | None -> ( match t.to_send with d :: _ -> Some d | [] -> None)
 
 let outputs t =
   if t.crashed then []
@@ -68,13 +87,23 @@ let accepts me (a : Action.t) =
 
 let apply t (a : Action.t) =
   if t.crashed then
-    match a with Action.Recover p when Proc.equal p t.me -> initial t.me | _ -> t
+    match a with
+    | Action.Recover p when Proc.equal p t.me ->
+        initial ~batch_orders:t.batch_orders t.me
+    | _ -> t
   else
     match a with
     | Action.App_send (_, m) -> (
         let s = Msg.App_msg.payload m in
-        match t.announce_queue with
-        | a :: rest when String.equal a s -> { t with announce_queue = rest }
+        match announcement_payload t with
+        | Some a when String.equal a s ->
+            (* A batch payload covers the whole backlog; a single
+               encoding covers exactly the head. *)
+            let announce_queue =
+              if t.batch_orders then []
+              else match t.announce_queue with _ :: rest -> rest | [] -> []
+            in
+            { t with announce_queue }
         | _ -> (
             match t.to_send with
             | d :: rest when String.equal d s -> { t with to_send = rest }
@@ -113,10 +142,10 @@ let emits me (a : Action.t) =
 let observe me (st : t) =
   [ (Vsgc_ioa.Footprint.Proc_state me, Vsgc_ioa.Component.digest st) ]
 
-let def me : t Vsgc_ioa.Component.def =
+let def ?batch_orders me : t Vsgc_ioa.Component.def =
   {
     name = Fmt.str "tord_%a" Proc.pp me;
-    init = initial me;
+    init = initial ?batch_orders me;
     accepts = accepts me;
     outputs;
     apply;
@@ -125,7 +154,7 @@ let def me : t Vsgc_ioa.Component.def =
     observe = observe me;
   }
 
-let component me =
-  let d = def me in
+let component ?batch_orders me =
+  let d = def ?batch_orders me in
   let r = ref d.Vsgc_ioa.Component.init in
   (Vsgc_ioa.Component.pack_with_ref d r, r)

@@ -11,12 +11,17 @@ type t = {
   me : Proc.t;
   block_status : block_status;
   to_send : string list;  (** encoded data payloads, oldest first *)
-  announce_queue : string list;  (** sequencer announcements, oldest first *)
+  announce_queue : (Proc.t * int) list;
+      (** unsent sequencer announcements, oldest first *)
   views : (View.t * Proc.Set.t) list;  (** newest first *)
   crashed : bool;
+  batch_orders : bool;
+      (** coalesce the announcement backlog into one multicast
+          ({!Tord_core.encode_order_batch}) — identical total order,
+          fewer wire messages *)
 }
 
-val initial : Proc.t -> t
+val initial : ?batch_orders:bool -> Proc.t -> t
 
 val push : t ref -> string -> unit
 (** Queue a payload for totally ordered multicast. *)
@@ -30,5 +35,5 @@ val last_view : t -> (View.t * Proc.Set.t) option
 val outputs : t -> Action.t list
 val accepts : Proc.t -> Action.t -> bool
 val apply : t -> Action.t -> t
-val def : Proc.t -> t Vsgc_ioa.Component.def
-val component : Proc.t -> Vsgc_ioa.Component.packed * t ref
+val def : ?batch_orders:bool -> Proc.t -> t Vsgc_ioa.Component.def
+val component : ?batch_orders:bool -> Proc.t -> Vsgc_ioa.Component.packed * t ref

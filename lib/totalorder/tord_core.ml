@@ -32,6 +32,7 @@ type t = {
   pending : entry list;  (* delivered data not yet totally ordered, oldest first *)
   order_queue : (Proc.t * int) list;  (* announcements not yet matched, oldest first *)
   total : entry list;  (* the totally ordered prefix, newest first *)
+  count : int;  (* length of [total], maintained incrementally *)
 }
 
 let create me =
@@ -43,11 +44,25 @@ let create me =
     pending = [];
     order_queue = [];
     total = [];
+    count = 0;
   }
 
 let is_sequencer t = Proc.equal t.me t.sequencer
 let view t = t.view
 let total_order t = List.rev t.total
+let total_count t = t.count
+
+(* The ordered suffix starting at global position [k] (0-based), oldest
+   first — the cursor read the KV service layers its incremental store
+   on. A cursor beyond the log (a reborn core) reads as empty. *)
+let entries_from t k =
+  if k >= t.count then []
+  else
+    let rec take n acc = function
+      | e :: rest when n > 0 -> take (n - 1) (e :: acc) rest
+      | _ -> acc
+    in
+    take (t.count - k) [] t.total
 
 (* -- Wire encoding (within opaque GCS payloads) -------------------------- *)
 
@@ -55,7 +70,28 @@ let encode_data payload = "D" ^ payload
 
 let encode_order ~sender ~index = Fmt.str "O%d:%d" (Proc.to_int sender) index
 
-type decoded = Data of string | Order of Proc.t * int | Other of string
+(* A batch of announcements in one payload — the sequencer's whole
+   backlog coalesced into a single multicast (DESIGN.md §15). The pairs
+   keep their announcement order, so delivering a batch is exactly
+   delivering its members back to back. *)
+let encode_order_batch pairs =
+  "B"
+  ^ String.concat ";"
+      (List.map (fun (s, i) -> Fmt.str "%d:%d" (Proc.to_int s) i) pairs)
+
+type decoded =
+  | Data of string
+  | Order of Proc.t * int
+  | Order_batch of (Proc.t * int) list
+  | Other of string
+
+let parse_pair part =
+  match String.split_on_char ':' part with
+  | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some sender, Some index -> Some (Proc.of_int sender, index)
+      | _ -> None)
+  | _ -> None
 
 let decode s =
   if String.length s = 0 then Other s
@@ -63,12 +99,17 @@ let decode s =
     match s.[0] with
     | 'D' -> Data (String.sub s 1 (String.length s - 1))
     | 'O' -> (
-        match String.split_on_char ':' (String.sub s 1 (String.length s - 1)) with
-        | [ a; b ] -> (
-            match (int_of_string_opt a, int_of_string_opt b) with
-            | Some sender, Some index -> Order (Proc.of_int sender, index)
-            | _ -> Other s)
-        | _ -> Other s)
+        match parse_pair (String.sub s 1 (String.length s - 1)) with
+        | Some (sender, index) -> Order (sender, index)
+        | None -> Other s)
+    | 'B' -> (
+        let body = String.sub s 1 (String.length s - 1) in
+        if body = "" then Other s
+        else
+          let parts = String.split_on_char ';' body in
+          let pairs = List.filter_map parse_pair parts in
+          if List.length pairs = List.length parts then Order_batch pairs
+          else Other s)
     | _ -> Other s
 
 (* -- Matching announcements against pending data ------------------------- *)
@@ -88,7 +129,13 @@ let rec drain t delivered =
   | (sender, index) :: rest -> (
       match take_pending t sender index with
       | Some (e, pending) ->
-          drain { t with pending; order_queue = rest; total = e :: t.total } (e :: delivered)
+          drain
+            { t with
+              pending;
+              order_queue = rest;
+              total = e :: t.total;
+              count = t.count + 1 }
+            (e :: delivered)
       | None -> (t, List.rev delivered))
   | [] -> (t, List.rev delivered)
 
@@ -96,8 +143,9 @@ let rec drain t delivered =
 
 (* A data or order message delivered by the GCS from [sender]. Returns
    the new state, the data entries that just became totally ordered,
-   and the announcements this process must multicast (non-empty only at
-   the sequencer). *)
+   and the announcement pairs this process must multicast (non-empty
+   only at the sequencer; the client layer picks the single or batched
+   encoding). *)
 let on_deliver t ~sender ~payload =
   match decode payload with
   | Data body ->
@@ -108,13 +156,15 @@ let on_deliver t ~sender ~payload =
           recv_count = Proc.Map.add sender index t.recv_count;
           pending = t.pending @ [ e ] }
       in
-      let announcements =
-        if is_sequencer t then [ encode_order ~sender ~index ] else []
-      in
+      let announcements = if is_sequencer t then [ (sender, index) ] else [] in
       let t, newly = drain t [] in
       (t, newly, announcements)
   | Order (sender, index) ->
       let t = { t with order_queue = t.order_queue @ [ (sender, index) ] } in
+      let t, newly = drain t [] in
+      (t, newly, [])
+  | Order_batch pairs ->
+      let t = { t with order_queue = t.order_queue @ pairs } in
       let t, newly = drain t [] in
       (t, newly, [])
   | Other _ -> (t, [], [])
@@ -143,6 +193,7 @@ let on_view t ~view ~transitional:_ =
       pending = [];
       order_queue = [];
       total = List.rev_append flushed t.total;
+      count = t.count + List.length flushed;
     }
   in
   (t, flushed)

@@ -26,22 +26,39 @@ val total_order : t -> entry list
 (** The totally ordered prefix, oldest first — identical at every
     member that has processed the same GCS events. *)
 
+val total_count : t -> int
+(** Length of the totally ordered prefix (O(1)). *)
+
+val entries_from : t -> int -> entry list
+(** [entries_from t k]: the ordered suffix starting at global position
+    [k] (0-based), oldest first — the cursor read the KV service layers
+    its incremental store on. Beyond-the-log cursors read as empty. *)
+
 (** {1 Wire encoding (inside opaque GCS payloads)} *)
 
 val encode_data : string -> string
 val encode_order : sender:Proc.t -> index:int -> string
 
-type decoded = Data of string | Order of Proc.t * int | Other of string
+val encode_order_batch : (Proc.t * int) list -> string
+(** The sequencer's whole announcement backlog coalesced into one
+    multicast; delivering a batch is delivering its members in order. *)
+
+type decoded =
+  | Data of string
+  | Order of Proc.t * int
+  | Order_batch of (Proc.t * int) list
+  | Other of string
 
 val decode : string -> decoded
 
 (** {1 Events} *)
 
 val on_deliver :
-  t -> sender:Proc.t -> payload:string -> t * entry list * string list
+  t -> sender:Proc.t -> payload:string -> t * entry list * (Proc.t * int) list
 (** A GCS delivery. Returns the new state, the entries that just became
-    totally ordered, and the announcements to multicast (non-empty only
-    at the sequencer). *)
+    totally ordered, and the announcement pairs to multicast (non-empty
+    only at the sequencer; the client layer picks the single or batched
+    encoding). *)
 
 val on_view : t -> view:View.t -> transitional:Proc.Set.t -> t * entry list
 (** A GCS view. Flushes the unannounced remainder in deterministic

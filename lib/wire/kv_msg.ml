@@ -1,0 +1,127 @@
+(* Request/response vocabulary of the replicated KV service.
+
+   A command id is the pair (client, seq): [client] is the load
+   client's wire identity ([Node_id.Kv_client]), [seq] its private
+   monotone counter. The id travels through the total order inside the
+   replicated command, so retransmitted requests stay idempotent and
+   both sides can dedup acknowledgements by id. *)
+
+open Vsgc_types
+
+type request =
+  | Put of { client : int; seq : int; key : string; value : string }
+  | Get of { client : int; seq : int; key : string }
+
+type response =
+  | Put_ack of { client : int; seq : int }
+  | Get_reply of { client : int; seq : int; value : string option }
+
+let request_equal a b =
+  match (a, b) with
+  | Put x, Put y ->
+      x.client = y.client && x.seq = y.seq
+      && String.equal x.key y.key
+      && String.equal x.value y.value
+  | Get x, Get y ->
+      x.client = y.client && x.seq = y.seq && String.equal x.key y.key
+  | (Put _ | Get _), _ -> false
+
+let response_equal a b =
+  match (a, b) with
+  | Put_ack x, Put_ack y -> x.client = y.client && x.seq = y.seq
+  | Get_reply x, Get_reply y ->
+      x.client = y.client && x.seq = y.seq
+      && Option.equal String.equal x.value y.value
+  | (Put_ack _ | Get_reply _), _ -> false
+
+let pp_request ppf = function
+  | Put { client; seq; key; value } ->
+      Fmt.pf ppf "put(k%d#%d,%S=%S)" client seq key value
+  | Get { client; seq; key } -> Fmt.pf ppf "get(k%d#%d,%S)" client seq key
+
+let pp_response ppf = function
+  | Put_ack { client; seq } -> Fmt.pf ppf "put_ack(k%d#%d)" client seq
+  | Get_reply { client; seq; value } ->
+      Fmt.pf ppf "get_reply(k%d#%d,%a)" client seq
+        (Fmt.option ~none:(Fmt.any "none") (Fmt.fmt "%S"))
+        value
+
+let write_request b = function
+  | Put { client; seq; key; value } ->
+      Bin.w_u8 b 1;
+      Bin.w_int b client;
+      Bin.w_int b seq;
+      Bin.w_string b key;
+      Bin.w_string b value
+  | Get { client; seq; key } ->
+      Bin.w_u8 b 2;
+      Bin.w_int b client;
+      Bin.w_int b seq;
+      Bin.w_string b key
+
+let read_request r =
+  match Bin.r_u8 r ~what:"kv_req" with
+  | 1 ->
+      let client = Bin.r_int r ~what:"kv_req.client" in
+      let seq = Bin.r_int r ~what:"kv_req.seq" in
+      let key = Bin.r_string r ~what:"kv_req.key" in
+      let value = Bin.r_string r ~what:"kv_req.value" in
+      Put { client; seq; key; value }
+  | 2 ->
+      let client = Bin.r_int r ~what:"kv_req.client" in
+      let seq = Bin.r_int r ~what:"kv_req.seq" in
+      let key = Bin.r_string r ~what:"kv_req.key" in
+      Get { client; seq; key }
+  | tag -> Bin.fail (Bad_tag { what = "kv_req"; tag })
+
+let write_response b = function
+  | Put_ack { client; seq } ->
+      Bin.w_u8 b 1;
+      Bin.w_int b client;
+      Bin.w_int b seq
+  | Get_reply { client; seq; value } ->
+      Bin.w_u8 b 2;
+      Bin.w_int b client;
+      Bin.w_int b seq;
+      (match value with
+      | None -> Bin.w_u8 b 0
+      | Some v ->
+          Bin.w_u8 b 1;
+          Bin.w_string b v)
+
+let read_response r =
+  match Bin.r_u8 r ~what:"kv_resp" with
+  | 1 ->
+      let client = Bin.r_int r ~what:"kv_resp.client" in
+      let seq = Bin.r_int r ~what:"kv_resp.seq" in
+      Put_ack { client; seq }
+  | 2 ->
+      let client = Bin.r_int r ~what:"kv_resp.client" in
+      let seq = Bin.r_int r ~what:"kv_resp.seq" in
+      let value =
+        match Bin.r_u8 r ~what:"kv_resp.some" with
+        | 0 -> None
+        | 1 -> Some (Bin.r_string r ~what:"kv_resp.value")
+        | tag -> Bin.fail (Bad_tag { what = "kv_resp.some"; tag })
+      in
+      Get_reply { client; seq; value }
+  | tag -> Bin.fail (Bad_tag { what = "kv_resp"; tag })
+
+let request_size_hint = function
+  | Put { key; value; _ } -> 32 + String.length key + String.length value
+  | Get { key; _ } -> 32 + String.length key
+
+let response_size_hint = function
+  | Put_ack _ -> 32
+  | Get_reply { value; _ } ->
+      32 + match value with None -> 0 | Some v -> String.length v
+
+let request_to_bytes t =
+  Bin.to_bytes ~hint:(request_size_hint t) write_request t
+
+let request_of_bytes buf = Bin.run read_request buf
+
+let response_to_bytes t =
+  Bin.to_bytes ~hint:(response_size_hint t) write_response t
+
+let response_of_bytes buf = Bin.run read_response buf

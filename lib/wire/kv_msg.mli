@@ -1,0 +1,38 @@
+(** Request/response vocabulary of the replicated KV service
+    (DESIGN.md §15). A command id is the pair [(client, seq)] — it
+    rides inside the replicated command, so retransmissions are
+    idempotent and acknowledgements dedup by id. *)
+
+open Vsgc_types
+
+type request =
+  | Put of { client : int; seq : int; key : string; value : string }
+  | Get of { client : int; seq : int; key : string }
+
+type response =
+  | Put_ack of { client : int; seq : int }
+  | Get_reply of { client : int; seq : int; value : string option }
+
+val request_equal : request -> request -> bool
+val response_equal : response -> response -> bool
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit
+val write_request : Bin.wbuf -> request -> unit
+val write_response : Bin.wbuf -> response -> unit
+
+val read_request : Bin.reader -> request
+(** @raise Bin.Error *)
+
+val read_response : Bin.reader -> response
+(** @raise Bin.Error *)
+
+val request_size_hint : request -> int
+val response_size_hint : response -> int
+val request_to_bytes : request -> bytes
+val response_to_bytes : response -> bytes
+
+val request_of_bytes : bytes -> (request, Bin.error) result
+(** Total: never raises on malformed input. *)
+
+val response_of_bytes : bytes -> (response, Bin.error) result
+(** Total: never raises on malformed input. *)

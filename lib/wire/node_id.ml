@@ -1,28 +1,34 @@
 (* Network-level endpoint identities.
 
-   A node on the wire is either a GCS client end-point (a [Proc.t]) or
-   a membership server (a [Server.t]). The two id spaces overlap as
-   integers, so the wire identity carries the role tag. *)
+   A node on the wire is a GCS client end-point (a [Proc.t]), a
+   membership server (a [Server.t]), or a KV load client that speaks
+   only the request/response protocol and never joins the group. The
+   id spaces overlap as integers, so the wire identity carries the
+   role tag. *)
 
 open Vsgc_types
 
-type t = Client of Proc.t | Server of Server.t
+type t = Client of Proc.t | Server of Server.t | Kv_client of int
 
 let client p = Client p
 let server s = Server s
+let kv_client k = Kv_client k
+
+let rank = function Client _ -> 0 | Server _ -> 1 | Kv_client _ -> 2
 
 let compare a b =
   match (a, b) with
   | Client p, Client q -> Proc.compare p q
   | Server s, Server t -> Server.compare s t
-  | Client _, Server _ -> -1
-  | Server _, Client _ -> 1
+  | Kv_client k, Kv_client l -> Int.compare k l
+  | (Client _ | Server _ | Kv_client _), _ -> Int.compare (rank a) (rank b)
 
 let equal a b = compare a b = 0
 
 let pp ppf = function
   | Client p -> Proc.pp ppf p
   | Server s -> Server.pp ppf s
+  | Kv_client k -> Fmt.pf ppf "k%d" k
 
 let to_string t = Fmt.str "%a" pp t
 
@@ -33,11 +39,15 @@ let write b = function
   | Server s ->
       Bin.w_u8 b 1;
       Server.write b s
+  | Kv_client k ->
+      Bin.w_u8 b 2;
+      Bin.w_int b k
 
 let read r =
   match Bin.r_u8 r ~what:"node_id" with
   | 0 -> Client (Proc.read r)
   | 1 -> Server (Server.read r)
+  | 2 -> Kv_client (Bin.r_int r ~what:"node_id.kv")
   | tag -> Bin.fail (Bad_tag { what = "node_id"; tag })
 
 module Map = Map.Make (struct

@@ -1,13 +1,15 @@
 (** Network-level endpoint identities: a node is a GCS client
-    end-point or a membership server. The integer id spaces overlap,
-    so the wire identity carries the role tag. *)
+    end-point, a membership server, or a KV load client (request /
+    response only — never a group member). The integer id spaces
+    overlap, so the wire identity carries the role tag. *)
 
 open Vsgc_types
 
-type t = Client of Proc.t | Server of Server.t
+type t = Client of Proc.t | Server of Server.t | Kv_client of int
 
 val client : Proc.t -> t
 val server : Server.t -> t
+val kv_client : int -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

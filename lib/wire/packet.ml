@@ -12,7 +12,9 @@
    - [Join]/[Leave]   a client (de)registering with its membership
                       server.
    - [Start_change]   server -> client: the mb_start_change event.
-   - [View]           server -> client: the mb_view event. *)
+   - [View]           server -> client: the mb_view event.
+   - [Kv_req]         load client -> kv-server: a KV service request.
+   - [Kv_resp]        kv-server -> load client: the acknowledgement. *)
 
 open Vsgc_types
 
@@ -24,6 +26,8 @@ type t =
   | Leave of Proc.t
   | Start_change of { target : Proc.t; cid : View.Sc_id.t; set : Proc.Set.t }
   | View of { target : Proc.t; view : View.t }
+  | Kv_req of Kv_msg.request
+  | Kv_resp of Kv_msg.response
 
 let equal a b =
   match (a, b) with
@@ -36,7 +40,10 @@ let equal a b =
       && View.Sc_id.equal x.cid y.cid
       && Proc.Set.equal x.set y.set
   | View x, View y -> Proc.equal x.target y.target && View.equal x.view y.view
-  | ( ( Hello _ | Rf _ | Srv _ | Join _ | Leave _ | Start_change _ | View _ ),
+  | Kv_req x, Kv_req y -> Kv_msg.request_equal x y
+  | Kv_resp x, Kv_resp y -> Kv_msg.response_equal x y
+  | ( ( Hello _ | Rf _ | Srv _ | Join _ | Leave _ | Start_change _ | View _
+      | Kv_req _ | Kv_resp _ ),
       _ ) ->
       false
 
@@ -51,6 +58,8 @@ let pp ppf = function
         Proc.Set.pp set
   | View { target; view } ->
       Fmt.pf ppf "view(%a,%a)" Proc.pp target View.pp view
+  | Kv_req req -> Fmt.pf ppf "kv_req(%a)" Kv_msg.pp_request req
+  | Kv_resp resp -> Fmt.pf ppf "kv_resp(%a)" Kv_msg.pp_response resp
 
 let to_string t = Fmt.str "%a" pp t
 
@@ -81,6 +90,12 @@ let write b = function
       Bin.w_u8 b 7;
       Proc.write b target;
       View.write b view
+  | Kv_req req ->
+      Bin.w_u8 b 8;
+      Kv_msg.write_request b req
+  | Kv_resp resp ->
+      Bin.w_u8 b 9;
+      Kv_msg.write_response b resp
 
 let read r =
   match Bin.r_u8 r ~what:"packet" with
@@ -106,6 +121,8 @@ let read r =
       let target = Proc.read r in
       let view = View.read r in
       View { target; view }
+  | 8 -> Kv_req (Kv_msg.read_request r)
+  | 9 -> Kv_resp (Kv_msg.read_response r)
   | tag -> Bin.fail (Bad_tag { what = "packet"; tag })
 
 (* A cheap lower bound on the encoded size, so encode paths size their
@@ -114,6 +131,8 @@ let read r =
    ones fall back to the default scratch size. *)
 let size_hint = function
   | Rf { wire; _ } -> 16 + Msg.Wire.size_bytes wire
+  | Kv_req req -> 16 + Kv_msg.request_size_hint req
+  | Kv_resp resp -> 16 + Kv_msg.response_size_hint resp
   | Srv _ | View _ | Start_change _ | Hello _ | Join _ | Leave _ -> 64
 
 let to_bytes t = Bin.to_bytes ~hint:(size_hint t) write t

@@ -16,6 +16,8 @@ type t =
       (** server -> client mb_start_change event *)
   | View of { target : Proc.t; view : View.t }
       (** server -> client mb_view event *)
+  | Kv_req of Kv_msg.request  (** load client -> kv-server request *)
+  | Kv_resp of Kv_msg.response  (** kv-server -> load client reply *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -103,9 +103,52 @@ let test_transitional_sets_cut_state_transfer () =
     (Fmt.str "blind transfer costs more (%d > %d)" blind with_ts)
     true (blind > with_ts)
 
+let test_state_transfer_under_load () =
+  (* A joiner catches up via the transitional-set snapshot WHILE the
+     incumbents keep writing: interleave small executor bursts with
+     fresh writes across the merge instead of letting it settle first.
+     Afterwards every replica must be byte-identical and hold the
+     pre-merge state, the joiner's own state, and every in-flight
+     write. *)
+  let sys, rep = build ~seed:95 ~n:3 () in
+  ignore (System.reconfigure sys ~origin:0 ~set:(Proc.Set.of_range 0 1));
+  ignore (System.reconfigure sys ~origin:1 ~set:(Proc.Set.singleton 2));
+  System.settle sys;
+  for i = 1 to 5 do
+    Replica.write (rep 0) ~client:1 ~seq:i ~key:(Fmt.str "pre%d" i) ~value:"p"
+  done;
+  Replica.set (rep 2) ~key:"joiner" ~value:"j";
+  System.settle sys;
+  (* merge, and keep the load running while the view change and the
+     snapshot transfer are still in flight *)
+  ignore (System.reconfigure sys ~origin:0 ~set:(Proc.Set.of_range 0 2));
+  for i = 1 to 8 do
+    ignore (System.run ~max_steps:15 sys);
+    Replica.write (rep (i mod 2)) ~client:2 ~seq:i
+      ~key:(Fmt.str "mid%d" i) ~value:"m"
+  done;
+  System.settle sys;
+  let s0 = Replica.state !(rep 0) in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Fmt.str "replica %d byte-identical to replica 0" p)
+        true
+        (states_equal s0 (Replica.state !(rep p))))
+    [ 1; 2 ];
+  Alcotest.(check bool) "joiner kept its own key" true
+    (Replica.get !(rep 0) "joiner" = Some "j");
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present everywhere") true
+        (Replica.get !(rep 2) k <> None))
+    [ "pre1"; "pre5"; "mid1"; "mid8" ]
+
 let suite =
   [
     Alcotest.test_case "replicas converge" `Quick test_replicas_converge;
+    Alcotest.test_case "state transfer under load" `Quick
+      test_state_transfer_under_load;
     Alcotest.test_case "joiner catches up via snapshot" `Quick test_joiner_catches_up;
     Alcotest.test_case "writes after merge" `Quick test_writes_after_merge;
     Alcotest.test_case "transitional sets cut state transfer" `Quick

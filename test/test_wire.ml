@@ -10,6 +10,7 @@ open Vsgc_types
 module Packet = Vsgc_wire.Packet
 module Frame = Vsgc_wire.Frame
 module Node_id = Vsgc_wire.Node_id
+module Kv_msg = Vsgc_wire.Kv_msg
 module Gen = QCheck.Gen
 
 (* -- Generators ---------------------------------------------------------- *)
@@ -108,6 +109,30 @@ let gen_node_id =
     [
       Gen.map (fun p -> Node_id.Client p) gen_proc;
       Gen.map (fun s -> Node_id.Server s) gen_server;
+      Gen.map (fun c -> Node_id.Kv_client c) (Gen.int_range 0 500);
+    ]
+
+let gen_kv_req =
+  let gen_id = Gen.pair (Gen.int_range 0 500) (Gen.int_range 0 10_000) in
+  Gen.oneof
+    [
+      Gen.map2
+        (fun (client, seq) (key, value) -> Kv_msg.Put { client; seq; key; value })
+        gen_id (Gen.pair gen_payload gen_payload);
+      Gen.map2
+        (fun (client, seq) key -> Kv_msg.Get { client; seq; key })
+        gen_id gen_payload;
+    ]
+
+let gen_kv_resp =
+  let gen_id = Gen.pair (Gen.int_range 0 500) (Gen.int_range 0 10_000) in
+  Gen.oneof
+    [
+      Gen.map (fun (client, seq) -> Kv_msg.Put_ack { client; seq }) gen_id;
+      Gen.map2
+        (fun (client, seq) value -> Kv_msg.Get_reply { client; seq; value })
+        gen_id
+        (Gen.option gen_payload);
     ]
 
 let gen_packet =
@@ -130,6 +155,8 @@ let gen_packet =
         Gen.map2
           (fun target view -> Packet.View { target; view })
           gen_proc gen_view );
+      (1, Gen.map (fun req -> Packet.Kv_req req) gen_kv_req);
+      (1, Gen.map (fun resp -> Packet.Kv_resp resp) gen_kv_resp);
     ]
 
 (* -- Round-trip properties ----------------------------------------------- *)
@@ -156,6 +183,16 @@ let prop_srv_msg =
 let prop_node_id =
   roundtrip ~name:"node id roundtrip" ~count:200 gen_node_id Node_id.write
     Node_id.read Node_id.equal Node_id.pp
+
+let prop_kv_req =
+  roundtrip ~name:"kv request roundtrip" ~count:1000 gen_kv_req
+    Kv_msg.write_request Kv_msg.read_request Kv_msg.request_equal
+    Kv_msg.pp_request
+
+let prop_kv_resp =
+  roundtrip ~name:"kv response roundtrip" ~count:1000 gen_kv_resp
+    Kv_msg.write_response Kv_msg.read_response Kv_msg.response_equal
+    Kv_msg.pp_response
 
 let prop_packet =
   roundtrip ~name:"packet roundtrip" ~count:1000 gen_packet Packet.write
@@ -199,6 +236,8 @@ let test_fuzz_total () =
       ("wire", fun b -> Result.is_ok (Bin.run Msg.Wire.read b));
       ("srv_msg", fun b -> Result.is_ok (Bin.run Srv_msg.read b));
       ("view", fun b -> Result.is_ok (Bin.run View.read b));
+      ("kv_req", fun b -> Result.is_ok (Bin.run Kv_msg.read_request b));
+      ("kv_resp", fun b -> Result.is_ok (Bin.run Kv_msg.read_response b));
     ]
   in
   let oks = ref 0 and errs = ref 0 in
@@ -244,6 +283,8 @@ let test_fuzz_total () =
               };
         };
       Packet.View { target = 1; view = View.initial 1 };
+      Packet.Kv_req (Kv_msg.Put { client = 1; seq = 2; key = "k"; value = "v" });
+      Packet.Kv_resp (Kv_msg.Get_reply { client = 1; seq = 2; value = None });
     ]
   in
   for _ = 1 to 3_000 do
@@ -419,6 +460,8 @@ let suite =
       prop_wire;
       prop_srv_msg;
       prop_node_id;
+      prop_kv_req;
+      prop_kv_resp;
       prop_packet;
       prop_frame;
       prop_prefix;
