@@ -81,6 +81,12 @@ let record_san fields = san_rows := Json.Obj fields :: !san_rows
 let kv_rows : Json.t list ref = ref []
 let record_kv fields = kv_rows := Json.Obj fields :: !kv_rows
 
+(* E18's bake-off rows — the sequencer-based GCS arm against the
+   symmetric (Skeen-style) arm, same load, same faults — land in
+   BENCH_bakeoff.json. *)
+let bakeoff_rows : Json.t list ref = ref []
+let record_bakeoff fields = bakeoff_rows := Json.Obj fields :: !bakeoff_rows
+
 let write_file file rows =
   match List.rev rows with
   | [] -> ()
@@ -96,7 +102,8 @@ let write_rows () =
     write_file "BENCH_wire.json" !bench_rows;
     write_file "BENCH_hotpath.json" !hot_rows;
     write_file "BENCH_sanitize.json" !san_rows;
-    write_file "BENCH_kv.json" !kv_rows
+    write_file "BENCH_kv.json" !kv_rows;
+    write_file "BENCH_bakeoff.json" !bakeoff_rows
   end
 
 (* -- Round-measurement helpers ------------------------------------------- *)
@@ -939,6 +946,138 @@ let e17 () =
     (float_of_int u.Kv_system.wire_delivered
     /. float_of_int (max 1 b.Kv_system.wire_delivered))
 
+(* -- E18: the bake-off — sequencer (GCS) vs symmetric (Skeen) total order ------ *)
+
+(* Both total-order arms of DESIGN.md §16, head-to-head on the wire:
+   the same KV edge, the same open-loop generator and histogram, the
+   same chaos fault schedules (partition-heal, crash-rejoin,
+   lossy-spike), at n in {3,5,8} — only the ordering protocol differs.
+   Every run is spec-checked: the GCS arm carries the networked
+   service-level battery, the symmetric arm additionally carries the
+   Skeen delivery-condition monitor, and a monitor violation fails the
+   bench outright. The correctness gate across arms: unique keys per
+   write mean the final stores are order-independent, so the two arms'
+   stores must be byte-identical whenever both apply the same command
+   set — asserted per mode, per n. *)
+
+let e18 () =
+  section "E18"
+    "bake-off: sequencer (GCS) vs symmetric (Skeen) total order on the wire";
+  let count = if !smoke then 60 else 300 in
+  let rate = 2.0 and homes = [ 0; 2 ] and clients = 2 in
+  let quiet_knobs = { Loopback.default_knobs with Loopback.delay = 1 } in
+  let scripts n =
+    let others =
+      List.filter_map
+        (fun p -> if p = 0 || p = 2 then None else Some (Node_id.Client p))
+        (List.init n Fun.id)
+    in
+    let split =
+      [
+        [ Node_id.Client 0; Node_id.Client 2; Node_id.Server 0 ];
+        Node_id.Server 1 :: others;
+      ]
+    in
+    [
+      ("quiet", [], 0.0);
+      ( "partition-heal",
+        [ (40, Kv_system.Partition split); (160, Kv_system.Heal) ],
+        0.0 );
+      ( "crash-rejoin",
+        [ (50, Kv_system.Crash 1); (150, Kv_system.Restart 1) ],
+        0.0 );
+      (* Dropped KV packets are invisible to the ordering layer, so the
+         lossy mode arms the load generator's retransmission. *)
+      ( "lossy-spike",
+        [
+          ( 20,
+            Kv_system.Spike
+              { Loopback.delay = 2; drop = 0.2; reorder = 0.25 } );
+          (120, Kv_system.Spike quiet_knobs);
+        ],
+        80.0 );
+    ]
+  in
+  let monitors_for = function
+    | `Gcs -> Vsgc_spec.All.net_selfstab ()
+    | `Sym -> Vsgc_spec.All.net_sym ()
+  in
+  rowf "%4s %6s %16s  %9s  %7s %5s %5s %6s  %9s  %10s@." "n" "arm" "mode"
+    "acked" "cmds/s" "p50" "p99" "p999" "wire pkts" "wire bytes";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (mode, script, retransmit_after) ->
+          let run arm =
+            let t0 = Unix.gettimeofday () in
+            let r =
+              Kv_system.slo_run ~seed:18 ~batch:true ~arm
+                ~monitors:(monitors_for arm) ~n ~n_servers:2 ~homes ~clients
+                ~rate ~count ~retransmit_after ~script ()
+            in
+            (r, Unix.gettimeofday () -. t0)
+          in
+          let check arm (r : Kv_system.report) =
+            let what = Fmt.str "%s/%s n=%d" arm mode n in
+            if r.Kv_system.acked <> r.Kv_system.sent then
+              failwith
+                (Fmt.str "E18 %s: %d/%d acked" what r.Kv_system.acked
+                   r.Kv_system.sent);
+            if r.Kv_system.lost_acks <> 0 then
+              failwith (Fmt.str "E18 %s: %d lost acks" what r.Kv_system.lost_acks);
+            if not r.Kv_system.converged then
+              failwith (Fmt.str "E18 %s: stores diverged" what)
+          in
+          let row name (r : Kv_system.report) wall =
+            let cmds_per_sec = float_of_int r.Kv_system.acked /. wall in
+            rowf "%4d %6s %16s  %4d/%-4d  %7.0f %5d %5d %6d  %9d  %10d@." n
+              name mode r.Kv_system.acked r.Kv_system.sent cmds_per_sec
+              r.Kv_system.p50 r.Kv_system.p99 r.Kv_system.p999
+              r.Kv_system.wire_delivered r.Kv_system.wire_bytes;
+            record_bakeoff
+              [
+                ("exp", Json.Str "E18");
+                ("arm", Json.Str name);
+                ("mode", Json.Str mode);
+                ("n", Json.Int n);
+                ("clients", Json.Int clients);
+                ("rate", Json.Num rate);
+                ("count", Json.Int count);
+                ("sent", Json.Int r.Kv_system.sent);
+                ("acked", Json.Int r.Kv_system.acked);
+                ("lost_acks", Json.Int r.Kv_system.lost_acks);
+                ("retransmits", Json.Int r.Kv_system.retransmits);
+                ("cmds_per_sec", Json.Num cmds_per_sec);
+                ("p50_ticks", Json.Int r.Kv_system.p50);
+                ("p99_ticks", Json.Int r.Kv_system.p99);
+                ("p999_ticks", Json.Int r.Kv_system.p999);
+                ("max_stall_ticks", Json.Num r.Kv_system.max_stall);
+                ("rounds", Json.Int r.Kv_system.rounds);
+                ("wire_delivered", Json.Int r.Kv_system.wire_delivered);
+                ("wire_bytes", Json.Int r.Kv_system.wire_bytes);
+                ("converged", Json.Str (string_of_bool r.Kv_system.converged));
+              ]
+          in
+          let g, gw = run `Gcs in
+          let s, sw = run `Sym in
+          check "gcs" g;
+          check "sym" s;
+          (* cross-arm gate: unique keys, same command set => same bytes *)
+          List.iter
+            (fun (p, dg) ->
+              match List.assoc_opt p s.Kv_system.digests with
+              | Some ds when String.equal dg ds -> ()
+              | Some _ ->
+                  failwith
+                    (Fmt.str "E18 %s n=%d: arms disagree on p%d's store" mode n
+                       p)
+              | None -> ())
+            g.Kv_system.digests;
+          row "gcs" g gw;
+          row "sym" s sw)
+        (scripts n))
+    [ 3; 5; 8 ]
+
 (* -- Driver ------------------------------------------------------------------ *)
 
 let all : (string * string * (unit -> unit)) list =
@@ -957,6 +1096,7 @@ let all : (string * string * (unit -> unit)) list =
     ("E14", "hot-path codec + transport", e14);
     ("E16", "effect-sanitizer overhead", e16);
     ("E17", "replicated KV service: load, batching, SLO", e17);
+    ("E18", "total-order bake-off: GCS sequencer vs symmetric Skeen", e18);
   ]
 
 let () =

@@ -238,11 +238,14 @@ let spin_kv node tr =
   List.iter (fun (dst, pkt) -> Transport.send tr dst pkt) (Kv_node.step node);
   List.length events
 
-let run_kv_server id attach listen peers seed batch timeout =
+let run_kv_server arm id attach listen peers seed batch timeout =
   let me = Node_id.client id in
   let tr = Tcp.create (Tcp.config ~listen ~peers me) in
-  let node = Kv_node.create ~seed ~batch ~attach:(Server.of_int attach) id in
-  Fmt.pr "READY %s batch=%b@." (Node_id.to_string me) batch;
+  let node =
+    Kv_node.create ~seed ~batch ~arm ~attach:(Server.of_int attach) id
+  in
+  Fmt.pr "READY %s batch=%b arm=%s@." (Node_id.to_string me) batch
+    (match arm with `Gcs -> "gcs" | `Sym -> "sym");
   let deadline = deadline_of timeout in
   let seen_views = ref 0 and last_digest = ref "" in
   let report () =
@@ -392,7 +395,7 @@ let kv_server_cmd =
   Cmd.v
     (Cmd.info "kv-server" ~doc)
     Term.(
-      const run_kv_server $ id_arg $ attach_arg $ listen_arg $ peers_arg
+      const (run_kv_server `Gcs) $ id_arg $ attach_arg $ listen_arg $ peers_arg
       $ seed_arg $ batch_arg $ timeout_arg ~default:0.0)
 
 let kv_load_cmd =
@@ -404,9 +407,45 @@ let kv_load_cmd =
       $ key_space_arg $ value_bytes_arg $ retransmit_arg
       $ timeout_arg ~default:60.0)
 
+(* -- Symmetric-arm roles (DESIGN.md §16) ----------------------------------- *)
+
+(* The symmetric arm reuses the whole KV edge — same Kv_req/Kv_resp
+   packets, same store, same load protocol — with the sequencer-based
+   replica swapped for the Skeen-ordered one. *)
+let sym_server_cmd =
+  let doc =
+    "run a replicated KV server whose writes are ordered by the symmetric \
+     (Skeen-style) total-order protocol instead of the GCS sequencer"
+  in
+  Cmd.v
+    (Cmd.info "sym-server" ~doc)
+    Term.(
+      const (run_kv_server `Sym) $ id_arg $ attach_arg $ listen_arg $ peers_arg
+      $ seed_arg $ batch_arg $ timeout_arg ~default:0.0)
+
+let sym_load_cmd =
+  let doc =
+    "run an open-loop KV load generator against one sym-server (the same \
+     generator as kv-load; the name records which arm the deployment runs)"
+  in
+  Cmd.v
+    (Cmd.info "sym-load" ~doc)
+    Term.(
+      const run_kv_load $ id_arg $ peers_arg $ rate_arg $ count_arg
+      $ key_space_arg $ value_bytes_arg $ retransmit_arg
+      $ timeout_arg ~default:60.0)
+
 let () =
   let doc = "a vsgc group-multicast node over TCP" in
   let info = Cmd.info "vsgc_node" ~doc ~version:"%%VERSION%%" in
   exit
     (Cmd.eval
-       (Cmd.group info [ server_cmd; client_cmd; kv_server_cmd; kv_load_cmd ]))
+       (Cmd.group info
+          [
+            server_cmd;
+            client_cmd;
+            kv_server_cmd;
+            kv_load_cmd;
+            sym_server_cmd;
+            sym_load_cmd;
+          ]))

@@ -41,6 +41,12 @@ let quiet = ref false
 let corrupt = ref false
 let want_detection = ref false
 let soak_steps = ref 1_000_000
+let arm = ref `Gcs
+
+let arm_of_string = function
+  | "gcs" -> `Gcs
+  | "sym" -> `Sym
+  | s -> die "bad -arm %S (want gcs|sym)" s
 
 let find_opts =
   [
@@ -58,6 +64,9 @@ let find_opts =
     ( "-layer",
       Arg.String (fun s -> layer := layer_of_string s),
       "L wv|vs|full (default full)" );
+    ( "-arm",
+      Arg.String (fun s -> arm := arm_of_string s),
+      "A gcs|sym client automaton to deploy (default gcs)" );
     ("-delay", Arg.Set_int delay, "D baseline delay knob (default 1)");
     ("-o", Arg.Set_string out, "FILE save the (shrunk) finding here");
     ("-quiet", Arg.Set quiet, " only print the outcome line");
@@ -75,6 +84,7 @@ let cmd_find args =
       F.Chaos.clients = !clients;
       servers = !servers;
       layer = !layer;
+      arm = !arm;
       knobs = { Vsgc_net.Loopback.default_knobs with delay = !delay };
       fault_blocks = !blocks;
       corruption = !corrupt || !want_detection;
@@ -230,6 +240,7 @@ let cmd_soak args =
       F.Chaos.clients = !clients;
       servers = !servers;
       layer = !layer;
+      arm = !arm;
       knobs = { Vsgc_net.Loopback.default_knobs with delay = !delay };
       fault_blocks = !blocks;
       corruption = true;

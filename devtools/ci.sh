@@ -4,9 +4,10 @@
 # reproduced deterministically from the saved file), static vet, the
 # fault corpus replayed against pinned fingerprints, a seeded chaos
 # sweep (crash faults and state corruption), the KV service SLO gate
-# (chaos kv-slo, both stable-delivery modes), and three socket smokes —
-# plain agreement, SIGKILL-and-rejoin, and the replicated KV service
-# under a mid-load server kill. Everything carries a hard timeout.
+# (chaos kv-slo, both stable-delivery modes), and four socket smokes —
+# plain agreement, SIGKILL-and-rejoin, the replicated KV service under
+# a mid-load server kill, and the symmetric Skeen arm under the same
+# kill-and-rejoin script. Everything carries a hard timeout.
 #
 #   ci.sh [-smoke]   the fast gate above (default)
 #   ci.sh -soak      the gate plus the §13 soak: the full schedule +
@@ -135,12 +136,15 @@ done
 # asserts both modes take the identical step count), E14 (the
 # zero-copy codec path; asserts legacy and pooled encodes agree
 # byte-for-byte), E16 (sanitizer overhead; asserts a sanitized run
-# is step- and fingerprint-identical to an unsanitized one), and E17
+# is step- and fingerprint-identical to an unsanitized one), E17
 # (the KV service; asserts batched and unbatched stable delivery
 # produce byte-identical stores with strictly fewer apply rounds, and
-# zero lost acks under the partition-heal script) at reduced
-# iterations, JSON output suppressed.
-dune exec -- bench/main.exe -smoke E13 E14 E16 E17 > /dev/null
+# zero lost acks under the partition-heal script), and E18 (the
+# total-order bake-off; asserts both arms ack every command under
+# every fault mode, the Skeen monitor and GCS invariant battery stay
+# green, and the two arms' final stores are byte-identical) at
+# reduced iterations, JSON output suppressed.
+dune exec -- bench/main.exe -smoke E13 E14 E16 E17 E18 > /dev/null
 
 # KV SLO gate: the open-loop load generator across scripted
 # partition-heal and crash-rejoin reconfigurations on the loopback
@@ -303,6 +307,73 @@ while :; do
   sleep 0.1
 done
 kill "$vs0" "$vp0" "$vp1" 2>/dev/null || true
+
+# Symmetric-arm socket smoke: the Skeen-style total order over real
+# sockets (DESIGN.md §16). Same shape as the KV smoke — one membership
+# server, two sym-servers, one open-loop load client — but every write
+# is ordered by the symmetric (ts, sender) protocol instead of the
+# sequencer, and the Skeen delivery-condition monitor rides inside
+# each node. p1 is SIGKILLed mid-load and a new incarnation rejoins;
+# the load must finish with zero lost acknowledged writes and both
+# sym-servers must settle on the identical store digest.
+symdir=$(mktemp -d /tmp/vsgc-sym-XXXXXX)
+trap 'rm -rf "$tmp" "$schdir" "$smokedir" "$killdir" "$kvdir" "$symdir"' EXIT
+yport=$((port + 300))
+sym_fail() {
+  echo "ci: FAIL: sym socket smoke: $1" >&2
+  for f in "$symdir"/*.log; do echo "--- $f"; cat "$f"; done >&2
+  kill -9 "$ys0" "$yp0" "$yp1" "$yk0" 2>/dev/null || true
+  exit 1
+}
+sym_wait() { # FILE PATTERN TENTH_SECS WHAT [MIN_COUNT]
+  i=0
+  until [ "$(grep -c "$2" "$1" 2>/dev/null || true)" -ge "${5:-1}" ]; do
+    i=$((i + 1))
+    [ "$i" -ge "$3" ] && sym_fail "timed out waiting for $4"
+    sleep 0.1
+  done
+}
+"$node" server --id 0 --listen 127.0.0.1:$yport --timeout 45 \
+  > "$symdir/s0.log" 2>&1 &
+ys0=$!
+"$node" sym-server --id 0 --listen 127.0.0.1:$((yport+1)) \
+  --peer s0=127.0.0.1:$yport --timeout 40 > "$symdir/p0.log" 2>&1 &
+yp0=$!
+"$node" sym-server --id 1 --listen 127.0.0.1:$((yport+2)) \
+  --peer s0=127.0.0.1:$yport --peer p0=127.0.0.1:$((yport+1)) \
+  --timeout 40 > "$symdir/p1.log" 2>&1 &
+yp1=$!
+sym_wait "$symdir/p0.log" '^VIEW .*members={p0,p1}' 200 "the full sym view"
+"$node" sym-load --id 0 --peer p0=127.0.0.1:$((yport+1)) \
+  --rate 100 --count 300 --retransmit 0.5 --timeout 30 \
+  > "$symdir/k0.log" 2>&1 &
+yk0=$!
+sym_wait "$symdir/p1.log" '^STORE .*applied=[1-9]' 150 \
+  "symmetric-arm replicated writes at p1"
+kill -9 "$yp1" 2>/dev/null || true
+sym_wait "$symdir/p0.log" '^VIEW .*members={p0}$' 200 \
+  "the survivor's singleton view"
+"$node" sym-server --id 1 --listen 127.0.0.1:$((yport+3)) \
+  --peer s0=127.0.0.1:$yport --peer p0=127.0.0.1:$((yport+1)) \
+  --timeout 35 > "$symdir/p1b.log" 2>&1 &
+yp1=$!
+sym_wait "$symdir/p0.log" '^VIEW .*members={p0,p1}' 250 \
+  "the reborn sym-server's rejoin" 2
+wait "$yk0" || sym_fail "load client exited non-zero (lost acks or timeout)"
+grep -q '^KVLOAD .*lost=0 ' "$symdir/k0.log" \
+  || sym_fail "load client reported lost acknowledged writes"
+# Per-arm digest equality: both sym-servers must settle on the same
+# final store digest, the reborn one refolded through the transfer.
+i=0
+while :; do
+  d0=$(grep '^STORE ' "$symdir/p0.log" | tail -1 | sed 's/.*digest=\([^ ]*\).*/\1/')
+  d1=$(grep '^STORE ' "$symdir/p1b.log" | tail -1 | sed 's/.*digest=\([^ ]*\).*/\1/')
+  [ -n "$d0" ] && [ "$d0" = "$d1" ] && break
+  i=$((i + 1))
+  [ "$i" -ge 150 ] && sym_fail "sym store digests never converged ($d0 vs $d1)"
+  sleep 0.1
+done
+kill "$ys0" "$yp0" "$yp1" 2>/dev/null || true
 
 # Soak (-soak only): the whole corpus and >= 1M corruption-enabled
 # chaos steps, under both scheduler modes. Any violation, fingerprint

@@ -35,7 +35,10 @@ module Executor = Vsgc_ioa.Executor
 
 let env_category = function
   | Action.C_crash | Action.C_recover | Action.C_rf_live | Action.C_rf_lose
-  | Action.C_fd_change | Action.C_client_join | Action.C_client_leave -> true
+  | Action.C_fd_change | Action.C_client_join | Action.C_client_leave
+  (* delivery reports: emitted for the monitors/harness, no component
+     reader by design *)
+  | Action.C_sym_deliver -> true
   | Action.C_app_send | Action.C_app_deliver | Action.C_app_view | Action.C_block
   | Action.C_block_ok | Action.C_mb_start_change | Action.C_mb_view
   | Action.C_rf_send | Action.C_rf_deliver | Action.C_rf_reliable

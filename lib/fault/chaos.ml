@@ -25,6 +25,7 @@ type config = {
   clients : int;
   servers : int;
   layer : Vsgc_core.Endpoint.layer;
+  arm : [ `Gcs | `Sym ];
   knobs : Loopback.knobs;
   fault_blocks : int;
   corruption : bool;
@@ -38,6 +39,7 @@ let default_config =
     clients = 3;
     servers = 2;
     layer = `Full;
+    arm = `Gcs;
     knobs = { Loopback.delay = 1; drop = 0.0; reorder = 0.0 };
     fault_blocks = 4;
     corruption = false;
@@ -127,6 +129,7 @@ let sample ~seed (c : config) : Schedule.t =
         clients = c.clients;
         servers = c.servers;
         layer = c.layer;
+        arm = c.arm;
         knobs = c.knobs;
         expect = None;
         fingerprint = None;

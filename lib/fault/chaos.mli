@@ -13,6 +13,8 @@ type config = {
   clients : int;
   servers : int;
   layer : Vsgc_core.Endpoint.layer;
+  arm : [ `Gcs | `Sym ];
+      (** client automaton the sampled deployments host (DESIGN.md §16) *)
   knobs : Vsgc_net.Loopback.knobs;  (** baseline; spikes deviate from it *)
   fault_blocks : int;  (** fault events per sampled schedule *)
   corruption : bool;
@@ -22,8 +24,8 @@ type config = {
 }
 
 val default_config : config
-(** 3 clients, 2 servers, [`Full] layer, delay-1 knobs, 4 blocks, no
-    corruption. *)
+(** 3 clients, 2 servers, [`Full] layer, GCS arm, delay-1 knobs,
+    4 blocks, no corruption. *)
 
 val sample : seed:int -> config -> Schedule.t
 (** Pure: equal (seed, config) give equal schedules. *)

@@ -137,9 +137,14 @@ let convergence_failure ~real_servers net =
 let build (conf : Schedule.conf) =
   let net =
     Net_system.create ~seed:conf.seed ~knobs:conf.knobs ~layer:conf.layer
-      ~n:conf.clients ~n_servers:conf.servers ()
+      ~arm:conf.arm ~n:conf.clients ~n_servers:conf.servers ()
   in
-  Net_system.attach_monitors net (Vsgc_spec.All.net_selfstab ());
+  let monitors =
+    match conf.arm with
+    | `Gcs -> Vsgc_spec.All.net_selfstab ()
+    | `Sym -> Vsgc_spec.All.net_sym ()
+  in
+  Net_system.attach_monitors net monitors;
   net
 
 let apply_event ~real_servers ~batch net (ev : Schedule.event) =

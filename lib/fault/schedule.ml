@@ -27,6 +27,7 @@ type conf = {
   clients : int;
   servers : int;  (* 0 = scripted membership (no Joins, no view churn) *)
   layer : Vsgc_core.Endpoint.layer;
+  arm : [ `Gcs | `Sym ];  (* which client automaton the nodes host *)
   knobs : Loopback.knobs;
   expect : string option;  (* violation kind this schedule reproduces *)
   fingerprint : string option;  (* pinned deployment fingerprint *)
@@ -100,8 +101,10 @@ let event_to_string = function
 let pp_event ppf e = Fmt.string ppf (event_to_string e)
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>fault %s (%dc/%ds seed %d, %d events)@,%a@]" t.conf.name
-    t.conf.clients t.conf.servers t.conf.seed
+  Fmt.pf ppf "@[<v>fault %s (%dc/%ds%s seed %d, %d events)@,%a@]" t.conf.name
+    t.conf.clients t.conf.servers
+    (match t.conf.arm with `Gcs -> "" | `Sym -> " sym")
+    t.conf.seed
     (List.length t.events)
     (Fmt.list ~sep:Fmt.cut pp_event)
     t.events
@@ -117,6 +120,9 @@ let to_string t =
   line "clients %d" t.conf.clients;
   line "servers %d" t.conf.servers;
   line "layer %s" (Sysconf.layer_to_string t.conf.layer);
+  (* The header is omitted for the default arm, so every pre-existing
+     schedule round-trips byte-identically. *)
+  (match t.conf.arm with `Gcs -> () | `Sym -> line "arm sym");
   line "knobs %s" (knob_fields t.conf.knobs);
   (match t.conf.expect with
   | Some e -> line "expect %s" e
@@ -204,6 +210,7 @@ let of_string text =
       let name = ref "unnamed" and expect = ref None and fingerprint = ref None in
       let seed = ref 42 and clients = ref 0 and servers = ref 0 in
       let layer = ref `Full and knobs = ref Loopback.default_knobs in
+      let arm = ref `Gcs in
       let events = ref [] in
       List.iter
         (fun line ->
@@ -213,6 +220,11 @@ let of_string text =
           | "clients" :: x :: _ -> clients := int_of_string x
           | "servers" :: x :: _ -> servers := int_of_string x
           | "layer" :: x :: _ -> layer := Sysconf.layer_of_string x
+          | "arm" :: x :: _ -> (
+              match x with
+              | "gcs" -> arm := `Gcs
+              | "sym" -> arm := `Sym
+              | _ -> fail_parse "bad arm %S (want gcs|sym)" x)
           | "knobs" :: d :: dr :: re :: _ -> knobs := knobs_of_fields ~d ~dr ~re
           | "expect" :: x :: _ ->
               expect := (if x = "clean" then None else Some x)
@@ -229,6 +241,7 @@ let of_string text =
             clients = !clients;
             servers = !servers;
             layer = !layer;
+            arm = !arm;
             knobs = !knobs;
             expect = !expect;
             fingerprint = !fingerprint;

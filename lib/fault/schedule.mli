@@ -23,6 +23,12 @@ type conf = {
       (** 0 = scripted membership: no Joins and no fault-driven view
           churn; partitions then only perturb message timing *)
   layer : Vsgc_core.Endpoint.layer;
+  arm : [ `Gcs | `Sym ];
+      (** which client automaton the nodes host: the scripted
+          application client ([`Gcs], the default) or the symmetric
+          total-order client of DESIGN.md §16 ([`Sym]). Text form:
+          an optional [arm sym] header, omitted for [`Gcs] so
+          pre-existing schedules parse and round-trip unchanged *)
   knobs : Vsgc_net.Loopback.knobs;
   expect : string option;  (** violation kind, [None] = clean *)
   fingerprint : string option;  (** pinned deployment fingerprint *)

@@ -51,6 +51,7 @@ type t = {
   servers : (Server.t * (Node.t * Transport.t)) list;  (* ascending *)
   script : Oracle.state ref;  (* drives membership when servers = [] *)
   layer : Vsgc_core.Endpoint.layer;
+  arm : [ `Gcs | `Sym ];  (* which client automaton every node hosts *)
   base_links : (Node_id.t * Node_id.t) list;  (* topology at create *)
   mutable partition : Node_id.t list list option;  (* None = healed *)
   mutable down_nodes : Node_id.t list;  (* currently crashed clients *)
@@ -61,15 +62,18 @@ type t = {
   mutable corruptions : (Proc.t * int) list;  (* newest first *)
 }
 
-let create ?(seed = 42) ?knobs ?(layer = `Full) ~n ?(n_servers = 0) () =
+let create ?(seed = 42) ?knobs ?(layer = `Full) ?(arm = `Gcs) ~n
+    ?(n_servers = 0) () =
   let hub = Loopback.hub ~seed ?knobs () in
   let clients =
     List.init n (fun p ->
         let attach = Server.of_int (if n_servers = 0 then 0 else p mod n_servers) in
-        let node =
-          Node.create ~seed:(seed + 1 + p) ~layer
-            (Node.Client_node { proc = p; attach })
+        let role =
+          match arm with
+          | `Gcs -> Node.Client_node { proc = p; attach }
+          | `Sym -> Node.Sym_client_node { proc = p; attach }
         in
+        let node = Node.create ~seed:(seed + 1 + p) ~layer role in
         (p, (node, Loopback.attach hub (Node_id.Client p))))
   in
   let servers =
@@ -108,6 +112,7 @@ let create ?(seed = 42) ?knobs ?(layer = `Full) ~n ?(n_servers = 0) () =
     servers;
     script = ref Oracle.initial;
     layer;
+    arm;
     base_links = List.rev !base_links;
     partition = None;
     down_nodes = [];
@@ -304,12 +309,18 @@ let snapshot t : Vsgc_checker.Invariants.snapshot =
         if Vsgc_core.Endpoint.crashed ep then m else Proc.Map.add p ep m)
       Proc.Map.empty t.clients
   in
+  (* The symmetric arm hosts no [Client] automaton, so its snapshot
+     carries an empty client map: the client-level invariants hold
+     vacuously, and the Skeen monitor does the arm's checking. *)
   let clients =
-    List.fold_left
-      (fun m (p, (node, _)) ->
-        let c = Node.client_state node in
-        if c.Vsgc_core.Client.crashed then m else Proc.Map.add p c m)
-      Proc.Map.empty t.clients
+    match t.arm with
+    | `Sym -> Proc.Map.empty
+    | `Gcs ->
+        List.fold_left
+          (fun m (p, (node, _)) ->
+            let c = Node.client_state node in
+            if c.Vsgc_core.Client.crashed then m else Proc.Map.add p c m)
+          Proc.Map.empty t.clients
   in
   {
     endpoints;

@@ -20,13 +20,18 @@ val create :
   ?seed:int ->
   ?knobs:Vsgc_net.Loopback.knobs ->
   ?layer:Vsgc_core.Endpoint.layer ->
+  ?arm:[ `Gcs | `Sym ] ->
   n:int ->
   ?n_servers:int ->
   unit ->
   t
 (** [n] client nodes (full mesh); [n_servers] server nodes (full mesh,
     client [p] attached to [p mod n_servers]). A (seed, knobs, fault
-    history) triple fully determines every run. *)
+    history) triple fully determines every run. [arm] picks the
+    automaton every client node hosts: the scripted application client
+    (default [`Gcs]) or the symmetric total-order client of DESIGN.md
+    §16 ([`Sym]), whose deliveries surface through the same
+    {!delivered}/{!views_of} observations. *)
 
 val hub : t -> Vsgc_net.Loopback.hub
 val client_node : t -> Proc.t -> Vsgc_net.Node.t

@@ -22,6 +22,11 @@ open Vsgc_types
 open Vsgc_wire
 module Transport = Vsgc_net.Transport
 module Replica = Vsgc_replication.Replica
+module Sym_replica = Vsgc_replication.Sym_replica
+
+(* Which total-order arm the node hosts (DESIGN.md §16): the
+   sequencer-based Replica or the symmetric Sym_replica. *)
+type replica_ref = Gcs of Replica.t ref | Sym of Sym_replica.t ref
 
 type t = {
   id : Node_id.t;
@@ -31,15 +36,22 @@ type t = {
   pump : Vsgc_ioa.Io_pump.t;
   outq : (Node_id.t * Packet.t) Queue.t;
   mutable malformed : int;
-  replica : Replica.t ref;
+  replica : replica_ref;
   endpoint : Vsgc_core.Endpoint.t ref;
   service : Kv_service.t;
 }
 
-let create ?(seed = 0) ?(layer = `Full) ?(batch = false) ~attach proc =
+let create ?(seed = 0) ?(layer = `Full) ?(batch = false) ?(arm = `Gcs) ~attach
+    proc =
   let ep_packed, endpoint = Vsgc_core.Endpoint.component ~layer proc in
-  let rep_packed, replica =
-    Replica.component ~strict:true ~batch_orders:batch proc
+  let rep_packed, replica, backend =
+    match arm with
+    | `Gcs ->
+        let packed, r = Replica.component ~strict:true ~batch_orders:batch proc in
+        (packed, Gcs r, Kv_service.backend_of_replica r)
+    | `Sym ->
+        let packed, r = Sym_replica.component ~strict:true proc in
+        (packed, Sym r, Kv_service.backend_of_sym r)
   in
   let exec =
     Vsgc_ioa.Executor.create ~seed ~keep_trace:true [ ep_packed; rep_packed ]
@@ -58,7 +70,7 @@ let create ?(seed = 0) ?(layer = `Full) ?(batch = false) ~attach proc =
     malformed = 0;
     replica;
     endpoint;
-    service = Kv_service.create ~batch replica;
+    service = Kv_service.create ~batch backend;
   }
 
 let id t = t.id
@@ -115,12 +127,16 @@ let step ?max_steps t =
   Queue.clear t.outq;
   pkts
 
-let replica_state t = !(t.replica)
+let replica t = t.replica
 let store t = Kv_service.store t.service
 let digest t = Kv_service.digest t.service
 let crashed t = Vsgc_core.Endpoint.crashed !(t.endpoint)
 let current_view t = Vsgc_core.Endpoint.current_view !(t.endpoint)
-let views t = Replica.Tord_client.views !(t.replica).Replica.tc
+
+let views t =
+  match t.replica with
+  | Gcs r -> Replica.Tord_client.views !r.Replica.tc
+  | Sym r -> Sym_replica.Tord_sym_client.views !r.Sym_replica.tc
 let steps t = Vsgc_ioa.Executor.trace_length t.exec
 let trace t = Vsgc_ioa.Executor.trace t.exec
 let fingerprint t = Vsgc_ioa.Trace_stats.fingerprint (trace t)

@@ -8,6 +8,10 @@ open Vsgc_types
 open Vsgc_wire
 module Transport = Vsgc_net.Transport
 module Replica = Vsgc_replication.Replica
+module Sym_replica = Vsgc_replication.Sym_replica
+
+type replica_ref = Gcs of Replica.t ref | Sym of Sym_replica.t ref
+(** Which total-order arm the node hosts (DESIGN.md §16). *)
 
 type t
 
@@ -15,11 +19,15 @@ val create :
   ?seed:int ->
   ?layer:Vsgc_core.Endpoint.layer ->
   ?batch:bool ->
+  ?arm:[ `Gcs | `Sym ] ->
   attach:Server.t ->
   Proc.t ->
   t
 (** [batch] selects the coalesced announcement + one-round stable
-    delivery path; the hosted replica always runs strict. *)
+    delivery path (the symmetric arm has no announcement mode, so
+    there [batch] only selects the service's stable-delivery rounds);
+    [arm] picks the hosted total-order arm (default [`Gcs]); the
+    hosted replica always runs strict. *)
 
 val id : t -> Node_id.t
 val proc : t -> Proc.t
@@ -40,7 +48,7 @@ val inject : t -> Action.t -> unit
 (** Out-of-band environment input (Crash/Recover from the fault
     layer). *)
 
-val replica_state : t -> Replica.t
+val replica : t -> replica_ref
 val store : t -> Kv_store.t
 val digest : t -> string
 val crashed : t -> bool

@@ -17,10 +17,37 @@
    and the wire-level announcement traffic differ. *)
 
 module Replica = Vsgc_replication.Replica
+module Sym_replica = Vsgc_replication.Sym_replica
 module Kv_msg = Vsgc_wire.Kv_msg
 
+(* The engine is arm-agnostic: any totally ordered log with a write
+   entry point and a stable-prefix cursor can host the service. The
+   two bake-off arms (sequencer-based Replica, symmetric Sym_replica)
+   plug in through this record. *)
+type backend = {
+  write : client:int -> seq:int -> key:string -> value:string -> unit;
+  log_length : unit -> int;
+  ordered_from : int -> string list;
+}
+
+let backend_of_replica (replica : Replica.t ref) =
+  {
+    write = (fun ~client ~seq ~key ~value -> Replica.write replica ~client ~seq ~key ~value);
+    log_length = (fun () -> Replica.log_length !replica);
+    ordered_from = (fun k -> Replica.ordered_from !replica k);
+  }
+
+let backend_of_sym (replica : Sym_replica.t ref) =
+  {
+    write =
+      (fun ~client ~seq ~key ~value ->
+        Sym_replica.write replica ~client ~seq ~key ~value);
+    log_length = (fun () -> Sym_replica.log_length !replica);
+    ordered_from = (fun k -> Sym_replica.ordered_from !replica k);
+  }
+
 type t = {
-  replica : Replica.t ref;
+  backend : backend;
   store : Kv_store.t;
   mutable cursor : int;  (* ordered entries consumed into the store *)
   batch : bool;
@@ -30,9 +57,9 @@ type t = {
   mutable rebirths : int;  (* times the hosting replica restarted *)
 }
 
-let create ~batch replica =
+let create ~batch backend =
   {
-    replica;
+    backend;
     store = Kv_store.create ();
     cursor = 0;
     batch;
@@ -46,7 +73,7 @@ let handle_request t (req : Kv_msg.request) =
   t.requests <- t.requests + 1;
   match req with
   | Kv_msg.Put { client; seq; key; value } ->
-      Replica.write t.replica ~client ~seq ~key ~value
+      t.backend.write ~client ~seq ~key ~value
   | Kv_msg.Get { client; seq; key } ->
       Queue.add
         (Kv_msg.Get_reply { client; seq; value = Kv_store.get t.store key })
@@ -56,14 +83,14 @@ let handle_request t (req : Kv_msg.request) =
    log restarts below the cursor: reset and refold from the new log
    (whose snapshot prefix carries the group state). *)
 let advance t =
-  let len = Replica.log_length !(t.replica) in
+  let len = t.backend.log_length () in
   if len < t.cursor then begin
     Kv_store.reset t.store;
     Queue.clear t.acks;
     t.cursor <- 0;
     t.rebirths <- t.rebirths + 1
   end;
-  let fresh = Replica.ordered_from !(t.replica) t.cursor in
+  let fresh = t.backend.ordered_from t.cursor in
   if fresh <> [] then begin
     let ack payload =
       match Kv_store.apply t.store payload with
@@ -80,7 +107,7 @@ let advance t =
           ack payload;
           t.apply_rounds <- t.apply_rounds + 1)
         fresh;
-    t.cursor <- Replica.log_length !(t.replica)
+    t.cursor <- t.backend.log_length ()
   end
 
 let take_acks t =

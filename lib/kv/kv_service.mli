@@ -7,11 +7,24 @@
     either way (DESIGN.md §15). *)
 
 module Replica = Vsgc_replication.Replica
+module Sym_replica = Vsgc_replication.Sym_replica
 module Kv_msg = Vsgc_wire.Kv_msg
+
+type backend = {
+  write : client:int -> seq:int -> key:string -> value:string -> unit;
+  log_length : unit -> int;
+  ordered_from : int -> string list;
+}
+(** What the engine needs from a hosted total-order arm: push a
+    stamped write into the ordered stream, and read the stable prefix
+    through a cursor. *)
+
+val backend_of_replica : Replica.t ref -> backend
+val backend_of_sym : Sym_replica.t ref -> backend
 
 type t
 
-val create : batch:bool -> Replica.t ref -> t
+val create : batch:bool -> backend -> t
 
 val handle_request : t -> Kv_msg.request -> unit
 (** A request off the wire: [Put] is pushed into the replica's ordered

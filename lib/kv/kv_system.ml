@@ -40,15 +40,17 @@ type t = {
   mutable base_links : (Node_id.t * Node_id.t) list;
   mutable partition : Node_id.t list list option;  (* None = healed *)
   mutable down : Node_id.t list;  (* currently crashed kv nodes *)
+  mutable monitors : Vsgc_ioa.Monitor.t list;
 }
 
-let create ?(seed = 42) ?knobs ?(batch = false) ~n ?(n_servers = 1) () =
+let create ?(seed = 42) ?knobs ?(batch = false) ?(arm = `Gcs) ~n
+    ?(n_servers = 1) () =
   if n_servers < 1 then invalid_arg "Kv_system.create: need n_servers >= 1";
   let hub = Loopback.hub ~seed ?knobs () in
   let kv_nodes =
     List.init n (fun p ->
         let attach = Server.of_int (p mod n_servers) in
-        let node = Kv_node.create ~seed:(seed + 1 + p) ~batch ~attach p in
+        let node = Kv_node.create ~seed:(seed + 1 + p) ~batch ~arm ~attach p in
         (p, (node, Loopback.attach hub (Node_id.Client p))))
   in
   let servers =
@@ -86,7 +88,32 @@ let create ?(seed = 42) ?knobs ?(batch = false) ~n ?(n_servers = 1) () =
     base_links = List.rev !base_links;
     partition = None;
     down = [];
+    monitors = [];
   }
+
+(* Shared spec monitors over every KV node executor: the drive loop is
+   single-threaded and visits nodes in a fixed order, so the monitors
+   observe one deterministic merged trace (the [Net_system] pattern).
+   Server executors are excluded — the membership actions they share
+   with clients would otherwise be observed twice. *)
+let attach_monitors t ms =
+  t.monitors <- t.monitors @ ms;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (_, (node, _)) ->
+          Vsgc_ioa.Executor.add_monitor (Kv_node.executor node) m)
+        t.kv_nodes)
+    ms
+
+let finish t =
+  List.iter
+    (fun (m : Vsgc_ioa.Monitor.t) ->
+      match m.at_end () with
+      | [] -> ()
+      | msg :: _ ->
+          raise (Vsgc_ioa.Monitor.Violation { monitor = m.name; message = msg }))
+    t.monitors
 
 let hub t = t.hub
 let now t = float_of_int (Loopback.now t.hub)
@@ -280,6 +307,7 @@ type fault =
   | Heal
   | Crash of Proc.t
   | Restart of Proc.t
+  | Spike of Loopback.knobs  (* replace the hub-wide default knobs *)
 
 type report = {
   rounds : int;
@@ -297,6 +325,7 @@ type report = {
   digests : (Proc.t * string) list;
   apply_rounds : int;
   wire_delivered : int;  (* hub packets delivered over the whole run *)
+  wire_bytes : int;  (* framed bytes of those packets *)
 }
 
 let apply_fault t = function
@@ -304,16 +333,18 @@ let apply_fault t = function
   | Heal -> heal t
   | Crash p -> crash t p
   | Restart p -> restart t p
+  | Spike k -> Loopback.set_knobs t.hub k
 
 (* Drive loads across a fault script and settle; the script's round
    indices are relative to the end of warmup. Homes must not be
    crashed by the script (the lost-ack audit reads their stable
    stores). *)
-let slo_run ?(seed = 42) ?(batch = false) ?(n = 3) ?(n_servers = 2)
-    ?(homes = [ 0 ]) ?(clients = 1) ?(rate = 0.5) ?(count = 200)
-    ?(value_bytes = 32) ?(retransmit_after = 0.) ?(script = [])
+let slo_run ?(seed = 42) ?(batch = false) ?(arm = `Gcs) ?(monitors = [])
+    ?(n = 3) ?(n_servers = 2) ?(homes = [ 0 ]) ?(clients = 1) ?(rate = 0.5)
+    ?(count = 200) ?(value_bytes = 32) ?(retransmit_after = 0.) ?(script = [])
     ?(max_rounds = 200_000) () =
-  let t = create ~seed ~batch ~n ~n_servers () in
+  let t = create ~seed ~batch ~arm ~n ~n_servers () in
+  attach_monitors t monitors;
   warmup t;
   let gens =
     List.init clients (fun i ->
@@ -348,6 +379,7 @@ let slo_run ?(seed = 42) ?(batch = false) ?(n = 3) ?(n_servers = 2)
     incr r
   done;
   if !r >= max_rounds then failwith "Kv_system.slo_run: round budget exhausted";
+  finish t;
   (* Audit: every acknowledged command id must be in its home
      replica's stable store (dedup by id — the id set ignores how many
      times a retransmitted command was ordered). *)
@@ -386,4 +418,5 @@ let slo_run ?(seed = 42) ?(batch = false) ?(n = 3) ?(n_servers = 2)
     digests = ds;
     apply_rounds = apply_rounds t;
     wire_delivered = Loopback.delivered t.hub;
+    wire_bytes = Loopback.delivered_bytes t.hub;
   }

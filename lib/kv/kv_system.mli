@@ -19,6 +19,7 @@ val create :
   ?seed:int ->
   ?knobs:Loopback.knobs ->
   ?batch:bool ->
+  ?arm:[ `Gcs | `Sym ] ->
   n:int ->
   ?n_servers:int ->
   unit ->
@@ -26,7 +27,17 @@ val create :
 (** [n] KV server nodes (proc [i] attached to membership server
     [i mod n_servers]) plus [n_servers >= 1] membership servers, fully
     meshed. [batch] selects coalesced announcements + one-round stable
-    delivery on every node. *)
+    delivery on every node; [arm] picks the hosted total-order arm
+    (default [`Gcs], see {!Kv_node.create}). *)
+
+val attach_monitors : t -> Vsgc_ioa.Monitor.t list -> unit
+(** Attach shared spec monitors to every KV node executor (the
+    [Net_system] pattern: the single-threaded drive loop makes the
+    merged trace deterministic; server executors are excluded). *)
+
+val finish : t -> unit
+(** Judge the attached monitors' residual obligations.
+    @raise Vsgc_ioa.Monitor.Violation if any are open. *)
 
 val hub : t -> Loopback.hub
 val now : t -> float
@@ -86,6 +97,8 @@ type fault =
   | Heal
   | Crash of Proc.t
   | Restart of Proc.t
+  | Spike of Loopback.knobs
+      (** replace the hub-wide default knobs (lossy/delay spikes) *)
 
 type report = {
   rounds : int;
@@ -104,11 +117,14 @@ type report = {
   digests : (Proc.t * string) list;
   apply_rounds : int;
   wire_delivered : int;  (** hub packets delivered over the whole run *)
+  wire_bytes : int;  (** framed bytes of those packets *)
 }
 
 val slo_run :
   ?seed:int ->
   ?batch:bool ->
+  ?arm:[ `Gcs | `Sym ] ->
+  ?monitors:Vsgc_ioa.Monitor.t list ->
   ?n:int ->
   ?n_servers:int ->
   ?homes:Proc.t list ->
@@ -126,5 +142,8 @@ val slo_run :
     values stay auditable), then drive to completion while firing the
     fault script — [(round, fault)] pairs relative to the end of
     warmup. Homes must not be crashed by the script: the lost-ack
-    audit reads their stable stores.
-    @raise Failure when the round budget runs out. *)
+    audit reads their stable stores. [monitors] are attached before
+    warmup and their residual obligations judged at the end
+    (default none, so existing fingerprints are undisturbed).
+    @raise Failure when the round budget runs out.
+    @raise Vsgc_ioa.Monitor.Violation from an attached monitor. *)

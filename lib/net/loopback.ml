@@ -79,6 +79,7 @@ type hub = {
          frame's bytes for the flight — the buffer itself is reused *)
   mutable dropped : int;
   mutable delivered : int;
+  mutable delivered_bytes : int;  (* frame bytes of delivered packets *)
   mutable retransmits : int;
 }
 
@@ -99,11 +100,13 @@ let hub ?(seed = 0) ?(knobs = default_knobs) () =
     scratch = Vsgc_types.Bin.Wbuf.create 256;
     dropped = 0;
     delivered = 0;
+    delivered_bytes = 0;
     retransmits = 0;
   }
 
 let dropped h = h.dropped
 let delivered h = h.delivered
+let delivered_bytes h = h.delivered_bytes
 let retransmits h = h.retransmits
 let now h = h.now
 
@@ -367,6 +370,7 @@ let tick h =
           match Frame.decode f.frame with
           | Ok pkt ->
               h.delivered <- h.delivered + 1;
+              h.delivered_bytes <- h.delivered_bytes + Bytes.length f.frame;
               push h f.dst (Transport.Received (f.src, pkt))
           | Error error ->
               push h f.dst (Transport.Malformed { peer = Some f.src; error })

@@ -81,5 +81,9 @@ val now : hub -> int
 val dropped : hub -> int
 val delivered : hub -> int
 
+val delivered_bytes : hub -> int
+(** Total framed bytes of delivered packets — the wire-byte cost a
+    bake-off arm paid for its traffic. *)
+
 val retransmits : hub -> int
 (** Total retransmission rounds charged by the [drop] knob. *)

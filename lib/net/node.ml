@@ -30,6 +30,7 @@ open Vsgc_wire
 
 type role =
   | Client_node of { proc : Proc.t; attach : Server.t }
+  | Sym_client_node of { proc : Proc.t; attach : Server.t }
   | Server_node of { server : Server.t }
 
 type kind =
@@ -39,12 +40,19 @@ type kind =
       client : Vsgc_core.Client.t ref;
       endpoint : Vsgc_core.Endpoint.t ref;
     }
+  | Sym_k of {
+      proc : Proc.t;
+      attach : Server.t;
+      client : Vsgc_totalorder.Tord_sym_client.t ref;
+      endpoint : Vsgc_core.Endpoint.t ref;
+    }
   | Server_k of {
       server : Server.t;
       state : Vsgc_mbrshp.Servers.t ref;
       mutable connected : Server.Set.t;  (* live links to peer servers *)
       mutable attached : Proc.Set.t;  (* clients that sent Join *)
     }
+
 
 type t = {
   id : Node_id.t;
@@ -74,6 +82,26 @@ let create ?(seed = 0) ?(layer = `Full) role =
         outq = Queue.create ();
         malformed = 0;
         kind = Client_k { proc; attach; client; endpoint };
+      }
+  | Sym_client_node { proc; attach } ->
+      let ep_packed, endpoint = Vsgc_core.Endpoint.component ~layer proc in
+      let cl_packed, client =
+        Vsgc_totalorder.Tord_sym_client.component proc
+      in
+      let exec =
+        Vsgc_ioa.Executor.create ~seed ~keep_trace:true [ ep_packed; cl_packed ]
+      in
+      let capture = function
+        | Action.Rf_send (q, _, _) -> Proc.equal q proc
+        | _ -> false
+      in
+      {
+        id = Node_id.Client proc;
+        exec;
+        pump = Vsgc_ioa.Io_pump.create ~capture exec;
+        outq = Queue.create ();
+        malformed = 0;
+        kind = Sym_k { proc; attach; client; endpoint };
       }
   | Server_node { server } ->
       let packed, state =
@@ -111,53 +139,60 @@ let send_pkt t dst pkt = Queue.add (dst, pkt) t.outq
 let enqueue t a = Vsgc_ioa.Io_pump.enqueue t.pump a
 
 let handle t ev =
-  match (t.kind, ev) with
-  | _, Transport.Malformed _ -> t.malformed <- t.malformed + 1
-  (* -- client side -- *)
-  | Client_k c, Transport.Up (Node_id.Server s) when Server.equal s c.attach ->
-      send_pkt t (Node_id.Server s) (Packet.Join c.proc)
-  | Client_k _, Transport.Up _ | Client_k _, Transport.Down _ -> ()
-  | Client_k c, Transport.Received (_, Packet.Rf { from; wire }) ->
-      enqueue t (Action.Rf_deliver (from, c.proc, wire))
-  | Client_k c, Transport.Received (_, Packet.Start_change { target; cid; set })
-    when Proc.equal target c.proc ->
-      enqueue t (Action.Mb_start_change (c.proc, cid, set))
-  | Client_k c, Transport.Received (_, Packet.View { target; view })
-    when Proc.equal target c.proc ->
-      enqueue t (Action.Mb_view (c.proc, view))
-  | Client_k _, Transport.Received _ -> ()
+  match t.kind with
+  (* -- client side (either client kind: same wire translation) -- *)
+  | Client_k { proc; attach; _ } | Sym_k { proc; attach; _ } -> (
+      match ev with
+      | Transport.Malformed _ -> t.malformed <- t.malformed + 1
+      | Transport.Up (Node_id.Server s) when Server.equal s attach ->
+          send_pkt t (Node_id.Server s) (Packet.Join proc)
+      | Transport.Up _ | Transport.Down _ -> ()
+      | Transport.Received (_, Packet.Rf { from; wire }) ->
+          enqueue t (Action.Rf_deliver (from, proc, wire))
+      | Transport.Received (_, Packet.Start_change { target; cid; set })
+        when Proc.equal target proc ->
+          enqueue t (Action.Mb_start_change (proc, cid, set))
+      | Transport.Received (_, Packet.View { target; view })
+        when Proc.equal target proc ->
+          enqueue t (Action.Mb_view (proc, view))
+      | Transport.Received _ -> ())
   (* -- server side -- *)
-  | Server_k sk, Transport.Up (Node_id.Server s') ->
-      sk.connected <- Server.Set.add s' sk.connected;
-      enqueue t
-        (Action.Fd_change (sk.server, Server.Set.add sk.server sk.connected))
-  | Server_k sk, Transport.Down (Node_id.Server s') ->
-      sk.connected <- Server.Set.remove s' sk.connected;
-      enqueue t
-        (Action.Fd_change (sk.server, Server.Set.add sk.server sk.connected))
-  | Server_k _, Transport.Up (Node_id.Client _ | Node_id.Kv_client _) -> ()
-  | Server_k sk, Transport.Down (Node_id.Client p) ->
-      if Proc.Set.mem p sk.attached then begin
-        sk.attached <- Proc.Set.remove p sk.attached;
-        enqueue t (Action.Client_leave (p, sk.server))
-      end
-  | Server_k _, Transport.Down (Node_id.Kv_client _) -> ()
-  | Server_k sk, Transport.Received (_, Packet.Join p) ->
-      sk.attached <- Proc.Set.add p sk.attached;
-      enqueue t (Action.Client_join (p, sk.server))
-  | Server_k sk, Transport.Received (_, Packet.Leave p) ->
-      if Proc.Set.mem p sk.attached then begin
-        sk.attached <- Proc.Set.remove p sk.attached;
-        enqueue t (Action.Client_leave (p, sk.server))
-      end
-  | Server_k sk, Transport.Received (_, Packet.Srv { from; msg }) ->
-      enqueue t (Action.Srv_deliver (from, sk.server, msg))
-  | Server_k _, Transport.Received _ -> ()
+  | Server_k sk -> (
+      match ev with
+      | Transport.Malformed _ -> t.malformed <- t.malformed + 1
+      | Transport.Up (Node_id.Server s') ->
+          sk.connected <- Server.Set.add s' sk.connected;
+          enqueue t
+            (Action.Fd_change (sk.server, Server.Set.add sk.server sk.connected))
+      | Transport.Down (Node_id.Server s') ->
+          sk.connected <- Server.Set.remove s' sk.connected;
+          enqueue t
+            (Action.Fd_change (sk.server, Server.Set.add sk.server sk.connected))
+      | Transport.Up (Node_id.Client _ | Node_id.Kv_client _) -> ()
+      | Transport.Down (Node_id.Client p) ->
+          if Proc.Set.mem p sk.attached then begin
+            sk.attached <- Proc.Set.remove p sk.attached;
+            enqueue t (Action.Client_leave (p, sk.server))
+          end
+      | Transport.Down (Node_id.Kv_client _) -> ()
+      | Transport.Received (_, Packet.Join p) ->
+          sk.attached <- Proc.Set.add p sk.attached;
+          enqueue t (Action.Client_join (p, sk.server))
+      | Transport.Received (_, Packet.Leave p) ->
+          if Proc.Set.mem p sk.attached then begin
+            sk.attached <- Proc.Set.remove p sk.attached;
+            enqueue t (Action.Client_leave (p, sk.server))
+          end
+      | Transport.Received (_, Packet.Srv { from; msg }) ->
+          enqueue t (Action.Srv_deliver (from, sk.server, msg))
+      | Transport.Received _ -> ())
 
 (* Captured executor outputs become packets. *)
 let route t a =
   match (t.kind, a) with
-  | Client_k c, Action.Rf_send (p, targets, wire) when Proc.equal p c.proc ->
+  | ( (Client_k { proc; _ } | Sym_k { proc; _ }),
+      Action.Rf_send (p, targets, wire) )
+    when Proc.equal p proc ->
       Proc.Set.iter
         (fun q -> send_pkt t (Node_id.Client q) (Packet.Rf { from = p; wire }))
         targets
@@ -182,21 +217,30 @@ let inject = enqueue
 let push t payload =
   match t.kind with
   | Client_k c -> Vsgc_core.Client.push c.client payload
+  | Sym_k c -> Vsgc_totalorder.Tord_sym_client.push c.client payload
   | Server_k _ -> invalid_arg "Node.push: not a client node"
 
 let client_state t =
   match t.kind with
   | Client_k c -> !(c.client)
+  | Sym_k _ -> invalid_arg "Node.client_state: a symmetric-arm client node"
   | Server_k _ -> invalid_arg "Node.client_state: not a client node"
+
+let sym_state t =
+  match t.kind with
+  | Sym_k c -> !(c.client)
+  | Client_k _ | Server_k _ ->
+      invalid_arg "Node.sym_state: not a symmetric-arm client node"
 
 let endpoint_state t =
   match t.kind with
-  | Client_k c -> !(c.endpoint)
+  | Client_k { endpoint; _ } | Sym_k { endpoint; _ } -> !endpoint
   | Server_k _ -> invalid_arg "Node.endpoint_state: not a client node"
 
 let crashed t =
   match t.kind with
-  | Client_k c -> Vsgc_core.Endpoint.crashed !(c.endpoint)
+  | Client_k { endpoint; _ } | Sym_k { endpoint; _ } ->
+      Vsgc_core.Endpoint.crashed !endpoint
   | Server_k _ -> false
 
 (* -- Self-stabilization (DESIGN.md §13) --------------------------------- *)
@@ -207,29 +251,50 @@ let crashed t =
    out-of-band write is safe under both scheduler modes. *)
 let corrupt t ~salt field =
   match t.kind with
-  | Client_k c -> c.endpoint := Vsgc_core.Endpoint.corrupt ~salt field !(c.endpoint)
+  | Client_k { endpoint; _ } | Sym_k { endpoint; _ } ->
+      endpoint := Vsgc_core.Endpoint.corrupt ~salt field !endpoint
   | Server_k _ -> invalid_arg "Node.corrupt: not a client node"
 
 let self_check t =
   match t.kind with
-  | Client_k c -> Vsgc_core.Endpoint.self_check !(c.endpoint)
+  | Client_k { endpoint; _ } | Sym_k { endpoint; _ } ->
+      Vsgc_core.Endpoint.self_check !endpoint
   | Server_k sk -> Vsgc_mbrshp.Servers.self_check !(sk.state)
 
 let steps t = Vsgc_ioa.Executor.trace_length t.exec
 
-let delivered t = Vsgc_core.Client.delivered (client_state t)
-let views t = Vsgc_core.Client.views (client_state t)
-let last_view t = Vsgc_core.Client.last_view (client_state t)
+let delivered t =
+  match t.kind with
+  | Client_k c -> Vsgc_core.Client.delivered !(c.client)
+  | Sym_k c ->
+      (* The symmetric arm's deliveries are its total order. *)
+      List.map
+        (fun (sender, payload) -> (sender, Msg.App_msg.make payload))
+        (Vsgc_totalorder.Tord_sym_client.total_order !(c.client))
+  | Server_k _ -> invalid_arg "Node.delivered: not a client node"
+
+let views t =
+  match t.kind with
+  | Client_k c -> Vsgc_core.Client.views !(c.client)
+  | Sym_k c -> Vsgc_totalorder.Tord_sym_client.views !(c.client)
+  | Server_k _ -> invalid_arg "Node.views: not a client node"
+
+let last_view t =
+  match t.kind with
+  | Client_k c -> Vsgc_core.Client.last_view !(c.client)
+  | Sym_k c -> Vsgc_totalorder.Tord_sym_client.last_view !(c.client)
+  | Server_k _ -> invalid_arg "Node.last_view: not a client node"
 
 let current_view t =
   match t.kind with
-  | Client_k c -> Vsgc_core.Endpoint.current_view !(c.endpoint)
+  | Client_k { endpoint; _ } | Sym_k { endpoint; _ } ->
+      Vsgc_core.Endpoint.current_view !endpoint
   | Server_k _ -> invalid_arg "Node.current_view: not a client node"
 
 let attached t =
   match t.kind with
   | Server_k sk -> sk.attached
-  | Client_k _ -> invalid_arg "Node.attached: not a server node"
+  | Client_k _ | Sym_k _ -> invalid_arg "Node.attached: not a server node"
 
 let trace t = Vsgc_ioa.Executor.trace t.exec
 

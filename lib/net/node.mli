@@ -12,6 +12,10 @@ open Vsgc_wire
 type role =
   | Client_node of { proc : Proc.t; attach : Server.t }
       (** a GCS end-point, registering with membership server [attach] *)
+  | Sym_client_node of { proc : Proc.t; attach : Server.t }
+      (** a GCS end-point hosting the symmetric total-order client
+          ({!Vsgc_totalorder.Tord_sym_client}, DESIGN.md §16) instead
+          of the scripted application client *)
   | Server_node of { server : Server.t }  (** a membership server *)
 
 type t
@@ -68,7 +72,11 @@ val attached : t -> Proc.Set.t
 
 val client_state : t -> Vsgc_core.Client.t
 (** Client node: the hosted application automaton's state.
-    @raise Invalid_argument on a server node. *)
+    @raise Invalid_argument on a server or symmetric-arm node. *)
+
+val sym_state : t -> Vsgc_totalorder.Tord_sym_client.t
+(** Symmetric-arm client node: the hosted ordering client's state.
+    @raise Invalid_argument on any other node. *)
 
 val endpoint_state : t -> Vsgc_core.Endpoint.t
 (** Client node: the hosted GCS end-point's state — what the §6/§7

@@ -58,6 +58,10 @@ val decode : string -> cmd
 
 (** {1 State (a pure fold of the totally ordered log)} *)
 
+val fold_state : ('a * string) list -> int * string Smap.t
+(** Fold decoded commands over an ordered (sender, payload) log — the
+    pure function both replica arms' {!state} is defined by. *)
+
 val state : t -> string Smap.t
 val version : t -> int
 val get : t -> string -> string option

@@ -1,0 +1,150 @@
+(* The replicated key-value state machine over the SYMMETRIC total
+   order (DESIGN.md §16) — the same application motif as {!Replica},
+   with {!Vsgc_totalorder.Tord_sym_client} replacing the sequencer
+   arm's {!Vsgc_totalorder.Tord_client}.
+
+   Commands and snapshots reuse {!Replica}'s codec and fold verbatim:
+   the state of either arm is the same pure function of its totally
+   ordered log, which is what makes the bake-off's cross-arm digest
+   comparison meaningful. Snapshots follow the same transitional-set
+   rule (on a merge, the minimum member of each transitional set ships
+   one snapshot through the total order). *)
+
+open Vsgc_types
+module Smap = Replica.Smap
+module Tord_sym_client = Vsgc_totalorder.Tord_sym_client
+module Tord_symmetric = Vsgc_totalorder.Tord_symmetric
+
+type t = {
+  tc : Tord_sym_client.t;
+  me : Proc.t;
+  snapshot_bytes : int;  (* total snapshot payload bytes multicast *)
+  snapshots_sent : int;
+  strict : bool;  (* raise on Unknown ordered commands *)
+  unknowns : int;  (* Unknown commands tolerated (non-strict mode) *)
+}
+
+let initial ?(strict = false) me =
+  {
+    tc = Tord_sym_client.initial me;
+    me;
+    snapshot_bytes = 0;
+    snapshots_sent = 0;
+    strict;
+    unknowns = 0;
+  }
+
+let unknowns t = t.unknowns
+
+(* -- Deterministic state: the same fold as the sequencer arm -------------- *)
+
+let state t = snd (Replica.fold_state (Tord_sym_client.total_order t.tc))
+let version t = fst (Replica.fold_state (Tord_sym_client.total_order t.tc))
+let get t key = Smap.find_opt key (state t)
+
+(* -- Cursor over the ordered log (for the incremental KV store) ----------- *)
+
+let log_length t = Tord_symmetric.total_count (Tord_sym_client.core t.tc)
+
+let ordered_from t k =
+  List.map
+    (fun (e : Tord_symmetric.entry) -> e.Tord_symmetric.payload)
+    (Tord_symmetric.entries_from (Tord_sym_client.core t.tc) k)
+
+(* -- Scripting API --------------------------------------------------------- *)
+
+let set (r : t ref) ~key ~value =
+  let tc = ref !r.tc in
+  Tord_sym_client.push tc (Replica.encode_set ~key ~value);
+  r := { !r with tc = !tc }
+
+let write (r : t ref) ~client ~seq ~key ~value =
+  let tc = ref !r.tc in
+  Tord_sym_client.push tc (Replica.encode_write ~client ~seq ~key ~value);
+  r := { !r with tc = !tc }
+
+(* -- Component -------------------------------------------------------------- *)
+
+let outputs t = Tord_sym_client.outputs t.tc
+let accepts me = Tord_sym_client.accepts me
+
+let should_send_snapshot t view tset =
+  let joined = not (Proc.Set.equal (View.set view) tset) in
+  joined && Proc.Set.min_elt_opt tset = Some t.me
+
+(* Same contract as {!Replica.check_unknowns}: strict mode makes codec
+   drift loud the moment an undecodable command becomes totally
+   ordered. *)
+let check_unknowns t ~before =
+  let entries = Tord_symmetric.entries_from (Tord_sym_client.core t.tc) before in
+  let fresh =
+    List.fold_left
+      (fun acc (e : Tord_symmetric.entry) ->
+        match Replica.decode e.Tord_symmetric.payload with
+        | Replica.Unknown -> acc + 1
+        | _ -> acc)
+      0 entries
+  in
+  if fresh = 0 then t
+  else if t.strict then
+    raise
+      (Replica.Codec_drift
+         (Fmt.str "sym replica %a: %d undecodable ordered command%s" Proc.pp t.me
+            fresh
+            (if fresh = 1 then "" else "s")))
+  else { t with unknowns = t.unknowns + fresh }
+
+let apply t (a : Action.t) =
+  let before = Tord_symmetric.total_count (Tord_sym_client.core t.tc) in
+  let tc = Tord_sym_client.apply t.tc a in
+  let t = check_unknowns { t with tc } ~before in
+  match a with
+  | Action.App_view (_, view, tset) when not tc.Tord_sym_client.crashed ->
+      if should_send_snapshot t view tset then begin
+        let snap = Replica.encode_snapshot ~version:(version t) (state t) in
+        let tcr = ref t.tc in
+        Tord_sym_client.push tcr snap;
+        { t with
+          tc = !tcr;
+          snapshot_bytes = t.snapshot_bytes + String.length snap;
+          snapshots_sent = t.snapshots_sent + 1 }
+      end
+      else t
+  | _ -> t
+
+(* Client-role component (wraps Tord_sym_client): co-located at me. *)
+let footprint me (a : Action.t) =
+  let open Vsgc_ioa.Footprint in
+  match a with
+  | Action.App_send (p, _) | Action.Block_ok p | Action.App_deliver (p, _, _)
+  | Action.App_view (p, _, _) | Action.Block p | Action.Crash p | Action.Recover p
+  | Action.Sym_deliver (p, _, _, _)
+    when Proc.equal p me -> rw [ Proc_state me ]
+  | _ -> empty
+
+let emits me (a : Action.t) =
+  match a with
+  | Action.App_send (p, _) | Action.Block_ok p | Action.Sym_deliver (p, _, _, _) ->
+      Proc.equal p me
+  | _ -> false
+
+let observe me (st : t) =
+  [ (Vsgc_ioa.Footprint.Proc_state me, Vsgc_ioa.Component.digest st) ]
+
+(* Strict defaults ON under the executor, as for {!Replica.def}. *)
+let def ?(strict = true) me : t Vsgc_ioa.Component.def =
+  {
+    name = Fmt.str "sym_replica_%a" Proc.pp me;
+    init = initial ~strict me;
+    accepts = accepts me;
+    outputs;
+    apply;
+    footprint = footprint me;
+    emits = emits me;
+    observe = observe me;
+  }
+
+let component ?strict me =
+  let d = def ?strict me in
+  let r = ref d.Vsgc_ioa.Component.init in
+  (Vsgc_ioa.Component.pack_with_ref d r, r)

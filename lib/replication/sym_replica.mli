@@ -1,0 +1,56 @@
+(** The replicated key-value state machine over the symmetric total
+    order (DESIGN.md §16) — {!Replica}'s motif with
+    {!Vsgc_totalorder.Tord_sym_client} underneath. Commands, snapshots
+    and the state fold are {!Replica}'s verbatim, so both arms' states
+    are the same pure function of their ordered logs and cross-arm
+    digest comparison is meaningful. *)
+
+open Vsgc_types
+module Smap = Replica.Smap
+module Tord_sym_client = Vsgc_totalorder.Tord_sym_client
+module Tord_symmetric = Vsgc_totalorder.Tord_symmetric
+
+type t = {
+  tc : Tord_sym_client.t;
+  me : Proc.t;
+  snapshot_bytes : int;  (** total snapshot payload bytes multicast *)
+  snapshots_sent : int;
+  strict : bool;  (** raise {!Replica.Codec_drift} on Unknown commands *)
+  unknowns : int;  (** Unknown commands tolerated (non-strict mode) *)
+}
+
+val initial : ?strict:bool -> Proc.t -> t
+(** [strict] defaults to [false] here; the component {!def} defaults
+    it to [true] (as for {!Replica}). *)
+
+val unknowns : t -> int
+
+(** {1 State (the same pure fold as {!Replica})} *)
+
+val state : t -> string Smap.t
+val version : t -> int
+val get : t -> string -> string option
+
+(** {1 Cursor over the ordered log} *)
+
+val log_length : t -> int
+val ordered_from : t -> int -> string list
+
+(** {1 Scripting} *)
+
+val set : t ref -> key:string -> value:string -> unit
+
+val write :
+  t ref -> client:int -> seq:int -> key:string -> value:string -> unit
+
+(** {1 Component} *)
+
+val outputs : t -> Action.t list
+val accepts : Proc.t -> Action.t -> bool
+
+val apply : t -> Action.t -> t
+(** @raise Replica.Codec_drift in strict mode on an Unknown ordered
+    command. *)
+
+val def : ?strict:bool -> Proc.t -> t Vsgc_ioa.Component.def
+val component : ?strict:bool -> Proc.t -> Vsgc_ioa.Component.packed * t ref

@@ -37,3 +37,8 @@ let net () =
    crashed by a corruption guard) and never completes the §8 rejoin is
    classified as a violation rather than a quietly shrunken system. *)
 let net_selfstab () = net () @ [ Self_spec.rejoin () ]
+
+(* The symmetric-arm battery: the GCS properties still hold underneath
+   (same endpoints, same wire), plus the Skeen delivery-condition
+   monitor over the arm's Sym_deliver reports. *)
+let net_sym () = net_selfstab () @ [ Skeen_spec.monitor () ]

@@ -15,3 +15,8 @@ val net : unit -> Vsgc_ioa.Monitor.t list
 val net_selfstab : unit -> Vsgc_ioa.Monitor.t list
 (** {!net} plus {!Self_spec.rejoin}: the fault layer's bundle — every
     crash must complete the §8 rejoin (DESIGN.md §13). *)
+
+val net_sym : unit -> Vsgc_ioa.Monitor.t list
+(** {!net_selfstab} plus {!Skeen_spec.monitor}: the symmetric-arm
+    battery (DESIGN.md §16) — the GCS properties hold underneath, and
+    the arm's deliveries must satisfy the Skeen condition. *)

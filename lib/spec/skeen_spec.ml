@@ -1,0 +1,214 @@
+(* Monitor for the symmetric (Skeen-style) total-order arm
+   (DESIGN.md §16): an executable restatement of the delivery condition
+   of the adaptive protocol's symmetric endpoint [13], checked against
+   the implementation's {!Action.Sym_deliver} reports.
+
+   The monitor runs an independent reference machine per process,
+   driven only by the externally observable GCS trace (App_send /
+   App_deliver / App_view / Crash) with payloads decoded via
+   {!Vsgc_wire.Sym_msg} — it shares no code with {!Tord_symmetric}.
+   Reference deliveries are gated by the specification's condition
+   — an entry <ts, sender> may deliver only once every current view
+   member has been heard at or beyond ts — and enter a per-process
+   expected-delivery FIFO. Each Sym_deliver report must match its
+   process's FIFO head exactly; a report with an empty FIFO is an
+   early delivery, a mismatched head is an ordering divergence.
+
+   Also checked:
+   - per-sender broadcast timestamps strictly increase in wire order
+     (what makes the deliverability gate sound);
+   - a Flush announcement names the view its sender is actually in,
+     matches the digest the reference computed for that process's own
+     flushed chunk, and agrees with every other announcement for the
+     same (view id, transitional set) — Virtual Synchrony makes
+     transitional-set members flush identically;
+   - at the end of the trace, every expected-delivery FIFO is empty
+     (the implementation reported everything the condition admitted).
+
+   Crash clears the process's reference state and its broadcast
+   floor — a §8 rejoin restarts timestamps from scratch, which is
+   sound because the installing view change flushed everyone's
+   pending and reset the heard maps. *)
+
+open Vsgc_types
+module M = Vsgc_ioa.Monitor
+module Sym_msg = Vsgc_wire.Sym_msg
+
+type entry = { ts : int; sender : Proc.t; payload : string }
+
+let entry_compare a b =
+  match Int.compare a.ts b.ts with 0 -> Proc.compare a.sender b.sender | c -> c
+
+(* Mirror of the wire contract's flushed-chunk fingerprint
+   ({!Tord_symmetric.flush_digest}) — recomputed independently here so
+   the monitor verifies the announced digest rather than echoing it. *)
+let flush_digest entries =
+  let buf = Buffer.create 64 in
+  List.iteri
+    (fun i (e : entry) ->
+      Buffer.add_string buf
+        (Fmt.str "%d:%d:%a:%d;" i e.ts Proc.pp e.sender (String.length e.payload));
+      Buffer.add_string buf e.payload)
+    entries;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+type machine = {
+  mutable members : Proc.Set.t;  (* current view's membership *)
+  mutable vid : View.Id.t;
+  mutable heard : int Proc.Map.t;
+  mutable pending : entry list;  (* sorted by (ts, sender) *)
+  expected : (Proc.t * int * string) Queue.t;  (* reference-gated deliveries *)
+  mutable own_digest : string option;  (* reference's flush digest, current view *)
+}
+
+let monitor ?(name = "skeen_spec") () =
+  let machines : (Proc.t, machine) Hashtbl.t = Hashtbl.create 7 in
+  let last_bcast : (Proc.t, int) Hashtbl.t = Hashtbl.create 7 in
+  (* first announced digest per (new view id, transitional set) *)
+  let flush_table : (View.Id.t * Proc.Set.t, string * Proc.t) Hashtbl.t =
+    Hashtbl.create 7
+  in
+  (* the (view id, transitional set) of each process's latest view event *)
+  let installed : (Proc.t, View.Id.t * Proc.Set.t) Hashtbl.t = Hashtbl.create 7 in
+  let machine p =
+    match Hashtbl.find_opt machines p with
+    | Some m -> m
+    | None ->
+        let m =
+          {
+            members = Proc.Set.singleton p;
+            vid = View.id (View.initial p);
+            heard = Proc.Map.empty;
+            pending = [];
+            expected = Queue.create ();
+            own_digest = None;
+          }
+        in
+        Hashtbl.replace machines p m;
+        m
+  in
+  let decode p payload =
+    match Sym_msg.of_payload payload with
+    | Ok m -> m
+    | Error e ->
+        M.violate ~monitor:name
+          "non-symmetric payload in a Skeen-monitored run at %a: %a" Proc.pp p
+          Bin.pp_error e
+  in
+  let insert_sorted e l =
+    let rec go = function
+      | x :: rest when entry_compare x e < 0 -> x :: go rest
+      | rest -> e :: rest
+    in
+    go l
+  in
+  let deliverable m (e : entry) =
+    Proc.Set.for_all
+      (fun q -> Proc.Map.find_default ~default:0 q m.heard >= e.ts)
+      m.members
+  in
+  let drain m =
+    let rec go () =
+      match m.pending with
+      | e :: rest when deliverable m e ->
+          m.pending <- rest;
+          Queue.add (e.sender, e.ts, e.payload) m.expected;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let note m ~sender ~ts =
+    m.heard <-
+      Proc.Map.add sender
+        (max ts (Proc.Map.find_default ~default:0 sender m.heard))
+        m.heard
+  in
+  let on_action (a : Action.t) =
+    match a with
+    | Action.App_send (p, msg) -> (
+        let m = decode p (Msg.App_msg.payload msg) in
+        let ts = Sym_msg.ts m in
+        let floor = Option.value ~default:0 (Hashtbl.find_opt last_bcast p) in
+        M.check ~monitor:name (ts > floor)
+          "broadcast timestamps not strictly increasing at %a: %a after t%d"
+          Proc.pp p Sym_msg.pp m floor;
+        Hashtbl.replace last_bcast p ts;
+        match m with
+        | Sym_msg.Flush { view; digest; _ } -> (
+            let mach = machine p in
+            M.check ~monitor:name (View.Id.equal view mach.vid)
+              "%a announces a flush for view %a but is in view %a" Proc.pp p
+              View.Id.pp view View.Id.pp mach.vid;
+            (match mach.own_digest with
+            | Some own ->
+                M.check ~monitor:name (String.equal digest own)
+                  "%a announces flush digest %s for view %a; its own flushed \
+                   chunk digests to %s"
+                  Proc.pp p digest View.Id.pp view own
+            | None -> ());
+            match Hashtbl.find_opt installed p with
+            | Some (vid, tset) when View.Id.equal vid view -> (
+                match Hashtbl.find_opt flush_table (vid, tset) with
+                | Some (first, by) ->
+                    M.check ~monitor:name (String.equal digest first)
+                      "transitional-set flush divergence in view %a: %a \
+                       announces %s, %a announced %s"
+                      View.Id.pp vid Proc.pp p digest Proc.pp by first
+                | None -> Hashtbl.replace flush_table (vid, tset) (digest, p))
+            | _ -> ())
+        | Sym_msg.Data _ | Sym_msg.Ack _ -> ())
+    | Action.App_deliver (p, q, msg) -> (
+        let mach = machine p in
+        let m = decode p (Msg.App_msg.payload msg) in
+        let ts = Sym_msg.ts m in
+        note mach ~sender:q ~ts;
+        (match m with
+        | Sym_msg.Data { ts; body } ->
+            mach.pending <- insert_sorted { ts; sender = q; payload = body } mach.pending
+        | Sym_msg.Ack _ | Sym_msg.Flush _ -> ());
+        drain mach)
+    | Action.App_view (p, v, tset) ->
+        let mach = machine p in
+        let flushed = List.sort entry_compare mach.pending in
+        List.iter (fun e -> Queue.add (e.sender, e.ts, e.payload) mach.expected) flushed;
+        mach.pending <- [];
+        mach.heard <- Proc.Map.empty;
+        mach.members <- View.set v;
+        mach.vid <- View.id v;
+        mach.own_digest <- Some (flush_digest flushed);
+        Hashtbl.replace installed p (View.id v, tset)
+    | Action.Sym_deliver (p, sender, ts, payload) -> (
+        let mach = machine p in
+        match Queue.take_opt mach.expected with
+        | None ->
+            M.violate ~monitor:name
+              "early delivery at %a: <%a, t%d, %S> delivered with no entry \
+               satisfying the deliverability condition"
+              Proc.pp p Proc.pp sender ts payload
+        | Some (sender', ts', payload') ->
+            M.check ~monitor:name
+              (Proc.equal sender sender' && ts = ts' && String.equal payload payload')
+              "delivery order divergence at %a: delivered <%a, t%d, %S>, the \
+               deliverability condition admits <%a, t%d, %S> next"
+              Proc.pp p Proc.pp sender ts payload Proc.pp sender' ts' payload')
+    | Action.Crash p ->
+        Hashtbl.remove machines p;
+        Hashtbl.remove last_bcast p;
+        Hashtbl.remove installed p
+    | _ -> ()
+  in
+  let at_end () =
+    Hashtbl.fold
+      (fun p m acc ->
+        if Queue.is_empty m.expected then acc
+        else
+          Fmt.str
+            "%a: %d deliveries admitted by the deliverability condition were \
+             never reported"
+            Proc.pp p (Queue.length m.expected)
+          :: acc)
+      machines []
+    |> List.sort compare
+  in
+  M.make ~at_end name on_action

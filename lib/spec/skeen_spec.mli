@@ -1,0 +1,16 @@
+(** Trace monitor for the symmetric (Skeen-style) total-order arm
+    (DESIGN.md §16): an independent reference machine per process,
+    driven by the observable GCS trace with payloads decoded via
+    {!Vsgc_wire.Sym_msg}, checks that
+
+    - every {!Vsgc_types.Action.Sym_deliver} report matches the next
+      delivery the specification's condition admits (an entry delivers
+      only once every view member is heard at or beyond its timestamp);
+    - per-sender broadcast timestamps strictly increase in wire order;
+    - flush announcements name the sender's actual view, match the
+      reference's own flushed-chunk digest, and agree across all
+      members with the same (view id, transitional set);
+    - at the end of the trace, no admitted delivery is left
+      unreported. *)
+
+val monitor : ?name:string -> unit -> Vsgc_ioa.Monitor.t

@@ -4,8 +4,16 @@
    Timestamps are assigned at the moment a message is actually sent
    (the output and its effect recompute the same deterministic stamp
    from the same state), so this process's broadcast timestamps are
-   strictly increasing on the wire; acknowledgments are derived from
-   the core state rather than queued, and queued data supersedes them. *)
+   strictly increasing on the wire. Send priority is Flush (owed after
+   every view change), then queued data, then the derived
+   acknowledgment — each class supersedes the ones after it.
+
+   Every append to the local total order is reported as a
+   {!Action.Sym_deliver} output: the queue head is exposed, the effect
+   pops it. The reports carry no protocol state — they exist so the
+   Skeen trace monitor (and the socket harness) can observe
+   implementation deliveries and check them against the specification's
+   deliverability condition. *)
 
 open Vsgc_types
 
@@ -16,6 +24,8 @@ type t = {
   me : Proc.t;
   block_status : block_status;
   to_send : string list;  (* raw payloads, oldest first *)
+  flush_due : string option;  (* flushed-chunk digest owed as a Flush *)
+  reports : (Proc.t * int * string) list;  (* Sym_deliver queue, oldest first *)
   views : (View.t * Proc.Set.t) list;  (* newest first *)
   crashed : bool;
 }
@@ -26,6 +36,8 @@ let initial me =
     me;
     block_status = Unblocked;
     to_send = [];
+    flush_due = None;
+    reports = [];
     views = [];
     crashed = false;
   }
@@ -39,17 +51,32 @@ let total_order t =
 
 let views t = List.rev t.views
 let last_view t = match t.views with [] -> None | v :: _ -> Some v
+let core t = t.core
 
-(* The next wire payload, recomputed identically by outputs and apply. *)
+let report_of (e : Tord_symmetric.entry) =
+  (e.Tord_symmetric.sender, e.Tord_symmetric.ts, e.Tord_symmetric.payload)
+
+(* The next wire payload, recomputed identically by outputs and apply:
+   an owed flush supersedes data, data supersedes the ack. *)
 let next_send t =
-  match t.to_send with
-  | payload :: _ -> Some (snd (Tord_symmetric.stamp t.core payload))
-  | [] -> if Tord_symmetric.ack_due t.core then Some (Tord_symmetric.ack_payload t.core) else None
+  match t.flush_due with
+  | Some digest -> Some (snd (Tord_symmetric.flush_stamp t.core ~digest))
+  | None -> (
+      match t.to_send with
+      | payload :: _ -> Some (snd (Tord_symmetric.stamp t.core payload))
+      | [] ->
+          if Tord_symmetric.ack_due t.core then Some (Tord_symmetric.ack_payload t.core)
+          else None)
 
 let outputs t =
   if t.crashed then []
   else
     let acc = if t.block_status = Requested then [ Action.Block_ok t.me ] else [] in
+    let acc =
+      match t.reports with
+      | (sender, ts, payload) :: _ -> Action.Sym_deliver (t.me, sender, ts, payload) :: acc
+      | [] -> acc
+    in
     match next_send t with
     | Some s when t.block_status <> Blocked ->
         Action.App_send (t.me, Msg.App_msg.make s) :: acc
@@ -67,24 +94,36 @@ let apply t (a : Action.t) =
   else
     match a with
     | Action.App_send (_, _) -> (
-        match t.to_send with
-        | payload :: rest ->
-            let core, _ = Tord_symmetric.stamp t.core payload in
-            { t with core; to_send = rest }
-        | [] ->
-            if Tord_symmetric.ack_due t.core then
-              { t with core = Tord_symmetric.ack_sent t.core }
-            else t)
+        match t.flush_due with
+        | Some digest ->
+            let core, _ = Tord_symmetric.flush_stamp t.core ~digest in
+            { t with core; flush_due = None }
+        | None -> (
+            match t.to_send with
+            | payload :: rest ->
+                let core, _ = Tord_symmetric.stamp t.core payload in
+                { t with core; to_send = rest }
+            | [] ->
+                if Tord_symmetric.ack_due t.core then
+                  { t with core = Tord_symmetric.ack_sent t.core }
+                else t))
+    | Action.Sym_deliver _ -> (
+        match t.reports with [] -> t | _ :: rest -> { t with reports = rest })
     | Action.Block_ok _ -> { t with block_status = Blocked }
     | Action.Block _ -> { t with block_status = Requested }
     | Action.App_deliver (_, q, m) ->
-        let core, _newly =
+        let core, newly =
           Tord_symmetric.on_deliver t.core ~sender:q ~payload:(Msg.App_msg.payload m)
         in
-        { t with core }
+        { t with core; reports = t.reports @ List.map report_of newly }
     | Action.App_view (_, v, tset) ->
-        let core, _flushed = Tord_symmetric.on_view t.core ~view:v ~transitional:tset in
-        { t with core; views = (v, tset) :: t.views; block_status = Unblocked }
+        let core, flushed = Tord_symmetric.on_view t.core ~view:v ~transitional:tset in
+        { t with
+          core;
+          flush_due = Some (Tord_symmetric.flush_digest flushed);
+          reports = t.reports @ List.map report_of flushed;
+          views = (v, tset) :: t.views;
+          block_status = Unblocked }
     | Action.Crash _ -> { t with crashed = true }
     | _ -> t
 
@@ -94,12 +133,14 @@ let footprint me (a : Action.t) =
   match a with
   | Action.App_send (p, _) | Action.Block_ok p | Action.App_deliver (p, _, _)
   | Action.App_view (p, _, _) | Action.Block p | Action.Crash p | Action.Recover p
+  | Action.Sym_deliver (p, _, _, _)
     when Proc.equal p me -> rw [ Proc_state me ]
   | _ -> empty
 
 let emits me (a : Action.t) =
   match a with
-  | Action.App_send (p, _) | Action.Block_ok p -> Proc.equal p me
+  | Action.App_send (p, _) | Action.Block_ok p | Action.Sym_deliver (p, _, _, _) ->
+      Proc.equal p me
   | _ -> false
 
 let observe me (st : t) =

@@ -1,6 +1,10 @@
 (** The symmetric-total-order application component: the blocking-client
     shell (Figure 12) over {!Tord_symmetric}. Timestamps are assigned at
-    actual send time; acknowledgments are derived from the core state. *)
+    actual send time; send priority is Flush (owed after every view
+    change), then queued data, then the derived acknowledgment. Every
+    append to the local total order is reported as a
+    {!Vsgc_types.Action.Sym_deliver} output for the Skeen trace
+    monitor. *)
 
 open Vsgc_types
 
@@ -11,6 +15,8 @@ type t = {
   me : Proc.t;
   block_status : block_status;
   to_send : string list;
+  flush_due : string option;
+  reports : (Proc.t * int * string) list;
   views : (View.t * Proc.Set.t) list;
   crashed : bool;
 }
@@ -23,6 +29,10 @@ val push : t ref -> string -> unit
 val total_order : t -> (Proc.t * string) list
 val views : t -> (View.t * Proc.Set.t) list
 val last_view : t -> (View.t * Proc.Set.t) option
+
+val core : t -> Tord_symmetric.t
+(** The ordering core — cursor access ({!Tord_symmetric.entries_from})
+    for stable-delivery consumers. *)
 
 val outputs : t -> Action.t list
 val accepts : Proc.t -> Action.t -> bool

@@ -19,9 +19,17 @@
    remainder is flushed in (timestamp, sender) order, extending the
    total order consistently with no extra agreement — the same argument
    as for the sequencer variant, which is what makes [13]'s switching
-   sound. *)
+   sound. The member then announces the boundary with a Flush message
+   (a fresh timestamp plus a digest of the flushed chunk): it seeds the
+   new view's heard maps the way the old re-announcement ack did, and
+   gives the Skeen trace monitor (DESIGN.md §16) cross-member evidence
+   that all transitional-set members flushed identically.
+
+   Traffic is binary on the wire: {!Vsgc_wire.Sym_msg} carried inside
+   the GCS's opaque application payloads. *)
 
 open Vsgc_types
+module Sym_msg = Vsgc_wire.Sym_msg
 
 type entry = { ts : int; sender : Proc.t; payload : string }
 
@@ -36,6 +44,7 @@ type t = {
   heard : int Proc.Map.t;  (* largest timestamp heard per member, this view *)
   pending : entry list;  (* sorted by (ts, sender) *)
   total : entry list;  (* delivered total order, newest first *)
+  count : int;  (* length of [total] *)
 }
 
 let create me =
@@ -47,34 +56,37 @@ let create me =
     heard = Proc.Map.empty;
     pending = [];
     total = [];
+    count = 0;
   }
 
 let me t = t.me
+let view t = t.view
 let total_order t = List.rev t.total
+let total_count t = t.count
 
-(* -- Wire encoding (inside opaque GCS payloads) -------------------------- *)
-
-let encode_data ~ts payload = Fmt.str "T%d:%s" ts payload
-let encode_ack ~ts = Fmt.str "A%d" ts
-
-type decoded = Data of int * string | Ack of int | Other of string
-
-let decode s =
-  if String.length s = 0 then Other s
+(* The log suffix past index [k], oldest first — the KV service's
+   stable-delivery cursor reads this (same contract as
+   {!Tord_core.entries_from}). *)
+let entries_from t k =
+  if k >= t.count then []
   else
-    match s.[0] with
-    | 'T' -> (
-        match String.index_opt s ':' with
-        | Some i -> (
-            match int_of_string_opt (String.sub s 1 (i - 1)) with
-            | Some ts -> Data (ts, String.sub s (i + 1) (String.length s - i - 1))
-            | None -> Other s)
-        | None -> Other s)
-    | 'A' -> (
-        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
-        | Some ts -> Ack ts
-        | None -> Other s)
-    | _ -> Other s
+    let rec take n acc = function
+      | e :: rest when n > 0 -> take (n - 1) (e :: acc) rest
+      | _ -> acc
+    in
+    take (t.count - k) [] t.total
+
+(* The flushed-chunk fingerprint a Flush message announces: position,
+   timestamp, sender and payload of every flushed entry, digested. *)
+let flush_digest entries =
+  let buf = Buffer.create 64 in
+  List.iteri
+    (fun i (e : entry) ->
+      Buffer.add_string buf
+        (Fmt.str "%d:%d:%a:%d;" i e.ts Proc.pp e.sender (String.length e.payload));
+      Buffer.add_string buf e.payload)
+    entries;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* -- Deliverability -------------------------------------------------------- *)
 
@@ -89,7 +101,9 @@ let deliverable t (e : entry) =
 let rec drain t delivered =
   match t.pending with
   | e :: rest when deliverable t e ->
-      drain { t with pending = rest; total = e :: t.total } (e :: delivered)
+      drain
+        { t with pending = rest; total = e :: t.total; count = t.count + 1 }
+        (e :: delivered)
   | _ -> (t, List.rev delivered)
 
 let insert_sorted e l =
@@ -102,24 +116,34 @@ let insert_sorted e l =
 (* -- Events ------------------------------------------------------------------ *)
 
 (* The broadcast discipline: every message this process multicasts —
-   data or ack — carries a timestamp strictly larger than its previous
-   one, assigned AT SEND TIME (assigning earlier would let a later ack
-   overtake queued data and break the per-sender monotonicity the
-   deliverability rule relies on). [heard.(me)] advances only at
-   self-delivery, keeping the local total order aligned with the GCS's
-   own delivery order. *)
+   data, flush or ack — carries a timestamp at most (data, flush:
+   strictly) greater than its previous one, assigned AT SEND TIME
+   (assigning earlier would let a later ack overtake queued data and
+   break the per-sender monotonicity the deliverability rule relies
+   on). [heard.(me)] advances only at self-delivery, keeping the local
+   total order aligned with the GCS's own delivery order. *)
 
 (* Timestamp and encode a payload for sending now. *)
 let stamp t payload =
   let ts = t.lamport + 1 in
-  ({ t with lamport = ts; last_broadcast = ts }, encode_data ~ts payload)
+  ( { t with lamport = ts; last_broadcast = ts },
+    Sym_msg.to_payload (Sym_msg.Data { ts; body = payload }) )
 
 (* An acknowledgment is due whenever this process has seen a timestamp
    above everything it has broadcast — i.e. peers may be waiting to
    hear from it. Sending data first supersedes the ack. *)
 let ack_due t = t.lamport > t.last_broadcast
-let ack_payload t = encode_ack ~ts:t.lamport
+let ack_payload t = Sym_msg.to_payload (Sym_msg.Ack { ts = t.lamport })
 let ack_sent t = { t with last_broadcast = t.lamport }
+
+(* The view-change boundary announcement: a fresh timestamp (so the
+   per-sender monotonicity is strict even across the boundary) plus the
+   flushed-chunk digest. Counts as a broadcast — it supersedes the ack
+   the old encoding's re-announcement provided. *)
+let flush_stamp t ~digest =
+  let ts = t.lamport + 1 in
+  ( { t with lamport = ts; last_broadcast = ts },
+    Sym_msg.to_payload (Sym_msg.Flush { ts; view = View.id t.view; digest }) )
 
 (* A GCS delivery from [sender]. Returns the new state and the newly
    totally ordered entries. *)
@@ -132,26 +156,26 @@ let on_deliver t ~sender ~payload =
           (max ts (Proc.Map.find_default ~default:0 sender t.heard))
           t.heard }
   in
-  match decode payload with
-  | Data (ts, body) ->
+  match Sym_msg.of_payload payload with
+  | Ok (Sym_msg.Data { ts; body }) ->
       let t = note ts t in
       let t = { t with pending = insert_sorted { ts; sender; payload = body } t.pending } in
       drain t []
-  | Ack ts ->
+  | Ok (Sym_msg.Ack { ts }) | Ok (Sym_msg.Flush { ts; _ }) ->
       let t = note ts t in
       drain t []
-  | Other _ -> (t, [])
+  | Error _ -> (t, [])
 
 (* A GCS view: flush the remainder deterministically (identical at all
-   transitional-set members, by Virtual Synchrony). *)
+   transitional-set members, by Virtual Synchrony). The caller owes a
+   {!flush_stamp} broadcast in the new view — it re-seeds everyone's
+   heard map for the fresh membership. *)
 let on_view t ~view ~transitional:_ =
   let flushed = List.sort entry_compare t.pending in
   ( { t with
       view;
       heard = Proc.Map.empty;
-      (* re-announce in the new view: an ack becomes due immediately,
-         seeding everyone's heard map for the fresh membership *)
-      last_broadcast = 0;
       pending = [];
-      total = List.rev_append flushed t.total },
+      total = List.rev_append flushed t.total;
+      count = t.count + List.length flushed },
     flushed )

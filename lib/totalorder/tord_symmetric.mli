@@ -9,7 +9,11 @@
     can still arrive). Silent members owe acknowledgments; at a view
     change the undeliverable remainder flushes in (timestamp, sender)
     order, identical at all transitional-set members by Virtual
-    Synchrony. *)
+    Synchrony, and every member then announces the boundary with a
+    {!Vsgc_wire.Sym_msg.Flush} broadcast ({!flush_stamp}).
+
+    Traffic is binary: {!Vsgc_wire.Sym_msg} inside opaque GCS
+    application payloads. *)
 
 open Vsgc_types
 
@@ -23,35 +27,51 @@ type t
 val create : Proc.t -> t
 val me : t -> Proc.t
 
+val view : t -> View.t
+(** The current view (whose id a {!flush_stamp} announces). *)
+
 val total_order : t -> entry list
 (** The delivered totally ordered prefix, oldest first. *)
 
-(** {1 Wire encoding (inside opaque GCS payloads)} *)
+val total_count : t -> int
+(** Length of {!total_order} without materialising it. *)
 
-val encode_data : ts:int -> string -> string
-val encode_ack : ts:int -> string
+val entries_from : t -> int -> entry list
+(** [entries_from t k] is the suffix of the total order past index
+    [k], oldest first — the stable-delivery cursor contract of
+    {!Tord_core.entries_from}. *)
 
-type decoded = Data of int * string | Ack of int | Other of string
+val flush_digest : entry list -> string
+(** Fingerprint of a flushed chunk (position, timestamp, sender and
+    payload of every entry) — what a Flush message announces so the
+    Skeen monitor can compare transitional-set members. *)
 
-val decode : string -> decoded
+(** {1 Events}
 
-(** {1 Events} *)
+    Broadcast timestamps must increase in wire order, so stamping
+    coincides with the actual send: both {!stamp} and {!flush_stamp}
+    are called at the moment the message goes out. *)
 
 val stamp : t -> string -> t * string
-(** Timestamp and encode a payload for sending NOW — broadcast
-    timestamps must increase in wire order, so stamping must coincide
-    with the actual send. *)
+(** Timestamp and encode a data payload for sending NOW. *)
 
 val ack_due : t -> bool
 (** Peers may be waiting to hear from this process (it has seen a
-    timestamp above everything it broadcast). Queued data supersedes
-    the acknowledgment. *)
+    timestamp above everything it broadcast). Queued data and owed
+    flushes supersede the acknowledgment. *)
 
 val ack_payload : t -> string
 val ack_sent : t -> t
+
+val flush_stamp : t -> digest:string -> t * string
+(** Encode the view-change boundary announcement: a Flush carrying a
+    fresh timestamp, the current view id and the flushed-chunk
+    [digest]. Counts as a broadcast (it seeds the new view's heard
+    maps). *)
 
 val on_deliver : t -> sender:Proc.t -> payload:string -> t * entry list
 (** A GCS delivery; returns the newly totally ordered entries. *)
 
 val on_view : t -> view:View.t -> transitional:Proc.Set.t -> t * entry list
-(** A GCS view: flush the remainder deterministically. *)
+(** A GCS view: flush the remainder deterministically. The caller owes
+    a {!flush_stamp} broadcast in the new view. *)

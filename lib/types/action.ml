@@ -32,6 +32,12 @@ type t =
       (* failure-detector event: server s now perceives this live server set *)
   | Client_join of Proc.t * Server.t  (* client p attaches to server s *)
   | Client_leave of Proc.t * Server.t  (* client p detaches / is expelled *)
+  (* -- Symmetric total-order arm (DESIGN.md §16) -- *)
+  | Sym_deliver of Proc.t * Proc.t * int * string
+      (* at p: the symmetric ordering layer appended <sender, ts,
+         payload> to its local total order — the delivery report the
+         Skeen trace monitor checks against the specification's
+         deliverability condition *)
 
 type category =
   | C_app_send
@@ -53,6 +59,7 @@ type category =
   | C_fd_change
   | C_client_join
   | C_client_leave
+  | C_sym_deliver
 
 let category = function
   | App_send _ -> C_app_send
@@ -74,6 +81,7 @@ let category = function
   | Fd_change _ -> C_fd_change
   | Client_join _ -> C_client_join
   | Client_leave _ -> C_client_leave
+  | Sym_deliver _ -> C_sym_deliver
 
 let category_to_string = function
   | C_app_send -> "app_send"
@@ -95,6 +103,7 @@ let category_to_string = function
   | C_fd_change -> "fd_change"
   | C_client_join -> "client_join"
   | C_client_leave -> "client_leave"
+  | C_sym_deliver -> "sym_deliver"
 
 (* The process (or server) at which the action occurs — the paper's
    subscript p. For point-to-point deliveries this is the receiver. *)
@@ -118,6 +127,7 @@ let locus = function
   | Fd_change (s, _) -> s
   | Client_join (p, _) -> p
   | Client_leave (p, _) -> p
+  | Sym_deliver (p, _, _, _) -> p
 
 let equal a b =
   match (a, b) with
@@ -146,11 +156,13 @@ let equal a b =
   | Client_join (p, s), Client_join (p', s')
   | Client_leave (p, s), Client_leave (p', s') ->
       Proc.equal p p' && Server.equal s s'
+  | Sym_deliver (p, q, ts, m), Sym_deliver (p', q', ts', m') ->
+      Proc.equal p p' && Proc.equal q q' && ts = ts' && String.equal m m'
   | ( ( App_send _ | App_deliver _ | App_view _ | Block _ | Block_ok _
       | Mb_start_change _ | Mb_view _ | Rf_send _ | Rf_deliver _
       | Rf_reliable _ | Rf_live _ | Rf_lose _ | Crash _ | Recover _
       | Srv_send _ | Srv_deliver _ | Fd_change _ | Client_join _
-      | Client_leave _ ),
+      | Client_leave _ | Sym_deliver _ ),
       _ ) -> false
 
 let pp ppf = function
@@ -183,5 +195,7 @@ let pp ppf = function
       Fmt.pf ppf "fd_change_%a(%a)" Server.pp s Server.Set.pp set
   | Client_join (p, s) -> Fmt.pf ppf "join(%a@%a)" Proc.pp p Server.pp s
   | Client_leave (p, s) -> Fmt.pf ppf "leave(%a@%a)" Proc.pp p Server.pp s
+  | Sym_deliver (p, q, ts, m) ->
+      Fmt.pf ppf "sym_deliver_%a(%a,t%d,%S)" Proc.pp p Proc.pp q ts m
 
 let to_string a = Fmt.str "%a" pp a

@@ -31,6 +31,11 @@ type t =
       (** failure-detector event at a server *)
   | Client_join of Proc.t * Server.t
   | Client_leave of Proc.t * Server.t
+  (* symmetric total-order arm (DESIGN.md §16) *)
+  | Sym_deliver of Proc.t * Proc.t * int * string
+      (** at p: the symmetric ordering layer appended <sender, ts,
+          payload> to its local total order — the delivery report the
+          Skeen trace monitor checks *)
 
 (** One constructor per action family; used for metrics and weights. *)
 type category =
@@ -53,6 +58,7 @@ type category =
   | C_fd_change
   | C_client_join
   | C_client_leave
+  | C_sym_deliver
 
 val category : t -> category
 val category_to_string : category -> string

@@ -1,0 +1,90 @@
+(* Wire vocabulary of the symmetric (Skeen-style logical-timestamp)
+   total-order arm (DESIGN.md §16).
+
+   These messages ride as opaque application payloads inside the GCS's
+   own [Msg.App_msg] — the symmetric protocol is an application of the
+   within-view reliable FIFO service, exactly as [13] builds it — so
+   the codec converts to and from [string] at its edge ([to_payload] /
+   [of_payload]) while sharing the [Bin] discipline of every other
+   wire codec: tagged, length-prefixed, and total on decode.
+
+     Data  <ts, body>          a timestamped application multicast
+     Ack   <ts>                a silent member's acknowledgment
+     Flush <ts, view, digest>  the view-change boundary announcement:
+                               the sender flushed its undeliverable
+                               remainder into the total order and
+                               [digest] fingerprints that flushed
+                               chunk. Doubles as the first ack of the
+                               new view (it carries a fresh timestamp),
+                               seeding every member's heard map — and
+                               gives the Skeen trace monitor the
+                               cross-member flush-agreement evidence. *)
+
+open Vsgc_types
+
+type t =
+  | Data of { ts : int; body : string }
+  | Ack of { ts : int }
+  | Flush of { ts : int; view : View.Id.t; digest : string }
+
+let equal a b =
+  match (a, b) with
+  | Data x, Data y -> x.ts = y.ts && String.equal x.body y.body
+  | Ack x, Ack y -> x.ts = y.ts
+  | Flush x, Flush y ->
+      x.ts = y.ts && View.Id.equal x.view y.view && String.equal x.digest y.digest
+  | (Data _ | Ack _ | Flush _), _ -> false
+
+let pp ppf = function
+  | Data { ts; body } -> Fmt.pf ppf "data(t%d,%S)" ts body
+  | Ack { ts } -> Fmt.pf ppf "ack(t%d)" ts
+  | Flush { ts; view; digest } ->
+      Fmt.pf ppf "flush(t%d,%a,%s)" ts View.Id.pp view digest
+
+let ts = function Data { ts; _ } | Ack { ts } | Flush { ts; _ } -> ts
+
+let write b = function
+  | Data { ts; body } ->
+      Bin.w_u8 b 1;
+      Bin.w_int b ts;
+      Bin.w_string b body
+  | Ack { ts } ->
+      Bin.w_u8 b 2;
+      Bin.w_int b ts
+  | Flush { ts; view; digest } ->
+      Bin.w_u8 b 3;
+      Bin.w_int b ts;
+      View.Id.write b view;
+      Bin.w_string b digest
+
+let read r =
+  match Bin.r_u8 r ~what:"sym_msg" with
+  | 1 ->
+      let ts = Bin.r_int r ~what:"sym_msg.ts" in
+      let body = Bin.r_string r ~what:"sym_msg.body" in
+      if ts <= 0 then Bin.bad_value ~what:"sym_msg.ts" "non-positive timestamp";
+      Data { ts; body }
+  | 2 ->
+      let ts = Bin.r_int r ~what:"sym_msg.ts" in
+      if ts <= 0 then Bin.bad_value ~what:"sym_msg.ts" "non-positive timestamp";
+      Ack { ts }
+  | 3 ->
+      let ts = Bin.r_int r ~what:"sym_msg.ts" in
+      let view = View.Id.read r in
+      let digest = Bin.r_string r ~what:"sym_msg.digest" in
+      if ts <= 0 then Bin.bad_value ~what:"sym_msg.ts" "non-positive timestamp";
+      Flush { ts; view; digest }
+  | tag -> Bin.fail (Bad_tag { what = "sym_msg"; tag })
+
+let size_hint = function
+  | Data { body; _ } -> 24 + String.length body
+  | Ack _ -> 16
+  | Flush { digest; _ } -> 40 + String.length digest
+
+let to_bytes t = Bin.to_bytes ~hint:(size_hint t) write t
+let of_bytes buf = Bin.run read buf
+
+(* The payload edge: symmetric-arm traffic travels inside opaque
+   [Msg.App_msg] strings, so the GCS below needs no new packet kind. *)
+let to_payload t = Bytes.unsafe_to_string (to_bytes t)
+let of_payload s = of_bytes (Bytes.unsafe_of_string s)

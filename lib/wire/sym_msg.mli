@@ -1,0 +1,31 @@
+(** Wire vocabulary of the symmetric (Skeen-style) total-order arm:
+    timestamped data, acknowledgments, and the view-change flush
+    announcement. Rides inside opaque GCS application payloads; the
+    codec is total on decode like every other [Bin]-based codec. *)
+
+open Vsgc_types
+
+type t =
+  | Data of { ts : int; body : string }
+  | Ack of { ts : int }
+  | Flush of { ts : int; view : View.Id.t; digest : string }
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val ts : t -> int
+(** The Lamport timestamp every symmetric-arm message carries. *)
+
+val write : Bin.wbuf -> t -> unit
+val read : Bin.reader -> t
+
+val size_hint : t -> int
+val to_bytes : t -> bytes
+val of_bytes : bytes -> (t, Bin.error) result
+
+val to_payload : t -> string
+(** Encode for travel inside an opaque [Msg.App_msg] payload. *)
+
+val of_payload : string -> (t, Bin.error) result
+(** Total decode of a payload; non-symmetric-arm payloads yield
+    [Error]. *)

@@ -89,6 +89,16 @@ let test_corruption_corpus_present () =
   | [] -> Alcotest.fail "no pinned .fault schedule carries a corrupt event"
   | _ -> ()
 
+(* The symmetric-arm corpus (DESIGN.md §16) must never silently shrink
+   away either: at least a partition-heal and a crash-rejoin pin deploy
+   [arm sym], so the Skeen monitor keeps seeing faulted wire traffic. *)
+let test_sym_corpus_present () =
+  let is_sym f =
+    (F.Schedule.load f).F.Schedule.conf.F.Schedule.arm = `Sym
+  in
+  if List.length (List.filter is_sym (fault_files ())) < 2 then
+    Alcotest.fail "want at least 2 pinned sym-arm .fault schedules"
+
 (* -- Replay, under both scheduler modes ----------------------------------- *)
 
 let in_mode mode body () =
@@ -141,5 +151,6 @@ let suite =
     Alcotest.test_case "corpus files all parse" `Quick test_corpus_parses;
     Alcotest.test_case "corruption corpus present" `Quick
       test_corruption_corpus_present;
+    Alcotest.test_case "sym-arm corpus present" `Quick test_sym_corpus_present;
   ]
   @ replay_cases

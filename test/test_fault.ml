@@ -28,6 +28,7 @@ let test_schedule_roundtrip () =
           clients = 3;
           servers = 2;
           layer = `Full;
+          arm = `Sym;
           knobs = { Loopback.delay = 2; drop = 0.25; reorder = 0.5 };
           expect = Some "wv_rfifo_spec";
           fingerprint = Some "p0=dead:1|hub:2/3/4";
@@ -75,6 +76,7 @@ let test_schedule_rejects_garbage () =
       "vsgc-fault 1\nclients 2\npartition |";
       "vsgc-fault 1\nclients 2\ncorrupt 0 frobnicate 3";
       "vsgc-fault 1\nclients 2\ncorrupt 0 last_sent";
+      "vsgc-fault 1\nclients 2\narm banana";
     ]
 
 (* -- Per-link hub controls ----------------------------------------------- *)
@@ -201,6 +203,7 @@ let acceptance_schedule =
         clients = 3;
         servers = 2;
         layer = `Full;
+        arm = `Gcs;
         knobs = { Loopback.default_knobs with delay = 1 };
         expect = None;
         fingerprint = None;
@@ -327,6 +330,7 @@ let gen_schedule =
     let* events = list_size (int_range 0 12) gen_event in
     let* seed = int_range 0 9999 in
     let* layer = oneofl [ `Wv; `Vs; `Full ] in
+    let* arm = oneofl [ `Gcs; `Sym ] in
     let* knobs = gen_knobs in
     let* expect =
       oneofl [ None; Some "wv_rfifo_spec"; Some F.Inject.detected_kind ]
@@ -341,6 +345,7 @@ let gen_schedule =
             clients;
             servers;
             layer;
+            arm;
             knobs;
             expect;
             fingerprint;

@@ -118,6 +118,7 @@ let base_conf name seed =
     clients = 3;
     servers = 2;
     layer = `Full;
+    arm = `Gcs;
     knobs = { Loopback.default_knobs with delay = 1 };
     expect = None;
     fingerprint = None;

@@ -11,6 +11,7 @@ module Packet = Vsgc_wire.Packet
 module Frame = Vsgc_wire.Frame
 module Node_id = Vsgc_wire.Node_id
 module Kv_msg = Vsgc_wire.Kv_msg
+module Sym_msg = Vsgc_wire.Sym_msg
 module Gen = QCheck.Gen
 
 (* -- Generators ---------------------------------------------------------- *)
@@ -135,6 +136,24 @@ let gen_kv_resp =
         (Gen.option gen_payload);
     ]
 
+(* Symmetric-arm timestamps start at 1 and the decoder rejects ts <= 0,
+   so the generator stays in the valid range; bad timestamps get their
+   own directed case below. *)
+let gen_sym_ts = Gen.int_range 1 1_000_000
+
+let gen_sym =
+  Gen.frequency
+    [
+      ( 4,
+        Gen.map2 (fun ts body -> Sym_msg.Data { ts; body }) gen_sym_ts
+          gen_payload );
+      (2, Gen.map (fun ts -> Sym_msg.Ack { ts }) gen_sym_ts);
+      ( 2,
+        Gen.map
+          (fun (ts, view, digest) -> Sym_msg.Flush { ts; view; digest })
+          (Gen.triple gen_sym_ts gen_vid gen_payload) );
+    ]
+
 let gen_packet =
   Gen.frequency
     [
@@ -198,6 +217,22 @@ let prop_packet =
   roundtrip ~name:"packet roundtrip" ~count:1000 gen_packet Packet.write
     Packet.read Packet.equal Packet.pp
 
+let prop_sym =
+  roundtrip ~name:"sym msg roundtrip" ~count:1000 gen_sym Sym_msg.write
+    Sym_msg.read Sym_msg.equal Sym_msg.pp
+
+(* The payload edge the symmetric arm actually travels through: encode
+   into an opaque App_msg payload string and decode it back out. *)
+let prop_sym_payload =
+  QCheck.Test.make ~name:"sym payload roundtrip" ~count:500
+    (QCheck.make gen_sym ~print:(Fmt.str "%a" Sym_msg.pp))
+    (fun m ->
+      let app = Msg.App_msg.make (Sym_msg.to_payload m) in
+      match Sym_msg.of_payload (Msg.App_msg.payload app) with
+      | Ok m' -> Sym_msg.equal m m'
+      | Error e ->
+          QCheck.Test.fail_reportf "payload decode error: %a" Bin.pp_error e)
+
 let prop_frame =
   QCheck.Test.make ~name:"frame roundtrip" ~count:1000
     (QCheck.make gen_packet ~print:Packet.to_string) (fun pkt ->
@@ -238,6 +273,7 @@ let test_fuzz_total () =
       ("view", fun b -> Result.is_ok (Bin.run View.read b));
       ("kv_req", fun b -> Result.is_ok (Bin.run Kv_msg.read_request b));
       ("kv_resp", fun b -> Result.is_ok (Bin.run Kv_msg.read_response b));
+      ("sym_msg", fun b -> Result.is_ok (Sym_msg.of_bytes b));
     ]
   in
   let oks = ref 0 and errs = ref 0 in
@@ -285,6 +321,14 @@ let test_fuzz_total () =
       Packet.View { target = 1; view = View.initial 1 };
       Packet.Kv_req (Kv_msg.Put { client = 1; seq = 2; key = "k"; value = "v" });
       Packet.Kv_resp (Kv_msg.Get_reply { client = 1; seq = 2; value = None });
+      Packet.Rf
+        {
+          from = 2;
+          wire =
+            Msg.Wire.App
+              (Msg.App_msg.make
+                 (Sym_msg.to_payload (Sym_msg.Data { ts = 7; body = "sym" })));
+        };
     ]
   in
   for _ = 1 to 3_000 do
@@ -445,6 +489,132 @@ let prop_feeder_adversarial =
         [ 0; len / 3; len / 2; len - 1; len ];
       true)
 
+(* Non-positive timestamps are a decode error, not a value: the
+   symmetric arm's per-sender Lamport clocks start at 1, so ts <= 0 in
+   any constructor marks a corrupt or forged message. *)
+let test_sym_bad_ts () =
+  let craft tag ts =
+    let b = Bin.Wbuf.create 16 in
+    Bin.w_u8 b tag;
+    Bin.w_int b ts;
+    if tag = 1 then Bin.w_string b "body";
+    Bin.Wbuf.to_bytes b
+  in
+  List.iter
+    (fun (tag, ts) ->
+      match Sym_msg.of_bytes (craft tag ts) with
+      | Error (Bin.Bad_value { what = "sym_msg.ts"; _ }) -> ()
+      | Error e ->
+          Alcotest.failf "tag %d ts=%d: unexpected error %a" tag ts Bin.pp_error
+            e
+      | Ok m -> Alcotest.failf "tag %d ts=%d decoded as %a" tag ts Sym_msg.pp m)
+    [ (1, 0); (1, -1); (2, 0); (2, -4096) ];
+  match Sym_msg.of_bytes (Bytes.of_string "\x09") with
+  | Error (Bin.Bad_tag { what = "sym_msg"; tag = 9 }) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Bin.pp_error e
+  | Ok _ -> Alcotest.fail "sym tag 9 decoded"
+
+(* Trailing bytes after a complete sym message are rejected like every
+   other total codec. *)
+let test_sym_trailing () =
+  let b = Sym_msg.to_bytes (Sym_msg.Ack { ts = 3 }) in
+  match Sym_msg.of_bytes (Bytes.cat b (Bytes.of_string "z")) with
+  | Error (Bin.Trailing { extra = 1 }) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Bin.pp_error e
+  | Ok _ -> Alcotest.fail "trailing byte accepted"
+
+(* Single-byte corruptions of valid sym encodings: the decoder must
+   rule Ok or Error on every one, never raise. *)
+let test_sym_corruption () =
+  let rng = Vsgc_ioa.Rng.make 0x5e1f in
+  let samples =
+    [
+      Sym_msg.Data { ts = 1; body = "" };
+      Sym_msg.Data { ts = 40_000; body = String.make 24 'q' };
+      Sym_msg.Ack { ts = 17 };
+      Sym_msg.Flush
+        { ts = 9; view = View.Id.make ~num:4 ~origin:1; digest = "0123abcd" };
+    ]
+  in
+  for _ = 1 to 2_000 do
+    let m = Vsgc_ioa.Rng.pick rng samples in
+    let b = Sym_msg.to_bytes m in
+    let i = Vsgc_ioa.Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Vsgc_ioa.Rng.int rng 256));
+    match Sym_msg.of_bytes b with
+    | Ok _ | Error _ -> ()
+    | exception exn ->
+        Alcotest.failf "sym decoder raised %s" (Printexc.to_string exn)
+  done
+
+(* Sym traffic rides inside App payloads inside framed Rf packets; the
+   incremental feeder must hand the train back intact at any chunking,
+   and every recovered payload must decode to the original sym
+   message. *)
+let test_sym_feeder_chunked () =
+  let msgs =
+    [
+      Sym_msg.Data { ts = 1; body = "a" };
+      Sym_msg.Ack { ts = 2 };
+      Sym_msg.Flush
+        { ts = 3; view = View.Id.make ~num:2 ~origin:0; digest = "deadbeef" };
+      Sym_msg.Data { ts = 5; body = String.make 40 'x' };
+    ]
+  in
+  let pkts =
+    List.map
+      (fun m ->
+        Packet.Rf
+          { from = 1; wire = Msg.Wire.App (Msg.App_msg.make (Sym_msg.to_payload m)) })
+      msgs
+  in
+  let stream = Bytes.concat Bytes.empty (List.map Frame.encode pkts) in
+  List.iter
+    (fun chunk ->
+      let f = Frame.feeder () in
+      let got = ref [] in
+      let drain () =
+        let rec go () =
+          match Frame.next f with
+          | Some (Ok pkt) ->
+              got := pkt :: !got;
+              go ()
+          | Some (Error e) -> Alcotest.failf "feeder error %a" Frame.pp_error e
+          | None -> ()
+        in
+        go ()
+      in
+      let len = Bytes.length stream in
+      let off = ref 0 in
+      while !off < len do
+        let k = Stdlib.min chunk (len - !off) in
+        Frame.feed f stream ~off:!off ~len:k;
+        drain ();
+        off := !off + k
+      done;
+      let decoded =
+        List.rev_map
+          (function
+            | Packet.Rf { wire = Msg.Wire.App a; _ } -> (
+                match Sym_msg.of_payload (Msg.App_msg.payload a) with
+                | Ok m -> m
+                | Error e ->
+                    Alcotest.failf "payload at chunk %d: %a" chunk Bin.pp_error
+                      e)
+            | pkt ->
+                Alcotest.failf "non-Rf packet at chunk %d: %a" chunk Packet.pp
+                  pkt)
+          !got
+      in
+      Alcotest.(check int)
+        (Fmt.str "all sym messages at chunk %d" chunk)
+        (List.length msgs) (List.length decoded);
+      Alcotest.(check bool)
+        (Fmt.str "identical sym messages at chunk %d" chunk)
+        true
+        (List.for_all2 Sym_msg.equal msgs decoded))
+    [ 1; 2; 5; 13; 64; 100_000 ]
+
 let test_feeder_garbage () =
   let f = Frame.feeder () in
   Frame.feed f (Bytes.of_string "garbage bytes here") ~off:0 ~len:18;
@@ -462,6 +632,8 @@ let suite =
       prop_node_id;
       prop_kv_req;
       prop_kv_resp;
+      prop_sym;
+      prop_sym_payload;
       prop_packet;
       prop_frame;
       prop_prefix;
@@ -474,4 +646,10 @@ let suite =
       Alcotest.test_case "frame header errors" `Quick test_frame_header_errors;
       Alcotest.test_case "feeder: chunk-independent" `Quick test_feeder_chunked;
       Alcotest.test_case "feeder: garbage flushes" `Quick test_feeder_garbage;
+      Alcotest.test_case "sym: bad timestamps rejected" `Quick test_sym_bad_ts;
+      Alcotest.test_case "sym: trailing bytes rejected" `Quick test_sym_trailing;
+      Alcotest.test_case "sym: corruption never raises" `Quick
+        test_sym_corruption;
+      Alcotest.test_case "sym: feeder chunk-independent" `Quick
+        test_sym_feeder_chunked;
     ]
