@@ -117,6 +117,17 @@ for s in test/corpus/*.sched; do
   VSGC_SCHED=rescan dune exec -- devtools/explore.exe replay "$s" -quiet
 done
 
+# Multicore fingerprint gate (DESIGN.md §17): the deterministic-merge
+# parallel scheduler fans the per-step candidate refresh across a
+# 4-domain pool but must stay bit-identical to rescan — the whole
+# pinned corpus replays under VSGC_SCHED=parallel -jobs 4 and any
+# fingerprint or expectation drift fails here.
+VSGC_SCHED=parallel dune exec -- devtools/chaos.exe replay -jobs 4 -quiet \
+  test/corpus/*.fault
+for s in test/corpus/*.sched; do
+  VSGC_SCHED=parallel dune exec -- devtools/explore.exe replay "$s" -jobs 4 -quiet
+done
+
 # Sanitized replay gate: the effect sanitizer shadow-checks every step
 # of the whole pinned corpus, under both scheduler modes.
 # VSGC_SANITIZE=1 raises on the first footprint lie (surfaced as a
@@ -142,9 +153,12 @@ done
 # zero lost acks under the partition-heal script), and E18 (the
 # total-order bake-off; asserts both arms ack every command under
 # every fault mode, the Skeen monitor and GCS invariant battery stay
-# green, and the two arms' final stores are byte-identical) at
-# reduced iterations, JSON output suppressed.
-dune exec -- bench/main.exe -smoke E13 E14 E16 E17 E18 > /dev/null
+# green, and the two arms' final stores are byte-identical), and E19
+# (the multicore executor; asserts the deterministic parallel merge
+# is step- and fingerprint-identical to the sequential rescan, the
+# racy merged trace is jobs-independent, and the synthetic k-group
+# arm loses no steps) at reduced iterations, JSON output suppressed.
+dune exec -- bench/main.exe -smoke E13 E14 E16 E17 E18 E19 > /dev/null
 
 # KV SLO gate: the open-loop load generator across scripted
 # partition-heal and crash-rejoin reconfigurations on the loopback
@@ -376,19 +390,22 @@ done
 kill "$ys0" "$yp0" "$yp1" 2>/dev/null || true
 
 # Soak (-soak only): the whole corpus and >= 1M corruption-enabled
-# chaos steps, under both scheduler modes. Any violation, fingerprint
-# drift, or undetected corruption fails; the soak summary's detection
-# stats feed EXPERIMENTS.md E15.
+# chaos steps, under all three deterministic scheduler modes
+# (parallel = the 4-domain deterministic merge). Any violation,
+# fingerprint drift, or undetected corruption fails; the soak
+# summary's detection stats feed EXPERIMENTS.md E15.
 if [ "$soak" = 1 ]; then
-  for mode in cached rescan; do
+  for mode in cached rescan parallel; do
+    jobs_flag=""
+    [ "$mode" = parallel ] && jobs_flag="-jobs 4"
     echo "ci: soak [$mode]: corpus replay"
-    VSGC_SCHED=$mode dune exec -- devtools/chaos.exe replay -quiet \
+    VSGC_SCHED=$mode dune exec -- devtools/chaos.exe replay $jobs_flag -quiet \
       test/corpus/*.fault
     for s in test/corpus/*.sched; do
-      VSGC_SCHED=$mode dune exec -- devtools/explore.exe replay "$s" -quiet
+      VSGC_SCHED=$mode dune exec -- devtools/explore.exe replay "$s" $jobs_flag -quiet
     done
     echo "ci: soak [$mode]: chaos soak"
-    VSGC_SCHED=$mode dune exec -- devtools/chaos.exe soak \
+    VSGC_SCHED=$mode dune exec -- devtools/chaos.exe soak $jobs_flag \
       -steps 1000000 -seed 2026 -quiet
   done
 fi

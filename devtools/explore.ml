@@ -29,6 +29,7 @@ let sends = ref 1
 let out = ref ""
 let name = ref ""
 let quiet = ref false
+let jobs = ref 1
 
 let common =
   [
@@ -53,6 +54,9 @@ let find_opts =
     ("-sends", Arg.Set_int sends, "K messages from the sender (default 1)");
     ("-o", Arg.Set_string out, "FILE save the (shrunk) finding here");
     ("-name", Arg.Set_string name, "NAME schedule name header");
+    ( "-jobs",
+      Arg.Set_int jobs,
+      "J fan root subtrees across J domains (default 1)" );
   ]
   @ common
 
@@ -83,7 +87,10 @@ let cmd_find args =
     { E.Schedule.name = sched_name; expect = None; conf; entries = default_prefix all }
   in
   let t0 = Unix.gettimeofday () in
-  let report = E.Explorer.explore ~depth:!depth ~max_runs:!max_runs ~probe:!probe sched in
+  let report =
+    E.Explorer.explore ~depth:!depth ~max_runs:!max_runs ~probe:!probe
+      ~jobs:!jobs sched
+  in
   let dt = Unix.gettimeofday () -. t0 in
   if not !quiet then
     Fmt.pr "%a (%.2fs)@." E.Explorer.pp_report report dt;
@@ -109,8 +116,23 @@ let cmd_find args =
       exit 1
 
 let cmd_replay args =
-  let files = List.filter (fun a -> a <> "-quiet") args in
-  quiet := List.mem "-quiet" args;
+  let rec strip acc = function
+    | [] -> List.rev acc
+    | "-quiet" :: rest ->
+        quiet := true;
+        strip acc rest
+    (* -jobs on replay sets the executor pool width: with
+       VSGC_SCHED=parallel the deterministic-merge refresh fans out
+       while the replayed fingerprint must not move *)
+    | "-jobs" :: j :: rest -> (
+        match int_of_string_opt j with
+        | Some j when j >= 1 ->
+            Vsgc_ioa.Executor.set_default_jobs j;
+            strip acc rest
+        | _ -> die "-jobs wants a positive integer, got %S" j)
+    | f :: rest -> strip (f :: acc) rest
+  in
+  let files = strip [] args in
   if files = [] then die "replay needs at least one FILE.sched";
   let bad = ref 0 in
   List.iter

@@ -21,8 +21,12 @@
      vet hotpath [DIR]      flag copy idioms (Buffer.to_bytes,
                             Bytes.sub_string) on the zero-copy wire
                             hot path (default lib/wire)
+     vet domains            audit the planned multicore partition of
+                            every shipped composition against the
+                            footprint independence relation
+                            (DESIGN.md §17)
      vet all [DIR]          wiring + inherit + effects + corpus + wire
-                            + hotpath
+                            + hotpath + domains
 
    The global [-json] (or [--json]) flag switches diagnostic output to
    one JSON object per finding (JSONL on stdout, no summary lines), so
@@ -88,6 +92,12 @@ let hotpath ?dir () =
   let dir = Option.value dir ~default:"lib/wire" in
   report ("hotpath " ^ dir) (A.Hotpath_check.check ~dir ())
 
+let domains () =
+  List.fold_left
+    (fun acc (label, diags) -> acc + report label diags)
+    0
+    (A.Domain_check.all ())
+
 let fixture name =
   match A.Fixtures.find name with
   | None ->
@@ -140,13 +150,14 @@ let () =
         | None -> die "fixture: missing name (or -list)")
     | Some "wire" -> wire ()
     | Some "hotpath" -> hotpath ?dir:(arg 2) ()
+    | Some "domains" -> domains ()
     | Some "all" ->
         wiring () + inherit_ () + effects ()
         + corpus (Option.value (arg 2) ~default:"test/corpus")
-        + wire () + hotpath ()
+        + wire () + hotpath () + domains ()
     | Some cmd ->
-        die "unknown subcommand %S (wiring|inherit|effects|corpus|fixture|wire|hotpath|all)" cmd
+        die "unknown subcommand %S (wiring|inherit|effects|corpus|fixture|wire|hotpath|domains|all)" cmd
     | None ->
-        die "usage: vet [-json] (wiring|inherit|effects|corpus|fixture NAME|wire|hotpath|all)"
+        die "usage: vet [-json] (wiring|inherit|effects|corpus|fixture NAME|wire|hotpath|domains|all)"
   in
   exit (if count = 0 then 0 else 1)

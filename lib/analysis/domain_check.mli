@@ -1,0 +1,28 @@
+(** The multicore-partition audit (vet pass "domains") — the static
+    soundness certificate for the racy parallel engine (DESIGN.md §17).
+
+    Computes the planned footprint partition of each shipped
+    composition over the representative {!Universe} and cross-checks
+    it against the footprint-derived independence relation:
+    [cross-group-interference] flags two actions placed in different
+    groups whose composition-wide footprints nonetheless interfere
+    (concurrent group quanta could race on shared state), and
+    [unplaceable-action] flags a probed action whose participants
+    span groups — impossible by construction of the union-find, so it
+    marks a partitioner bug. *)
+
+val audit :
+  universe:Vsgc_types.Action.t list -> Vsgc_ioa.Executor.t -> Diag.t list
+(** Audit one live composition against its planned partition. *)
+
+val layer : ?n:int -> Vsgc_core.Endpoint.layer -> Diag.t list
+(** Audit one end-point layer's standard composition. *)
+
+val server_stack : ?n_clients:int -> ?n_servers:int -> unit -> Diag.t list
+(** Audit the client-server membership stack (Figure 1). *)
+
+val kv_stack : ?n:int -> unit -> Diag.t list
+(** Audit the KV service stack (DESIGN.md §15). *)
+
+val all : unit -> (string * Diag.t list) list
+(** Every shipped composition, as the vet driver runs them. *)

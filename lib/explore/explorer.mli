@@ -36,7 +36,21 @@ val independence : Sysconf.t -> Vsgc_types.Action.t -> Vsgc_types.Action.t -> bo
     reads or writes. Memoized per action; building the relation costs
     one [Sysconf.build]. *)
 
-val explore : ?depth:int -> ?max_runs:int -> ?probe:bool -> Schedule.t -> report
+val explore :
+  ?depth:int -> ?max_runs:int -> ?probe:bool -> ?jobs:int -> Schedule.t -> report
 (** [explore sched] uses [sched.entries] as the driving prefix;
     [sched.expect] is ignored on input and set on the finding.
-    Defaults: [depth 4], [max_runs 10_000], [probe true]. *)
+    Defaults: [depth 4], [max_runs 10_000], [probe true], [jobs 1].
+
+    [jobs > 1] fans the root's subtrees across the domain pool
+    (DESIGN.md §17), each with the same statically-computed sleep set
+    the sequential search would give it. The reported finding is made
+    canonical — the one the leftmost finding subtree surfaces: a
+    subtree that finds a violation cancels only {e later} subtrees,
+    and the lowest-index finding wins, so the returned schedule is the
+    same DFS-minimal one [jobs:1] reports. On [Exhausted], [states]
+    and [sleep_skips] match the sequential search exactly; [runs] may
+    differ (each subtree rebuilds its root instead of descending live,
+    and a shared budget is spent concurrently), so near [max_runs] the
+    parallel search can report [Run_budget] where the sequential one
+    finished, or vice versa. *)

@@ -1,0 +1,101 @@
+(* The planned multicore partition (DESIGN.md §17).
+
+   Components are grouped by the static participation relation: over a
+   probe set of representative actions, every component that could own
+   an action ([emits]) or would take its step ([accepts]) is a
+   participant, and all participants of one action are unioned into one
+   group. Actions whose participants sit inside a single group are that
+   group's internal work — a domain may perform them with no other
+   domain looking, because [Component.apply] touches only the
+   participant's own state ref and [accepts]/[emits] are
+   state-independent. Actions spanning groups are barrier actions: only
+   the master performs them, between parallel quanta.
+
+   The probe set bounds what the partition knows: an action shape that
+   never appears in it may still turn out internal to a group at run
+   time (the racy engine re-checks exact participants per action), so
+   the probe only decides work placement, never safety. The `vet
+   domains` pass audits the complement: over the representative
+   universe, no declared footprint may interfere across the planned
+   groups — so the partition the engine would use is exactly as
+   disjoint as the footprints claim. *)
+
+open Vsgc_types
+
+type t = {
+  group_of : int array;  (* component index -> group id *)
+  groups : int array array;
+      (* group id -> member component indices, ascending; group ids
+         ordered by smallest member *)
+}
+
+let participants (comps : Component.packed array) (a : Action.t) =
+  let l = ref [] in
+  Array.iteri
+    (fun i c -> if Component.emits c a || Component.accepts c a then l := i :: !l)
+    comps;
+  List.rev !l
+
+let compute ~(probe : Action.t list) (comps : Component.packed array) =
+  let n = Array.length comps in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(max ri rj) <- min ri rj
+  in
+  List.iter
+    (fun a ->
+      match participants comps a with
+      | [] -> ()
+      | i0 :: rest -> List.iter (union i0) rest)
+    probe;
+  (* Path-compress and assign dense group ids in order of smallest
+     member, so the layout is canonical for a given composition. *)
+  let group_of = Array.make n 0 in
+  let next = ref 0 in
+  let id_of_root = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    let gid =
+      match Hashtbl.find_opt id_of_root r with
+      | Some g -> g
+      | None ->
+          let g = !next in
+          incr next;
+          Hashtbl.add id_of_root r g;
+          g
+    in
+    group_of.(i) <- gid
+  done;
+  let members = Array.make !next [] in
+  for i = n - 1 downto 0 do
+    members.(group_of.(i)) <- i :: members.(group_of.(i))
+  done;
+  { group_of; groups = Array.map Array.of_list members }
+
+let group_of t i = t.group_of.(i)
+let groups t = t.groups
+let n_groups t = Array.length t.groups
+
+(* Is [a], owned by [owner], internal to one group? Exact participants
+   (owner + acceptors), not the emits over-approximation: this is the
+   per-action guard the racy engine uses at run time. *)
+let internal_to t (comps : Component.packed array) ~owner (a : Action.t) =
+  let g = t.group_of.(owner) in
+  let ok = ref true in
+  Array.iteri
+    (fun i c ->
+      if !ok && i <> owner && Component.accepts c a && t.group_of.(i) <> g then
+        ok := false)
+    comps;
+  if !ok then Some g else None
+
+let pp ppf t =
+  Fmt.pf ppf "%d group%s:" (n_groups t) (if n_groups t = 1 then "" else "s");
+  Array.iteri
+    (fun g members ->
+      Fmt.pf ppf " [%d:" g;
+      Array.iter (fun i -> Fmt.pf ppf " %d" i) members;
+      Fmt.pf ppf "]")
+    t.groups

@@ -1,0 +1,36 @@
+(** The planned multicore partition (DESIGN.md §17): components grouped
+    by static participation over a probe action set. Actions internal
+    to one group may be performed by that group's domain without
+    synchronization (a participant's step touches only its own state
+    ref); actions spanning groups are barrier actions, performed only
+    by the master between parallel quanta. The probe set decides work
+    placement only — safety comes from the exact per-action
+    {!internal_to} guard the racy engine applies at run time, and the
+    [vet domains] pass audits that no declared footprint interferes
+    across the planned groups. *)
+
+open Vsgc_types
+
+type t
+
+val participants : Component.packed array -> Action.t -> int list
+(** Static participants of [a]: every component that could own it
+    ([emits]) or takes its step ([accepts]), ascending. *)
+
+val compute : probe:Action.t list -> Component.packed array -> t
+(** Union-find over the participants of every probe action. Group ids
+    are dense and ordered by smallest member — canonical for a given
+    composition and probe set. *)
+
+val group_of : t -> int -> int
+val groups : t -> int array array
+(** Members per group, ascending component indices. *)
+
+val n_groups : t -> int
+
+val internal_to : t -> Component.packed array -> owner:int -> Action.t -> int option
+(** [Some g] when the {e exact} participants of [a] under [owner]
+    (owner + acceptors) all live in group [g]; [None] for a barrier
+    action. *)
+
+val pp : Format.formatter -> t -> unit

@@ -106,34 +106,57 @@ type wbuf = Wbuf.t
 
 (* Encode paths borrow a scratch Wbuf, fill it, copy the result out,
    and return it — so a steady-state hot path allocates exactly the
-   result bytes per message, never the intermediate buffer. The pool
-   is a small LIFO stack: nested encodes (a codec calling [to_bytes]
-   while holding a scratch) borrow distinct buffers, so no live buffer
-   is ever aliased. Counters feed the observability layer. *)
+   result bytes per message, never the intermediate buffer. Each domain
+   owns its own small LIFO stack (Domain.DLS), so the fast path stays
+   lock-free and no scratch buffer is ever visible to two domains:
+   nested encodes on one domain borrow distinct buffers, and parallel
+   encodes on different domains borrow from different pools. The reuse
+   counters are kept per domain too ([Atomic], so the summing reader
+   races with no one) and summed on demand via a registry of every
+   domain's stats record. *)
 module Pool = struct
-  type stats = { mutable reused : int; mutable allocated : int }
+  type stats = { reused : int Atomic.t; allocated : int Atomic.t }
+  type dpool = { stats : stats; mutable free : Wbuf.t list }
 
-  let stats_ = { reused = 0; allocated = 0 }
   let max_pooled = 8
-  let free : Wbuf.t list ref = ref []
+
+  (* Every domain's stats record, appended once at first use. *)
+  let registry_mu = Mutex.create ()
+  let registry : stats list ref = ref []
+
+  let key : dpool Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        let stats = { reused = Atomic.make 0; allocated = Atomic.make 0 } in
+        Mutex.lock registry_mu;
+        registry := stats :: !registry;
+        Mutex.unlock registry_mu;
+        { stats; free = [] })
 
   let acquire ~hint =
-    match !free with
+    let p = Domain.DLS.get key in
+    match p.free with
     | w :: rest ->
-        free := rest;
-        stats_.reused <- stats_.reused + 1;
+        p.free <- rest;
+        Atomic.incr p.stats.reused;
         if hint > Wbuf.capacity w then Wbuf.grow w hint;
         w
     | [] ->
-        stats_.allocated <- stats_.allocated + 1;
+        Atomic.incr p.stats.allocated;
         Wbuf.create (max 64 hint)
 
   let release w =
     Wbuf.clear w;
-    if List.length !free < max_pooled then free := w :: !free
+    let p = Domain.DLS.get key in
+    if List.length p.free < max_pooled then p.free <- w :: p.free
 
-  let reused () = stats_.reused
-  let allocated () = stats_.allocated
+  let sum field =
+    Mutex.lock registry_mu;
+    let l = !registry in
+    Mutex.unlock registry_mu;
+    List.fold_left (fun acc s -> acc + Atomic.get (field s)) 0 l
+
+  let reused () = sum (fun s -> s.reused)
+  let allocated () = sum (fun s -> s.allocated)
 end
 
 (* Borrow a pooled scratch, run [f] on it, and return [f]'s result.

@@ -70,13 +70,22 @@ type wbuf = Wbuf.t
 
 module Pool : sig
   val acquire : hint:int -> Wbuf.t
+  (** Borrow a scratch from the {e calling domain's} pool. Pools are
+      domain-local (Domain.DLS): a scratch never crosses domains, so
+      the wire fast path stays allocation-free without locks even when
+      several domains encode concurrently. *)
+
   val release : Wbuf.t -> unit
+  (** Return a scratch to the calling domain's pool. Release on the
+      domain that acquired (the [with_scratch] discipline guarantees
+      this: the borrow never escapes the callback). *)
 
   val reused : unit -> int
-  (** Scratch acquisitions served from the pool (process-wide). *)
+  (** Scratch acquisitions served from a pool — summed over every
+      domain that ever touched the pool. *)
 
   val allocated : unit -> int
-  (** Scratch acquisitions that had to allocate (process-wide). *)
+  (** Scratch acquisitions that had to allocate (all domains). *)
 end
 
 val with_scratch : hint:int -> (Wbuf.t -> 'a) -> 'a

@@ -134,7 +134,13 @@ let check_fault file () =
 let replay_cases =
   List.concat_map
     (fun mode ->
-      let tag f = Fmt.str "%s [%s]" f (match mode with `Cached -> "cached" | `Rescan -> "rescan") in
+      let tag f =
+        Fmt.str "%s [%s]" f
+          (match mode with
+          | `Cached -> "cached"
+          | `Rescan -> "rescan"
+          | `Parallel -> "parallel")
+      in
       List.map
         (fun f -> Alcotest.test_case (tag f) `Quick (in_mode mode (check_sched f)))
         (sched_files ())
@@ -142,7 +148,9 @@ let replay_cases =
           (fun f ->
             Alcotest.test_case (tag f) `Quick (in_mode mode (check_fault f)))
           (fault_files ()))
-    [ `Cached; `Rescan ]
+    (* [`Parallel] here is the deterministic-merge multicore mode: the
+       whole pinned corpus must fingerprint-match under it too. *)
+    [ `Cached; `Rescan; `Parallel ]
 
 let suite =
   [

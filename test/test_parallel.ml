@@ -1,0 +1,361 @@
+(* Multicore executor coverage (DESIGN.md §17).
+
+   1. Env parsing: VSGC_SCHED / VSGC_SANITIZE / VSGC_JOBS accept their
+      documented values silently and reject everything else loudly —
+      the parse functions return the default plus a warning instead of
+      silently coercing.
+
+   2. Dpool: indices are each processed exactly once whatever the
+      width; the lowest-index exception is the one re-raised; nested
+      [run] degrades to sequential instead of deadlocking.
+
+   3. Bin.Pool domain-locality: concurrent encodes on distinct domains
+      never share a scratch, so every frame decodes back to its packet.
+
+   4. The tentpole property: [`Parallel] with deterministic merge
+      produces fingerprints IDENTICAL to [`Rescan] — across random
+      seeds, driving scripts and loopback fault knobs, at jobs 1 and
+      jobs 2 (the generators are shared with test_hotpath_props, which
+      pins [`Cached] = [`Rescan] for the same scripts).
+
+   5. The racy engine: gated by greenness, not fingerprints — the full
+      monitor battery and the §6/§7 invariants watch a racy run; the
+      merged trace must also be reproducible and jobs-independent
+      (group evolution depends only on group state and the group's
+      keyed RNG stream, never on domain timing). *)
+
+open Vsgc_types
+module HP = Test_hotpath_props
+module E = Vsgc_explore
+module System = Vsgc_harness.System
+module Net_system = Vsgc_harness.Net_system
+module Executor = Vsgc_ioa.Executor
+module Partition = Vsgc_ioa.Partition
+module Dpool = Vsgc_ioa.Dpool
+module Trace_stats = Vsgc_ioa.Trace_stats
+module Loopback = Vsgc_net.Loopback
+module Frame = Vsgc_wire.Frame
+module Packet = Vsgc_wire.Packet
+
+let with_sched mode merge jobs f =
+  let m0 = Executor.get_default_mode () in
+  let g0 = Executor.get_default_merge () in
+  let j0 = Executor.get_default_jobs () in
+  Executor.set_default_mode mode;
+  Executor.set_default_merge merge;
+  Executor.set_default_jobs jobs;
+  Fun.protect
+    ~finally:(fun () ->
+      Executor.set_default_mode m0;
+      Executor.set_default_merge g0;
+      Executor.set_default_jobs j0)
+    f
+
+(* -- 1. Env parsing ------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_env_sched () =
+  let accepted v mode merge =
+    let (m, g), w = Executor.mode_of_env v in
+    Alcotest.(check bool) (Fmt.str "%a accepted" Fmt.(Dump.option string) v) true (w = None);
+    Alcotest.(check bool) "mode" true (m = mode && g = merge)
+  in
+  accepted None `Cached `Deterministic;
+  accepted (Some "") `Cached `Deterministic;
+  accepted (Some "cached") `Cached `Deterministic;
+  accepted (Some "rescan") `Rescan `Deterministic;
+  accepted (Some "parallel") `Parallel `Deterministic;
+  accepted (Some "parallel-racy") `Parallel `Racy;
+  let (m, g), w = Executor.mode_of_env (Some "bogus") in
+  Alcotest.(check bool) "unknown falls back to default" true
+    (m = `Cached && g = `Deterministic);
+  (match w with
+  | None -> Alcotest.fail "unknown VSGC_SCHED must warn"
+  | Some msg ->
+      Alcotest.(check bool) "warning names the accepted values" true
+        (contains msg "rescan"))
+
+let test_env_sanitize () =
+  let accepted v policy =
+    let p, w = Executor.sanitize_of_env v in
+    Alcotest.(check bool) "accepted silently" true (w = None);
+    Alcotest.(check bool) "policy" true (p = policy)
+  in
+  accepted None None;
+  accepted (Some "") None;
+  accepted (Some "0") None;
+  accepted (Some "off") None;
+  accepted (Some "collect") (Some `Collect);
+  accepted (Some "raise") (Some `Raise);
+  accepted (Some "on") (Some `Raise);
+  accepted (Some "1") (Some `Raise);
+  (* The historical trap: an unrecognized value used to silently turn
+     the RAISING sanitizer on. Now it warns and stays off. *)
+  let p, w = Executor.sanitize_of_env (Some "yes") in
+  Alcotest.(check bool) "unknown stays off" true (p = None);
+  Alcotest.(check bool) "unknown warns" true (w <> None)
+
+let test_env_jobs () =
+  let j, w = Executor.jobs_of_env (Some "4") in
+  Alcotest.(check int) "4" 4 j;
+  Alcotest.(check bool) "silent" true (w = None);
+  List.iter
+    (fun v ->
+      let j, w = Executor.jobs_of_env (Some v) in
+      Alcotest.(check int) (v ^ " falls back") 1 j;
+      Alcotest.(check bool) (v ^ " warns") true (w <> None))
+    [ "0"; "-3"; "many"; "2.5" ]
+
+(* -- 2. Dpool ------------------------------------------------------------ *)
+
+let test_dpool_covers () =
+  let pool = Dpool.create ~jobs:3 in
+  let hits = Array.make 999 0 in
+  Dpool.run pool (fun i -> hits.(i) <- hits.(i) + 1) 999;
+  Dpool.shutdown pool;
+  Alcotest.(check bool) "each index exactly once" true
+    (Array.for_all (fun h -> h = 1) hits)
+
+let test_dpool_lowest_exn () =
+  let pool = Dpool.create ~jobs:4 in
+  let attempt () =
+    Dpool.run pool
+      (fun i -> if i mod 7 = 3 then failwith (string_of_int i))
+      100
+  in
+  (match attempt () with
+  | () -> Alcotest.fail "expected a failure"
+  | exception Failure i -> Alcotest.(check string) "lowest failing index" "3" i);
+  Dpool.shutdown pool
+
+let test_dpool_nested () =
+  let pool = Dpool.create ~jobs:3 in
+  let acc = Array.make 16 0 in
+  Dpool.run pool
+    (fun i ->
+      (* a nested fan-out from inside a task runs inline *)
+      Dpool.run pool (fun j -> if j = i then acc.(i) <- i * i) 16)
+    16;
+  Dpool.shutdown pool;
+  Alcotest.(check bool) "nested run completed" true
+    (Array.for_all (fun i -> acc.(i) = i * i) (Array.init 16 Fun.id))
+
+(* -- 3. Bin.Pool domain-locality ----------------------------------------- *)
+
+let test_pool_per_domain () =
+  let pool = Dpool.create ~jobs:4 in
+  let frames = Array.make 128 Bytes.empty in
+  Dpool.run pool
+    (fun i ->
+      (* several pooled encodes per index, concurrently across domains *)
+      ignore (Frame.encode (Packet.Join (i * 7)));
+      frames.(i) <- Frame.encode (Packet.Join i))
+    128;
+  Dpool.shutdown pool;
+  Array.iteri
+    (fun i b ->
+      match Frame.decode b with
+      | Ok pkt ->
+          Alcotest.(check bool) (Fmt.str "frame %d round-trips" i) true
+            (Packet.equal pkt (Packet.Join i))
+      | Error e -> Alcotest.failf "frame %d: %s" i (Frame.error_to_string e))
+    frames;
+  Alcotest.(check bool) "pool counters visible across domains" true
+    (Vsgc_types.Bin.Pool.allocated () > 0)
+
+(* -- 4. parallel (deterministic merge) = rescan -------------------------- *)
+
+let fingerprint_of sys =
+  Trace_stats.fingerprint (Executor.trace (System.exec sys))
+
+let parallel_equals_rescan (seed, ops) =
+  let build mode jobs =
+    with_sched mode `Deterministic jobs (fun () ->
+        let sys = System.create ~seed ~n:3 ~layer:`Full ~monitors:`None () in
+        E.Replay.replay sys (HP.entries_of_ops ops);
+        ignore (System.run ~max_steps:50_000 sys);
+        fingerprint_of sys)
+  in
+  let reference = build `Rescan 1 in
+  String.equal reference (build `Parallel 1)
+  && String.equal reference (build `Parallel 2)
+
+let parallel_net_equals_rescan (seed, knobs) =
+  let build mode jobs =
+    with_sched mode `Deterministic jobs (fun () ->
+        let net = Net_system.create ~seed ~knobs ~n:3 () in
+        ignore (Net_system.reconfigure net ~set:(Proc.Set.of_range 0 2));
+        Net_system.run net;
+        Net_system.broadcast net ~senders:(Proc.Set.of_range 0 2) ~per_sender:2;
+        Net_system.run net;
+        ignore (Net_system.reconfigure net ~set:(Proc.Set.of_range 0 1));
+        Net_system.run net;
+        Net_system.fingerprint net)
+  in
+  let reference = build `Rescan 1 in
+  String.equal reference (build `Parallel 1)
+  && String.equal reference (build `Parallel 2)
+
+(* -- 5. The racy engine -------------------------------------------------- *)
+
+(* Full battery attached: every spec monitor plus the §6/§7 invariants
+   (evaluated at barrier states). Any violation raises out of [run]. *)
+let racy_run ~jobs ~seed =
+  with_sched `Parallel `Racy jobs (fun () ->
+      let sys = System.create ~seed ~n:4 ~layer:`Full ~monitors:`All () in
+      System.attach_invariants sys;
+      ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 3));
+      ignore (System.run ~max_steps:30_000 sys);
+      System.broadcast sys ~senders:(Proc.Set.of_range 0 3) ~per_sender:2;
+      ignore (System.run ~max_steps:30_000 sys);
+      ignore (System.reconfigure ~origin:1 sys ~set:(Proc.Set.of_range 0 2));
+      ignore (System.run ~max_steps:30_000 sys);
+      Executor.finish (System.exec sys);
+      fingerprint_of sys)
+
+let test_racy_green () =
+  (* greenness is the assertion: monitors/invariants raise on red *)
+  ignore (racy_run ~jobs:2 ~seed:4242)
+
+let test_racy_deterministic () =
+  let a = racy_run ~jobs:1 ~seed:77 in
+  let b = racy_run ~jobs:2 ~seed:77 in
+  let c = racy_run ~jobs:2 ~seed:77 in
+  Alcotest.(check string) "jobs-independent" a b;
+  Alcotest.(check string) "run-to-run reproducible" b c
+
+let test_racy_rejects_sanitizer () =
+  with_sched `Parallel `Racy 2 (fun () ->
+      let sys =
+        System.create ~seed:3 ~n:3 ~layer:`Full ~monitors:`None ()
+      in
+      ignore (System.reconfigure sys ~set:(Proc.Set.of_range 0 2));
+      let exec =
+        Executor.create ~seed:3 ~sanitize:(Some `Collect)
+          (Array.to_list (Executor.components (System.exec sys)))
+      in
+      match Executor.run exec with
+      | _ -> Alcotest.fail "racy run with a sanitizer must be rejected"
+      | exception Invalid_argument _ -> ())
+
+(* -- 6. The planned partition vs the declared footprints ------------------ *)
+
+(* Inline version of the `vet domains` audit: over the representative
+   universe, any two actions internal to different planned groups must
+   be footprint-independent. *)
+let test_partition_audit () =
+  let sys = System.create ~seed:7 ~n:3 ~layer:`Full ~monitors:`None () in
+  let exec = System.exec sys in
+  let comps = Executor.components exec in
+  let universe = Vsgc_analysis.Universe.actions ~n:3 () in
+  let part = Partition.compute ~probe:universe comps in
+  let internal_group a =
+    match Partition.participants comps a with
+    | [] -> None
+    | i0 :: rest ->
+        let g = Partition.group_of part i0 in
+        if List.for_all (fun i -> Partition.group_of part i = g) rest then Some g
+        else None
+  in
+  let independent = Executor.independence exec in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          match (internal_group a, internal_group b) with
+          | Some ga, Some gb when ga <> gb ->
+              Alcotest.(check bool)
+                (Fmt.str "%a vs %a independent across groups" Action.pp a
+                   Action.pp b)
+                true (independent a b)
+          | _ -> ())
+        universe)
+    universe
+
+(* -- 7. Parallel explorer = sequential explorer --------------------------- *)
+
+let all2 = Proc.Set.of_range 0 1
+
+let explore_sched ?mutation ?(layer = `Full) name =
+  {
+    E.Schedule.name;
+    expect = None;
+    conf = E.Sysconf.make ~seed:42 ~layer ?mutation ~n:2 ();
+    entries =
+      [
+        E.Schedule.Env (E.Schedule.Reconfigure { origin = 0; set = all2 });
+        E.Schedule.Settle;
+        E.Schedule.Env (E.Schedule.Send { from = 1; payload = "m1" });
+        E.Schedule.Env (E.Schedule.Start_change all2);
+        E.Schedule.Env (E.Schedule.Deliver_view { origin = 1; set = all2 });
+      ];
+  }
+
+(* The finding must be canonical: a later subtree finding first cancels
+   only later siblings, so the parallel search reports the same
+   DFS-minimal schedule as the sequential one. *)
+let test_explorer_same_finding () =
+  let s = explore_sched ~mutation:Vsgc_core.Vs_rfifo_ts.No_sync_wait "nsw-par" in
+  let seqr = E.Explorer.explore ~depth:4 s in
+  let parr = E.Explorer.explore ~depth:4 ~jobs:3 s in
+  match (seqr.E.Explorer.outcome, parr.E.Explorer.outcome) with
+  | E.Explorer.Found (s1, v1), E.Explorer.Found (s2, v2) ->
+      Alcotest.(check string) "same violation kind" v1.E.Replay.kind
+        v2.E.Replay.kind;
+      Alcotest.(check bool) "same DFS-minimal schedule" true
+        (s1.E.Schedule.entries = s2.E.Schedule.entries)
+  | o1, o2 ->
+      Alcotest.failf "expected two findings, got %a / %a" E.Explorer.pp_outcome
+        o1 E.Explorer.pp_outcome o2
+
+let test_explorer_same_exhaustion () =
+  let s = explore_sched "clean-par" in
+  let seqr = E.Explorer.explore ~depth:3 s in
+  let parr = E.Explorer.explore ~depth:3 ~jobs:4 s in
+  (match (seqr.E.Explorer.outcome, parr.E.Explorer.outcome) with
+  | E.Explorer.Exhausted, E.Explorer.Exhausted -> ()
+  | o1, o2 ->
+      Alcotest.failf "expected two exhaustions, got %a / %a"
+        E.Explorer.pp_outcome o1 E.Explorer.pp_outcome o2);
+  Alcotest.(check int) "identical states" seqr.E.Explorer.states
+    parr.E.Explorer.states;
+  Alcotest.(check int) "identical sleep skips" seqr.E.Explorer.sleep_skips
+    parr.E.Explorer.sleep_skips
+
+let suite =
+  let q ?(count = 20) name arb prop =
+    QCheck_alcotest.to_alcotest ~long:false
+      ~rand:(Random.State.make [| 0x1907 |])
+      (QCheck.Test.make ~count ~name arb prop)
+  in
+  [
+    Alcotest.test_case "env: VSGC_SCHED parses loudly" `Quick test_env_sched;
+    Alcotest.test_case "env: VSGC_SANITIZE parses loudly" `Quick test_env_sanitize;
+    Alcotest.test_case "env: VSGC_JOBS parses loudly" `Quick test_env_jobs;
+    Alcotest.test_case "dpool: every index exactly once" `Quick test_dpool_covers;
+    Alcotest.test_case "dpool: lowest-index exception wins" `Quick
+      test_dpool_lowest_exn;
+    Alcotest.test_case "dpool: nested run degrades to inline" `Quick
+      test_dpool_nested;
+    Alcotest.test_case "bin.pool: domain-local scratch never crosses" `Quick
+      test_pool_per_domain;
+    q "parallel(det) = rescan: free-running + replay" HP.arb_case
+      parallel_equals_rescan;
+    q ~count:10 "parallel(det) = rescan: loopback x fault knobs"
+      HP.arb_net_case parallel_net_equals_rescan;
+    Alcotest.test_case "racy: full battery green" `Quick test_racy_green;
+    Alcotest.test_case "racy: deterministic and jobs-independent" `Quick
+      test_racy_deterministic;
+    Alcotest.test_case "racy: sanitizer rejected" `Quick
+      test_racy_rejects_sanitizer;
+    Alcotest.test_case "partition: footprints disjoint across groups" `Quick
+      test_partition_audit;
+    Alcotest.test_case "explorer: parallel finds the sequential finding"
+      `Quick test_explorer_same_finding;
+    Alcotest.test_case "explorer: parallel exhausts identically" `Quick
+      test_explorer_same_exhaustion;
+  ]

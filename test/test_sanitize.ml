@@ -29,7 +29,10 @@ let with_mode mode f =
 
 let in_modes f = List.iter (fun m -> with_mode m (fun () -> f m)) [ `Cached; `Rescan ]
 
-let mode_name = function `Cached -> "cached" | `Rescan -> "rescan"
+let mode_name = function
+  | `Cached -> "cached"
+  | `Rescan -> "rescan"
+  | `Parallel -> "parallel"
 
 (* -- The three runner shapes --------------------------------------------- *)
 
